@@ -1,0 +1,40 @@
+//! Criterion microbenchmark: the Section 3.1 clustering pipeline versus
+//! the MST baselines (the kernel behind E7 / Remark 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hicond_core::spanning::{mst_max_kruskal, mst_max_prim};
+use hicond_core::{decompose_fixed_degree, FixedDegreeOptions};
+use hicond_graph::generators;
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_vs_mst");
+    for side in [16usize, 32] {
+        let g = generators::grid3d(side, side, side, |u, v, a| {
+            1.0 + (((u + v) * 13 + a) % 23) as f64 / 4.0
+        });
+        group.bench_with_input(BenchmarkId::new("fixed_degree_seq", side), &g, |b, g| {
+            b.iter(|| {
+                decompose_fixed_degree(
+                    g,
+                    &FixedDegreeOptions {
+                        parallel: false,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fixed_degree_par", side), &g, |b, g| {
+            b.iter(|| decompose_fixed_degree(g, &FixedDegreeOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("mst_kruskal", side), &g, |b, g| {
+            b.iter(|| mst_max_kruskal(g))
+        });
+        group.bench_with_input(BenchmarkId::new("mst_prim", side), &g, |b, g| {
+            b.iter(|| mst_max_prim(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

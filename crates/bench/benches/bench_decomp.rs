@@ -1,0 +1,47 @@
+//! Criterion microbenchmarks for the decomposition algorithms: tree
+//! decomposition (Theorem 2.1), 3-critical vertex computation, planar
+//! pipeline (Theorem 2.2), low-stretch tree construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hicond_core::lowstretch::{low_stretch_tree, LowStretchOptions};
+use hicond_core::{decompose_forest, decompose_planar, PlanarOptions};
+use hicond_graph::forest::RootedForest;
+use hicond_graph::generators;
+use hicond_treecontract::critical::critical_vertices;
+use hicond_treecontract::euler::subtree_sizes_parallel;
+
+fn bench_tree_decomp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_decomp");
+    for n in [10_000usize, 100_000] {
+        let g = generators::random_tree(n, 3, 0.1, 10.0);
+        group.bench_with_input(BenchmarkId::new("decompose_forest", n), &g, |b, g| {
+            b.iter(|| decompose_forest(g))
+        });
+        let f = RootedForest::from_graph(&g).unwrap();
+        group.bench_with_input(BenchmarkId::new("critical_vertices", n), &f, |b, f| {
+            b.iter(|| {
+                let sizes = subtree_sizes_parallel(f);
+                critical_vertices(f, &sizes, 3)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_planar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planar_decomp");
+    group.sample_size(10);
+    for side in [32usize, 64] {
+        let g = generators::triangulated_grid(side, side, 1);
+        group.bench_with_input(BenchmarkId::new("decompose_planar", side), &g, |b, g| {
+            b.iter(|| decompose_planar(g, &PlanarOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("low_stretch_tree", side), &g, |b, g| {
+            b.iter(|| low_stretch_tree(g, &LowStretchOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_decomp, bench_planar);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! **E9 — Remark 3 + laminar hierarchies**: recursive contraction. Reports
+//! per-level vertex counts and reduction factors, cluster "roundness"
+//! (hop diameter vs size — Remark 3's observation that super-clusters are
+//! round), and PCG iteration counts using the hierarchy at increasing
+//! depth.
+//!
+//! ```text
+//! cargo run --release -p hicond-bench --bin exp_hierarchy
+//! ```
+
+use hicond_bench::{consistent_rhs, fmt, Table};
+use hicond_core::{build_hierarchy, FixedDegreeOptions, HierarchyOptions};
+use hicond_graph::connectivity::set_diameter;
+use hicond_graph::{generators, laplacian};
+use hicond_linalg::cg::{pcg_solve, CgOptions};
+use hicond_precond::{MultilevelOptions, MultilevelSteiner};
+
+fn main() {
+    println!("# Remark 3: recursive contraction hierarchies");
+    let g = generators::oct_like_grid3d(16, 16, 16, 21, generators::OctParams::default());
+    let n = g.num_vertices();
+    println!("# oct-like 16^3: {n} vertices, {} edges", g.num_edges());
+
+    let h = build_hierarchy(
+        &g,
+        &HierarchyOptions {
+            coarse_size: 50,
+            ..Default::default()
+        },
+    );
+
+    println!("\n## per-level structure");
+    let mut t = Table::new(&["level", "n", "edges", "reduction", "avg diam", "avg size"]);
+    for (l, level) in h.levels.iter().enumerate() {
+        let reduction = if l == 0 {
+            "-".to_string()
+        } else {
+            fmt(h.levels[l - 1].graph.num_vertices() as f64 / level.graph.num_vertices() as f64)
+        };
+        // Cluster roundness at this level (diameter vs size of level-l
+        // clusters inside the level-l graph).
+        let (avg_diam, avg_size) = match &level.partition {
+            Some(p) => {
+                let clusters = p.clusters();
+                let sample: Vec<_> = clusters.iter().filter(|c| c.len() >= 2).take(500).collect();
+                let mut diam_sum = 0.0;
+                let mut size_sum = 0.0;
+                for c in &sample {
+                    diam_sum += set_diameter(&level.graph, c) as f64;
+                    size_sum += c.len() as f64;
+                }
+                let cnt = sample.len().max(1) as f64;
+                (fmt(diam_sum / cnt), fmt(size_sum / cnt))
+            }
+            None => ("-".into(), "-".into()),
+        };
+        t.row(vec![
+            l.to_string(),
+            level.graph.num_vertices().to_string(),
+            level.graph.num_edges().to_string(),
+            reduction,
+            avg_diam,
+            avg_size,
+        ]);
+    }
+    t.print();
+
+    println!("\n## PCG with the multilevel Steiner preconditioner vs hierarchy depth");
+    let a = laplacian(&g);
+    let b = consistent_rhs(n, 6);
+    let mut t = Table::new(&[
+        "coarse size",
+        "levels",
+        "smoothing",
+        "iterations",
+        "rel res",
+    ]);
+    for &coarse in &[2000usize, 500, 50] {
+        for smoothing in [false, true] {
+            let ml = MultilevelSteiner::new(
+                &g,
+                &MultilevelOptions {
+                    hierarchy: HierarchyOptions {
+                        coarse_size: coarse,
+                        fixed_degree: FixedDegreeOptions::default(),
+                        ..Default::default()
+                    },
+                    smoothing,
+                    omega: 2.0 / 3.0,
+                },
+            );
+            let r = pcg_solve(
+                &a,
+                &ml,
+                &b,
+                &CgOptions {
+                    rel_tol: 1e-8,
+                    max_iter: 2000,
+                    record_residuals: false,
+                },
+            );
+            t.row(vec![
+                coarse.to_string(),
+                ml.num_levels().to_string(),
+                smoothing.to_string(),
+                r.iterations.to_string(),
+                fmt(r.final_rel_residual),
+            ]);
+        }
+    }
+    t.print();
+    println!("\n# shape check: per-level reduction is a stable constant (paper: 'constant in");
+    println!("# average'), clusters stay round (diameter ~ size^(1/3) on 3D inputs), and");
+    println!("# deeper hierarchies trade a few PCG iterations for much cheaper coarse solves.");
+}

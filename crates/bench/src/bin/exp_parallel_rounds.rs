@@ -1,0 +1,52 @@
+//! **E14 — the O(log n) parallel-round claims, measured structurally.**
+//!
+//! Theorems 2.1 and 2.2 claim O(log n) parallel time; the parallel depth
+//! of our pipeline is governed by (i) pointer-jumping list-ranking rounds
+//! over the Euler tour and (ii) rake/compress contraction rounds. This
+//! experiment counts both as n grows: logarithmic growth in the table is
+//! the claim, machine-independent.
+//!
+//! ```text
+//! cargo run --release -p hicond-bench --bin exp_parallel_rounds
+//! ```
+
+use hicond_bench::{fmt, Table};
+use hicond_graph::forest::RootedForest;
+use hicond_graph::generators;
+use hicond_treecontract::contraction::subtree_sums_contraction;
+use hicond_treecontract::euler::euler_tour;
+use hicond_treecontract::listrank::list_rank_parallel_with_rounds;
+
+fn main() {
+    println!("# Parallel round counts vs n (claims: O(log n))");
+    let mut t = Table::new(&[
+        "tree",
+        "n",
+        "log2 n",
+        "listrank rounds",
+        "contraction rounds",
+    ]);
+    for &exp in &[8u32, 10, 12, 14, 16, 18, 20] {
+        let n = 1usize << exp;
+        for (name, g) in [
+            ("path", generators::path(n, |_| 1.0)),
+            ("random", generators::random_tree(n, 7, 1.0, 1.0)),
+        ] {
+            let f = RootedForest::from_graph(&g).unwrap();
+            let tour = euler_tour(&f);
+            let (_, lr_rounds) = list_rank_parallel_with_rounds(&tour.succ);
+            let values = vec![1.0; n];
+            let contraction = subtree_sums_contraction(&f, &values);
+            t.row(vec![
+                name.into(),
+                n.to_string(),
+                fmt(exp as f64),
+                lr_rounds.to_string(),
+                contraction.rounds.to_string(),
+            ]);
+        }
+    }
+    t.print();
+    println!("\n# shape check: both round counts grow by ~O(1) per doubling of n —");
+    println!("# the machine-independent witness of the paper's O(log n) parallel time.");
+}

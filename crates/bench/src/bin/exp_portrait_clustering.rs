@@ -1,0 +1,123 @@
+//! **E13 — Section 4's anticipated application**: computing (φ, γ)
+//! decompositions of general graphs from the spectral portrait.
+//!
+//! Compares three routes on planted-community graphs of growing size:
+//! eigenvector spectral clustering (one Lanczos/dense eigensolve),
+//! random-walk *mixture* clustering (only `t` matvecs per mixture — the
+//! paper's "straightforward" global computation), and each followed by the
+//! greedy γ-refinement pass.
+//!
+//! ```text
+//! cargo run --release -p hicond-bench --bin exp_portrait_clustering
+//! ```
+
+use hicond_bench::{fmt, timed, Table};
+use hicond_core::{refine_gamma, RefineOptions};
+use hicond_graph::{Graph, Partition};
+use hicond_spectral::{
+    spectral_clustering, walk_mixture_clustering, SpectralClusteringOptions, WalkClusteringOptions,
+};
+use rand::{Rng, SeedableRng};
+
+fn noisy_blocks(k: usize, size: usize, p_in: f64, p_out: f64, seed: u64) -> (Graph, Vec<u32>) {
+    let n = k * size;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = if i / size == j / size { p_in } else { p_out };
+            if rng.random::<f64>() < p {
+                edges.push((i, j, 1.0));
+            }
+        }
+    }
+    (
+        Graph::from_edges(n, &edges),
+        (0..n).map(|v| (v / size) as u32).collect(),
+    )
+}
+
+fn accuracy(p: &Partition, truth: &[u32], k: usize) -> f64 {
+    // Greedy label matching (adequate for well-separated recoveries).
+    let n = truth.len();
+    let mut counts = vec![vec![0usize; k]; k];
+    for v in 0..n {
+        counts[truth[v] as usize][p.cluster_of(v).min(k - 1)] += 1;
+    }
+    let mut used = vec![false; k];
+    let mut correct = 0usize;
+    for t in 0..k {
+        let best = (0..k)
+            .filter(|&c| !used[c])
+            .max_by_key(|&c| counts[t][c])
+            .unwrap();
+        used[best] = true;
+        correct += counts[t][best];
+    }
+    correct as f64 / n as f64
+}
+
+fn main() {
+    println!("# Section 4 application: decompositions from the spectral portrait");
+    let mut t = Table::new(&["n", "method", "accuracy", "gamma", "cut frac", "ms"]);
+    for &(k, size) in &[(3usize, 20usize), (3, 40), (4, 50)] {
+        let (g, truth) = noisy_blocks(k, size, 0.4, 0.01, 17);
+        let n = g.num_vertices();
+
+        let (pe, ms_e) = timed(|| {
+            spectral_clustering(
+                &g,
+                &SpectralClusteringOptions {
+                    k,
+                    dense_limit: 120,
+                    ..Default::default()
+                },
+            )
+        });
+        let qe = pe.quality(&g, 12);
+        t.row(vec![
+            n.to_string(),
+            "eigenvectors".into(),
+            fmt(accuracy(&pe, &truth, k)),
+            fmt(qe.gamma),
+            fmt(qe.cut_fraction),
+            fmt(ms_e),
+        ]);
+
+        let (pw, ms_w) = timed(|| {
+            walk_mixture_clustering(
+                &g,
+                &WalkClusteringOptions {
+                    k,
+                    num_mixtures: 8,
+                    steps: 12,
+                    ..Default::default()
+                },
+            )
+        });
+        let qw = pw.quality(&g, 12);
+        t.row(vec![
+            n.to_string(),
+            "walk mixtures".into(),
+            fmt(accuracy(&pw, &truth, k)),
+            fmt(qw.gamma),
+            fmt(qw.cut_fraction),
+            fmt(ms_w),
+        ]);
+
+        let ((pr, stats), ms_r) = timed(|| refine_gamma(&g, &pw, &RefineOptions::default()));
+        let qr = pr.quality(&g, 12);
+        t.row(vec![
+            n.to_string(),
+            format!("walk + refine ({} moves)", stats.moves),
+            fmt(accuracy(&pr, &truth, k)),
+            fmt(qr.gamma),
+            fmt(qr.cut_fraction),
+            fmt(ms_w + ms_r),
+        ]);
+    }
+    t.print();
+    println!("\n# reading: walk mixtures (matvecs only) match the eigenvector route on");
+    println!("# strongly clustered inputs, and the greedy refinement pass cleans up the");
+    println!("# boundary — the practical (phi, gamma) computation Section 4 anticipates.");
+}

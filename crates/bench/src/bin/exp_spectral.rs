@@ -1,0 +1,94 @@
+//! **E8 — Theorem 4.1**: spectral portraits. For graphs with planted and
+//! algorithmically-found decompositions, prints one row per low
+//! eigenvector of `Â`: eigenvalue λ, measured alignment `(xᵀz)²` with the
+//! cluster subspace `Range(D^{1/2}R)`, and the bound
+//! `1 − 3λ(1 + 2/(γφ²))`.
+//!
+//! ```text
+//! cargo run --release -p hicond-bench --bin exp_spectral
+//! ```
+
+use hicond_bench::{fmt, Table};
+use hicond_core::{decompose_fixed_degree, FixedDegreeOptions};
+use hicond_graph::{Graph, Partition};
+use hicond_spectral::normalized::normalized_eigenpairs_dense;
+use hicond_spectral::portrait::portrait_check;
+
+fn planted(k: usize, size: usize, bridge: f64) -> (Graph, Partition) {
+    let n = k * size;
+    let mut edges = Vec::new();
+    for b in 0..k {
+        for i in 0..size {
+            for j in (i + 1)..size {
+                edges.push((b * size + i, b * size + j, 1.0));
+            }
+        }
+    }
+    for b in 0..k - 1 {
+        edges.push((b * size, (b + 1) * size, bridge));
+    }
+    let assignment: Vec<u32> = (0..n).map(|v| (v / size) as u32).collect();
+    (
+        Graph::from_edges(n, &edges),
+        Partition::from_assignment(assignment, k),
+    )
+}
+
+fn report(title: &str, g: &Graph, p: &Partition, num_eigs: usize) {
+    let q = p.quality(g, 20);
+    println!(
+        "\n## {title}: n = {}, m = {} clusters, phi = {}, gamma = {}",
+        g.num_vertices(),
+        p.num_clusters(),
+        fmt(q.phi),
+        fmt(q.gamma)
+    );
+    let (vals, vecs) = normalized_eigenpairs_dense(g);
+    let rows = portrait_check(
+        g,
+        p,
+        &vals[..num_eigs.min(vals.len())],
+        &vecs[..num_eigs.min(vals.len())],
+        q.phi,
+        q.gamma.max(1e-12),
+    );
+    let mut t = Table::new(&["k", "lambda", "(x'z)^2", "bound", "holds"]);
+    for (k, r) in rows.iter().enumerate() {
+        t.row(vec![
+            k.to_string(),
+            fmt(r.lambda),
+            fmt(r.alignment),
+            fmt(r.bound),
+            if r.alignment >= r.bound - 1e-9 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    t.print();
+}
+
+fn main() {
+    println!("# Theorem 4.1: eigenvector alignment with Range(D^(1/2) R)");
+
+    for bridge in [0.001, 0.01, 0.1] {
+        let (g, p) = planted(4, 10, bridge);
+        report(&format!("planted 4 blocks, bridge {bridge}"), &g, &p, 6);
+    }
+
+    // Algorithmically found decomposition on a grid: the bound is vacuous
+    // for most eigenvalues (phi is modest), but must never be violated.
+    let g = hicond_graph::generators::grid2d(7, 7, |_, _| 1.0);
+    let p = decompose_fixed_degree(
+        &g,
+        &FixedDegreeOptions {
+            k: 4,
+            ..Default::default()
+        },
+    );
+    report("grid2d 7x7, Section 3.1 decomposition", &g, &p, 8);
+
+    println!("\n# shape check: tighter community structure (smaller bridges) pushes both");
+    println!("# lambda down and the alignment toward 1; the bound is never violated.");
+}

@@ -1,0 +1,122 @@
+//! **E11 — top-down vs bottom-up decompositions** (paper Section 1).
+//!
+//! The introduction contrasts the recursive two-way-cut route to
+//! (φ, γ_avg) decompositions (\[16\], Kannan–Vempala–Vetta) with the paper's
+//! bottom-up constructions: the recursion costs many two-way cut
+//! computations (each a global eigenvector solve) and gives no per-level
+//! reduction guarantee, while the bottom-up pass is three linear sweeps.
+//! This experiment decomposes the same graphs both ways and reports
+//! quality and cost side by side, plus the local-clustering route (\[28\])
+//! for a single seed.
+//!
+//! ```text
+//! cargo run --release -p hicond-bench --bin exp_topdown_vs_bottomup
+//! ```
+
+use hicond_bench::{fmt, timed, Table};
+use hicond_core::{
+    decompose_fixed_degree, decompose_recursive_bisection, FixedDegreeOptions,
+    RecursiveBisectionOptions,
+};
+use hicond_graph::{generators, Graph};
+use hicond_spectral::{local_cluster, LocalClusterOptions};
+
+fn compare(name: &str, g: &Graph, t: &mut Table) {
+    let (bu, bu_ms) = timed(|| {
+        decompose_fixed_degree(
+            g,
+            &FixedDegreeOptions {
+                k: 8,
+                ..Default::default()
+            },
+        )
+    });
+    let qb = bu.quality(g, 14);
+    t.row(vec![
+        name.into(),
+        "bottom-up (Sec 3.1)".into(),
+        bu.num_clusters().to_string(),
+        fmt(qb.rho),
+        fmt(qb.phi),
+        fmt(qb.cut_fraction),
+        "-".into(),
+        fmt(bu_ms),
+    ]);
+    let ((td, stats), td_ms) = timed(|| {
+        decompose_recursive_bisection(
+            g,
+            &RecursiveBisectionOptions {
+                phi_target: 0.15,
+                min_cluster: 8,
+                ..Default::default()
+            },
+        )
+    });
+    let qt = td.quality(g, 14);
+    t.row(vec![
+        name.into(),
+        "top-down ([16])".into(),
+        td.num_clusters().to_string(),
+        fmt(qt.rho),
+        fmt(qt.phi),
+        fmt(qt.cut_fraction),
+        stats.cuts_computed.to_string(),
+        fmt(td_ms),
+    ]);
+}
+
+fn main() {
+    println!("# Top-down (recursive two-way cuts) vs bottom-up (Section 3.1)");
+    let mut t = Table::new(&[
+        "graph",
+        "method",
+        "clusters",
+        "rho",
+        "phi(lb)",
+        "cut frac",
+        "2-way cuts",
+        "ms",
+    ]);
+    compare(
+        "grid2d 24x24",
+        &generators::grid2d(24, 24, |_, _| 1.0),
+        &mut t,
+    );
+    compare(
+        "oct 8^3",
+        &generators::oct_like_grid3d(8, 8, 8, 7, generators::OctParams::default()),
+        &mut t,
+    );
+    compare(
+        "mesh 20x20",
+        &generators::triangulated_grid(20, 20, 3),
+        &mut t,
+    );
+    t.print();
+
+    println!("\n## local clustering ([28]) from single seeds (dumbbell of two K10)");
+    let mut edges = Vec::new();
+    for i in 0..10 {
+        for j in (i + 1)..10 {
+            edges.push((i, j, 1.0));
+            edges.push((10 + i, 10 + j, 1.0));
+        }
+    }
+    edges.push((0, 10, 0.02));
+    let g = Graph::from_edges(20, &edges);
+    let mut t = Table::new(&["seed", "cluster size", "conductance", "support"]);
+    for seed in [2, 15] {
+        let c = local_cluster(&g, seed, &LocalClusterOptions::default());
+        t.row(vec![
+            seed.to_string(),
+            c.vertices.len().to_string(),
+            fmt(c.conductance),
+            c.support_size.to_string(),
+        ]);
+    }
+    t.print();
+    println!("\n# reading: the bottom-up pass is 1-2 orders of magnitude cheaper per");
+    println!("# cluster and guarantees rho >= 2; the top-down route pays one global");
+    println!("# eigen-solve per cut and its cluster count is workload-dependent —");
+    println!("# the complexity gap the paper's introduction describes.");
+}

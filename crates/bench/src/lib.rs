@@ -1,0 +1,117 @@
+//! Shared utilities for the experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the experiment index); this library provides the
+//! table printer, timing helpers, and the standard workloads so all
+//! experiments stay comparable.
+
+use std::time::Instant;
+
+/// Simple fixed-width table printer for experiment output.
+pub struct Table {
+    headers: Vec<String>,
+    widths: Vec<usize>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+        let widths = headers.iter().map(|h| h.len().max(8)).collect();
+        Table {
+            headers,
+            widths,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Adds one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        for (w, c) in self.widths.iter_mut().zip(&cells) {
+            *w = (*w).max(c.len());
+        }
+        self.rows.push(cells);
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        let line = |cells: &[String], widths: &[usize]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>width$}", width = w))
+                .collect();
+            println!("| {} |", parts.join(" | "));
+        };
+        line(&self.headers, &self.widths);
+        let sep: Vec<String> = self.widths.iter().map(|w| "-".repeat(*w)).collect();
+        line(&sep, &self.widths);
+        for r in &self.rows {
+            line(r, &self.widths);
+        }
+    }
+}
+
+/// Times a closure, returning `(result, milliseconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Median wall-clock milliseconds over `reps` runs (min 1).
+pub fn timed_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let reps = reps.max(1);
+    let mut times: Vec<f64> = (0..reps).map(|_| timed(&mut f).1).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Formats a float compactly for tables.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 || x.abs() < 0.01 {
+        format!("{x:.3e}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// A deterministic consistent (zero-sum) right-hand side.
+pub fn consistent_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut b: Vec<f64> = (0..n)
+        .map(|i| (((i as u64 + seed) * 2654435761) % 997) as f64 / 498.5 - 1.0)
+        .collect();
+    hicond_linalg::vector::deflate_constant(&mut b);
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print(); // smoke: must not panic
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert!(fmt(1234.5).contains('e'));
+        assert!(fmt(0.001).contains('e'));
+        assert_eq!(fmt(1.5), "1.5000");
+    }
+
+    #[test]
+    fn rhs_consistent() {
+        let b = consistent_rhs(100, 3);
+        assert!(b.iter().sum::<f64>().abs() < 1e-10);
+    }
+}

@@ -1,0 +1,194 @@
+//! Laminar decomposition hierarchies (paper Section 3, Remark 3).
+//!
+//! "The recursive computation of [φ, ρ] decompositions leads to a laminar
+//! decomposition and a corresponding hierarchy of Steiner preconditioners."
+//! Each level decomposes the current graph and contracts clusters into the
+//! quotient graph `Q` with `w(r_i, r_j) = cap(V_i, V_j)`; recursion stops
+//! at a target coarse size or when reduction stalls.
+
+use crate::fixed_degree::{decompose_fixed_degree, FixedDegreeOptions};
+use hicond_graph::{Graph, Partition};
+
+/// One level of the hierarchy.
+#[derive(Debug, Clone)]
+pub struct Level {
+    /// The graph at this level (level 0 = input).
+    pub graph: Graph,
+    /// Decomposition of this level's graph (absent on the coarsest level).
+    pub partition: Option<Partition>,
+}
+
+/// A laminar hierarchy of decompositions.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// Levels, finest first.
+    pub levels: Vec<Level>,
+}
+
+/// Options for [`build_hierarchy`].
+#[derive(Debug, Clone, Copy)]
+pub struct HierarchyOptions {
+    /// Per-level fixed-degree clustering options.
+    pub fixed_degree: FixedDegreeOptions,
+    /// Stop when a level has at most this many vertices.
+    pub coarse_size: usize,
+    /// Hard cap on levels.
+    pub max_levels: usize,
+}
+
+impl Default for HierarchyOptions {
+    fn default() -> Self {
+        HierarchyOptions {
+            fixed_degree: FixedDegreeOptions::default(),
+            coarse_size: 200,
+            max_levels: 40,
+        }
+    }
+}
+
+impl Hierarchy {
+    /// Number of levels (including the coarsest).
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Vertex counts per level, finest first.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        self.levels.iter().map(|l| l.graph.num_vertices()).collect()
+    }
+
+    /// Maps a level-0 vertex to its cluster id at the given level
+    /// (level 0 maps to itself).
+    pub fn project_vertex(&self, v: usize, level: usize) -> usize {
+        let mut cur = v;
+        for l in 0..level {
+            cur = self.levels[l]
+                .partition
+                .as_ref()
+                .expect("level below requested projection must have a partition")
+                .cluster_of(cur);
+        }
+        cur
+    }
+}
+
+/// Builds the hierarchy by repeated fixed-degree decomposition and quotient
+/// contraction.
+pub fn build_hierarchy(g: &Graph, opts: &HierarchyOptions) -> Hierarchy {
+    let mut levels = Vec::new();
+    let mut current = g.clone();
+    for level in 0..opts.max_levels {
+        let n = current.num_vertices();
+        if n <= opts.coarse_size || current.num_edges() == 0 {
+            break;
+        }
+        let mut fd = opts.fixed_degree;
+        fd.seed = fd.seed.wrapping_add(level as u64);
+        let partition = decompose_fixed_degree(&current, &fd);
+        if partition.num_clusters() >= n {
+            // No progress; stop rather than loop.
+            break;
+        }
+        let next = partition.quotient_graph(&current);
+        levels.push(Level {
+            graph: current,
+            partition: Some(partition),
+        });
+        current = next;
+    }
+    levels.push(Level {
+        graph: current,
+        partition: None,
+    });
+    Hierarchy { levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::generators;
+
+    #[test]
+    fn hierarchy_shrinks_geometrically() {
+        let g = generators::grid2d(32, 32, |_, _| 1.0);
+        let h = build_hierarchy(
+            &g,
+            &HierarchyOptions {
+                coarse_size: 20,
+                ..Default::default()
+            },
+        );
+        let sizes = h.level_sizes();
+        assert!(sizes.len() >= 3, "expected multiple levels, got {sizes:?}");
+        for w in sizes.windows(2) {
+            assert!(
+                (w[1] as f64) <= (w[0] as f64) / 1.8,
+                "reduction below 1.8x: {sizes:?}"
+            );
+        }
+        assert!(*sizes.last().unwrap() <= 20);
+    }
+
+    #[test]
+    fn total_weight_preserved_across_levels_minus_internal() {
+        // Quotient keeps exactly the cross-cluster weight.
+        let g = generators::oct_like_grid3d(5, 5, 5, 1, generators::OctParams::default());
+        let h = build_hierarchy(&g, &HierarchyOptions::default());
+        for pair in h.levels.windows(2) {
+            let fine = &pair[0];
+            let coarse = &pair[1];
+            let p = fine.partition.as_ref().unwrap();
+            let cross: f64 = fine
+                .graph
+                .edges()
+                .iter()
+                .filter(|e| p.cluster_of(e.u as usize) != p.cluster_of(e.v as usize))
+                .map(|e| e.w)
+                .sum();
+            assert!((coarse.graph.total_weight() - cross).abs() < 1e-9 * cross.max(1.0));
+        }
+    }
+
+    #[test]
+    fn projection_consistent() {
+        let g = generators::grid2d(10, 10, |_, _| 1.0);
+        let h = build_hierarchy(
+            &g,
+            &HierarchyOptions {
+                coarse_size: 5,
+                ..Default::default()
+            },
+        );
+        let top = h.num_levels() - 1;
+        let coarse_n = h.levels[top].graph.num_vertices();
+        for v in 0..100 {
+            let c = h.project_vertex(v, top);
+            assert!(c < coarse_n);
+        }
+        // Level-0 projection is identity.
+        assert_eq!(h.project_vertex(42, 0), 42);
+    }
+
+    #[test]
+    fn coarse_graph_connected_if_input_connected() {
+        let g = generators::grid2d(12, 12, |_, _| 1.0);
+        let h = build_hierarchy(&g, &HierarchyOptions::default());
+        for l in &h.levels {
+            assert!(hicond_graph::connectivity::is_connected(&l.graph));
+        }
+    }
+
+    #[test]
+    fn small_input_single_level() {
+        let g = generators::path(10, |_| 1.0);
+        let h = build_hierarchy(
+            &g,
+            &HierarchyOptions {
+                coarse_size: 50,
+                ..Default::default()
+            },
+        );
+        assert_eq!(h.num_levels(), 1);
+        assert!(h.levels[0].partition.is_none());
+    }
+}

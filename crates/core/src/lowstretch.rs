@@ -1,0 +1,369 @@
+//! Low-stretch spanning trees (substitute for reference \[9\], see
+//! DESIGN.md) and tree-stretch computation.
+//!
+//! Theorem 2.3 consumes a low-stretch spanning tree; we build one with an
+//! AKPW-flavored scheme: repeated low-diameter clustering of the contracted
+//! graph by exponentially-shifted multi-source Dijkstra (edge length
+//! `1/w`), keeping each round's shortest-path-tree edges. The quality knob
+//! is measured, not proved: [`tree_stretches`] evaluates the stretch
+//! `w_e · dist_T(u, v)` of every edge exactly via binary-lifting LCA, and
+//! the experiment harness reports average stretch per family.
+
+use hicond_graph::forest::RootedForest;
+use hicond_graph::{Graph, UnionFind};
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Options for [`low_stretch_tree`].
+#[derive(Debug, Clone, Copy)]
+pub struct LowStretchOptions {
+    /// Seed for the exponential shifts.
+    pub seed: u64,
+    /// Mean of the exponential shift, in units of the current level's
+    /// median edge length; larger = bigger clusters per round.
+    pub beta: f64,
+}
+
+impl Default for LowStretchOptions {
+    fn default() -> Self {
+        LowStretchOptions {
+            seed: 17,
+            beta: 4.0,
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct DijkstraItem {
+    key: f64,
+    vertex: u32,
+}
+
+impl Eq for DijkstraItem {}
+impl PartialOrd for DijkstraItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DijkstraItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by key.
+        other
+            .key
+            .partial_cmp(&self.key)
+            .unwrap()
+            .then(other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// Builds a spanning forest with low average stretch. Returns the selected
+/// original edge ids (`n − components` of them).
+pub fn low_stretch_tree(g: &Graph, opts: &LowStretchOptions) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    let mut tree_edges: Vec<usize> = Vec::with_capacity(n.saturating_sub(1));
+    let mut uf = UnionFind::new(n);
+    // Current contracted multigraph: (orig_eid, cu, cv, length).
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut num_clusters = n;
+    let mut edges: Vec<(u32, u32, u32, f64)> = g
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (i as u32, e.u, e.v, 1.0 / e.w))
+        .collect();
+
+    let mut rounds = 0;
+    while !edges.is_empty() {
+        rounds += 1;
+        assert!(rounds <= 64, "low_stretch_tree failed to converge");
+        let m = num_clusters;
+        // Median edge length scales the shifts.
+        let mut lens: Vec<f64> = edges.iter().map(|&(_, _, _, l)| l).collect();
+        lens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = lens[lens.len() / 2];
+        // Exponentially-shifted multi-source Dijkstra over the contracted
+        // graph (adjacency rebuilt per round).
+        let mut adj_ptr = vec![0usize; m + 1];
+        for &(_, u, v, _) in &edges {
+            adj_ptr[u as usize + 1] += 1;
+            adj_ptr[v as usize + 1] += 1;
+        }
+        for i in 0..m {
+            adj_ptr[i + 1] += adj_ptr[i];
+        }
+        let mut adj: Vec<(u32, f64, u32)> = vec![(0, 0.0, 0); adj_ptr[m]];
+        let mut next = adj_ptr.clone();
+        next.pop();
+        for &(eid, u, v, l) in &edges {
+            adj[next[u as usize]] = (v, l, eid);
+            next[u as usize] += 1;
+            adj[next[v as usize]] = (u, l, eid);
+            next[v as usize] += 1;
+        }
+        // Shifts ~ Exp(1/(beta·median)).
+        let max_key = 40.0 * opts.beta * median;
+        let mut dist = vec![f64::INFINITY; m];
+        let mut owner = vec![u32::MAX; m];
+        let mut pred_edge = vec![u32::MAX; m];
+        let mut heap = BinaryHeap::with_capacity(m);
+        for v in 0..m {
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let shift = (-u.ln()) * opts.beta * median;
+            let key = (max_key - shift).max(0.0);
+            dist[v] = key;
+            owner[v] = v as u32;
+            heap.push(DijkstraItem {
+                key,
+                vertex: v as u32,
+            });
+        }
+        while let Some(DijkstraItem { key, vertex }) = heap.pop() {
+            let v = vertex as usize;
+            if key > dist[v] {
+                continue;
+            }
+            for &(u, l, eid) in &adj[adj_ptr[v]..adj_ptr[v + 1]] {
+                let nk = key + l;
+                if nk < dist[u as usize] {
+                    dist[u as usize] = nk;
+                    owner[u as usize] = owner[v];
+                    pred_edge[u as usize] = eid;
+                    heap.push(DijkstraItem { key: nk, vertex: u });
+                }
+            }
+        }
+        // Predecessor edges whose endpoints share an owner join the tree
+        // and merge clusters.
+        for v in 0..m {
+            let eid = pred_edge[v];
+            if eid == u32::MAX {
+                continue;
+            }
+            let e = g.edges()[eid as usize];
+            if uf.union(e.u as usize, e.v as usize) {
+                tree_edges.push(eid as usize);
+            }
+        }
+        // Contract: new labels = owner components. Build next-level edges,
+        // keeping the shortest representative per cluster pair.
+        let mut owner_label = vec![u32::MAX; m];
+        let mut next_count = 0u32;
+        for v in 0..m {
+            let o = owner[v] as usize;
+            if owner_label[o] == u32::MAX {
+                owner_label[o] = next_count;
+                next_count += 1;
+            }
+        }
+        let relabel: Vec<u32> = (0..m).map(|v| owner_label[owner[v] as usize]).collect();
+        labels = labels.iter().map(|&c| relabel[c as usize]).collect();
+        num_clusters = next_count as usize;
+        let mut best: std::collections::HashMap<(u32, u32), (u32, f64)> =
+            std::collections::HashMap::new();
+        for &(eid, u, v, l) in &edges {
+            let (cu, cv) = (relabel[u as usize], relabel[v as usize]);
+            if cu == cv {
+                continue;
+            }
+            let key = if cu < cv { (cu, cv) } else { (cv, cu) };
+            match best.get_mut(&key) {
+                Some(cur) if cur.1 <= l => {}
+                _ => {
+                    best.insert(key, (eid, l));
+                }
+            }
+        }
+        edges = best
+            .into_iter()
+            .map(|((u, v), (eid, l))| (eid, u, v, l))
+            .collect();
+        edges.sort_unstable_by_key(|&(eid, _, _, _)| eid);
+    }
+    let _ = labels;
+    tree_edges
+}
+
+/// Exact stretch of every edge with respect to the spanning forest given by
+/// `tree_edge_ids`: `stretch(e) = w_e · Σ_{f ∈ path_T(u,v)} 1/w_f`.
+/// Tree edges get stretch exactly 1; edges whose endpoints lie in different
+/// forest components get `f64::INFINITY`.
+pub fn tree_stretches(g: &Graph, tree_edge_ids: &[usize]) -> Vec<f64> {
+    let tree = crate::spanning::subgraph_of_edges(g, tree_edge_ids);
+    let forest = RootedForest::from_graph(&tree).expect("tree_stretches: edges form a cycle");
+    let n = g.num_vertices();
+    // Root-to-vertex resistance and hop depth.
+    let mut resist = vec![0.0; n];
+    let mut depth = vec![0u32; n];
+    for &v in forest.preorder() {
+        let v = v as usize;
+        if let Some(p) = forest.parent(v) {
+            resist[v] = resist[p] + 1.0 / forest.parent_weight(v);
+            depth[v] = depth[p] + 1;
+        }
+    }
+    // Binary lifting for LCA.
+    let log = (usize::BITS - n.max(2).leading_zeros()) as usize;
+    let mut up = vec![vec![u32::MAX; n]; log];
+    for v in 0..n {
+        up[0][v] = forest.parent(v).map(|p| p as u32).unwrap_or(u32::MAX);
+    }
+    for j in 1..log {
+        for v in 0..n {
+            let half = up[j - 1][v];
+            up[j][v] = if half == u32::MAX {
+                u32::MAX
+            } else {
+                up[j - 1][half as usize]
+            };
+        }
+    }
+    let (comp_labels, _) = hicond_graph::connectivity::connected_components(&tree);
+    let lca = |mut a: usize, mut b: usize| -> usize {
+        if depth[a] < depth[b] {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let mut diff = depth[a] - depth[b];
+        let mut j = 0;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                a = up[j][a] as usize;
+            }
+            diff >>= 1;
+            j += 1;
+        }
+        if a == b {
+            return a;
+        }
+        for j in (0..log).rev() {
+            if up[j][a] != up[j][b] {
+                a = up[j][a] as usize;
+                b = up[j][b] as usize;
+            }
+        }
+        up[0][a] as usize
+    };
+    g.edges()
+        .iter()
+        .map(|e| {
+            let (u, v) = (e.u as usize, e.v as usize);
+            if comp_labels[u] != comp_labels[v] {
+                return f64::INFINITY;
+            }
+            let l = lca(u, v);
+            let dist = resist[u] + resist[v] - 2.0 * resist[l];
+            e.w * dist
+        })
+        .collect()
+}
+
+/// Average stretch over all edges (excluding infinite entries).
+pub fn average_stretch(stretches: &[f64]) -> f64 {
+    let finite: Vec<f64> = stretches
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return 0.0;
+    }
+    finite.iter().sum::<f64>() / finite.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::{connectivity::is_connected, generators};
+
+    fn check_spanning(g: &Graph, ids: &[usize]) {
+        let (_, comps) = hicond_graph::connectivity::connected_components(g);
+        assert_eq!(ids.len(), g.num_vertices() - comps, "not spanning");
+        let t = crate::spanning::subgraph_of_edges(g, ids);
+        assert!(RootedForest::from_graph(&t).is_some(), "has a cycle");
+        if comps == 1 {
+            assert!(is_connected(&t));
+        }
+    }
+
+    #[test]
+    fn spanning_forest_on_grids() {
+        for seed in 0..5 {
+            let g = generators::grid2d(8, 8, |u, v| 1.0 + ((u * v) % 5) as f64);
+            let ids = low_stretch_tree(&g, &LowStretchOptions { seed, beta: 4.0 });
+            check_spanning(&g, &ids);
+        }
+    }
+
+    #[test]
+    fn spanning_on_weighted_3d() {
+        let g = generators::oct_like_grid3d(5, 5, 5, 2, generators::OctParams::default());
+        let ids = low_stretch_tree(&g, &LowStretchOptions::default());
+        check_spanning(&g, &ids);
+    }
+
+    #[test]
+    fn tree_input_full_stretch_one() {
+        let g = generators::random_tree(40, 1, 0.5, 4.0);
+        let ids = low_stretch_tree(&g, &LowStretchOptions::default());
+        assert_eq!(ids.len(), 39);
+        let s = tree_stretches(&g, &ids);
+        for v in s {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stretch_exact_on_cycle() {
+        // Unweighted C_n: tree = path, the removed edge has stretch n-1.
+        let g = generators::cycle(10, |_| 1.0);
+        let ids = low_stretch_tree(&g, &LowStretchOptions::default());
+        check_spanning(&g, &ids);
+        let s = tree_stretches(&g, &ids);
+        let mut tree_flags = vec![false; 10];
+        for &i in &ids {
+            tree_flags[i] = true;
+        }
+        for (i, &v) in s.iter().enumerate() {
+            if tree_flags[i] {
+                assert!((v - 1.0).abs() < 1e-9);
+            } else {
+                assert!((v - 9.0).abs() < 1e-9, "off-tree stretch {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn beats_or_matches_random_bfs_tree_on_grid() {
+        // Average stretch of the low-stretch tree should not be terrible:
+        // on a 16x16 grid it must be below the worst-case O(n) and below
+        // 4x the MST's average stretch.
+        let g = generators::grid2d(16, 16, |_, _| 1.0);
+        let ls = low_stretch_tree(&g, &LowStretchOptions::default());
+        let mst = crate::spanning::mst_max_kruskal(&g);
+        let avg_ls = average_stretch(&tree_stretches(&g, &ls));
+        let avg_mst = average_stretch(&tree_stretches(&g, &mst));
+        assert!(
+            avg_ls < 4.0 * avg_mst + 16.0,
+            "ls {avg_ls} vs mst {avg_mst}"
+        );
+        assert!(avg_ls < g.num_vertices() as f64 / 4.0);
+    }
+
+    #[test]
+    fn disconnected_components_infinite_cross_stretch() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        let ids = low_stretch_tree(&g, &LowStretchOptions::default());
+        assert_eq!(ids.len(), 2);
+        let s = tree_stretches(&g, &ids);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = generators::triangulated_grid(7, 7, 5);
+        let a = low_stretch_tree(&g, &LowStretchOptions::default());
+        let b = low_stretch_tree(&g, &LowStretchOptions::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,225 @@
+//! Recursive two-way decomposition — the top-down (φ, γ_avg) baseline.
+//!
+//! The paper's introduction contrasts its bottom-up constructions with the
+//! recursive approach of Kannan–Vempala–Vetta \[16\]: run a two-way
+//! partitioner; if the returned cut is sparser than the target φ, split
+//! and recurse, otherwise accept the piece as a cluster. The resulting
+//! partition is a (φ, γ_avg) decomposition: every cluster's *induced*
+//! conductance is ≥ φ and the weight fraction cut between clusters is the
+//! γ_avg. The paper's point — that this route costs a super-linear number
+//! of two-way cuts and gives no per-level reduction guarantee — is
+//! measured in the `exp_topdown_vs_bottomup` experiment.
+//!
+//! The two-way partitioner is the Fiedler sweep cut
+//! ([`hicond_graph::fiedler_sweep_cut`]), the canonical spectral
+//! σ-approximate cut.
+
+use hicond_graph::{fiedler_sweep_cut, Graph, Partition};
+
+/// Options for [`decompose_recursive_bisection`].
+#[derive(Debug, Clone, Copy)]
+pub struct RecursiveBisectionOptions {
+    /// Accept a piece as a cluster once no cut sparser than this exists
+    /// (as witnessed by the sweep cut).
+    pub phi_target: f64,
+    /// Accept pieces at or below this size unconditionally.
+    pub min_cluster: usize,
+    /// Hard recursion depth cap.
+    pub max_depth: usize,
+}
+
+impl Default for RecursiveBisectionOptions {
+    fn default() -> Self {
+        RecursiveBisectionOptions {
+            phi_target: 0.2,
+            min_cluster: 4,
+            max_depth: 60,
+        }
+    }
+}
+
+/// Statistics of a recursive run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecursiveStats {
+    /// Number of two-way cut computations performed.
+    pub cuts_computed: usize,
+    /// Deepest recursion level reached.
+    pub max_depth_reached: usize,
+}
+
+/// Recursively bisects `g` until every piece has (sweep-cut-witnessed)
+/// conductance at least `phi_target` or is small. Returns the partition
+/// and the work statistics.
+pub fn decompose_recursive_bisection(
+    g: &Graph,
+    opts: &RecursiveBisectionOptions,
+) -> (Partition, RecursiveStats) {
+    let n = g.num_vertices();
+    let mut assignment = vec![u32::MAX; n];
+    let mut next_cluster = 0u32;
+    let mut stats = RecursiveStats::default();
+    // Work stack of (vertex list, depth).
+    let mut stack: Vec<(Vec<usize>, usize)> = vec![((0..n).collect(), 0)];
+    while let Some((piece, depth)) = stack.pop() {
+        stats.max_depth_reached = stats.max_depth_reached.max(depth);
+        let accept = |assignment: &mut Vec<u32>, next: &mut u32, piece: &[usize]| {
+            for &v in piece {
+                assignment[v] = *next;
+            }
+            *next += 1;
+        };
+        if piece.len() <= opts.min_cluster || depth >= opts.max_depth {
+            accept(&mut assignment, &mut next_cluster, &piece);
+            continue;
+        }
+        let sub = g.induced_subgraph(&piece);
+        // Disconnected pieces split into components first.
+        let (labels, ncomp) = hicond_graph::connectivity::connected_components(&sub);
+        if ncomp > 1 {
+            let mut parts: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
+            for (local, &global) in piece.iter().enumerate() {
+                parts[labels[local] as usize].push(global);
+            }
+            for part in parts {
+                stack.push((part, depth));
+            }
+            continue;
+        }
+        stats.cuts_computed += 1;
+        match fiedler_sweep_cut(&sub) {
+            Some((indicator, sparsity)) if sparsity < opts.phi_target => {
+                let mut inside = Vec::new();
+                let mut outside = Vec::new();
+                for (local, &global) in piece.iter().enumerate() {
+                    if indicator[local] {
+                        inside.push(global);
+                    } else {
+                        outside.push(global);
+                    }
+                }
+                if inside.is_empty() || outside.is_empty() {
+                    accept(&mut assignment, &mut next_cluster, &piece);
+                } else {
+                    stack.push((inside, depth + 1));
+                    stack.push((outside, depth + 1));
+                }
+            }
+            _ => accept(&mut assignment, &mut next_cluster, &piece),
+        }
+    }
+    debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
+    (
+        Partition::from_assignment(assignment, next_cluster as usize),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::{exact_conductance, generators};
+
+    fn planted(k: usize, size: usize, bridge: f64) -> Graph {
+        let n = k * size;
+        let mut edges = Vec::new();
+        for b in 0..k {
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    edges.push((b * size + i, b * size + j, 1.0));
+                }
+            }
+        }
+        for b in 0..k - 1 {
+            edges.push((b * size, (b + 1) * size, bridge));
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn recovers_planted_blocks() {
+        let g = planted(3, 8, 0.01);
+        let (p, stats) = decompose_recursive_bisection(
+            &g,
+            &RecursiveBisectionOptions {
+                phi_target: 0.2,
+                min_cluster: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(p.num_clusters(), 3);
+        // Each cluster is one block.
+        for c in p.clusters() {
+            assert_eq!(c.len(), 8);
+            let block = c[0] / 8;
+            assert!(c.iter().all(|&v| v / 8 == block));
+        }
+        assert!(stats.cuts_computed >= 2);
+    }
+
+    #[test]
+    fn accepted_clusters_have_induced_conductance_at_target() {
+        let g = generators::grid2d(8, 8, |u, v| 1.0 + ((u + v) % 3) as f64);
+        let phi = 0.3;
+        let (p, _) = decompose_recursive_bisection(
+            &g,
+            &RecursiveBisectionOptions {
+                phi_target: phi,
+                min_cluster: 2,
+                ..Default::default()
+            },
+        );
+        for c in p.clusters() {
+            if c.len() < 2 || c.len() > 18 {
+                continue;
+            }
+            let sub = g.induced_subgraph(&c);
+            if !hicond_graph::connectivity::is_connected(&sub) {
+                continue;
+            }
+            // Induced conductance is at least the target (sweep cut found
+            // nothing sparser; exact conductance could still be somewhat
+            // below via non-sweep cuts, within the Cheeger factor).
+            let cond = exact_conductance(&sub);
+            assert!(
+                cond >= phi * phi / 2.0 - 1e-9,
+                "cluster {c:?} conductance {cond}"
+            );
+        }
+    }
+
+    #[test]
+    fn expander_stays_whole() {
+        // A clique has conductance far above any reasonable target.
+        let g = generators::complete(16, 1.0);
+        let (p, stats) = decompose_recursive_bisection(&g, &RecursiveBisectionOptions::default());
+        assert_eq!(p.num_clusters(), 1);
+        assert_eq!(stats.cuts_computed, 1);
+    }
+
+    #[test]
+    fn min_cluster_floor_respected() {
+        let g = generators::path(64, |_| 1.0);
+        let (p, _) = decompose_recursive_bisection(
+            &g,
+            &RecursiveBisectionOptions {
+                phi_target: 2.0, // cut everything possible
+                min_cluster: 4,
+                ..Default::default()
+            },
+        );
+        assert!(p.clusters_connected(&g));
+        // Paths get chopped but never below the floor by *cutting* (pieces
+        // smaller than the floor are accepted as-is).
+        assert!(p.num_clusters() >= 8);
+    }
+
+    #[test]
+    fn handles_disconnected_input() {
+        let g = Graph::from_edges(7, &[(0, 1, 1.0), (1, 2, 1.0), (4, 5, 1.0), (5, 6, 1.0)]);
+        let (p, _) = decompose_recursive_bisection(&g, &RecursiveBisectionOptions::default());
+        assert!(p.clusters_connected(&g));
+        // Components never share clusters.
+        assert_ne!(p.cluster_of(0), p.cluster_of(4));
+        assert_ne!(p.cluster_of(0), p.cluster_of(3));
+    }
+}

@@ -1,0 +1,282 @@
+//! Spanning trees: Kruskal and Prim.
+//!
+//! The maximum-weight spanning tree is both a classic subgraph
+//! preconditioner base (\[15\] in the paper) and the baseline of Remark 1's
+//! timing comparison ("the Boost Graph Library code for computing only the
+//! maximum weight spanning tree"); our Kruskal plays Boost's role.
+
+use hicond_graph::{Graph, UnionFind};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Maximum-weight spanning forest by Kruskal (sort + union-find).
+/// Returns the selected edge ids.
+pub fn mst_max_kruskal(g: &Graph) -> Vec<usize> {
+    kruskal(g, true)
+}
+
+/// Minimum-weight spanning forest by Kruskal.
+pub fn mst_min_kruskal(g: &Graph) -> Vec<usize> {
+    kruskal(g, false)
+}
+
+fn kruskal(g: &Graph, maximize: bool) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..g.num_edges()).collect();
+    let edges = g.edges();
+    if maximize {
+        order.sort_unstable_by(|&a, &b| edges[b].w.partial_cmp(&edges[a].w).unwrap());
+    } else {
+        order.sort_unstable_by(|&a, &b| edges[a].w.partial_cmp(&edges[b].w).unwrap());
+    }
+    let mut uf = UnionFind::new(g.num_vertices());
+    let mut picked = Vec::with_capacity(g.num_vertices().saturating_sub(1));
+    for eid in order {
+        let e = edges[eid];
+        if uf.union(e.u as usize, e.v as usize) {
+            picked.push(eid);
+            if picked.len() + 1 == g.num_vertices() {
+                break;
+            }
+        }
+    }
+    picked
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    w: f64,
+    eid: u32,
+    to: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by weight; tie-break on edge id for determinism.
+        self.w
+            .partial_cmp(&other.w)
+            .unwrap()
+            .then(self.eid.cmp(&other.eid))
+    }
+}
+
+/// Maximum-weight spanning forest by Prim with a binary heap.
+/// Returns the selected edge ids (covers all components).
+pub fn mst_max_prim(g: &Graph) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut in_tree = vec![false; n];
+    let mut picked = Vec::with_capacity(n.saturating_sub(1));
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+    for start in 0..n {
+        if in_tree[start] {
+            continue;
+        }
+        in_tree[start] = true;
+        for (u, w, eid) in g.neighbors(start) {
+            heap.push(HeapItem {
+                w,
+                eid: eid as u32,
+                to: u as u32,
+            });
+        }
+        while let Some(item) = heap.pop() {
+            let v = item.to as usize;
+            if in_tree[v] {
+                continue;
+            }
+            in_tree[v] = true;
+            picked.push(item.eid as usize);
+            for (u, w, eid) in g.neighbors(v) {
+                if !in_tree[u] {
+                    heap.push(HeapItem {
+                        w,
+                        eid: eid as u32,
+                        to: u as u32,
+                    });
+                }
+            }
+        }
+    }
+    picked
+}
+
+/// Maximum-weight spanning forest by Borůvka's algorithm: each round every
+/// component selects its heaviest outgoing edge (a data-parallel map over
+/// vertices), selected edges merge components, O(log n) rounds. The
+/// parallel-friendly MST — the natural companion to the paper's parallel
+/// clustering passes, and structurally similar to them (each round is a
+/// "heaviest incident edge" sweep at component granularity). Ties broken
+/// by edge id, which keeps the selection cycle-free.
+pub fn mst_max_boruvka(g: &Graph) -> Vec<usize> {
+    use rayon::prelude::*;
+    let n = g.num_vertices();
+    let edges = g.edges();
+    let mut uf = UnionFind::new(n);
+    let mut picked: Vec<usize> = Vec::with_capacity(n.saturating_sub(1));
+    let mut rounds = 0;
+    loop {
+        rounds += 1;
+        assert!(rounds <= 64, "boruvka failed to converge");
+        // Component labels for this round.
+        let labels: Vec<u32> = {
+            let mut l = vec![0u32; n];
+            for (v, lv) in l.iter_mut().enumerate() {
+                *lv = uf.find(v) as u32;
+            }
+            l
+        };
+        // Parallel: best outgoing edge per edge-side, reduced per component
+        // sequentially (components are identified by representative).
+        let candidates: Vec<(u32, usize)> = edges
+            .par_iter()
+            .enumerate()
+            .filter_map(|(eid, e)| {
+                let (cu, cv) = (labels[e.u as usize], labels[e.v as usize]);
+                (cu != cv).then_some((cu.min(cv), eid))
+            })
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        // Per-component best: (weight, eid) max, ties toward larger eid.
+        let mut best: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+        for &(_, eid) in &candidates {
+            let e = edges[eid];
+            for comp in [labels[e.u as usize], labels[e.v as usize]] {
+                match best.get_mut(&comp) {
+                    Some(cur) => {
+                        let (cw, ce) = (edges[*cur].w, *cur);
+                        if e.w > cw || (e.w == cw && eid > ce) {
+                            *cur = eid;
+                        }
+                    }
+                    None => {
+                        best.insert(comp, eid);
+                    }
+                }
+            }
+        }
+        let mut progressed = false;
+        let mut chosen: Vec<usize> = best.values().copied().collect();
+        chosen.sort_unstable();
+        chosen.dedup();
+        for eid in chosen {
+            let e = edges[eid];
+            if uf.union(e.u as usize, e.v as usize) {
+                picked.push(eid);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    picked.sort_unstable();
+    picked
+}
+
+/// Materializes the subgraph of `g` consisting of the given edge ids (all
+/// vertices retained).
+pub fn subgraph_of_edges(g: &Graph, edge_ids: &[usize]) -> Graph {
+    let mut keep = vec![false; g.num_edges()];
+    for &e in edge_ids {
+        keep[e] = true;
+    }
+    g.filter_edges(|i, _| keep[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::{connectivity::is_connected, generators};
+
+    fn total(g: &Graph, ids: &[usize]) -> f64 {
+        ids.iter().map(|&i| g.edges()[i].w).sum()
+    }
+
+    #[test]
+    fn kruskal_and_prim_agree_on_weight() {
+        for seed in 0..10 {
+            let g = generators::triangulated_grid(6, 6, seed);
+            let k = mst_max_kruskal(&g);
+            let p = mst_max_prim(&g);
+            assert_eq!(k.len(), g.num_vertices() - 1);
+            assert_eq!(p.len(), g.num_vertices() - 1);
+            assert!((total(&g, &k) - total(&g, &p)).abs() < 1e-9);
+            // Both must be spanning.
+            assert!(is_connected(&subgraph_of_edges(&g, &k)));
+            assert!(is_connected(&subgraph_of_edges(&g, &p)));
+        }
+    }
+
+    #[test]
+    fn max_exceeds_min() {
+        let g = generators::triangulated_grid(5, 5, 2);
+        let mx = total(&g, &mst_max_kruskal(&g));
+        let mn = total(&g, &mst_min_kruskal(&g));
+        assert!(mx > mn);
+    }
+
+    #[test]
+    fn known_small_instance() {
+        // Square with diagonal: 0-1 (1), 1-2 (2), 2-3 (3), 3-0 (4), 0-2 (5).
+        let g = Graph::from_edges(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (3, 0, 4.0),
+                (0, 2, 5.0),
+            ],
+        );
+        let ids = mst_max_kruskal(&g);
+        let w = total(&g, &ids);
+        // Max spanning tree: 5 (0-2) + 4 (3-0) + 2 (1-2) = 11
+        // (5 + 4 + 3 would close the cycle 0-2-3).
+        assert_eq!(w, 11.0);
+    }
+
+    #[test]
+    fn boruvka_matches_kruskal_weight() {
+        for seed in 0..10 {
+            let g = generators::triangulated_grid(7, 7, seed);
+            let k = total(&g, &mst_max_kruskal(&g));
+            let b = total(&g, &mst_max_boruvka(&g));
+            assert!((k - b).abs() < 1e-9, "kruskal {k} vs boruvka {b}");
+            let ids = mst_max_boruvka(&g);
+            assert_eq!(ids.len(), g.num_vertices() - 1);
+            assert!(is_connected(&subgraph_of_edges(&g, &ids)));
+        }
+    }
+
+    #[test]
+    fn boruvka_on_disconnected() {
+        let g = Graph::from_edges(6, &[(0, 1, 3.0), (1, 2, 1.0), (3, 4, 2.0)]);
+        let ids = mst_max_boruvka(&g);
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn disconnected_graph_spanning_forest() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (1, 2, 2.0), (3, 4, 3.0)]);
+        let k = mst_max_kruskal(&g);
+        assert_eq!(k.len(), 3); // n - components = 5 - 2
+        let p = mst_max_prim(&g);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn tree_input_returns_all_edges() {
+        let g = generators::random_tree(50, 3, 1.0, 5.0);
+        let k = mst_max_kruskal(&g);
+        assert_eq!(k.len(), 49);
+    }
+}

@@ -1,0 +1,351 @@
+//! Tree decomposition — Theorem 2.1.
+//!
+//! Decomposes a forest into clusters whose closures have conductance at
+//! least 1/3 (≥ 1/2 on non-adversarial weights; see the crate-level note on
+//! constants) with vertex reduction factor at least 6/5, in three phases:
+//!
+//! 1. compute subtree sizes and **3-critical vertices** (parallel tree
+//!    contraction, `hicond-treecontract`);
+//! 2. each critical vertex seeds a cluster;
+//! 3. every **bridge** (maximal non-critical component, provably ≤ 3
+//!    vertices) is resolved by a constant-time local rule that either forms
+//!    its own ≥ 2-vertex cluster or attaches vertices to adjacent critical
+//!    clusters — attaching a vertex `x` to critical `v` only when the inner
+//!    edge `w(v,x)` dominates `x`'s outgoing edge, which keeps the critical
+//!    clusters' closures "spiders with safe legs".
+//!
+//! Since bridge rules are independent, phase 3 is embarrassingly parallel
+//! ("after the computation of the 3-critical nodes the clustering can be
+//! done in O(1) parallel time").
+
+use hicond_graph::forest::RootedForest;
+use hicond_graph::{Graph, Partition};
+use hicond_treecontract::critical::{bridges, critical_vertices, Bridge};
+use hicond_treecontract::euler::subtree_sizes_parallel;
+use rayon::prelude::*;
+
+/// One bridge's clustering decision: vertices attached to existing critical
+/// clusters, plus at most one fresh cluster.
+#[derive(Debug, Default)]
+struct BridgeActions {
+    /// `(vertex, critical vertex whose cluster it joins)`.
+    attach: Vec<(u32, u32)>,
+    /// Vertices forming this bridge's own new cluster (empty or ≥ 2, except
+    /// for isolated single-vertex trees).
+    own_cluster: Vec<u32>,
+}
+
+/// Decomposes a forest (every component a tree) into a `[φ, ρ]`
+/// decomposition per Theorem 2.1.
+///
+/// # Panics
+/// Panics if `g` contains a cycle.
+pub fn decompose_forest(g: &Graph) -> Partition {
+    let n = g.num_vertices();
+    let forest = RootedForest::from_graph(g).expect("decompose_forest: input has a cycle");
+    let sizes = subtree_sizes_parallel(&forest);
+    let critical = critical_vertices(&forest, &sizes, 3);
+    let bridge_set = bridges(&forest, &critical);
+
+    // Cluster ids: criticals first, then one reserved slot per bridge.
+    let mut crit_cluster = vec![u32::MAX; n];
+    let mut ncrit = 0u32;
+    for v in 0..n {
+        if critical[v] {
+            crit_cluster[v] = ncrit;
+            ncrit += 1;
+        }
+    }
+
+    let actions: Vec<BridgeActions> = bridge_set
+        .bridges
+        .par_iter()
+        .map(|b| resolve_bridge(&forest, b))
+        .collect();
+
+    let mut assignment = vec![u32::MAX; n];
+    for v in 0..n {
+        if critical[v] {
+            assignment[v] = crit_cluster[v];
+        }
+    }
+    for (bi, act) in actions.iter().enumerate() {
+        for &(v, c) in &act.attach {
+            debug_assert!(critical[c as usize]);
+            assignment[v as usize] = crit_cluster[c as usize];
+        }
+        let own_id = ncrit + bi as u32;
+        for &v in &act.own_cluster {
+            assignment[v as usize] = own_id;
+        }
+    }
+    debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
+    Partition::from_assignment(assignment, (ncrit as usize) + actions.len()).compact()
+}
+
+/// Applies the constant-time local rule for one bridge.
+fn resolve_bridge(forest: &RootedForest, b: &Bridge) -> BridgeActions {
+    let mut act = BridgeActions::default();
+    let pw = |v: u32| forest.parent_weight(v as usize);
+    match (b.parent_critical, b.critical_child) {
+        // ---- Internal bridges: critical above and below, ≤ 2 vertices ----
+        (Some(p), Some((holder, c))) => {
+            match b.vertices.len() {
+                1 => {
+                    // p - x - c: join the heavier side; either way the
+                    // attached leg has inner ≥ outer.
+                    let x = b.vertices[0];
+                    let (ep, ec) = (pw(x), pw(c));
+                    act.attach.push((x, if ep >= ec { p } else { c }));
+                }
+                2 => {
+                    let top = b.vertices[0];
+                    let other = b.vertices[1];
+                    if holder == other {
+                        // Path p - y0 - y1 - c (paper Fig. 2 case 1).
+                        let (y0, y1) = (top, other);
+                        let (ep, e01, e1c) = (pw(y0), pw(y1), pw(c));
+                        if e01 <= ep && e01 <= e1c {
+                            // Cut the middle edge; both legs are safe.
+                            act.attach.push((y0, p));
+                            act.attach.push((y1, c));
+                        } else {
+                            act.own_cluster = vec![y0, y1];
+                        }
+                    } else {
+                        // Pendant shape: y0 on the p..c path with a leaf y1
+                        // (paper Fig. 2 case 2): cluster the two together.
+                        act.own_cluster = vec![top, other];
+                    }
+                }
+                len => unreachable!("internal bridge with {len} vertices"),
+            }
+        }
+        // ---- Top-of-tree bridges: root component above a critical child --
+        (None, Some(_)) => {
+            match b.vertices.len() {
+                1 => {
+                    // Lone root above critical c: join c (the root's only
+                    // edge into c's cluster is the edge (root, c) itself).
+                    let x = b.vertices[0];
+                    let c = b.critical_child.unwrap().1;
+                    act.attach.push((x, c));
+                }
+                _ => {
+                    // Two vertices: cluster them together; the closure is a
+                    // 3-path or a star — conductance ≥ 1.
+                    act.own_cluster = b.vertices.clone();
+                }
+            }
+        }
+        // ---- External bridges: subtree of ≤ 3 vertices under critical p --
+        (Some(p), None) => {
+            let top = b.vertices[0];
+            match b.vertices.len() {
+                1 => act.attach.push((top, p)),
+                2 => {
+                    // Own cluster {t, u}: its closure is a weighted 3-path,
+                    // conductance 1 for any weights.
+                    act.own_cluster = b.vertices.clone();
+                }
+                3 => {
+                    let kids = forest.children(top as usize);
+                    if kids.len() == 2 {
+                        // Cherry: cluster all three.
+                        act.own_cluster = b.vertices.clone();
+                    } else {
+                        // Chain p - t - u - v.
+                        let u = kids[0];
+                        let v = forest.children(u as usize)[0];
+                        let (ep, etu, euv) = (pw(top), pw(u), pw(v));
+                        if etu <= euv && ep >= etu {
+                            // Cut (t,u): {u,v} is a 3-path closure
+                            // (conductance 1) and t is a safe leg of p.
+                            act.attach.push((top, p));
+                            act.own_cluster = vec![u, v];
+                        } else {
+                            // Keep the chain whole: 4-path closure,
+                            // conductance ≥ 1/3.
+                            act.own_cluster = b.vertices.clone();
+                        }
+                    }
+                }
+                len => unreachable!("external bridge with {len} vertices"),
+            }
+        }
+        // ---- Whole component non-critical (n ≤ 3): one cluster ----------
+        (None, None) => {
+            act.own_cluster = b.vertices.clone();
+        }
+    }
+    act
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::closure::cluster_quality;
+    use hicond_graph::generators;
+
+    /// Checks the [φ, ρ] guarantees of a decomposition on a tree:
+    /// connectivity of clusters, exact closure conductance ≥ phi_min for
+    /// small closures, spider-structure safety for large ones, and ρ ≥ 6/5.
+    fn check_tree_decomposition(g: &Graph, phi_min: f64) -> (f64, f64) {
+        let p = decompose_forest(g);
+        assert!(p.clusters_connected(g), "clusters must be connected");
+        // Every vertex assigned.
+        assert_eq!(p.assignment().len(), g.num_vertices());
+        let mut phi = f64::INFINITY;
+        for cluster in p.clusters() {
+            let q = cluster_quality(g, &cluster, 18);
+            if q.conductance.exact {
+                phi = phi.min(q.conductance.lower);
+                assert!(
+                    q.conductance.lower >= phi_min - 1e-9,
+                    "cluster {cluster:?} closure conductance {} < {phi_min}",
+                    q.conductance.lower
+                );
+            } else {
+                // Large cluster: must be a critical spider. Safe legs only.
+                assert_spider_safe(g, &cluster);
+            }
+        }
+        let rho = p.reduction_factor();
+        if g.num_vertices() >= 4 {
+            assert!(rho >= 6.0 / 5.0 - 1e-9, "rho {rho} < 6/5");
+        }
+        (phi, rho)
+    }
+
+    /// A critical cluster's closure must be a star with pendant legs and
+    /// 2-legs whose inner edge dominates the outer edge, for *some* choice
+    /// of center vertex.
+    fn assert_spider_safe(g: &Graph, cluster: &[usize]) {
+        let mut inside = vec![false; g.num_vertices()];
+        for &v in cluster {
+            inside[v] = true;
+        }
+        let safe_with_center = |center: usize| -> bool {
+            cluster.iter().all(|&v| {
+                if v == center {
+                    return true;
+                }
+                let inner = g.edge_weight(v, center);
+                if inner <= 0.0 {
+                    return false;
+                }
+                let outer: f64 = g
+                    .neighbors(v)
+                    .filter(|&(u, _, _)| !inside[u])
+                    .map(|(_, w, _)| w)
+                    .sum();
+                inner >= outer - 1e-12
+            })
+        };
+        assert!(
+            cluster.iter().any(|&c| safe_with_center(c)),
+            "cluster {cluster:?} is not a safe spider for any center"
+        );
+    }
+
+    #[test]
+    fn tiny_trees_single_cluster() {
+        for n in 1..=3 {
+            let g = generators::path(n, |_| 1.0);
+            let p = decompose_forest(&g);
+            assert_eq!(p.num_clusters(), 1);
+        }
+    }
+
+    #[test]
+    fn path_families() {
+        for n in [4, 5, 6, 7, 10, 23, 100] {
+            let g = generators::path(n, |_| 1.0);
+            let (phi, rho) = check_tree_decomposition(&g, 1.0 / 3.0);
+            assert!(phi >= 1.0 / 3.0 - 1e-9);
+            assert!(rho >= 1.2);
+        }
+    }
+
+    #[test]
+    fn weighted_paths() {
+        for n in [5, 9, 17] {
+            let g = generators::path(n, |i| 1.0 + (i as f64 * 0.7).sin().abs() * 10.0);
+            check_tree_decomposition(&g, 1.0 / 3.0);
+        }
+    }
+
+    #[test]
+    fn stars_and_caterpillars() {
+        let g = generators::star(20, |i| i as f64);
+        check_tree_decomposition(&g, 1.0 / 3.0);
+        let g = generators::caterpillar(8, 3, |u, v| 1.0 + ((u * 7 + v) % 5) as f64);
+        check_tree_decomposition(&g, 1.0 / 3.0);
+    }
+
+    #[test]
+    fn binary_trees() {
+        for d in [2, 3, 4, 5] {
+            let g = generators::balanced_binary(d, |u, v| 0.5 + ((u + v) % 7) as f64);
+            check_tree_decomposition(&g, 1.0 / 3.0);
+        }
+    }
+
+    #[test]
+    fn random_trees_many_seeds() {
+        let mut worst_phi: f64 = f64::INFINITY;
+        let mut worst_rho: f64 = f64::INFINITY;
+        for seed in 0..40 {
+            let g = generators::random_tree(60, seed, 0.01, 100.0);
+            let (phi, rho) = check_tree_decomposition(&g, 1.0 / 3.0);
+            worst_phi = worst_phi.min(phi);
+            worst_rho = worst_rho.min(rho);
+        }
+        assert!(worst_phi >= 1.0 / 3.0 - 1e-9, "worst phi {worst_phi}");
+        assert!(worst_rho >= 1.2, "worst rho {worst_rho}");
+    }
+
+    #[test]
+    fn forest_of_trees() {
+        // Two disjoint paths: decomposition treats components independently.
+        let mut edges = Vec::new();
+        for i in 0..6 {
+            edges.push((i, i + 1, 1.0));
+        }
+        for i in 8..13 {
+            edges.push((i, i + 1, 2.0));
+        }
+        let g = Graph::from_edges(14, &edges);
+        let p = decompose_forest(&g);
+        assert_eq!(p.assignment().len(), 14);
+        assert!(p.clusters_connected(&g));
+        // Isolated vertex 7 gets a singleton cluster.
+        let c7 = p.cluster_of(7);
+        assert_eq!(p.clusters()[c7], vec![7]);
+    }
+
+    #[test]
+    fn adversarial_internal_bridge() {
+        // Construct a path of 9 with near-equal weights — the worst-case
+        // internal configuration. Conductance must stay ≥ 1/3.
+        let g = generators::path(9, |i| 1.0 + 0.01 * i as f64);
+        check_tree_decomposition(&g, 1.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn rejects_cyclic_input() {
+        let g = generators::cycle(5, |_| 1.0);
+        decompose_forest(&g);
+    }
+
+    #[test]
+    fn reduction_factor_lower_bound_large_random() {
+        for seed in [1, 2, 3] {
+            let g = generators::random_tree(2000, seed, 0.5, 2.0);
+            let p = decompose_forest(&g);
+            assert!(p.reduction_factor() >= 1.2, "rho {}", p.reduction_factor());
+            assert!(p.clusters_connected(&g));
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Formal validation of `[φ, ρ]` decompositions.
+//!
+//! A partition `P` of `G` is a `[φ, ρ]`-decomposition when (Section 2):
+//!
+//! 1. every cluster's closure graph has conductance ≥ φ, and
+//! 2. the vertex reduction factor is ≥ ρ.
+//!
+//! [`validate_phi_rho`] checks both, returning a machine-readable
+//! certificate listing any violating clusters with their measured (or
+//! bracketed) conductance — used by the experiment harness to turn claimed
+//! decompositions into verified ones, and exposed so downstream users can
+//! audit decompositions from any source.
+
+use hicond_graph::closure::cluster_quality;
+use hicond_graph::{Graph, Partition};
+use rayon::prelude::*;
+
+/// One violation found by the validator.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Cluster id.
+    pub cluster: usize,
+    /// What failed.
+    pub kind: ViolationKind,
+}
+
+/// Kinds of validation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViolationKind {
+    /// Cluster does not induce a connected subgraph.
+    Disconnected,
+    /// Closure conductance provably below the target (exact or upper
+    /// bound under the target): carries the measured value.
+    LowConductance(f64),
+    /// Conductance could not be certified either way (bracket straddles
+    /// the target): carries `(lower, upper)`.
+    Uncertain(f64, f64),
+}
+
+/// Validation certificate.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Violations (empty = certified `[φ, ρ]`-decomposition, modulo
+    /// `Uncertain` entries which are inconclusive rather than failing).
+    pub violations: Vec<Violation>,
+    /// Measured reduction factor.
+    pub rho: f64,
+    /// Whether the reduction target was met.
+    pub rho_ok: bool,
+    /// Minimum certified closure conductance across clusters (lower
+    /// bounds for large clusters).
+    pub min_phi_lower: f64,
+}
+
+impl Certificate {
+    /// True when the decomposition is fully certified (no violations, no
+    /// uncertainty, reduction met).
+    pub fn certified(&self) -> bool {
+        self.rho_ok && self.violations.is_empty()
+    }
+
+    /// True when nothing *disproves* the decomposition (uncertain entries
+    /// allowed).
+    pub fn plausible(&self) -> bool {
+        self.rho_ok
+            && self
+                .violations
+                .iter()
+                .all(|v| matches!(v.kind, ViolationKind::Uncertain(_, _)))
+    }
+}
+
+/// Validates that `p` is a `[phi, rho]`-decomposition of `g`.
+///
+/// `max_exact` bounds the closure size for exact conductance enumeration;
+/// larger closures get Cheeger brackets and may come back `Uncertain`.
+pub fn validate_phi_rho(
+    g: &Graph,
+    p: &Partition,
+    phi: f64,
+    rho: f64,
+    max_exact: usize,
+) -> Certificate {
+    assert_eq!(g.num_vertices(), p.num_vertices());
+    let clusters = p.clusters();
+    let violations: Vec<Violation> = clusters
+        .par_iter()
+        .enumerate()
+        .filter_map(|(id, cluster)| {
+            if cluster.len() > 1 {
+                let sub = g.induced_subgraph(cluster);
+                if !hicond_graph::connectivity::is_connected(&sub) {
+                    return Some(Violation {
+                        cluster: id,
+                        kind: ViolationKind::Disconnected,
+                    });
+                }
+            }
+            let q = cluster_quality(g, cluster, max_exact);
+            let c = q.conductance;
+            if c.upper < phi {
+                Some(Violation {
+                    cluster: id,
+                    kind: ViolationKind::LowConductance(if c.exact { c.lower } else { c.upper }),
+                })
+            } else if c.lower < phi {
+                // exact => lower == upper, so this branch is non-exact.
+                Some(Violation {
+                    cluster: id,
+                    kind: ViolationKind::Uncertain(c.lower, c.upper),
+                })
+            } else {
+                None
+            }
+        })
+        .collect();
+    let min_phi_lower = clusters
+        .par_iter()
+        .map(|c| cluster_quality(g, c, max_exact).conductance.lower)
+        .reduce(|| f64::INFINITY, f64::min);
+    let measured_rho = p.reduction_factor();
+    Certificate {
+        violations,
+        rho: measured_rho,
+        rho_ok: measured_rho >= rho - 1e-12,
+        min_phi_lower,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decompose_fixed_degree, decompose_forest, FixedDegreeOptions};
+    use hicond_graph::generators;
+
+    #[test]
+    fn certifies_tree_decomposition() {
+        let g = generators::random_tree(80, 3, 0.5, 5.0);
+        let p = decompose_forest(&g);
+        let cert = validate_phi_rho(&g, &p, 1.0 / 3.0, 6.0 / 5.0, 18);
+        assert!(cert.plausible(), "violations: {:?}", cert.violations);
+        assert!(cert.rho_ok);
+        assert!(cert.min_phi_lower >= 0.0);
+    }
+
+    #[test]
+    fn certifies_fixed_degree_bound() {
+        let g = generators::grid2d(10, 10, |_, _| 1.0);
+        let d = g.max_degree() as f64;
+        let k = 4;
+        let p = decompose_fixed_degree(
+            &g,
+            &FixedDegreeOptions {
+                k,
+                ..Default::default()
+            },
+        );
+        let bound = 1.0 / (2.0 * d * d * k as f64);
+        let cert = validate_phi_rho(&g, &p, bound, 2.0, 20);
+        assert!(cert.certified(), "violations: {:?}", cert.violations);
+    }
+
+    #[test]
+    fn flags_disconnected_cluster() {
+        let g = generators::path(4, |_| 1.0);
+        let p = hicond_graph::Partition::from_assignment(vec![0, 1, 1, 0], 2);
+        let cert = validate_phi_rho(&g, &p, 0.01, 1.0, 20);
+        assert!(!cert.certified());
+        assert!(cert
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::Disconnected));
+    }
+
+    #[test]
+    fn flags_low_conductance() {
+        // Dumbbell as one cluster + singletons: the big cluster is fine,
+        // but demanding phi = 0.9 must fail.
+        let g = generators::path(6, |_| 1.0);
+        let p = hicond_graph::Partition::from_assignment(vec![0, 0, 0, 0, 0, 0], 1);
+        let cert = validate_phi_rho(&g, &p, 0.9, 1.0, 20);
+        assert!(!cert.certified());
+        assert!(matches!(
+            cert.violations[0].kind,
+            ViolationKind::LowConductance(_)
+        ));
+    }
+
+    #[test]
+    fn rho_failure_detected() {
+        let g = generators::path(6, |_| 1.0);
+        let p = hicond_graph::Partition::singletons(6);
+        let cert = validate_phi_rho(&g, &p, 0.0, 2.0, 20);
+        assert!(!cert.rho_ok);
+        assert!(!cert.certified());
+    }
+}

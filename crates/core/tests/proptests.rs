@@ -1,0 +1,142 @@
+//! Property-based tests for the decomposition algorithms: the paper's
+//! invariants must hold on arbitrary random inputs, not just curated
+//! families.
+
+use hicond_core::lowstretch::{low_stretch_tree, tree_stretches, LowStretchOptions};
+use hicond_core::spanning::{mst_max_kruskal, mst_max_prim, subgraph_of_edges};
+use hicond_core::{decompose_fixed_degree, decompose_forest, FixedDegreeOptions};
+use hicond_graph::closure::cluster_quality;
+use hicond_graph::forest::RootedForest;
+use hicond_graph::Graph;
+use proptest::prelude::*;
+
+/// Random weighted tree on `n` vertices (random attachment shape).
+fn random_tree(n: usize) -> impl Strategy<Value = Graph> {
+    (
+        prop::collection::vec(0.01..100.0f64, n - 1),
+        prop::collection::vec(any::<u64>(), n - 1),
+    )
+        .prop_map(move |(ws, shape)| {
+            let edges: Vec<(usize, usize, f64)> = ws
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    let child = i + 1;
+                    let parent = (shape[i] as usize) % child.max(1);
+                    (parent, child, w)
+                })
+                .collect();
+            Graph::from_edges(n, &edges)
+        })
+}
+
+/// Random connected bounded-degree-ish graph.
+fn connected_graph(n: usize) -> impl Strategy<Value = Graph> {
+    (
+        prop::collection::vec(0.1..10.0f64, n - 1),
+        prop::collection::vec((0..n, 0..n, 0.1..10.0f64), 0..n),
+    )
+        .prop_map(move |(tw, ex)| {
+            let mut edges = Vec::new();
+            for (i, &w) in tw.iter().enumerate() {
+                let child = i + 1;
+                edges.push(((i * 11 + 2) % child.max(1), child, w));
+            }
+            for (u, v, w) in ex {
+                if u != v {
+                    edges.push((u, v, w));
+                }
+            }
+            Graph::from_edges(n, &edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn tree_decomposition_invariants(g in random_tree(40)) {
+        let p = decompose_forest(&g);
+        // Coverage and connectivity.
+        prop_assert_eq!(p.assignment().len(), 40);
+        prop_assert!(p.clusters_connected(&g));
+        // Reduction factor of Theorem 2.1.
+        prop_assert!(p.reduction_factor() >= 1.2, "rho {}", p.reduction_factor());
+        // Closure conductance >= 1/3 wherever exactly computable.
+        for cluster in p.clusters() {
+            let q = cluster_quality(&g, &cluster, 16);
+            if q.conductance.exact {
+                prop_assert!(
+                    q.conductance.lower >= 1.0 / 3.0 - 1e-9,
+                    "cluster {:?} phi {}",
+                    cluster,
+                    q.conductance.lower
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_degree_invariants(g in connected_graph(40), k in 2usize..12) {
+        let p = decompose_fixed_degree(&g, &FixedDegreeOptions { k, ..Default::default() });
+        prop_assert_eq!(p.assignment().len(), 40);
+        prop_assert!(p.clusters_connected(&g));
+        // No singletons for non-isolated vertices; rho >= 2.
+        for c in p.clusters() {
+            if c.len() == 1 {
+                prop_assert_eq!(g.degree(c[0]), 0);
+            }
+            prop_assert!(c.len() <= k + g.max_degree() + 1);
+        }
+        prop_assert!(p.reduction_factor() >= 2.0, "rho {}", p.reduction_factor());
+    }
+
+    #[test]
+    fn fixed_degree_deterministic_and_par_equal(g in connected_graph(30), seed in any::<u64>()) {
+        let mk = |parallel| decompose_fixed_degree(
+            &g,
+            &FixedDegreeOptions { seed, parallel, ..Default::default() },
+        );
+        let (a, b) = (mk(false), mk(true));
+        prop_assert_eq!(a.assignment(), b.assignment());
+    }
+
+    #[test]
+    fn mst_kruskal_prim_equal_weight(g in connected_graph(25)) {
+        let total = |ids: &[usize]| -> f64 { ids.iter().map(|&i| g.edges()[i].w).sum() };
+        let k = mst_max_kruskal(&g);
+        let p = mst_max_prim(&g);
+        prop_assert_eq!(k.len(), 24);
+        prop_assert_eq!(p.len(), 24);
+        prop_assert!((total(&k) - total(&p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_stretch_tree_spans(g in connected_graph(30), seed in any::<u64>()) {
+        let ids = low_stretch_tree(&g, &LowStretchOptions { seed, beta: 4.0 });
+        prop_assert_eq!(ids.len(), 29);
+        let t = subgraph_of_edges(&g, &ids);
+        prop_assert!(RootedForest::from_graph(&t).is_some());
+        prop_assert!(hicond_graph::connectivity::is_connected(&t));
+        // Stretch of every edge >= 1 (tree is a subgraph; resistance path
+        // at least the direct edge's by the cycle inequality on trees).
+        let s = tree_stretches(&g, &ids);
+        for (i, &v) in s.iter().enumerate() {
+            if ids.contains(&i) {
+                prop_assert!((v - 1.0).abs() < 1e-9);
+            } else {
+                prop_assert!(v.is_finite() && v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_decomposition_idempotent_quality(g in random_tree(25)) {
+        // Contracting and re-decomposing keeps reduction going (hierarchy
+        // never stalls on trees above the trivial size).
+        let p = decompose_forest(&g);
+        let q = p.quotient_graph(&g);
+        prop_assert!(q.num_vertices() < 25);
+        prop_assert!(q.num_vertices() >= 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Closure graphs `Gᵒ` of clusters and cluster quality measurement.
+//!
+//! For a cluster `C` of a graph `G`, the paper (Section 2) forms the
+//! *closure* `Gᵒ`: the graph induced by `C` plus, for every edge leaving
+//! `C`, a new degree-one vertex carrying that edge. A partition is a
+//! `[φ, ρ]`-decomposition when every cluster's closure has conductance at
+//! least `φ` and the vertex reduction factor is at least `ρ`.
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::measures::{conductance_estimate, ConductanceEstimate};
+
+/// Builds the closure graph `Gᵒ` of `cluster` inside `g`.
+///
+/// Vertices `0..cluster.len()` of the result are the cluster vertices, in
+/// the order given; each boundary edge contributes one extra pendant vertex
+/// appended after them. Multi-edges from one outside vertex to several
+/// cluster vertices become *distinct* pendants, per the paper's
+/// "introduce a vertex on each edge leaving `G_i`".
+pub fn closure_graph(g: &Graph, cluster: &[usize]) -> Graph {
+    let mut pos = vec![u32::MAX; g.num_vertices()];
+    for (i, &v) in cluster.iter().enumerate() {
+        assert!(pos[v] == u32::MAX, "closure_graph: duplicate vertex");
+        pos[v] = i as u32;
+    }
+    // Count boundary edges first.
+    let mut boundary = 0usize;
+    for &v in cluster {
+        for (u, _, _) in g.neighbors(v) {
+            if pos[u] == u32::MAX {
+                boundary += 1;
+            }
+        }
+    }
+    let k = cluster.len();
+    let mut b = GraphBuilder::with_capacity(k + boundary, boundary + 2 * k);
+    let mut next_pendant = k;
+    for (i, &v) in cluster.iter().enumerate() {
+        for (u, w, _) in g.neighbors(v) {
+            let pu = pos[u];
+            if pu == u32::MAX {
+                b.add_edge(i, next_pendant, w);
+                next_pendant += 1;
+            } else if (pu as usize) > i {
+                // internal edge, add once
+                b.add_edge(i, pu as usize, w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Quality report for one cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterQuality {
+    /// Cluster size (original vertices).
+    pub size: usize,
+    /// Number of boundary edges (pendants in the closure).
+    pub boundary_edges: usize,
+    /// Conductance of the closure graph.
+    pub conductance: ConductanceEstimate,
+    /// Minimum over cluster vertices of `cap(v, C−v)/vol(v)` — the γ of a
+    /// (φ, γ) decomposition, evaluated per cluster.
+    pub min_gamma: f64,
+}
+
+/// Measures the closure conductance and per-vertex γ of one cluster.
+///
+/// `max_exact` bounds the closure size for exact conductance enumeration.
+pub fn cluster_quality(g: &Graph, cluster: &[usize], max_exact: usize) -> ClusterQuality {
+    let closure = closure_graph(g, cluster);
+    let size = cluster.len();
+    let boundary_edges = closure.num_vertices() - size;
+    let conductance = conductance_estimate(&closure, max_exact);
+    let mut in_cluster = vec![false; g.num_vertices()];
+    for &v in cluster {
+        in_cluster[v] = true;
+    }
+    let mut min_gamma = f64::INFINITY;
+    for &v in cluster {
+        let vol = g.vol(v);
+        if vol <= 0.0 {
+            min_gamma = 0.0;
+            continue;
+        }
+        let internal: f64 = g
+            .neighbors(v)
+            .filter(|&(u, _, _)| in_cluster[u])
+            .map(|(_, w, _)| w)
+            .sum();
+        min_gamma = min_gamma.min(internal / vol);
+    }
+    if size == 1 {
+        min_gamma = 0.0;
+    }
+    ClusterQuality {
+        size,
+        boundary_edges,
+        conductance,
+        min_gamma,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::measures::exact_conductance;
+
+    #[test]
+    fn closure_of_interior_cluster_adds_pendants() {
+        // Path 0-1-2-3-4, cluster {1,2,3}: closure has pendants for edges
+        // (0,1) and (3,4).
+        let g = generators::path(5, |_| 1.0);
+        let c = closure_graph(&g, &[1, 2, 3]);
+        assert_eq!(c.num_vertices(), 5);
+        assert_eq!(c.num_edges(), 4);
+        // Pendants have degree 1.
+        assert_eq!(c.degree(3), 1);
+        assert_eq!(c.degree(4), 1);
+    }
+
+    #[test]
+    fn closure_whole_graph_is_graph() {
+        let g = generators::cycle(5, |_| 1.0);
+        let all: Vec<usize> = (0..5).collect();
+        let c = closure_graph(&g, &all);
+        assert_eq!(c.num_vertices(), 5);
+        assert_eq!(c.num_edges(), 5);
+        assert!((exact_conductance(&c) - exact_conductance(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_boundary_edges_become_distinct_pendants() {
+        // Star center 0 with 3 leaves; cluster {1} has one pendant; cluster
+        // {1,2} has two pendants to the same outside vertex 0.
+        let g = generators::star(4, |_| 1.0);
+        let c = closure_graph(&g, &[1, 2]);
+        assert_eq!(c.num_vertices(), 4);
+        assert_eq!(c.num_edges(), 2);
+        // Disconnected (two pendant edges, no internal edge).
+        assert!(!crate::connectivity::is_connected(&c));
+    }
+
+    #[test]
+    fn closure_cut_sparser_than_induced() {
+        // Paper: any edge cut in G_i induces a sparser cut in Gᵒ_i, so
+        // conductance(Gᵒ) ≤ conductance(G_i) for clusters with boundary.
+        let g = generators::grid2d(3, 3, |_, _| 1.0);
+        let cluster = vec![0, 1, 3, 4]; // 2x2 corner block
+        let closure = closure_graph(&g, &cluster);
+        let induced = g.induced_subgraph(&cluster);
+        assert!(exact_conductance(&closure) <= exact_conductance(&induced) + 1e-12);
+    }
+
+    #[test]
+    fn quality_reports_gamma() {
+        // Triangle 0-1-2 plus pendant 3 on vertex 2; cluster {0,1,2}.
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (2, 3, 1.0)]);
+        let q = cluster_quality(&g, &[0, 1, 2], 25);
+        assert_eq!(q.size, 3);
+        assert_eq!(q.boundary_edges, 1);
+        // Vertex 2: internal 2 of vol 3 -> gamma = 2/3; vertices 0,1: 1.
+        assert!((q.min_gamma - 2.0 / 3.0).abs() < 1e-12);
+        assert!(q.conductance.exact);
+    }
+
+    #[test]
+    fn singleton_cluster_gamma_zero() {
+        let g = generators::path(3, |_| 1.0);
+        let q = cluster_quality(&g, &[1], 25);
+        assert_eq!(q.min_gamma, 0.0);
+        assert_eq!(q.boundary_edges, 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Connectivity: components, BFS orders and distances.
+
+use crate::graph::Graph;
+use crate::unionfind::UnionFind;
+
+/// Labels connected components; returns `(labels, count)` with labels dense
+/// in `0..count`, numbered by smallest contained vertex.
+pub fn connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut uf = UnionFind::new(g.num_vertices());
+    for e in g.edges() {
+        uf.union(e.u as usize, e.v as usize);
+    }
+    let labels = uf.component_labels();
+    (labels, uf.num_components())
+}
+
+/// True if the graph is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    connected_components(g).1 <= 1
+}
+
+/// BFS from `src`: returns visit order (only reached vertices) and the
+/// hop-distance array (`usize::MAX` for unreachable).
+pub fn bfs_order(g: &Graph, src: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = g.num_vertices();
+    let mut dist = vec![usize::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for (u, _, _) in g.neighbors(v) {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    (order, dist)
+}
+
+/// Hop diameter of the subgraph induced by `set`, by BFS from every vertex
+/// of the set restricted to the set. O(|set|·edges(set)); intended for the
+/// cluster "roundness" statistics of Remark 3, where sets are small.
+pub fn set_diameter(g: &Graph, set: &[usize]) -> usize {
+    let sub = g.induced_subgraph(set);
+    let mut diam = 0;
+    for s in 0..sub.num_vertices() {
+        let (_, dist) = bfs_order(&sub, s);
+        for &d in &dist {
+            if d != usize::MAX {
+                diam = diam.max(d);
+            }
+        }
+    }
+    diam
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_two_paths() {
+        let g = Graph::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connected_cycle() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+        let (order, dist) = bfs_order(&g, 0);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(dist, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0)]);
+        let (_, dist) = bfs_order(&g, 0);
+        assert_eq!(dist[2], usize::MAX);
+    }
+
+    #[test]
+    fn diameter_of_path_set() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
+        assert_eq!(set_diameter(&g, &[0, 1, 2]), 2);
+        assert_eq!(set_diameter(&g, &[1, 2, 3, 4]), 3);
+        assert_eq!(set_diameter(&g, &[2]), 0);
+    }
+}

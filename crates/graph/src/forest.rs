@@ -1,0 +1,282 @@
+//! Rooted forests: parent arrays, traversal orders, subtree sizes.
+//!
+//! The tree decomposition of Theorem 2.1 and the tree splitting of
+//! Section 3.1 both work on rooted forests derived from a [`Graph`] whose
+//! edge set is acyclic.
+
+use crate::graph::Graph;
+
+/// A rooted forest over `0..n` with cached preorder and subtree sizes.
+#[derive(Debug, Clone)]
+pub struct RootedForest {
+    parent: Vec<u32>,
+    parent_weight: Vec<f64>,
+    roots: Vec<u32>,
+    preorder: Vec<u32>,
+    subtree_size: Vec<u32>,
+    children_ptr: Vec<usize>,
+    children: Vec<u32>,
+}
+
+/// Sentinel for "no parent".
+pub const NO_PARENT: u32 = u32::MAX;
+
+impl RootedForest {
+    /// Roots the forest `g` (which must be acyclic) at the smallest vertex
+    /// of each component. Returns `None` if `g` contains a cycle.
+    pub fn from_graph(g: &Graph) -> Option<Self> {
+        let n = g.num_vertices();
+        let (labels, comps) = crate::connectivity::connected_components(g);
+        if g.num_edges() + comps != n {
+            return None; // m != n - c  =>  has a cycle
+        }
+        // Pick the smallest vertex of each component as its root.
+        let mut root_of = vec![u32::MAX; comps];
+        for v in 0..n {
+            let c = labels[v] as usize;
+            if root_of[c] == u32::MAX {
+                root_of[c] = v as u32;
+            }
+        }
+        let mut parent = vec![NO_PARENT; n];
+        let mut parent_weight = vec![0.0; n];
+        let mut preorder = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        for &r in &root_of {
+            stack.push(r);
+            visited[r as usize] = true;
+            while let Some(v) = stack.pop() {
+                preorder.push(v);
+                for (u, w, _) in g.neighbors(v as usize) {
+                    if !visited[u] {
+                        visited[u] = true;
+                        parent[u] = v;
+                        parent_weight[u] = w;
+                        stack.push(u as u32);
+                    }
+                }
+            }
+        }
+        let mut f = RootedForest {
+            parent,
+            parent_weight,
+            roots: root_of,
+            preorder,
+            subtree_size: vec![1; n],
+            children_ptr: Vec::new(),
+            children: Vec::new(),
+        };
+        f.rebuild_derived();
+        Some(f)
+    }
+
+    /// Builds from an explicit parent array (`NO_PARENT` marks roots) and
+    /// parent-edge weights (ignored for roots).
+    pub fn from_parents(parent: Vec<u32>, parent_weight: Vec<f64>) -> Self {
+        let n = parent.len();
+        assert_eq!(parent_weight.len(), n);
+        let roots: Vec<u32> = (0..n as u32)
+            .filter(|&v| parent[v as usize] == NO_PARENT)
+            .collect();
+        assert!(
+            !roots.is_empty() || n == 0,
+            "forest must have a root (parent array contains a cycle)"
+        );
+        // Compute preorder by DFS over children lists.
+        let mut child_count = vec![0usize; n + 1];
+        for v in 0..n {
+            if parent[v] != NO_PARENT {
+                child_count[parent[v] as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            child_count[i + 1] += child_count[i];
+        }
+        let children_ptr = child_count.clone();
+        let mut children = vec![0u32; children_ptr[n]];
+        let mut next = child_count;
+        for v in 0..n {
+            if parent[v] != NO_PARENT {
+                let p = parent[v] as usize;
+                children[next[p]] = v as u32;
+                next[p] += 1;
+            }
+        }
+        let mut preorder = Vec::with_capacity(n);
+        let mut stack: Vec<u32> = Vec::new();
+        let mut seen = vec![false; n];
+        for &r in &roots {
+            stack.push(r);
+            while let Some(v) = stack.pop() {
+                assert!(!seen[v as usize], "parent array contains a cycle");
+                seen[v as usize] = true;
+                preorder.push(v);
+                for &c in &children[children_ptr[v as usize]..children_ptr[v as usize + 1]] {
+                    stack.push(c);
+                }
+            }
+        }
+        assert_eq!(preorder.len(), n, "parent array contains a cycle");
+        let mut f = RootedForest {
+            parent,
+            parent_weight,
+            roots,
+            preorder,
+            subtree_size: vec![1; n],
+            children_ptr,
+            children,
+        };
+        f.recompute_sizes();
+        f
+    }
+
+    fn rebuild_derived(&mut self) {
+        let n = self.parent.len();
+        let mut child_count = vec![0usize; n + 1];
+        for v in 0..n {
+            if self.parent[v] != NO_PARENT {
+                child_count[self.parent[v] as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            child_count[i + 1] += child_count[i];
+        }
+        self.children_ptr = child_count.clone();
+        self.children = vec![0u32; self.children_ptr[n]];
+        let mut next = child_count;
+        for v in 0..n {
+            if self.parent[v] != NO_PARENT {
+                let p = self.parent[v] as usize;
+                self.children[next[p]] = v as u32;
+                next[p] += 1;
+            }
+        }
+        self.recompute_sizes();
+    }
+
+    fn recompute_sizes(&mut self) {
+        let n = self.parent.len();
+        self.subtree_size = vec![1; n];
+        // Reverse preorder accumulates child sizes into parents.
+        for i in (0..self.preorder.len()).rev() {
+            let v = self.preorder[i] as usize;
+            if self.parent[v] != NO_PARENT {
+                self.subtree_size[self.parent[v] as usize] += self.subtree_size[v];
+            }
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `v` (`NO_PARENT` for roots).
+    pub fn parent(&self, v: usize) -> Option<usize> {
+        let p = self.parent[v];
+        (p != NO_PARENT).then_some(p as usize)
+    }
+
+    /// Weight of the edge to the parent (0 for roots).
+    pub fn parent_weight(&self, v: usize) -> f64 {
+        self.parent_weight[v]
+    }
+
+    /// Roots, one per component.
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Children of `v`.
+    pub fn children(&self, v: usize) -> &[u32] {
+        &self.children[self.children_ptr[v]..self.children_ptr[v + 1]]
+    }
+
+    /// True if `v` has no children.
+    pub fn is_leaf(&self, v: usize) -> bool {
+        self.children(v).is_empty()
+    }
+
+    /// Preorder traversal (roots first, parents before children).
+    pub fn preorder(&self) -> &[u32] {
+        &self.preorder
+    }
+
+    /// Number of vertices in the subtree of `v`, including `v` — the
+    /// `|descendants(v)|` of the 3-critical definition.
+    pub fn subtree_size(&self, v: usize) -> usize {
+        self.subtree_size[v] as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_forest() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        let f = RootedForest::from_graph(&g).unwrap();
+        assert_eq!(f.roots(), &[0]);
+        assert_eq!(f.parent(0), None);
+        assert_eq!(f.parent(1), Some(0));
+        assert_eq!(f.parent_weight(3), 3.0);
+        assert_eq!(f.subtree_size(0), 4);
+        assert_eq!(f.subtree_size(2), 2);
+        assert!(f.is_leaf(3));
+        assert_eq!(f.children(1), &[2]);
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        assert!(RootedForest::from_graph(&g).is_none());
+    }
+
+    #[test]
+    fn two_components() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (2, 3, 1.0), (3, 4, 1.0)]);
+        let f = RootedForest::from_graph(&g).unwrap();
+        assert_eq!(f.roots().len(), 2);
+        assert_eq!(f.subtree_size(2), 3);
+        assert_eq!(f.preorder().len(), 5);
+    }
+
+    #[test]
+    fn from_parents_roundtrip() {
+        // Star rooted at 0.
+        let parent = vec![NO_PARENT, 0, 0, 0];
+        let weights = vec![0.0, 1.0, 2.0, 3.0];
+        let f = RootedForest::from_parents(parent, weights);
+        assert_eq!(f.subtree_size(0), 4);
+        assert_eq!(f.children(0).len(), 3);
+        assert_eq!(f.parent_weight(2), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn from_parents_rejects_cycle() {
+        let parent = vec![1, 0u32];
+        let weights = vec![1.0, 1.0];
+        RootedForest::from_parents(parent, weights);
+    }
+
+    #[test]
+    fn preorder_parents_first() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (1, 4, 1.0)]);
+        let f = RootedForest::from_graph(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (i, &v) in f.preorder().iter().enumerate() {
+                p[v as usize] = i;
+            }
+            p
+        };
+        for v in 0..5 {
+            if let Some(parent) = f.parent(v) {
+                assert!(pos[parent] < pos[v]);
+            }
+        }
+    }
+}

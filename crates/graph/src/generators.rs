@@ -1,0 +1,531 @@
+//! Graph families for tests and for the paper's experiments.
+//!
+//! Includes the workloads the evaluation needs: regular 2D/3D grids
+//! (Sections 3.1–3.2), planar triangulated meshes (Theorem 2.2), tree
+//! families (Theorem 2.1), bounded-degree random graphs (Section 3.1), and
+//! the synthetic stand-in for the paper's 3D optical-coherence-tomography
+//! scans — a 3D grid whose weights combine a smooth global lognormal field
+//! with per-edge multiplicative noise ([`oct_like_grid3d`]).
+
+use crate::graph::{Graph, GraphBuilder};
+use rand::{Rng, SeedableRng};
+
+/// Path `0 − 1 − ⋯ − (n−1)`; `w(i)` weights edge `(i, i+1)`.
+pub fn path(n: usize, w: impl Fn(usize) -> f64) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for i in 0..n.saturating_sub(1) {
+        b.add_edge(i, i + 1, w(i));
+    }
+    b.build()
+}
+
+/// Cycle on `n ≥ 3` vertices; `w(i)` weights edge `(i, (i+1) mod n)`.
+pub fn cycle(n: usize, w: impl Fn(usize) -> f64) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for i in 0..n {
+        b.add_edge(i, (i + 1) % n, w(i));
+    }
+    b.build()
+}
+
+/// Star with center `0` and leaves `1..n`; `w(i)` weights edge `(0, i)`.
+pub fn star(n: usize, w: impl Fn(usize) -> f64) -> Graph {
+    assert!(n >= 2, "star needs at least 2 vertices");
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for i in 1..n {
+        b.add_edge(0, i, w(i));
+    }
+    b.build()
+}
+
+/// Complete graph `K_n` with uniform weight.
+pub fn complete(n: usize, w: f64) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            b.add_edge(i, j, w);
+        }
+    }
+    b.build()
+}
+
+/// Caterpillar: spine path of `spine` vertices, each carrying `legs`
+/// pendant leaves. `w(u, v)` weights edge `(u, v)` by final vertex ids
+/// (spine first, then leaves grouped by spine vertex).
+pub fn caterpillar(spine: usize, legs: usize, w: impl Fn(usize, usize) -> f64) -> Graph {
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for i in 0..spine.saturating_sub(1) {
+        b.add_edge(i, i + 1, w(i, i + 1));
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            let leaf = spine + s * legs + l;
+            b.add_edge(s, leaf, w(s, leaf));
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree of the given `depth` (`2^{depth+1} − 1` vertices,
+/// root 0, children of `v` are `2v+1`, `2v+2`); `w(parent, child)` weights.
+pub fn balanced_binary(depth: u32, w: impl Fn(usize, usize) -> f64) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for v in 0..n {
+        for c in [2 * v + 1, 2 * v + 2] {
+            if c < n {
+                b.add_edge(v, c, w(v, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random recursive tree: vertex `i ≥ 1` attaches to a uniformly random
+/// earlier vertex; weights log-uniform in `[w_min, w_max]`.
+pub fn random_tree(n: usize, seed: u64, w_min: f64, w_max: f64) -> Graph {
+    assert!(n >= 1 && w_min > 0.0 && w_max >= w_min);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let (lo, hi) = (w_min.ln(), w_max.ln());
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    for i in 1..n {
+        let p = rng.random_range(0..i);
+        let w = if hi > lo {
+            rng.random_range(lo..hi).exp()
+        } else {
+            w_min
+        };
+        b.add_edge(p, i, w);
+    }
+    b.build()
+}
+
+/// 2D grid `nx × ny` with 4-neighborhood; `w(u, v)` weights edge `(u, v)`
+/// by linear index `x·ny + y`.
+pub fn grid2d(nx: usize, ny: usize, w: impl Fn(usize, usize) -> f64) -> Graph {
+    let idx = |x: usize, y: usize| x * ny + y;
+    let mut b = GraphBuilder::with_capacity(nx * ny, 2 * nx * ny);
+    for x in 0..nx {
+        for y in 0..ny {
+            let u = idx(x, y);
+            if x + 1 < nx {
+                b.add_edge(u, idx(x + 1, y), w(u, idx(x + 1, y)));
+            }
+            if y + 1 < ny {
+                b.add_edge(u, idx(x, y + 1), w(u, idx(x, y + 1)));
+            }
+        }
+    }
+    b.build()
+}
+
+/// 3D grid `nx × ny × nz` with 6-neighborhood; `w(u, v, axis)` weights the
+/// edge along `axis ∈ {0,1,2}`, linear index `x·ny·nz + y·nz + z`.
+pub fn grid3d(nx: usize, ny: usize, nz: usize, w: impl Fn(usize, usize, usize) -> f64) -> Graph {
+    let idx = |x: usize, y: usize, z: usize| (x * ny + y) * nz + z;
+    let mut b = GraphBuilder::with_capacity(nx * ny * nz, 3 * nx * ny * nz);
+    for x in 0..nx {
+        for y in 0..ny {
+            for z in 0..nz {
+                let u = idx(x, y, z);
+                if x + 1 < nx {
+                    let v = idx(x + 1, y, z);
+                    b.add_edge(u, v, w(u, v, 0));
+                }
+                if y + 1 < ny {
+                    let v = idx(x, y + 1, z);
+                    b.add_edge(u, v, w(u, v, 1));
+                }
+                if z + 1 < nz {
+                    let v = idx(x, y, z + 1);
+                    b.add_edge(u, v, w(u, v, 2));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// 2D torus (grid with wraparound; 4-regular).
+pub fn torus2d(nx: usize, ny: usize, w: impl Fn(usize, usize) -> f64) -> Graph {
+    assert!(nx >= 3 && ny >= 3, "torus needs sides >= 3");
+    let idx = |x: usize, y: usize| x * ny + y;
+    let mut b = GraphBuilder::with_capacity(nx * ny, 2 * nx * ny);
+    for x in 0..nx {
+        for y in 0..ny {
+            let u = idx(x, y);
+            let r = idx((x + 1) % nx, y);
+            let d = idx(x, (y + 1) % ny);
+            b.add_edge(u, r, w(u, r));
+            b.add_edge(u, d, w(u, d));
+        }
+    }
+    b.build()
+}
+
+/// Planar triangulated mesh: `nx × ny` grid plus one random diagonal per
+/// unit cell. Weights uniform in `(0.5, 1.5)`; deterministic in `seed`.
+pub fn triangulated_grid(nx: usize, ny: usize, seed: u64) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let idx = |x: usize, y: usize| x * ny + y;
+    let mut b = GraphBuilder::with_capacity(nx * ny, 3 * nx * ny);
+    let wt = |rng: &mut rand::rngs::StdRng| rng.random_range(0.5..1.5);
+    for x in 0..nx {
+        for y in 0..ny {
+            let u = idx(x, y);
+            if x + 1 < nx {
+                let w = wt(&mut rng);
+                b.add_edge(u, idx(x + 1, y), w);
+            }
+            if y + 1 < ny {
+                let w = wt(&mut rng);
+                b.add_edge(u, idx(x, y + 1), w);
+            }
+            if x + 1 < nx && y + 1 < ny {
+                let w = wt(&mut rng);
+                if rng.random::<bool>() {
+                    b.add_edge(u, idx(x + 1, y + 1), w);
+                } else {
+                    b.add_edge(idx(x + 1, y), idx(x, y + 1), w);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random `d`-regular-ish multigraph by the pairing model, with parallel
+/// edges merged and self-loops dropped (so degrees are ≤ d, close to d).
+/// Requires `n·d` even.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!(d < n, "degree must be below n");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut stubs: Vec<u32> = (0..n as u32)
+        .flat_map(|v| std::iter::repeat(v).take(d))
+        .collect();
+    // Fisher-Yates shuffle, pair consecutive stubs.
+    for i in (1..stubs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        stubs.swap(i, j);
+    }
+    let mut b = GraphBuilder::with_capacity(n, n * d / 2);
+    for pair in stubs.chunks(2) {
+        let (u, v) = (pair[0] as usize, pair[1] as usize);
+        if u != v {
+            b.add_edge(u, v, 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` earlier vertices chosen proportionally to degree. Produces the
+/// heavy-tailed degree distributions of web/social graphs (the paper's
+/// opening application domain). Unit weights; deterministic in `seed`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m);
+    // Endpoint pool: each edge contributes both endpoints, so sampling
+    // uniformly from the pool is degree-proportional sampling.
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * n * m);
+    // Seed clique on m+1 vertices.
+    for i in 0..=m {
+        for j in (i + 1)..=m {
+            b.add_edge(i, j, 1.0);
+            pool.push(i as u32);
+            pool.push(j as u32);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets = std::collections::HashSet::new();
+        while targets.len() < m {
+            let t = pool[rng.random_range(0..pool.len())];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            b.add_edge(v, t as usize, 1.0);
+            pool.push(v as u32);
+            pool.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per side,
+/// each edge rewired with probability `beta`. Unit weights.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k >= 1 && n > 2 * k, "need n > 2k");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    for v in 0..n {
+        for d in 1..=k {
+            let mut u = (v + d) % n;
+            if rng.random::<f64>() < beta {
+                // Rewire to a uniform non-self target; collisions merge.
+                u = rng.random_range(0..n);
+                if u == v {
+                    u = (v + d) % n;
+                }
+            }
+            b.add_edge(v, u, 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Erdős–Rényi `G(n, p)` with unit weights.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random::<f64>() < p {
+                b.add_edge(i, j, 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Parameters for [`oct_like_grid3d`].
+#[derive(Debug, Clone, Copy)]
+pub struct OctParams {
+    /// Standard deviation of the log of the smooth global field
+    /// (orders-of-magnitude variation across the volume).
+    pub global_sigma: f64,
+    /// Standard deviation of the per-edge log-noise (local variation).
+    pub noise_sigma: f64,
+    /// Number of low-frequency cosine modes composing the smooth field.
+    pub modes: usize,
+}
+
+impl Default for OctParams {
+    fn default() -> Self {
+        OctParams {
+            global_sigma: 2.0,
+            noise_sigma: 0.5,
+            modes: 6,
+        }
+    }
+}
+
+/// Synthetic stand-in for the paper's 3D optical-coherence-tomography
+/// (OCT) scan Laplacians (Section 3.2): a 3D grid whose edge weights are
+/// `exp(global_sigma · F(midpoint)) · exp(noise_sigma · ξ_e)` where `F` is
+/// a smooth random low-frequency field normalized to unit variance and
+/// `ξ_e` is i.i.d. standard normal — "large edge weight variations both at
+/// a global and a local scale (due to noise)".
+pub fn oct_like_grid3d(nx: usize, ny: usize, nz: usize, seed: u64, params: OctParams) -> Graph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Random low-frequency cosine modes.
+    let modes: Vec<([f64; 3], f64)> = (0..params.modes)
+        .map(|_| {
+            let k = [
+                rng.random_range(0.5..2.5) * std::f64::consts::PI,
+                rng.random_range(0.5..2.5) * std::f64::consts::PI,
+                rng.random_range(0.5..2.5) * std::f64::consts::PI,
+            ];
+            let phase = rng.random_range(0.0..std::f64::consts::TAU);
+            (k, phase)
+        })
+        .collect();
+    // Unit-variance normalization: sum of M cosines has variance M/2.
+    let norm = (params.modes as f64 / 2.0).sqrt();
+    let field = |x: f64, y: f64, z: f64| -> f64 {
+        modes
+            .iter()
+            .map(|([kx, ky, kz], p)| (kx * x + ky * y + kz * z + p).cos())
+            .sum::<f64>()
+            / norm
+    };
+    let mut gauss = {
+        // Box–Muller on the same rng stream.
+        let mut spare: Option<f64> = None;
+        move |rng: &mut rand::rngs::StdRng| -> f64 {
+            if let Some(s) = spare.take() {
+                return s;
+            }
+            let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let u2: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+            let r = (-2.0 * u1.ln()).sqrt();
+            spare = Some(r * u2.sin());
+            r * u2.cos()
+        }
+    };
+    let fx = |i: usize, n: usize| i as f64 / n.max(1) as f64;
+    let idx = |x: usize, y: usize, z: usize| (x * ny + y) * nz + z;
+    let mut b = GraphBuilder::with_capacity(nx * ny * nz, 3 * nx * ny * nz);
+    let mut add = |b: &mut GraphBuilder,
+                   rng: &mut rand::rngs::StdRng,
+                   u: usize,
+                   v: usize,
+                   mx: f64,
+                   my: f64,
+                   mz: f64| {
+        let g = params.global_sigma * field(mx, my, mz);
+        let noise = params.noise_sigma * gauss(rng);
+        b.add_edge(u, v, (g + noise).exp());
+    };
+    for x in 0..nx {
+        for y in 0..ny {
+            for z in 0..nz {
+                let u = idx(x, y, z);
+                let (cx, cy, cz) = (fx(x, nx), fx(y, ny), fx(z, nz));
+                if x + 1 < nx {
+                    add(
+                        &mut b,
+                        &mut rng,
+                        u,
+                        idx(x + 1, y, z),
+                        cx + 0.5 / nx as f64,
+                        cy,
+                        cz,
+                    );
+                }
+                if y + 1 < ny {
+                    add(
+                        &mut b,
+                        &mut rng,
+                        u,
+                        idx(x, y + 1, z),
+                        cx,
+                        cy + 0.5 / ny as f64,
+                        cz,
+                    );
+                }
+                if z + 1 < nz {
+                    add(
+                        &mut b,
+                        &mut rng,
+                        u,
+                        idx(x, y, z + 1),
+                        cx,
+                        cy,
+                        cz + 0.5 / nz as f64,
+                    );
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn family_sizes() {
+        assert_eq!(path(5, |_| 1.0).num_edges(), 4);
+        assert_eq!(cycle(5, |_| 1.0).num_edges(), 5);
+        assert_eq!(star(5, |_| 1.0).num_edges(), 4);
+        assert_eq!(complete(5, 1.0).num_edges(), 10);
+        assert_eq!(grid2d(3, 4, |_, _| 1.0).num_edges(), 3 * 3 + 4 * 2);
+        assert_eq!(torus2d(3, 3, |_, _| 1.0).num_edges(), 18);
+        let g3 = grid3d(2, 2, 2, |_, _, _| 1.0);
+        assert_eq!(g3.num_vertices(), 8);
+        assert_eq!(g3.num_edges(), 12);
+        assert_eq!(balanced_binary(3, |_, _| 1.0).num_vertices(), 15);
+        let cat = caterpillar(3, 2, |_, _| 1.0);
+        assert_eq!(cat.num_vertices(), 9);
+        assert_eq!(cat.num_edges(), 8);
+    }
+
+    #[test]
+    fn trees_are_trees() {
+        for seed in 0..5 {
+            let t = random_tree(50, seed, 0.1, 10.0);
+            assert_eq!(t.num_edges(), 49);
+            assert!(is_connected(&t));
+        }
+        let b = balanced_binary(4, |_, _| 1.0);
+        assert_eq!(b.num_edges(), b.num_vertices() - 1);
+        assert!(is_connected(&b));
+    }
+
+    #[test]
+    fn grids_connected() {
+        assert!(is_connected(&grid2d(4, 7, |_, _| 1.0)));
+        assert!(is_connected(&grid3d(3, 3, 3, |_, _, _| 1.0)));
+        assert!(is_connected(&triangulated_grid(5, 5, 3)));
+    }
+
+    #[test]
+    fn triangulated_grid_is_planarish() {
+        // Planar graphs have m <= 3n - 6.
+        let g = triangulated_grid(6, 6, 1);
+        let (n, m) = (g.num_vertices(), g.num_edges());
+        assert!(m <= 3 * n - 6);
+        // It has strictly more edges than the plain grid.
+        assert!(m > 2 * 5 * 6);
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let g = random_regular(40, 4, 9);
+        assert!(g.max_degree() <= 4);
+        let avg: f64 = (0..40).map(|v| g.degree(v) as f64).sum::<f64>() / 40.0;
+        assert!(avg > 3.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn erdos_renyi_density() {
+        let g = erdos_renyi(50, 0.2, 4);
+        let expected = 0.2 * (50.0 * 49.0 / 2.0);
+        let m = g.num_edges() as f64;
+        assert!(
+            m > 0.5 * expected && m < 1.5 * expected,
+            "{m} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn barabasi_albert_shape() {
+        let g = barabasi_albert(200, 3, 5);
+        assert!(is_connected(&g));
+        // Heavy tail: max degree well above the minimum attachment count.
+        assert!(g.max_degree() >= 10, "max degree {}", g.max_degree());
+        // Each non-seed vertex attached with m distinct edges.
+        assert!(g.num_edges() >= 3 * (200 - 4));
+    }
+
+    #[test]
+    fn watts_strogatz_shape() {
+        let g = watts_strogatz(100, 2, 0.1, 7);
+        assert!(is_connected(&g));
+        // Near-lattice average degree ~2k.
+        let avg = 2.0 * g.num_edges() as f64 / 100.0;
+        assert!(avg > 3.0 && avg <= 4.0, "avg degree {avg}");
+        // beta = 0 is the exact ring lattice.
+        let lattice = watts_strogatz(50, 2, 0.0, 1);
+        assert_eq!(lattice.num_edges(), 100);
+        assert!(lattice.has_edge(0, 1) && lattice.has_edge(0, 2));
+    }
+
+    #[test]
+    fn oct_grid_weight_variation() {
+        let g = oct_like_grid3d(8, 8, 8, 11, OctParams::default());
+        assert!(is_connected(&g));
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for e in g.edges() {
+            lo = lo.min(e.w);
+            hi = hi.max(e.w);
+        }
+        // Orders of magnitude of variation, as the paper describes.
+        assert!(hi / lo > 100.0, "dynamic range {}", hi / lo);
+    }
+
+    #[test]
+    fn oct_grid_deterministic() {
+        let a = oct_like_grid3d(4, 4, 4, 5, OctParams::default());
+        let b = oct_like_grid3d(4, 4, 4, 5, OctParams::default());
+        for (ea, eb) in a.edges().iter().zip(b.edges()) {
+            assert_eq!(ea.w, eb.w);
+        }
+    }
+}

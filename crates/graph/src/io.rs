@@ -1,0 +1,336 @@
+//! Plain-text graph I/O.
+//!
+//! Two formats: a simple native edge-list (`n m` header then `u v w` lines)
+//! and MatrixMarket coordinate export of the Laplacian for interop with
+//! external solvers.
+
+use crate::graph::{Graph, GraphBuilder};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Writes the native edge-list format.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "{} {}", g.num_vertices(), g.num_edges()).unwrap();
+    for e in g.edges() {
+        writeln!(buf, "{} {} {}", e.u, e.v, e.w).unwrap();
+    }
+    w.write_all(buf.as_bytes())
+}
+
+/// Reads the native edge-list format.
+pub fn read_edge_list<R: Read>(r: R) -> std::io::Result<Graph> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "empty input"))??;
+    let mut parts = header.split_whitespace();
+    let parse_err = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let n: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad vertex count"))?;
+    let m: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad edge count"))?;
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad edge line"))?;
+        let v: usize = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err("bad edge line"))?;
+        let w: f64 = it
+            .next()
+            .map(|s| s.parse())
+            .transpose()
+            .map_err(|_| parse_err("bad weight"))?
+            .unwrap_or(1.0);
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+/// Writes the graph in METIS format: header `n m [fmt]` then one line per
+/// vertex listing `neighbor weight` pairs (1-indexed, weights as integers
+/// scaled by `weight_scale` — METIS requires integral weights).
+pub fn write_metis<W: Write>(g: &Graph, weight_scale: f64, mut w: W) -> std::io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "{} {} 001", g.num_vertices(), g.num_edges()).unwrap();
+    for v in 0..g.num_vertices() {
+        let parts: Vec<String> = g
+            .neighbors(v)
+            .map(|(u, wt, _)| format!("{} {}", u + 1, ((wt * weight_scale).round() as i64).max(1)))
+            .collect();
+        writeln!(buf, "{}", parts.join(" ")).unwrap();
+    }
+    w.write_all(buf.as_bytes())
+}
+
+/// Reads a METIS graph file with edge weights (`fmt` containing the edge
+/// weight flag) or without. Weights are divided by `weight_scale`.
+pub fn read_metis<R: Read>(r: R, weight_scale: f64) -> std::io::Result<Graph> {
+    let reader = BufReader::new(r);
+    let parse_err = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let mut lines = reader
+        .lines()
+        .collect::<std::io::Result<Vec<String>>>()?
+        .into_iter()
+        .filter(|l| !l.trim_start().starts_with('%'));
+    let header = lines.next().ok_or_else(|| parse_err("empty metis file"))?;
+    let mut hp = header.split_whitespace();
+    let n: usize = hp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad vertex count"))?;
+    let m: usize = hp
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| parse_err("bad edge count"))?;
+    let fmt = hp.next().unwrap_or("0");
+    let has_edge_weights = fmt.ends_with('1');
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for (v, line) in lines.enumerate() {
+        if v >= n {
+            break;
+        }
+        let mut it = line.split_whitespace();
+        loop {
+            let Some(tok) = it.next() else { break };
+            let u: usize = tok.parse().map_err(|_| parse_err("bad neighbor"))?;
+            let w = if has_edge_weights {
+                let raw: f64 = it
+                    .next()
+                    .ok_or_else(|| parse_err("missing edge weight"))?
+                    .parse()
+                    .map_err(|_| parse_err("bad edge weight"))?;
+                raw / weight_scale
+            } else {
+                1.0
+            };
+            // Each edge appears twice; add from the lower endpoint only.
+            if u >= 1 && u - 1 > v {
+                b.add_edge(v, u - 1, w);
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Writes the graph in DIMACS edge format (`p edge n m` header, one
+/// `e u v w` line per edge, 1-indexed).
+pub fn write_dimacs<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    let mut buf = String::new();
+    writeln!(buf, "c generated by hicond").unwrap();
+    writeln!(buf, "p edge {} {}", g.num_vertices(), g.num_edges()).unwrap();
+    for e in g.edges() {
+        writeln!(buf, "e {} {} {}", e.u + 1, e.v + 1, e.w).unwrap();
+    }
+    w.write_all(buf.as_bytes())
+}
+
+/// Reads DIMACS edge format (`c` comments, `p edge n m`, `e u v [w]`).
+pub fn read_dimacs<R: Read>(r: R) -> std::io::Result<Graph> {
+    let reader = BufReader::new(r);
+    let parse_err = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+    let mut builder: Option<GraphBuilder> = None;
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("p ") {
+            let mut it = rest.split_whitespace();
+            let kind = it.next().unwrap_or("");
+            if kind != "edge" && kind != "sp" {
+                return Err(parse_err("unsupported DIMACS problem type"));
+            }
+            let n: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err("bad vertex count"))?;
+            let m: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err("bad edge count"))?;
+            builder = Some(GraphBuilder::with_capacity(n, m));
+        } else if let Some(rest) = t.strip_prefix("e ").or_else(|| t.strip_prefix("a ")) {
+            let b = builder
+                .as_mut()
+                .ok_or_else(|| parse_err("edge before problem line"))?;
+            let mut it = rest.split_whitespace();
+            let u: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err("bad edge endpoint"))?;
+            let v: usize = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse_err("bad edge endpoint"))?;
+            let w: f64 = it
+                .next()
+                .map(|s| s.parse())
+                .transpose()
+                .map_err(|_| parse_err("bad edge weight"))?
+                .unwrap_or(1.0);
+            if u == 0 || v == 0 {
+                return Err(parse_err("DIMACS vertices are 1-indexed"));
+            }
+            if u != v {
+                b.add_edge(u - 1, v - 1, w);
+            }
+        }
+    }
+    builder
+        .map(GraphBuilder::build)
+        .ok_or_else(|| parse_err("missing problem line"))
+}
+
+/// Writes the graph Laplacian in MatrixMarket coordinate format
+/// (symmetric, lower triangle).
+pub fn write_laplacian_matrix_market<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
+    let n = g.num_vertices();
+    let mut buf = String::new();
+    writeln!(buf, "%%MatrixMarket matrix coordinate real symmetric").unwrap();
+    writeln!(buf, "% graph Laplacian exported by hicond").unwrap();
+    // Entries: n diagonals + m lower-triangle off-diagonals.
+    writeln!(buf, "{} {} {}", n, n, n + g.num_edges()).unwrap();
+    for v in 0..n {
+        writeln!(buf, "{} {} {}", v + 1, v + 1, g.vol(v)).unwrap();
+    }
+    for e in g.edges() {
+        // MatrixMarket symmetric stores the lower triangle: row >= col.
+        writeln!(buf, "{} {} {}", e.v + 1, e.u + 1, -e.w).unwrap();
+    }
+    w.write_all(buf.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = generators::triangulated_grid(4, 4, 2);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let h = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g.num_vertices(), h.num_vertices());
+        assert_eq!(g.num_edges(), h.num_edges());
+        for (e, f) in g.edges().iter().zip(h.edges()) {
+            assert_eq!(e.u, f.u);
+            assert_eq!(e.v, f.v);
+            assert!((e.w - f.w).abs() < 1e-12 * e.w.max(1.0));
+        }
+    }
+
+    #[test]
+    fn read_tolerates_comments_and_default_weight() {
+        let text = "3 2\n# comment\n0 1\n1 2 5.0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), 1.0);
+        assert_eq!(g.edge_weight(1, 2), 5.0);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        assert!(read_edge_list("".as_bytes()).is_err());
+        assert!(read_edge_list("x y\n".as_bytes()).is_err());
+        assert!(read_edge_list("2 1\n0 banana\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metis_roundtrip() {
+        let g = generators::triangulated_grid(5, 5, 4);
+        let scale = 1000.0;
+        let mut buf = Vec::new();
+        write_metis(&g, scale, &mut buf).unwrap();
+        let h = read_metis(&buf[..], scale).unwrap();
+        assert_eq!(h.num_vertices(), g.num_vertices());
+        assert_eq!(h.num_edges(), g.num_edges());
+        for (e, f) in g.edges().iter().zip(h.edges()) {
+            assert_eq!(e.u, f.u);
+            assert_eq!(e.v, f.v);
+            // Weights quantized to 1/scale.
+            assert!(
+                (e.w - f.w).abs() <= 1.0 / scale + 1e-12,
+                "{} vs {}",
+                e.w,
+                f.w
+            );
+        }
+    }
+
+    #[test]
+    fn metis_unweighted_read() {
+        let text = "3 2 0\n2 3\n1\n1\n";
+        let g = read_metis(text.as_bytes(), 1.0).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), 1.0);
+        assert_eq!(g.edge_weight(0, 2), 1.0);
+    }
+
+    #[test]
+    fn dimacs_roundtrip() {
+        let g = generators::triangulated_grid(4, 5, 9);
+        let mut buf = Vec::new();
+        write_dimacs(&g, &mut buf).unwrap();
+        let h = read_dimacs(&buf[..]).unwrap();
+        assert_eq!(h.num_vertices(), g.num_vertices());
+        assert_eq!(h.num_edges(), g.num_edges());
+        for (e, f) in g.edges().iter().zip(h.edges()) {
+            assert_eq!((e.u, e.v), (f.u, f.v));
+            assert!((e.w - f.w).abs() < 1e-12 * e.w.max(1.0));
+        }
+    }
+
+    #[test]
+    fn dimacs_comments_and_default_weight() {
+        let text = "c hello\np edge 3 2\ne 1 2\ne 2 3 4.5\n";
+        let g = read_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_weight(0, 1), 1.0);
+        assert_eq!(g.edge_weight(1, 2), 4.5);
+    }
+
+    #[test]
+    fn dimacs_rejects_bad_input() {
+        assert!(read_dimacs("e 1 2\n".as_bytes()).is_err());
+        assert!(read_dimacs("p edge 2 1\ne 0 1\n".as_bytes()).is_err());
+        assert!(read_dimacs("p matching 2 1\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metis_rejects_garbage() {
+        assert!(read_metis("".as_bytes(), 1.0).is_err());
+        assert!(read_metis("x\n".as_bytes(), 1.0).is_err());
+    }
+
+    #[test]
+    fn matrix_market_header_and_counts() {
+        let g = generators::path(3, |_| 2.0);
+        let mut buf = Vec::new();
+        write_laplacian_matrix_market(&g, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert!(lines.next().unwrap().starts_with("%%MatrixMarket"));
+        let header = lines.find(|l| !l.starts_with('%')).unwrap();
+        assert_eq!(header, "3 3 5");
+        // Entry count matches declared.
+        let entries = text.lines().filter(|l| !l.starts_with('%')).skip(1).count();
+        assert_eq!(entries, 5);
+    }
+}

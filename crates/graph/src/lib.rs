@@ -1,0 +1,38 @@
+//! Weighted-graph substrate for the `hicond` workspace.
+//!
+//! Everything in the paper is phrased over weighted undirected graphs
+//! `G = (V, E, w)`: volumes, cuts, conductance (Section 2), closure graphs
+//! `Gᵒ` of clusters, quotient graphs over partitions (Definition 3.1), and
+//! a zoo of generator families for the experiments (grids, trees, planar
+//! meshes, and the OCT-scan-like weighted 3D grids of Section 3.2).
+//!
+//! The central type is [`Graph`], a CSR adjacency structure over `f64`
+//! weights that also keeps the unique undirected edge list, so edge-centric
+//! algorithms (MST, Section 3.1's heaviest-incident-edge forest) and
+//! vertex-centric algorithms (clustering, matvecs) both run without
+//! conversions.
+
+pub mod closure;
+pub mod connectivity;
+pub mod forest;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod laplacian;
+pub mod measures;
+pub mod partition;
+pub mod perturb;
+pub mod unionfind;
+
+pub use closure::{closure_graph, ClusterQuality};
+pub use connectivity::{bfs_order, connected_components, is_connected};
+pub use forest::RootedForest;
+pub use graph::{Edge, Graph, GraphBuilder};
+pub use laplacian::{laplacian, normalized_laplacian_scaling};
+pub use measures::{
+    conductance_estimate, cut_capacity, cut_sparsity, exact_conductance, fiedler_sweep_cut,
+    ConductanceEstimate,
+};
+pub use partition::Partition;
+pub use perturb::perturb_weights;
+pub use unionfind::UnionFind;

@@ -1,0 +1,329 @@
+//! Cuts, sparsity, and conductance (paper Section 2).
+//!
+//! The paper's quantities: for a cut `(V', V−V')` the *sparsity* is
+//! `cap(V', V−V') / min(vol(V'), vol(V−V'))`, and the *conductance* of a
+//! graph is the minimum sparsity over all cuts. Exact conductance is
+//! NP-hard in general, but the clusters produced by \[φ,ρ\] decompositions
+//! are small, so the workspace relies on:
+//!
+//! * **exact subset enumeration** for graphs up to ~25 vertices
+//!   ([`exact_conductance`]),
+//! * **Cheeger sandwiches** `λ₂/2 ≤ φ ≤ √(2·λ₂)` of the normalized
+//!   Laplacian plus a Fiedler sweep-cut upper bound for larger graphs
+//!   ([`conductance_estimate`]).
+
+use crate::graph::Graph;
+use crate::laplacian::{laplacian, normalized_laplacian_scaling};
+use hicond_linalg::dense::jacobi_eigen;
+use hicond_linalg::lanczos::{lanczos_extreme, LanczosOptions, SpectrumEnd};
+use hicond_linalg::ops::DiagonalCongruence;
+
+/// Total weight crossing the cut given by the indicator `in_set`.
+pub fn cut_capacity(g: &Graph, in_set: &[bool]) -> f64 {
+    assert_eq!(in_set.len(), g.num_vertices());
+    g.edges()
+        .iter()
+        .filter(|e| in_set[e.u as usize] != in_set[e.v as usize])
+        .map(|e| e.w)
+        .sum()
+}
+
+/// Sparsity `cap / min(vol(S), vol(V∖S))` of the cut; `f64::INFINITY` when
+/// either side has zero volume.
+pub fn cut_sparsity(g: &Graph, in_set: &[bool]) -> f64 {
+    let cap = cut_capacity(g, in_set);
+    let vol_in: f64 = (0..g.num_vertices())
+        .filter(|&v| in_set[v])
+        .map(|v| g.vol(v))
+        .sum();
+    let vol_out = g.total_volume() - vol_in;
+    let denom = vol_in.min(vol_out);
+    if denom <= 0.0 {
+        f64::INFINITY
+    } else {
+        cap / denom
+    }
+}
+
+/// Exact conductance by enumerating all `2^{n−1} − 1` proper cuts.
+///
+/// Returns 0 for disconnected graphs (an empty cut exists) and
+/// `f64::INFINITY` for graphs with fewer than 2 vertices. Intended for the
+/// small closure graphs of clusters; panics above 25 vertices.
+pub fn exact_conductance(g: &Graph) -> f64 {
+    let n = g.num_vertices();
+    assert!(n <= 25, "exact_conductance: too many vertices ({n})");
+    if n < 2 {
+        return f64::INFINITY;
+    }
+    let mut best = f64::INFINITY;
+    let mut in_set = vec![false; n];
+    // Vertex n-1 stays out of S; enumerate subsets of the rest.
+    for mask in 1u32..(1 << (n - 1)) {
+        for (v, flag) in in_set.iter_mut().enumerate().take(n - 1) {
+            *flag = (mask >> v) & 1 == 1;
+        }
+        let s = cut_sparsity(g, &in_set);
+        if s < best {
+            best = s;
+        }
+    }
+    if best.is_infinite() {
+        // Every cut had a zero-volume side: graph has no edges.
+        0.0
+    } else {
+        best
+    }
+}
+
+/// Result of [`conductance_estimate`].
+#[derive(Debug, Clone, Copy)]
+pub struct ConductanceEstimate {
+    /// Certified lower bound on the conductance.
+    pub lower: f64,
+    /// Upper bound (an actual cut achieves it).
+    pub upper: f64,
+    /// Whether lower == upper == exact value.
+    pub exact: bool,
+}
+
+impl ConductanceEstimate {
+    /// Midpoint of the bracket (the exact value when `exact`).
+    pub fn point(&self) -> f64 {
+        if self.exact {
+            self.lower
+        } else {
+            0.5 * (self.lower + self.upper)
+        }
+    }
+}
+
+/// λ₂ of the normalized Laplacian (smallest nonzero eigenvalue), with the
+/// kernel `D^{1/2}·1_component` deflated. Dense Jacobi below `dense_limit`,
+/// Lanczos otherwise.
+fn normalized_lambda2(g: &Graph, dense_limit: usize) -> f64 {
+    let n = g.num_vertices();
+    let a = laplacian(g);
+    let (_, d_inv_sqrt, d_sqrt) = normalized_laplacian_scaling(g);
+    if n <= dense_limit {
+        let mut dense = a.to_dense();
+        for i in 0..n {
+            for j in 0..n {
+                dense[(i, j)] *= d_inv_sqrt[i] * d_inv_sqrt[j];
+            }
+        }
+        let (vals, _) = jacobi_eigen(&dense);
+        // First eigenvalue ≈ 0 (kernel); λ₂ is the next one.
+        vals.get(1).copied().unwrap_or(0.0).max(0.0)
+    } else {
+        let op = DiagonalCongruence::new(&a, &d_inv_sqrt);
+        let res = lanczos_extreme(
+            &op,
+            &LanczosOptions {
+                num_pairs: 1,
+                which: SpectrumEnd::Smallest,
+                deflate: vec![d_sqrt],
+                max_subspace: 120,
+                tol: 1e-7,
+                ..Default::default()
+            },
+        );
+        res.eigenvalues.first().copied().unwrap_or(0.0).max(0.0)
+    }
+}
+
+/// Sweep cut over the Fiedler direction: orders vertices by
+/// `x_i / sqrt(d_i)` and takes the best prefix cut — the constructive
+/// two-way partitioner behind Cheeger's inequality, and the "two-way
+/// algorithm" that the recursive (φ, γ_avg) decompositions of the paper's
+/// reference \[16\] iterate. Returns `(indicator, sparsity)` of the best
+/// prefix, or `None` for graphs where no Fiedler direction exists.
+pub fn fiedler_sweep_cut(g: &Graph) -> Option<(Vec<bool>, f64)> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return None;
+    }
+    let a = laplacian(g);
+    let (_, d_inv_sqrt, d_sqrt) = normalized_laplacian_scaling(g);
+    let op = DiagonalCongruence::new(&a, &d_inv_sqrt);
+    let res = lanczos_extreme(
+        &op,
+        &LanczosOptions {
+            num_pairs: 1,
+            which: SpectrumEnd::Smallest,
+            deflate: vec![d_sqrt],
+            max_subspace: 80,
+            tol: 1e-6,
+            ..Default::default()
+        },
+    );
+    let fiedler = res.eigenvectors.first()?;
+    let mut order: Vec<usize> = (0..n).collect();
+    let score: Vec<f64> = (0..n).map(|i| fiedler[i] * d_inv_sqrt[i]).collect();
+    order.sort_by(|&i, &j| score[i].partial_cmp(&score[j]).unwrap());
+    let mut in_set = vec![false; n];
+    let mut best = f64::INFINITY;
+    let mut best_prefix = 0usize;
+    // O(n · max_degree) incremental sweep.
+    let total = g.total_volume();
+    let mut vol_in = 0.0;
+    let mut cap = 0.0;
+    for (idx, &v) in order.iter().take(n - 1).enumerate() {
+        in_set[v] = true;
+        vol_in += g.vol(v);
+        for (u, w, _) in g.neighbors(v) {
+            if in_set[u] {
+                cap -= w;
+            } else {
+                cap += w;
+            }
+        }
+        let denom = vol_in.min(total - vol_in);
+        if denom > 0.0 && cap / denom < best {
+            best = cap / denom;
+            best_prefix = idx + 1;
+        }
+    }
+    if !best.is_finite() {
+        return None;
+    }
+    let mut indicator = vec![false; n];
+    for &v in order.iter().take(best_prefix) {
+        indicator[v] = true;
+    }
+    Some((indicator, best))
+}
+
+/// Best sweep-cut sparsity (upper bound on conductance).
+fn sweep_cut_upper(g: &Graph) -> f64 {
+    fiedler_sweep_cut(g)
+        .map(|(_, s)| s)
+        .unwrap_or(f64::INFINITY)
+}
+
+/// Bounds the conductance of `g`: exact below `max_exact` vertices,
+/// otherwise a Cheeger sandwich `[λ₂/2, min(√(2λ₂), sweep-cut)]`.
+pub fn conductance_estimate(g: &Graph, max_exact: usize) -> ConductanceEstimate {
+    let n = g.num_vertices();
+    if n < 2 {
+        return ConductanceEstimate {
+            lower: f64::INFINITY,
+            upper: f64::INFINITY,
+            exact: true,
+        };
+    }
+    if !crate::connectivity::is_connected(g) {
+        return ConductanceEstimate {
+            lower: 0.0,
+            upper: 0.0,
+            exact: true,
+        };
+    }
+    if n <= max_exact.min(25) {
+        let phi = exact_conductance(g);
+        return ConductanceEstimate {
+            lower: phi,
+            upper: phi,
+            exact: true,
+        };
+    }
+    let lam2 = normalized_lambda2(g, 300);
+    let lower = lam2 / 2.0;
+    let cheeger_upper = (2.0 * lam2).max(0.0).sqrt();
+    let sweep = sweep_cut_upper(g);
+    ConductanceEstimate {
+        lower,
+        upper: cheeger_upper.min(sweep),
+        exact: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cut_capacity_and_sparsity_path() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]);
+        let in_set = vec![true, true, false, false];
+        assert_eq!(cut_capacity(&g, &in_set), 2.0);
+        // vol(S) = 1 + 3 = 4, vol(rest) = 5 + 3 = 8 -> 2/4.
+        assert!((cut_sparsity(&g, &in_set) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_of_complete_graph() {
+        // K4 unweighted: conductance = 4/min(...) — balanced cut: cap 4,
+        // vol side 6 -> 2/3; single vertex: 3/3 = 1. Min is 2/3.
+        let g = generators::complete(4, 1.0);
+        let phi = exact_conductance(&g);
+        assert!((phi - 2.0 / 3.0).abs() < 1e-12, "{phi}");
+    }
+
+    #[test]
+    fn conductance_path3_is_one() {
+        // P3: every cut has sparsity 1 (checked in the Thm 2.1 analysis).
+        let g = generators::path(3, |_| 1.0);
+        assert!((exact_conductance(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_p4_near_one_third() {
+        let g = generators::path(4, |_| 1.0);
+        let phi = exact_conductance(&g);
+        assert!((phi - 1.0 / 3.0).abs() < 1e-12, "{phi}");
+    }
+
+    #[test]
+    fn disconnected_zero() {
+        let g = Graph::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]);
+        assert_eq!(exact_conductance(&g), 0.0);
+        let est = conductance_estimate(&g, 25);
+        assert!(est.exact);
+        assert_eq!(est.upper, 0.0);
+    }
+
+    #[test]
+    fn estimate_brackets_exact_on_cycle() {
+        let g = generators::cycle(30, |_| 1.0);
+        // Exact for a cycle C_n: 2/(2*floor(n/2)) = 2/n for even n (cap 2,
+        // half volume n).
+        let exact = 2.0 / ((30 / 2) as f64 * 2.0);
+        let est = conductance_estimate(&g, 10); // force spectral path
+        assert!(!est.exact);
+        assert!(est.lower <= exact + 1e-9, "lower {} vs {exact}", est.lower);
+        assert!(est.upper >= exact - 1e-9, "upper {} vs {exact}", est.upper);
+        // Sweep cut should find the optimal contiguous cut on a cycle
+        // within a factor ~2 (one edge vs two).
+        assert!(est.upper <= 2.5 * exact, "upper {} vs {exact}", est.upper);
+    }
+
+    #[test]
+    fn estimate_exact_small() {
+        let g = generators::path(5, |_| 1.0);
+        let est = conductance_estimate(&g, 25);
+        assert!(est.exact);
+        assert!((est.point() - exact_conductance(&g)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_dumbbell_low_conductance() {
+        // Two triangles joined by a light edge.
+        let g = Graph::from_edges(
+            6,
+            &[
+                (0, 1, 10.0),
+                (1, 2, 10.0),
+                (2, 0, 10.0),
+                (3, 4, 10.0),
+                (4, 5, 10.0),
+                (5, 3, 10.0),
+                (2, 3, 0.1),
+            ],
+        );
+        let phi = exact_conductance(&g);
+        // cap 0.1 / vol(side) = 60.1
+        assert!((phi - 0.1 / 60.1).abs() < 1e-9, "{phi}");
+    }
+}

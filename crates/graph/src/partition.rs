@@ -1,0 +1,300 @@
+//! Vertex partitions, membership matrices, quotient graphs, and
+//! decomposition quality.
+//!
+//! A [`Partition`] is the object every decomposition algorithm in
+//! `hicond-core` produces: an assignment of each vertex to a cluster. From
+//! it we derive the 0–1 membership matrix `R` (paper Theorem 4.1), the
+//! quotient graph `Q` with `w(r_i, r_j) = cap(V_i, V_j)` (Definition 3.1),
+//! the vertex reduction factor `ρ = n/m`, and the measured `φ` and `γ` of
+//! the decomposition.
+
+use crate::closure::{cluster_quality, ClusterQuality};
+use crate::graph::{Graph, GraphBuilder};
+use hicond_linalg::{CooBuilder, CsrMatrix};
+use rayon::prelude::*;
+
+/// A partition of `0..n` into `m` clusters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    assignment: Vec<u32>,
+    num_clusters: usize,
+}
+
+impl Partition {
+    /// From a dense assignment; cluster ids must cover `0..m` (every id
+    /// in range, each cluster non-empty is *not* required here — use
+    /// [`Partition::compact`] to drop empty ids).
+    pub fn from_assignment(assignment: Vec<u32>, num_clusters: usize) -> Self {
+        for &c in &assignment {
+            assert!((c as usize) < num_clusters, "cluster id out of range");
+        }
+        Partition {
+            assignment,
+            num_clusters,
+        }
+    }
+
+    /// The singleton partition (every vertex its own cluster).
+    pub fn singletons(n: usize) -> Self {
+        Partition {
+            assignment: (0..n as u32).collect(),
+            num_clusters: n,
+        }
+    }
+
+    /// Renumbers cluster ids to drop empty clusters.
+    pub fn compact(&self) -> Partition {
+        let mut used = vec![false; self.num_clusters];
+        for &c in &self.assignment {
+            used[c as usize] = true;
+        }
+        let mut remap = vec![u32::MAX; self.num_clusters];
+        let mut next = 0u32;
+        for (i, &u) in used.iter().enumerate() {
+            if u {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        Partition {
+            assignment: self.assignment.iter().map(|&c| remap[c as usize]).collect(),
+            num_clusters: next as usize,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of clusters `m`.
+    pub fn num_clusters(&self) -> usize {
+        self.num_clusters
+    }
+
+    /// Cluster id of vertex `v`.
+    pub fn cluster_of(&self, v: usize) -> usize {
+        self.assignment[v] as usize
+    }
+
+    /// The raw assignment array.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Vertex reduction factor `ρ = n / m`.
+    pub fn reduction_factor(&self) -> f64 {
+        self.assignment.len() as f64 / self.num_clusters.max(1) as f64
+    }
+
+    /// Materializes the clusters as sorted vertex lists.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_clusters];
+        for (v, &c) in self.assignment.iter().enumerate() {
+            out[c as usize].push(v);
+        }
+        out
+    }
+
+    /// The `n × m` 0–1 membership matrix `R` with `R(i,j) = 1` iff vertex
+    /// `i` belongs to cluster `j` (paper Theorem 4.1).
+    pub fn membership_matrix(&self) -> CsrMatrix {
+        let n = self.assignment.len();
+        let mut b = CooBuilder::with_capacity(n, self.num_clusters, n);
+        for (v, &c) in self.assignment.iter().enumerate() {
+            b.push(v, c as usize, 1.0);
+        }
+        b.build()
+    }
+
+    /// The quotient graph `Q` on cluster roots with
+    /// `w(r_i, r_j) = cap(V_i, V_j)` (Definition 3.1). Clusters with no
+    /// external weight become isolated vertices of `Q`.
+    pub fn quotient_graph(&self, g: &Graph) -> Graph {
+        assert_eq!(g.num_vertices(), self.assignment.len());
+        let mut b = GraphBuilder::new(self.num_clusters);
+        for e in g.edges() {
+            let (cu, cv) = (self.assignment[e.u as usize], self.assignment[e.v as usize]);
+            if cu != cv {
+                b.add_edge(cu as usize, cv as usize, e.w);
+            }
+        }
+        b.build()
+    }
+
+    /// True if every cluster induces a connected subgraph of `g`.
+    pub fn clusters_connected(&self, g: &Graph) -> bool {
+        self.clusters().into_par_iter().all(|cluster| {
+            if cluster.len() <= 1 {
+                return true;
+            }
+            let sub = g.induced_subgraph(&cluster);
+            crate::connectivity::is_connected(&sub)
+        })
+    }
+
+    /// Measures the quality of every cluster (parallel over clusters).
+    pub fn cluster_qualities(&self, g: &Graph, max_exact: usize) -> Vec<ClusterQuality> {
+        self.clusters()
+            .into_par_iter()
+            .map(|cluster| cluster_quality(g, &cluster, max_exact))
+            .collect()
+    }
+
+    /// Summary quality of the whole decomposition.
+    pub fn quality(&self, g: &Graph, max_exact: usize) -> DecompositionQuality {
+        let qualities = self.cluster_qualities(g, max_exact);
+        let mut phi_lower = f64::INFINITY;
+        let mut phi_exact = true;
+        let mut min_gamma = f64::INFINITY;
+        let mut max_size = 0;
+        for q in &qualities {
+            phi_lower = phi_lower.min(q.conductance.lower);
+            phi_exact &= q.conductance.exact;
+            min_gamma = min_gamma.min(q.min_gamma);
+            max_size = max_size.max(q.size);
+        }
+        // Weight fraction crossing between clusters (the γ_avg-style ratio
+        // of (φ, γ_avg) decompositions).
+        let cross: f64 = g
+            .edges()
+            .iter()
+            .filter(|e| self.assignment[e.u as usize] != self.assignment[e.v as usize])
+            .map(|e| e.w)
+            .sum();
+        let total = g.total_weight();
+        DecompositionQuality {
+            phi: phi_lower,
+            phi_exact,
+            gamma: min_gamma,
+            rho: self.reduction_factor(),
+            cut_fraction: if total > 0.0 { cross / total } else { 0.0 },
+            max_cluster_size: max_size,
+            num_clusters: self.num_clusters,
+        }
+    }
+}
+
+/// Summary of a decomposition's measured parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DecompositionQuality {
+    /// Minimum closure conductance over clusters (lower bound if not exact).
+    pub phi: f64,
+    /// Whether `phi` is exact.
+    pub phi_exact: bool,
+    /// Minimum per-vertex internal weight fraction (γ); 0 if any singleton.
+    pub gamma: f64,
+    /// Vertex reduction factor `ρ = n/m`.
+    pub rho: f64,
+    /// Fraction of total edge weight crossing between clusters.
+    pub cut_fraction: f64,
+    /// Largest cluster size.
+    pub max_cluster_size: usize,
+    /// Number of clusters.
+    pub num_clusters: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn basic_partition_ops() {
+        let p = Partition::from_assignment(vec![0, 0, 1, 1, 2], 3);
+        assert_eq!(p.num_clusters(), 3);
+        assert!((p.reduction_factor() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.clusters(), vec![vec![0, 1], vec![2, 3], vec![4]]);
+        assert_eq!(p.cluster_of(3), 1);
+    }
+
+    #[test]
+    fn compact_drops_empty() {
+        let p = Partition::from_assignment(vec![0, 3, 3], 5);
+        let c = p.compact();
+        assert_eq!(c.num_clusters(), 2);
+        assert_eq!(c.assignment(), &[0, 1, 1]);
+    }
+
+    #[test]
+    fn membership_matrix_shape() {
+        let p = Partition::from_assignment(vec![0, 1, 0], 2);
+        let r = p.membership_matrix();
+        assert_eq!(r.nrows(), 3);
+        assert_eq!(r.ncols(), 2);
+        assert_eq!(r.get(0, 0), 1.0);
+        assert_eq!(r.get(1, 1), 1.0);
+        assert_eq!(r.get(2, 0), 1.0);
+        assert_eq!(r.nnz(), 3);
+    }
+
+    #[test]
+    fn quotient_graph_capacities() {
+        // Path 0-1-2-3 with weights 1,2,3; clusters {0,1} {2,3}:
+        // Q is a single edge of weight 2 = cap between the clusters.
+        let g = generators::path(4, |i| (i + 1) as f64);
+        let p = Partition::from_assignment(vec![0, 0, 1, 1], 2);
+        let q = p.quotient_graph(&g);
+        assert_eq!(q.num_vertices(), 2);
+        assert_eq!(q.num_edges(), 1);
+        assert_eq!(q.edge_weight(0, 1), 2.0);
+    }
+
+    #[test]
+    fn quotient_matches_algebraic_rtar() {
+        // Q (as Laplacian) == RᵀAR restricted off-diagonal (paper Remark 1:
+        // Q = RᵀAR).
+        let g = generators::grid2d(3, 3, |_, _| 1.0);
+        let p = Partition::from_assignment(vec![0, 0, 1, 0, 0, 1, 2, 2, 1], 3);
+        let a = crate::laplacian::laplacian(&g);
+        let r = p.membership_matrix();
+        let rt = r.transpose();
+        let rtar = rt.matmul(&a.matmul(&r));
+        let q = p.quotient_graph(&g);
+        let ql = crate::laplacian::laplacian(&q);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!(
+                    (rtar.get(i, j) - ql.get(i, j)).abs() < 1e-12,
+                    "({i},{j}): {} vs {}",
+                    rtar.get(i, j),
+                    ql.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn connectivity_check() {
+        let g = generators::path(4, |_| 1.0);
+        let good = Partition::from_assignment(vec![0, 0, 1, 1], 2);
+        assert!(good.clusters_connected(&g));
+        let bad = Partition::from_assignment(vec![0, 1, 1, 0], 2);
+        assert!(!bad.clusters_connected(&g));
+    }
+
+    #[test]
+    fn quality_summary() {
+        let g = generators::path(4, |_| 1.0);
+        let p = Partition::from_assignment(vec![0, 0, 1, 1], 2);
+        let q = p.quality(&g, 25);
+        assert!(q.phi_exact);
+        // Each closure is a 3-path (2 cluster vertices + pendant):
+        // conductance 1.
+        assert!((q.phi - 1.0).abs() < 1e-12, "{}", q.phi);
+        assert!((q.rho - 2.0).abs() < 1e-12);
+        // Middle edge is 1 of total 3.
+        assert!((q.cut_fraction - 1.0 / 3.0).abs() < 1e-12);
+        // Vertex 1: internal weight 1, vol 2 -> gamma 1/2.
+        assert!((q.gamma - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_partition_quality() {
+        let g = generators::path(3, |_| 1.0);
+        let p = Partition::singletons(3);
+        let q = p.quality(&g, 25);
+        assert_eq!(q.gamma, 0.0);
+        assert!((q.rho - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Random edge-weight perturbation — step \[1\] of the Section 3.1 pipeline.
+//!
+//! "From the given graph A, form the graph Â by independently perturbing
+//! each edge by a random constant in (1, 2)." The perturbation breaks ties
+//! so that the heaviest-incident-edge subgraph (step \[2\]) is *unimodal* and
+//! therefore a forest.
+
+use crate::graph::Graph;
+use rand::{Rng, SeedableRng};
+
+/// Returns the perturbed weights `ŵ_e = w_e · u_e` with `u_e` i.i.d.
+/// uniform in `(1, 2)`, indexed by edge id; deterministic in `seed`.
+pub fn perturb_weights(g: &Graph, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    g.edges()
+        .iter()
+        .map(|e| {
+            let u: f64 = rng.random_range(1.0..2.0);
+            e.w * u
+        })
+        .collect()
+}
+
+/// Materializes the perturbed graph `Â` (mostly for tests; the clustering
+/// pipeline uses the weight vector directly to avoid a graph rebuild).
+pub fn perturbed_graph(g: &Graph, seed: u64) -> Graph {
+    let w = perturb_weights(g, seed);
+    g.map_weights(|i, _| w[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn perturbation_in_range() {
+        let g = generators::grid2d(5, 5, |_, _| 3.0);
+        let w = perturb_weights(&g, 42);
+        for (e, wp) in g.edges().iter().zip(&w) {
+            assert!(*wp > e.w && *wp < 2.0 * e.w, "{} vs {}", wp, e.w);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = generators::grid2d(4, 4, |_, _| 1.0);
+        assert_eq!(perturb_weights(&g, 7), perturb_weights(&g, 7));
+        assert_ne!(perturb_weights(&g, 7), perturb_weights(&g, 8));
+    }
+
+    #[test]
+    fn distinct_weights_whp() {
+        // With continuous perturbation all weights are distinct (ties
+        // impossible up to f64 resolution on this scale).
+        let g = generators::grid3d(4, 4, 4, |_, _, _| 1.0);
+        let mut w = perturb_weights(&g, 123);
+        w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for pair in w.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn perturbed_graph_structure_unchanged() {
+        let g = generators::cycle(6, |_| 2.0);
+        let p = perturbed_graph(&g, 5);
+        assert_eq!(p.num_edges(), g.num_edges());
+        assert_eq!(p.num_vertices(), g.num_vertices());
+    }
+}

@@ -1,0 +1,116 @@
+//! Union-find (disjoint set union) with path halving and union by size.
+//!
+//! Substrate for Kruskal's MST (the Remark 1 baseline), connectivity
+//! checks, and the forest assembly of the Section 3.1 clustering.
+
+/// Disjoint-set-union structure over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            let grand = self.parent[self.parent[x] as usize];
+            self.parent[x] = grand;
+            x = grand as usize;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `false` if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big as u32;
+        self.size[big] += self.size[small];
+        self.components -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+
+    /// Number of disjoint sets remaining.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Assigns a dense id in `0..num_components` to every element's set.
+    pub fn component_labels(&mut self) -> Vec<u32> {
+        let n = self.parent.len();
+        let mut labels = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut out = vec![0u32; n];
+        for x in 0..n {
+            let r = self.find(x);
+            if labels[r] == u32::MAX {
+                labels[r] = next;
+                next += 1;
+            }
+            out[x] = labels[r];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_unions() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.connected(0, 2));
+        assert_eq!(uf.set_size(3), 4);
+    }
+
+    #[test]
+    fn labels_dense_and_consistent() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 2);
+        uf.union(3, 5);
+        let labels = uf.component_labels();
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[5]);
+        assert_ne!(labels[0], labels[3]);
+        let max = *labels.iter().max().unwrap() as usize;
+        assert_eq!(max + 1, uf.num_components());
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the graph substrate: structural invariants,
+//! conductance relations, closure and quotient identities.
+
+use hicond_graph::{
+    closure_graph, cut_capacity, cut_sparsity, exact_conductance, laplacian, Graph, Partition,
+};
+use proptest::prelude::*;
+
+/// A connected weighted graph on `n` vertices: random-tree backbone plus
+/// random extra edges.
+fn connected_graph(n: usize) -> impl Strategy<Value = Graph> {
+    let tree_w = prop::collection::vec(0.1..10.0f64, n - 1);
+    let extras = prop::collection::vec((0..n, 0..n, 0.1..10.0f64), 0..2 * n);
+    (tree_w, extras).prop_map(move |(tw, ex)| {
+        let mut edges = Vec::new();
+        for (i, &w) in tw.iter().enumerate() {
+            let child = i + 1;
+            let parent = (i * 13 + 5) % child.max(1);
+            edges.push((parent, child, w));
+        }
+        for (u, v, w) in ex {
+            if u != v {
+                edges.push((u, v, w));
+            }
+        }
+        Graph::from_edges(n, &edges)
+    })
+}
+
+/// A random proper cut indicator on `n` vertices.
+fn cut(n: usize) -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), n).prop_filter("proper cut", |c| {
+        c.iter().any(|&x| x) && c.iter().any(|&x| !x)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn volume_identity(g in connected_graph(12)) {
+        // Σ vol(v) = 2 Σ w(e).
+        let total: f64 = (0..12).map(|v| g.vol(v)).sum();
+        prop_assert!((total - 2.0 * g.total_weight()).abs() < 1e-9 * total.max(1.0));
+    }
+
+    #[test]
+    fn any_cut_dominates_conductance(g in connected_graph(10), c in cut(10)) {
+        let phi = exact_conductance(&g);
+        let s = cut_sparsity(&g, &c);
+        prop_assert!(s >= phi - 1e-12, "sparsity {s} below conductance {phi}");
+    }
+
+    #[test]
+    fn cut_capacity_symmetric(g in connected_graph(10), c in cut(10)) {
+        let flipped: Vec<bool> = c.iter().map(|&x| !x).collect();
+        prop_assert!((cut_capacity(&g, &c) - cut_capacity(&g, &flipped)).abs() < 1e-12);
+        prop_assert!((cut_sparsity(&g, &c) - cut_sparsity(&g, &flipped)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn laplacian_quadratic_form_nonnegative(g in connected_graph(9)) {
+        let a = laplacian(&g);
+        let x: Vec<f64> = (0..9).map(|i| ((i * 17 + 1) % 7) as f64 - 3.0).collect();
+        let ax = a.mul(&x);
+        let quad: f64 = x.iter().zip(&ax).map(|(p, q)| p * q).sum();
+        prop_assert!(quad >= -1e-9);
+        // Equals the cut-energy formula.
+        let energy: f64 = g
+            .edges()
+            .iter()
+            .map(|e| e.w * (x[e.u as usize] - x[e.v as usize]).powi(2))
+            .sum();
+        prop_assert!((quad - energy).abs() < 1e-8 * energy.max(1.0));
+    }
+
+    #[test]
+    fn closure_conductance_at_most_induced(g in connected_graph(11)) {
+        // Any cluster with a boundary: conductance(Gᵒ) ≤ conductance(G[C]).
+        let cluster: Vec<usize> = vec![0, 1, 2, 3];
+        let closure = closure_graph(&g, &cluster);
+        if closure.num_vertices() <= 20 {
+            let induced = g.induced_subgraph(&cluster);
+            prop_assert!(
+                exact_conductance(&closure) <= exact_conductance(&induced) + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn quotient_conserves_cross_weight(g in connected_graph(12)) {
+        let assignment: Vec<u32> = (0..12).map(|v| (v % 3) as u32).collect();
+        let p = Partition::from_assignment(assignment, 3);
+        let q = p.quotient_graph(&g);
+        let cross: f64 = g
+            .edges()
+            .iter()
+            .filter(|e| p.cluster_of(e.u as usize) != p.cluster_of(e.v as usize))
+            .map(|e| e.w)
+            .sum();
+        prop_assert!((q.total_weight() - cross).abs() < 1e-9 * cross.max(1.0));
+    }
+
+    #[test]
+    fn membership_matrix_rows_sum_one(g in connected_graph(10)) {
+        let assignment: Vec<u32> = (0..10).map(|v| (v % 4) as u32).collect();
+        let p = Partition::from_assignment(assignment, 4);
+        let r = p.membership_matrix();
+        let ones4 = vec![1.0; 4];
+        let row_sums = r.mul(&ones4);
+        for s in row_sums {
+            prop_assert!((s - 1.0).abs() < 1e-12);
+        }
+        let _ = g; // partition structure independent of the graph
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_weights(g in connected_graph(12)) {
+        let keep: Vec<usize> = (0..6).collect();
+        let s = g.induced_subgraph(&keep);
+        for i in 0..6 {
+            for j in 0..6 {
+                prop_assert!((s.edge_weight(i, j) - g.edge_weight(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_laplacian_is_rtar(g in connected_graph(10)) {
+        let assignment: Vec<u32> = (0..10).map(|v| (v % 3) as u32).collect();
+        let p = Partition::from_assignment(assignment, 3);
+        let a = laplacian(&g);
+        let r = p.membership_matrix();
+        let rtar = r.transpose().matmul(&a.matmul(&r));
+        let ql = laplacian(&p.quotient_graph(&g));
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((rtar.get(i, j) - ql.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+}

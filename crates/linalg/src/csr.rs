@@ -1,0 +1,586 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The workspace stores graph Laplacians and quotient operators as symmetric
+//! CSR matrices. Assembly goes through [`CooBuilder`], which accepts
+//! duplicate triplets and sums them — exactly what the algebraic quotient
+//! construction `Q = RᵀAR` of the paper's Definition 3.1 produces.
+
+use crate::vector::Parallelism;
+use rayon::prelude::*;
+
+/// A sparse matrix in CSR format over `f64`.
+///
+/// Invariants: `row_ptr.len() == nrows + 1`, `row_ptr` is non-decreasing,
+/// column indices within each row are strictly increasing and `< ncols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, checking the invariants.
+    ///
+    /// # Panics
+    /// Panics if the invariants listed on the type are violated.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length");
+        assert_eq!(col_idx.len(), values.len(), "col/val length mismatch");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end");
+        for r in 0..nrows {
+            assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr monotone");
+            let cols = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            for w in cols.windows(2) {
+                assert!(w[0] < w[1], "columns sorted and unique in row {r}");
+            }
+            if let Some(&c) = cols.last() {
+                assert!((c as usize) < ncols, "column index out of range");
+            }
+        }
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// The `n × n` zero matrix (no stored entries).
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Diagonal matrix with the given diagonal.
+    pub fn from_diagonal(d: &[f64]) -> Self {
+        let n = d.len();
+        CsrMatrix {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: d.to_vec(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row pointer array (length `nrows + 1`).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column index array.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Stored values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to stored values (structure is fixed).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Iterates the `(col, value)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Entry `(i, j)` or 0 if not stored. Binary search within the row.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        match self.col_idx[lo..hi].binary_search(&(j as u32)) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The diagonal as a dense vector (square matrices).
+    pub fn diagonal(&self) -> Vec<f64> {
+        assert_eq!(self.nrows, self.ncols, "diagonal of non-square matrix");
+        (0..self.nrows).map(|i| self.get(i, i)).collect()
+    }
+
+    /// Sequential `y = A x` into a caller-provided buffer.
+    pub fn mul_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "mul: x length");
+        assert_eq!(y.len(), self.nrows, "mul: y length");
+        for r in 0..self.nrows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Parallel `y = A x` (row-parallel; deterministic since each row is a
+    /// single sequential reduction).
+    pub fn par_mul_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "mul: x length");
+        assert_eq!(y.len(), self.nrows, "mul: y length");
+        let rp = &self.row_ptr;
+        let ci = &self.col_idx;
+        let vs = &self.values;
+        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+            let mut acc = 0.0;
+            for k in rp[r]..rp[r + 1] {
+                acc += vs[k] * x[ci[k] as usize];
+            }
+            *yr = acc;
+        });
+    }
+
+    /// `y = A x` under an execution policy.
+    pub fn mul_into_with(&self, x: &[f64], y: &mut [f64], par: Parallelism) {
+        if par.is_parallel() && self.nrows >= 4096 {
+            self.par_mul_into(x, y);
+        } else {
+            self.mul_into(x, y);
+        }
+    }
+
+    /// Allocating `A x`.
+    pub fn mul(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.mul_into_with(x, &mut y, Parallelism::default());
+        y
+    }
+
+    /// Transpose (also CSR).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.ncols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for r in 0..self.nrows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k] as usize;
+                let pos = next[c];
+                next[c] += 1;
+                col_idx[pos] = r as u32;
+                values[pos] = self.values[k];
+            }
+        }
+        // Row order of the source guarantees each output row is sorted.
+        CsrMatrix {
+            nrows: self.ncols,
+            ncols: self.nrows,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Checks symmetry up to relative tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.nrows != self.ncols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
+            return false;
+        }
+        self.values
+            .iter()
+            .zip(&t.values)
+            .all(|(a, b)| crate::approx_eq(*a, *b, tol))
+    }
+
+    /// Sparse matrix sum `A + B` (same shape).
+    pub fn add(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.nrows, other.nrows);
+        assert_eq!(self.ncols, other.ncols);
+        let mut b = CooBuilder::new(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                b.push(r, c, v);
+            }
+            for (c, v) in other.row(r) {
+                b.push(r, c, v);
+            }
+        }
+        b.build()
+    }
+
+    /// `A * s` for scalar `s`.
+    pub fn scaled(&self, s: f64) -> CsrMatrix {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= s;
+        }
+        out
+    }
+
+    /// Sparse–sparse product `A · B`.
+    ///
+    /// Row-parallel Gustavson with a dense accumulator per worker; used for
+    /// the quotient triple product `Q = Rᵀ A R` (paper Remark 1 notes this is
+    /// "easily computed via parallel sparse matrix multiplication").
+    pub fn matmul(&self, other: &CsrMatrix) -> CsrMatrix {
+        assert_eq!(self.ncols, other.nrows, "matmul shape");
+        let n = self.nrows;
+        let m = other.ncols;
+        let rows: Vec<(Vec<u32>, Vec<f64>)> = (0..n)
+            .into_par_iter()
+            .map(|r| {
+                let mut cols: Vec<u32> = Vec::new();
+                let mut vals: Vec<f64> = Vec::new();
+                // Sort-merge accumulator; rows are short in every use here
+                // (bounded-degree Laplacians, 0/1 membership matrices).
+                let mut acc: Vec<(u32, f64)> = Vec::new();
+                for (k, av) in self.row(r) {
+                    for (c, bv) in other.row(k) {
+                        acc.push((c as u32, av * bv));
+                    }
+                }
+                acc.sort_unstable_by_key(|&(c, _)| c);
+                for (c, v) in acc {
+                    if let Some(last) = cols.last() {
+                        if *last == c {
+                            *vals.last_mut().unwrap() += v;
+                            continue;
+                        }
+                    }
+                    cols.push(c);
+                    vals.push(v);
+                }
+                (cols, vals)
+            })
+            .collect();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0usize);
+        let mut nnz = 0usize;
+        for (c, _) in &rows {
+            nnz += c.len();
+            row_ptr.push(nnz);
+        }
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for (c, v) in rows {
+            col_idx.extend(c);
+            values.extend(v);
+        }
+        CsrMatrix {
+            nrows: n,
+            ncols: m,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Extracts the principal submatrix on `keep` (indices must be sorted,
+    /// unique). Returns the submatrix in the induced order.
+    pub fn principal_submatrix(&self, keep: &[usize]) -> CsrMatrix {
+        assert_eq!(self.nrows, self.ncols);
+        let mut inv = vec![u32::MAX; self.nrows];
+        for (new, &old) in keep.iter().enumerate() {
+            inv[old] = new as u32;
+        }
+        let mut b = CooBuilder::new(keep.len(), keep.len());
+        for (new_r, &old_r) in keep.iter().enumerate() {
+            for (c, v) in self.row(old_r) {
+                if inv[c] != u32::MAX {
+                    b.push(new_r, inv[c] as usize, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Drops stored entries with `|value| <= eps` (structural cleanup).
+    pub fn pruned(&self, eps: f64) -> CsrMatrix {
+        let mut b = CooBuilder::new(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                if v.abs() > eps {
+                    b.push(r, c, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Converts to a dense row-major matrix (small problems / tests only).
+    pub fn to_dense(&self) -> crate::dense::DenseMatrix {
+        let mut d = crate::dense::DenseMatrix::zeros(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            for (c, v) in self.row(r) {
+                d[(r, c)] += v;
+            }
+        }
+        d
+    }
+}
+
+/// Triplet (COO) accumulator that builds a [`CsrMatrix`], summing duplicates.
+#[derive(Debug, Clone)]
+pub struct CooBuilder {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooBuilder {
+    /// New empty builder for an `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooBuilder {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// With preallocated capacity for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooBuilder {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Adds `value` at `(row, col)`; duplicates are summed at build time.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        debug_assert!(row < self.nrows && col < self.ncols, "triplet in range");
+        self.entries.push((row as u32, col as u32, value));
+    }
+
+    /// Adds a symmetric pair `(row, col)` and `(col, row)`.
+    pub fn push_sym(&mut self, row: usize, col: usize, value: f64) {
+        self.push(row, col, value);
+        if row != col {
+            self.push(col, row, value);
+        }
+    }
+
+    /// Number of triplets currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no triplets buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorts, merges duplicates, and emits the CSR matrix.
+    pub fn build(mut self) -> CsrMatrix {
+        self.entries
+            .par_sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        let mut out_col: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut out_val: Vec<f64> = Vec::with_capacity(self.entries.len());
+        let mut out_row_ptr = vec![0usize; self.nrows + 1];
+        let mut k = 0usize;
+        let n = self.entries.len();
+        for r in 0..self.nrows as u32 {
+            while k < n && self.entries[k].0 == r {
+                let c = self.entries[k].1;
+                let mut acc = self.entries[k].2;
+                k += 1;
+                while k < n && self.entries[k].0 == r && self.entries[k].1 == c {
+                    acc += self.entries[k].2;
+                    k += 1;
+                }
+                out_col.push(c);
+                out_val.push(acc);
+            }
+            out_row_ptr[r as usize + 1] = out_col.len();
+        }
+        CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: out_row_ptr,
+            col_idx: out_col,
+            values: out_val,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [2 -1 0; -1 2 -1; 0 -1 2]
+        let mut b = CooBuilder::new(3, 3);
+        for i in 0..3 {
+            b.push(i, i, 2.0);
+        }
+        b.push_sym(0, 1, -1.0);
+        b.push_sym(1, 2, -1.0);
+        b.build()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let a = small();
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), 2.0);
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(0, 2), 0.0);
+        assert!(a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 0, 2.5);
+        b.push(1, 0, -1.0);
+        let a = b.build();
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn matvec() {
+        let a = small();
+        let y = a.mul(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn par_matvec_matches() {
+        let n = 10_000;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 2.0);
+            if i + 1 < n {
+                b.push_sym(i, i + 1, -1.0);
+            }
+        }
+        let a = b.build();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let mut y1 = vec![0.0; n];
+        let mut y2 = vec![0.0; n];
+        a.mul_into(&x, &mut y1);
+        a.par_mul_into(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let mut b = CooBuilder::new(2, 3);
+        b.push(0, 2, 5.0);
+        b.push(1, 0, 1.0);
+        b.push(1, 1, -2.0);
+        let a = b.build();
+        let t = a.transpose();
+        assert_eq!(t.nrows(), 3);
+        assert_eq!(t.get(2, 0), 5.0);
+        assert_eq!(t.get(0, 1), 1.0);
+        let tt = t.transpose();
+        assert_eq!(a, tt);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = small();
+        let i = CsrMatrix::identity(3);
+        let ai = a.matmul(&i);
+        assert_eq!(ai, a);
+        // A * A on the path Laplacian+2I
+        let aa = a.matmul(&a);
+        assert_eq!(aa.get(0, 0), 5.0); // 2*2 + (-1)(-1)
+        assert_eq!(aa.get(0, 2), 1.0);
+    }
+
+    #[test]
+    fn principal_submatrix_picks_rows_cols() {
+        let a = small();
+        let s = a.principal_submatrix(&[0, 2]);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.get(0, 0), 2.0);
+        assert_eq!(s.get(0, 1), 0.0);
+        assert_eq!(s.get(1, 1), 2.0);
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = small();
+        let two_a = a.add(&a);
+        assert_eq!(two_a.get(1, 0), -2.0);
+        let s = a.scaled(3.0);
+        assert_eq!(s.get(1, 1), 6.0);
+    }
+
+    #[test]
+    fn diagonal_extraction() {
+        let a = small();
+        assert_eq!(a.diagonal(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn pruned_drops_small() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 1, 1e-15);
+        let a = b.build().pruned(1e-12);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    fn from_diagonal_matvec() {
+        let d = CsrMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.mul(&[1.0, 1.0, 1.0]), vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Schur complements with respect to vertex elimination (paper Def. 5.5).
+//!
+//! For a weighted graph Laplacian, Gaussian elimination of a vertex `v`
+//! replaces the star around `v` by the clique with weights
+//! `S_ij = d_i d_j / D`, `D = Σ d_k` — exactly the paper's star rule — and
+//! the elimination of a set `W` composes vertex-by-vertex in any order.
+//! This module implements the general matrix operation on sparse symmetric
+//! matrices; the analytic *leaf* elimination used inside the Steiner solver
+//! lives in `hicond-precond` where the structure is known.
+
+use crate::csr::{CooBuilder, CsrMatrix};
+use std::collections::HashMap;
+
+/// Computes the Schur complement of the symmetric matrix `a` after
+/// eliminating the index set `eliminate`.
+///
+/// The result is indexed by the *kept* indices in increasing order of their
+/// original index; the mapping is returned alongside the matrix.
+///
+/// Rows whose pivot is (numerically) zero are skipped — for Laplacians this
+/// happens only for isolated vertices, which contribute nothing.
+///
+/// # Panics
+/// Panics if `a` is not square or an index is out of range / duplicated.
+pub fn schur_complement(a: &CsrMatrix, eliminate: &[usize]) -> (CsrMatrix, Vec<usize>) {
+    let n = a.nrows();
+    assert_eq!(n, a.ncols(), "schur: square matrix required");
+    let mut is_elim = vec![false; n];
+    for &v in eliminate {
+        assert!(v < n, "schur: index out of range");
+        assert!(!is_elim[v], "schur: duplicate index");
+        is_elim[v] = true;
+    }
+
+    // Working representation: one hashmap per row (symmetric matrix).
+    let mut rows: Vec<HashMap<u32, f64>> = (0..n)
+        .map(|r| a.row(r).map(|(c, v)| (c as u32, v)).collect())
+        .collect();
+
+    for &v in eliminate {
+        let star: Vec<(u32, f64)> = rows[v]
+            .iter()
+            .filter(|&(&c, _)| c as usize != v)
+            .map(|(&c, &w)| (c, w))
+            .collect();
+        let pivot = *rows[v].get(&(v as u32)).unwrap_or(&0.0);
+        // Clear row/col v.
+        for &(c, _) in &star {
+            rows[c as usize].remove(&(v as u32));
+        }
+        rows[v].clear();
+        if pivot.abs() <= 1e-300 {
+            continue;
+        }
+        // Rank-one update A_ij ← A_ij − a_iv·a_vj / pivot over star pairs.
+        for &(i, wi) in &star {
+            for &(j, wj) in &star {
+                *rows[i as usize].entry(j).or_insert(0.0) -= wi * wj / pivot;
+            }
+        }
+    }
+
+    // Renumber kept indices.
+    let kept: Vec<usize> = (0..n).filter(|&i| !is_elim[i]).collect();
+    let mut inv = vec![u32::MAX; n];
+    for (new, &old) in kept.iter().enumerate() {
+        inv[old] = new as u32;
+    }
+    let mut b = CooBuilder::new(kept.len(), kept.len());
+    for &old_r in &kept {
+        for (&c, &val) in &rows[old_r] {
+            let c = c as usize;
+            if inv[c] != u32::MAX && val != 0.0 {
+                b.push(inv[old_r] as usize, inv[c] as usize, val);
+            }
+        }
+    }
+    (b.build(), kept)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CooBuilder;
+    use crate::dense::DenseMatrix;
+
+    fn lap_from_edges(n: usize, edges: &[(usize, usize, f64)]) -> CsrMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for &(u, v, w) in edges {
+            b.push(u, u, w);
+            b.push(v, v, w);
+            b.push_sym(u, v, -w);
+        }
+        b.build()
+    }
+
+    /// Dense reference: S = A22 - A21 A11^{-1} A12 with block 1 = eliminated.
+    fn dense_schur(a: &CsrMatrix, eliminate: &[usize]) -> DenseMatrix {
+        let n = a.nrows();
+        let elim: Vec<usize> = eliminate.to_vec();
+        let keep: Vec<usize> = (0..n).filter(|i| !elim.contains(i)).collect();
+        let d = a.to_dense();
+        let m1 = elim.len();
+        let m2 = keep.len();
+        let mut a11 = DenseMatrix::zeros(m1, m1);
+        let mut a12 = DenseMatrix::zeros(m1, m2);
+        let mut a22 = DenseMatrix::zeros(m2, m2);
+        for (i, &ei) in elim.iter().enumerate() {
+            for (j, &ej) in elim.iter().enumerate() {
+                a11[(i, j)] = d[(ei, ej)];
+            }
+            for (j, &kj) in keep.iter().enumerate() {
+                a12[(i, j)] = d[(ei, kj)];
+            }
+        }
+        for (i, &ki) in keep.iter().enumerate() {
+            for (j, &kj) in keep.iter().enumerate() {
+                a22[(i, j)] = d[(ki, kj)];
+            }
+        }
+        // Solve A11 X = A12 column by column via Cholesky (A11 SPD for
+        // Laplacian principal submatrices of connected graphs).
+        let chol = crate::dense::CholeskyFactor::factor(&a11).expect("A11 SPD");
+        let mut x = DenseMatrix::zeros(m1, m2);
+        for c in 0..m2 {
+            let col: Vec<f64> = (0..m1).map(|r| a12[(r, c)]).collect();
+            let sol = chol.solve(&col);
+            for r in 0..m1 {
+                x[(r, c)] = sol[r];
+            }
+        }
+        let correction = a12.transpose().matmul(&x);
+        let mut s = a22.clone();
+        for i in 0..m2 {
+            for j in 0..m2 {
+                s[(i, j)] -= correction[(i, j)];
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn star_elimination_matches_paper_rule() {
+        // Star with center 0 and leaves 1,2,3 with weights 1,2,3:
+        // S_ij = d_i d_j / 6.
+        let a = lap_from_edges(4, &[(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)]);
+        let (s, kept) = schur_complement(&a, &[0]);
+        assert_eq!(kept, vec![1, 2, 3]);
+        let total = 6.0;
+        // Off-diagonals are -d_i d_j / D.
+        assert!((s.get(0, 1) - (-1.0 * 2.0 / total)).abs() < 1e-12);
+        assert!((s.get(0, 2) - (-1.0 * 3.0 / total)).abs() < 1e-12);
+        assert!((s.get(1, 2) - (-2.0 * 3.0 / total)).abs() < 1e-12);
+        // Row sums are zero (still a Laplacian).
+        for r in 0..3 {
+            let sum: f64 = s.row(r).map(|(_, v)| v).sum();
+            assert!(sum.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_dense_block_formula() {
+        // Random-ish small Laplacian; eliminate two vertices.
+        let a = lap_from_edges(
+            6,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 0.5),
+                (3, 4, 1.5),
+                (4, 5, 2.5),
+                (5, 0, 3.0),
+                (0, 3, 0.7),
+                (1, 4, 1.2),
+            ],
+        );
+        let elim = vec![1, 4];
+        let (s, kept) = schur_complement(&a, &elim);
+        let dense = dense_schur(&a, &elim);
+        assert_eq!(kept.len(), 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(
+                    (s.get(i, j) - dense[(i, j)]).abs() < 1e-10,
+                    "({i},{j}): {} vs {}",
+                    s.get(i, j),
+                    dense[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn elimination_order_irrelevant() {
+        let a = lap_from_edges(
+            5,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (3, 4, 4.0),
+                (4, 0, 5.0),
+            ],
+        );
+        let (s1, _) = schur_complement(&a, &[1, 3]);
+        let (s2, _) = schur_complement(&a, &[3, 1]);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((s1.get(i, j) - s2.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_vertex_skipped() {
+        let a = lap_from_edges(3, &[(0, 1, 1.0)]); // vertex 2 isolated
+        let (s, kept) = schur_complement(&a, &[2]);
+        assert_eq!(kept, vec![0, 1]);
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-12);
+        assert!((s.get(0, 1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_elimination_series_rule() {
+        // Path 0-1-2 with weights w01=2, w12=3. Eliminating middle vertex
+        // gives series conductance 1/(1/2+1/3) = 6/5.
+        let a = lap_from_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)]);
+        let (s, kept) = schur_complement(&a, &[1]);
+        assert_eq!(kept, vec![0, 2]);
+        assert!((s.get(0, 1) + 6.0 / 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Symmetric tridiagonal eigensolver (implicit QL with Wilkinson shifts).
+//!
+//! Used by the Lanczos driver in [`crate::lanczos`] to diagonalize the
+//! projected tridiagonal matrix `T_k` and recover Ritz pairs.
+
+/// Eigendecomposition of the symmetric tridiagonal matrix with diagonal
+/// `diag` and off-diagonal `off` (`off.len() == diag.len() - 1`).
+///
+/// Returns `(eigenvalues, z)` with eigenvalues ascending and `z` the
+/// row-major `n × n` matrix whose *columns* are eigenvectors.
+pub fn tridiag_eigen(diag: &[f64], off: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let n = diag.len();
+    assert!(n > 0);
+    assert_eq!(off.len(), n.saturating_sub(1));
+    let mut d = diag.to_vec();
+    // e is padded with a trailing zero like the classic tql2 routine.
+    let mut e = Vec::with_capacity(n);
+    e.extend_from_slice(off);
+    e.push(0.0);
+    // z starts as identity; accumulates rotations.
+    let mut z = vec![0.0; n * n];
+    for i in 0..n {
+        z[i * n + i] = 1.0;
+    }
+
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find small subdiagonal element.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            assert!(iter <= 50, "tridiag_eigen: no convergence");
+            // Wilkinson shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let sign_r = if g >= 0.0 { r } else { -r };
+            g = d[m] - d[l] + e[l] / (g + sign_r);
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate eigenvector rotations.
+                for k in 0..n {
+                    f = z[k * n + i + 1];
+                    z[k * n + i + 1] = s * z[k * n + i] + c * f;
+                    z[k * n + i] = c * z[k * n + i] - s * f;
+                }
+            }
+            if r == 0.0 && m > l + 1 {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort ascending, permuting eigenvector columns.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).unwrap());
+    let vals: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let mut vecs = vec![0.0; n * n];
+    for (new, &old) in order.iter().enumerate() {
+        for r in 0..n {
+            vecs[r * n + new] = z[r * n + old];
+        }
+    }
+    (vals, vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element() {
+        let (vals, vecs) = tridiag_eigen(&[7.0], &[]);
+        assert_eq!(vals, vec![7.0]);
+        assert_eq!(vecs, vec![1.0]);
+    }
+
+    #[test]
+    fn two_by_two() {
+        // [[2, 1], [1, 2]] -> eigenvalues 1, 3
+        let (vals, _) = tridiag_eigen(&[2.0, 2.0], &[1.0]);
+        assert!((vals[0] - 1.0).abs() < 1e-12);
+        assert!((vals[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_laplacian_known_spectrum() {
+        // Tridiagonal Laplacian of path P_n: λ_k = 2 - 2 cos(kπ/n), k=0..n-1
+        let n = 8;
+        let mut diag = vec![2.0; n];
+        diag[0] = 1.0;
+        diag[n - 1] = 1.0;
+        let off = vec![-1.0; n - 1];
+        let (vals, vecs) = tridiag_eigen(&diag, &off);
+        for k in 0..n {
+            let expect = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / n as f64).cos();
+            assert!(
+                (vals[k] - expect).abs() < 1e-10,
+                "k={k}: {} vs {expect}",
+                vals[k]
+            );
+        }
+        // Verify an eigenpair residual: T v = λ v for k = 1.
+        let k = 1;
+        let v: Vec<f64> = (0..n).map(|r| vecs[r * n + k]).collect();
+        for i in 0..n {
+            let mut tv = diag[i] * v[i];
+            if i > 0 {
+                tv += off[i - 1] * v[i - 1];
+            }
+            if i + 1 < n {
+                tv += off[i] * v[i + 1];
+            }
+            assert!((tv - vals[k] * v[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let n = 6;
+        let diag: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+        let off = vec![0.5; n - 1];
+        let (_, vecs) = tridiag_eigen(&diag, &off);
+        for a in 0..n {
+            for b in 0..n {
+                let mut dot = 0.0;
+                for r in 0..n {
+                    dot += vecs[r * n + a] * vecs[r * n + b];
+                }
+                let expect = if a == b { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-10, "({a},{b}): {dot}");
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Dense vector kernels with optional rayon parallelism.
+//!
+//! Vectors are plain `&[f64]` / `&mut [f64]` slices; the kernels here are the
+//! BLAS-1 subset the iterative solvers need. Each has a sequential and a
+//! parallel path selected by [`Parallelism`]; the parallel paths use fixed
+//! chunking so results are deterministic up to floating-point reassociation
+//! of the chunk partials.
+
+use rayon::prelude::*;
+
+/// Chunk size for parallel BLAS-1 kernels; large enough to amortize task
+/// overhead, small enough to load-balance on typical core counts.
+const PAR_CHUNK: usize = 1 << 14;
+
+/// Execution-policy switch threaded through the workspace.
+///
+/// `Sequential` pins deterministic single-threaded execution (used by tests
+/// and as a baseline in the speedup experiments); `Parallel` uses rayon's
+/// global pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Single-threaded, fully deterministic.
+    Sequential,
+    /// rayon global thread pool.
+    #[default]
+    Parallel,
+}
+
+impl Parallelism {
+    /// True if this policy runs on the rayon pool.
+    pub fn is_parallel(self) -> bool {
+        matches!(self, Parallelism::Parallel)
+    }
+}
+
+/// Dot product `xᵀy`. Panics if lengths differ.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Parallel dot product; chunk partials are summed in chunk order.
+pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
+    if x.len() < PAR_CHUNK {
+        return dot(x, y);
+    }
+    x.par_chunks(PAR_CHUNK)
+        .zip(y.par_chunks(PAR_CHUNK))
+        .map(|(a, b)| dot(a, b))
+        .sum()
+}
+
+/// `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Parallel `y += alpha * x`.
+pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "par_axpy: length mismatch");
+    if x.len() < PAR_CHUNK {
+        return axpy(alpha, x, y);
+    }
+    y.par_chunks_mut(PAR_CHUNK)
+        .zip(x.par_chunks(PAR_CHUNK))
+        .for_each(|(yc, xc)| axpy(alpha, xc, yc));
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `‖x‖₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// `‖x − y‖₂`.
+pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dist2: length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Subtracts the mean from `x`, projecting it orthogonal to the constant
+/// vector — the natural domain for Laplacian pencils, whose kernel is the
+/// constant vector on each connected component.
+pub fn deflate_constant(x: &mut [f64]) {
+    if x.is_empty() {
+        return;
+    }
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for xi in x.iter_mut() {
+        *xi -= mean;
+    }
+}
+
+/// Subtracts from `x` its component along the *weighted* constant direction
+/// `d^{1/2}` (with `dsqrt[i] = sqrt(d_i)`), the kernel direction of a
+/// normalized Laplacian `D^{-1/2} A D^{-1/2}`.
+pub fn deflate_weighted_constant(x: &mut [f64], dsqrt: &[f64]) {
+    assert_eq!(x.len(), dsqrt.len());
+    let denom = dot(dsqrt, dsqrt);
+    if denom == 0.0 {
+        return;
+    }
+    let coeff = dot(x, dsqrt) / denom;
+    for (xi, di) in x.iter_mut().zip(dsqrt) {
+        *xi -= coeff * di;
+    }
+}
+
+/// Normalizes `x` to unit Euclidean norm; returns the prior norm.
+/// Leaves a zero vector untouched and returns 0.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm2(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        let x = vec![3.0, 4.0];
+        assert_eq!(dot(&x, &x), 25.0);
+        assert_eq!(norm2(&x), 5.0);
+    }
+
+    #[test]
+    fn par_dot_matches_dot() {
+        let n = 100_000;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let s = dot(&x, &y);
+        let p = par_dot(&x, &y);
+        assert!((s - p).abs() < 1e-8 * s.abs().max(1.0));
+    }
+
+    #[test]
+    fn axpy_updates() {
+        let x = vec![1.0, 2.0];
+        let mut y = vec![10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, vec![12.0, 24.0]);
+    }
+
+    #[test]
+    fn par_axpy_matches() {
+        let n = 70_000;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y1 = vec![1.0; n];
+        let mut y2 = vec![1.0; n];
+        axpy(0.5, &x, &mut y1);
+        par_axpy(0.5, &x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn deflation_removes_mean() {
+        let mut x = vec![1.0, 2.0, 3.0];
+        deflate_constant(&mut x);
+        assert!((x.iter().sum::<f64>()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_deflation_orthogonal() {
+        let dsqrt = vec![1.0, 2.0, 3.0];
+        let mut x = vec![5.0, -1.0, 2.0];
+        deflate_weighted_constant(&mut x, &dsqrt);
+        assert!(dot(&x, &dsqrt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_unit() {
+        let mut x = vec![0.0, 3.0, 4.0];
+        let n = normalize(&mut x);
+        assert_eq!(n, 5.0);
+        assert!((norm2(&x) - 1.0).abs() < 1e-14);
+        let mut z = vec![0.0; 4];
+        assert_eq!(normalize(&mut z), 0.0);
+    }
+
+    #[test]
+    fn dist2_basic() {
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use hicond_linalg::dense::{jacobi_eigen, CholeskyFactor, DenseMatrix};
+use hicond_linalg::schur::schur_complement;
+use hicond_linalg::tridiag::tridiag_eigen;
+use hicond_linalg::{cg_solve, CgOptions, CooBuilder, CsrMatrix};
+use proptest::prelude::*;
+
+/// Random triplet list on an `n × n` matrix.
+fn triplets(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec(
+        (0..n, 0..n, -5.0..5.0f64).prop_map(|(r, c, v)| (r, c, v)),
+        0..60,
+    )
+}
+
+/// Laplacian of a random connected weighted graph on `n` vertices:
+/// random-tree backbone plus extra random edges.
+fn random_laplacian(n: usize) -> impl Strategy<Value = CsrMatrix> {
+    let tree_w = prop::collection::vec(0.1..10.0f64, n - 1);
+    let extras = prop::collection::vec((0..n, 0..n, 0.1..10.0f64), 0..2 * n);
+    (tree_w, extras).prop_map(move |(tw, ex)| {
+        let mut b = CooBuilder::new(n, n);
+        let add = |u: usize, v: usize, w: f64, b: &mut CooBuilder| {
+            if u != v {
+                b.push(u, u, w);
+                b.push(v, v, w);
+                b.push_sym(u, v, -w);
+            }
+        };
+        for (i, &w) in tw.iter().enumerate() {
+            let child = i + 1;
+            let parent = (i * 7 + 3) % child.max(1);
+            add(parent, child, w, &mut b);
+        }
+        for (u, v, w) in ex {
+            add(u, v, w, &mut b);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coo_matvec_matches_naive(trips in triplets(8)) {
+        let mut b = CooBuilder::new(8, 8);
+        for &(r, c, v) in &trips {
+            b.push(r, c, v);
+        }
+        let a = b.build();
+        let x: Vec<f64> = (0..8).map(|i| (i as f64 * 0.3).sin()).collect();
+        let fast = a.mul(&x);
+        // Naive: sum over raw triplets.
+        let mut slow = vec![0.0; 8];
+        for &(r, c, v) in &trips {
+            slow[r] += v * x[c];
+        }
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert!((f - s).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(trips in triplets(7)) {
+        let mut b = CooBuilder::new(7, 7);
+        for &(r, c, v) in &trips {
+            b.push(r, c, v);
+        }
+        let a = b.build();
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn add_distributes_over_matvec(t1 in triplets(6), t2 in triplets(6)) {
+        let build = |trips: &[(usize, usize, f64)]| {
+            let mut b = CooBuilder::new(6, 6);
+            for &(r, c, v) in trips {
+                b.push(r, c, v);
+            }
+            b.build()
+        };
+        let a = build(&t1);
+        let c = build(&t2);
+        let x: Vec<f64> = (0..6).map(|i| 1.0 - i as f64 * 0.2).collect();
+        let lhs = a.add(&c).mul(&x);
+        let (ax, cx) = (a.mul(&x), c.mul(&x));
+        for i in 0..6 {
+            prop_assert!((lhs[i] - (ax[i] + cx[i])).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dense_roundtrip(trips in triplets(6)) {
+        let mut b = CooBuilder::new(6, 6);
+        for &(r, c, v) in &trips {
+            b.push(r, c, v);
+        }
+        let a = b.build();
+        let back = a.to_dense().to_csr();
+        let x: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let (y1, y2) = (a.mul(&x), back.mul(&x));
+        for i in 0..6 {
+            prop_assert!((y1[i] - y2[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cg_solves_spd_systems(diag in prop::collection::vec(1.0..20.0f64, 10)) {
+        // Tridiagonal SPD: diag dominant.
+        let n = diag.len();
+        let mut b = CooBuilder::new(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            b.push(i, i, d + 2.0);
+            if i + 1 < n {
+                b.push_sym(i, i + 1, -1.0);
+            }
+        }
+        let a = b.build();
+        let xtrue: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+        let rhs = a.mul(&xtrue);
+        let res = cg_solve(&a, &rhs, &CgOptions { rel_tol: 1e-12, ..Default::default() });
+        prop_assert!(res.converged);
+        for (xi, ti) in res.x.iter().zip(&xtrue) {
+            prop_assert!((xi - ti).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn schur_preserves_laplacian_structure(lap in random_laplacian(9)) {
+        // Eliminating any subset of a Laplacian yields a Laplacian:
+        // symmetric, zero row sums, nonpositive off-diagonals.
+        let (s, kept) = schur_complement(&lap, &[0, 4]);
+        prop_assert_eq!(kept.len(), 7);
+        prop_assert!(s.is_symmetric(1e-9));
+        for r in 0..7 {
+            let row_sum: f64 = s.row(r).map(|(_, v)| v).sum();
+            prop_assert!(row_sum.abs() < 1e-8, "row sum {row_sum}");
+            for (c, v) in s.row(r) {
+                if c != r {
+                    prop_assert!(v <= 1e-10, "positive off-diagonal {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schur_quadratic_form_is_minimum(lap in random_laplacian(7)) {
+        // xᵀBx = min_y [x;y]ᵀ L [x;y] where y ranges over eliminated
+        // coordinates; check B's form is ≤ the form with y = x-average.
+        let elim = vec![6];
+        let (b, kept) = schur_complement(&lap, &elim);
+        let x: Vec<f64> = (0..6).map(|i| (i as f64) - 2.5).collect();
+        let bx = b.mul(&x);
+        let quad_b: f64 = x.iter().zip(&bx).map(|(a, c)| a * c).sum();
+        // Any completion gives an upper bound on xᵀBx.
+        let mut full = vec![0.0; 7];
+        for (i, &v) in kept.iter().enumerate() {
+            full[v] = x[i];
+        }
+        full[6] = x.iter().sum::<f64>() / 6.0;
+        let lf = lap.mul(&full);
+        let quad_full: f64 = full.iter().zip(&lf).map(|(a, c)| a * c).sum();
+        prop_assert!(quad_b <= quad_full + 1e-8, "{quad_b} > {quad_full}");
+        prop_assert!(quad_b >= -1e-9);
+    }
+
+    #[test]
+    fn tridiag_reconstructs(diag in prop::collection::vec(-3.0..3.0f64, 6),
+                            off in prop::collection::vec(-2.0..2.0f64, 5)) {
+        let (vals, vecs) = tridiag_eigen(&diag, &off);
+        let n = 6;
+        // T = Z Λ Zᵀ entrywise.
+        for i in 0..n {
+            for j in 0..n {
+                let mut recon = 0.0;
+                for k in 0..n {
+                    recon += vecs[i * n + k] * vals[k] * vecs[j * n + k];
+                }
+                let expect = if i == j {
+                    diag[i]
+                } else if j == i + 1 {
+                    off[i]
+                } else if i == j + 1 {
+                    off[j]
+                } else {
+                    0.0
+                };
+                prop_assert!((recon - expect).abs() < 1e-8, "({i},{j}): {recon} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn jacobi_eigen_reconstructs(vals_in in prop::collection::vec(-4.0..4.0f64, 5)) {
+        // Build A = Q D Qᵀ from a random-ish orthogonal Q (Householder),
+        // recover spectrum.
+        let n = vals_in.len();
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = vals_in[i];
+        }
+        // Similarity by a fixed rotation mix to make it non-diagonal.
+        let mut rot = DenseMatrix::identity(n);
+        let (c, s) = (0.8, 0.6);
+        rot[(0, 0)] = c;
+        rot[(0, 1)] = -s;
+        rot[(1, 0)] = s;
+        rot[(1, 1)] = c;
+        let m = rot.matmul(&a).matmul(&rot.transpose());
+        let (got, _) = jacobi_eigen(&m);
+        let mut want = vals_in.clone();
+        want.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((g - w).abs() < 1e-8, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_residual(diag in prop::collection::vec(0.5..5.0f64, 6)) {
+        let n = diag.len();
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = diag[i] + 2.0;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0;
+                a[(i + 1, i)] = -1.0;
+            }
+        }
+        let f = CholeskyFactor::factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = f.solve(&b);
+        let ax = a.mul_vec(&x);
+        for i in 0..n {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-9);
+        }
+    }
+}

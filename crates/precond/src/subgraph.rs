@@ -1,0 +1,365 @@
+//! The subgraph preconditioner baseline (paper Remarks 1–3).
+//!
+//! Construction: a spanning tree (maximum weight per \[15\], or low-stretch
+//! per \[9\]) enriched with the highest-stretch off-tree edges. Solving the
+//! preconditioner system uses the "greedy Gaussian elimination of degree
+//! one and two nodes" the paper's Remark 2 describes — an inherently
+//! *sequential* chain of dependent eliminations, recorded once at setup
+//! and replayed as forward/backward substitution per application — with a
+//! grounded dense Cholesky on the small remaining core.
+
+use crate::steiner::GroundedLaplacianSolver;
+use hicond_core::lowstretch::{low_stretch_tree, tree_stretches, LowStretchOptions};
+use hicond_core::spanning::mst_max_kruskal;
+use hicond_core::SpanningTreeKind;
+use hicond_graph::Graph;
+use hicond_linalg::Preconditioner;
+use std::collections::HashMap;
+
+/// Options for [`SubgraphPreconditioner`].
+#[derive(Debug, Clone, Copy)]
+pub struct SubgraphOptions {
+    /// Spanning tree kind.
+    pub tree: SpanningTreeKind,
+    /// Off-tree edges added, as a fraction of `n`.
+    pub extra_fraction: f64,
+    /// Seed for the low-stretch tree.
+    pub seed: u64,
+    /// Safety cap for the dense core factorization.
+    pub core_dense_limit: usize,
+}
+
+impl Default for SubgraphOptions {
+    fn default() -> Self {
+        SubgraphOptions {
+            tree: SpanningTreeKind::MaxWeight,
+            extra_fraction: 0.02,
+            seed: 31,
+            core_dense_limit: 2000,
+        }
+    }
+}
+
+/// One recorded elimination of a degree ≤ 2 vertex.
+#[derive(Debug, Clone)]
+struct ElimStep {
+    v: u32,
+    pivot: f64,
+    /// Neighbors (and weights) of `v` at elimination time: 1 or 2 entries.
+    nbrs: Vec<(u32, f64)>,
+}
+
+/// Subgraph preconditioner with recorded partial elimination.
+pub struct SubgraphPreconditioner {
+    n: usize,
+    steps: Vec<ElimStep>,
+    core_vertices: Vec<u32>,
+    core_solver: Option<GroundedLaplacianSolver>,
+    /// Number of off-tree edges actually used.
+    pub extra_edges: usize,
+    /// Size of the un-eliminated core.
+    pub core_size: usize,
+}
+
+impl SubgraphPreconditioner {
+    /// Builds the preconditioner subgraph `B ⊆ g` and records its partial
+    /// elimination.
+    pub fn new(g: &Graph, opts: &SubgraphOptions) -> Self {
+        let n = g.num_vertices();
+        // --- Subgraph selection (tree + high-stretch extras) -------------
+        let tree_ids = match opts.tree {
+            SpanningTreeKind::MaxWeight => mst_max_kruskal(g),
+            SpanningTreeKind::LowStretch => low_stretch_tree(
+                g,
+                &LowStretchOptions {
+                    seed: opts.seed,
+                    ..Default::default()
+                },
+            ),
+        };
+        let mut in_b = vec![false; g.num_edges()];
+        for &e in &tree_ids {
+            in_b[e] = true;
+        }
+        let extra_target = ((n as f64) * opts.extra_fraction).ceil() as usize;
+        let mut extra_edges = 0usize;
+        if extra_target > 0 && tree_ids.len() < g.num_edges() {
+            let stretches = tree_stretches(g, &tree_ids);
+            let mut off: Vec<usize> = (0..g.num_edges()).filter(|&e| !in_b[e]).collect();
+            off.sort_by(|&a, &b| stretches[b].partial_cmp(&stretches[a]).unwrap());
+            for &e in off.iter().take(extra_target) {
+                in_b[e] = true;
+                extra_edges += 1;
+            }
+        }
+        let b = g.filter_edges(|i, _| in_b[i]);
+
+        // --- Greedy degree-1/2 elimination (recorded) --------------------
+        let mut rows: Vec<HashMap<u32, f64>> = (0..n)
+            .map(|v| {
+                b.neighbors(v)
+                    .map(|(u, w, _)| (u as u32, w))
+                    .collect::<HashMap<u32, f64>>()
+            })
+            .collect();
+        let mut eliminated = vec![false; n];
+        let mut queue: Vec<usize> = (0..n)
+            .filter(|&v| rows[v].len() <= 2 && !rows[v].is_empty())
+            .collect();
+        let mut steps = Vec::new();
+        while let Some(v) = queue.pop() {
+            if eliminated[v] || rows[v].is_empty() || rows[v].len() > 2 {
+                continue;
+            }
+            let nbrs: Vec<(u32, f64)> = rows[v].iter().map(|(&u, &w)| (u, w)).collect();
+            let pivot: f64 = nbrs.iter().map(|&(_, w)| w).sum();
+            eliminated[v] = true;
+            for &(u, _) in &nbrs {
+                rows[u as usize].remove(&(v as u32));
+            }
+            if nbrs.len() == 2 {
+                // Series fill edge between the two neighbors.
+                let (a, wa) = nbrs[0];
+                let (c, wc) = nbrs[1];
+                let fill = wa * wc / pivot;
+                *rows[a as usize].entry(c).or_insert(0.0) += fill;
+                *rows[c as usize].entry(a).or_insert(0.0) += fill;
+            }
+            for &(u, _) in &nbrs {
+                let deg = rows[u as usize].len();
+                if deg >= 1 && deg <= 2 && !eliminated[u as usize] {
+                    queue.push(u as usize);
+                }
+            }
+            rows[v].clear();
+            steps.push(ElimStep {
+                v: v as u32,
+                pivot,
+                nbrs,
+            });
+        }
+
+        // --- Core assembly ------------------------------------------------
+        let core_vertices: Vec<u32> = (0..n as u32)
+            .filter(|&v| !eliminated[v as usize] && !rows[v as usize].is_empty())
+            .collect();
+        let core_size = core_vertices.len();
+        assert!(
+            core_size <= opts.core_dense_limit,
+            "subgraph core has {core_size} vertices (> {}); add fewer extra edges",
+            opts.core_dense_limit
+        );
+        let mut core_index = vec![u32::MAX; n];
+        for (i, &v) in core_vertices.iter().enumerate() {
+            core_index[v as usize] = i as u32;
+        }
+        let core_solver = if core_size >= 2 {
+            let mut cb = hicond_graph::GraphBuilder::new(core_size);
+            for (i, &v) in core_vertices.iter().enumerate() {
+                for (&u, &w) in &rows[v as usize] {
+                    let j = core_index[u as usize];
+                    debug_assert!(j != u32::MAX, "core neighbor must be core");
+                    if (j as usize) > i {
+                        cb.add_edge(i, j as usize, w);
+                    }
+                }
+            }
+            Some(GroundedLaplacianSolver::new(
+                &cb.build(),
+                opts.core_dense_limit,
+            ))
+        } else {
+            None
+        };
+        SubgraphPreconditioner {
+            n,
+            steps,
+            core_vertices,
+            core_solver,
+            extra_edges,
+            core_size,
+        }
+    }
+}
+
+impl Preconditioner for SubgraphPreconditioner {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        // Forward substitution over the recorded eliminations.
+        let mut y = r.to_vec();
+        for s in &self.steps {
+            let yv = y[s.v as usize];
+            for &(u, w) in &s.nbrs {
+                y[u as usize] += (w / s.pivot) * yv;
+            }
+        }
+        // Core solve.
+        let mut x = vec![0.0; self.n];
+        if let Some(solver) = &self.core_solver {
+            let rhs: Vec<f64> = self.core_vertices.iter().map(|&v| y[v as usize]).collect();
+            let sol = solver.solve(&rhs);
+            for (i, &v) in self.core_vertices.iter().enumerate() {
+                x[v as usize] = sol[i];
+            }
+        }
+        // Backward substitution in reverse elimination order.
+        for s in self.steps.iter().rev() {
+            let mut acc = y[s.v as usize];
+            for &(u, w) in &s.nbrs {
+                acc += w * x[u as usize];
+            }
+            x[s.v as usize] = acc / s.pivot;
+        }
+        // Zero-mean (Laplacian kernel) normalization.
+        hicond_linalg::vector::deflate_constant(&mut x);
+        z.copy_from_slice(&x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::{generators, laplacian};
+    use hicond_linalg::cg::{cg_solve, pcg_solve, CgOptions};
+    use hicond_linalg::vector::{deflate_constant, dot, norm2};
+
+    fn consistent_rhs(n: usize, seed: u64) -> Vec<f64> {
+        let mut b: Vec<f64> = (0..n)
+            .map(|i| (((i as u64 + seed) * 2654435761) % 1009) as f64 / 500.0 - 1.0)
+            .collect();
+        deflate_constant(&mut b);
+        b
+    }
+
+    #[test]
+    fn apply_is_exact_inverse_of_subgraph_laplacian() {
+        // With extra_fraction 0 the subgraph is the MST; M⁻¹ must solve
+        // the tree Laplacian exactly.
+        let g = generators::triangulated_grid(5, 5, 1);
+        let opts = SubgraphOptions {
+            extra_fraction: 0.0,
+            ..Default::default()
+        };
+        let pre = SubgraphPreconditioner::new(&g, &opts);
+        let tree_ids = mst_max_kruskal(&g);
+        let tree = hicond_core::spanning::subgraph_of_edges(&g, &tree_ids);
+        let lt = laplacian(&tree);
+        let b = consistent_rhs(g.num_vertices(), 3);
+        let x = pre.apply(&b);
+        let lx = lt.mul(&x);
+        let mut diff: Vec<f64> = lx.iter().zip(&b).map(|(a, c)| a - c).collect();
+        deflate_constant(&mut diff);
+        assert!(norm2(&diff) < 1e-9, "residual {}", norm2(&diff));
+    }
+
+    #[test]
+    fn apply_exact_with_extras() {
+        // Same property with off-tree extras: M⁻¹ solves L_B exactly.
+        let g = generators::triangulated_grid(6, 6, 2);
+        let opts = SubgraphOptions {
+            extra_fraction: 0.1,
+            ..Default::default()
+        };
+        let pre = SubgraphPreconditioner::new(&g, &opts);
+        assert!(pre.extra_edges > 0);
+        // Rebuild B the same way to verify.
+        let tree_ids = mst_max_kruskal(&g);
+        let mut in_b = vec![false; g.num_edges()];
+        for &e in &tree_ids {
+            in_b[e] = true;
+        }
+        let stretches = hicond_core::lowstretch::tree_stretches(&g, &tree_ids);
+        let mut off: Vec<usize> = (0..g.num_edges()).filter(|&e| !in_b[e]).collect();
+        off.sort_by(|&a, &b| stretches[b].partial_cmp(&stretches[a]).unwrap());
+        let target = ((g.num_vertices() as f64) * 0.1).ceil() as usize;
+        for &e in off.iter().take(target) {
+            in_b[e] = true;
+        }
+        let bgraph = g.filter_edges(|i, _| in_b[i]);
+        let lb = laplacian(&bgraph);
+        let b = consistent_rhs(g.num_vertices(), 7);
+        let x = pre.apply(&b);
+        let lx = lb.mul(&x);
+        let mut diff: Vec<f64> = lx.iter().zip(&b).map(|(a, c)| a - c).collect();
+        deflate_constant(&mut diff);
+        assert!(norm2(&diff) < 1e-8, "residual {}", norm2(&diff));
+    }
+
+    #[test]
+    fn symmetric_positive() {
+        let g = generators::oct_like_grid3d(5, 5, 5, 4, generators::OctParams::default());
+        let pre = SubgraphPreconditioner::new(&g, &SubgraphOptions::default());
+        let n = g.num_vertices();
+        let x = consistent_rhs(n, 1);
+        let y = consistent_rhs(n, 2);
+        let mx = pre.apply(&x);
+        let my = pre.apply(&y);
+        assert!((dot(&y, &mx) - dot(&x, &my)).abs() < 1e-8 * dot(&y, &mx).abs().max(1.0));
+        assert!(dot(&x, &mx) > 0.0);
+    }
+
+    #[test]
+    fn pcg_with_subgraph_beats_plain() {
+        let g = generators::oct_like_grid3d(7, 7, 7, 6, generators::OctParams::default());
+        let a = laplacian(&g);
+        let b = consistent_rhs(g.num_vertices(), 5);
+        let opts = CgOptions {
+            rel_tol: 1e-8,
+            max_iter: 4000,
+            record_residuals: false,
+        };
+        let plain = cg_solve(&a, &b, &opts);
+        let pre = SubgraphPreconditioner::new(&g, &SubgraphOptions::default());
+        let fast = pcg_solve(&a, &pre, &b, &opts);
+        assert!(fast.converged);
+        assert!(
+            fast.iterations < plain.iterations,
+            "subgraph {} vs plain {}",
+            fast.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn pure_tree_core_is_trivial() {
+        let g = generators::random_tree(200, 9, 0.5, 2.0);
+        let pre = SubgraphPreconditioner::new(
+            &g,
+            &SubgraphOptions {
+                extra_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(pre.core_size, 0);
+        // Exactly inverts the tree Laplacian -> PCG converges immediately.
+        let a = laplacian(&g);
+        let b = consistent_rhs(200, 11);
+        let res = pcg_solve(&a, &pre, &b, &CgOptions::default());
+        assert!(res.converged);
+        assert!(res.iterations <= 3, "{}", res.iterations);
+    }
+
+    #[test]
+    fn core_size_grows_with_extras() {
+        let g = generators::grid2d(12, 12, |_, _| 1.0);
+        let small = SubgraphPreconditioner::new(
+            &g,
+            &SubgraphOptions {
+                extra_fraction: 0.02,
+                ..Default::default()
+            },
+        );
+        let large = SubgraphPreconditioner::new(
+            &g,
+            &SubgraphOptions {
+                extra_fraction: 0.2,
+                ..Default::default()
+            },
+        );
+        assert!(large.core_size >= small.core_size);
+        assert!(large.extra_edges > small.extra_edges);
+    }
+}

@@ -1,0 +1,150 @@
+//! Exact linear-time solves of forest Laplacians.
+//!
+//! For a tree, the Laplacian system `L x = b` (with `b` summing to zero on
+//! every component) is solved by one bottom-up pass accumulating subtree
+//! sums of `b` — the electrical-flow view: the current through each tree
+//! edge equals the net injection below it — and one top-down pass turning
+//! edge currents into potentials. The returned solution has zero mean per
+//! component.
+
+use hicond_graph::forest::RootedForest;
+use hicond_graph::Graph;
+
+/// Solves `L_F x = b` for the Laplacian of the forest `f`.
+///
+/// `b` must be consistent (sum zero on every component, up to `tol`);
+/// panics otherwise. The solution is normalized to zero mean per component.
+pub fn solve_forest(f: &RootedForest, b: &[f64], tol: f64) -> Vec<f64> {
+    let n = f.num_vertices();
+    assert_eq!(b.len(), n);
+    // Bottom-up: subtree sums of b.
+    let mut subtree_sum = b.to_vec();
+    let pre = f.preorder();
+    for i in (0..n).rev() {
+        let v = pre[i] as usize;
+        if let Some(p) = f.parent(v) {
+            subtree_sum[p] += subtree_sum[v];
+        }
+    }
+    // Top-down: x_v = x_parent + S_v / w(v, parent).
+    let mut x = vec![0.0; n];
+    for &v in pre {
+        let v = v as usize;
+        match f.parent(v) {
+            None => {
+                assert!(
+                    subtree_sum[v].abs() <= tol,
+                    "solve_forest: rhs not consistent on component of root {v} (residual {})",
+                    subtree_sum[v]
+                );
+                x[v] = 0.0;
+            }
+            Some(p) => {
+                x[v] = x[p] + subtree_sum[v] / f.parent_weight(v);
+            }
+        }
+    }
+    // Zero-mean per component.
+    let mut comp_sum = vec![0.0; n];
+    let mut comp_cnt = vec![0usize; n];
+    let mut comp_root = vec![0usize; n];
+    for &v in pre {
+        let v = v as usize;
+        comp_root[v] = match f.parent(v) {
+            None => v,
+            Some(p) => comp_root[p],
+        };
+        comp_sum[comp_root[v]] += x[v];
+        comp_cnt[comp_root[v]] += 1;
+    }
+    for v in 0..n {
+        x[v] -= comp_sum[comp_root[v]] / comp_cnt[comp_root[v]] as f64;
+    }
+    x
+}
+
+/// Convenience: solves the forest Laplacian of a `Graph` that is a forest.
+pub fn solve_forest_graph(g: &Graph, b: &[f64], tol: f64) -> Vec<f64> {
+    let f = RootedForest::from_graph(g).expect("solve_forest_graph: input has a cycle");
+    solve_forest(&f, b, tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::{generators, laplacian};
+    use hicond_linalg::LinearOperator;
+
+    fn check_solution(g: &Graph, b: &[f64]) {
+        let x = solve_forest_graph(g, b, 1e-9);
+        let l = laplacian(g);
+        let lx = l.apply(&x);
+        for (i, (got, want)) in lx.iter().zip(b).enumerate() {
+            assert!(
+                (got - want).abs() < 1e-8 * want.abs().max(1.0),
+                "residual at {i}: {got} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_vertices() {
+        let g = Graph::from_edges(2, &[(0, 1, 4.0)]);
+        check_solution(&g, &[2.0, -2.0]);
+    }
+
+    #[test]
+    fn weighted_path() {
+        let g = generators::path(6, |i| 1.0 + i as f64);
+        let mut b: Vec<f64> = (0..6).map(|i| (i as f64).sin()).collect();
+        let mean = b.iter().sum::<f64>() / 6.0;
+        for v in &mut b {
+            *v -= mean;
+        }
+        check_solution(&g, &b);
+    }
+
+    #[test]
+    fn random_trees() {
+        for seed in 0..10 {
+            let g = generators::random_tree(80, seed, 0.1, 10.0);
+            let mut b: Vec<f64> = (0..80).map(|i| ((i * 31 + 7) % 13) as f64 - 6.0).collect();
+            let mean = b.iter().sum::<f64>() / 80.0;
+            for v in &mut b {
+                *v -= mean;
+            }
+            check_solution(&g, &b);
+        }
+    }
+
+    #[test]
+    fn forest_components_independent() {
+        let g = Graph::from_edges(5, &[(0, 1, 1.0), (2, 3, 2.0), (3, 4, 1.0)]);
+        // Consistent per component.
+        let b = vec![1.0, -1.0, 2.0, -1.0, -1.0];
+        check_solution(&g, &b);
+        // Zero mean per component.
+        let x = solve_forest_graph(&g, &b, 1e-9);
+        assert!((x[0] + x[1]).abs() < 1e-12);
+        assert!((x[2] + x[3] + x[4]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not consistent")]
+    fn inconsistent_rhs_rejected() {
+        let g = Graph::from_edges(2, &[(0, 1, 1.0)]);
+        solve_forest_graph(&g, &[1.0, 0.0], 1e-9);
+    }
+
+    #[test]
+    fn star_solution_closed_form() {
+        // Star center 0, leaves 1..4, unit weights; b = e1 - e2.
+        let g = generators::star(5, |_| 1.0);
+        let b = vec![0.0, 1.0, -1.0, 0.0, 0.0];
+        let x = solve_forest_graph(&g, &b, 1e-12);
+        // x_1 - x_0 = 1, x_2 - x_0 = -1, x_3 = x_4 = x_0.
+        assert!((x[1] - x[0] - 1.0).abs() < 1e-12);
+        assert!((x[2] - x[0] + 1.0).abs() < 1e-12);
+        assert!((x[3] - x[0]).abs() < 1e-12);
+    }
+}

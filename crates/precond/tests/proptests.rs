@@ -1,0 +1,136 @@
+//! Property-based tests for the preconditioners: exactness of the fast
+//! Steiner apply against the explicit Schur complement, exactness of the
+//! subgraph elimination replay, and PCG correctness on random graphs.
+
+use hicond_core::{decompose_fixed_degree, FixedDegreeOptions};
+use hicond_graph::{laplacian, Graph};
+use hicond_linalg::cg::{pcg_solve, CgOptions};
+use hicond_linalg::schur::schur_complement;
+use hicond_linalg::vector::{deflate_constant, dot, norm2};
+use hicond_linalg::Preconditioner;
+use hicond_precond::treesolve::solve_forest_graph;
+use hicond_precond::{
+    steiner_laplacian, SteinerPreconditioner, SubgraphOptions, SubgraphPreconditioner,
+};
+use proptest::prelude::*;
+
+fn connected_graph(n: usize) -> impl Strategy<Value = Graph> {
+    (
+        prop::collection::vec(0.1..10.0f64, n - 1),
+        prop::collection::vec((0..n, 0..n, 0.1..10.0f64), 0..n),
+    )
+        .prop_map(move |(tw, ex)| {
+            let mut edges = Vec::new();
+            for (i, &w) in tw.iter().enumerate() {
+                let child = i + 1;
+                edges.push(((i * 5 + 1) % child.max(1), child, w));
+            }
+            for (u, v, w) in ex {
+                if u != v {
+                    edges.push((u, v, w));
+                }
+            }
+            Graph::from_edges(n, &edges)
+        })
+}
+
+fn random_tree(n: usize) -> impl Strategy<Value = Graph> {
+    prop::collection::vec((0.05..20.0f64, any::<u64>()), n - 1).prop_map(move |spec| {
+        let edges: Vec<(usize, usize, f64)> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, s))| {
+                let child = i + 1;
+                ((s as usize) % child.max(1), child, w)
+            })
+            .collect();
+        Graph::from_edges(n, &edges)
+    })
+}
+
+fn consistent(n: usize, seed: u64) -> Vec<f64> {
+    let mut b: Vec<f64> = (0..n)
+        .map(|i| {
+            (((i as u64).wrapping_add(seed)).wrapping_mul(2654435761) % 1009) as f64 / 500.0 - 1.0
+        })
+        .collect();
+    deflate_constant(&mut b);
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn steiner_apply_inverts_schur(g in connected_graph(18), seed in any::<u64>()) {
+        let p = decompose_fixed_degree(&g, &FixedDegreeOptions { k: 4, ..Default::default() });
+        let pre = SteinerPreconditioner::new(&g, &p, 100);
+        let sp = steiner_laplacian(&g, &p);
+        let ids: Vec<usize> = (18..18 + p.num_clusters()).collect();
+        let (b, _) = schur_complement(&sp, &ids);
+        let r = consistent(18, seed);
+        let z = pre.apply(&r);
+        let bz = b.mul(&z);
+        let mut diff: Vec<f64> = bz.iter().zip(&r).map(|(x, y)| x - y).collect();
+        deflate_constant(&mut diff);
+        prop_assert!(norm2(&diff) < 1e-7 * norm2(&r).max(1.0), "residual {}", norm2(&diff));
+    }
+
+    #[test]
+    fn steiner_apply_symmetric_positive(g in connected_graph(16), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let p = decompose_fixed_degree(&g, &FixedDegreeOptions { k: 4, ..Default::default() });
+        let pre = SteinerPreconditioner::new(&g, &p, 100);
+        let x = consistent(16, s1);
+        let y = consistent(16, s2);
+        let mx = pre.apply(&x);
+        let my = pre.apply(&y);
+        prop_assert!((dot(&y, &mx) - dot(&x, &my)).abs() < 1e-8 * dot(&y, &mx).abs().max(1.0));
+        if norm2(&x) > 1e-9 {
+            prop_assert!(dot(&x, &mx) > 0.0);
+        }
+    }
+
+    #[test]
+    fn subgraph_apply_inverts_its_laplacian(g in connected_graph(20), seed in any::<u64>()) {
+        // With extra_fraction = 0 the preconditioner graph is the max-weight
+        // spanning tree; the apply must solve its Laplacian exactly.
+        let pre = SubgraphPreconditioner::new(
+            &g,
+            &SubgraphOptions { extra_fraction: 0.0, ..Default::default() },
+        );
+        let tree_ids = hicond_core::spanning::mst_max_kruskal(&g);
+        let tree = hicond_core::spanning::subgraph_of_edges(&g, &tree_ids);
+        let lt = laplacian(&tree);
+        let r = consistent(20, seed);
+        let x = pre.apply(&r);
+        let lx = lt.mul(&x);
+        let mut diff: Vec<f64> = lx.iter().zip(&r).map(|(a, b)| a - b).collect();
+        deflate_constant(&mut diff);
+        prop_assert!(norm2(&diff) < 1e-7 * norm2(&r).max(1.0));
+    }
+
+    #[test]
+    fn forest_solver_exact(t in random_tree(30), seed in any::<u64>()) {
+        let b = consistent(30, seed);
+        let x = solve_forest_graph(&t, &b, 1e-7);
+        let l = laplacian(&t);
+        let lx = l.mul(&x);
+        for (a, c) in lx.iter().zip(&b) {
+            prop_assert!((a - c).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn pcg_steiner_converges_random(g in connected_graph(24), seed in any::<u64>()) {
+        let a = laplacian(&g);
+        let b = consistent(24, seed);
+        let p = decompose_fixed_degree(&g, &FixedDegreeOptions { k: 4, ..Default::default() });
+        let pre = SteinerPreconditioner::new(&g, &p, 100);
+        let res = pcg_solve(&a, &pre, &b, &CgOptions { rel_tol: 1e-9, max_iter: 500, ..Default::default() });
+        prop_assert!(res.converged, "iterations {}", res.iterations);
+        let ax = a.mul(&res.x);
+        let mut diff: Vec<f64> = ax.iter().zip(&b).map(|(x, y)| x - y).collect();
+        deflate_constant(&mut diff);
+        prop_assert!(norm2(&diff) <= 1e-6 * norm2(&b).max(1e-12));
+    }
+}

@@ -1,0 +1,389 @@
+//! Spectral / random-walk clustering — the paper's anticipated application
+//! ("we anticipate that this characterization may find applications in the
+//! practical computation of (φ, γ) decompositions for general graphs").
+//!
+//! Theorem 4.1 says low eigenvectors of `Â` live near `Range(D^{1/2}R)`,
+//! so the rows of `D^{-1/2}·[x₁ … x_k]` are nearly cluster-wise constant:
+//! embedding vertices by those rows and running a small k-means recovers
+//! the decomposition when it is strong. [`spectral_clustering`] implements
+//! exactly that.
+
+use crate::normalized::{normalized_eigenpairs_dense, normalized_eigenpairs_lanczos};
+use hicond_graph::{Graph, Partition};
+
+/// Options for [`spectral_clustering`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpectralClusteringOptions {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// k-means iterations.
+    pub kmeans_iters: usize,
+    /// k-means++-lite seeding and tie-breaking seed.
+    pub seed: u64,
+    /// Use the dense eigensolver below this size (exact), Lanczos above.
+    pub dense_limit: usize,
+}
+
+impl Default for SpectralClusteringOptions {
+    fn default() -> Self {
+        SpectralClusteringOptions {
+            k: 2,
+            kmeans_iters: 40,
+            seed: 3,
+            dense_limit: 200,
+        }
+    }
+}
+
+/// Plain Lloyd k-means on points of dimension `dim`, deterministic in
+/// `seed` (greedy farthest-point init from a seeded start).
+pub fn embedding_kmeans(points: &[Vec<f64>], k: usize, iters: usize, seed: u64) -> Vec<u32> {
+    let n = points.len();
+    assert!(k >= 1 && k <= n, "k out of range");
+    let dim = points[0].len();
+    let dist2 =
+        |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+    // Farthest-point seeding from a seed-derived start.
+    let mut centers: Vec<Vec<f64>> = vec![points[(seed as usize) % n].clone()];
+    while centers.len() < k {
+        let far = (0..n)
+            .max_by(|&a, &b| {
+                let da: f64 = centers
+                    .iter()
+                    .map(|c| dist2(&points[a], c))
+                    .fold(f64::MAX, f64::min);
+                let db: f64 = centers
+                    .iter()
+                    .map(|c| dist2(&points[b], c))
+                    .fold(f64::MAX, f64::min);
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap();
+        centers.push(points[far].clone());
+    }
+    let mut assign = vec![0u32; n];
+    for _ in 0..iters {
+        let mut changed = false;
+        for (i, pt) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(pt, &centers[a])
+                        .partial_cmp(&dist2(pt, &centers[b]))
+                        .unwrap()
+                })
+                .unwrap() as u32;
+            if best != assign[i] {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, pt) in points.iter().enumerate() {
+            let c = assign[i] as usize;
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(pt) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centers[c] = sums[c].clone();
+            }
+        }
+    }
+    assign
+}
+
+/// Spectral clustering into `k` parts via the `k` lowest nonzero
+/// eigenvectors of `Â`, embedded as `D^{-1/2} x` rows.
+pub fn spectral_clustering(g: &Graph, opts: &SpectralClusteringOptions) -> Partition {
+    let n = g.num_vertices();
+    let k = opts.k;
+    // k−1 nonzero-frequency eigenvectors carry the k-way structure (the
+    // kernel direction is cluster-constant already); using more mixes in
+    // within-cluster oscillation.
+    let dims = (k - 1).max(1);
+    let vecs = if n <= opts.dense_limit {
+        let (v, e) = normalized_eigenpairs_dense(g);
+        // Skip the kernel eigenvector(s) ~ 0.
+        let start = v.iter().position(|&x| x > 1e-9).unwrap_or(1);
+        e[start..(start + dims).min(n)].to_vec()
+    } else {
+        normalized_eigenpairs_lanczos(g, dims, 1e-7).1
+    };
+    let d_inv_sqrt: Vec<f64> = g
+        .volumes()
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    let points: Vec<Vec<f64>> = (0..n)
+        .map(|v| vecs.iter().map(|x| x[v] * d_inv_sqrt[v]).collect())
+        .collect();
+    let assign = embedding_kmeans(&points, k, opts.kmeans_iters, opts.seed);
+    Partition::from_assignment(assign, k).compact()
+}
+
+/// Options for [`walk_mixture_clustering`].
+#[derive(Debug, Clone, Copy)]
+pub struct WalkClusteringOptions {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Number of independent mixtures (embedding dimension); the paper's
+    /// `O(log n)`-ish handful.
+    pub num_mixtures: usize,
+    /// Walk length `t` per mixture.
+    pub steps: usize,
+    /// k-means iterations.
+    pub kmeans_iters: usize,
+    /// Seed for mixtures and k-means.
+    pub seed: u64,
+}
+
+impl Default for WalkClusteringOptions {
+    fn default() -> Self {
+        WalkClusteringOptions {
+            k: 2,
+            num_mixtures: 6,
+            steps: 10,
+            kmeans_iters: 40,
+            seed: 5,
+        }
+    }
+}
+
+/// Clustering from random-walk *distribution mixtures* — the paper's
+/// Section 4 proposal made concrete. Instead of eigenvectors (one global
+/// eigensolve each), embed every vertex by a handful of mixtures
+/// `Pᵗ w₁, …, Pᵗ w_r` with random `wᵢ` (each costs `t` matvecs — "time
+/// linear in t and the number of edges"), degree-normalize, and k-means.
+/// By Theorem 4.1 the mixtures concentrate near `Range(D^{1/2}R)`, so the
+/// embedding is nearly cluster-wise constant when the decomposition is
+/// strong.
+pub fn walk_mixture_clustering(g: &Graph, opts: &WalkClusteringOptions) -> Partition {
+    use crate::randwalk::random_walk_mixture;
+    let n = g.num_vertices();
+    // Deterministic pseudo-random ±1 mixtures, deflated against the
+    // stationary direction so the kernel does not swamp the signal.
+    let mut embeddings: Vec<Vec<f64>> = Vec::with_capacity(opts.num_mixtures);
+    for m in 0..opts.num_mixtures {
+        let mut w: Vec<f64> = (0..n)
+            .map(|v| {
+                let h = (v as u64)
+                    .wrapping_add(opts.seed.wrapping_mul(0x9E3779B97F4A7C15))
+                    .wrapping_add(m as u64)
+                    .wrapping_mul(0xBF58476D1CE4E5B9);
+                if (h >> 33) & 1 == 1 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
+            .collect();
+        // Remove the stationary component: subtract vol-weighted mean.
+        let total_vol = g.total_volume();
+        if total_vol > 0.0 {
+            let coeff: f64 = w.iter().sum::<f64>() / total_vol;
+            for (v, wv) in w.iter_mut().enumerate() {
+                *wv -= coeff * g.vol(v);
+            }
+        }
+        let q = random_walk_mixture(g, &w, opts.steps);
+        // Degree-normalize: cluster-wise ~constant coordinates.
+        let coords: Vec<f64> = (0..n)
+            .map(|v| {
+                let d = g.vol(v);
+                if d > 0.0 {
+                    q[v] / d
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        embeddings.push(coords);
+    }
+    let points: Vec<Vec<f64>> = (0..n)
+        .map(|v| embeddings.iter().map(|e| e[v]).collect())
+        .collect();
+    let assign = embedding_kmeans(&points, opts.k, opts.kmeans_iters, opts.seed);
+    Partition::from_assignment(assign, opts.k).compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted_blocks(k: usize, size: usize, p_bridge: f64) -> (Graph, Vec<u32>) {
+        // k cliques of `size`, chained by light bridges.
+        let n = k * size;
+        let mut edges = Vec::new();
+        for b in 0..k {
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    edges.push((b * size + i, b * size + j, 1.0));
+                }
+            }
+        }
+        for b in 0..k - 1 {
+            edges.push((b * size, (b + 1) * size, p_bridge));
+        }
+        let truth: Vec<u32> = (0..n).map(|v| (v / size) as u32).collect();
+        (Graph::from_edges(n, &edges), truth)
+    }
+
+    fn agreement(a: &[u32], b: &[u32], k: usize) -> f64 {
+        // Best-permutation agreement for small k by brute force.
+        let n = a.len();
+        let perms: Vec<Vec<u32>> = permutations(k as u32);
+        let mut best = 0usize;
+        for perm in &perms {
+            let matches = (0..n).filter(|&i| perm[a[i] as usize] == b[i]).count();
+            best = best.max(matches);
+        }
+        best as f64 / n as f64
+    }
+
+    fn permutations(k: u32) -> Vec<Vec<u32>> {
+        if k == 1 {
+            return vec![vec![0]];
+        }
+        let smaller = permutations(k - 1);
+        let mut out = Vec::new();
+        for p in smaller {
+            for pos in 0..=p.len() {
+                let mut q = p.clone();
+                q.insert(pos, k - 1);
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_two_blocks() {
+        let (g, truth) = planted_blocks(2, 8, 0.01);
+        let p = spectral_clustering(
+            &g,
+            &SpectralClusteringOptions {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let acc = agreement(p.assignment(), &truth, 2);
+        assert!(acc > 0.99, "accuracy {acc}");
+    }
+
+    #[test]
+    fn recovers_three_blocks() {
+        let (g, truth) = planted_blocks(3, 7, 0.02);
+        let p = spectral_clustering(
+            &g,
+            &SpectralClusteringOptions {
+                k: 3,
+                ..Default::default()
+            },
+        );
+        let acc = agreement(p.assignment(), &truth, 3);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn clusters_have_high_conductance_closures() {
+        // The recovered decomposition of a strongly clustered graph should
+        // itself be a good (φ, γ) decomposition.
+        let (g, _) = planted_blocks(2, 8, 0.01);
+        let p = spectral_clustering(
+            &g,
+            &SpectralClusteringOptions {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let q = p.quality(&g, 20);
+        assert!(q.phi > 0.5, "phi {}", q.phi);
+        assert!(q.gamma > 0.5, "gamma {}", q.gamma);
+    }
+
+    #[test]
+    fn walk_mixture_recovers_two_blocks() {
+        let (g, truth) = planted_blocks(2, 8, 0.01);
+        let p = walk_mixture_clustering(
+            &g,
+            &WalkClusteringOptions {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let acc = agreement(p.assignment(), &truth, 2);
+        assert!(acc > 0.99, "accuracy {acc}");
+    }
+
+    #[test]
+    fn walk_mixture_recovers_three_blocks() {
+        let (g, truth) = planted_blocks(3, 8, 0.01);
+        let p = walk_mixture_clustering(
+            &g,
+            &WalkClusteringOptions {
+                k: 3,
+                num_mixtures: 8,
+                steps: 14,
+                ..Default::default()
+            },
+        );
+        let acc = agreement(p.assignment(), &truth, 3);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn walk_mixture_matches_eigen_route_quality() {
+        // Both routes should produce low-cut decompositions on a strongly
+        // clustered graph; the walk route uses only matvecs.
+        let (g, _) = planted_blocks(2, 10, 0.02);
+        let eig = spectral_clustering(
+            &g,
+            &SpectralClusteringOptions {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let walk = walk_mixture_clustering(
+            &g,
+            &WalkClusteringOptions {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        let qe = eig.quality(&g, 14);
+        let qw = walk.quality(&g, 14);
+        assert!(
+            qw.cut_fraction <= 2.0 * qe.cut_fraction + 0.05,
+            "walk {} vs eigen {}",
+            qw.cut_fraction,
+            qe.cut_fraction
+        );
+    }
+
+    #[test]
+    fn kmeans_separates_obvious_points() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ];
+        let assign = embedding_kmeans(&points, 2, 20, 1);
+        assert_eq!(assign[0], assign[1]);
+        assert_eq!(assign[0], assign[2]);
+        assert_eq!(assign[3], assign[4]);
+        assert_ne!(assign[0], assign[3]);
+    }
+
+    use hicond_graph::Graph;
+}

@@ -1,0 +1,34 @@
+//! A spectral portrait of (φ, γ) decompositions — paper Section 4.
+//!
+//! The paper's Section 4 connects the low-frequency eigenvectors of the
+//! normalized Laplacian `Â = D^{-1/2} A D^{-1/2}` with the cluster
+//! structure of a `(φ, γ)` decomposition: Theorem 4.1 shows every unit
+//! vector in the span of eigenvectors with eigenvalues below `λᵢ` has a
+//! projection of squared norm at least `1 − 3λᵢ(1 + 2/(γφ²))` onto
+//! `Range(D^{1/2} R)` — the cluster-wise constant vectors scaled by the
+//! square roots of the vertex volumes.
+//!
+//! * [`normalized`] — the normalized Laplacian as an operator with exact
+//!   (dense) and iterative (Lanczos) eigenpairs;
+//! * [`randwalk`] — random-walk transition powers and distribution
+//!   mixtures `Pᵗ w`, computable in `O(t·m)` as the paper emphasizes;
+//! * [`portrait`] — the Theorem 4.1 projection machinery and bound checks;
+//! * [`clustering`] — the "anticipated application": a practical spectral /
+//!   random-walk embedding clustering heuristic seeded by the portrait.
+
+pub mod clustering;
+pub mod local;
+pub mod normalized;
+pub mod portrait;
+pub mod randwalk;
+
+pub use clustering::{
+    embedding_kmeans, spectral_clustering, walk_mixture_clustering, SpectralClusteringOptions,
+    WalkClusteringOptions,
+};
+pub use local::{local_cluster, LocalCluster, LocalClusterOptions};
+pub use normalized::{
+    normalized_eigenpairs_dense, normalized_eigenpairs_lanczos, NormalizedLaplacian,
+};
+pub use portrait::{portrait_check, portrait_projection, PortraitRow};
+pub use randwalk::{random_walk_mixture, stationary_distribution, walk_alignment};

@@ -1,0 +1,216 @@
+//! Local clustering by truncated random walks — the Spielman–Teng-style
+//! routine (\[28\] in the paper) that the introduction contrasts with the
+//! global distribution-mixture view of Section 4.
+//!
+//! "A particle doing a random walk tends to get 'trapped' in clusters of
+//! high conductance when the vertices of the cluster are connected to the
+//! exterior with relatively light edges; then the probability distribution
+//! Pᵗ_v after a small number t of steps ... is expected to provide
+//! information about the cluster where v belongs."
+//!
+//! [`local_cluster`] runs a truncated lazy walk from a seed vertex, orders
+//! vertices by the degree-normalized probability, and sweeps prefixes for
+//! the best-conductance local cut — without ever touching the rest of the
+//! graph beyond the walk's support.
+
+use hicond_graph::Graph;
+use std::collections::HashMap;
+
+/// Options for [`local_cluster`].
+#[derive(Debug, Clone, Copy)]
+pub struct LocalClusterOptions {
+    /// Walk steps `t` (the paper's "small number t").
+    pub steps: usize,
+    /// Probability mass below which entries are truncated away (keeps the
+    /// walk support — and the work — local).
+    pub truncate_eps: f64,
+    /// Cap on the volume of the returned cluster, as a fraction of the
+    /// graph's total volume.
+    pub max_vol_fraction: f64,
+}
+
+impl Default for LocalClusterOptions {
+    fn default() -> Self {
+        LocalClusterOptions {
+            steps: 12,
+            truncate_eps: 1e-7,
+            max_vol_fraction: 0.5,
+        }
+    }
+}
+
+/// Result of a local clustering attempt.
+#[derive(Debug, Clone)]
+pub struct LocalCluster {
+    /// Cluster vertices (contains the seed).
+    pub vertices: Vec<usize>,
+    /// Sparsity of the cut around the cluster.
+    pub conductance: f64,
+    /// Number of vertices the truncated walk touched.
+    pub support_size: usize,
+}
+
+/// One lazy-walk step with truncation, on a sparse distribution.
+fn lazy_step(g: &Graph, dist: &HashMap<usize, f64>, eps: f64) -> HashMap<usize, f64> {
+    let mut next: HashMap<usize, f64> = HashMap::with_capacity(dist.len() * 2);
+    for (&v, &mass) in dist {
+        // Lazy walk: keep half, spread half (guarantees convergence and
+        // the standard sweep analysis).
+        *next.entry(v).or_insert(0.0) += 0.5 * mass;
+        let dv = g.vol(v);
+        if dv <= 0.0 {
+            *next.entry(v).or_insert(0.0) += 0.5 * mass;
+            continue;
+        }
+        let share = 0.5 * mass / dv;
+        for (u, w, _) in g.neighbors(v) {
+            *next.entry(u).or_insert(0.0) += share * w;
+        }
+    }
+    next.retain(|_, m| *m >= eps);
+    next
+}
+
+/// Finds a low-conductance cluster around `seed` by a truncated lazy walk
+/// plus a sweep cut over the walk's support.
+pub fn local_cluster(g: &Graph, seed: usize, opts: &LocalClusterOptions) -> LocalCluster {
+    assert!(seed < g.num_vertices());
+    let mut dist: HashMap<usize, f64> = HashMap::new();
+    dist.insert(seed, 1.0);
+    for _ in 0..opts.steps {
+        dist = lazy_step(g, &dist, opts.truncate_eps);
+    }
+    let support_size = dist.len();
+    // Sweep by p(v)/vol(v).
+    let mut order: Vec<(usize, f64)> = dist
+        .iter()
+        .map(|(&v, &m)| {
+            let dv = g.vol(v).max(f64::MIN_POSITIVE);
+            (v, m / dv)
+        })
+        .collect();
+    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let total_vol = g.total_volume();
+    let vol_cap = opts.max_vol_fraction * total_vol;
+    let mut in_set = vec![false; g.num_vertices()];
+    let mut vol_in = 0.0;
+    let mut cap = 0.0;
+    let mut best = f64::INFINITY;
+    let mut best_prefix = 1usize;
+    for (idx, &(v, _)) in order.iter().enumerate() {
+        in_set[v] = true;
+        vol_in += g.vol(v);
+        for (u, w, _) in g.neighbors(v) {
+            if in_set[u] {
+                cap -= w;
+            } else {
+                cap += w;
+            }
+        }
+        if vol_in > vol_cap {
+            break;
+        }
+        let denom = vol_in.min(total_vol - vol_in);
+        if denom > 0.0 && cap / denom < best {
+            best = cap / denom;
+            best_prefix = idx + 1;
+        }
+    }
+    let vertices: Vec<usize> = order.iter().take(best_prefix).map(|&(v, _)| v).collect();
+    LocalCluster {
+        vertices,
+        conductance: best,
+        support_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::generators;
+
+    fn dumbbell(k: usize, bridge: f64) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push((i, j, 1.0));
+                edges.push((k + i, k + j, 1.0));
+            }
+        }
+        edges.push((0, k, bridge));
+        Graph::from_edges(2 * k, &edges)
+    }
+
+    #[test]
+    fn finds_the_bell_around_the_seed() {
+        let g = dumbbell(8, 0.01);
+        let c = local_cluster(&g, 3, &LocalClusterOptions::default());
+        let mut got: Vec<usize> = c.vertices.clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>(), "got {got:?}");
+        assert!(c.conductance < 0.01, "conductance {}", c.conductance);
+        // From the other side, finds the other bell.
+        let c2 = local_cluster(&g, 12, &LocalClusterOptions::default());
+        let mut got2 = c2.vertices.clone();
+        got2.sort_unstable();
+        assert_eq!(got2, (8..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn truncation_keeps_support_local() {
+        // Large ring of cliques: the walk from one clique must not touch
+        // distant cliques.
+        let k = 6;
+        let blocks = 20;
+        let mut edges = Vec::new();
+        for b in 0..blocks {
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    edges.push((b * k + i, b * k + j, 1.0));
+                }
+            }
+            edges.push((b * k, ((b + 1) % blocks) * k + 1, 0.05));
+        }
+        let g = Graph::from_edges(blocks * k, &edges);
+        // On a ring of cliques every arc of cliques is sparser than a
+        // single clique (same bridge capacity, more volume), so the volume
+        // cap must bind to keep the answer local: allow ~1.5 cliques.
+        let c = local_cluster(
+            &g,
+            0,
+            &LocalClusterOptions {
+                steps: 10,
+                truncate_eps: 1e-4,
+                max_vol_fraction: 0.08,
+            },
+        );
+        assert!(
+            c.support_size < blocks * k / 2,
+            "walk touched {} of {} vertices",
+            c.support_size,
+            blocks * k
+        );
+        // The found cluster is the seed's clique (possibly plus a
+        // neighbor or two).
+        assert!(c.vertices.contains(&0));
+        assert!(c.vertices.len() <= 2 * k);
+        assert!(c.conductance < 0.1);
+    }
+
+    #[test]
+    fn expander_gives_no_sparse_cut() {
+        let g = generators::complete(20, 1.0);
+        let c = local_cluster(&g, 0, &LocalClusterOptions::default());
+        // Best local conductance on a clique is high.
+        assert!(c.conductance > 0.4, "conductance {}", c.conductance);
+    }
+
+    #[test]
+    fn cluster_contains_seed() {
+        let g = generators::grid2d(10, 10, |_, _| 1.0);
+        for seed in [0, 37, 99] {
+            let c = local_cluster(&g, seed, &LocalClusterOptions::default());
+            assert!(c.vertices.contains(&seed), "seed {seed} missing");
+        }
+    }
+}

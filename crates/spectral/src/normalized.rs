@@ -1,0 +1,142 @@
+//! The normalized Laplacian `Â = D^{-1/2} A D^{-1/2}` as an operator.
+
+use hicond_graph::{laplacian, normalized_laplacian_scaling, Graph};
+use hicond_linalg::dense::jacobi_eigen;
+use hicond_linalg::lanczos::{lanczos_extreme, LanczosOptions, SpectrumEnd};
+use hicond_linalg::ops::{DiagonalCongruence, LinearOperator};
+use hicond_linalg::CsrMatrix;
+
+/// Owned normalized-Laplacian operator for a graph.
+pub struct NormalizedLaplacian {
+    lap: CsrMatrix,
+    /// `d_v` (volumes).
+    pub d: Vec<f64>,
+    /// `d_v^{-1/2}` (0 for isolated vertices).
+    pub d_inv_sqrt: Vec<f64>,
+    /// `d_v^{1/2}`.
+    pub d_sqrt: Vec<f64>,
+}
+
+impl NormalizedLaplacian {
+    /// Builds from a graph.
+    pub fn new(g: &Graph) -> Self {
+        let lap = laplacian(g);
+        let (d, d_inv_sqrt, d_sqrt) = normalized_laplacian_scaling(g);
+        NormalizedLaplacian {
+            lap,
+            d,
+            d_inv_sqrt,
+            d_sqrt,
+        }
+    }
+}
+
+impl LinearOperator for NormalizedLaplacian {
+    fn dim(&self) -> usize {
+        self.lap.nrows()
+    }
+
+    fn apply_into(&self, x: &[f64], y: &mut [f64]) {
+        let op = DiagonalCongruence::new(&self.lap, &self.d_inv_sqrt);
+        op.apply_into(x, y);
+    }
+}
+
+/// Exact eigenpairs of `Â` (ascending) by dense Jacobi. O(n³); for
+/// verification-scale graphs.
+pub fn normalized_eigenpairs_dense(g: &Graph) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = g.num_vertices();
+    let norm = NormalizedLaplacian::new(g);
+    let mut dense = norm.lap.to_dense();
+    for i in 0..n {
+        for j in 0..n {
+            dense[(i, j)] *= norm.d_inv_sqrt[i] * norm.d_inv_sqrt[j];
+        }
+    }
+    let (vals, vecs) = jacobi_eigen(&dense);
+    let cols = (0..n)
+        .map(|k| (0..n).map(|r| vecs[(r, k)]).collect())
+        .collect();
+    (vals, cols)
+}
+
+/// The lowest `k` *nonzero-frequency* eigenpairs of `Â` by Lanczos with the
+/// kernel direction `D^{1/2}·1` deflated (per connected component this is
+/// only exact for connected graphs; pass connected inputs).
+pub fn normalized_eigenpairs_lanczos(g: &Graph, k: usize, tol: f64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let norm = NormalizedLaplacian::new(g);
+    let res = lanczos_extreme(
+        &norm,
+        &LanczosOptions {
+            num_pairs: k,
+            which: SpectrumEnd::Smallest,
+            deflate: vec![norm.d_sqrt.clone()],
+            max_subspace: (8 * k + 60).min(g.num_vertices()),
+            tol,
+            ..Default::default()
+        },
+    );
+    (res.eigenvalues, res.eigenvectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::generators;
+
+    #[test]
+    fn spectrum_in_unit_range() {
+        let g = generators::triangulated_grid(5, 5, 1);
+        let (vals, _) = normalized_eigenpairs_dense(&g);
+        assert!(vals[0].abs() < 1e-9, "kernel eigenvalue {}", vals[0]);
+        for v in &vals {
+            assert!(*v >= -1e-9 && *v <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // Â of K_n has eigenvalues 0 and n/(n-1) (multiplicity n-1).
+        let n = 6;
+        let g = generators::complete(n, 1.0);
+        let (vals, _) = normalized_eigenpairs_dense(&g);
+        assert!(vals[0].abs() < 1e-9);
+        for v in &vals[1..] {
+            assert!((*v - n as f64 / (n as f64 - 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lanczos_matches_dense_low_end() {
+        let g = generators::grid2d(6, 5, |u, v| 1.0 + ((u + v) % 3) as f64);
+        let (dense_vals, _) = normalized_eigenpairs_dense(&g);
+        let (lan_vals, lan_vecs) = normalized_eigenpairs_lanczos(&g, 3, 1e-9);
+        for (k, lam) in lan_vals.iter().enumerate() {
+            // dense_vals[0] ~ 0 is the kernel; Lanczos deflated it.
+            assert!(
+                (lam - dense_vals[k + 1]).abs() < 1e-6,
+                "pair {k}: {lam} vs {}",
+                dense_vals[k + 1]
+            );
+        }
+        // Eigenvectors D^{1/2}-orthogonal to the kernel.
+        let norm = NormalizedLaplacian::new(&g);
+        for v in &lan_vecs {
+            let dot: f64 = v.iter().zip(&norm.d_sqrt).map(|(a, b)| a * b).sum();
+            assert!(dot.abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn eigenvalue_residuals() {
+        let g = generators::cycle(14, |i| 1.0 + (i % 2) as f64);
+        let norm = NormalizedLaplacian::new(&g);
+        let (vals, vecs) = normalized_eigenpairs_dense(&g);
+        for k in [1, 3, 7] {
+            let av = norm.apply(&vecs[k]);
+            for i in 0..14 {
+                assert!((av[i] - vals[k] * vecs[k][i]).abs() < 1e-8);
+            }
+        }
+    }
+}

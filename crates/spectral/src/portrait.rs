@@ -1,0 +1,179 @@
+//! Theorem 4.1 — the spectral portrait.
+//!
+//! For a `(φ, γ)` decomposition with membership matrix `R`, the subspace
+//! `Range(D^{1/2} R)` consists of cluster-wise constant vectors scaled by
+//! `√vol`. Theorem 4.1: any unit vector `x` in the span of `Â`-eigenvectors
+//! with eigenvalues `< λᵢ` satisfies
+//!
+//! ```text
+//! ‖proj_{Range(D^{1/2}R)} x‖² ≥ 1 − 3λᵢ(1 + 2/(γφ²)).
+//! ```
+//!
+//! Because clusters are disjoint, the columns of `D^{1/2}R` have disjoint
+//! support and the projection is computed cluster-by-cluster in O(n).
+
+use hicond_graph::{Graph, Partition};
+
+/// Squared norm of the projection of `x` onto `Range(D^{1/2} R)`.
+///
+/// `d_sqrt[v] = √vol(v)`. For unit `x` the returned value is `(xᵀz)²` in
+/// the paper's notation; `1 −` it is the squared distance to the subspace.
+pub fn portrait_projection(x: &[f64], d_sqrt: &[f64], p: &Partition) -> f64 {
+    let n = x.len();
+    assert_eq!(d_sqrt.len(), n);
+    assert_eq!(p.num_vertices(), n);
+    let m = p.num_clusters();
+    let mut dots = vec![0.0; m];
+    let mut norms = vec![0.0; m];
+    for v in 0..n {
+        let c = p.cluster_of(v);
+        dots[c] += x[v] * d_sqrt[v];
+        norms[c] += d_sqrt[v] * d_sqrt[v];
+    }
+    let mut proj = 0.0;
+    for c in 0..m {
+        if norms[c] > 0.0 {
+            proj += dots[c] * dots[c] / norms[c];
+        }
+    }
+    proj
+}
+
+/// One row of a Theorem 4.1 check.
+#[derive(Debug, Clone, Copy)]
+pub struct PortraitRow {
+    /// Eigenvalue `λ` of the checked eigenvector.
+    pub lambda: f64,
+    /// Measured alignment `(xᵀz)² = ‖proj‖²`.
+    pub alignment: f64,
+    /// The theorem's lower bound `1 − 3λ(1 + 2/(γφ²))` (may be negative —
+    /// then the bound is vacuous).
+    pub bound: f64,
+}
+
+/// Evaluates Theorem 4.1 for each of the given eigenpairs against the
+/// decomposition `p` with measured parameters `phi` and `gamma`.
+pub fn portrait_check(
+    g: &Graph,
+    p: &Partition,
+    eigenvalues: &[f64],
+    eigenvectors: &[Vec<f64>],
+    phi: f64,
+    gamma: f64,
+) -> Vec<PortraitRow> {
+    assert_eq!(eigenvalues.len(), eigenvectors.len());
+    let d_sqrt: Vec<f64> = g.volumes().iter().map(|&d| d.sqrt()).collect();
+    eigenvalues
+        .iter()
+        .zip(eigenvectors)
+        .map(|(&lambda, x)| {
+            let nrm: f64 = x.iter().map(|a| a * a).sum::<f64>().sqrt();
+            let unit: Vec<f64> = x.iter().map(|a| a / nrm).collect();
+            let alignment = portrait_projection(&unit, &d_sqrt, p);
+            let bound = 1.0 - 3.0 * lambda * (1.0 + 2.0 / (gamma * phi * phi));
+            PortraitRow {
+                lambda,
+                alignment,
+                bound,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalized::normalized_eigenpairs_dense;
+
+    /// Two K6 bells joined by a light edge; the natural 2-clustering.
+    fn dumbbell(bridge: f64) -> (Graph, Partition) {
+        let k = 6;
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push((i, j, 1.0));
+                edges.push((k + i, k + j, 1.0));
+            }
+        }
+        edges.push((0, k, bridge));
+        let g = Graph::from_edges(2 * k, &edges);
+        let assignment: Vec<u32> = (0..2 * k).map(|v| (v >= k) as u32).collect();
+        (g, Partition::from_assignment(assignment, 2))
+    }
+
+    #[test]
+    fn projection_of_subspace_vector_is_full() {
+        // x = D^{1/2} R c lies in the subspace: projection = ‖x‖².
+        let (g, p) = dumbbell(0.01);
+        let d_sqrt: Vec<f64> = g.volumes().iter().map(|&d| d.sqrt()).collect();
+        let x: Vec<f64> = (0..12)
+            .map(|v| d_sqrt[v] * if v < 6 { 2.0 } else { -1.0 })
+            .collect();
+        let norm_sq: f64 = x.iter().map(|a| a * a).sum();
+        let proj = portrait_projection(&x, &d_sqrt, &p);
+        assert!((proj - norm_sq).abs() < 1e-9 * norm_sq);
+    }
+
+    #[test]
+    fn projection_of_orthogonal_vector_is_zero() {
+        let (g, p) = dumbbell(0.01);
+        let d_sqrt: Vec<f64> = g.volumes().iter().map(|&d| d.sqrt()).collect();
+        // A vector D^{1/2}-orthogonal to cluster indicators within cluster 0.
+        let mut x = vec![0.0; 12];
+        x[0] = d_sqrt[1];
+        x[1] = -d_sqrt[0];
+        let proj = portrait_projection(&x, &d_sqrt, &p);
+        assert!(proj.abs() < 1e-12);
+    }
+
+    #[test]
+    fn theorem_4_1_on_dumbbell() {
+        let (g, p) = dumbbell(0.01);
+        let q = p.quality(&g, 20);
+        assert!(q.phi_exact);
+        let (vals, vecs) = normalized_eigenpairs_dense(&g);
+        // Check the two lowest eigenvectors (kernel + Fiedler).
+        let rows = portrait_check(&g, &p, &vals[..2], &vecs[..2], q.phi, q.gamma);
+        for row in &rows {
+            assert!(
+                row.alignment >= row.bound - 1e-9,
+                "Theorem 4.1 violated: alignment {} < bound {} at λ={}",
+                row.alignment,
+                row.bound,
+                row.lambda
+            );
+        }
+        // The Fiedler vector of a strongly clustered graph should be almost
+        // entirely inside the cluster subspace AND the bound non-vacuous.
+        assert!(rows[1].bound > 0.5, "bound too weak: {}", rows[1].bound);
+        assert!(rows[1].alignment > 0.95, "alignment {}", rows[1].alignment);
+    }
+
+    #[test]
+    fn theorem_4_1_across_spectrum() {
+        // All eigenvectors must satisfy the inequality (vacuous or not).
+        let (g, p) = dumbbell(0.05);
+        let q = p.quality(&g, 20);
+        let (vals, vecs) = normalized_eigenpairs_dense(&g);
+        let rows = portrait_check(&g, &p, &vals, &vecs, q.phi, q.gamma);
+        for row in rows {
+            assert!(row.alignment >= row.bound - 1e-9);
+            assert!(row.alignment <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tighter_bridge_means_tighter_alignment() {
+        let (g1, p1) = dumbbell(0.001);
+        let (g2, p2) = dumbbell(0.3);
+        let (v1, e1) = normalized_eigenpairs_dense(&g1);
+        let (v2, e2) = normalized_eigenpairs_dense(&g2);
+        let q1 = p1.quality(&g1, 20);
+        let q2 = p2.quality(&g2, 20);
+        let r1 = portrait_check(&g1, &p1, &v1[1..2], &e1[1..2], q1.phi, q1.gamma);
+        let r2 = portrait_check(&g2, &p2, &v2[1..2], &e2[1..2], q2.phi, q2.gamma);
+        assert!(r1[0].alignment >= r2[0].alignment - 1e-9);
+    }
+
+    use hicond_graph::Graph;
+}

@@ -1,0 +1,180 @@
+//! Random walks and distribution mixtures (Section 4's opening).
+//!
+//! The transition matrix is `P = I − A D⁻¹` (paper notation): column `i` of
+//! `Pᵗ` is the distribution of a `t`-step walk from vertex `i`. Computing a
+//! single `Pᵗ eᵢ` already costs `t` matvecs, but so does *any mixture*
+//! `Σᵢ wᵢ Pᵗ eᵢ = Pᵗ w` — "this can be done in time linear in t and the
+//! number of edges in the graph", which is the paper's motivation for the
+//! global spectral view.
+
+use hicond_graph::Graph;
+
+/// One step of the walk: `w ← P w = w − A(D⁻¹ w)`.
+///
+/// Equivalent formulation: mass at `v` redistributes to neighbors
+/// proportionally to edge weights (no laziness).
+pub fn walk_step(g: &Graph, w: &[f64]) -> Vec<f64> {
+    let n = g.num_vertices();
+    assert_eq!(w.len(), n);
+    let mut out = vec![0.0; n];
+    for v in 0..n {
+        let dv = g.vol(v);
+        if dv <= 0.0 {
+            out[v] += w[v]; // isolated mass stays put
+            continue;
+        }
+        let share = w[v] / dv;
+        for (u, wt, _) in g.neighbors(v) {
+            out[u] += share * wt;
+        }
+    }
+    out
+}
+
+/// `Pᵗ w` for an arbitrary mixture `w`, in `O(t·m)` time.
+pub fn random_walk_mixture(g: &Graph, w: &[f64], t: usize) -> Vec<f64> {
+    let mut cur = w.to_vec();
+    for _ in 0..t {
+        cur = walk_step(g, &cur);
+    }
+    cur
+}
+
+/// The stationary distribution `π(v) = vol(v)/vol(V)` of the walk on a
+/// connected non-bipartite graph.
+pub fn stationary_distribution(g: &Graph) -> Vec<f64> {
+    let total = g.total_volume();
+    assert!(total > 0.0, "graph has no edges");
+    (0..g.num_vertices()).map(|v| g.vol(v) / total).collect()
+}
+
+/// Section 4's "global question" made quantitative: how does the mixture
+/// `Pᵗ w` look in terms of the clusters of a decomposition?
+///
+/// Maps the distribution `q = Pᵗ w` to the normalized-Laplacian coordinate
+/// `x = D^{-1/2} q` (eigenvectors of `P` are `D^{1/2}`-scalings of `Â`'s)
+/// and returns the squared cosine of `x` against `Range(D^{1/2} R)` — the
+/// cluster-wise constant subspace of Theorem 4.1. Values near 1 mean the
+/// walk has mixed *within* clusters but not across them.
+pub fn walk_alignment(g: &Graph, p: &hicond_graph::Partition, w: &[f64], t: usize) -> f64 {
+    let q = random_walk_mixture(g, w, t);
+    let x: Vec<f64> = (0..g.num_vertices())
+        .map(|v| {
+            let d = g.vol(v);
+            if d > 0.0 {
+                q[v] / d.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let norm_sq: f64 = x.iter().map(|a| a * a).sum();
+    if norm_sq <= 0.0 {
+        return 0.0;
+    }
+    let d_sqrt: Vec<f64> = g.volumes().iter().map(|&d| d.sqrt()).collect();
+    crate::portrait::portrait_projection(&x, &d_sqrt, p) / norm_sq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::generators;
+
+    #[test]
+    fn mass_conserved() {
+        let g = generators::triangulated_grid(5, 5, 3);
+        let n = g.num_vertices();
+        let mut w = vec![0.0; n];
+        w[7] = 1.0;
+        let out = random_walk_mixture(&g, &w, 13);
+        let total: f64 = out.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(out.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn stationary_is_fixed_point() {
+        let g = generators::complete(6, 1.0);
+        let pi = stationary_distribution(&g);
+        let out = walk_step(&g, &pi);
+        for (a, b) in out.iter().zip(&pi) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convergence_to_stationary_nonbipartite() {
+        // Triangle-rich graph converges to π.
+        let g = generators::complete(5, 1.0);
+        let mut w = vec![0.0; 5];
+        w[0] = 1.0;
+        let out = random_walk_mixture(&g, &w, 60);
+        let pi = stationary_distribution(&g);
+        for (a, b) in out.iter().zip(&pi) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn walk_trapped_in_high_conductance_cluster() {
+        // Dumbbell: two K5's joined by one light edge. A short walk from
+        // inside one bell keeps almost all mass there (the paper's
+        // 'trapped particle' intuition).
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j, 1.0));
+                edges.push((5 + i, 5 + j, 1.0));
+            }
+        }
+        edges.push((0, 5, 0.01));
+        let g = Graph::from_edges(10, &edges);
+        let mut w = vec![0.0; 10];
+        w[2] = 1.0;
+        let out = random_walk_mixture(&g, &w, 8);
+        let left: f64 = out[..5].iter().sum();
+        assert!(left > 0.95, "mass leaked: left = {left}");
+    }
+
+    #[test]
+    fn walk_alignment_grows_with_t_on_clustered_graph() {
+        use hicond_graph::Partition;
+        // Dumbbell of two K5: walk from one vertex aligns with the
+        // 2-cluster subspace as t grows.
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j, 1.0));
+                edges.push((5 + i, 5 + j, 1.0));
+            }
+        }
+        edges.push((0, 5, 0.01));
+        let g = Graph::from_edges(10, &edges);
+        let p = Partition::from_assignment((0..10).map(|v| (v >= 5) as u32).collect(), 2);
+        let mut w = vec![0.0; 10];
+        w[2] = 1.0;
+        let a0 = walk_alignment(&g, &p, &w, 0);
+        let a5 = walk_alignment(&g, &p, &w, 5);
+        let a30 = walk_alignment(&g, &p, &w, 30);
+        assert!(a5 > a0, "a5 {a5} <= a0 {a0}");
+        assert!(a30 > 0.999, "a30 {a30}");
+    }
+
+    #[test]
+    fn mixture_linearity() {
+        // P^t(a·u + b·v) = a·P^t u + b·P^t v.
+        let g = generators::cycle(9, |_| 1.0);
+        let u: Vec<f64> = (0..9).map(|i| (i as f64).sin()).collect();
+        let v: Vec<f64> = (0..9).map(|i| (i as f64).cos()).collect();
+        let mix: Vec<f64> = u.iter().zip(&v).map(|(a, b)| 2.0 * a - 3.0 * b).collect();
+        let lhs = random_walk_mixture(&g, &mix, 5);
+        let pu = random_walk_mixture(&g, &u, 5);
+        let pv = random_walk_mixture(&g, &v, 5);
+        for i in 0..9 {
+            assert!((lhs[i] - (2.0 * pu[i] - 3.0 * pv[i])).abs() < 1e-12);
+        }
+    }
+
+    use hicond_graph::Graph;
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the spectral machinery: Theorem 4.1 must hold
+//! for arbitrary decompositions of arbitrary graphs, random walks must
+//! conserve mass, and projections must be contractions.
+
+use hicond_core::{decompose_fixed_degree, FixedDegreeOptions};
+use hicond_graph::{Graph, Partition};
+use hicond_spectral::normalized::normalized_eigenpairs_dense;
+use hicond_spectral::portrait::{portrait_check, portrait_projection};
+use hicond_spectral::randwalk::random_walk_mixture;
+use proptest::prelude::*;
+
+fn connected_graph(n: usize) -> impl Strategy<Value = Graph> {
+    (
+        prop::collection::vec(0.1..10.0f64, n - 1),
+        prop::collection::vec((0..n, 0..n, 0.1..10.0f64), 0..n),
+    )
+        .prop_map(move |(tw, ex)| {
+            let mut edges = Vec::new();
+            for (i, &w) in tw.iter().enumerate() {
+                let child = i + 1;
+                edges.push(((i * 3 + 1) % child.max(1), child, w));
+            }
+            for (u, v, w) in ex {
+                if u != v {
+                    edges.push((u, v, w));
+                }
+            }
+            Graph::from_edges(n, &edges)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn theorem_4_1_never_violated(g in connected_graph(14)) {
+        let p = decompose_fixed_degree(&g, &FixedDegreeOptions { k: 4, ..Default::default() });
+        let q = p.quality(&g, 16);
+        prop_assume!(q.phi_exact && q.phi > 0.0);
+        let (vals, vecs) = normalized_eigenpairs_dense(&g);
+        let rows = portrait_check(&g, &p, &vals, &vecs, q.phi, q.gamma.max(1e-12));
+        for r in rows {
+            prop_assert!(r.alignment >= r.bound - 1e-8,
+                "alignment {} < bound {} at lambda {}", r.alignment, r.bound, r.lambda);
+            prop_assert!(r.alignment <= 1.0 + 1e-8);
+        }
+    }
+
+    #[test]
+    fn projection_is_contraction(g in connected_graph(12), raw in prop::collection::vec(-3.0..3.0f64, 12)) {
+        let assignment: Vec<u32> = (0..12).map(|v| (v % 4) as u32).collect();
+        let p = Partition::from_assignment(assignment, 4);
+        let d_sqrt: Vec<f64> = g.volumes().iter().map(|&d| d.sqrt()).collect();
+        let norm_sq: f64 = raw.iter().map(|x| x * x).sum();
+        prop_assume!(norm_sq > 1e-6);
+        let proj = portrait_projection(&raw, &d_sqrt, &p);
+        prop_assert!(proj >= -1e-10);
+        prop_assert!(proj <= norm_sq + 1e-8 * norm_sq);
+    }
+
+    #[test]
+    fn walk_conserves_mass_and_nonnegativity(g in connected_graph(15), t in 0usize..30, src in 0usize..15) {
+        let mut w = vec![0.0; 15];
+        w[src] = 1.0;
+        let out = random_walk_mixture(&g, &w, t);
+        let total: f64 = out.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for &x in &out {
+            prop_assert!(x >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn normalized_spectrum_bounds(g in connected_graph(12)) {
+        let (vals, _) = normalized_eigenpairs_dense(&g);
+        prop_assert!(vals[0].abs() < 1e-7, "kernel eigenvalue {}", vals[0]);
+        for &v in &vals {
+            prop_assert!(v >= -1e-8 && v <= 2.0 + 1e-8);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Cheeger's inequality utilities.
+//!
+//! Lemma 3.4's proof uses `λ_min(D⁻¹A) ≥ φ²_A / 2` — one side of Cheeger's
+//! inequality \[6\] — together with Gershgorin's bound
+//! `λ_max(D⁻¹B) ≤ 2`. This module packages both bounds, and the full
+//! sandwich `λ₂/2 ≤ φ ≤ √(2·λ₂)` for the normalized Laplacian, as
+//! checkable quantities.
+
+use hicond_graph::{laplacian, normalized_laplacian_scaling, Graph};
+use hicond_linalg::dense::jacobi_eigen;
+
+/// The smallest nonzero eigenvalue `λ₂` of the normalized Laplacian,
+/// computed exactly (dense Jacobi). For verification-scale graphs.
+pub fn lambda2_normalized_dense(g: &Graph) -> f64 {
+    let n = g.num_vertices();
+    let a = laplacian(g);
+    let (_, d_inv_sqrt, _) = normalized_laplacian_scaling(g);
+    let mut dense = a.to_dense();
+    for i in 0..n {
+        for j in 0..n {
+            dense[(i, j)] *= d_inv_sqrt[i] * d_inv_sqrt[j];
+        }
+    }
+    let (vals, _) = jacobi_eigen(&dense);
+    vals.get(1).copied().unwrap_or(0.0).max(0.0)
+}
+
+/// The Cheeger sandwich `(λ₂/2, √(2λ₂))` bracketing the conductance.
+pub fn cheeger_bounds_dense(g: &Graph) -> (f64, f64) {
+    let l2 = lambda2_normalized_dense(g);
+    (l2 / 2.0, (2.0 * l2).sqrt())
+}
+
+/// Gershgorin bound used in Lemma 3.4: the largest eigenvalue of `D⁻¹A`
+/// for a Laplacian `A` with diagonal `D` is at most 2 (row sums of
+/// `D⁻¹A` are ≤ 2 in absolute value). Returns the exact `λ_max(D⁻¹A)`
+/// for verification.
+pub fn lambda_max_walk_dense(g: &Graph) -> f64 {
+    let n = g.num_vertices();
+    let a = laplacian(g);
+    let (_, d_inv_sqrt, _) = normalized_laplacian_scaling(g);
+    let mut dense = a.to_dense();
+    for i in 0..n {
+        for j in 0..n {
+            dense[(i, j)] *= d_inv_sqrt[i] * d_inv_sqrt[j];
+        }
+    }
+    let (vals, _) = jacobi_eigen(&dense);
+    *vals.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::{exact_conductance, generators};
+
+    #[test]
+    fn sandwich_holds_across_families() {
+        let graphs = vec![
+            generators::cycle(12, |_| 1.0),
+            generators::path(10, |i| 1.0 + (i % 3) as f64),
+            generators::complete(8, 1.0),
+            generators::star(10, |i| i as f64),
+            generators::grid2d(4, 4, |_, _| 1.0),
+            generators::triangulated_grid(4, 4, 5),
+        ];
+        for g in graphs {
+            let phi = exact_conductance(&g);
+            let (lo, hi) = cheeger_bounds_dense(&g);
+            assert!(
+                lo <= phi + 1e-9 && phi <= hi + 1e-9,
+                "sandwich violated: {lo} <= {phi} <= {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn gershgorin_bound_two() {
+        for g in [
+            generators::cycle(9, |_| 1.0),
+            generators::complete(7, 2.0),
+            generators::grid2d(3, 5, |u, v| 1.0 + ((u * v) % 4) as f64),
+        ] {
+            let lmax = lambda_max_walk_dense(&g);
+            assert!(lmax <= 2.0 + 1e-9, "λmax {lmax} > 2");
+        }
+        // Bipartite graphs meet the bound exactly.
+        let even_cycle = generators::cycle(8, |_| 1.0);
+        let lmax = lambda_max_walk_dense(&even_cycle);
+        assert!((lmax - 2.0).abs() < 1e-9, "bipartite λmax {lmax}");
+    }
+
+    #[test]
+    fn lemma_34_eigen_step() {
+        // λ_min(D⁻¹A) ≥ φ²/2 restricted off the kernel — the exact step
+        // the Lemma 3.4 proof takes.
+        let g = generators::cycle(10, |i| 1.0 + (i % 2) as f64);
+        let phi = exact_conductance(&g);
+        let l2 = lambda2_normalized_dense(&g);
+        assert!(
+            l2 >= phi * phi / 2.0 - 1e-9,
+            "λ₂ {l2} < φ²/2 {}",
+            phi * phi / 2.0
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Support theory for combinatorial preconditioning (paper Section 3 and
+//! Appendix; Boman & Hendrickson \[4\]).
+//!
+//! The *support* `σ(A, B) = min{t : xᵀ(τB − A)x ≥ 0 ∀x, τ ≥ t}` equals the
+//! largest generalized eigenvalue `λ_max(A, B)` (Lemma 5.3), and the
+//! condition number of a preconditioned pair is
+//! `κ(A, B) = σ(A, B)·σ(B, A)` (Definition 5.1). This crate provides:
+//!
+//! * [`support`] — exact (dense) and iterative support/condition numbers of
+//!   graph pairs and Laplacian-like matrix pairs;
+//! * [`splitting`] — the splitting lemma (Lemma 5.4) and
+//!   congestion/dilation bounds from explicit path embeddings (the
+//!   machinery behind the `σ ≤ 3` dilation step in Theorem 3.5);
+//! * [`star`] — the star-complement support bound of Lemma 3.4, including
+//!   construction of the Definition 3.1 cluster stars.
+
+pub mod cheeger;
+pub mod splitting;
+pub mod star;
+pub mod steiner_route;
+pub mod support;
+
+pub use cheeger::{cheeger_bounds_dense, lambda2_normalized_dense, lambda_max_walk_dense};
+pub use splitting::{embedding_support_bound, splitting_bound, FractionalEmbedding, PathEmbedding};
+pub use star::{star_laplacian, star_schur_support_exact};
+pub use steiner_route::{steiner_routing, SteinerRouting};
+pub use support::{
+    condition_number_dense, condition_number_iterative, support_dense, support_iterative,
+    support_matrices_dense,
+};

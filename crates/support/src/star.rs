@@ -1,0 +1,149 @@
+//! Star complements and Lemma 3.4.
+//!
+//! Definition 3.1 attaches to every cluster `V_i` a star `T_i` whose root
+//! connects to each cluster vertex `u` with weight `vol_A(u)`. Lemma 3.4
+//! bounds the support of the star's Schur complement against the cluster
+//! graph: with star weights `c_i ≤ γ⁻¹·a_i` (and the paper's condition on
+//! the heaviest vertex), `σ(S, A) ≤ 2/(γ·φ_A²)` where `φ_A` is the
+//! conductance of `A`.
+
+use hicond_linalg::schur::schur_complement;
+use hicond_linalg::{CooBuilder, CsrMatrix};
+
+/// Laplacian of the star with `weights.len()` leaves (vertices
+/// `0..n`) and root at index `n`, edge `i—root` of weight `weights[i]`.
+pub fn star_laplacian(weights: &[f64]) -> CsrMatrix {
+    let n = weights.len();
+    let mut b = CooBuilder::with_capacity(n + 1, n + 1, 3 * n + 1);
+    let mut total = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        assert!(w > 0.0, "star weights must be positive");
+        b.push(i, i, w);
+        b.push_sym(i, n, -w);
+        total += w;
+    }
+    b.push(n, n, total);
+    b.build()
+}
+
+/// Exact `σ(B_S, A)` where `B_S` is the Schur complement of the star with
+/// the given leaf `weights` after eliminating its root, and `a` is the
+/// Laplacian of the cluster graph on the same `n` vertices. Dense; for
+/// verification and the E5 experiment.
+pub fn star_schur_support_exact(weights: &[f64], a: &CsrMatrix) -> f64 {
+    let n = weights.len();
+    assert_eq!(a.nrows(), n, "cluster size mismatch");
+    let s = star_laplacian(weights);
+    let (b, kept) = schur_complement(&s, &[n]);
+    debug_assert_eq!(kept.len(), n);
+    crate::support::support_matrices_dense(&b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::{exact_conductance, generators, laplacian, Graph};
+
+    /// Lemma 3.4 right-hand side: 2/(γ·φ²).
+    fn lemma_bound(gamma: f64, phi: f64) -> f64 {
+        2.0 / (gamma * phi * phi)
+    }
+
+    #[test]
+    fn star_laplacian_shape() {
+        let s = star_laplacian(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.nrows(), 4);
+        assert_eq!(s.get(3, 3), 6.0);
+        assert_eq!(s.get(0, 3), -1.0);
+        // Laplacian row sums vanish.
+        for r in 0..4 {
+            let sum: f64 = s.row(r).map(|(_, v)| v).sum();
+            assert!(sum.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn schur_of_star_is_weighted_clique() {
+        let s = star_laplacian(&[1.0, 2.0, 3.0]);
+        let (b, _) = schur_complement(&s, &[3]);
+        // B_ij = -c_i c_j / total (paper Definition 5.5).
+        assert!((b.get(0, 1) + 1.0 * 2.0 / 6.0).abs() < 1e-12);
+        assert!((b.get(1, 2) + 2.0 * 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    /// Checks Lemma 3.4 on a cluster graph with the Definition 3.1 star
+    /// (c_u = vol(u), i.e. γ = min_u internal/vol — here the cluster is the
+    /// whole graph so γ = 1).
+    fn check_lemma_on_graph(g: &Graph) {
+        let n = g.num_vertices();
+        let a = laplacian(g);
+        let phi = exact_conductance(g);
+        assert!(phi > 0.0, "test graph must be connected");
+        // γ = 1 case: star weights exactly the volumes.
+        let vols: Vec<f64> = (0..n).map(|v| g.vol(v)).collect();
+        let sigma = star_schur_support_exact(&vols, &a);
+        let bound = lemma_bound(1.0, phi);
+        assert!(
+            sigma <= bound + 1e-6,
+            "σ = {sigma} exceeds Lemma 3.4 bound {bound} (φ = {phi})"
+        );
+    }
+
+    #[test]
+    fn lemma_34_on_cycles_paths_cliques() {
+        check_lemma_on_graph(&generators::cycle(6, |_| 1.0));
+        check_lemma_on_graph(&generators::cycle(9, |i| 1.0 + (i % 4) as f64));
+        check_lemma_on_graph(&generators::path(7, |_| 1.0));
+        check_lemma_on_graph(&generators::complete(6, 1.0));
+        check_lemma_on_graph(&generators::star(8, |i| i as f64));
+    }
+
+    #[test]
+    fn lemma_34_with_gamma_below_one() {
+        // Star weights c_i = γ⁻¹·vol_i with γ = 1/2 (case i of the lemma).
+        let g = generators::cycle(8, |_| 1.0);
+        let a = laplacian(&g);
+        let gamma: f64 = 0.5;
+        let weights: Vec<f64> = (0..8).map(|v| g.vol(v) / gamma).collect();
+        let sigma = star_schur_support_exact(&weights, &a);
+        let phi = exact_conductance(&g);
+        assert!(
+            sigma <= lemma_bound(gamma, phi) + 1e-6,
+            "σ = {sigma} vs bound {}",
+            lemma_bound(gamma, phi)
+        );
+    }
+
+    #[test]
+    fn lemma_34_heavy_vertex_case() {
+        // Case (ii): the heaviest vertex dominates the rest; its star
+        // weight may exceed γ⁻¹ a_n. Cluster: star graph center 0 heavy.
+        let g = generators::star(6, |_| 1.0); // center vol 5, leaves vol 1
+        let a = laplacian(&g);
+        let gamma: f64 = 1.0;
+        // Leaves capped by γ⁻¹·vol; center unbounded (case ii applies since
+        // vol(center) = Σ others).
+        let mut weights: Vec<f64> = (0..6).map(|v| g.vol(v) / gamma).collect();
+        weights[0] *= 10.0; // exaggerate the center's star weight
+        let sigma = star_schur_support_exact(&weights, &a);
+        let phi = exact_conductance(&g);
+        assert!(
+            sigma <= lemma_bound(gamma, phi) + 1e-6,
+            "σ = {sigma} vs {}",
+            lemma_bound(gamma, phi)
+        );
+    }
+
+    #[test]
+    fn support_tightness_sanity() {
+        // For the unweighted triangle with the volume star (c = 2,2,2), the
+        // Schur complement is exactly (2/3)·K₃, so σ(B, A) = 2/3 — well
+        // below the Lemma 3.4 bound.
+        let g = generators::complete(3, 1.0);
+        let a = laplacian(&g);
+        let vols = vec![2.0, 2.0, 2.0];
+        let sigma = star_schur_support_exact(&vols, &a);
+        assert!((sigma - 2.0 / 3.0).abs() < 1e-9, "σ = {sigma}");
+        assert!(sigma <= lemma_bound(1.0, exact_conductance(&g)) + 1e-9);
+    }
+}

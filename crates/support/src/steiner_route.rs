@@ -1,0 +1,204 @@
+//! The 3-hop routing step of Theorem 3.5, constructed explicitly.
+//!
+//! The proof routes every quotient edge `(rᵢ, rⱼ)` of `S_P` through the
+//! boundary edges of the original graph: each `e = (u, v)` with
+//! `u ∈ Vᵢ, v ∈ Vⱼ` carries the fraction `w(e)/cap(Vᵢ, Vⱼ)` of the
+//! quotient edge along the path `rᵢ → u → v → rⱼ` inside `S_P + A − Q`.
+//! "The capacities along p(e) are at least w(e)", so the embedding has
+//! **dilation 3 and congestion ≤ 1**, giving
+//! `σ(S_P + A, S_P + A − Q) ≤ 3`. This module builds the guest, the host
+//! and the fractional embedding so the claim is checkable, edge by edge.
+
+use crate::splitting::FractionalEmbedding;
+use hicond_graph::{Graph, GraphBuilder, Partition};
+
+/// The pieces of the Theorem 3.5 routing argument on the `(n+m)`-vertex
+/// Steiner vertex set (graph vertices `0..n`, roots `n..n+m`).
+pub struct SteinerRouting {
+    /// Guest: the quotient `Q` placed on the root vertices.
+    pub quotient: Graph,
+    /// Host: `S_P + A − Q` = volume stars plus the original edges.
+    pub host: Graph,
+    /// The fractional 3-hop embedding of the guest into the host.
+    pub embedding: FractionalEmbedding,
+}
+
+/// Builds the Theorem 3.5 routing structures for `(g, p)`.
+pub fn steiner_routing(g: &Graph, p: &Partition) -> SteinerRouting {
+    let n = g.num_vertices();
+    let m = p.num_clusters();
+    // Host: stars (u, root(u)) with vol weights, plus A's edges.
+    let mut hb = GraphBuilder::with_capacity(n + m, n + g.num_edges());
+    for v in 0..n {
+        if g.vol(v) > 0.0 {
+            hb.add_edge(v, n + p.cluster_of(v), g.vol(v));
+        }
+    }
+    for e in g.edges() {
+        hb.add_edge(e.u as usize, e.v as usize, e.w);
+    }
+    let host = hb.build();
+    // Guest: quotient edges on roots.
+    let q = p.quotient_graph(g);
+    let mut qb = GraphBuilder::with_capacity(n + m, q.num_edges());
+    for e in q.edges() {
+        qb.add_edge(n + e.u as usize, n + e.v as usize, e.w);
+    }
+    let quotient = qb.build();
+    // Embedding: for every quotient edge, split across boundary edges.
+    let mut paths: Vec<Vec<(Vec<usize>, f64)>> = vec![Vec::new(); quotient.num_edges()];
+    // Map cluster pair -> quotient edge id.
+    let mut pair_to_eid = std::collections::HashMap::new();
+    for (eid, e) in quotient.edges().iter().enumerate() {
+        let (i, j) = (e.u as usize - n, e.v as usize - n);
+        pair_to_eid.insert((i.min(j), i.max(j)), eid);
+    }
+    for e in g.edges() {
+        let (u, v) = (e.u as usize, e.v as usize);
+        let (ci, cj) = (p.cluster_of(u), p.cluster_of(v));
+        if ci == cj {
+            continue;
+        }
+        let key = (ci.min(cj), ci.max(cj));
+        let eid = pair_to_eid[&key];
+        let cap = quotient.edges()[eid].w;
+        paths[eid].push((vec![n + ci, u, v, n + cj], e.w / cap));
+    }
+    SteinerRouting {
+        quotient,
+        host,
+        embedding: FractionalEmbedding { paths },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support_dense;
+    use hicond_graph::generators;
+
+    fn decomposition(g: &Graph, k: usize) -> Partition {
+        hicond_core::decompose_fixed_degree(
+            g,
+            &hicond_core::FixedDegreeOptions {
+                k,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn embedding_valid_dilation_3_congestion_1() {
+        for (g, k) in [
+            (
+                generators::grid2d(6, 6, |u, v| 1.0 + ((u + v) % 3) as f64),
+                4,
+            ),
+            (generators::triangulated_grid(6, 6, 2), 4),
+            (generators::cycle(20, |i| 1.0 + (i % 5) as f64), 3),
+        ] {
+            let p = decomposition(&g, k);
+            let r = steiner_routing(&g, &p);
+            r.embedding.validate(&r.quotient, &r.host).unwrap();
+            let (c, d) = r.embedding.congestion_dilation(&r.quotient, &r.host);
+            assert!(d <= 3, "dilation {d}");
+            // "Capacities along p(e) are at least w(e)": per-edge load is
+            // exactly its own weight on the middle hop and ≤ vol on stars.
+            assert!(c <= 1.0 + 1e-9, "congestion {c}");
+        }
+    }
+
+    #[test]
+    fn support_bound_holds_and_is_3() {
+        let g = generators::grid2d(5, 5, |_, _| 1.0);
+        let p = decomposition(&g, 4);
+        let r = steiner_routing(&g, &p);
+        let bound = r.embedding.support_bound(&r.quotient, &r.host);
+        assert!(bound <= 3.0 + 1e-9, "bound {bound}");
+        // Exact support of guest against host (dense; both graphs live on
+        // the same n+m vertex set; restrict to the host's connected part).
+        // Guest is supported on roots only; add host to make the pencil
+        // well-posed as in the proof: σ(S_P + A, S_P + A − Q) ≤ 1 + σ(Q, host).
+        let sigma = support_dense(&r.quotient, &r.host);
+        assert!(
+            sigma <= bound + 1e-6,
+            "σ(Q, host) = {sigma} exceeds embedding bound {bound}"
+        );
+    }
+
+    #[test]
+    fn lemma_3_2_minimization_characterization() {
+        // Lemma 3.2: σ(B_S, A) = max_x min_y ([x;y]ᵀ S [x;y]) / (xᵀAx),
+        // and the inner minimum is attained at y*(x) = (Q + D_Q)⁻¹ Vᵀ x —
+        // the Schur-complement identity xᵀBx = min_y [x;y]ᵀS[x;y].
+        // Check the identity pointwise for several x on a concrete S_P.
+        use hicond_linalg::dense::CholeskyFactor;
+        use hicond_linalg::schur::schur_complement;
+        let g = generators::grid2d(4, 4, |u, v| 1.0 + ((u + v) % 3) as f64);
+        let n = g.num_vertices();
+        let p = decomposition(&g, 4);
+        let m = p.num_clusters();
+        let s = hicond_precond::steiner_laplacian(&g, &p);
+        let ids: Vec<usize> = (n..n + m).collect();
+        let (b, _) = schur_complement(&s, &ids);
+        // Steiner block (Q + D_Q) and coupling V from S.
+        let steiner_block = s.principal_submatrix(&ids);
+        let chol = CholeskyFactor::factor(&steiner_block.to_dense()).expect("Q + D_Q is SPD");
+        for seed in 0..4u64 {
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((((i as u64 + seed) * 48271) % 101) as f64 - 50.0) / 50.0)
+                .collect();
+            // Vᵀ x: rows n.. of S applied to [x; 0].
+            let mut ext = x.clone();
+            ext.extend(std::iter::repeat(0.0).take(m));
+            let s_ext = s.mul(&ext);
+            let vtx: Vec<f64> = (0..m).map(|j| -s_ext[n + j]).collect();
+            let ystar = chol.solve(&vtx);
+            // Form at the minimizer equals xᵀBx.
+            let mut full = x.clone();
+            full.extend(ystar.iter().copied());
+            let sf = s.mul(&full);
+            let quad_min: f64 = full.iter().zip(&sf).map(|(a, c)| a * c).sum();
+            let bx = b.mul(&x);
+            let quad_b: f64 = x.iter().zip(&bx).map(|(a, c)| a * c).sum();
+            assert!(
+                (quad_min - quad_b).abs() < 1e-8 * quad_b.abs().max(1.0),
+                "min form {quad_min} vs xᵀBx {quad_b}"
+            );
+            // Any other y is no better.
+            let mut worse = x.clone();
+            worse.extend(ystar.iter().map(|v| v + 0.1));
+            let sw = s.mul(&worse);
+            let quad_w: f64 = worse.iter().zip(&sw).map(|(a, c)| a * c).sum();
+            assert!(quad_w >= quad_min - 1e-10);
+        }
+    }
+
+    #[test]
+    fn theorem_3_5_first_inequality_end_to_end() {
+        // The paper states σ(S_P + A, S_P + A − Q) ≤ 3 from the dilation-3
+        // congestion-1 routing. Strictly, the splitting lemma must divide
+        // the host's capacity between supporting *itself* and carrying the
+        // routed Q (B₁ = αX for X, B₂ = (1−α)X for Q), giving
+        // max(1/α, 3/(1−α)) which optimizes to 4 at α = 1/4. Measured
+        // values land between 3 and 4 (e.g. ≈ 3.3 here) — the paper's 3 is
+        // the no-reuse shortcut; the end-to-end Theorem 3.5 bound remains
+        // comfortably valid either way (see `exp_support`).
+        let g = generators::triangulated_grid(5, 5, 7);
+        let p = decomposition(&g, 4);
+        let r = steiner_routing(&g, &p);
+        let n = g.num_vertices();
+        let m = p.num_clusters();
+        let mut full = GraphBuilder::new(n + m);
+        for e in r.host.edges() {
+            full.add_edge(e.u as usize, e.v as usize, e.w);
+        }
+        for e in r.quotient.edges() {
+            full.add_edge(e.u as usize, e.v as usize, e.w);
+        }
+        let sp_plus_a = full.build();
+        let sigma = support_dense(&sp_plus_a, &r.host);
+        assert!(sigma <= 4.0 + 1e-6, "σ(S_P+A, S_P+A−Q) = {sigma} > 4");
+        assert!(sigma >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,120 @@
+//! Support numbers σ(A,B) and condition numbers κ(A,B).
+//!
+//! Exact values come from the dense generalized eigensolver
+//! (`hicond-linalg::dense::pencil_eigen_dense`) with the shared
+//! constant-vector kernel projected out; large problems use the CG-based
+//! pencil power iteration. Both paths require the graphs/matrices to share
+//! that kernel — i.e. connected graphs on the same vertex set.
+
+use hicond_graph::{laplacian, Graph};
+use hicond_linalg::dense::pencil_eigen_dense;
+use hicond_linalg::pencil::{pencil_lambda_max, PencilOptions};
+use hicond_linalg::CsrMatrix;
+
+/// Exact `σ(A, B) = λ_max(A, B)` for two Laplacian-like symmetric PSD
+/// matrices whose common nullspace is the constant vector. O(n³).
+pub fn support_matrices_dense(a: &CsrMatrix, b: &CsrMatrix) -> f64 {
+    assert_eq!(a.nrows(), b.nrows(), "support: size mismatch");
+    let ones = vec![1.0; a.nrows()];
+    let vals = pencil_eigen_dense(&a.to_dense(), &b.to_dense(), &ones);
+    *vals.last().expect("nonempty spectrum")
+}
+
+/// Exact `σ(A, B)` for two connected graphs on the same vertex set.
+pub fn support_dense(a: &Graph, b: &Graph) -> f64 {
+    assert_eq!(a.num_vertices(), b.num_vertices());
+    support_matrices_dense(&laplacian(a), &laplacian(b))
+}
+
+/// Iterative `σ(A, B)` estimate for large graph pairs.
+pub fn support_iterative(a: &Graph, b: &Graph, opts: &PencilOptions) -> f64 {
+    pencil_lambda_max(&laplacian(a), &laplacian(b), opts)
+}
+
+/// Exact condition number `κ(A, B) = σ(A,B)·σ(B,A)` (Definition 5.1).
+pub fn condition_number_dense(a: &Graph, b: &Graph) -> f64 {
+    support_dense(a, b) * support_dense(b, a)
+}
+
+/// Iterative condition number estimate.
+pub fn condition_number_iterative(a: &Graph, b: &Graph, opts: &PencilOptions) -> f64 {
+    support_iterative(a, b, opts) * support_iterative(b, a, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::generators;
+
+    #[test]
+    fn support_of_subgraph_at_least_one() {
+        // B ⊆ A (same vertex set, fewer edges): σ(A, B) ≥ 1 and σ(B, A) ≤ 1.
+        let a = generators::cycle(8, |_| 1.0);
+        let b = generators::path(8, |_| 1.0); // cycle minus one edge
+        let s_ab = support_dense(&a, &b);
+        let s_ba = support_dense(&b, &a);
+        assert!(s_ab >= 1.0 - 1e-9, "σ(A,B) = {s_ab}");
+        assert!(s_ba <= 1.0 + 1e-9, "σ(B,A) = {s_ba}");
+        // κ ≥ 1 always.
+        assert!(s_ab * s_ba >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn support_scaling_law() {
+        // σ(cA, A) = c.
+        let a = generators::triangulated_grid(4, 4, 1);
+        let c = 3.5;
+        let scaled = a.map_weights(|_, e| e.w * c);
+        let s = support_dense(&scaled, &a);
+        assert!((s - c).abs() < 1e-8, "{s}");
+    }
+
+    #[test]
+    fn cycle_vs_path_known_support() {
+        // For unweighted C_n vs P_n (= C_n minus edge e), σ(C, P) = 1 + stretch
+        // contribution: xᵀCx = xᵀPx + (x_1-x_n)², and (x_1-x_n)² ≤ (n-1)·xᵀPx
+        // by Cauchy-Schwarz along the path, with equality for linear x.
+        // Hence σ(C, P) = n (P plus the edge supported at stretch n-1, plus 1).
+        let n = 6;
+        let c = generators::cycle(n, |_| 1.0);
+        let p = generators::path(n, |_| 1.0);
+        let s = support_dense(&c, &p);
+        assert!((s - n as f64).abs() < 1e-7, "σ = {s}, expected {n}");
+    }
+
+    #[test]
+    fn iterative_matches_dense() {
+        let a = generators::triangulated_grid(5, 5, 3);
+        let tree_ids = hicond_core::spanning::mst_max_kruskal(&a);
+        let b = hicond_core::spanning::subgraph_of_edges(&a, &tree_ids);
+        let exact = support_dense(&a, &b);
+        let approx = support_iterative(
+            &a,
+            &b,
+            &PencilOptions {
+                max_outer: 300,
+                outer_tol: 1e-10,
+                ..Default::default()
+            },
+        );
+        assert!(
+            (exact - approx).abs() < 2e-2 * exact,
+            "dense {exact} vs iterative {approx}"
+        );
+    }
+
+    #[test]
+    fn condition_number_of_self_is_one() {
+        let a = generators::grid2d(4, 4, |u, v| 1.0 + ((u + v) % 3) as f64);
+        let k = condition_number_dense(&a, &a);
+        assert!((k - 1.0).abs() < 1e-8, "{k}");
+    }
+
+    #[test]
+    fn condition_number_scale_invariant() {
+        let a = generators::grid2d(4, 3, |_, _| 1.0);
+        let b = a.map_weights(|_, e| e.w * 7.0);
+        let k = condition_number_dense(&a, &b);
+        assert!((k - 1.0).abs() < 1e-8, "{k}");
+    }
+}

@@ -1,0 +1,232 @@
+//! Generic parallel tree contraction by rake and compress (\[26\]).
+//!
+//! The classic scheme: repeatedly **rake** leaves into their parents and
+//! **compress** single-child internal vertices out of chains, until every
+//! vertex has contracted. Each round's *classification* is a data-parallel
+//! map over the live vertices (the PRAM structure Theorems 2.1–2.2 cite
+//! for their O(log n) parallel-time claims); the state updates are applied
+//! in a deterministic sweep.
+//!
+//! The module instantiates the scheme for weighted subtree sums. Each live
+//! vertex `v` carries `acc[v]` (the value mass of `v`'s finished subtree
+//! pieces) and `carry[v]` (mass spliced onto `v` from compressed ancestors
+//! that must flow *past* `v` to its parent but does not belong to `v`'s
+//! subtree). Raking a leaf finishes it; compressing `v` with single child
+//! `c` records `finished(v) = acc[v] + finished(c)` for later resolution
+//! and re-parents `c`.
+
+use hicond_graph::forest::RootedForest;
+use rayon::prelude::*;
+
+/// Result of a contraction run.
+#[derive(Debug, Clone)]
+pub struct ContractionResult {
+    /// Aggregate per vertex: Σ `value[u]` over `u` in the subtree of `v`.
+    pub subtree_sum: Vec<f64>,
+    /// Number of rake+compress rounds executed.
+    pub rounds: usize,
+}
+
+/// Computes all subtree sums of `value` over the forest by rake-and-
+/// compress contraction.
+pub fn subtree_sums_contraction(forest: &RootedForest, value: &[f64]) -> ContractionResult {
+    let n = forest.num_vertices();
+    assert_eq!(value.len(), n);
+    let mut parent: Vec<u32> = (0..n as u32)
+        .map(|v| forest.parent(v as usize).map(|p| p as u32).unwrap_or(v))
+        .collect();
+    let mut child_count: Vec<u32> = (0..n).map(|v| forest.children(v).len() as u32).collect();
+    let mut acc = value.to_vec();
+    let mut carry = vec![0.0; n];
+    let mut finished = vec![f64::NAN; n];
+    // When v splices ancestors over multiple rounds, the subtree of a newly
+    // spliced ancestor p is snapshot + subtree of the *previous* spliced
+    // ancestor on v's chain (p's original child on the path), not of v
+    // itself. chain_top[v] tracks that previous ancestor.
+    let mut chain_top: Vec<u32> = (0..n as u32).collect();
+    // (spliced vertex, heir, acc snapshot); heirs resolve topologically.
+    let mut pending: Vec<(u32, u32, f64)> = Vec::new();
+    let mut alive: Vec<u32> = (0..n as u32).collect();
+    let mut rounds = 0usize;
+
+    while !alive.is_empty() {
+        rounds += 1;
+        assert!(rounds <= 4 * 64, "contraction failed to converge");
+        // --- Parallel classification ---------------------------------
+        #[derive(Clone, Copy, PartialEq)]
+        enum Action {
+            Rake,
+            FinishRoot,
+            Keep,
+        }
+        let actions: Vec<Action> = alive
+            .par_iter()
+            .map(|&v| {
+                let vu = v as usize;
+                let is_root = parent[vu] == v;
+                match (child_count[vu], is_root) {
+                    (0, true) => Action::FinishRoot,
+                    (0, false) => Action::Rake,
+                    _ => Action::Keep,
+                }
+            })
+            .collect();
+        // --- Rake sweep (deterministic apply) --------------------------
+        let mut survivors = Vec::with_capacity(alive.len());
+        for (i, &v) in alive.iter().enumerate() {
+            let vu = v as usize;
+            match actions[i] {
+                Action::FinishRoot => {
+                    finished[vu] = acc[vu];
+                }
+                Action::Rake => {
+                    finished[vu] = acc[vu];
+                    let p = parent[vu] as usize;
+                    acc[p] += acc[vu] + carry[vu];
+                    child_count[p] -= 1;
+                }
+                Action::Keep => survivors.push(v),
+            }
+        }
+        // --- Compress sweep, child-driven: a live non-root vertex whose
+        // parent is a single-child non-root splices the parent out
+        // (child-driven avoids maintaining child pointers).
+        let mut next_alive = Vec::with_capacity(survivors.len());
+        let mut spliced = std::collections::HashSet::new();
+        for &v in &survivors {
+            let vu = v as usize;
+            let p = parent[vu];
+            let pu = p as usize;
+            let splice_ok = p != v
+                && child_count[pu] == 1
+                && parent[pu] != p // parent not a root
+                && !spliced.contains(&p)
+                && !spliced.contains(&v)
+                && finished[pu].is_nan();
+            if splice_ok {
+                let grand = parent[pu];
+                pending.push((p, chain_top[vu], acc[pu]));
+                // p may itself have absorbed ancestors; the merged chain's
+                // top is p's top, not p.
+                chain_top[vu] = chain_top[pu];
+                carry[vu] += acc[pu] + carry[pu];
+                parent[vu] = grand;
+                // Grandparent's child count is unchanged: loses p, gains v.
+                spliced.insert(p);
+            }
+        }
+        for &v in &survivors {
+            if !spliced.contains(&v) {
+                next_alive.push(v);
+            }
+        }
+        alive = next_alive;
+    }
+    // Resolve spliced vertices topologically: each depends only on its
+    // heir, which is either already finished (raked) or another pending
+    // entry; follow heir chains with an explicit stack.
+    let mut entry_of: std::collections::HashMap<u32, (u32, f64)> =
+        pending.iter().map(|&(v, h, s)| (v, (h, s))).collect();
+    for &(v, _, _) in &pending {
+        if !finished[v as usize].is_nan() {
+            continue;
+        }
+        let mut stack = vec![v];
+        while let Some(&top) = stack.last() {
+            let (heir, snapshot) = entry_of[&top];
+            if finished[heir as usize].is_nan() {
+                stack.push(heir);
+                continue;
+            }
+            finished[top as usize] = snapshot + finished[heir as usize];
+            stack.pop();
+        }
+    }
+    entry_of.clear();
+    debug_assert!(finished.iter().all(|x| !x.is_nan()));
+    ContractionResult {
+        subtree_sum: finished,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::generators;
+    use hicond_graph::Graph;
+
+    fn check(g: &Graph) -> usize {
+        let f = RootedForest::from_graph(g).unwrap();
+        let value: Vec<f64> = (0..g.num_vertices())
+            .map(|v| 1.0 + (v % 5) as f64)
+            .collect();
+        let res = subtree_sums_contraction(&f, &value);
+        let mut want = value.clone();
+        let pre = f.preorder();
+        for i in (0..pre.len()).rev() {
+            let v = pre[i] as usize;
+            if let Some(p) = f.parent(v) {
+                want[p] += want[v];
+            }
+        }
+        for v in 0..g.num_vertices() {
+            assert!(
+                (res.subtree_sum[v] - want[v]).abs() < 1e-9,
+                "vertex {v}: {} vs {}",
+                res.subtree_sum[v],
+                want[v]
+            );
+        }
+        res.rounds
+    }
+
+    #[test]
+    fn star_contracts_in_few_rounds() {
+        let g = generators::star(100, |_| 1.0);
+        let rounds = check(&g);
+        assert!(rounds <= 4, "rounds {rounds}");
+    }
+
+    #[test]
+    fn binary_tree_sums() {
+        check(&generators::balanced_binary(7, |_, _| 1.0));
+    }
+
+    #[test]
+    fn long_path_contracts_fast() {
+        let n = 4096;
+        let g = generators::path(n, |_| 1.0);
+        let rounds = check(&g);
+        // Chains compress aggressively; far below the O(log n)-round cap.
+        let cap = 6 * (usize::BITS - n.leading_zeros()) as usize;
+        assert!(rounds <= cap, "rounds {rounds} > {cap}");
+    }
+
+    #[test]
+    fn caterpillar_sums() {
+        check(&generators::caterpillar(50, 3, |_, _| 1.0));
+    }
+
+    #[test]
+    fn random_trees_match_reference() {
+        for seed in 0..10 {
+            check(&generators::random_tree(300, seed, 0.5, 2.0));
+        }
+    }
+
+    #[test]
+    fn forest_components() {
+        let g = Graph::from_edges(6, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0)]);
+        check(&g);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = Graph::from_edges(1, &[]);
+        let f = RootedForest::from_graph(&g).unwrap();
+        let res = subtree_sums_contraction(&f, &[7.0]);
+        assert_eq!(res.subtree_sum, vec![7.0]);
+        assert_eq!(res.rounds, 1);
+    }
+}

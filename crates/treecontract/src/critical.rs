@@ -1,0 +1,278 @@
+//! m-critical vertices and bridge decomposition (paper Section 2 /
+//! reference \[26\]).
+//!
+//! Given a rooted tree with subtree sizes `|descendants(v)|` (including
+//! `v`), a vertex `v` is **m-critical** iff (i) it is not a leaf and
+//! (ii) `⌈size(v)/m⌉ > ⌈size(w)/m⌉` for every child `w`. For `m = 3`
+//! these are the separators of Theorem 2.1. Removing the critical
+//! vertices splits the remaining vertices into **bridge** components.
+//!
+//! Structural facts (proved by the sandwich argument on `⌈size/3⌉` and
+//! asserted in debug builds / property tests):
+//!
+//! * every 3-critical vertex has `size ≥ 4`, so trees with `n ≤ 3` have none;
+//! * a bridge contains at most **one** vertex with a critical child;
+//! * a bridge with a critical child (paper: *internal* bridge) has at most
+//!   2 vertices; one without (paper: *external*) has at most 3.
+
+use hicond_graph::forest::RootedForest;
+use rayon::prelude::*;
+
+/// Flags the m-critical vertices. `sizes[v]` must be `|descendants(v)|`
+/// including `v` (use [`crate::euler::subtree_sizes_parallel`] or
+/// [`RootedForest::subtree_size`]).
+pub fn critical_vertices(forest: &RootedForest, sizes: &[u32], m: u32) -> Vec<bool> {
+    assert!(m >= 2, "criticality needs m >= 2");
+    let n = forest.num_vertices();
+    assert_eq!(sizes.len(), n);
+    let ceil_div = |s: u32| s.div_ceil(m);
+    (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let children = forest.children(v);
+            if children.is_empty() {
+                return false;
+            }
+            let my = ceil_div(sizes[v]);
+            children.iter().all(|&w| my > ceil_div(sizes[w as usize]))
+        })
+        .collect()
+}
+
+/// Which critical attachments a bridge has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BridgeKind {
+    /// No critical vertex anywhere (whole tree non-critical; `n ≤ m`).
+    Isolated,
+    /// Exactly one critical attachment (above or below).
+    External,
+    /// Critical attachments both above and below.
+    Internal,
+}
+
+/// A maximal connected component of non-critical vertices.
+#[derive(Debug, Clone)]
+pub struct Bridge {
+    /// Component vertices; `vertices\[0\]` is the top (closest to the root).
+    pub vertices: Vec<u32>,
+    /// The critical parent of the top vertex, if any.
+    pub parent_critical: Option<u32>,
+    /// `(bridge vertex, its critical child)` if the component has one.
+    pub critical_child: Option<(u32, u32)>,
+    /// Classification.
+    pub kind: BridgeKind,
+}
+
+/// All bridges of the forest plus the critical flags they were built from.
+#[derive(Debug, Clone)]
+pub struct Bridges {
+    /// Critical flags per vertex.
+    pub critical: Vec<bool>,
+    /// Bridge components covering exactly the non-critical vertices.
+    pub bridges: Vec<Bridge>,
+}
+
+/// Decomposes the non-critical vertices into bridge components
+/// (parallel over components).
+pub fn bridges(forest: &RootedForest, critical: &[bool]) -> Bridges {
+    let n = forest.num_vertices();
+    assert_eq!(critical.len(), n);
+    // Tops: non-critical vertices whose parent is critical or absent.
+    let tops: Vec<usize> = (0..n)
+        .filter(|&v| {
+            !critical[v]
+                && match forest.parent(v) {
+                    None => true,
+                    Some(p) => critical[p],
+                }
+        })
+        .collect();
+    let bridges: Vec<Bridge> = tops
+        .into_par_iter()
+        .map(|top| {
+            let mut vertices = Vec::new();
+            let mut critical_child = None;
+            let mut stack = vec![top as u32];
+            while let Some(v) = stack.pop() {
+                vertices.push(v);
+                for &c in forest.children(v as usize) {
+                    if critical[c as usize] {
+                        debug_assert!(critical_child.is_none(), "bridge has two critical children");
+                        critical_child = Some((v, c));
+                    } else {
+                        stack.push(c);
+                    }
+                }
+            }
+            let parent_critical = forest.parent(top).map(|p| p as u32);
+            let kind = match (parent_critical.is_some(), critical_child.is_some()) {
+                (true, true) => BridgeKind::Internal,
+                (false, false) => BridgeKind::Isolated,
+                _ => BridgeKind::External,
+            };
+            debug_assert!(
+                match kind {
+                    BridgeKind::Internal => vertices.len() <= 2,
+                    BridgeKind::External if parent_critical.is_some() => vertices.len() <= 3,
+                    _ => true,
+                },
+                "bridge size bound violated: kind {kind:?}, {} vertices",
+                vertices.len()
+            );
+            Bridge {
+                vertices,
+                parent_critical,
+                critical_child,
+                kind,
+            }
+        })
+        .collect();
+    Bridges {
+        critical: critical.to_vec(),
+        bridges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::euler::subtree_sizes_parallel;
+    use hicond_graph::generators;
+    use hicond_graph::Graph;
+
+    fn analyze(g: &Graph) -> (RootedForest, Vec<bool>, Bridges) {
+        let f = RootedForest::from_graph(g).unwrap();
+        let sizes = subtree_sizes_parallel(&f);
+        let crit = critical_vertices(&f, &sizes, 3);
+        let b = bridges(&f, &crit);
+        (f, crit, b)
+    }
+
+    #[test]
+    fn small_trees_have_no_criticals() {
+        for n in 1..=3 {
+            let g = generators::path(n, |_| 1.0);
+            let (_, crit, b) = analyze(&g);
+            assert!(crit.iter().all(|&c| !c));
+            if n >= 1 {
+                assert_eq!(b.bridges.len(), 1);
+                assert_eq!(b.bridges[0].kind, BridgeKind::Isolated);
+            }
+        }
+    }
+
+    #[test]
+    fn path7_critical_pattern() {
+        // Path rooted at 0; sizes from root: 7,6,5,4,3,2,1.
+        // ceil/3:            3,2,2,2,1,1,1 -> critical where value drops:
+        // vertex 0 (3>2) and vertex 3 (2>1).
+        let g = generators::path(7, |_| 1.0);
+        let (_, crit, b) = analyze(&g);
+        assert_eq!(crit, vec![true, false, false, true, false, false, false]);
+        // Bridges: {1,2} internal, {4,5,6} external.
+        assert_eq!(b.bridges.len(), 2);
+        let internal = b
+            .bridges
+            .iter()
+            .find(|br| br.kind == BridgeKind::Internal)
+            .unwrap();
+        assert_eq!(internal.vertices.len(), 2);
+        assert_eq!(internal.parent_critical, Some(0));
+        assert_eq!(internal.critical_child.unwrap().1, 3);
+        let external = b
+            .bridges
+            .iter()
+            .find(|br| br.kind == BridgeKind::External)
+            .unwrap();
+        assert_eq!(external.vertices.len(), 3);
+        assert_eq!(external.parent_critical, Some(3));
+    }
+
+    #[test]
+    fn star_center_critical() {
+        let g = generators::star(6, |_| 1.0);
+        let (_, crit, b) = analyze(&g);
+        assert!(crit[0]);
+        assert!(crit[1..].iter().all(|&c| !c));
+        // 5 singleton external bridges.
+        assert_eq!(b.bridges.len(), 5);
+        assert!(b
+            .bridges
+            .iter()
+            .all(|br| br.kind == BridgeKind::External && br.vertices.len() == 1));
+    }
+
+    #[test]
+    fn criticals_have_size_at_least_4() {
+        for seed in 0..30 {
+            let g = generators::random_tree(150, seed, 1.0, 1.0);
+            let f = RootedForest::from_graph(&g).unwrap();
+            let sizes = subtree_sizes_parallel(&f);
+            let crit = critical_vertices(&f, &sizes, 3);
+            for v in 0..150 {
+                if crit[v] {
+                    assert!(sizes[v] >= 4, "critical vertex with size {}", sizes[v]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn critical_count_bounded() {
+        // Reid-Miller et al.: at most 2n/m − 1 m-critical vertices.
+        for seed in 0..30 {
+            let n = 200;
+            let g = generators::random_tree(n, seed, 1.0, 1.0);
+            let (_, crit, _) = analyze(&g);
+            let count = crit.iter().filter(|&&c| c).count();
+            assert!(count <= 2 * n / 3, "too many criticals: {count}");
+        }
+    }
+
+    #[test]
+    fn bridges_cover_noncriticals_exactly_once() {
+        for seed in 0..20 {
+            let g = generators::random_tree(120, seed, 0.5, 2.0);
+            let (_, crit, b) = analyze(&g);
+            let mut seen = vec![0usize; 120];
+            for br in &b.bridges {
+                for &v in &br.vertices {
+                    seen[v as usize] += 1;
+                }
+            }
+            for v in 0..120 {
+                assert_eq!(seen[v], if crit[v] { 0 } else { 1 }, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_size_bounds_hold() {
+        for seed in 0..50 {
+            let g = generators::random_tree(300, seed, 1.0, 1.0);
+            let (_, _, b) = analyze(&g);
+            for br in &b.bridges {
+                match br.kind {
+                    BridgeKind::Internal => assert!(br.vertices.len() <= 2),
+                    BridgeKind::External => {
+                        if br.parent_critical.is_some() {
+                            assert!(br.vertices.len() <= 3)
+                        }
+                    }
+                    BridgeKind::Isolated => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_tree_bridges() {
+        let g = generators::balanced_binary(6, |_, _| 1.0);
+        let (_, crit, b) = analyze(&g);
+        assert!(crit.iter().any(|&c| c));
+        // All non-critical vertices covered.
+        let covered: usize = b.bridges.iter().map(|br| br.vertices.len()).sum();
+        let non_critical = crit.iter().filter(|&&c| !c).count();
+        assert_eq!(covered, non_critical);
+    }
+}

@@ -1,0 +1,196 @@
+//! Euler tours of rooted forests and tour-based parallel subtree sizes.
+//!
+//! The Euler tour of a rooted tree visits every edge twice (down and up).
+//! Linearizing the tour into a linked list and list-ranking it yields the
+//! classic O(log n)-time parallel computation of subtree sizes — the
+//! quantity `|descendants(v)|` that defines 3-critical vertices.
+
+use crate::listrank::{list_rank_parallel, list_rank_sequential};
+use hicond_graph::forest::RootedForest;
+use rayon::prelude::*;
+
+/// Euler tour of a rooted forest in successor-array form.
+///
+/// Arc `2v` is the *down* arc `parent(v) → v`; arc `2v+1` is the *up* arc
+/// `v → parent(v)`. Arcs of roots are unused and marked as self-loop
+/// singletons so the ranking treats them as isolated tails.
+#[derive(Debug, Clone)]
+pub struct EulerTour {
+    /// Successor of each arc in the tour (`succ[a] == a` at tour tails and
+    /// unused root slots).
+    pub succ: Vec<u32>,
+    /// First arc of each tree's tour, indexed like `forest.roots()`
+    /// (`u32::MAX` for single-vertex trees).
+    pub first_arc: Vec<u32>,
+}
+
+/// Builds the Euler tour of `forest`.
+pub fn euler_tour(forest: &RootedForest) -> EulerTour {
+    let n = forest.num_vertices();
+    let mut succ: Vec<u32> = (0..2 * n as u32).collect();
+    for v in 0..n {
+        let children = forest.children(v);
+        let down = 2 * v as u32;
+        let up = down + 1;
+        // succ(down into v): first child's down arc, else v's up arc.
+        if forest.parent(v).is_some() {
+            succ[down as usize] = match children.first() {
+                Some(&c0) => 2 * c0,
+                None => up,
+            };
+        }
+        // succ(up from v): next sibling's down arc, else parent's up arc
+        // (or tail if parent is a root at its last child).
+        if let Some(p) = forest.parent(v) {
+            let siblings = forest.children(p);
+            let my_pos = siblings.iter().position(|&c| c as usize == v).unwrap();
+            succ[up as usize] = if my_pos + 1 < siblings.len() {
+                2 * siblings[my_pos + 1]
+            } else if forest.parent(p).is_some() {
+                2 * p as u32 + 1
+            } else {
+                up // tail of this tree's tour
+            };
+        }
+    }
+    let first_arc: Vec<u32> = forest
+        .roots()
+        .iter()
+        .map(|&r| match forest.children(r as usize).first() {
+            Some(&c0) => 2 * c0,
+            None => u32::MAX,
+        })
+        .collect();
+    EulerTour { succ, first_arc }
+}
+
+/// Subtree sizes (`|descendants(v)|`, including `v`) via Euler tour +
+/// parallel list ranking. Matches [`RootedForest::subtree_size`] but runs
+/// in O(log n) parallel rounds.
+pub fn subtree_sizes_parallel(forest: &RootedForest) -> Vec<u32> {
+    subtree_sizes_impl(forest, true)
+}
+
+/// Sequential-ranking variant (for baseline timing comparisons).
+pub fn subtree_sizes_sequential_ranking(forest: &RootedForest) -> Vec<u32> {
+    subtree_sizes_impl(forest, false)
+}
+
+fn subtree_sizes_impl(forest: &RootedForest, parallel: bool) -> Vec<u32> {
+    let n = forest.num_vertices();
+    let tour = euler_tour(forest);
+    let rank = if parallel {
+        list_rank_parallel(&tour.succ)
+    } else {
+        list_rank_sequential(&tour.succ)
+    };
+    let mut size: Vec<u32> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            if forest.parent(v).is_some() {
+                // Arcs between down(v) and up(v), inclusive, count 2·size(v):
+                // rank(down) - rank(up) = 2·size(v) − 1.
+                (rank[2 * v] - rank[2 * v + 1] + 1) / 2
+            } else {
+                0 // placeholder, filled below
+            }
+        })
+        .collect();
+    for (ri, &r) in forest.roots().iter().enumerate() {
+        let fa = tour.first_arc[ri];
+        size[r as usize] = if fa == u32::MAX {
+            1
+        } else {
+            // Whole tour of the tree has rank(first)+1 arcs = 2·(size−1).
+            (rank[fa as usize] + 1) / 2 + 1
+        };
+    }
+    size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::generators;
+    use hicond_graph::Graph;
+
+    fn forest_of(g: &Graph) -> RootedForest {
+        RootedForest::from_graph(g).expect("input must be a forest")
+    }
+
+    fn check_matches_reference(g: &Graph) {
+        let f = forest_of(g);
+        let par = subtree_sizes_parallel(&f);
+        let seq = subtree_sizes_sequential_ranking(&f);
+        assert_eq!(par, seq);
+        for v in 0..f.num_vertices() {
+            assert_eq!(
+                par[v] as usize,
+                f.subtree_size(v),
+                "vertex {v}: tour {} vs dfs {}",
+                par[v],
+                f.subtree_size(v)
+            );
+        }
+    }
+
+    #[test]
+    fn path_sizes() {
+        check_matches_reference(&generators::path(10, |_| 1.0));
+    }
+
+    #[test]
+    fn star_sizes() {
+        check_matches_reference(&generators::star(8, |_| 1.0));
+    }
+
+    #[test]
+    fn binary_tree_sizes() {
+        check_matches_reference(&generators::balanced_binary(5, |_, _| 1.0));
+    }
+
+    #[test]
+    fn caterpillar_sizes() {
+        check_matches_reference(&generators::caterpillar(6, 3, |_, _| 1.0));
+    }
+
+    #[test]
+    fn random_trees_many_seeds() {
+        for seed in 0..20 {
+            check_matches_reference(&generators::random_tree(200, seed, 1.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn multi_component_forest() {
+        let g = Graph::from_edges(7, &[(0, 1, 1.0), (1, 2, 1.0), (3, 4, 1.0), (5, 6, 1.0)]);
+        check_matches_reference(&g);
+    }
+
+    #[test]
+    fn single_vertex_tree() {
+        let g = Graph::from_edges(1, &[]);
+        let f = forest_of(&g);
+        assert_eq!(subtree_sizes_parallel(&f), vec![1]);
+    }
+
+    #[test]
+    fn tour_visits_every_arc_once() {
+        let g = generators::balanced_binary(3, |_, _| 1.0);
+        let f = forest_of(&g);
+        let tour = euler_tour(&f);
+        let n = f.num_vertices();
+        // Follow the tour from the first arc; must visit 2(n-1) arcs.
+        let mut seen = std::collections::HashSet::new();
+        let mut a = tour.first_arc[0];
+        loop {
+            assert!(seen.insert(a), "arc repeated");
+            let s = tour.succ[a as usize];
+            if s == a {
+                break;
+            }
+            a = s;
+        }
+        assert_eq!(seen.len(), 2 * (n - 1));
+    }
+}

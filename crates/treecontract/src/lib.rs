@@ -1,0 +1,27 @@
+//! Parallel tree contraction machinery (\[26\] in the paper): list ranking,
+//! Euler tours, parallel subtree sizes, and the **3-critical vertices**
+//! with their **3-bridges** that drive the tree decomposition of
+//! Theorem 2.1.
+//!
+//! The paper's Theorem 2.1 computes a `[1/2, 6/5]`-decomposition of a tree
+//! whose "basic step is to compute an appropriate vertex separator of T,
+//! the so-called 3-critical vertices", doable "with linear work in
+//! O(log n) parallel time using the parallel tree contraction algorithms".
+//! This crate provides exactly that separator computation:
+//!
+//! * [`listrank`] — pointer-jumping list ranking (the PRAM classic, O(log n)
+//!   rounds), with a sequential linear-work fallback;
+//! * [`euler`] — Euler tours of rooted forests and parallel subtree sizes
+//!   derived from tour ranks;
+//! * [`critical`] — m-critical vertices and the decomposition of the tree
+//!   vertices into external/internal bridge components.
+
+pub mod contraction;
+pub mod critical;
+pub mod euler;
+pub mod listrank;
+
+pub use contraction::{subtree_sums_contraction, ContractionResult};
+pub use critical::{bridges, critical_vertices, Bridge, BridgeKind, Bridges};
+pub use euler::{euler_tour, subtree_sizes_parallel, EulerTour};
+pub use listrank::{list_rank_parallel, list_rank_parallel_with_rounds, list_rank_sequential};

@@ -1,0 +1,136 @@
+//! Property-based tests for the tree-contraction substrate.
+
+use hicond_graph::forest::RootedForest;
+use hicond_graph::Graph;
+use hicond_treecontract::contraction::subtree_sums_contraction;
+use hicond_treecontract::critical::{bridges, critical_vertices, BridgeKind};
+use hicond_treecontract::euler::{euler_tour, subtree_sizes_parallel};
+use hicond_treecontract::listrank::{list_rank_parallel, list_rank_sequential};
+use proptest::prelude::*;
+
+fn random_forest(n: usize) -> impl Strategy<Value = Graph> {
+    // Random attachment per vertex, some vertices left as roots.
+    prop::collection::vec((any::<u64>(), any::<bool>()), n - 1).prop_map(move |spec| {
+        let mut edges = Vec::new();
+        for (i, &(s, attach)) in spec.iter().enumerate() {
+            let child = i + 1;
+            if attach || child == 1 {
+                let parent = (s as usize) % child.max(1);
+                edges.push((parent, child, 1.0 + (s % 7) as f64));
+            }
+        }
+        Graph::from_edges(n, &edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn list_rank_parallel_matches_sequential(perm_seed in any::<u64>(), n in 2usize..400) {
+        // Permuted chain.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut state = perm_seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut next = vec![0u32; n];
+        for w in order.windows(2) {
+            next[w[0] as usize] = w[1];
+        }
+        let tail = *order.last().unwrap();
+        next[tail as usize] = tail;
+        prop_assert_eq!(list_rank_sequential(&next), list_rank_parallel(&next));
+    }
+
+    #[test]
+    fn euler_sizes_match_dfs(g in random_forest(80)) {
+        let f = RootedForest::from_graph(&g).unwrap();
+        let sizes = subtree_sizes_parallel(&f);
+        for v in 0..80 {
+            prop_assert_eq!(sizes[v] as usize, f.subtree_size(v));
+        }
+    }
+
+    #[test]
+    fn contraction_sums_match_dfs(g in random_forest(60),
+                                  vals in prop::collection::vec(-3.0..3.0f64, 60)) {
+        let f = RootedForest::from_graph(&g).unwrap();
+        let res = subtree_sums_contraction(&f, &vals);
+        let mut want = vals.clone();
+        let pre = f.preorder();
+        for i in (0..pre.len()).rev() {
+            let v = pre[i] as usize;
+            if let Some(p) = f.parent(v) {
+                want[p] += want[v];
+            }
+        }
+        for v in 0..60 {
+            prop_assert!((res.subtree_sum[v] - want[v]).abs() < 1e-9,
+                "vertex {}: {} vs {}", v, res.subtree_sum[v], want[v]);
+        }
+    }
+
+    #[test]
+    fn tour_arc_count(g in random_forest(50)) {
+        let f = RootedForest::from_graph(&g).unwrap();
+        let tour = euler_tour(&f);
+        // Every non-root vertex contributes exactly two live arcs; count
+        // arcs reachable from the first arcs of all trees.
+        let mut live = 0usize;
+        for (ri, &fa) in tour.first_arc.iter().enumerate() {
+            if fa == u32::MAX {
+                continue;
+            }
+            let mut a = fa;
+            loop {
+                live += 1;
+                prop_assert!(live <= 2 * 50, "tour loops");
+                let s = tour.succ[a as usize];
+                if s == a {
+                    break;
+                }
+                a = s;
+            }
+            let _ = ri;
+        }
+        let non_roots = (0..50).filter(|&v| f.parent(v).is_some()).count();
+        prop_assert_eq!(live, 2 * non_roots);
+    }
+
+    #[test]
+    fn critical_structure_invariants(g in random_forest(120)) {
+        let f = RootedForest::from_graph(&g).unwrap();
+        let sizes = subtree_sizes_parallel(&f);
+        let crit = critical_vertices(&f, &sizes, 3);
+        // Criticals have size >= 4 and are not leaves.
+        for v in 0..120 {
+            if crit[v] {
+                prop_assert!(sizes[v] >= 4);
+                prop_assert!(!f.is_leaf(v));
+            }
+        }
+        // Bridges partition the non-criticals with the size bounds.
+        let b = bridges(&f, &crit);
+        let mut covered = vec![false; 120];
+        for br in &b.bridges {
+            for &v in &br.vertices {
+                prop_assert!(!covered[v as usize], "double cover");
+                covered[v as usize] = true;
+                prop_assert!(!crit[v as usize]);
+            }
+            match br.kind {
+                BridgeKind::Internal => prop_assert!(br.vertices.len() <= 2),
+                BridgeKind::External if br.parent_critical.is_some() => {
+                    prop_assert!(br.vertices.len() <= 3)
+                }
+                _ => {}
+            }
+        }
+        for v in 0..120 {
+            prop_assert_eq!(covered[v], !crit[v]);
+        }
+    }
+}

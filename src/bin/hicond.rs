@@ -1,0 +1,233 @@
+//! `hicond` — command-line front end.
+//!
+//! ```text
+//! hicond decompose <graph-file> [--k K] [--method fixed|planar|tree] [--validate PHI RHO]
+//! hicond solve <graph-file> <rhs-file|--demo> [--tol T]
+//! hicond cluster <graph-file> --k K [--method eigen|walk]
+//! hicond info <graph-file>
+//! ```
+//!
+//! Graph files use the native edge-list format (`n m` header, `u v w`
+//! lines) or METIS (detected by extension `.metis` / `.graph`).
+
+use hicond::core::{
+    decompose_fixed_degree, decompose_forest, decompose_planar, validate_phi_rho,
+    FixedDegreeOptions, PlanarOptions,
+};
+use hicond::graph::{io, Graph};
+use hicond::precond::{LaplacianSolver, SolverOptions};
+use hicond::spectral::{
+    spectral_clustering, walk_mixture_clustering, SpectralClusteringOptions, WalkClusteringOptions,
+};
+use std::fs::File;
+use std::process::ExitCode;
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    if path.ends_with(".metis") || path.ends_with(".graph") {
+        io::read_metis(f, 1000.0).map_err(|e| format!("metis parse error: {e}"))
+    } else if path.ends_with(".dimacs") || path.ends_with(".col") {
+        io::read_dimacs(f).map_err(|e| format!("dimacs parse error: {e}"))
+    } else {
+        io::read_edge_list(f).map_err(|e| format!("edge-list parse error: {e}"))
+    }
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_info(path: &str) -> Result<(), String> {
+    let g = load_graph(path)?;
+    let (_, comps) = hicond::graph::connectivity::connected_components(&g);
+    let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+    for e in g.edges() {
+        lo = lo.min(e.w);
+        hi = hi.max(e.w);
+    }
+    println!("vertices:        {}", g.num_vertices());
+    println!("edges:           {}", g.num_edges());
+    println!("components:      {comps}");
+    println!("max degree:      {}", g.max_degree());
+    println!("total weight:    {:.6e}", g.total_weight());
+    if g.num_edges() > 0 {
+        println!("weight range:    [{lo:.3e}, {hi:.3e}]");
+    }
+    Ok(())
+}
+
+fn cmd_decompose(path: &str, args: &[String]) -> Result<(), String> {
+    let g = load_graph(path)?;
+    let k: usize = arg_value(args, "--k")
+        .map(|s| s.parse().map_err(|_| "bad --k".to_string()))
+        .transpose()?
+        .unwrap_or(8);
+    let method = arg_value(args, "--method").unwrap_or_else(|| "fixed".into());
+    let p = match method.as_str() {
+        "fixed" => decompose_fixed_degree(
+            &g,
+            &FixedDegreeOptions {
+                k,
+                ..Default::default()
+            },
+        ),
+        "planar" => decompose_planar(&g, &PlanarOptions::default()).partition,
+        "tree" => decompose_forest(&g),
+        other => return Err(format!("unknown method '{other}' (fixed|planar|tree)")),
+    };
+    let q = p.quality(&g, 18);
+    println!("method:          {method}");
+    println!("clusters:        {}", p.num_clusters());
+    println!("reduction rho:   {:.3}", q.rho);
+    println!(
+        "min phi:         {:.5} ({})",
+        q.phi,
+        if q.phi_exact { "exact" } else { "lower bound" }
+    );
+    println!("min gamma:       {:.4}", q.gamma);
+    println!("cut fraction:    {:.4}", q.cut_fraction);
+    println!("max cluster:     {}", q.max_cluster_size);
+    if let Some(phi_s) = arg_value(args, "--validate") {
+        let phi: f64 = phi_s
+            .parse()
+            .map_err(|_| "bad --validate PHI".to_string())?;
+        let rho: f64 = args
+            .iter()
+            .position(|a| a == "--validate")
+            .and_then(|i| args.get(i + 2))
+            .and_then(|s| s.parse().ok())
+            .ok_or("missing RHO after --validate PHI")?;
+        let cert = validate_phi_rho(&g, &p, phi, rho, 18);
+        println!(
+            "validation:      {}",
+            if cert.certified() {
+                "CERTIFIED"
+            } else if cert.plausible() {
+                "plausible (some clusters too large for exact check)"
+            } else {
+                "FAILED"
+            }
+        );
+        for v in cert.violations.iter().take(10) {
+            println!("  violation in cluster {}: {:?}", v.cluster, v.kind);
+        }
+    }
+    Ok(())
+}
+
+fn cmd_solve(path: &str, args: &[String]) -> Result<(), String> {
+    let g = load_graph(path)?;
+    let n = g.num_vertices();
+    let tol: f64 = arg_value(args, "--tol")
+        .map(|s| s.parse().map_err(|_| "bad --tol".to_string()))
+        .transpose()?
+        .unwrap_or(1e-8);
+    let b: Vec<f64> = if args.iter().any(|a| a == "--demo") {
+        // Unit dipole between the first and last vertex.
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        b[n - 1] = -1.0;
+        b
+    } else {
+        let rhs_path = args
+            .iter()
+            .find(|a| !a.starts_with("--") && a.as_str() != path)
+            .ok_or("need an rhs file or --demo")?;
+        let text =
+            std::fs::read_to_string(rhs_path).map_err(|e| format!("cannot read rhs: {e}"))?;
+        let vals: Result<Vec<f64>, _> = text.split_whitespace().map(|t| t.parse()).collect();
+        vals.map_err(|e| format!("bad rhs value: {e}"))?
+    };
+    let solver = LaplacianSolver::new(
+        &g,
+        &SolverOptions {
+            rel_tol: tol,
+            ..Default::default()
+        },
+    );
+    println!("hierarchy levels: {}", solver.num_levels());
+    match solver.solve(&b) {
+        Ok(sol) => {
+            println!(
+                "converged in {} iterations (relative residual {:.2e})",
+                sol.iterations, sol.rel_residual
+            );
+            let mut preview = String::new();
+            for (i, x) in sol.x.iter().take(8).enumerate() {
+                preview.push_str(&format!("x[{i}] = {x:.6e}  "));
+            }
+            println!("{preview}...");
+            Ok(())
+        }
+        Err(e) => Err(format!("solve failed: {e}")),
+    }
+}
+
+fn cmd_cluster(path: &str, args: &[String]) -> Result<(), String> {
+    let g = load_graph(path)?;
+    let k: usize = arg_value(args, "--k")
+        .map(|s| s.parse().map_err(|_| "bad --k".to_string()))
+        .transpose()?
+        .ok_or("cluster needs --k K")?;
+    let method = arg_value(args, "--method").unwrap_or_else(|| "walk".into());
+    let p = match method.as_str() {
+        "eigen" => spectral_clustering(
+            &g,
+            &SpectralClusteringOptions {
+                k,
+                ..Default::default()
+            },
+        ),
+        "walk" => walk_mixture_clustering(
+            &g,
+            &WalkClusteringOptions {
+                k,
+                ..Default::default()
+            },
+        ),
+        other => return Err(format!("unknown method '{other}' (eigen|walk)")),
+    };
+    let q = p.quality(&g, 18);
+    println!(
+        "clusters: {} (cut fraction {:.4}, gamma {:.4})",
+        p.num_clusters(),
+        q.cut_fraction,
+        q.gamma
+    );
+    for (i, c) in p.clusters().iter().enumerate().take(20) {
+        let head: Vec<usize> = c.iter().copied().take(12).collect();
+        println!(
+            "  cluster {i} ({} vertices): {head:?}{}",
+            c.len(),
+            if c.len() > 12 { " ..." } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage:\n  hicond info <graph>\n  hicond decompose <graph> [--k K] [--method fixed|planar|tree] [--validate PHI RHO]\n  hicond solve <graph> <rhs|--demo> [--tol T]\n  hicond cluster <graph> --k K [--method eigen|walk]\n\ngraph files: native edge list ('n m' header + 'u v w' lines) or METIS (.metis/.graph)"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match (args.first().map(|s| s.as_str()), args.get(1)) {
+        (Some("info"), Some(path)) => cmd_info(path),
+        (Some("decompose"), Some(path)) => cmd_decompose(path, &args[2..]),
+        (Some("solve"), Some(path)) => cmd_solve(path, &args[2..]),
+        (Some("cluster"), Some(path)) => cmd_cluster(path, &args[2..]),
+        _ => {
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! # hicond
+//!
+//! Graph partitioning into **isolated, high-conductance clusters**, with
+//! applications to combinatorial preconditioning — a from-scratch Rust
+//! implementation of Koutis & Miller (SPAA 2008).
+//!
+//! A `[φ, ρ]`-decomposition splits a weighted graph into vertex-disjoint
+//! clusters such that every cluster's *closure graph* (induced subgraph
+//! plus a pendant per boundary edge) has conductance at least `φ`, while
+//! shrinking the vertex count by a factor `ρ`. Such decompositions yield
+//! *Steiner preconditioners* with provably bounded support
+//! (`σ(S_P, A) ≤ 3(1 + 2/φ³)`, Theorem 3.5) whose application is
+//! embarrassingly parallel.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use hicond::prelude::*;
+//!
+//! // An "OCT-scan-like" weighted 3D grid (the paper's stress workload).
+//! let g = generators::oct_like_grid3d(8, 8, 8, 7, generators::OctParams::default());
+//!
+//! // The Section 3.1 three-pass clustering: [1/(2d²k), 2] decomposition.
+//! let p = decompose_fixed_degree(&g, &FixedDegreeOptions { k: 8, ..Default::default() });
+//! assert!(p.reduction_factor() >= 2.0);
+//!
+//! // Solve a Laplacian system with the Steiner preconditioner.
+//! let a = laplacian(&g);
+//! let pre = SteinerPreconditioner::new(&g, &p, 2000);
+//! let mut b: Vec<f64> = (0..g.num_vertices()).map(|i| (i % 10) as f64 - 4.5).collect();
+//! hicond::linalg::vector::deflate_constant(&mut b);
+//! let result = pcg_solve(&a, &pre, &b, &CgOptions::default());
+//! assert!(result.converged);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`graph`] | weighted CSR graphs, conductance, closures, quotients, generators |
+//! | [`linalg`] | CSR/dense kernels, CG/PCG, Lanczos, Schur complements, pencils |
+//! | [`treecontract`] | list ranking, Euler tours, 3-critical vertices, bridges |
+//! | [`core`] | the `[φ, ρ]` decompositions (Thms 2.1–2.3, Sec 3.1) and hierarchies |
+//! | [`support`] | support theory: σ(A,B), splitting lemma, star complements |
+//! | [`precond`] | Steiner + multilevel + subgraph preconditioners |
+//! | [`spectral`] | normalized Laplacians, random walks, Theorem 4.1 portraits |
+
+pub use hicond_core as core;
+pub use hicond_graph as graph;
+pub use hicond_linalg as linalg;
+pub use hicond_precond as precond;
+pub use hicond_spectral as spectral;
+pub use hicond_support as support;
+pub use hicond_treecontract as treecontract;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use hicond_core::{
+        build_hierarchy, decompose_fixed_degree, decompose_forest, decompose_minor_free,
+        decompose_planar, decompose_recursive_bisection, refine_gamma, sparsify_by_stretch,
+        validate_phi_rho, FixedDegreeOptions, Hierarchy, HierarchyOptions, PlanarOptions,
+        RecursiveBisectionOptions, RefineOptions, SpanningTreeKind, SparsifyOptions,
+    };
+    pub use hicond_graph::{generators, laplacian, Graph, Partition};
+    pub use hicond_linalg::{
+        cg_solve, pcg_solve, CgOptions, CsrMatrix, LinearOperator, Preconditioner,
+    };
+    pub use hicond_precond::{
+        LaplacianSolver, MultilevelOptions, MultilevelSteiner, SolverOptions,
+        SteinerPreconditioner, SubgraphOptions, SubgraphPreconditioner,
+    };
+    pub use hicond_spectral::{
+        local_cluster, portrait_check, spectral_clustering, walk_mixture_clustering,
+        LocalClusterOptions, SpectralClusteringOptions, WalkClusteringOptions,
+    };
+    pub use hicond_support::{condition_number_dense, support_dense};
+}

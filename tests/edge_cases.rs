@@ -1,0 +1,218 @@
+//! Edge-case robustness across the public API: tiny graphs, isolated
+//! vertices, single components, degenerate decompositions. A library
+//! users adopt must not panic on the boundaries.
+
+use hicond::core::{validate_phi_rho, RefineOptions};
+use hicond::graph::Graph;
+use hicond::precond::{LaplacianSolver, SolverOptions};
+use hicond::prelude::*;
+
+#[test]
+fn single_vertex_graph() {
+    let g = Graph::from_edges(1, &[]);
+    let p = decompose_fixed_degree(&g, &FixedDegreeOptions::default());
+    assert_eq!(p.num_clusters(), 1);
+    let p = decompose_forest(&g);
+    assert_eq!(p.num_clusters(), 1);
+    let q = p.quality(&g, 10);
+    assert_eq!(q.num_clusters, 1);
+}
+
+#[test]
+fn two_vertex_graph() {
+    let g = Graph::from_edges(2, &[(0, 1, 3.0)]);
+    let p = decompose_fixed_degree(&g, &FixedDegreeOptions::default());
+    assert_eq!(p.num_clusters(), 1);
+    assert!(p.clusters_connected(&g));
+    let pre = SteinerPreconditioner::new(&g, &p, 10);
+    let mut b = vec![1.0, -1.0];
+    let a = laplacian(&g);
+    let r = pcg_solve(&a, &pre, &b, &CgOptions::default());
+    assert!(r.converged);
+    b[0] = 0.0; // also works on trivial rhs
+}
+
+#[test]
+fn edgeless_graph_many_vertices() {
+    let g = Graph::from_edges(5, &[]);
+    let p = decompose_fixed_degree(&g, &FixedDegreeOptions::default());
+    assert_eq!(p.num_clusters(), 5); // all isolated singletons
+    let p = decompose_forest(&g);
+    assert_eq!(p.num_clusters(), 5);
+}
+
+#[test]
+fn isolated_vertices_survive_whole_pipeline() {
+    // Component {0..5}, isolated {6, 7}.
+    let g = Graph::from_edges(
+        8,
+        &[
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 4, 2.0),
+            (4, 5, 1.0),
+            (5, 0, 1.0),
+        ],
+    );
+    let p = decompose_fixed_degree(
+        &g,
+        &FixedDegreeOptions {
+            k: 3,
+            ..Default::default()
+        },
+    );
+    assert!(p.clusters_connected(&g));
+    let solver = LaplacianSolver::new(&g, &SolverOptions::default());
+    let b = vec![1.0, 0.0, 0.0, -1.0, 0.0, 0.0, 0.0, 0.0];
+    let sol = solver.solve(&b).unwrap();
+    // Isolated vertices stay at zero.
+    assert_eq!(sol.x[6], 0.0);
+    assert_eq!(sol.x[7], 0.0);
+}
+
+#[test]
+fn hierarchy_bottoms_out_on_tiny_graphs() {
+    let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+    let h = build_hierarchy(
+        &g,
+        &HierarchyOptions {
+            coarse_size: 1,
+            ..Default::default()
+        },
+    );
+    assert!(h.num_levels() >= 1);
+    let ml = MultilevelSteiner::new(&g, &MultilevelOptions::default());
+    assert!(ml.num_levels() >= 1);
+}
+
+#[test]
+fn validator_on_degenerate_partitions() {
+    let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]);
+    // Whole graph as one cluster: no boundary, closure = graph itself.
+    let p = hicond::graph::Partition::from_assignment(vec![0, 0, 0, 0], 1);
+    let cert = validate_phi_rho(&g, &p, 0.1, 1.0, 20);
+    assert!(cert.certified(), "{:?}", cert.violations);
+    // Singletons: conductance of single-vertex closures is vacuous but γ=0.
+    let s = hicond::graph::Partition::singletons(4);
+    let cert = validate_phi_rho(&g, &s, 0.0, 1.0, 20);
+    assert!(cert.rho_ok);
+}
+
+#[test]
+fn refine_on_tiny_partitions() {
+    let g = Graph::from_edges(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+    let p = hicond::graph::Partition::from_assignment(vec![0, 0, 1], 2);
+    // Refinement may not create singletons out of the 2-cluster.
+    let (r, _) = hicond::core::refine_gamma(&g, &p, &RefineOptions::default());
+    assert!(r.clusters_connected(&g));
+    for c in r.clusters() {
+        assert!(!c.is_empty());
+    }
+}
+
+#[test]
+fn spectral_on_small_graphs() {
+    let g = Graph::from_edges(4, &[(0, 1, 5.0), (2, 3, 5.0), (1, 2, 0.1)]);
+    let p = spectral_clustering(
+        &g,
+        &SpectralClusteringOptions {
+            k: 2,
+            ..Default::default()
+        },
+    );
+    assert_eq!(p.cluster_of(0), p.cluster_of(1));
+    assert_eq!(p.cluster_of(2), p.cluster_of(3));
+    assert_ne!(p.cluster_of(0), p.cluster_of(2));
+}
+
+#[test]
+fn planar_pipeline_on_tiny_inputs() {
+    for n in [1usize, 2, 3, 4] {
+        let edges: Vec<(usize, usize, f64)> =
+            (0..n.saturating_sub(1)).map(|i| (i, i + 1, 1.0)).collect();
+        let g = Graph::from_edges(n, &edges);
+        let d = decompose_planar(&g, &PlanarOptions::default());
+        assert_eq!(d.partition.num_vertices(), n);
+        assert!(d.partition.clusters_connected(&g));
+    }
+}
+
+#[test]
+fn closure_of_full_vertex_set_has_no_pendants() {
+    let g = Graph::from_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)]);
+    let all: Vec<usize> = (0..4).collect();
+    let c = hicond::graph::closure_graph(&g, &all);
+    assert_eq!(c.num_vertices(), 4);
+    assert_eq!(c.num_edges(), 4);
+}
+
+#[test]
+fn heavy_weight_dynamic_range() {
+    // 6 orders of magnitude of weight variation: solvable to tight
+    // tolerance in f64 (attainable accuracy ~ eps·κ).
+    let g = Graph::from_edges(
+        6,
+        &[
+            (0, 1, 1e-3),
+            (1, 2, 1e3),
+            (2, 3, 1.0),
+            (3, 4, 1e-3),
+            (4, 5, 1e3),
+            (5, 0, 1.0),
+        ],
+    );
+    let p = decompose_fixed_degree(
+        &g,
+        &FixedDegreeOptions {
+            k: 3,
+            ..Default::default()
+        },
+    );
+    assert!(p.clusters_connected(&g));
+    let solver = LaplacianSolver::new(&g, &SolverOptions::default());
+    let mut b = vec![0.0; 6];
+    b[0] = 1.0;
+    b[3] = -1.0;
+    let sol = solver.solve(&b).unwrap();
+    assert!(sol.rel_residual <= 1e-7);
+}
+
+#[test]
+fn extreme_dynamic_range_fails_gracefully() {
+    // 12 orders of magnitude exceeds f64's attainable accuracy at the
+    // default tolerance; the solver must report NotConverged (or succeed),
+    // never panic or return NaN silently.
+    let g = Graph::from_edges(
+        6,
+        &[
+            (0, 1, 1e-6),
+            (1, 2, 1e6),
+            (2, 3, 1.0),
+            (3, 4, 1e-6),
+            (4, 5, 1e6),
+            (5, 0, 1.0),
+        ],
+    );
+    let solver = LaplacianSolver::new(&g, &SolverOptions::default());
+    let mut b = vec![0.0; 6];
+    b[0] = 1.0;
+    b[3] = -1.0;
+    match solver.solve(&b) {
+        Ok(sol) => assert!(sol.rel_residual.is_finite()),
+        Err(hicond::precond::SolveError::NotConverged { final_rel_residual }) => {
+            // Breakdown is guarded: the reported residual is a number.
+            assert!(!final_rel_residual.is_nan(), "NaN residual leaked");
+        }
+        Err(e) => panic!("unexpected error {e:?}"),
+    }
+}
+
+#[test]
+fn self_partition_identity_quotient() {
+    let g = Graph::from_edges(5, &[(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 4, 4.0)]);
+    let p = hicond::graph::Partition::singletons(5);
+    let q = p.quotient_graph(&g);
+    assert_eq!(q.num_edges(), g.num_edges());
+    assert_eq!(q.total_weight(), g.total_weight());
+}

@@ -1,0 +1,174 @@
+//! End-to-end integration: decompose → validate → precondition → solve,
+//! across graph families, verified against directly computed solutions.
+
+use hicond::linalg::vector::{deflate_constant, norm2};
+use hicond::prelude::*;
+
+fn consistent_rhs(n: usize, seed: u64) -> Vec<f64> {
+    let mut b: Vec<f64> = (0..n)
+        .map(|i| (((i as u64 + seed) * 2654435761) % 997) as f64 / 498.5 - 1.0)
+        .collect();
+    deflate_constant(&mut b);
+    b
+}
+
+/// Full pipeline on one graph: clusters valid, PCG solution satisfies
+/// `‖Ax − b‖ ≤ tol·‖b‖`.
+fn pipeline(g: &hicond::graph::Graph, k: usize) {
+    let n = g.num_vertices();
+    let p = decompose_fixed_degree(
+        g,
+        &FixedDegreeOptions {
+            k,
+            ..Default::default()
+        },
+    );
+    assert!(p.clusters_connected(g));
+    assert!(p.reduction_factor() >= 2.0, "rho {}", p.reduction_factor());
+
+    let a = laplacian(g);
+    let b = consistent_rhs(n, 5);
+    let pre = SteinerPreconditioner::new(g, &p, 4000);
+    let res = pcg_solve(
+        &a,
+        &pre,
+        &b,
+        &CgOptions {
+            rel_tol: 1e-9,
+            ..Default::default()
+        },
+    );
+    assert!(res.converged, "PCG failed on n={n}");
+    let ax = a.mul(&res.x);
+    let mut diff: Vec<f64> = ax.iter().zip(&b).map(|(x, y)| x - y).collect();
+    deflate_constant(&mut diff);
+    assert!(norm2(&diff) <= 1e-7 * norm2(&b), "residual too large");
+}
+
+#[test]
+fn pipeline_grid2d() {
+    pipeline(
+        &generators::grid2d(25, 25, |u, v| 1.0 + ((u + v) % 7) as f64),
+        8,
+    );
+}
+
+#[test]
+fn pipeline_grid3d_oct() {
+    pipeline(
+        &generators::oct_like_grid3d(9, 9, 9, 3, generators::OctParams::default()),
+        8,
+    );
+}
+
+#[test]
+fn pipeline_triangulated_mesh() {
+    pipeline(&generators::triangulated_grid(20, 20, 9), 6);
+}
+
+#[test]
+fn pipeline_random_regular() {
+    pipeline(&generators::random_regular(400, 6, 2), 8);
+}
+
+#[test]
+fn planar_pipeline_solves() {
+    // Theorem 2.2 decomposition also feeds a working Steiner preconditioner.
+    let g = generators::triangulated_grid(18, 18, 4);
+    let d = decompose_planar(&g, &PlanarOptions::default());
+    let a = laplacian(&g);
+    let b = consistent_rhs(g.num_vertices(), 8);
+    let pre = SteinerPreconditioner::new(&g, &d.partition, 4000);
+    let res = pcg_solve(&a, &pre, &b, &CgOptions::default());
+    assert!(res.converged);
+}
+
+#[test]
+fn multilevel_on_large_grid() {
+    let g = generators::grid2d(60, 60, |_, _| 1.0);
+    let a = laplacian(&g);
+    let b = consistent_rhs(3600, 13);
+    let ml = MultilevelSteiner::new(
+        &g,
+        &MultilevelOptions {
+            hierarchy: HierarchyOptions {
+                coarse_size: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let plain = cg_solve(
+        &a,
+        &b,
+        &CgOptions {
+            max_iter: 5000,
+            ..Default::default()
+        },
+    );
+    let res = pcg_solve(&a, &ml, &b, &CgOptions::default());
+    assert!(res.converged);
+    assert!(
+        res.iterations * 3 < plain.iterations,
+        "multilevel {} vs plain {}",
+        res.iterations,
+        plain.iterations
+    );
+}
+
+#[test]
+fn hierarchy_preserves_solvability_per_level() {
+    // Every quotient level of the hierarchy is itself a solvable Laplacian.
+    let g = generators::oct_like_grid3d(6, 6, 6, 5, generators::OctParams::default());
+    let h = build_hierarchy(
+        &g,
+        &HierarchyOptions {
+            coarse_size: 10,
+            ..Default::default()
+        },
+    );
+    for level in &h.levels {
+        let n = level.graph.num_vertices();
+        if n < 3 || level.graph.num_edges() == 0 {
+            continue;
+        }
+        let a = laplacian(&level.graph);
+        let b = consistent_rhs(n, 7);
+        let res = cg_solve(
+            &a,
+            &b,
+            &CgOptions {
+                max_iter: 20000,
+                rel_tol: 1e-7,
+                ..Default::default()
+            },
+        );
+        assert!(res.converged, "level with {n} vertices unsolvable");
+    }
+}
+
+#[test]
+fn subgraph_and_steiner_agree_on_solution() {
+    let g = generators::oct_like_grid3d(7, 7, 7, 11, generators::OctParams::default());
+    let a = laplacian(&g);
+    let b = consistent_rhs(g.num_vertices(), 21);
+    let p = decompose_fixed_degree(&g, &FixedDegreeOptions::default());
+    let steiner = SteinerPreconditioner::new(&g, &p, 4000);
+    let sub = SubgraphPreconditioner::new(&g, &SubgraphOptions::default());
+    let opts = CgOptions {
+        rel_tol: 1e-10,
+        max_iter: 10000,
+        ..Default::default()
+    };
+    let xs = pcg_solve(&a, &steiner, &b, &opts);
+    let xg = pcg_solve(&a, &sub, &b, &opts);
+    assert!(xs.converged && xg.converged);
+    // Solutions agree up to a constant shift.
+    let mut d: Vec<f64> = xs.x.iter().zip(&xg.x).map(|(p, q)| p - q).collect();
+    deflate_constant(&mut d);
+    assert!(
+        norm2(&d) <= 1e-5 * norm2(&xs.x).max(1.0),
+        "solutions diverge: {}",
+        norm2(&d)
+    );
+}

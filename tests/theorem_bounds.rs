@@ -1,0 +1,208 @@
+//! Cross-crate verification of the paper's quantitative claims on shared
+//! workloads: Theorem 2.1 (tree decompositions), Section 3.1
+//! ([1/(2d²k), 2]), Theorem 3.5 (Steiner support), Theorem 4.1 (spectral
+//! alignment).
+
+use hicond::graph::closure::cluster_quality;
+use hicond::graph::Graph;
+use hicond::linalg::schur::schur_complement;
+use hicond::precond::steiner_laplacian;
+use hicond::prelude::*;
+use hicond::spectral::normalized::normalized_eigenpairs_dense;
+use hicond::support::support_matrices_dense;
+
+#[test]
+fn theorem_2_1_tree_families() {
+    // Trees: phi >= 1/3 (implementation guarantee; see crate docs) and
+    // rho >= 6/5 across families.
+    let families: Vec<(&str, Graph)> = vec![
+        ("path", generators::path(64, |i| 1.0 + (i % 5) as f64)),
+        ("star", generators::star(40, |i| (i % 7 + 1) as f64)),
+        (
+            "caterpillar",
+            generators::caterpillar(10, 3, |u, v| 1.0 + ((u + v) % 4) as f64),
+        ),
+        (
+            "binary",
+            generators::balanced_binary(6, |u, v| 0.5 + ((u * v) % 9) as f64),
+        ),
+        ("random", generators::random_tree(150, 3, 0.01, 100.0)),
+    ];
+    for (name, g) in families {
+        let p = decompose_forest(&g);
+        assert!(p.clusters_connected(&g), "{name}: disconnected cluster");
+        assert!(
+            p.reduction_factor() >= 1.2,
+            "{name}: rho {}",
+            p.reduction_factor()
+        );
+        for cluster in p.clusters() {
+            let q = cluster_quality(&g, &cluster, 18);
+            if q.conductance.exact {
+                assert!(
+                    q.conductance.lower >= 1.0 / 3.0 - 1e-9,
+                    "{name}: cluster {cluster:?} phi {}",
+                    q.conductance.lower
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn section_3_1_bound_on_families() {
+    // phi >= 1/(2 d² k) for fixed-degree graphs, multiple (d, k).
+    let cases: Vec<(Graph, usize)> = vec![
+        (generators::grid2d(12, 12, |_, _| 1.0), 4),
+        (generators::grid3d(5, 5, 5, |_, _, _| 1.0), 8),
+        (generators::random_regular(120, 4, 7), 4),
+        (generators::torus2d(10, 10, |_, _| 1.0), 6),
+    ];
+    for (g, k) in cases {
+        let d = g.max_degree() as f64;
+        let p = decompose_fixed_degree(
+            &g,
+            &FixedDegreeOptions {
+                k,
+                ..Default::default()
+            },
+        );
+        let q = p.quality(&g, 20);
+        let bound = 1.0 / (2.0 * d * d * k as f64);
+        assert!(q.phi >= bound, "phi {} < bound {bound}", q.phi);
+        assert!(q.rho >= 2.0, "rho {}", q.rho);
+    }
+}
+
+#[test]
+fn theorem_3_5_bound_cross_family() {
+    for (g, k) in [
+        (generators::grid2d(5, 5, |_, _| 1.0), 3),
+        (generators::triangulated_grid(5, 5, 2), 4),
+        (generators::random_regular(24, 4, 3), 4),
+    ] {
+        let p = decompose_fixed_degree(
+            &g,
+            &FixedDegreeOptions {
+                k,
+                ..Default::default()
+            },
+        );
+        let q = p.quality(&g, 20);
+        if !q.phi_exact || q.phi <= 0.0 {
+            continue;
+        }
+        let sp = steiner_laplacian(&g, &p);
+        let n = g.num_vertices();
+        let ids: Vec<usize> = (n..n + p.num_clusters()).collect();
+        let (b, _) = schur_complement(&sp, &ids);
+        let sigma = support_matrices_dense(&b, &laplacian(&g));
+        let bound = 3.0 * (1.0 + 2.0 / (q.phi * q.phi * q.phi));
+        assert!(
+            sigma <= bound + 1e-6,
+            "sigma {sigma} > bound {bound} (phi {})",
+            q.phi
+        );
+        // And the preconditioner is useful: kappa = sigma(B,A)*sigma(A,B)
+        // is finite and >= 1.
+        let sigma_ab = support_matrices_dense(&laplacian(&g), &b);
+        assert!(sigma * sigma_ab >= 1.0 - 1e-9);
+    }
+}
+
+#[test]
+fn theorem_3_5_gamma_branch() {
+    // The (φ, γ) version of the bound: σ(S_P, A) ≤ 3(1 + 2/(γφ²)).
+    // Use a planted-clique decomposition where every vertex keeps a large
+    // internal fraction, so γ is meaningful and the bound is *much*
+    // tighter than the [φ, ρ] branch's 3(1 + 2/φ³).
+    let k = 4usize;
+    let size = 6usize;
+    let n = k * size;
+    let mut edges = Vec::new();
+    for b in 0..k {
+        for i in 0..size {
+            for j in (i + 1)..size {
+                edges.push((b * size + i, b * size + j, 1.0));
+            }
+        }
+    }
+    for b in 0..k - 1 {
+        edges.push((b * size, (b + 1) * size, 0.2));
+    }
+    let g = Graph::from_edges(n, &edges);
+    let assignment: Vec<u32> = (0..n).map(|v| (v / size) as u32).collect();
+    let p = hicond::graph::Partition::from_assignment(assignment, k);
+    let q = p.quality(&g, 20);
+    assert!(
+        q.phi_exact && q.gamma > 0.9,
+        "need a strong gamma: {}",
+        q.gamma
+    );
+    let sp = steiner_laplacian(&g, &p);
+    let ids: Vec<usize> = (n..n + k).collect();
+    let (b, _) = schur_complement(&sp, &ids);
+    let sigma = support_matrices_dense(&b, &laplacian(&g));
+    let gamma_bound = 3.0 * (1.0 + 2.0 / (q.gamma * q.phi * q.phi));
+    let rho_bound = 3.0 * (1.0 + 2.0 / (q.phi * q.phi * q.phi));
+    assert!(
+        sigma <= gamma_bound + 1e-6,
+        "sigma {sigma} > gamma-branch bound {gamma_bound}"
+    );
+    // The gamma branch is the tighter of the two here.
+    assert!(gamma_bound <= rho_bound);
+}
+
+#[test]
+fn theorem_4_1_fixed_degree_decomposition() {
+    // The spectral portrait holds for algorithmically-computed
+    // decompositions too (not only planted ones).
+    let g = generators::grid2d(6, 6, |_, _| 1.0);
+    let p = decompose_fixed_degree(
+        &g,
+        &FixedDegreeOptions {
+            k: 4,
+            ..Default::default()
+        },
+    );
+    let q = p.quality(&g, 20);
+    assert!(q.phi_exact);
+    let (vals, vecs) = normalized_eigenpairs_dense(&g);
+    let rows = portrait_check(&g, &p, &vals, &vecs, q.phi, q.gamma.max(1e-9));
+    for r in rows {
+        assert!(
+            r.alignment >= r.bound - 1e-9,
+            "Theorem 4.1 violated at lambda {}: {} < {}",
+            r.lambda,
+            r.alignment,
+            r.bound
+        );
+    }
+}
+
+#[test]
+fn closure_conductance_dominates_whole_graph_bound() {
+    // Sanity linking Section 2's definition: a cluster's closure
+    // conductance is at most its induced subgraph's conductance.
+    let g = generators::triangulated_grid(6, 6, 8);
+    let p = decompose_fixed_degree(
+        &g,
+        &FixedDegreeOptions {
+            k: 5,
+            ..Default::default()
+        },
+    );
+    for cluster in p.clusters() {
+        if cluster.len() < 2 || cluster.len() > 12 {
+            continue;
+        }
+        let closure = hicond::graph::closure_graph(&g, &cluster);
+        let induced = g.induced_subgraph(&cluster);
+        if closure.num_vertices() > 20 {
+            continue;
+        }
+        let pc = hicond::graph::exact_conductance(&closure);
+        let pi = hicond::graph::exact_conductance(&induced);
+        assert!(pc <= pi + 1e-9, "closure {pc} > induced {pi}");
+    }
+}
