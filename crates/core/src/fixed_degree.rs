@@ -286,7 +286,9 @@ pub fn decompose_fixed_degree(g: &Graph, opts: &FixedDegreeOptions) -> Partition
         offset += count;
     }
     debug_assert!(assignment.iter().all(|&a| a != NONE));
-    Partition::from_assignment(assignment, offset as usize)
+    let p = Partition::from_assignment(assignment, offset as usize);
+    p.debug_invariants();
+    p
 }
 
 #[cfg(test)]

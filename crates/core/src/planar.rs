@@ -273,6 +273,7 @@ pub fn decompose_planar(g: &Graph, opts: &PlanarOptions) -> PlanarDecomposition 
     }
     debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
     let partition = Partition::from_assignment(assignment, next as usize);
+    partition.debug_invariants();
     let support_estimate = opts.measure_support.then(|| estimate_support(g, &b));
     PlanarDecomposition {
         partition,

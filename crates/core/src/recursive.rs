@@ -108,10 +108,9 @@ pub fn decompose_recursive_bisection(
         }
     }
     debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
-    (
-        Partition::from_assignment(assignment, next_cluster as usize),
-        stats,
-    )
+    let p = Partition::from_assignment(assignment, next_cluster as usize);
+    p.debug_invariants();
+    (p, stats)
 }
 
 #[cfg(test)]

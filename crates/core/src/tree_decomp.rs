@@ -80,7 +80,9 @@ pub fn decompose_forest(g: &Graph) -> Partition {
         }
     }
     debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
-    Partition::from_assignment(assignment, (ncrit as usize) + actions.len()).compact()
+    let p = Partition::from_assignment(assignment, (ncrit as usize) + actions.len()).compact();
+    p.debug_invariants();
+    p
 }
 
 /// Applies the constant-time local rule for one bridge.

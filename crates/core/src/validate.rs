@@ -82,23 +82,32 @@ pub fn validate_phi_rho(
     max_exact: usize,
 ) -> Certificate {
     assert_eq!(g.num_vertices(), p.num_vertices());
+    g.debug_invariants();
+    p.debug_invariants();
     let clusters = p.clusters();
-    let violations: Vec<Violation> = clusters
+    // One parallel pass per cluster: each closure conductance is computed
+    // exactly once, and both the violation verdict and the running
+    // `min_phi_lower` are derived from that single measurement.
+    let per_cluster: Vec<(Option<Violation>, f64)> = clusters
         .par_iter()
         .enumerate()
-        .filter_map(|(id, cluster)| {
+        .map(|(id, cluster)| {
             if cluster.len() > 1 {
                 let sub = g.induced_subgraph(cluster);
                 if !hicond_graph::connectivity::is_connected(&sub) {
-                    return Some(Violation {
-                        cluster: id,
-                        kind: ViolationKind::Disconnected,
-                    });
+                    let q = cluster_quality(g, cluster, max_exact);
+                    return (
+                        Some(Violation {
+                            cluster: id,
+                            kind: ViolationKind::Disconnected,
+                        }),
+                        q.conductance.lower,
+                    );
                 }
             }
             let q = cluster_quality(g, cluster, max_exact);
             let c = q.conductance;
-            if c.upper < phi {
+            let violation = if c.upper < phi {
                 Some(Violation {
                     cluster: id,
                     kind: ViolationKind::LowConductance(if c.exact { c.lower } else { c.upper }),
@@ -111,13 +120,18 @@ pub fn validate_phi_rho(
                 })
             } else {
                 None
-            }
+            };
+            (violation, c.lower)
         })
         .collect();
-    let min_phi_lower = clusters
-        .par_iter()
-        .map(|c| cluster_quality(g, c, max_exact).conductance.lower)
-        .reduce(|| f64::INFINITY, f64::min);
+    let mut violations = Vec::new();
+    let mut min_phi_lower = f64::INFINITY;
+    for (violation, lower) in per_cluster {
+        if let Some(v) = violation {
+            violations.push(v);
+        }
+        min_phi_lower = min_phi_lower.min(lower);
+    }
     let measured_rho = p.reduction_factor();
     Certificate {
         violations,

@@ -1,5 +1,6 @@
 //! The weighted undirected [`Graph`] type.
 
+use hicond_linalg::InvariantViolation;
 use rayon::prelude::*;
 
 /// A unique undirected edge `{u, v}` with `u < v` and positive weight.
@@ -184,6 +185,138 @@ impl Graph {
         Graph::from_edges(self.n, &list)
     }
 
+    /// Validates the structural invariants of the adjacency form: CSR
+    /// shape, no self-loops, positive finite weights, symmetric adjacency
+    /// (every arc has its reverse with equal weight and edge id), sorted
+    /// neighbor lists, and cached volumes matching incident weight sums.
+    ///
+    /// Always compiled; use [`Graph::debug_invariants`] for the
+    /// zero-cost-in-release variant.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let fail = |rule: &'static str, message: String, witness: Vec<usize>| {
+            Err(InvariantViolation::new(
+                "hicond-graph",
+                "Graph",
+                rule,
+                message,
+                witness,
+            ))
+        };
+        if self.adj_ptr.len() != self.n + 1
+            || self.adj_ptr.first() != Some(&0)
+            || self.adj_ptr.last() != Some(&self.adj.len())
+            || self.adj.len() != self.adj_w.len()
+            || self.adj.len() != self.adj_eid.len()
+            || self.adj.len() != 2 * self.edges.len()
+            || self.vol.len() != self.n
+        {
+            return fail(
+                "csr-shape",
+                format!(
+                    "inconsistent array lengths: n = {}, {} arcs, {} edges",
+                    self.n,
+                    self.adj.len(),
+                    self.edges.len()
+                ),
+                vec![],
+            );
+        }
+        for (eid, e) in self.edges.iter().enumerate() {
+            if e.u >= e.v {
+                return fail(
+                    "edges-canonical",
+                    format!("edge {eid} is ({}, {}), expected u < v", e.u, e.v),
+                    vec![eid],
+                );
+            }
+            if (e.v as usize) >= self.n {
+                return fail(
+                    "edges-in-bounds",
+                    format!("edge {eid} endpoint {} out of range", e.v),
+                    vec![eid, e.v as usize],
+                );
+            }
+            if !(e.w > 0.0 && e.w.is_finite()) {
+                return fail(
+                    "weights-positive",
+                    format!("edge {eid} has weight {}", e.w),
+                    vec![eid],
+                );
+            }
+        }
+        for v in 0..self.n {
+            if self.adj_ptr[v] > self.adj_ptr[v + 1] {
+                return fail(
+                    "adj-ptr-monotone",
+                    format!("adj_ptr decreases at vertex {v}"),
+                    vec![v],
+                );
+            }
+            let mut vol = 0.0;
+            for k in self.adj_ptr[v]..self.adj_ptr[v + 1] {
+                let u = self.adj[k] as usize;
+                if u >= self.n {
+                    return fail(
+                        "adj-in-bounds",
+                        format!("vertex {v} has neighbor {u} out of range"),
+                        vec![v, u],
+                    );
+                }
+                if u == v {
+                    return fail("no-self-loops", format!("vertex {v} lists itself"), vec![v]);
+                }
+                if k > self.adj_ptr[v] && self.adj[k - 1] >= self.adj[k] {
+                    return fail(
+                        "adj-sorted",
+                        format!("vertex {v} neighbor list not strictly increasing"),
+                        vec![v, u],
+                    );
+                }
+                let eid = self.adj_eid[k] as usize;
+                let w = self.adj_w[k];
+                vol += w;
+                let matches_edge = self.edges.get(eid).is_some_and(|e| {
+                    // bitwise equality: the adjacency stores each Edge
+                    // record twice verbatim, so exact == is intended.
+                    e.w == w
+                        && ((e.u as usize == v && e.v as usize == u)
+                            || (e.u as usize == u && e.v as usize == v))
+                });
+                if !matches_edge {
+                    return fail(
+                        "adj-symmetric",
+                        format!("arc {v}→{u} does not match edge record {eid}"),
+                        vec![v, u, eid],
+                    );
+                }
+            }
+            if !hicond_linalg::approx_eq(vol, self.vol[v], hicond_linalg::DEFAULT_REL_TOL) {
+                return fail(
+                    "vol-cached",
+                    format!(
+                        "vertex {v} cached volume {} vs recomputed {vol}",
+                        self.vol[v]
+                    ),
+                    vec![v],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics on any violation of [`Graph::check_invariants`]. Compiles to
+    /// a no-op in release builds unless the `check-invariants` feature is
+    /// enabled.
+    ///
+    /// # Panics
+    /// Panics with the structured violation report when a structural
+    /// invariant fails and checks are compiled in.
+    #[inline]
+    pub fn debug_invariants(&self) {
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        hicond_linalg::invariant::enforce(self.check_invariants());
+    }
+
     /// New graph keeping only the edges whose ids satisfy `pred`.
     pub fn filter_edges<F: Fn(usize, &Edge) -> bool>(&self, pred: F) -> Graph {
         let list: Vec<(usize, usize, f64)> = self
@@ -310,7 +443,7 @@ impl GraphBuilder {
         let vol: Vec<f64> = (0..n)
             .map(|v| adj_w[adj_ptr[v]..adj_ptr[v + 1]].iter().sum())
             .collect();
-        Graph {
+        let g = Graph {
             n,
             adj_ptr,
             adj,
@@ -318,7 +451,9 @@ impl GraphBuilder {
             adj_eid,
             edges,
             vol,
-        }
+        };
+        g.debug_invariants();
+        g
     }
 }
 
@@ -415,5 +550,75 @@ mod tests {
     fn max_degree_star() {
         let g = Graph::from_edges(5, &[(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]);
         assert_eq!(g.max_degree(), 4);
+    }
+}
+
+/// Property tests for the invariant layer: builder output always passes,
+/// and targeted corruptions of the private adjacency representation are
+/// caught. Inside the module for access to the private fields.
+#[cfg(test)]
+mod invariant_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random multigraph on `n` vertices (self-loops filtered, duplicates
+    /// merged by the builder); a path backbone keeps it non-trivial.
+    fn random_graph(n: usize) -> impl Strategy<Value = Graph> {
+        prop::collection::vec((0..n, 0..n, 0.1..10.0f64), 0..3 * n).prop_map(move |extra| {
+            let mut edges: Vec<(usize, usize, f64)> = (1..n).map(|v| (v - 1, v, 1.0)).collect();
+            for (u, v, w) in extra {
+                if u != v {
+                    edges.push((u, v, w));
+                }
+            }
+            Graph::from_edges(n, &edges)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn builder_output_satisfies_invariants(g in random_graph(10)) {
+            prop_assert!(g.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn negative_weight_is_rejected(mut g in random_graph(10), k in any::<usize>()) {
+            prop_assume!(!g.adj_w.is_empty());
+            let k = k % g.adj_w.len();
+            g.adj_w[k] = -1.0;
+            // Trips weights-positive on the mirrored entry or adj-symmetric
+            // (one direction no longer matches the other); either way the
+            // corruption is caught.
+            prop_assert!(g.check_invariants().is_err());
+        }
+
+        #[test]
+        fn self_loop_is_rejected(mut g in random_graph(10), v in 0usize..10) {
+            prop_assume!(g.adj_ptr[v + 1] > g.adj_ptr[v]);
+            let slot = g.adj_ptr[v];
+            // bounds: vertex ids < n = 10 fit in u32
+            g.adj[slot] = v as u32;
+            prop_assert!(g.check_invariants().is_err());
+        }
+
+        #[test]
+        fn asymmetric_weight_is_rejected(mut g in random_graph(10)) {
+            prop_assume!(!g.adj_w.is_empty());
+            // Perturb one directed half of some edge; its mirror keeps the
+            // old weight so adj-symmetric (or the edge-list cross-check)
+            // must fire.
+            g.adj_w[0] += 0.5;
+            prop_assert!(g.check_invariants().is_err());
+        }
+
+        #[test]
+        fn stale_volume_cache_is_rejected(mut g in random_graph(10), v in 0usize..10) {
+            prop_assume!(g.vol[v] > 0.0);
+            g.vol[v] *= 2.0;
+            let err = g.check_invariants().expect_err("stale volume must be rejected");
+            prop_assert_eq!(err.rule, "vol-cached");
+        }
     }
 }

@@ -5,15 +5,27 @@
 //! external solvers.
 
 use crate::graph::{Graph, GraphBuilder};
-use std::fmt::Write as _;
 use std::io::{BufRead, BufReader, Read, Write};
+
+/// Appends one formatted line to the output buffer. Centralizes the
+/// `fmt::Write`-into-`String` pattern so writers don't repeat the
+/// infallibility argument at every call site.
+fn push_line(buf: &mut String, args: std::fmt::Arguments<'_>) {
+    use std::fmt::Write as _;
+    // audit: allow(panic-path) — fmt::Write into a String cannot fail
+    buf.write_fmt(args).expect("infallible");
+    buf.push('\n');
+}
 
 /// Writes the native edge-list format.
 pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
     let mut buf = String::new();
-    writeln!(buf, "{} {}", g.num_vertices(), g.num_edges()).unwrap();
+    push_line(
+        &mut buf,
+        format_args!("{} {}", g.num_vertices(), g.num_edges()),
+    );
     for e in g.edges() {
-        writeln!(buf, "{} {} {}", e.u, e.v, e.w).unwrap();
+        push_line(&mut buf, format_args!("{} {} {}", e.u, e.v, e.w));
     }
     w.write_all(buf.as_bytes())
 }
@@ -67,13 +79,16 @@ pub fn read_edge_list<R: Read>(r: R) -> std::io::Result<Graph> {
 /// scaled by `weight_scale` — METIS requires integral weights).
 pub fn write_metis<W: Write>(g: &Graph, weight_scale: f64, mut w: W) -> std::io::Result<()> {
     let mut buf = String::new();
-    writeln!(buf, "{} {} 001", g.num_vertices(), g.num_edges()).unwrap();
+    push_line(
+        &mut buf,
+        format_args!("{} {} 001", g.num_vertices(), g.num_edges()),
+    );
     for v in 0..g.num_vertices() {
         let parts: Vec<String> = g
             .neighbors(v)
             .map(|(u, wt, _)| format!("{} {}", u + 1, ((wt * weight_scale).round() as i64).max(1)))
             .collect();
-        writeln!(buf, "{}", parts.join(" ")).unwrap();
+        push_line(&mut buf, format_args!("{}", parts.join(" ")));
     }
     w.write_all(buf.as_bytes())
 }
@@ -132,10 +147,13 @@ pub fn read_metis<R: Read>(r: R, weight_scale: f64) -> std::io::Result<Graph> {
 /// `e u v w` line per edge, 1-indexed).
 pub fn write_dimacs<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
     let mut buf = String::new();
-    writeln!(buf, "c generated by hicond").unwrap();
-    writeln!(buf, "p edge {} {}", g.num_vertices(), g.num_edges()).unwrap();
+    push_line(&mut buf, format_args!("c generated by hicond"));
+    push_line(
+        &mut buf,
+        format_args!("p edge {} {}", g.num_vertices(), g.num_edges()),
+    );
     for e in g.edges() {
-        writeln!(buf, "e {} {} {}", e.u + 1, e.v + 1, e.w).unwrap();
+        push_line(&mut buf, format_args!("e {} {} {}", e.u + 1, e.v + 1, e.w));
     }
     w.write_all(buf.as_bytes())
 }
@@ -203,16 +221,22 @@ pub fn read_dimacs<R: Read>(r: R) -> std::io::Result<Graph> {
 pub fn write_laplacian_matrix_market<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
     let n = g.num_vertices();
     let mut buf = String::new();
-    writeln!(buf, "%%MatrixMarket matrix coordinate real symmetric").unwrap();
-    writeln!(buf, "% graph Laplacian exported by hicond").unwrap();
+    push_line(
+        &mut buf,
+        format_args!("%%MatrixMarket matrix coordinate real symmetric"),
+    );
+    push_line(
+        &mut buf,
+        format_args!("% graph Laplacian exported by hicond"),
+    );
     // Entries: n diagonals + m lower-triangle off-diagonals.
-    writeln!(buf, "{} {} {}", n, n, n + g.num_edges()).unwrap();
+    push_line(&mut buf, format_args!("{} {} {}", n, n, n + g.num_edges()));
     for v in 0..n {
-        writeln!(buf, "{} {} {}", v + 1, v + 1, g.vol(v)).unwrap();
+        push_line(&mut buf, format_args!("{} {} {}", v + 1, v + 1, g.vol(v)));
     }
     for e in g.edges() {
         // MatrixMarket symmetric stores the lower triangle: row >= col.
-        writeln!(buf, "{} {} {}", e.v + 1, e.u + 1, -e.w).unwrap();
+        push_line(&mut buf, format_args!("{} {} {}", e.v + 1, e.u + 1, -e.w));
     }
     w.write_all(buf.as_bytes())
 }

@@ -17,7 +17,9 @@ pub fn laplacian(g: &Graph) -> CsrMatrix {
     for e in g.edges() {
         b.push_sym(e.u as usize, e.v as usize, -e.w);
     }
-    b.build()
+    let a = b.build();
+    a.debug_laplacian_invariants();
+    a
 }
 
 /// Returns `(d, d^{-1/2}, d^{1/2})` for the graph's volume vector, with the

@@ -25,9 +25,12 @@ pub mod perturb;
 pub mod unionfind;
 
 pub use closure::{closure_graph, ClusterQuality};
+// Re-exported so downstream crates can build invariant checkers without a
+// direct hicond-linalg dependency.
 pub use connectivity::{bfs_order, connected_components, is_connected};
 pub use forest::RootedForest;
 pub use graph::{Edge, Graph, GraphBuilder};
+pub use hicond_linalg::{invariant, InvariantViolation};
 pub use laplacian::{laplacian, normalized_laplacian_scaling};
 pub use measures::{
     conductance_estimate, cut_capacity, cut_sparsity, exact_conductance, fiedler_sweep_cut,

@@ -160,7 +160,7 @@ pub fn fiedler_sweep_cut(g: &Graph) -> Option<(Vec<bool>, f64)> {
     let fiedler = res.eigenvectors.first()?;
     let mut order: Vec<usize> = (0..n).collect();
     let score: Vec<f64> = (0..n).map(|i| fiedler[i] * d_inv_sqrt[i]).collect();
-    order.sort_by(|&i, &j| score[i].partial_cmp(&score[j]).unwrap());
+    order.sort_by(|&i, &j| score[i].total_cmp(&score[j]));
     let mut in_set = vec![false; n];
     let mut best = f64::INFINITY;
     let mut best_prefix = 0usize;

@@ -10,7 +10,7 @@
 
 use crate::closure::{cluster_quality, ClusterQuality};
 use crate::graph::{Graph, GraphBuilder};
-use hicond_linalg::{CooBuilder, CsrMatrix};
+use hicond_linalg::{CooBuilder, CsrMatrix, InvariantViolation};
 use rayon::prelude::*;
 
 /// A partition of `0..n` into `m` clusters.
@@ -60,6 +60,67 @@ impl Partition {
             assignment: self.assignment.iter().map(|&c| remap[c as usize]).collect(),
             num_clusters: next as usize,
         }
+    }
+
+    /// Validates the partition invariants: every vertex carries a cluster
+    /// id below `num_clusters` (so the assignment covers each vertex
+    /// exactly once by construction), and cluster ids are *dense* — every
+    /// id in `0..num_clusters` names a non-empty cluster. Decomposition
+    /// algorithms must return dense partitions; sparse intermediate states
+    /// should go through [`Partition::compact`] first.
+    ///
+    /// Always compiled; use [`Partition::debug_invariants`] for the
+    /// zero-cost-in-release variant.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let fail = |rule: &'static str, message: String, witness: Vec<usize>| {
+            Err(InvariantViolation::new(
+                "hicond-graph",
+                "Partition",
+                rule,
+                message,
+                witness,
+            ))
+        };
+        let mut used = vec![false; self.num_clusters];
+        for (v, &c) in self.assignment.iter().enumerate() {
+            if (c as usize) >= self.num_clusters {
+                return fail(
+                    "ids-in-range",
+                    format!(
+                        "vertex {v} assigned to cluster {c} >= num_clusters {}",
+                        self.num_clusters
+                    ),
+                    vec![v, c as usize],
+                );
+            }
+            // bounds: c < num_clusters == used.len(), checked just above
+            used[c as usize] = true;
+        }
+        if let Some(empty) = used.iter().position(|&u| !u) {
+            return fail(
+                "ids-dense",
+                format!(
+                    "cluster id {empty} is empty ({} ids for {} vertices)",
+                    self.num_clusters,
+                    self.assignment.len()
+                ),
+                vec![empty],
+            );
+        }
+        Ok(())
+    }
+
+    /// Panics on any violation of [`Partition::check_invariants`].
+    /// Compiles to a no-op in release builds unless the
+    /// `check-invariants` feature is enabled.
+    ///
+    /// # Panics
+    /// Panics with the structured violation report when a partition
+    /// invariant fails and checks are compiled in.
+    #[inline]
+    pub fn debug_invariants(&self) {
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        hicond_linalg::invariant::enforce(self.check_invariants());
     }
 
     /// Number of vertices.
@@ -296,5 +357,50 @@ mod tests {
         let q = p.quality(&g, 25);
         assert_eq!(q.gamma, 0.0);
         assert!((q.rho - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Property tests for the partition invariant layer: compacted partitions
+/// always pass; out-of-range and sparse (empty-cluster) assignments are
+/// rejected. Inside the module to mutate the private assignment.
+#[cfg(test)]
+mod invariant_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assignment(n: usize, m: usize) -> impl Strategy<Value = Vec<u32>> {
+        prop::collection::vec(0..m as u32, n)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn compacted_partition_satisfies_invariants(a in assignment(12, 5)) {
+            let p = Partition::from_assignment(a, 5).compact();
+            prop_assert!(p.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn out_of_range_id_is_rejected(a in assignment(12, 5), v in 0usize..12) {
+            let mut p = Partition::from_assignment(a, 5).compact();
+            prop_assume!(p.num_clusters > 0);
+            // bounds: num_clusters ≤ 5, far below u32::MAX
+            p.assignment[v] = p.num_clusters as u32;
+            let err = p.check_invariants().expect_err("loose id must be rejected");
+            prop_assert_eq!(err.rule, "ids-in-range");
+        }
+
+        #[test]
+        fn empty_cluster_is_rejected(a in assignment(12, 5)) {
+            // Declare one more cluster than the compacted assignment uses.
+            let compacted = Partition::from_assignment(a, 5).compact();
+            let p = Partition::from_assignment(
+                compacted.assignment().to_vec(),
+                compacted.num_clusters() + 1,
+            );
+            let err = p.check_invariants().expect_err("empty cluster must be rejected");
+            prop_assert_eq!(err.rule, "ids-dense");
+        }
     }
 }

@@ -140,3 +140,45 @@ proptest! {
         }
     }
 }
+
+/// Every family in the `generators` module must produce graphs satisfying
+/// the full structural invariant set (mirrors the in-module corruption
+/// proptests, which check the rejecting direction).
+mod generator_invariants {
+    use hicond_graph::generators;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn random_families_satisfy_invariants(seed in any::<u64>()) {
+            let graphs = [
+                generators::random_tree(30, seed, 0.5, 2.0),
+                generators::triangulated_grid(5, 4, seed),
+                generators::random_regular(16, 3, seed),
+                generators::barabasi_albert(24, 2, seed),
+                generators::watts_strogatz(20, 4, 0.2, seed),
+                generators::erdos_renyi(18, 0.3, seed),
+            ];
+            for g in &graphs {
+                prop_assert!(g.check_invariants().is_ok());
+            }
+        }
+
+        #[test]
+        fn deterministic_families_satisfy_invariants(n in 2usize..12) {
+            let graphs = [
+                generators::path(n, |_| 1.0),
+                generators::cycle(n.max(3), |_| 1.0),
+                generators::star(n, |_| 1.0),
+                generators::complete(n, 1.0),
+                generators::grid2d(n, 3, |_, _| 1.0),
+                generators::torus2d(n.max(3), 3, |_, _| 1.0),
+            ];
+            for g in &graphs {
+                prop_assert!(g.check_invariants().is_ok());
+            }
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //! duplicate triplets and sums them — exactly what the algebraic quotient
 //! construction `Q = RᵀAR` of the paper's Definition 3.1 produces.
 
+use crate::invariant::InvariantViolation;
 use crate::vector::Parallelism;
 use rayon::prelude::*;
 
@@ -35,7 +36,8 @@ impl CsrMatrix {
     ) -> Self {
         assert_eq!(row_ptr.len(), nrows + 1, "row_ptr length");
         assert_eq!(col_idx.len(), values.len(), "col/val length mismatch");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end");
+        // bounds: row_ptr.len() == nrows + 1 was asserted just above
+        assert_eq!(row_ptr[nrows], col_idx.len(), "row_ptr end");
         for r in 0..nrows {
             assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr monotone");
             let cols = &col_idx[row_ptr[r]..row_ptr[r + 1]];
@@ -53,6 +55,171 @@ impl CsrMatrix {
             col_idx,
             values,
         }
+    }
+
+    /// Validates the structural invariants documented on the type:
+    /// `row_ptr` shape and monotonicity, strictly increasing in-bounds
+    /// column indices per row, and finite stored values.
+    ///
+    /// Always compiled; use [`CsrMatrix::debug_invariants`] for the
+    /// zero-cost-in-release variant.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let fail = |rule: &'static str, message: String, witness: Vec<usize>| {
+            Err(InvariantViolation::new(
+                "hicond-linalg",
+                "CsrMatrix",
+                rule,
+                message,
+                witness,
+            ))
+        };
+        if self.row_ptr.len() != self.nrows + 1 {
+            return fail(
+                "row-ptr-len",
+                format!(
+                    "row_ptr has length {}, expected nrows + 1 = {}",
+                    self.row_ptr.len(),
+                    self.nrows + 1
+                ),
+                vec![],
+            );
+        }
+        if self.col_idx.len() != self.values.len() {
+            return fail(
+                "col-val-len",
+                format!(
+                    "{} column indices vs {} values",
+                    self.col_idx.len(),
+                    self.values.len()
+                ),
+                vec![],
+            );
+        }
+        if self.row_ptr.first() != Some(&0) || self.row_ptr.last() != Some(&self.col_idx.len()) {
+            return fail(
+                "row-ptr-ends",
+                format!(
+                    "row_ptr must start at 0 and end at nnz = {}",
+                    self.col_idx.len()
+                ),
+                vec![],
+            );
+        }
+        for r in 0..self.nrows {
+            if self.row_ptr[r] > self.row_ptr[r + 1] {
+                return fail(
+                    "row-ptr-monotone",
+                    format!("row_ptr decreases at row {r}"),
+                    vec![r],
+                );
+            }
+            let cols = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
+            for w in cols.windows(2) {
+                if w[0] >= w[1] {
+                    return fail(
+                        "cols-sorted",
+                        format!(
+                            "row {r} columns not strictly increasing ({} then {})",
+                            w[0], w[1]
+                        ),
+                        vec![r, w[0] as usize, w[1] as usize],
+                    );
+                }
+            }
+            if let Some(&c) = cols.last() {
+                if (c as usize) >= self.ncols {
+                    return fail(
+                        "cols-in-bounds",
+                        format!("row {r} has column {c} >= ncols {}", self.ncols),
+                        vec![r, c as usize],
+                    );
+                }
+            }
+        }
+        for (k, &v) in self.values.iter().enumerate() {
+            if !v.is_finite() {
+                return fail(
+                    "values-finite",
+                    format!("stored value at position {k} is {v}"),
+                    vec![k],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates Laplacian-specific invariants on top of
+    /// [`CsrMatrix::check_invariants`]: the matrix is square, symmetric
+    /// (within `tol` relative), and every row sums to zero (within `tol`
+    /// of the diagonal scale).
+    pub fn check_laplacian_invariants(&self, tol: f64) -> Result<(), InvariantViolation> {
+        self.check_invariants()?;
+        let fail = |rule: &'static str, message: String, witness: Vec<usize>| {
+            Err(InvariantViolation::new(
+                "hicond-linalg",
+                "CsrMatrix",
+                rule,
+                message,
+                witness,
+            ))
+        };
+        if self.nrows != self.ncols {
+            return fail(
+                "laplacian-square",
+                format!("{}×{} matrix is not square", self.nrows, self.ncols),
+                vec![],
+            );
+        }
+        for r in 0..self.nrows {
+            let mut sum = 0.0;
+            let mut scale: f64 = 1.0;
+            for (c, v) in self.row(r) {
+                sum += v;
+                scale = scale.max(v.abs());
+                let vt = self.get(c, r);
+                if !crate::approx_eq(v, vt, tol) {
+                    return fail(
+                        "laplacian-symmetric",
+                        format!("A[{r},{c}] = {v} but A[{c},{r}] = {vt}"),
+                        vec![r, c],
+                    );
+                }
+            }
+            if sum.abs() > tol * scale {
+                return fail(
+                    "laplacian-zero-row-sum",
+                    format!("row {r} sums to {sum} (scale {scale})"),
+                    vec![r],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics on any violation of [`CsrMatrix::check_invariants`].
+    /// Compiles to a no-op in release builds unless the
+    /// `check-invariants` feature is enabled.
+    ///
+    /// # Panics
+    /// Panics with the structured violation report when a structural
+    /// invariant fails and checks are compiled in.
+    #[inline]
+    pub fn debug_invariants(&self) {
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        crate::invariant::enforce(self.check_invariants());
+    }
+
+    /// Panics on any violation of [`CsrMatrix::check_laplacian_invariants`]
+    /// at tolerance [`crate::DEFAULT_REL_TOL`]. No-op in release builds
+    /// unless the `check-invariants` feature is enabled.
+    ///
+    /// # Panics
+    /// Panics with the structured violation report when a Laplacian
+    /// invariant fails and checks are compiled in.
+    #[inline]
+    pub fn debug_laplacian_invariants(&self) {
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        crate::invariant::enforce(self.check_laplacian_invariants(crate::DEFAULT_REL_TOL));
     }
 
     /// The `n × n` zero matrix (no stored entries).
@@ -292,14 +459,13 @@ impl CsrMatrix {
                 }
                 acc.sort_unstable_by_key(|&(c, _)| c);
                 for (c, v) in acc {
-                    if let Some(last) = cols.last() {
-                        if *last == c {
-                            *vals.last_mut().unwrap() += v;
-                            continue;
+                    match vals.last_mut() {
+                        Some(last_v) if cols.last() == Some(&c) => *last_v += v,
+                        _ => {
+                            cols.push(c);
+                            vals.push(v);
                         }
                     }
-                    cols.push(c);
-                    vals.push(v);
                 }
                 (cols, vals)
             })
@@ -444,13 +610,15 @@ impl CooBuilder {
             }
             out_row_ptr[r as usize + 1] = out_col.len();
         }
-        CsrMatrix {
+        let m = CsrMatrix {
             nrows: self.nrows,
             ncols: self.ncols,
             row_ptr: out_row_ptr,
             col_idx: out_col,
             values: out_val,
-        }
+        };
+        m.debug_invariants();
+        m
     }
 }
 
@@ -582,5 +750,82 @@ mod tests {
     fn from_diagonal_matvec() {
         let d = CsrMatrix::from_diagonal(&[1.0, 2.0, 3.0]);
         assert_eq!(d.mul(&[1.0, 1.0, 1.0]), vec![1.0, 2.0, 3.0]);
+    }
+}
+
+/// Property tests that the invariant layer accepts everything the builder
+/// produces and rejects targeted corruptions of the private representation.
+/// These live inside the module so they can mutate `row_ptr`/`col_idx`/
+/// `values` directly.
+#[cfg(test)]
+mod invariant_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random sparse matrix on `n` columns built through [`CooBuilder`]
+    /// (duplicates allowed; the builder merges them).
+    fn coo_matrix(n: usize) -> impl Strategy<Value = CsrMatrix> {
+        prop::collection::vec((0..n, 0..n, -10.0..10.0f64), 1..4 * n).prop_map(move |entries| {
+            let mut b = CooBuilder::new(n, n);
+            for (r, c, v) in entries {
+                b.push(r, c, v);
+            }
+            b.build()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn builder_output_satisfies_invariants(m in coo_matrix(9)) {
+            prop_assert!(m.check_invariants().is_ok());
+        }
+
+        #[test]
+        fn non_finite_value_is_rejected(mut m in coo_matrix(9), k in any::<usize>()) {
+            prop_assume!(m.nnz() > 0);
+            let k = k % m.values.len();
+            m.values[k] = f64::NAN;
+            let err = m.check_invariants().expect_err("NaN value must be rejected");
+            prop_assert_eq!(err.rule, "values-finite");
+        }
+
+        #[test]
+        fn out_of_bounds_column_is_rejected(mut m in coo_matrix(9), k in any::<usize>()) {
+            prop_assume!(m.nnz() > 0);
+            let k = k % m.col_idx.len();
+            // bounds: ncols is 9 here, far below u32::MAX
+            m.col_idx[k] = m.ncols as u32;
+            // Depending on position this trips either the sortedness or
+            // the bounds rule; both are violations.
+            prop_assert!(m.check_invariants().is_err());
+        }
+
+        #[test]
+        fn unsorted_columns_are_rejected(mut m in coo_matrix(9)) {
+            // Swap the first two entries of some row with distinct columns.
+            let row = (0..m.nrows).find(|&r| {
+                let (s, e) = (m.row_ptr[r], m.row_ptr[r + 1]);
+                e - s >= 2 && m.col_idx[s] != m.col_idx[s + 1]
+            });
+            let r = match row {
+                Some(r) => r,
+                None => return, // discard: no row wide enough to corrupt
+            };
+            let s = m.row_ptr[r];
+            m.col_idx.swap(s, s + 1);
+            let err = m.check_invariants().expect_err("unsorted row must be rejected");
+            prop_assert_eq!(err.rule, "cols-sorted");
+        }
+
+        #[test]
+        fn broken_row_ptr_is_rejected(mut m in coo_matrix(9)) {
+            prop_assume!(m.nnz() > 0);
+            // Truncating the final offset desynchronizes row_ptr from the
+            // entry arrays.
+            m.row_ptr[m.nrows] -= 1;
+            prop_assert!(m.check_invariants().is_err());
+        }
     }
 }

@@ -283,7 +283,7 @@ pub fn jacobi_eigen(a: &DenseMatrix) -> (Vec<f64>, DenseMatrix) {
     }
     let mut order: Vec<usize> = (0..n).collect();
     let evals: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
-    order.sort_by(|&i, &j| evals[i].partial_cmp(&evals[j]).unwrap());
+    order.sort_by(|&i, &j| evals[i].total_cmp(&evals[j]));
     let sorted_vals: Vec<f64> = order.iter().map(|&i| evals[i]).collect();
     let mut sorted_vecs = DenseMatrix::zeros(n, n);
     for (new, &old) in order.iter().enumerate() {
@@ -310,6 +310,7 @@ pub fn pencil_eigen_dense(a: &DenseMatrix, b: &DenseMatrix, null_dir: &[f64]) ->
     let pa = project(a, &basis);
     let pb = project(b, &basis);
     // pb should be PD on the complement. Factor pb = L Lᵀ, form L⁻¹ pa L⁻ᵀ.
+    // audit: allow(panic-path) — PD off the nullspace is a documented precondition
     let chol = CholeskyFactor::factor(&pb)
         .expect("pencil_eigen_dense: B not positive definite off the nullspace");
     let m = pa.nrows();

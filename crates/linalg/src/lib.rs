@@ -26,6 +26,7 @@ pub mod chebyshev;
 pub mod csr;
 pub mod dense;
 pub mod ichol;
+pub mod invariant;
 pub mod lanczos;
 pub mod ops;
 pub mod pencil;
@@ -39,6 +40,7 @@ pub use chebyshev::ChebyshevSolver;
 pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::DenseMatrix;
 pub use ichol::IncompleteCholesky;
+pub use invariant::{invariant_checks_enabled, InvariantViolation};
 pub use lanczos::{lanczos_extreme, LanczosOptions, LanczosResult};
 pub use ops::LinearOperator;
 pub use pencil::{pencil_lambda_max, PencilOptions};

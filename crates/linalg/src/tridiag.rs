@@ -83,7 +83,7 @@ pub fn tridiag_eigen(diag: &[f64], off: &[f64]) -> (Vec<f64>, Vec<f64>) {
 
     // Sort ascending, permuting eigenvector columns.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| d[i].partial_cmp(&d[j]).unwrap());
+    order.sort_by(|&i, &j| d[i].total_cmp(&d[j]));
     let vals: Vec<f64> = order.iter().map(|&i| d[i]).collect();
     let mut vecs = vec![0.0; n * n];
     for (new, &old) in order.iter().enumerate() {

@@ -106,6 +106,7 @@ impl SteinerPreconditioner {
     /// use [`crate::MultilevelSteiner`] beyond it.
     pub fn new(g: &Graph, p: &Partition, coarse_dense_limit: usize) -> Self {
         assert_eq!(g.num_vertices(), p.num_vertices());
+        p.debug_invariants();
         let quotient = p.quotient_graph(g);
         let coarse = GroundedLaplacianSolver::new(&quotient, coarse_dense_limit);
         let inv_d: Vec<f64> = g

@@ -16,6 +16,7 @@
 //!   2 vertices; one without (paper: *external*) has at most 3.
 
 use hicond_graph::forest::RootedForest;
+use hicond_graph::InvariantViolation;
 use rayon::prelude::*;
 
 /// Flags the m-critical vertices. `sizes[v]` must be `|descendants(v)|`
@@ -37,6 +38,185 @@ pub fn critical_vertices(forest: &RootedForest, sizes: &[u32], m: u32) -> Vec<bo
             children.iter().all(|&w| my > ceil_div(sizes[w as usize]))
         })
         .collect()
+}
+
+/// Validates a claimed m-critical set against its definition (paper
+/// Section 2 / Theorem 2.1): `critical[v]` must hold exactly when `v` has
+/// children and `⌈size(v)/m⌉ > ⌈size(w)/m⌉` for every child `w`. For
+/// `m = 3` the structural fact that every critical vertex has subtree
+/// size ≥ 4 is checked too (the sandwich argument of Theorem 2.1).
+///
+/// Always compiled; pair with [`hicond_graph::invariant::enforce`] (or
+/// construct through [`critical_vertices`], which recomputes from the
+/// definition) for boundary enforcement.
+pub fn check_critical_set(
+    forest: &RootedForest,
+    sizes: &[u32],
+    critical: &[bool],
+    m: u32,
+) -> Result<(), InvariantViolation> {
+    let n = forest.num_vertices();
+    let fail = |rule: &'static str, message: String, witness: Vec<usize>| {
+        Err(InvariantViolation::new(
+            "hicond-treecontract",
+            "CriticalSet",
+            rule,
+            message,
+            witness,
+        ))
+    };
+    if sizes.len() != n || critical.len() != n {
+        return fail(
+            "lengths",
+            format!(
+                "{} sizes / {} flags for {} vertices",
+                sizes.len(),
+                critical.len(),
+                n
+            ),
+            vec![],
+        );
+    }
+    let ceil_div = |s: u32| s.div_ceil(m);
+    for v in 0..n {
+        let children = forest.children(v);
+        let by_def = !children.is_empty() && {
+            let my = ceil_div(sizes[v]);
+            // bounds: children are vertex ids < n == sizes.len()
+            children.iter().all(|&w| my > ceil_div(sizes[w as usize]))
+        };
+        if critical[v] != by_def {
+            return fail(
+                "definition",
+                format!(
+                    "vertex {v} flagged {} but definition says {}",
+                    critical[v], by_def
+                ),
+                vec![v],
+            );
+        }
+        if m == 3 && critical[v] && sizes[v] < 4 {
+            return fail(
+                "min-size",
+                format!("3-critical vertex {v} has subtree size {}", sizes[v]),
+                vec![v],
+            );
+        }
+    }
+    Ok(())
+}
+
+impl Bridges {
+    /// Validates the bridge decomposition against its forest: bridges
+    /// cover the non-critical vertices exactly once (critical vertices in
+    /// none), each bridge's recorded attachments are consistent with the
+    /// tree structure, and the [`BridgeKind`] matches the attachments.
+    ///
+    /// Always compiled; use [`Bridges::debug_invariants`] for the
+    /// zero-cost-in-release variant.
+    pub fn check_invariants(&self, forest: &RootedForest) -> Result<(), InvariantViolation> {
+        let n = forest.num_vertices();
+        let fail = |rule: &'static str, message: String, witness: Vec<usize>| {
+            Err(InvariantViolation::new(
+                "hicond-treecontract",
+                "Bridges",
+                rule,
+                message,
+                witness,
+            ))
+        };
+        if self.critical.len() != n {
+            return fail(
+                "lengths",
+                format!("{} flags for {} vertices", self.critical.len(), n),
+                vec![],
+            );
+        }
+        let mut owner = vec![usize::MAX; n];
+        for (bi, br) in self.bridges.iter().enumerate() {
+            for &v in &br.vertices {
+                let v = v as usize;
+                if v >= n || self.critical[v] || owner[v] != usize::MAX {
+                    return fail(
+                        "cover-once",
+                        format!("vertex {v} mis-covered by bridge {bi}"),
+                        vec![bi, v],
+                    );
+                }
+                owner[v] = bi;
+            }
+            let top = match br.vertices.first() {
+                Some(&t) => t as usize,
+                None => {
+                    return fail("non-empty", format!("bridge {bi} is empty"), vec![bi]);
+                }
+            };
+            let expected_parent = forest.parent(top).map(|p| p as u32);
+            // bounds: parents are vertex ids < n == critical.len()
+            if br.parent_critical != expected_parent.filter(|&p| self.critical[p as usize]) {
+                return fail(
+                    "parent-attachment",
+                    format!(
+                        "bridge {bi} records parent_critical {:?}, tree has {:?}",
+                        br.parent_critical, expected_parent
+                    ),
+                    vec![bi, top],
+                );
+            }
+            if let Some((host, child)) = br.critical_child {
+                let host_in_bridge = br.vertices.contains(&host);
+                let child_ok = self.critical.get(child as usize) == Some(&true)
+                    && forest.parent(child as usize) == Some(host as usize);
+                if !host_in_bridge || !child_ok {
+                    return fail(
+                        "child-attachment",
+                        format!("bridge {bi} records bad critical child ({host}, {child})"),
+                        vec![bi, host as usize, child as usize],
+                    );
+                }
+            }
+            let expected_kind = match (br.parent_critical.is_some(), br.critical_child.is_some()) {
+                (true, true) => BridgeKind::Internal,
+                (false, false) => BridgeKind::Isolated,
+                _ => BridgeKind::External,
+            };
+            if br.kind != expected_kind {
+                return fail(
+                    "kind",
+                    format!(
+                        "bridge {bi} classified {:?}, attachments say {expected_kind:?}",
+                        br.kind
+                    ),
+                    vec![bi],
+                );
+            }
+        }
+        for v in 0..n {
+            if !self.critical[v] && owner[v] == usize::MAX {
+                return fail(
+                    "cover-all",
+                    format!("non-critical vertex {v} is in no bridge"),
+                    vec![v],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics on any violation of [`Bridges::check_invariants`]. Compiles
+    /// to a no-op in release builds unless the `check-invariants` feature
+    /// is enabled.
+    ///
+    /// # Panics
+    /// Panics with the structured violation report when a bridge
+    /// invariant fails and checks are compiled in.
+    #[inline]
+    pub fn debug_invariants(&self, forest: &RootedForest) {
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        hicond_graph::invariant::enforce(self.check_invariants(forest));
+        #[cfg(not(any(debug_assertions, feature = "check-invariants")))]
+        let _ = forest;
+    }
 }
 
 /// Which critical attachments a bridge has.
@@ -127,10 +307,12 @@ pub fn bridges(forest: &RootedForest, critical: &[bool]) -> Bridges {
             }
         })
         .collect();
-    Bridges {
+    let out = Bridges {
         critical: critical.to_vec(),
         bridges,
-    }
+    };
+    out.debug_invariants(forest);
+    out
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 
 use crate::listrank::{list_rank_parallel, list_rank_sequential};
 use hicond_graph::forest::RootedForest;
+use hicond_graph::InvariantViolation;
 use rayon::prelude::*;
 
 /// Euler tour of a rooted forest in successor-array form.
@@ -22,6 +23,103 @@ pub struct EulerTour {
     /// First arc of each tree's tour, indexed like `forest.roots()`
     /// (`u32::MAX` for single-vertex trees).
     pub first_arc: Vec<u32>,
+}
+
+impl EulerTour {
+    /// Validates the tour against its forest: `succ` covers `2n` arcs,
+    /// and following `succ` from each tree's first arc yields a valid
+    /// walk — every arc of the tree visited exactly once, ending at the
+    /// tour tail, with exactly `2(size − 1)` arcs per tree (the closed
+    /// Euler walk of Section 2's tree-contraction machinery).
+    ///
+    /// Always compiled; use [`EulerTour::debug_invariants`] for the
+    /// zero-cost-in-release variant.
+    pub fn check_invariants(&self, forest: &RootedForest) -> Result<(), InvariantViolation> {
+        let n = forest.num_vertices();
+        let fail = |rule: &'static str, message: String, witness: Vec<usize>| {
+            Err(InvariantViolation::new(
+                "hicond-treecontract",
+                "EulerTour",
+                rule,
+                message,
+                witness,
+            ))
+        };
+        if self.succ.len() != 2 * n {
+            return fail(
+                "succ-len",
+                format!("succ has {} arcs, expected 2n = {}", self.succ.len(), 2 * n),
+                vec![],
+            );
+        }
+        if self.first_arc.len() != forest.roots().len() {
+            return fail(
+                "first-arc-len",
+                format!(
+                    "{} first arcs for {} roots",
+                    self.first_arc.len(),
+                    forest.roots().len()
+                ),
+                vec![],
+            );
+        }
+        let mut seen = vec![false; 2 * n];
+        for (ri, &r) in forest.roots().iter().enumerate() {
+            let expected = 2 * (forest.subtree_size(r as usize) - 1);
+            let fa = self.first_arc[ri];
+            if fa == u32::MAX {
+                if expected != 0 {
+                    return fail(
+                        "tour-missing",
+                        format!("tree at root {r} has edges but no first arc"),
+                        vec![ri, r as usize],
+                    );
+                }
+                continue;
+            }
+            let mut a = fa as usize;
+            let mut visited = 0usize;
+            loop {
+                if a >= 2 * n || seen[a] {
+                    return fail(
+                        "tour-walk",
+                        format!("tour of root {r} revisits or escapes at arc {a}"),
+                        vec![ri, a],
+                    );
+                }
+                seen[a] = true;
+                visited += 1;
+                let s = self.succ[a] as usize;
+                if s == a {
+                    break;
+                }
+                a = s;
+            }
+            if visited != expected {
+                return fail(
+                    "tour-length",
+                    format!("tour of root {r} has {visited} arcs, expected {expected}"),
+                    vec![ri, r as usize],
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics on any violation of [`EulerTour::check_invariants`].
+    /// Compiles to a no-op in release builds unless the
+    /// `check-invariants` feature is enabled.
+    ///
+    /// # Panics
+    /// Panics with the structured violation report when a tour invariant
+    /// fails and checks are compiled in.
+    #[inline]
+    pub fn debug_invariants(&self, forest: &RootedForest) {
+        #[cfg(any(debug_assertions, feature = "check-invariants"))]
+        hicond_graph::invariant::enforce(self.check_invariants(forest));
+        #[cfg(not(any(debug_assertions, feature = "check-invariants")))]
+        let _ = forest;
+    }
 }
 
 /// Builds the Euler tour of `forest`.
@@ -61,7 +159,9 @@ pub fn euler_tour(forest: &RootedForest) -> EulerTour {
             None => u32::MAX,
         })
         .collect();
-    EulerTour { succ, first_arc }
+    let tour = EulerTour { succ, first_arc };
+    tour.debug_invariants(forest);
+    tour
 }
 
 /// Subtree sizes (`|descendants(v)|`, including `v`) via Euler tour +
@@ -192,5 +292,69 @@ mod tests {
             a = s;
         }
         assert_eq!(seen.len(), 2 * (n - 1));
+    }
+}
+
+/// Property tests for the Euler-tour invariant layer: tours built by
+/// [`euler_tour`] over random forests always pass, and corrupting the
+/// successor array (broken walk, wrong length) is caught.
+#[cfg(test)]
+mod invariant_props {
+    use super::*;
+    use hicond_graph::generators;
+    use proptest::prelude::*;
+
+    fn random_forest(seed: u64) -> RootedForest {
+        let g = generators::random_tree(12, seed, 0.5, 2.0);
+        RootedForest::from_graph(&g).expect("random_tree is a forest")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn tour_of_random_tree_satisfies_invariants(seed in any::<u64>()) {
+            let f = random_forest(seed);
+            let tour = euler_tour(&f);
+            prop_assert!(tour.check_invariants(&f).is_ok());
+        }
+
+        #[test]
+        fn corrupted_successor_is_rejected(seed in any::<u64>(), pick in any::<usize>()) {
+            let f = random_forest(seed);
+            let mut tour = euler_tour(&f);
+            // Collect the arcs actually on the walk (corrupting unused
+            // root slots is undetectable by design — they carry no tour
+            // structure), then break one of them.
+            let mut walk = Vec::new();
+            let mut a = tour.first_arc[0] as usize;
+            loop {
+                walk.push(a);
+                let s = tour.succ[a] as usize;
+                if s == a {
+                    break;
+                }
+                a = s;
+            }
+            let victim = walk[pick % walk.len()];
+            if tour.succ[victim] == victim as u32 {
+                // The tail: redirect back to the start, forcing a revisit.
+                tour.succ[victim] = tour.first_arc[0];
+            } else {
+                // Interior arc: make it a premature tail.
+                // bounds: arc ids < 2n = 24 fit in u32
+                tour.succ[victim] = victim as u32;
+            }
+            prop_assert!(tour.check_invariants(&f).is_err());
+        }
+
+        #[test]
+        fn truncated_succ_is_rejected(seed in any::<u64>()) {
+            let f = random_forest(seed);
+            let mut tour = euler_tour(&f);
+            tour.succ.pop();
+            let err = tour.check_invariants(&f).expect_err("short succ must be rejected");
+            prop_assert_eq!(err.rule, "succ-len");
+        }
     }
 }

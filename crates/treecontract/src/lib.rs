@@ -22,6 +22,6 @@ pub mod euler;
 pub mod listrank;
 
 pub use contraction::{subtree_sums_contraction, ContractionResult};
-pub use critical::{bridges, critical_vertices, Bridge, BridgeKind, Bridges};
+pub use critical::{bridges, check_critical_set, critical_vertices, Bridge, BridgeKind, Bridges};
 pub use euler::{euler_tour, subtree_sizes_parallel, EulerTour};
 pub use listrank::{list_rank_parallel, list_rank_parallel_with_rounds, list_rank_sequential};

@@ -1,0 +1,335 @@
+//! Workspace-specific static analysis (`cargo run -p xtask -- audit`).
+//!
+//! Walks `crates/*/src/**/*.rs` and enforces repo rules that generic
+//! linters can't express (see [`rules`] for the rule list). Historical
+//! violations are pinned in `audit.ratchet` at the repo root: the audit
+//! fails only on *regressions*, so the codebase can be cleaned up
+//! incrementally while new code is held to the rules immediately.
+//!
+//! Built with zero external dependencies: the build environment has no
+//! crates.io access, so parsing is line-level ([`scanner`]) rather than
+//! `syn`-based.
+
+pub mod ratchet;
+pub mod rules;
+pub mod scanner;
+
+use ratchet::Ratchet;
+use rules::{audit_source, FileKind, Finding};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Crates whose public API must document panics (`panics-doc` rule).
+const PANICS_DOC_CRATES: [&str; 3] = ["linalg", "graph", "core"];
+
+/// Name of the ratchet file at the repo root.
+pub const RATCHET_FILE: &str = "audit.ratchet";
+
+/// Result of an audit run.
+#[derive(Debug)]
+pub struct AuditOutcome {
+    /// Human-readable report (always printable).
+    pub report: String,
+    /// Number of (crate, rule) pairs whose count rose above the pin.
+    pub regressions: usize,
+    /// Number of (crate, rule) pairs now below their pin (re-ratchet to
+    /// lock in the improvement).
+    pub improvements: usize,
+}
+
+impl AuditOutcome {
+    /// True when the audit should exit successfully.
+    pub fn passed(&self) -> bool {
+        self.regressions == 0
+    }
+}
+
+/// One finding tagged with its origin.
+#[derive(Debug)]
+struct Located {
+    krate: String,
+    /// Path relative to the repo root.
+    rel_path: String,
+    finding: Finding,
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Classifies a source file within its crate.
+///
+/// `rel_in_crate` is the path relative to the crate directory (e.g.
+/// `src/bin/tool.rs`). Binary targets are exempt from the `panic-path`
+/// rule: a CLI aborting with a message is acceptable, a library panicking
+/// under a caller is not.
+fn classify(krate: &str, rel_in_crate: &Path) -> FileKind {
+    let under_bin = rel_in_crate
+        .components()
+        .any(|c| c.as_os_str() == "bin" || c.as_os_str() == "benches");
+    let is_main = rel_in_crate.file_name().is_some_and(|f| f == "main.rs");
+    FileKind {
+        is_library: !under_bin && !is_main,
+        wants_panics_doc: PANICS_DOC_CRATES.contains(&krate),
+    }
+}
+
+/// Runs the audit over `root/crates/*/src/**/*.rs`.
+///
+/// With `write_ratchet`, the measured counts are written to
+/// `root/audit.ratchet` and the run always passes. Otherwise counts are
+/// compared against the existing ratchet and any (crate, rule) count above
+/// its pin is a regression: the report lists every finding for the
+/// regressed pair as `rule path:line message`.
+pub fn run_audit(root: &Path, write_ratchet: bool) -> Result<AuditOutcome, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir() && p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut located: Vec<Located> = Vec::new();
+    let mut files_scanned = 0usize;
+    for crate_dir in &crate_dirs {
+        let krate = crate_dir
+            .file_name()
+            .and_then(|f| f.to_str())
+            .ok_or_else(|| format!("non-UTF-8 crate dir under {}", crates_dir.display()))?
+            .to_string();
+        let mut files = Vec::new();
+        collect_rs_files(&crate_dir.join("src"), &mut files)?;
+        for file in files {
+            let source = std::fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            let rel_in_crate = file.strip_prefix(crate_dir).unwrap_or(&file);
+            let kind = classify(&krate, rel_in_crate);
+            let rel_path = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            files_scanned += 1;
+            for finding in audit_source(&source, kind) {
+                located.push(Located {
+                    krate: krate.clone(),
+                    rel_path: rel_path.clone(),
+                    finding,
+                });
+            }
+        }
+    }
+
+    // Measured counts per (crate, rule).
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for l in &located {
+        *counts
+            .entry((l.krate.clone(), l.finding.rule.name().to_string()))
+            .or_insert(0) += 1;
+    }
+
+    let ratchet_path = root.join(RATCHET_FILE);
+    let mut report = String::new();
+
+    if write_ratchet {
+        let r = Ratchet::from_counts(&counts);
+        std::fs::write(&ratchet_path, r.serialize())
+            .map_err(|e| format!("writing {}: {e}", ratchet_path.display()))?;
+        let total: usize = counts.values().sum();
+        let _ = writeln!(
+            report,
+            "audit: scanned {files_scanned} files, pinned {total} historical violations in {}",
+            ratchet_path.display()
+        );
+        return Ok(AuditOutcome {
+            report,
+            regressions: 0,
+            improvements: 0,
+        });
+    }
+
+    let pinned = Ratchet::load(&ratchet_path)?;
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    // Union of measured and pinned keys so shrinking to zero still counts
+    // as an improvement.
+    let mut keys: Vec<(String, String)> = counts.keys().cloned().collect();
+    for krate in crate_dirs.iter().filter_map(|d| d.file_name()) {
+        let krate = krate.to_string_lossy().to_string();
+        for rule in rules::ALL_RULES {
+            let key = (krate.clone(), rule.name().to_string());
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+    }
+    keys.sort();
+
+    for (krate, rule) in &keys {
+        let found = counts
+            .get(&(krate.clone(), rule.clone()))
+            .copied()
+            .unwrap_or(0);
+        let pin = pinned.pinned(krate, rule);
+        if found > pin {
+            regressions += 1;
+            let _ = writeln!(
+                report,
+                "REGRESSION [{krate}/{rule}]: {found} violations (ratchet pins {pin})"
+            );
+            for l in located
+                .iter()
+                .filter(|l| l.krate == *krate && l.finding.rule.name() == *rule)
+            {
+                let _ = writeln!(
+                    report,
+                    "  {rule} {}:{} {}",
+                    l.rel_path, l.finding.line, l.finding.message
+                );
+            }
+        } else if found < pin {
+            improvements += 1;
+            let _ = writeln!(
+                report,
+                "improved [{krate}/{rule}]: {found} violations (ratchet pins {pin}) — \
+                 run `cargo run -p xtask -- audit --write-ratchet` to lock in"
+            );
+        }
+    }
+
+    let total: usize = counts.values().sum();
+    let _ = writeln!(
+        report,
+        "audit: scanned {files_scanned} files, {total} ratcheted violations, \
+         {regressions} regression(s), {improvements} improvement(s)"
+    );
+
+    Ok(AuditOutcome {
+        report,
+        regressions,
+        improvements,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a throwaway mini-workspace under the system temp dir.
+    struct TempWorkspace {
+        root: PathBuf,
+    }
+
+    impl TempWorkspace {
+        fn new(tag: &str) -> Self {
+            let root =
+                std::env::temp_dir().join(format!("xtask-audit-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            std::fs::create_dir_all(root.join("crates/demo/src")).unwrap();
+            Self { root }
+        }
+
+        fn write(&self, rel: &str, content: &str) {
+            let path = self.root.join(rel);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, content).unwrap();
+        }
+    }
+
+    impl Drop for TempWorkspace {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+
+    const VIOLATING: &str = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+
+    #[test]
+    fn seeded_violation_fails_with_rule_and_location() {
+        let ws = TempWorkspace::new("seeded");
+        ws.write("crates/demo/src/lib.rs", VIOLATING);
+        let out = run_audit(&ws.root, false).unwrap();
+        assert!(!out.passed());
+        assert!(out.report.contains("panic-path"), "report: {}", out.report);
+        assert!(
+            out.report.contains("crates/demo/src/lib.rs:2"),
+            "report: {}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn write_ratchet_then_pass() {
+        let ws = TempWorkspace::new("ratchet");
+        ws.write("crates/demo/src/lib.rs", VIOLATING);
+        let wrote = run_audit(&ws.root, true).unwrap();
+        assert!(wrote.passed());
+        assert!(ws.root.join(RATCHET_FILE).is_file());
+        let out = run_audit(&ws.root, false).unwrap();
+        assert!(out.passed(), "report: {}", out.report);
+        // A *new* violation on top of the pinned one regresses again.
+        ws.write(
+            "crates/demo/src/extra.rs",
+            "pub fn g() {\n    panic!(\"boom\");\n}\n",
+        );
+        let out = run_audit(&ws.root, false).unwrap();
+        assert!(!out.passed());
+        assert!(out.report.contains("crates/demo/src/extra.rs:2"));
+    }
+
+    #[test]
+    fn improvement_reported_not_failed() {
+        let ws = TempWorkspace::new("improve");
+        ws.write("crates/demo/src/lib.rs", "pub fn clean() -> u32 { 3 }\n");
+        ws.write(RATCHET_FILE, "demo panic-path 5\n");
+        let out = run_audit(&ws.root, false).unwrap();
+        assert!(out.passed());
+        assert_eq!(out.improvements, 1);
+        assert!(out.report.contains("improved"));
+    }
+
+    #[test]
+    fn bin_targets_exempt_from_panic_path() {
+        let ws = TempWorkspace::new("bins");
+        ws.write(
+            "crates/demo/src/bin/tool.rs",
+            "fn main() {\n    std::fs::read(\"x\").unwrap();\n}\n",
+        );
+        ws.write(
+            "crates/demo/src/main.rs",
+            "fn main() {\n    std::fs::read(\"x\").unwrap();\n}\n",
+        );
+        let out = run_audit(&ws.root, false).unwrap();
+        assert!(out.passed(), "report: {}", out.report);
+    }
+
+    #[test]
+    fn allow_marker_suppresses_finding() {
+        let ws = TempWorkspace::new("allow");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "pub fn f(x: Option<u32>) -> u32 {\n    \
+             // audit: allow(panic-path) — input validated by caller\n    \
+             x.unwrap()\n}\n",
+        );
+        let out = run_audit(&ws.root, false).unwrap();
+        assert!(out.passed(), "report: {}", out.report);
+    }
+}

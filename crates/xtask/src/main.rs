@@ -1,0 +1,73 @@
+//! CLI entry point: `cargo run -p xtask -- audit [--write-ratchet]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo run -p xtask -- audit [--write-ratchet] [--root <dir>]
+
+subcommands:
+  audit            run the workspace static-analysis rules against the
+                   ratchet file (audit.ratchet); exits non-zero on any
+                   (crate, rule) count above its pin
+options:
+  --write-ratchet  pin the current violation counts as the new baseline
+  --root <dir>     repo root (default: the workspace containing xtask)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut write_ratchet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut subcommand: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--write-ratchet" => write_ratchet = true,
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--root requires a directory argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if subcommand.is_none() && !other.starts_with('-') => {
+                subcommand = Some(other.to_string());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match subcommand.as_deref() {
+        Some("audit") => {}
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    // xtask lives at <root>/crates/xtask.
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    match xtask::run_audit(&root, write_ratchet) {
+        Ok(outcome) => {
+            print!("{}", outcome.report);
+            if outcome.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("audit error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Violation-count ratchet.
+//!
+//! The workspace predates the audit, so each rule has a pinned number of
+//! historical violations per crate (`audit.ratchet` at the repo root).
+//! The audit fails only when a (crate, rule) count *rises* above its pin —
+//! new code is held to the rules without demanding a big-bang cleanup.
+//! After removing violations, run `cargo run -p xtask -- audit
+//! --write-ratchet` to lower the pins so the improvement sticks.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Pinned violation counts keyed by `(crate, rule)`.
+#[derive(Debug, Default, Clone)]
+pub struct Ratchet {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+impl Ratchet {
+    /// Parses ratchet file contents. Lines are `<crate> <rule> <count>`;
+    /// `#` starts a comment; blank lines are skipped.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(krate), Some(rule), Some(count)) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "audit.ratchet line {}: expected `<crate> <rule> <count>`, got `{line}`",
+                    idx + 1
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("audit.ratchet line {}: bad count `{count}`", idx + 1))?;
+            entries.insert((krate.to_string(), rule.to_string()), count);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Loads the ratchet from `path`; a missing file is an empty ratchet
+    /// (every violation is then a regression).
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Pinned count for a crate/rule pair (0 when unpinned).
+    pub fn pinned(&self, krate: &str, rule: &str) -> usize {
+        self.entries
+            .get(&(krate.to_string(), rule.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Builds a ratchet from measured counts, dropping zero entries.
+    pub fn from_counts(counts: &BTreeMap<(String, String), usize>) -> Self {
+        Self {
+            entries: counts
+                .iter()
+                .filter(|(_, &c)| c > 0)
+                .map(|(k, &c)| (k.clone(), c))
+                .collect(),
+        }
+    }
+
+    /// Serializes to the on-disk format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# Audit ratchet: pinned violation counts per (crate, rule).\n\
+             # The audit fails when a count rises above its pin. Regenerate\n\
+             # with `cargo run -p xtask -- audit --write-ratchet` after\n\
+             # removing violations so the lower counts become the new pins.\n",
+        );
+        for ((krate, rule), count) in &self.entries {
+            let _ = writeln!(out, "{krate} {rule} {count}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut counts = BTreeMap::new();
+        counts.insert(("graph".to_string(), "panic-path".to_string()), 32);
+        counts.insert(("linalg".to_string(), "float-eq".to_string()), 4);
+        counts.insert(("core".to_string(), "narrowing-cast".to_string()), 0);
+        let r = Ratchet::from_counts(&counts);
+        let text = r.serialize();
+        let back = Ratchet::parse(&text).unwrap();
+        assert_eq!(back.pinned("graph", "panic-path"), 32);
+        assert_eq!(back.pinned("linalg", "float-eq"), 4);
+        // Zero entries are dropped; unpinned pairs default to 0.
+        assert_eq!(back.pinned("core", "narrowing-cast"), 0);
+        assert_eq!(back.pinned("nope", "panic-path"), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Ratchet::parse("graph panic-path").is_err());
+        assert!(Ratchet::parse("graph panic-path many").is_err());
+        assert!(Ratchet::parse("# comment\n\ngraph panic-path 3\n").is_ok());
+    }
+}

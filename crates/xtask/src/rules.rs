@@ -1,0 +1,516 @@
+//! The audit rules.
+//!
+//! Every rule reports [`Finding`]s; a finding is suppressed by an
+//! `// audit: allow(<rule>) — <reason>` comment on the same line or the
+//! line directly above. Unsuppressed findings are compared against the
+//! ratchet (see [`crate::ratchet`]): counts at or below the pinned value
+//! pass, anything above fails with file:line detail.
+
+use crate::scanner::{has_allow, scan, ScannedFile};
+
+/// All rules, in reporting order.
+pub const ALL_RULES: [Rule; 4] = [
+    Rule::PanicPath,
+    Rule::FloatEq,
+    Rule::NarrowingCast,
+    Rule::PanicsDoc,
+];
+
+/// A repo-specific lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// `unwrap()` / `expect(..)` / `panic!` / `unreachable!` / `todo!` in
+    /// library code outside `#[cfg(test)]`.
+    PanicPath,
+    /// `==` / `!=` with a float operand and no tolerance justification.
+    FloatEq,
+    /// `as usize` / `as u32` narrowing inside an index expression without
+    /// a bounds justification.
+    NarrowingCast,
+    /// `pub fn` that can panic but whose doc comment lacks `# Panics`.
+    PanicsDoc,
+}
+
+impl Rule {
+    /// Stable kebab-case name used in allow comments and the ratchet file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::PanicPath => "panic-path",
+            Rule::FloatEq => "float-eq",
+            Rule::NarrowingCast => "narrowing-cast",
+            Rule::PanicsDoc => "panics-doc",
+        }
+    }
+
+    /// Parses a rule name.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.into_iter().find(|r| r.name() == name)
+    }
+}
+
+/// One rule hit at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// 1-based line number.
+    pub line: usize,
+    /// Short human-readable detail.
+    pub message: String,
+}
+
+/// How a file participates in the audit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FileKind {
+    /// Library code: the panic-path rule applies (bins/experiment
+    /// harnesses may panic on bad input; libraries must not).
+    pub is_library: bool,
+    /// Crate is in the panics-doc enforcement set (linalg/graph/core).
+    pub wants_panics_doc: bool,
+}
+
+/// Runs every applicable rule over one file's source text.
+pub fn audit_source(source: &str, kind: FileKind) -> Vec<Finding> {
+    let file = scan(source);
+    let mut findings = Vec::new();
+    if kind.is_library {
+        panic_path(&file, &mut findings);
+    }
+    float_eq(&file, &mut findings);
+    narrowing_cast(&file, &mut findings);
+    if kind.wants_panics_doc {
+        panics_doc(&file, &mut findings);
+    }
+    findings
+}
+
+/// True when line `i` carries an allow marker for `rule` on itself or on
+/// the directly preceding line.
+fn allowed(file: &ScannedFile, i: usize, rule: Rule) -> bool {
+    has_allow(&file.lines[i].comment, rule.name())
+        || (i > 0 && has_allow(&file.lines[i - 1].comment, rule.name()))
+}
+
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+fn panic_path(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        for tok in PANIC_TOKENS {
+            if line.code.contains(tok) && !allowed(file, i, Rule::PanicPath) {
+                findings.push(Finding {
+                    rule: Rule::PanicPath,
+                    line: line.number,
+                    message: format!("`{}` in library code", tok.trim_start_matches('.')),
+                });
+                break; // one finding per line keeps counts stable
+            }
+        }
+    }
+}
+
+/// Tokens that justify an exact float comparison when present in a
+/// comment on the same or previous line.
+const FLOAT_EQ_JUSTIFICATIONS: [&str; 3] = ["exact", "tolerance", "bitwise"];
+
+fn float_eq(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        let code = &line.code;
+        let Some(op_pos) = find_eq_op(code) else {
+            continue;
+        };
+        if !comparison_has_float_operand(code, op_pos) {
+            continue;
+        }
+        let justified = FLOAT_EQ_JUSTIFICATIONS.iter().any(|j| {
+            line.comment.to_lowercase().contains(j)
+                || (i > 0 && file.lines[i - 1].comment.to_lowercase().contains(j))
+        });
+        if !justified && !allowed(file, i, Rule::FloatEq) {
+            findings.push(Finding {
+                rule: Rule::FloatEq,
+                line: line.number,
+                message: "float `==`/`!=` without tolerance comment".to_string(),
+            });
+        }
+    }
+}
+
+/// Finds a comparison operator `==` / `!=` that is not part of a
+/// pattern-ish construct; returns its byte position.
+fn find_eq_op(code: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        let two = &code[i..i + 2];
+        if two == "==" || two == "!=" {
+            // Skip `<=`, `>=`, `===`-like runs and `=>`.
+            let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+            let next = if i + 2 < bytes.len() {
+                bytes[i + 2]
+            } else {
+                b' '
+            };
+            if prev != b'<' && prev != b'>' && prev != b'=' && prev != b'!' && next != b'=' {
+                return Some(i);
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    None
+}
+
+/// Heuristic: does either side of the comparison at `op_pos` mention a
+/// float literal (`1.0`, `1e-12`, `0.5f64`) or an f64/f32-typed token?
+fn comparison_has_float_operand(code: &str, op_pos: usize) -> bool {
+    let left = &code[..op_pos];
+    let right = &code[op_pos + 2..];
+    let right_end = right
+        .find(|c| c == ';' || c == ',' || c == '{')
+        .unwrap_or(right.len());
+    let right = &right[..right_end];
+    is_floatish(left) || is_floatish(right)
+}
+
+fn is_floatish(fragment: &str) -> bool {
+    if fragment.contains("f64") || fragment.contains("f32") {
+        return true;
+    }
+    // Digit '.' digit — a float literal. Tuple field accesses like `t.0`
+    // do not match (no digit before the dot).
+    let bytes = fragment.as_bytes();
+    for i in 1..bytes.len().saturating_sub(1) {
+        if bytes[i] == b'.' && bytes[i - 1].is_ascii_digit() && bytes[i + 1].is_ascii_digit() {
+            return true;
+        }
+    }
+    // Scientific literals like 1e-12.
+    for i in 1..bytes.len().saturating_sub(1) {
+        if (bytes[i] == b'e' || bytes[i] == b'E')
+            && bytes[i - 1].is_ascii_digit()
+            && (bytes[i + 1] == b'-' || bytes[i + 1].is_ascii_digit())
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Comment tokens that justify a narrowing cast in an index.
+const BOUNDS_JUSTIFICATIONS: [&str; 3] = ["bounds", "fits", "< 2^32"];
+
+fn narrowing_cast(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        if !cast_inside_index(&line.code) {
+            continue;
+        }
+        let justified = BOUNDS_JUSTIFICATIONS.iter().any(|j| {
+            line.comment.to_lowercase().contains(j)
+                || (i > 0 && file.lines[i - 1].comment.to_lowercase().contains(j))
+        });
+        if !justified && !allowed(file, i, Rule::NarrowingCast) {
+            findings.push(Finding {
+                rule: Rule::NarrowingCast,
+                line: line.number,
+                message: "narrowing cast inside index without bounds comment".to_string(),
+            });
+        }
+    }
+}
+
+/// True when `as usize` / `as u32` occurs within an unclosed *index*
+/// `[ … ]`. Macro brackets (`vec![..]`, `matches!(x, [..])`-style — any
+/// `[` directly preceded by `!`) and attribute brackets (`#[..]`) are
+/// constructor/meta contexts, not bounds-checked indexing, and don't
+/// count.
+fn cast_inside_index(code: &str) -> bool {
+    for pat in ["as usize", "as u32"] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(pat) {
+            let abs = from + pos;
+            let bytes = code.as_bytes();
+            // Stack of bracket kinds before the cast: true = index.
+            let mut stack: Vec<bool> = Vec::new();
+            for i in 0..abs {
+                match bytes[i] {
+                    b'[' => {
+                        let macro_or_attr = i > 0 && (bytes[i - 1] == b'!' || bytes[i - 1] == b'#');
+                        stack.push(!macro_or_attr);
+                    }
+                    b']' => {
+                        stack.pop();
+                    }
+                    _ => {}
+                }
+            }
+            if stack.last() == Some(&true) {
+                return true;
+            }
+            from = abs + pat.len();
+        }
+    }
+    false
+}
+
+/// Tokens inside a body that make the fn panic-capable. `debug_assert!`
+/// is excluded (stripped before matching): it vanishes in release builds.
+const PANIC_CAPABLE_TOKENS: [&str; 7] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "assert!(",
+    "assert_eq!(",
+    "assert_ne!(",
+];
+
+fn panics_doc(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    let n = file.lines.len();
+    let mut i = 0;
+    while i < n {
+        let line = &file.lines[i];
+        let code = line.code.trim_start();
+        let is_pub_fn = code.starts_with("pub fn ")
+            || code.starts_with("pub const fn ")
+            || code.starts_with("pub unsafe fn ");
+        if line.in_test_code || !is_pub_fn {
+            i += 1;
+            continue;
+        }
+        let fn_idx = i;
+        let fn_line = line.number;
+        let fn_depth = line.depth_before;
+        let fn_name = code
+            .split("fn ")
+            .nth(1)
+            .and_then(|rest| rest.split(['(', '<']).next())
+            .unwrap_or("?")
+            .to_string();
+        // Look upward through the doc comment / attributes for `# Panics`.
+        let mut has_panics_doc = false;
+        let mut j = fn_idx;
+        while j > 0 {
+            j -= 1;
+            let above = &file.lines[j];
+            let t = above.code.trim_start();
+            let is_attr = t.starts_with("#[");
+            // Doc lines scan as empty code + non-empty comment.
+            if !t.is_empty() && !is_attr {
+                break;
+            }
+            if above.comment.contains("# Panics") {
+                has_panics_doc = true;
+                break;
+            }
+        }
+        // Scan the body (signature line through matching close brace).
+        let mut opened = false;
+        let mut can_panic = false;
+        let mut panic_tok = "";
+        let mut k = fn_idx;
+        while k < n {
+            let b = &file.lines[k];
+            if opened && b.depth_before <= fn_depth {
+                break;
+            }
+            if !can_panic {
+                let body = b.code.replace("debug_assert", "");
+                for tok in PANIC_CAPABLE_TOKENS {
+                    if body.contains(tok) {
+                        can_panic = true;
+                        panic_tok = tok;
+                        break;
+                    }
+                }
+            }
+            if b.code.contains('{') {
+                opened = true;
+            }
+            // Declarations without a body (trait methods) end at `;`.
+            if !opened && b.code.contains(';') {
+                break;
+            }
+            k += 1;
+        }
+        if can_panic && !has_panics_doc && !allowed(file, fn_idx, Rule::PanicsDoc) {
+            findings.push(Finding {
+                rule: Rule::PanicsDoc,
+                line: fn_line,
+                message: format!(
+                    "pub fn `{fn_name}` can panic (`{}`) but has no `# Panics` doc section",
+                    panic_tok.trim_start_matches('.')
+                ),
+            });
+        }
+        i = k.max(fn_idx + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LIB: FileKind = FileKind {
+        is_library: true,
+        wants_panics_doc: true,
+    };
+
+    fn names(findings: &[Finding]) -> Vec<(&'static str, usize)> {
+        findings.iter().map(|f| (f.rule.name(), f.line)).collect()
+    }
+
+    #[test]
+    fn panic_path_flags_unwrap() {
+        let src = "fn f() {\n    let x = g().unwrap();\n}\n";
+        assert_eq!(names(&audit_source(src, LIB)), vec![("panic-path", 2)]);
+    }
+
+    #[test]
+    fn panic_path_respects_allow_comment() {
+        let src = "fn f() {\n    // audit: allow(panic-path) — invariant: g is nonempty\n    let x = g().unwrap();\n}\n";
+        assert!(audit_source(src, LIB).is_empty());
+        let same_line =
+            "fn f() {\n    let x = g().unwrap(); // audit: allow(panic-path) — checked\n}\n";
+        assert!(audit_source(same_line, LIB).is_empty());
+    }
+
+    #[test]
+    fn panic_path_skips_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        x.unwrap();\n    }\n}\n";
+        assert!(audit_source(src, LIB).is_empty());
+    }
+
+    #[test]
+    fn panic_path_skips_non_library() {
+        let src = "fn main() {\n    run().unwrap();\n}\n";
+        let bin = FileKind {
+            is_library: false,
+            wants_panics_doc: false,
+        };
+        assert!(audit_source(src, bin).is_empty());
+    }
+
+    #[test]
+    fn float_eq_flags_bare_comparison() {
+        let src = "fn f(x: f64) -> bool {\n    x == 0.0\n}\n";
+        let found = audit_source(src, LIB);
+        assert!(found.iter().any(|f| f.rule == Rule::FloatEq && f.line == 2));
+    }
+
+    #[test]
+    fn float_eq_accepts_tolerance_comment() {
+        let src =
+            "fn f(x: f64) -> bool {\n    x == 0.0 // exact: sentinel written verbatim above\n}\n";
+        assert!(audit_source(src, LIB)
+            .iter()
+            .all(|f| f.rule != Rule::FloatEq));
+    }
+
+    #[test]
+    fn float_eq_ignores_integer_comparisons() {
+        let src = "fn f(x: usize) -> bool {\n    x == 17\n}\n";
+        assert!(audit_source(src, LIB)
+            .iter()
+            .all(|f| f.rule != Rule::FloatEq));
+    }
+
+    #[test]
+    fn narrowing_cast_flagged_inside_index() {
+        let src = "fn f(v: &[f64], i: u32) -> f64 {\n    v[i as usize]\n}\n";
+        let found = audit_source(src, LIB);
+        assert!(found
+            .iter()
+            .any(|f| f.rule == Rule::NarrowingCast && f.line == 2));
+    }
+
+    #[test]
+    fn narrowing_cast_ok_with_bounds_comment() {
+        let src = "fn f(v: &[f64], i: u32) -> f64 {\n    // bounds: i < v.len() by CSR invariant\n    v[i as usize]\n}\n";
+        assert!(audit_source(src, LIB)
+            .iter()
+            .all(|f| f.rule != Rule::NarrowingCast));
+    }
+
+    #[test]
+    fn narrowing_cast_outside_index_ignored() {
+        let src = "fn f(i: u32) -> usize {\n    i as usize\n}\n";
+        assert!(audit_source(src, LIB)
+            .iter()
+            .all(|f| f.rule != Rule::NarrowingCast));
+    }
+
+    #[test]
+    fn narrowing_cast_macro_brackets_ignored() {
+        // vec! brackets are constructors, not indexing.
+        let src = "fn f(v: u32) -> Vec<usize> {\n    vec![1, v as usize]\n}\n";
+        assert!(audit_source(src, LIB)
+            .iter()
+            .all(|f| f.rule != Rule::NarrowingCast));
+        // ...but a real index nested inside a macro still counts.
+        let src2 = "fn f(d: &[u64], v: u32) -> Vec<u64> {\n    vec![d[v as usize]]\n}\n";
+        assert!(audit_source(src2, LIB)
+            .iter()
+            .any(|f| f.rule == Rule::NarrowingCast && f.line == 2));
+    }
+
+    #[test]
+    fn panics_doc_requires_section() {
+        let src = "\
+/// Does things.\n\
+pub fn f(x: usize) {\n\
+    assert!(x > 0, \"positive\");\n\
+}\n";
+        let found = audit_source(src, LIB);
+        assert!(found
+            .iter()
+            .any(|f| f.rule == Rule::PanicsDoc && f.line == 2));
+    }
+
+    #[test]
+    fn panics_doc_satisfied() {
+        let src = "\
+/// Does things.\n\
+///\n\
+/// # Panics\n\
+/// Panics when `x == 0`.\n\
+pub fn f(x: usize) {\n\
+    assert!(x > 0, \"positive\");\n\
+}\n";
+        assert!(audit_source(src, LIB)
+            .iter()
+            .all(|f| f.rule != Rule::PanicsDoc));
+    }
+
+    #[test]
+    fn panics_doc_ignores_infallible_fns() {
+        let src = "/// Adds.\npub fn add(a: usize, b: usize) -> usize {\n    a + b\n}\n";
+        assert!(audit_source(src, LIB)
+            .iter()
+            .all(|f| f.rule != Rule::PanicsDoc));
+    }
+
+    #[test]
+    fn rule_names_roundtrip() {
+        for r in ALL_RULES {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+}

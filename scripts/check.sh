@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, static analysis, release build, tests.
+# Mirrors .github/workflows/ci.yml so a green local run predicts green CI.
+# Everything runs --offline: the workspace vendors its dependencies and
+# must build without crates.io access.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all -- --check
+
+step "xtask audit (ratcheted static analysis)"
+cargo run -p xtask --offline -q -- audit
+
+step "cargo build --release --offline"
+cargo build --release --offline --workspace
+
+step "cargo test --offline"
+cargo test --offline --workspace -q
+
+step "all checks passed"

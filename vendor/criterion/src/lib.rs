@@ -1,0 +1,187 @@
+//! Offline shim for the subset of [criterion](https://docs.rs/criterion)
+//! used by the `hicond` workspace benchmarks.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this crate. It keeps bench targets compiling and
+//! runnable: each `Bencher::iter` call times a small fixed number of
+//! iterations and prints a one-line plain-text report. There is no
+//! statistical analysis, warm-up tuning, or HTML output. When run under
+//! `cargo test` (bench targets default to `test = true`), every benchmark
+//! body executes once, so benches double as smoke tests.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Number of timed iterations per benchmark (upstream tunes this
+/// statistically; the shim uses a small constant, overridable via the
+/// `HICOND_BENCH_ITERS` environment variable).
+fn iters() -> u32 {
+    std::env::var("HICOND_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Fresh driver with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one("", &id.to_string(), &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes the sample count; the shim ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.label, &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Benchmark without an input parameter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_one(&self.name, &id.to_string(), &mut f);
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one(group: &str, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        total_ns: 0,
+        timed_iters: 0,
+    };
+    f(&mut b);
+    let mean_ns = b.total_ns.checked_div(b.timed_iters as u128).unwrap_or(0);
+    let full = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    println!(
+        "bench {full}: {mean_ns} ns/iter (shim, {} iters)",
+        b.timed_iters
+    );
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    total_ns: u128,
+    timed_iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let n = iters();
+        let start = Instant::now();
+        for _ in 0..n {
+            std_black_box(routine());
+        }
+        self.total_ns += start.elapsed().as_nanos();
+        self.timed_iters += n;
+    }
+}
+
+/// Identifier carrying a function name and a parameter value.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Under `cargo test` the harness passes flags like `--bench`;
+            // the shim runs the benches regardless (they are fast).
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_smoke() {
+        let mut c = Criterion::new();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_with_input(BenchmarkId::new("f", 4), &4usize, |b, &n| {
+                b.iter(|| {
+                    ran += 1;
+                    (0..n).sum::<usize>()
+                })
+            });
+            g.finish();
+        }
+        assert!(ran >= 1);
+        c.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

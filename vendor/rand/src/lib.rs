@@ -1,0 +1,243 @@
+//! Offline shim for the subset of [rand](https://docs.rs/rand) 0.9 used by
+//! the `hicond` workspace: seeded [`rngs::StdRng`], [`Rng::random`] and
+//! [`Rng::random_range`] over integer and float ranges.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this crate. The generator is xoshiro256++ seeded via
+//! SplitMix64 — a different stream than upstream `StdRng` (ChaCha12), which
+//! is fine because the workspace only relies on *seed-determinism* (same
+//! seed ⇒ same graph), never on a specific upstream stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level entry point: a source of `u64`s.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T` (`bool`, ints, `f64` in `[0,1)`).
+    fn random<T: Distribution>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Uniformly random value in `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds the generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly "at large" via [`Rng::random`].
+pub trait Distribution: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Distribution for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Distribution for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Distribution for usize {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // Top bit: the high bits of xoshiro256++ are its strongest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Distribution for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable via [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "random_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                // Modulo bias is negligible for the test/generator spans
+                // used in this workspace (all << 2^64).
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(v) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "random_range: empty inclusive range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                let v = (rng.next_u64() as u128) % span;
+                ((lo as u128) + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u64, u32, u16, u8, i64, i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "random_range: empty f64 range");
+        let u: f64 = f64::sample(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Guard the open upper bound against rounding.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "random_range: empty inclusive f64 range");
+        let u: f64 = f64::sample(rng);
+        lo + u * (hi - lo)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator (Blackman & Vigna), seeded via SplitMix64.
+    ///
+    /// Not the upstream `StdRng` algorithm, but a high-quality,
+    /// seed-deterministic stream — the only property the workspace uses.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding for xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seed_determinism() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..100).all(|_| {
+            let mut a2 = StdRng::seed_from_u64(42);
+            a2.random::<u64>() == c.random::<u64>()
+        });
+        assert!(!same, "different seeds must give different streams");
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(5usize..=5);
+            assert_eq!(w, 5);
+            let f = rng.random_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bool_hits_both_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let trues = (0..1000).filter(|_| rng.random::<bool>()).count();
+        assert!(trues > 300 && trues < 700, "suspicious bool bias: {trues}");
+    }
+
+    #[test]
+    fn range_covers_span_roughly_uniformly() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hits = [0usize; 8];
+        for _ in 0..8000 {
+            hits[rng.random_range(0usize..8)] += 1;
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!(h > 700 && h < 1300, "bucket {i} count {h}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Sequential drop-in shim for the subset of [rayon](https://docs.rs/rayon)
+//! used by the `hicond` workspace.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this crate in place of the real `rayon`. Every
+//! `par_*` entry point returns the corresponding **standard library
+//! iterator**, so all downstream adapter chains (`map`, `filter_map`,
+//! `enumerate`, `zip`, `sum`, `collect`, …) compile unchanged and produce
+//! identical results — the only difference is that execution is
+//! sequential. Swapping the real rayon back in is a one-line change in the
+//! workspace `Cargo.toml`.
+//!
+//! Determinism note: the workspace's parallel kernels are written to be
+//! result-deterministic under rayon (chunked reductions in fixed order),
+//! so this shim is observationally equivalent, not just "close".
+
+use std::cmp::Ordering;
+
+/// Number of worker threads. The shim executes on the calling thread.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    let ra = a();
+    let rb = b();
+    (ra, rb)
+}
+
+/// Converts an owned collection or range into a (here: sequential)
+/// "parallel" iterator. Blanket-implemented for every `IntoIterator`.
+pub trait IntoParallelIterator {
+    /// Iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Item type.
+    type Item;
+    /// Consumes `self`, yielding the iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// Shared-reference slice entry points (`par_iter`, `par_chunks`).
+pub trait ParallelSlice<T> {
+    /// Iterator over `&T`.
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    /// Iterator over non-overlapping chunks of length `chunk_size`
+    /// (last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Mutable slice entry points (`par_iter_mut`, `par_chunks_mut`,
+/// `par_sort_*`).
+pub trait ParallelSliceMut<T> {
+    /// Iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    /// Mutable chunk iterator.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// Unstable sort by key.
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
+    /// Unstable sort by comparator.
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, f: F);
+    /// Unstable natural-order sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.sort_unstable_by_key(f);
+    }
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, f: F) {
+        self.sort_unstable_by(f);
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+}
+
+/// The usual glob-import surface: `use rayon::prelude::*;`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects() {
+        let v: Vec<usize> = (0..5).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn slice_par_iter_sums() {
+        let xs = [1.0f64, 2.0, 3.0];
+        let s: f64 = xs.par_iter().sum();
+        assert_eq!(s, 6.0);
+    }
+
+    #[test]
+    fn par_iter_mut_writes() {
+        let mut xs = vec![0usize; 4];
+        xs.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert_eq!(xs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chunked_zip_matches_sequential() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| (i * 3) as f64).collect();
+        let par: f64 = x
+            .par_chunks(16)
+            .zip(y.par_chunks(16))
+            .map(|(a, b)| a.iter().zip(b).map(|(p, q)| p * q).sum::<f64>())
+            .sum();
+        let seq: f64 = x.iter().zip(&y).map(|(p, q)| p * q).sum();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_sort_by_key_sorts() {
+        let mut v = vec![(2u32, 'b'), (0, 'a'), (1, 'c')];
+        v.par_sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(v, vec![(0, 'a'), (1, 'c'), (2, 'b')]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "x");
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+}
