@@ -1,0 +1,186 @@
+//! Machine-readable benchmark trajectory (DESIGN.md §7).
+//!
+//! Times the four hot workloads — SpMV, Jacobi-PCG, parallel tree
+//! contraction (subtree sizes via list ranking), and planar [φ, ρ]
+//! decomposition — under thread caps 1/2/4/8 and writes the results to
+//! `BENCH_pr2.json` so every future PR can diff against them. Before any
+//! timing, each workload's output at the maximum thread cap is checked
+//! **bitwise** against the 1-thread output (the engine's determinism
+//! contract), and the run aborts on any mismatch.
+//!
+//! Usage:
+//!   bench_suite [--smoke] [--out PATH]
+//!
+//! `--smoke` shrinks every workload and the repetition counts so CI can
+//! exercise the full code path in a couple of seconds (the JSON is then
+//! marked `"mode": "smoke"` and not meant for cross-PR comparison).
+
+use hicond_bench::{bench_json, consistent_rhs, timed_median_ns, BenchRecord, Table};
+use hicond_core::{decompose_planar, PlanarOptions};
+use hicond_graph::{generators, laplacian, Graph, RootedForest};
+use hicond_linalg::cg::{pcg_solve, CgOptions, JacobiPreconditioner};
+use hicond_linalg::csr::CsrMatrix;
+use hicond_treecontract::subtree_sizes_parallel;
+use rayon::pool::with_thread_cap;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Config {
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        smoke: false,
+        out: "BENCH_pr2.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => cfg.smoke = true,
+            "--out" => cfg.out = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: bench_suite [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
+/// One workload: a setup-free closure producing a comparable output, run
+/// under each thread cap.
+fn measure<T, F>(
+    name: &str,
+    n: usize,
+    nnz: usize,
+    reps: usize,
+    records: &mut Vec<BenchRecord>,
+    run: F,
+) where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn() -> T,
+{
+    // Determinism gate: max-cap output must equal the 1-thread output.
+    let seq = with_thread_cap(1, &run);
+    let par = with_thread_cap(*THREADS.last().unwrap(), &run);
+    assert!(
+        seq == par,
+        "{name}: output differs between 1 and {} threads",
+        THREADS.last().unwrap()
+    );
+    let mut base_ns = 0u64;
+    for &t in &THREADS {
+        let ns = with_thread_cap(t, || timed_median_ns(reps, &run));
+        if t == 1 {
+            base_ns = ns;
+        }
+        records.push(BenchRecord {
+            workload: name.to_string(),
+            n,
+            nnz,
+            threads: t,
+            median_ns: ns,
+            speedup: base_ns as f64 / ns as f64,
+        });
+    }
+}
+
+fn grid_graph(side: usize) -> Graph {
+    generators::grid2d(side, side, |u, v| 1.0 + ((u * 7 + v * 13) % 5) as f64)
+}
+
+fn main() {
+    let cfg = parse_args();
+    // Full mode: n = 320² ≥ 10⁵ grid Laplacian per the acceptance bar.
+    let (side, tree_n, planar_side, reps_fast, reps_slow) = if cfg.smoke {
+        (40, 5_000, 16, 3, 1)
+    } else {
+        (320, 200_000, 96, 9, 3)
+    };
+
+    let grid = grid_graph(side);
+    let a: CsrMatrix = laplacian(&grid);
+    let n = a.nrows();
+    let x: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0)
+        .collect();
+    let b = consistent_rhs(n, 42);
+    let tree = generators::random_tree(tree_n, 7, 0.5, 2.0);
+    let forest = RootedForest::from_graph(&tree).expect("random_tree is a tree");
+    let planar_g = grid_graph(planar_side);
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+
+    measure("spmv", n, a.nnz(), reps_fast, &mut records, || a.mul(&x));
+
+    let pcg_opts = CgOptions {
+        rel_tol: 0.0, // never met: fixed iteration count for comparability
+        max_iter: if cfg.smoke { 5 } else { 50 },
+        record_residuals: false,
+    };
+    let m = JacobiPreconditioner::from_diagonal(&a.diagonal());
+    measure("pcg", n, a.nnz(), reps_slow, &mut records, || {
+        let r = pcg_solve(&a, &m, &b, &pcg_opts);
+        (r.x, r.iterations)
+    });
+
+    measure(
+        "treecontract",
+        tree_n,
+        tree.num_edges(),
+        reps_slow,
+        &mut records,
+        || subtree_sizes_parallel(&forest),
+    );
+
+    measure(
+        "planar",
+        planar_g.num_vertices(),
+        planar_g.num_edges(),
+        reps_slow,
+        &mut records,
+        || {
+            let d = decompose_planar(&planar_g, &PlanarOptions::default());
+            d.partition.assignment().to_vec()
+        },
+    );
+
+    let hw_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let meta = [
+        ("bench", "bench_suite".to_string()),
+        ("mode", if cfg.smoke { "smoke" } else { "full" }.to_string()),
+        ("hardware_threads", hw_threads.to_string()),
+        (
+            "note",
+            format!(
+                "thread caps above the {hw_threads} hardware thread(s) share cores \
+                 by timeslicing; speedups are only meaningful up to the hardware width"
+            ),
+        ),
+        (
+            "determinism",
+            "all workloads bitwise-identical at 1 vs max threads".to_string(),
+        ),
+    ];
+    let json = bench_json(&meta, &records);
+    std::fs::write(&cfg.out, &json).expect("write bench json");
+
+    let mut table = Table::new(&["workload", "n", "nnz", "threads", "median_ns", "speedup"]);
+    for r in &records {
+        table.row(vec![
+            r.workload.clone(),
+            r.n.to_string(),
+            r.nnz.to_string(),
+            r.threads.to_string(),
+            r.median_ns.to_string(),
+            format!("{:.2}", r.speedup),
+        ]);
+    }
+    table.print();
+    println!("wrote {}", cfg.out);
+}

@@ -69,6 +69,88 @@ pub fn timed_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     times[times.len() / 2]
 }
 
+/// Median wall-clock **nanoseconds** over `reps` runs (min 1); the
+/// resolution the `bench_suite` trajectory records.
+pub fn timed_median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
+    let reps = reps.max(1);
+    let mut times: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            let out = f();
+            let ns = t.elapsed().as_nanos() as u64;
+            drop(out);
+            ns
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// One measurement row of the machine-readable benchmark trajectory
+/// (`BENCH_pr2.json`); future PRs diff their numbers against these.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Workload name (`spmv`, `pcg`, `treecontract`, `planar`).
+    pub workload: String,
+    /// Problem dimension (vertices / rows).
+    pub n: usize,
+    /// Nonzeros (matrix workloads) or edges (graph workloads).
+    pub nnz: usize,
+    /// Thread cap the measurement ran under.
+    pub threads: usize,
+    /// Median wall-clock nanoseconds.
+    pub median_ns: u64,
+    /// `median_ns(1 thread) / median_ns(this)` for the same workload.
+    pub speedup: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the benchmark trajectory to pretty-printed JSON. `meta`
+/// key/value pairs (machine description, date, mode) land in a top-level
+/// `"meta"` object next to the `"results"` array.
+pub fn bench_json(meta: &[(&str, String)], records: &[BenchRecord]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"meta\": {\n");
+    for (i, (k, v)) in meta.iter().enumerate() {
+        let comma = if i + 1 < meta.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    \"{}\": \"{}\"{comma}\n",
+            json_escape(k),
+            json_escape(v)
+        ));
+    }
+    s.push_str("  },\n  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"n\": {}, \"nnz\": {}, \"threads\": {}, \"median_ns\": {}, \"speedup\": {:.4}}}{comma}\n",
+            json_escape(&r.workload),
+            r.n,
+            r.nnz,
+            r.threads,
+            r.median_ns,
+            r.speedup
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// Formats a float compactly for tables.
 pub fn fmt(x: f64) -> String {
     if x == 0.0 {
@@ -113,5 +195,28 @@ mod tests {
     fn rhs_consistent() {
         let b = consistent_rhs(100, 3);
         assert!(b.iter().sum::<f64>().abs() < 1e-10);
+    }
+
+    #[test]
+    fn median_ns_positive() {
+        let ns = timed_median_ns(3, || std::hint::black_box((0..1000).sum::<u64>()));
+        assert!(ns > 0);
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let recs = vec![BenchRecord {
+            workload: "spmv".into(),
+            n: 100,
+            nnz: 500,
+            threads: 4,
+            median_ns: 1234,
+            speedup: 2.5,
+        }];
+        let s = bench_json(&[("mode", "smoke \"quoted\"".into())], &recs);
+        assert!(s.contains("\"workload\": \"spmv\""));
+        assert!(s.contains("\"median_ns\": 1234"));
+        assert!(s.contains("\\\"quoted\\\""));
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
     }
 }

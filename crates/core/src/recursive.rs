@@ -15,6 +15,7 @@
 //! σ-approximate cut.
 
 use hicond_graph::{fiedler_sweep_cut, Graph, Partition};
+use rayon::prelude::*;
 
 /// Options for [`decompose_recursive_bisection`].
 #[derive(Debug, Clone, Copy)]
@@ -55,62 +56,90 @@ pub fn decompose_recursive_bisection(
     opts: &RecursiveBisectionOptions,
 ) -> (Partition, RecursiveStats) {
     let n = g.num_vertices();
+    let (pieces, stats) = solve_piece(g, (0..n).collect(), 0, opts);
     let mut assignment = vec![u32::MAX; n];
     let mut next_cluster = 0u32;
-    let mut stats = RecursiveStats::default();
-    // Work stack of (vertex list, depth).
-    let mut stack: Vec<(Vec<usize>, usize)> = vec![((0..n).collect(), 0)];
-    while let Some((piece, depth)) = stack.pop() {
-        stats.max_depth_reached = stats.max_depth_reached.max(depth);
-        let accept = |assignment: &mut Vec<u32>, next: &mut u32, piece: &[usize]| {
-            for &v in piece {
-                assignment[v] = *next;
-            }
-            *next += 1;
-        };
-        if piece.len() <= opts.min_cluster || depth >= opts.max_depth {
-            accept(&mut assignment, &mut next_cluster, &piece);
-            continue;
+    for piece in &pieces {
+        for &v in piece {
+            assignment[v] = next_cluster;
         }
-        let sub = g.induced_subgraph(&piece);
-        // Disconnected pieces split into components first.
-        let (labels, ncomp) = hicond_graph::connectivity::connected_components(&sub);
-        if ncomp > 1 {
-            let mut parts: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
-            for (local, &global) in piece.iter().enumerate() {
-                parts[labels[local] as usize].push(global);
-            }
-            for part in parts {
-                stack.push((part, depth));
-            }
-            continue;
-        }
-        stats.cuts_computed += 1;
-        match fiedler_sweep_cut(&sub) {
-            Some((indicator, sparsity)) if sparsity < opts.phi_target => {
-                let mut inside = Vec::new();
-                let mut outside = Vec::new();
-                for (local, &global) in piece.iter().enumerate() {
-                    if indicator[local] {
-                        inside.push(global);
-                    } else {
-                        outside.push(global);
-                    }
-                }
-                if inside.is_empty() || outside.is_empty() {
-                    accept(&mut assignment, &mut next_cluster, &piece);
-                } else {
-                    stack.push((inside, depth + 1));
-                    stack.push((outside, depth + 1));
-                }
-            }
-            _ => accept(&mut assignment, &mut next_cluster, &piece),
-        }
+        next_cluster += 1;
     }
     debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
     let p = Partition::from_assignment(assignment, next_cluster as usize);
     p.debug_invariants();
     (p, stats)
+}
+
+/// Recursive worker behind [`decompose_recursive_bisection`]: the two
+/// sides of an accepted sweep cut are independent subproblems and run
+/// concurrently via `rayon::join`. Returns this piece's accepted clusters
+/// in the exact numbering order of the former explicit-LIFO formulation
+/// (after a split, the whole outside subtree precedes the inside subtree;
+/// connected components are emitted in reverse discovery order), so the
+/// partition is bitwise identical at any thread count.
+fn solve_piece(
+    g: &Graph,
+    piece: Vec<usize>,
+    depth: usize,
+    opts: &RecursiveBisectionOptions,
+) -> (Vec<Vec<usize>>, RecursiveStats) {
+    let mut stats = RecursiveStats {
+        cuts_computed: 0,
+        max_depth_reached: depth,
+    };
+    if piece.len() <= opts.min_cluster || depth >= opts.max_depth {
+        return (vec![piece], stats);
+    }
+    let sub = g.induced_subgraph(&piece);
+    // Disconnected pieces split into components first.
+    let (labels, ncomp) = hicond_graph::connectivity::connected_components(&sub);
+    if ncomp > 1 {
+        let mut parts: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
+        for (local, &global) in piece.iter().enumerate() {
+            parts[labels[local] as usize].push(global);
+        }
+        let solved: Vec<(Vec<Vec<usize>>, RecursiveStats)> = parts
+            .into_par_iter()
+            .map(|part| solve_piece(g, part, depth, opts))
+            .collect();
+        let mut accepted = Vec::new();
+        for (pieces, s) in solved.into_iter().rev() {
+            accepted.extend(pieces);
+            stats.cuts_computed += s.cuts_computed;
+            stats.max_depth_reached = stats.max_depth_reached.max(s.max_depth_reached);
+        }
+        return (accepted, stats);
+    }
+    stats.cuts_computed = 1;
+    match fiedler_sweep_cut(&sub) {
+        Some((indicator, sparsity)) if sparsity < opts.phi_target => {
+            let mut inside = Vec::new();
+            let mut outside = Vec::new();
+            for (local, &global) in piece.iter().enumerate() {
+                if indicator[local] {
+                    inside.push(global);
+                } else {
+                    outside.push(global);
+                }
+            }
+            if inside.is_empty() || outside.is_empty() {
+                return (vec![piece], stats);
+            }
+            let ((mut accepted, out_stats), (in_pieces, in_stats)) = rayon::join(
+                || solve_piece(g, outside, depth + 1, opts),
+                || solve_piece(g, inside, depth + 1, opts),
+            );
+            accepted.extend(in_pieces);
+            stats.cuts_computed += out_stats.cuts_computed + in_stats.cuts_computed;
+            stats.max_depth_reached = stats
+                .max_depth_reached
+                .max(out_stats.max_depth_reached)
+                .max(in_stats.max_depth_reached);
+            (accepted, stats)
+        }
+        _ => (vec![piece], stats),
+    }
 }
 
 #[cfg(test)]

@@ -47,21 +47,29 @@ pub fn decompose_forest(g: &Graph) -> Partition {
     let critical = critical_vertices(&forest, &sizes, 3);
     let bridge_set = bridges(&forest, &critical);
 
-    // Cluster ids: criticals first, then one reserved slot per bridge.
-    let mut crit_cluster = vec![u32::MAX; n];
-    let mut ncrit = 0u32;
-    for v in 0..n {
-        if critical[v] {
-            crit_cluster[v] = ncrit;
-            ncrit += 1;
-        }
-    }
-
-    let actions: Vec<BridgeActions> = bridge_set
-        .bridges
-        .par_iter()
-        .map(|b| resolve_bridge(&forest, b))
-        .collect();
+    // The critical-cluster numbering scan and the per-bridge local rules
+    // are independent; run them concurrently. Cluster ids: criticals
+    // first, then one reserved slot per bridge.
+    let ((crit_cluster, ncrit), actions) = rayon::join(
+        || {
+            let mut crit_cluster = vec![u32::MAX; n];
+            let mut ncrit = 0u32;
+            for v in 0..n {
+                if critical[v] {
+                    crit_cluster[v] = ncrit;
+                    ncrit += 1;
+                }
+            }
+            (crit_cluster, ncrit)
+        },
+        || -> Vec<BridgeActions> {
+            bridge_set
+                .bridges
+                .par_iter()
+                .map(|b| resolve_bridge(&forest, b))
+                .collect()
+        },
+    );
 
     let mut assignment = vec![u32::MAX; n];
     for v in 0..n {

@@ -82,8 +82,8 @@ pub fn validate_phi_rho(
     max_exact: usize,
 ) -> Certificate {
     assert_eq!(g.num_vertices(), p.num_vertices());
-    g.debug_invariants();
-    p.debug_invariants();
+    // The two invariant sweeps touch disjoint structures; overlap them.
+    rayon::join(|| g.debug_invariants(), || p.debug_invariants());
     let clusters = p.clusters();
     // One parallel pass per cluster: each closure conductance is computed
     // exactly once, and both the violation verdict and the running

@@ -50,22 +50,54 @@ pub fn cut_sparsity(g: &Graph, in_set: &[bool]) -> f64 {
 /// Returns 0 for disconnected graphs (an empty cut exists) and
 /// `f64::INFINITY` for graphs with fewer than 2 vertices. Intended for the
 /// small closure graphs of clusters; panics above 25 vertices.
+///
+/// Subsets are walked in Gray-code order with a single reused indicator
+/// buffer, so each step flips one vertex and updates the cut capacity and
+/// side volume incrementally in O(deg) — O(2ⁿ·d̄) total instead of the
+/// former O(2ⁿ·(n+m)) full rescan per cut. Zero-volume sides are skipped
+/// without evaluating the quotient, and the sweep stops early once a
+/// sparsity-0 cut is found (nothing can beat it).
 pub fn exact_conductance(g: &Graph) -> f64 {
     let n = g.num_vertices();
     assert!(n <= 25, "exact_conductance: too many vertices ({n})");
     if n < 2 {
         return f64::INFINITY;
     }
+    let total = g.total_volume();
     let mut best = f64::INFINITY;
     let mut in_set = vec![false; n];
-    // Vertex n-1 stays out of S; enumerate subsets of the rest.
-    for mask in 1u32..(1 << (n - 1)) {
-        for (v, flag) in in_set.iter_mut().enumerate().take(n - 1) {
-            *flag = (mask >> v) & 1 == 1;
+    let mut cap = 0.0f64;
+    let mut vol_in = 0.0f64;
+    // Vertex n-1 stays out of S; walk subsets of the rest in Gray-code
+    // order (gray(k) = k ^ (k >> 1)): step k flips exactly bit tz(k).
+    for k in 1u32..(1 << (n - 1)) {
+        let v = k.trailing_zeros() as usize;
+        let entering = !in_set[v];
+        in_set[v] = entering;
+        let sign = if entering { 1.0 } else { -1.0 };
+        vol_in += sign * g.vol(v);
+        for (u, w, _) in g.neighbors(v) {
+            if u == v {
+                continue; // self-loops never cross a cut
+            }
+            // v entering S: edges to S-members stop crossing, edges to
+            // outsiders start crossing. Leaving S is the mirror image.
+            if in_set[u] {
+                cap -= sign * w;
+            } else {
+                cap += sign * w;
+            }
         }
-        let s = cut_sparsity(g, &in_set);
+        let denom = vol_in.min(total - vol_in);
+        if denom <= 0.0 {
+            continue; // zero-volume side: sparsity is +∞, skip
+        }
+        let s = cap / denom;
         if s < best {
             best = s;
+            if best <= 0.0 {
+                break; // a disconnecting cut: conductance is 0
+            }
         }
     }
     if best.is_infinite() {
@@ -325,5 +357,46 @@ mod tests {
         let phi = exact_conductance(&g);
         // cap 0.1 / vol(side) = 60.1
         assert!((phi - 0.1 / 60.1).abs() < 1e-9, "{phi}");
+    }
+
+    #[test]
+    fn k20_exact_conductance_under_assert_bound() {
+        // Regression for the Gray-code enumeration: K₂₀ is the stress case
+        // near the n ≤ 25 assert bound (2¹⁹ cuts). Conductance of Kₙ is
+        // minimized by the balanced cut: (n−k)/(n−1) at k = n/2 → 10/19.
+        let g = generators::complete(20, 1.0);
+        let phi = exact_conductance(&g);
+        assert!((phi - 10.0 / 19.0).abs() < 1e-9, "{phi}");
+    }
+
+    #[test]
+    fn gray_code_matches_full_rescan() {
+        // Weighted, irregular graph: the incremental capacity/volume
+        // updates must agree with a fresh per-cut evaluation.
+        let g = Graph::from_edges(
+            7,
+            &[
+                (0, 1, 1.5),
+                (1, 2, 0.25),
+                (2, 3, 4.0),
+                (3, 4, 0.5),
+                (4, 5, 2.0),
+                (5, 6, 1.0),
+                (6, 0, 3.0),
+                (1, 4, 0.125),
+                (2, 5, 8.0),
+            ],
+        );
+        let n = g.num_vertices();
+        let mut best = f64::INFINITY;
+        let mut in_set = vec![false; n];
+        for mask in 1u32..(1 << (n - 1)) {
+            for (v, flag) in in_set.iter_mut().enumerate().take(n - 1) {
+                *flag = (mask >> v) & 1 == 1;
+            }
+            best = best.min(cut_sparsity(&g, &in_set));
+        }
+        let phi = exact_conductance(&g);
+        assert!((phi - best).abs() < 1e-12, "gray {phi} vs rescan {best}");
     }
 }

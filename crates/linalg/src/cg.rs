@@ -9,7 +9,7 @@
 //! to the kernel; iterates then stay in the kernel's complement.
 
 use crate::ops::LinearOperator;
-use crate::vector::{axpy, dot, norm2};
+use crate::vector::{dot_with_scratch, fused_axpy_dot_self, norm2, par_axpy, scratch_len, xpby};
 
 /// A symmetric positive (semi)definite preconditioner: application of
 /// `M⁻¹ r`.
@@ -138,19 +138,25 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
             converged: true,
         };
     }
+    // All scratch is preallocated here; the iteration loop below performs
+    // no heap allocation (asserted by `tests/alloc_counting.rs`).
     let mut r = b.to_vec();
-    let mut z = m.apply(&r);
-    let mut p = z.clone();
-    let mut rz = dot(&r, &z);
+    let mut z = vec![0.0; n];
+    m.apply_into(&r, &mut z);
+    let mut p = vec![0.0; n];
+    p.copy_from_slice(&z);
     let mut ap = vec![0.0; n];
+    let mut partials = vec![0.0; scratch_len(n)];
+    let mut rz = dot_with_scratch(&r, &z, &mut partials);
     if opts.record_residuals {
+        history.reserve(opts.max_iter + 2);
         history.push(norm2(&r));
     }
     let mut it = 0;
     let mut converged = false;
     while it < opts.max_iter {
         a.apply_into(&p, &mut ap);
-        let pap = dot(&p, &ap);
+        let pap = dot_with_scratch(&p, &ap, &mut partials);
         if pap <= 0.0 {
             // Hit the (numerical) kernel; cannot advance further.
             break;
@@ -159,10 +165,10 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
         if !alpha.is_finite() {
             break; // numerical breakdown (rz underflow / pap degenerate)
         }
-        axpy(alpha, &p, &mut x);
-        axpy(-alpha, &ap, &mut r);
+        par_axpy(alpha, &p, &mut x);
+        // Fused r -= alpha·ap and ‖r‖² in a single pass over r.
+        let rnorm = fused_axpy_dot_self(-alpha, &ap, &mut r, &mut partials).sqrt();
         it += 1;
-        let rnorm = norm2(&r);
         if opts.record_residuals {
             history.push(rnorm);
         }
@@ -174,15 +180,13 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
             break;
         }
         m.apply_into(&r, &mut z);
-        let rz_new = dot(&r, &z);
+        let rz_new = dot_with_scratch(&r, &z, &mut partials);
         if rz_new == 0.0 || !rz_new.is_finite() {
             break; // residual left the preconditioner's range; stagnated
         }
         let beta = rz_new / rz;
         rz = rz_new;
-        for (pi, zi) in p.iter_mut().zip(&z) {
-            *pi = zi + beta * *pi;
-        }
+        xpby(&z, beta, &mut p);
     }
     let final_rel = norm2(&r) / bnorm;
     CgResult {

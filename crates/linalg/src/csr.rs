@@ -363,28 +363,36 @@ impl CsrMatrix {
         y
     }
 
-    /// Transpose (also CSR).
+    /// Transpose (also CSR). Runs in O(nnz + ncols) with one counting pass
+    /// and no auxiliary cursor array: `row_ptr[c]` doubles as the insert
+    /// cursor for column `c` during the scatter and is shifted back into
+    /// place afterwards.
     pub fn transpose(&self) -> CsrMatrix {
-        let mut counts = vec![0usize; self.ncols + 1];
+        let nnz = self.nnz();
+        let mut row_ptr = vec![0usize; self.ncols + 1];
         for &c in &self.col_idx {
-            counts[c as usize + 1] += 1;
+            row_ptr[c as usize + 1] += 1;
         }
         for i in 0..self.ncols {
-            counts[i + 1] += counts[i];
+            row_ptr[i + 1] += row_ptr[i];
         }
-        let row_ptr = counts.clone();
-        let mut col_idx = vec![0u32; self.nnz()];
-        let mut values = vec![0.0; self.nnz()];
-        let mut next = counts;
+        let mut col_idx = vec![0u32; nnz];
+        let mut values = vec![0.0; nnz];
         for r in 0..self.nrows {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 let c = self.col_idx[k] as usize;
-                let pos = next[c];
-                next[c] += 1;
+                let pos = row_ptr[c];
+                row_ptr[c] += 1;
                 col_idx[pos] = r as u32;
                 values[pos] = self.values[k];
             }
         }
+        // Each cursor ended at the start of the next column's range; shift
+        // right by one to restore the row-pointer invariant.
+        for c in (1..=self.ncols).rev() {
+            row_ptr[c] = row_ptr[c - 1];
+        }
+        row_ptr[0] = 0;
         // Row order of the source guarantees each output row is sorted.
         CsrMatrix {
             nrows: self.ncols,
@@ -410,20 +418,70 @@ impl CsrMatrix {
             .all(|(a, b)| crate::approx_eq(*a, *b, tol))
     }
 
-    /// Sparse matrix sum `A + B` (same shape).
+    /// Sparse matrix sum `A + B` (same shape). Runs in O(nnz(A) + nnz(B))
+    /// via a two-pointer merge of each (sorted) row pair — one counting
+    /// pass to size the output exactly, one fill pass, no intermediate
+    /// triplet buffer or sort.
     pub fn add(&self, other: &CsrMatrix) -> CsrMatrix {
         assert_eq!(self.nrows, other.nrows);
         assert_eq!(self.ncols, other.ncols);
-        let mut b = CooBuilder::new(self.nrows, self.ncols);
+        let merge_row = |r: usize, emit: &mut dyn FnMut(u32, f64)| {
+            let (mut i, ie) = (self.row_ptr[r], self.row_ptr[r + 1]);
+            let (mut j, je) = (other.row_ptr[r], other.row_ptr[r + 1]);
+            while i < ie && j < je {
+                let (ci, cj) = (self.col_idx[i], other.col_idx[j]);
+                match ci.cmp(&cj) {
+                    std::cmp::Ordering::Less => {
+                        emit(ci, self.values[i]);
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        emit(cj, other.values[j]);
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        emit(ci, self.values[i] + other.values[j]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            while i < ie {
+                emit(self.col_idx[i], self.values[i]);
+                i += 1;
+            }
+            while j < je {
+                emit(other.col_idx[j], other.values[j]);
+                j += 1;
+            }
+        };
+        let mut row_ptr = vec![0usize; self.nrows + 1];
         for r in 0..self.nrows {
-            for (c, v) in self.row(r) {
-                b.push(r, c, v);
-            }
-            for (c, v) in other.row(r) {
-                b.push(r, c, v);
-            }
+            let mut cnt = 0usize;
+            merge_row(r, &mut |_, _| cnt += 1);
+            row_ptr[r + 1] = cnt;
         }
-        b.build()
+        for r in 0..self.nrows {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        let nnz = row_ptr[self.nrows];
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        for r in 0..self.nrows {
+            merge_row(r, &mut |c, v| {
+                col_idx.push(c);
+                values.push(v);
+            });
+        }
+        let m = CsrMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.debug_invariants();
+        m
     }
 
     /// `A * s` for scalar `s`.
@@ -698,6 +756,64 @@ mod tests {
         assert_eq!(t.get(0, 1), 1.0);
         let tt = t.transpose();
         assert_eq!(a, tt);
+    }
+
+    #[test]
+    fn transpose_preserves_nnz() {
+        let mut b = CooBuilder::new(50, 30);
+        for i in 0..50 {
+            b.push(i, (i * 7) % 30, i as f64 + 1.0);
+            b.push(i, (i * 13 + 5) % 30, -(i as f64));
+        }
+        let a = b.build();
+        let t = a.transpose();
+        assert_eq!(t.nnz(), a.nnz());
+        assert_eq!(t.transpose(), a);
+        // Explicit structural zeros survive the transpose too.
+        let mut b = CooBuilder::new(2, 2);
+        b.push(0, 1, 0.0);
+        let z = b.build();
+        assert_eq!(z.transpose().nnz(), 1);
+    }
+
+    #[test]
+    fn add_merges_in_linear_time_shape() {
+        // Disjoint, overlapping, and cancelling entries in one test.
+        let mut b1 = CooBuilder::new(3, 3);
+        b1.push(0, 0, 1.0);
+        b1.push(0, 2, 2.0);
+        b1.push(2, 1, 4.0);
+        let a = b1.build();
+        let mut b2 = CooBuilder::new(3, 3);
+        b2.push(0, 1, 3.0);
+        b2.push(0, 2, -2.0); // cancels a's (0,2) in value, not structure
+        b2.push(1, 0, 5.0);
+        let b = b2.build();
+        let s = a.add(&b);
+        // Union of patterns: (0,0) (0,1) (0,2) (1,0) (2,1).
+        assert_eq!(s.nnz(), 5);
+        assert_eq!(s.get(0, 0), 1.0);
+        assert_eq!(s.get(0, 1), 3.0);
+        assert_eq!(s.get(0, 2), 0.0); // structural zero kept, like CooBuilder
+        assert_eq!(s.get(1, 0), 5.0);
+        assert_eq!(s.get(2, 1), 4.0);
+        // Commutes and matches the triplet-builder semantics.
+        assert_eq!(s, b.add(&a));
+    }
+
+    #[test]
+    fn add_nnz_bounds() {
+        let a = small();
+        let sum = a.add(&a);
+        assert_eq!(sum.nnz(), a.nnz()); // identical pattern: no growth
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(sum.get(r, c), 2.0 * a.get(r, c));
+            }
+        }
+        let empty = CsrMatrix::zeros(3, 3);
+        assert_eq!(a.add(&empty), a);
+        assert_eq!(empty.add(&a), a);
     }
 
     #[test]

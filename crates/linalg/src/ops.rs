@@ -7,7 +7,7 @@
 //! `I − D^{-1/2} A D^{-1/2}` built without forming the product explicitly.
 
 use crate::csr::CsrMatrix;
-use crate::vector::Parallelism;
+use crate::vector::{axpby_inplace, hadamard_inplace, hadamard_into, Parallelism};
 
 /// A symmetric real linear operator on `R^n`.
 pub trait LinearOperator {
@@ -59,9 +59,7 @@ impl<'a, A: LinearOperator> LinearOperator for ShiftedOperator<'a, A> {
 
     fn apply_into(&self, x: &[f64], y: &mut [f64]) {
         self.inner.apply_into(x, y);
-        for (yi, xi) in y.iter_mut().zip(x) {
-            *yi = self.alpha * *yi + self.beta * xi;
-        }
+        axpby_inplace(self.alpha, self.beta, x, y);
     }
 }
 
@@ -90,11 +88,10 @@ impl<'a, A: LinearOperator> LinearOperator for DiagonalCongruence<'a, A> {
     }
 
     fn apply_into(&self, x: &[f64], y: &mut [f64]) {
-        let sx: Vec<f64> = x.iter().zip(self.scaling).map(|(a, s)| a * s).collect();
+        let mut sx = vec![0.0; x.len()];
+        hadamard_into(x, self.scaling, &mut sx);
         self.inner.apply_into(&sx, y);
-        for (yi, s) in y.iter_mut().zip(self.scaling) {
-            *yi *= s;
-        }
+        hadamard_inplace(y, self.scaling);
     }
 }
 

@@ -70,6 +70,159 @@ pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
         .for_each(|(yc, xc)| axpy(alpha, xc, yc));
 }
 
+/// Number of chunk partials the `*_with_scratch` kernels need for vectors
+/// of length `n` (at least 1, so the scratch is never empty).
+pub fn scratch_len(n: usize) -> usize {
+    n.div_ceil(PAR_CHUNK).max(1)
+}
+
+/// Allocation-free parallel dot product: chunk partials are written into
+/// the caller-provided `partials` scratch (`≥ scratch_len(x.len())`) and
+/// summed in chunk order, so the result is bitwise identical at any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length or `partials` is shorter than
+/// `scratch_len(x.len())`.
+pub fn dot_with_scratch(x: &[f64], y: &[f64], partials: &mut [f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot_with_scratch: length mismatch");
+    if x.len() < PAR_CHUNK {
+        return dot(x, y);
+    }
+    let nchunks = scratch_len(x.len());
+    let partials = &mut partials[..nchunks];
+    partials
+        .par_iter_mut()
+        .zip(x.par_chunks(PAR_CHUNK))
+        .zip(y.par_chunks(PAR_CHUNK))
+        .for_each(|((out, xc), yc)| *out = dot(xc, yc));
+    partials.iter().sum()
+}
+
+/// Fused allocation-free `y += alpha·x; return yᵀy`: one pass over the
+/// data instead of an axpy followed by a norm. Chunk partials go into
+/// `partials` (`≥ scratch_len(y.len())`) and are summed in chunk order
+/// (bitwise deterministic at any thread count).
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length or `partials` is shorter than
+/// `scratch_len(y.len())`.
+pub fn fused_axpy_dot_self(alpha: f64, x: &[f64], y: &mut [f64], partials: &mut [f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "fused_axpy_dot_self: length mismatch");
+    if y.len() < PAR_CHUNK {
+        let mut acc = 0.0;
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+            acc += *yi * *yi;
+        }
+        return acc;
+    }
+    let nchunks = scratch_len(y.len());
+    let partials = &mut partials[..nchunks];
+    partials
+        .par_iter_mut()
+        .zip(y.par_chunks_mut(PAR_CHUNK))
+        .zip(x.par_chunks(PAR_CHUNK))
+        .for_each(|((out, yc), xc)| {
+            let mut acc = 0.0;
+            for (yi, xi) in yc.iter_mut().zip(xc) {
+                *yi += alpha * xi;
+                acc += *yi * *yi;
+            }
+            *out = acc;
+        });
+    partials.iter().sum()
+}
+
+/// `p = z + beta·p` (the CG search-direction update), parallel above the
+/// chunk crossover, allocation-free.
+///
+/// # Panics
+///
+/// Panics if `z` and `p` differ in length.
+pub fn xpby(z: &[f64], beta: f64, p: &mut [f64]) {
+    assert_eq!(z.len(), p.len(), "xpby: length mismatch");
+    let body = |zc: &[f64], pc: &mut [f64]| {
+        for (pi, zi) in pc.iter_mut().zip(zc) {
+            *pi = zi + beta * *pi;
+        }
+    };
+    if p.len() < PAR_CHUNK {
+        return body(z, p);
+    }
+    p.par_chunks_mut(PAR_CHUNK)
+        .zip(z.par_chunks(PAR_CHUNK))
+        .for_each(|(pc, zc)| body(zc, pc));
+}
+
+/// `y = alpha·y + beta·x` in place (the shifted-operator update),
+/// parallel above the chunk crossover, allocation-free.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` differ in length.
+pub fn axpby_inplace(alpha: f64, beta: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpby_inplace: length mismatch");
+    let body = |xc: &[f64], yc: &mut [f64]| {
+        for (yi, xi) in yc.iter_mut().zip(xc) {
+            *yi = alpha * *yi + beta * xi;
+        }
+    };
+    if y.len() < PAR_CHUNK {
+        return body(x, y);
+    }
+    y.par_chunks_mut(PAR_CHUNK)
+        .zip(x.par_chunks(PAR_CHUNK))
+        .for_each(|(yc, xc)| body(xc, yc));
+}
+
+/// `out = x ⊙ s` (elementwise product), parallel above the chunk
+/// crossover.
+///
+/// # Panics
+///
+/// Panics if `x`, `s`, and `out` do not all share one length.
+pub fn hadamard_into(x: &[f64], s: &[f64], out: &mut [f64]) {
+    assert_eq!(x.len(), s.len(), "hadamard_into: length mismatch");
+    assert_eq!(x.len(), out.len(), "hadamard_into: output length mismatch");
+    let body = |xc: &[f64], sc: &[f64], oc: &mut [f64]| {
+        for ((oi, xi), si) in oc.iter_mut().zip(xc).zip(sc) {
+            *oi = xi * si;
+        }
+    };
+    if x.len() < PAR_CHUNK {
+        return body(x, s, out);
+    }
+    out.par_chunks_mut(PAR_CHUNK)
+        .zip(x.par_chunks(PAR_CHUNK))
+        .zip(s.par_chunks(PAR_CHUNK))
+        .for_each(|((oc, xc), sc)| body(xc, sc, oc));
+}
+
+/// `y ⊙= s` in place, parallel above the chunk crossover.
+///
+/// # Panics
+///
+/// Panics if `y` and `s` differ in length.
+pub fn hadamard_inplace(y: &mut [f64], s: &[f64]) {
+    assert_eq!(y.len(), s.len(), "hadamard_inplace: length mismatch");
+    if y.len() < PAR_CHUNK {
+        for (yi, si) in y.iter_mut().zip(s) {
+            *yi *= si;
+        }
+        return;
+    }
+    y.par_chunks_mut(PAR_CHUNK)
+        .zip(s.par_chunks(PAR_CHUNK))
+        .for_each(|(yc, sc)| {
+            for (yi, si) in yc.iter_mut().zip(sc) {
+                *yi *= si;
+            }
+        });
+}
+
 /// `x *= alpha`.
 pub fn scale(alpha: f64, x: &mut [f64]) {
     for xi in x.iter_mut() {
@@ -198,5 +351,72 @@ mod tests {
     #[test]
     fn dist2_basic() {
         assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn dot_with_scratch_matches_par_dot() {
+        let n = 70_000;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let mut partials = vec![0.0; scratch_len(n)];
+        let a = dot_with_scratch(&x, &y, &mut partials);
+        let b = par_dot(&x, &y);
+        assert_eq!(a.to_bits(), b.to_bits());
+        // Small input takes the plain path.
+        let c = dot_with_scratch(&x[..100], &y[..100], &mut partials);
+        assert_eq!(c.to_bits(), dot(&x[..100], &y[..100]).to_bits());
+    }
+
+    #[test]
+    fn fused_axpy_dot_self_matches_two_pass() {
+        for n in [100usize, 70_000] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let mut y1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).cos()).collect();
+            let mut y2 = y1.clone();
+            let mut partials = vec![0.0; scratch_len(n)];
+            let fused = fused_axpy_dot_self(-0.25, &x, &mut y1, &mut partials);
+            axpy(-0.25, &x, &mut y2);
+            assert_eq!(y1, y2, "n={n}");
+            let two_pass = dot_with_scratch(&y2, &y2, &mut partials);
+            assert_eq!(fused.to_bits(), two_pass.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn xpby_matches_scalar_loop() {
+        for n in [64usize, 70_000] {
+            let z: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let mut p1: Vec<f64> = (0..n).map(|i| (i % 17) as f64).collect();
+            let mut p2 = p1.clone();
+            xpby(&z, 0.75, &mut p1);
+            for (pi, zi) in p2.iter_mut().zip(&z) {
+                *pi = zi + 0.75 * *pi;
+            }
+            assert_eq!(p1, p2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_match() {
+        for n in [33usize, 70_000] {
+            let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 9) as f64).collect();
+            let s: Vec<f64> = (0..n).map(|i| 0.5 + (i % 4) as f64).collect();
+            let mut y1: Vec<f64> = (0..n).map(|i| (i % 13) as f64).collect();
+            let mut y2 = y1.clone();
+            axpby_inplace(2.0, -1.0, &x, &mut y1);
+            for (yi, xi) in y2.iter_mut().zip(&x) {
+                *yi = 2.0 * *yi - xi;
+            }
+            assert_eq!(y1, y2, "axpby n={n}");
+
+            let mut out = vec![0.0; n];
+            hadamard_into(&x, &s, &mut out);
+            let mut inplace = x.clone();
+            hadamard_inplace(&mut inplace, &s);
+            for i in 0..n {
+                assert_eq!(out[i], x[i] * s[i]);
+                assert_eq!(inplace[i], x[i] * s[i]);
+            }
+        }
     }
 }

@@ -21,4 +21,11 @@ cargo build --release --offline --workspace
 step "cargo test --offline"
 cargo test --offline --workspace -q
 
+step "cargo test --offline (HICOND_THREADS=4, parallel engine path)"
+HICOND_THREADS=4 cargo test --offline --workspace -q
+
+step "bench_suite --smoke (engine + workload smoke, JSON shape)"
+cargo run --release --offline -p hicond-bench --bin bench_suite -- --smoke --out target/bench_smoke.json
+test -s target/bench_smoke.json
+
 step "all checks passed"

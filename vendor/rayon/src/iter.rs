@@ -1,0 +1,430 @@
+//! The data-parallel iterator layer on top of [`crate::pool`].
+//!
+//! # Model
+//!
+//! A [`ParIter`] wraps an **indexed producer**: a `Sync` description of
+//! `len` independent items where item `i` can be produced on any thread,
+//! exactly once. Adapters (`map`, `enumerate`, `zip`, `filter_map`) wrap
+//! producers lazily; terminals drive the pool.
+//!
+//! # Determinism contract
+//!
+//! Terminals never combine values concurrently. A reduction (`sum`, `all`,
+//! `collect`, `unzip`) first materializes every item into its fixed index
+//! slot — in parallel, which is safe because slots are independent — and
+//! then performs the *standard library* sequential reduction over the
+//! slots in index order on the calling thread. The result is therefore
+//! bitwise identical to running the whole chain on the old sequential
+//! shim, for every thread count (floating-point reassociation never
+//! happens inside the engine; chunk-level reassociation is a call-site
+//! decision, e.g. `par_chunks(...).map(dot).sum()`).
+
+use crate::pool;
+use std::marker::PhantomData;
+use std::mem::{ManuallyDrop, MaybeUninit};
+
+/// An indexed source of `len` independent items.
+///
+/// # Safety contract (for implementors and drivers)
+/// Drivers call `get(i)` **at most once** per index; implementors may rely
+/// on that for soundness (e.g. handing out `&mut` items or moving owned
+/// values).
+pub trait Producer: Sync {
+    /// Item produced for each index.
+    type Item: Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Produces item `i`.
+    ///
+    /// # Safety
+    /// Must be called at most once per `i < len()`, though possibly from
+    /// any thread.
+    unsafe fn get(&self, i: usize) -> Self::Item;
+}
+
+/// A "parallel iterator": a lazily-adapted indexed producer. See the
+/// module docs for the execution and determinism model.
+pub struct ParIter<P: Producer> {
+    p: P,
+}
+
+impl<P: Producer> ParIter<P> {
+    pub(crate) fn new(p: P) -> Self {
+        ParIter { p }
+    }
+
+    /// Number of items this iterator will yield.
+    pub fn len(&self) -> usize {
+        self.p.len()
+    }
+
+    /// True if no items will be yielded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ---- adapters ----------------------------------------------------
+
+    /// Maps each item through `f`.
+    pub fn map<R, F>(self, f: F) -> ParIter<Map<P, F>>
+    where
+        R: Send,
+        F: Fn(P::Item) -> R + Sync,
+    {
+        ParIter::new(Map { p: self.p, f })
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<Enumerate<P>> {
+        ParIter::new(Enumerate { p: self.p })
+    }
+
+    /// Zips with another parallel iterator (shorter side wins).
+    pub fn zip<Q: Producer>(self, other: ParIter<Q>) -> ParIter<Zip<P, Q>> {
+        ParIter::new(Zip {
+            a: self.p,
+            b: other.p,
+        })
+    }
+
+    /// Keeps the `Some` results of `f`, in index order.
+    pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<P, F>
+    where
+        R: Send,
+        F: Fn(P::Item) -> Option<R> + Sync,
+    {
+        ParFilterMap { p: self.p, f }
+    }
+
+    // ---- terminals ---------------------------------------------------
+
+    /// Calls `f` on every item (in parallel; no ordering guarantee on the
+    /// calls themselves — side effects must be per-item independent, as
+    /// with real rayon).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Sync,
+    {
+        let p = self.p;
+        pool::run_blocks(p.len(), &|s, e| {
+            for i in s..e {
+                // Safety: blocks tile the index range exactly once.
+                f(unsafe { p.get(i) });
+            }
+        });
+    }
+
+    /// Collects into `C`, preserving index order.
+    pub fn collect<C: From<Vec<P::Item>>>(self) -> C {
+        C::from(eval_to_vec(&self.p))
+    }
+
+    /// Sums the items with the standard sequential fold (index order).
+    pub fn sum<S: std::iter::Sum<P::Item>>(self) -> S {
+        eval_to_vec(&self.p).into_iter().sum()
+    }
+
+    /// True if `f` holds for every item. `f` is evaluated on all items
+    /// (no short-circuit), so it must be side-effect free — which the
+    /// rayon API contract already demands.
+    pub fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(P::Item) -> bool + Sync,
+    {
+        self.map(f).collect::<Vec<bool>>().into_iter().all(|b| b)
+    }
+
+    /// Splits pair items into two collections, preserving index order.
+    pub fn unzip<A, B, CA, CB>(self) -> (CA, CB)
+    where
+        P: Producer<Item = (A, B)>,
+        A: Send,
+        B: Send,
+        CA: Default + Extend<A>,
+        CB: Default + Extend<B>,
+    {
+        let pairs = eval_to_vec(&self.p);
+        let mut ca = CA::default();
+        let mut cb = CB::default();
+        for (a, b) in pairs {
+            ca.extend(std::iter::once(a));
+            cb.extend(std::iter::once(b));
+        }
+        (ca, cb)
+    }
+}
+
+/// Raw pointer that may cross threads; each thread writes disjoint slots.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (instead of field access) so closures capture the whole
+    /// `SendPtr` — edition-2021 precise capture would otherwise grab the
+    /// raw-pointer field, which is not `Sync`.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Materializes every item into its index slot, in parallel.
+fn eval_to_vec<P: Producer>(p: &P) -> Vec<P::Item> {
+    let len = p.len();
+    let mut out: Vec<MaybeUninit<P::Item>> = Vec::with_capacity(len);
+    // Safety: MaybeUninit needs no initialization.
+    unsafe { out.set_len(len) };
+    let base = SendPtr(out.as_mut_ptr());
+    pool::run_blocks(len, &|s, e| {
+        let slots = base.get();
+        for i in s..e {
+            // Safety: blocks tile the index range exactly once, and each
+            // slot is written by exactly one thread.
+            unsafe { (*slots.add(i)).write(p.get(i)) };
+        }
+    });
+    // Safety: every slot was initialized above (run_blocks covers the
+    // whole range or propagates the panic before we get here).
+    unsafe {
+        let mut out = ManuallyDrop::new(out);
+        Vec::from_raw_parts(out.as_mut_ptr() as *mut P::Item, len, out.capacity())
+    }
+}
+
+// ---- adapter producers ----------------------------------------------
+
+/// See [`ParIter::map`].
+pub struct Map<P, F> {
+    p: P,
+    f: F,
+}
+
+impl<P, R, F> Producer for Map<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+    fn len(&self) -> usize {
+        self.p.len()
+    }
+    unsafe fn get(&self, i: usize) -> R {
+        // Safety: forwarded contract.
+        (self.f)(unsafe { self.p.get(i) })
+    }
+}
+
+/// See [`ParIter::enumerate`].
+pub struct Enumerate<P> {
+    p: P,
+}
+
+impl<P: Producer> Producer for Enumerate<P> {
+    type Item = (usize, P::Item);
+    fn len(&self) -> usize {
+        self.p.len()
+    }
+    unsafe fn get(&self, i: usize) -> (usize, P::Item) {
+        // Safety: forwarded contract.
+        (i, unsafe { self.p.get(i) })
+    }
+}
+
+/// See [`ParIter::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
+        // Safety: forwarded contract; i < min(len a, len b).
+        unsafe { (self.a.get(i), self.b.get(i)) }
+    }
+}
+
+/// Lazy `filter_map` chain end; only collection makes sense (the output
+/// length is unknown until evaluated).
+pub struct ParFilterMap<P, F> {
+    p: P,
+    f: F,
+}
+
+impl<P, R, F> ParFilterMap<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> Option<R> + Sync,
+{
+    /// Evaluates in parallel, then keeps the `Some` values in index order.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let opts = eval_to_vec(&Map {
+            p: self.p,
+            f: self.f,
+        });
+        C::from(opts.into_iter().flatten().collect::<Vec<R>>())
+    }
+}
+
+// ---- leaf producers --------------------------------------------------
+
+/// Producer over `&[T]`.
+pub struct SliceProducer<'a, T: Sync> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.s.len()
+    }
+    unsafe fn get(&self, i: usize) -> &'a T {
+        // Safety: i < len.
+        unsafe { self.s.get_unchecked(i) }
+    }
+}
+
+/// Producer over non-overlapping `&[T]` chunks.
+pub struct ChunksProducer<'a, T: Sync> {
+    s: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.s.len().div_ceil(self.size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.s.len());
+        // Safety: i < len ⟹ lo < s.len() ≤ hi bound.
+        unsafe { self.s.get_unchecked(lo..hi) }
+    }
+}
+
+/// Producer over `&mut T` items of a slice. Sound because the driver
+/// produces each index at most once, so the `&mut` borrows are disjoint.
+pub struct SliceMutProducer<'a, T: Send> {
+    base: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for SliceMutProducer<'_, T> {}
+unsafe impl<T: Send> Send for SliceMutProducer<'_, T> {}
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    fn len(&self) -> usize {
+        self.len
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut T {
+        // Safety: i < len and each index is produced once ⟹ disjoint.
+        unsafe { &mut *self.base.add(i) }
+    }
+}
+
+/// Producer over non-overlapping `&mut [T]` chunks.
+pub struct ChunksMutProducer<'a, T: Send> {
+    base: *mut T,
+    len: usize,
+    size: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for ChunksMutProducer<'_, T> {}
+unsafe impl<T: Send> Send for ChunksMutProducer<'_, T> {}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    fn len(&self) -> usize {
+        self.len.div_ceil(self.size)
+    }
+    unsafe fn get(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.size;
+        let hi = (lo + self.size).min(self.len);
+        // Safety: chunks are disjoint and each index is produced once.
+        unsafe { std::slice::from_raw_parts_mut(self.base.add(lo), hi - lo) }
+    }
+}
+
+/// Producer that owns its items (backing store for
+/// [`crate::IntoParallelIterator`]). Items are moved out one by one; items
+/// never produced (e.g. the long tail of a mismatched `zip`, or a chain
+/// dropped without a terminal) are leaked rather than dropped — acceptable
+/// for this workspace, where every chain ends in a terminal and zip sides
+/// have equal length.
+pub struct VecProducer<T: Send> {
+    buf: Vec<ManuallyDrop<T>>,
+}
+
+unsafe impl<T: Send> Sync for VecProducer<T> {}
+
+impl<T: Send> VecProducer<T> {
+    pub(crate) fn from_vec(v: Vec<T>) -> Self {
+        // Safety: ManuallyDrop<T> is layout-transparent over T.
+        let buf = unsafe {
+            let mut v = ManuallyDrop::new(v);
+            Vec::from_raw_parts(
+                v.as_mut_ptr() as *mut ManuallyDrop<T>,
+                v.len(),
+                v.capacity(),
+            )
+        };
+        VecProducer { buf }
+    }
+}
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    fn len(&self) -> usize {
+        self.buf.len()
+    }
+    unsafe fn get(&self, i: usize) -> T {
+        // Safety: i < len and each index is produced at most once, so the
+        // value is moved out exactly once and never dropped in place.
+        ManuallyDrop::into_inner(unsafe { std::ptr::read(self.buf.as_ptr().add(i)) })
+    }
+}
+
+// ---- constructors used by lib.rs -------------------------------------
+
+pub(crate) fn from_slice<T: Sync>(s: &[T]) -> ParIter<SliceProducer<'_, T>> {
+    ParIter::new(SliceProducer { s })
+}
+
+pub(crate) fn from_chunks<T: Sync>(s: &[T], size: usize) -> ParIter<ChunksProducer<'_, T>> {
+    assert!(size != 0, "chunk size must be non-zero");
+    ParIter::new(ChunksProducer { s, size })
+}
+
+pub(crate) fn from_slice_mut<T: Send>(s: &mut [T]) -> ParIter<SliceMutProducer<'_, T>> {
+    ParIter::new(SliceMutProducer {
+        base: s.as_mut_ptr(),
+        len: s.len(),
+        _marker: PhantomData,
+    })
+}
+
+pub(crate) fn from_chunks_mut<T: Send>(
+    s: &mut [T],
+    size: usize,
+) -> ParIter<ChunksMutProducer<'_, T>> {
+    assert!(size != 0, "chunk size must be non-zero");
+    ParIter::new(ChunksMutProducer {
+        base: s.as_mut_ptr(),
+        len: s.len(),
+        size,
+        _marker: PhantomData,
+    })
+}
+
+pub(crate) fn from_vec<T: Send>(v: Vec<T>) -> ParIter<VecProducer<T>> {
+    ParIter::new(VecProducer::from_vec(v))
+}

@@ -1,97 +1,169 @@
-//! Sequential drop-in shim for the subset of [rayon](https://docs.rs/rayon)
-//! used by the `hicond` workspace.
+//! Multi-threaded drop-in shim for the subset of
+//! [rayon](https://docs.rs/rayon) used by the `hicond` workspace.
 //!
 //! The build environment has no network access to crates.io, so the
-//! workspace vendors this crate in place of the real `rayon`. Every
-//! `par_*` entry point returns the corresponding **standard library
-//! iterator**, so all downstream adapter chains (`map`, `filter_map`,
-//! `enumerate`, `zip`, `sum`, `collect`, …) compile unchanged and produce
-//! identical results — the only difference is that execution is
-//! sequential. Swapping the real rayon back in is a one-line change in the
-//! workspace `Cargo.toml`.
+//! workspace vendors this crate in place of the real `rayon`. Unlike the
+//! original PR-1 shim (which ran everything sequentially on the calling
+//! thread), this version executes `par_*` chains and `join` on a real
+//! global worker pool ([`pool`]) sized by the `HICOND_THREADS` environment
+//! variable (default: `std::thread::available_parallelism()`).
 //!
-//! Determinism note: the workspace's parallel kernels are written to be
-//! result-deterministic under rayon (chunked reductions in fixed order),
-//! so this shim is observationally equivalent, not just "close".
+//! # Determinism contract
+//!
+//! Every entry point is **bitwise result-deterministic** and
+//! observationally identical to the 1-thread / PR-1 sequential path:
+//!
+//! - parallel iterator terminals materialize per-item results into fixed
+//!   index slots and perform all order-sensitive reductions (`sum`,
+//!   `collect`, `all`, `unzip`) sequentially in index order on the calling
+//!   thread — the engine never reassociates floating-point operations
+//!   (see [`iter`] for the full model);
+//! - `join(a, b)` always returns `(a(), b())` with `a` logically first;
+//! - `par_sort_unstable*` remain sequential sorts, so ties between equal
+//!   keys are broken exactly as before.
+//!
+//! Set `HICOND_THREADS=1` (or call [`pool::with_thread_cap`]`(1, ..)`) to
+//! force inline sequential execution identical to the old shim.
 
+pub mod iter;
+pub mod pool;
+
+use std::cell::UnsafeCell;
 use std::cmp::Ordering;
 
-/// Number of worker threads. The shim executes on the calling thread.
+pub use iter::{ParFilterMap, ParIter, Producer};
+
+/// Number of worker threads the engine will use for new work on this
+/// thread (respects [`pool::with_thread_cap`]).
 pub fn current_num_threads() -> usize {
-    1
+    pool::effective_threads()
 }
 
-/// Runs both closures (sequentially here) and returns both results.
+/// Runs both closures — concurrently when a worker is free — and returns
+/// `(a(), b())`. Result order (and therefore every observable output) is
+/// identical to calling `a` then `b` sequentially.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    let ra = a();
-    let rb = b();
-    (ra, rb)
+    /// One-shot slot shared with the pool; sound because each unit index
+    /// is executed exactly once, so each cell is touched by one thread.
+    struct OnceCellSlot<T>(UnsafeCell<Option<T>>);
+    unsafe impl<T: Send> Sync for OnceCellSlot<T> {}
+    impl<T> OnceCellSlot<T> {
+        fn get(&self) -> *mut Option<T> {
+            self.0.get()
+        }
+    }
+
+    let fa = OnceCellSlot(UnsafeCell::new(Some(a)));
+    let fb = OnceCellSlot(UnsafeCell::new(Some(b)));
+    let ra: OnceCellSlot<RA> = OnceCellSlot(UnsafeCell::new(None));
+    let rb: OnceCellSlot<RB> = OnceCellSlot(UnsafeCell::new(None));
+    let ran = pool::run_pair(&|u| {
+        // Safety: the pool executes each unit index exactly once, so each
+        // cell below has a single writer and no concurrent reader.
+        unsafe {
+            if u == 0 {
+                let f = (*fa.get()).take().expect("unit 0 ran twice");
+                *ra.get() = Some(f());
+            } else {
+                let f = (*fb.get()).take().expect("unit 1 ran twice");
+                *rb.get() = Some(f());
+            }
+        }
+    });
+    if ran {
+        // Safety: dispatch completed, so both cells were filled and all
+        // writers have synchronized with this thread.
+        unsafe {
+            (
+                (*ra.get()).take().expect("join: missing result a"),
+                (*rb.get()).take().expect("join: missing result b"),
+            )
+        }
+    } else {
+        // Pool busy / capped at 1 / nested: run inline, `a` first.
+        // Safety: run_pair executed nothing, so the closures are intact
+        // and this thread is the only accessor.
+        unsafe {
+            let a = (*fa.get()).take().expect("join: closure a consumed");
+            let b = (*fb.get()).take().expect("join: closure b consumed");
+            let ra = a();
+            let rb = b();
+            (ra, rb)
+        }
+    }
 }
 
-/// Converts an owned collection or range into a (here: sequential)
-/// "parallel" iterator. Blanket-implemented for every `IntoIterator`.
+/// Converts an owned collection or range into a parallel iterator.
+/// Blanket-implemented for every `IntoIterator` with `Send` items; the
+/// source is drained (sequentially) into an indexed buffer first.
 pub trait IntoParallelIterator {
-    /// Iterator type produced.
-    type Iter: Iterator<Item = Self::Item>;
+    /// Parallel iterator type produced.
+    type Iter;
     /// Item type.
-    type Item;
-    /// Consumes `self`, yielding the iterator.
+    type Item: Send;
+    /// Consumes `self`, yielding the parallel iterator.
     fn into_par_iter(self) -> Self::Iter;
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Iter = ParIter<iter::VecProducer<I::Item>>;
     type Item = I::Item;
-    fn into_par_iter(self) -> I::IntoIter {
-        self.into_iter()
+    fn into_par_iter(self) -> Self::Iter {
+        iter::from_vec(self.into_iter().collect())
     }
 }
 
 /// Shared-reference slice entry points (`par_iter`, `par_chunks`).
-pub trait ParallelSlice<T> {
-    /// Iterator over `&T`.
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
-    /// Iterator over non-overlapping chunks of length `chunk_size`
-    /// (last chunk may be shorter).
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<iter::SliceProducer<'_, T>>;
+    /// Parallel iterator over non-overlapping chunks of length
+    /// `chunk_size` (last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<iter::ChunksProducer<'_, T>>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<iter::SliceProducer<'_, T>> {
+        iter::from_slice(self)
     }
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<iter::ChunksProducer<'_, T>> {
+        iter::from_chunks(self, chunk_size)
     }
 }
 
 /// Mutable slice entry points (`par_iter_mut`, `par_chunks_mut`,
 /// `par_sort_*`).
-pub trait ParallelSliceMut<T> {
-    /// Iterator over `&mut T`.
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    /// Mutable chunk iterator.
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
-    /// Unstable sort by key.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<iter::SliceMutProducer<'_, T>>;
+    /// Parallel iterator over non-overlapping mutable chunks.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<iter::ChunksMutProducer<'_, T>>;
+    /// Unstable sort by key (sequential: preserves the exact equal-key
+    /// permutation of the PR-1 shim at any thread count).
     fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F);
-    /// Unstable sort by comparator.
+    /// Unstable sort by comparator (sequential; see above).
     fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, f: F);
-    /// Unstable natural-order sort.
+    /// Unstable natural-order sort (sequential; see above).
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<iter::SliceMutProducer<'_, T>> {
+        iter::from_slice_mut(self)
     }
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<iter::ChunksMutProducer<'_, T>> {
+        iter::from_chunks_mut(self, chunk_size)
     }
     fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
         self.sort_unstable_by_key(f);
@@ -114,6 +186,7 @@ pub mod prelude {
 
 #[cfg(test)]
 mod tests {
+    use super::pool::{block_range, with_thread_cap};
     use super::prelude::*;
 
     #[test]
@@ -161,5 +234,101 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "x");
         assert_eq!(a, 2);
         assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn join_runs_on_workers() {
+        // Large enough to force actual dispatch on multi-unit paths; the
+        // result must be identical either way.
+        let xs: Vec<u64> = (0..100_000).collect();
+        let (a, b) = super::join(|| xs.iter().sum::<u64>(), || xs.len());
+        assert_eq!(a, 4_999_950_000);
+        assert_eq!(b, 100_000);
+    }
+
+    #[test]
+    fn nested_join_inlines() {
+        let (outer, _) = super::join(|| super::join(|| 1, || 2), || super::join(|| 3, || 4));
+        assert_eq!(outer, (1, 2));
+    }
+
+    #[test]
+    fn filter_map_collects_in_order() {
+        let v: Vec<u32> = (0u32..100)
+            .into_par_iter()
+            .filter_map(|i| (i % 3 == 0).then_some(i))
+            .collect();
+        let seq: Vec<u32> = (0u32..100).filter(|i| i % 3 == 0).collect();
+        assert_eq!(v, seq);
+    }
+
+    #[test]
+    fn unzip_preserves_order() {
+        let (a, b): (Vec<u32>, Vec<u32>) = (0u32..1000).into_par_iter().map(|i| (i, i * 2)).unzip();
+        assert_eq!(a, (0u32..1000).collect::<Vec<_>>());
+        assert_eq!(b, (0u32..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_matches_sequential() {
+        assert!((0u32..500).into_par_iter().all(|i| i < 500));
+        assert!(!(0u32..500).into_par_iter().all(|i| i < 499));
+    }
+
+    #[test]
+    fn results_identical_across_thread_caps() {
+        let xs: Vec<f64> = (0..50_000).map(|i| (i as f64).sin()).collect();
+        let expect: f64 = with_thread_cap(1, || {
+            xs.par_chunks(1 << 10).map(|c| c.iter().sum::<f64>()).sum()
+        });
+        for cap in [2, 4, 8] {
+            let got: f64 = with_thread_cap(cap, || {
+                xs.par_chunks(1 << 10).map(|c| c.iter().sum::<f64>()).sum()
+            });
+            assert_eq!(got.to_bits(), expect.to_bits(), "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<u32> = Vec::new();
+        assert_eq!(v.par_iter().map(|&x| x).collect::<Vec<u32>>(), v);
+        assert_eq!(v.into_par_iter().map(|x| x).sum::<u32>(), 0);
+        let (s, e) = block_range(0, 1, 0);
+        assert_eq!((s, e), (0, 0));
+    }
+
+    #[test]
+    fn block_range_partitions_exactly() {
+        for len in [0usize, 1, 7, 64, 1000, 1001] {
+            for units in [1usize, 2, 3, 7, 8] {
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for u in 0..units {
+                    let (s, e) = block_range(len, units, u);
+                    assert_eq!(s, prev_end, "len={len} units={units} u={u}");
+                    assert!(e >= s);
+                    covered += e - s;
+                    prev_end = e;
+                }
+                assert_eq!(covered, len, "len={len} units={units}");
+                assert_eq!(prev_end, len);
+            }
+        }
+    }
+
+    #[test]
+    fn panic_propagates_from_pool() {
+        let caught = std::panic::catch_unwind(|| {
+            (0u32..10_000).into_par_iter().for_each(|i| {
+                if i == 7777 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(caught.is_err());
+        // Pool must remain usable afterwards.
+        let s: u32 = (0u32..100).into_par_iter().sum();
+        assert_eq!(s, 4950);
     }
 }

@@ -1,0 +1,365 @@
+//! The execution engine: a lazily-grown global worker pool.
+//!
+//! # Architecture
+//!
+//! One process-global [`Pool`] owns a set of detached worker threads and a
+//! single **broadcast slot**. A data-parallel dispatch installs a
+//! lifetime-erased `Fn(usize)` job plus a unit count into the slot, wakes
+//! the workers, and then participates itself: every participating thread
+//! claims unit indices from a shared atomic counter until the range is
+//! exhausted. The dispatching thread finally blocks until every
+//! participant has checked out, clears the slot, and returns.
+//!
+//! # Soundness of the lifetime erasure
+//!
+//! The installed job is a raw pointer to a closure living in the
+//! dispatcher's stack frame. This is the same argument that makes
+//! [`std::thread::scope`] sound: the dispatcher provably does not return
+//! (or unwind) past the frame until `participants == 0`, and a worker can
+//! only observe the job pointer while it is registered as a participant —
+//! registration and slot clearing are serialized through the same mutex.
+//! After the dispatcher observes zero participants, no other thread holds
+//! the pointer.
+//!
+//! # Determinism contract
+//!
+//! The engine only ever assigns *independent* unit indices to threads; all
+//! order-sensitive combining happens sequentially on the dispatcher (see
+//! the iterator layer). Unit scheduling is dynamic (work-stealing via the
+//! shared counter), which is safe precisely because unit → result-slot
+//! mapping is fixed. Consequently every entry point is bitwise
+//! result-deterministic for any thread count, including 1.
+//!
+//! # Sizing
+//!
+//! The default width is `HICOND_THREADS` when set, otherwise
+//! [`std::thread::available_parallelism`]. [`with_thread_cap`] bounds (or,
+//! for benchmarking on narrow machines, raises) the width for the duration
+//! of a closure on the calling thread; the pool grows lazily and workers
+//! never die — an idle worker costs one blocked OS thread.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Hard ceiling on pool width; guards against absurd `HICOND_THREADS`.
+const MAX_POOL_WIDTH: usize = 256;
+
+/// Units dispatched per effective thread: a little oversubscription gives
+/// dynamic load balance without shrinking units below usefulness.
+const UNITS_PER_THREAD: usize = 4;
+
+/// Lifetime-erased shared job: `&'dispatch (dyn Fn(usize) + Sync)` with
+/// the borrow lifetime transmuted away. The reference is never dangling:
+/// the slot holding it is cleared before the dispatcher's frame (and with
+/// it the closure) can go away — see the module docs.
+#[derive(Clone, Copy)]
+struct JobPtr(&'static (dyn Fn(usize) + Sync));
+
+/// Erases the borrow lifetime of a job closure.
+///
+/// # Safety
+/// The caller must guarantee the closure outlives every access through
+/// the returned reference; `dispatch` establishes this by blocking until
+/// all participants have checked out.
+unsafe fn erase<'a>(f: &'a (dyn Fn(usize) + Sync)) -> &'static (dyn Fn(usize) + Sync) {
+    unsafe { std::mem::transmute::<&'a (dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f) }
+}
+
+/// The broadcast slot plus worker bookkeeping; everything behind one mutex.
+struct Slot {
+    /// Bumped on every dispatch so a worker never re-joins a job it
+    /// already served.
+    generation: u64,
+    /// The active job, if a dispatch is in flight.
+    active: Option<ActiveJob>,
+    /// Threads currently inside a claim loop for `active` (dispatcher
+    /// included). The dispatcher only clears `active` after this returns
+    /// to zero.
+    participants: usize,
+    /// Worker threads spawned so far.
+    spawned: usize,
+}
+
+#[derive(Clone, Copy)]
+struct ActiveJob {
+    func: JobPtr,
+    units: usize,
+    /// Maximum number of participants (dispatcher included).
+    cap: usize,
+}
+
+struct Pool {
+    slot: Mutex<Slot>,
+    /// Workers park here waiting for a new generation.
+    work_cv: Condvar,
+    /// The dispatcher parks here waiting for participants to drain.
+    done_cv: Condvar,
+    /// Next unclaimed unit index of the active job.
+    next_unit: AtomicUsize,
+    /// First panic payload raised by any unit of the active job.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread width override installed by [`with_thread_cap`].
+    static THREAD_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True on worker threads while they execute units; lets nested
+    /// dispatches skip the slot entirely (they would find it busy).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        slot: Mutex::new(Slot {
+            generation: 0,
+            active: None,
+            participants: 0,
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+        done_cv: Condvar::new(),
+        next_unit: AtomicUsize::new(0),
+        panic: Mutex::new(None),
+    })
+}
+
+/// Default pool width: `HICOND_THREADS` if set (clamped to
+/// `1..=MAX_POOL_WIDTH`), else the machine's available parallelism.
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        match std::env::var("HICOND_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+        {
+            Some(n) => n.clamp(1, MAX_POOL_WIDTH),
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(MAX_POOL_WIDTH),
+        }
+    })
+}
+
+/// The width the calling thread will dispatch with: the innermost
+/// [`with_thread_cap`] override, else the default.
+pub fn effective_threads() -> usize {
+    THREAD_CAP.with(|c| c.get()).unwrap_or_else(default_threads)
+}
+
+/// Runs `f` with the calling thread's dispatch width forced to `n`
+/// (clamped to `1..=MAX_POOL_WIDTH`), growing the pool if needed.
+///
+/// `n` may exceed the machine's core count; that is deliberate — the
+/// determinism suite uses caps of 1/2/4/8 regardless of hardware so the
+/// concurrent code paths are exercised (via time slicing) even on narrow
+/// machines. Restores the previous width on exit, including on panic.
+pub fn with_thread_cap<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let n = n.clamp(1, MAX_POOL_WIDTH);
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_CAP.with(|c| c.replace(Some(n))));
+    f()
+}
+
+/// Worker main loop: wait for a fresh generation, claim units, repeat.
+fn worker_loop(pool: &'static Pool) {
+    IN_WORKER.with(|w| w.set(true));
+    let mut last_gen = 0u64;
+    let mut slot = match pool.slot.lock() {
+        Ok(g) => g,
+        Err(_) => return, // pool poisoned by a panic while locked; retire
+    };
+    loop {
+        let job = match &slot.active {
+            Some(job) if slot.generation != last_gen && slot.participants < job.cap => {
+                last_gen = slot.generation;
+                *job
+            }
+            _ => {
+                slot = match pool.work_cv.wait(slot) {
+                    Ok(g) => g,
+                    Err(_) => return,
+                };
+                continue;
+            }
+        };
+        slot.participants += 1;
+        drop(slot);
+        claim_units(pool, job);
+        slot = match pool.slot.lock() {
+            Ok(g) => g,
+            Err(_) => return,
+        };
+        slot.participants -= 1;
+        if slot.participants == 0 {
+            pool.done_cv.notify_all();
+        }
+    }
+}
+
+/// Claims and executes units of `job` until the counter is exhausted.
+/// Panics are captured (first wins) and the remaining units are drained so
+/// every participant exits promptly.
+fn claim_units(pool: &Pool, job: ActiveJob) {
+    // The dispatch protocol keeps the pointee alive while any participant
+    // is checked in (module docs).
+    let func = job.func.0;
+    loop {
+        let u = pool.next_unit.fetch_add(1, Ordering::SeqCst);
+        if u >= job.units {
+            return;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| func(u))) {
+            if let Ok(mut p) = pool.panic.lock() {
+                p.get_or_insert(payload);
+            }
+            pool.next_unit.store(job.units, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Tries to run `func(0..units)` on the pool with at most `cap`
+/// participating threads. Returns `false` (without running anything) when
+/// the engine cannot dispatch — busy slot, nested call from a worker, or
+/// nothing to gain — in which case the caller must run the job inline.
+///
+/// On success every unit has been executed exactly once; a panic raised by
+/// any unit is resumed on the calling thread.
+fn dispatch(units: usize, cap: usize, func: &(dyn Fn(usize) + Sync)) -> bool {
+    if units < 2 || cap < 2 {
+        return false;
+    }
+    if IN_WORKER.with(|w| w.get()) {
+        // Nested parallelism: the slot is occupied by the job this worker
+        // is serving; run inline rather than lock-and-fail.
+        return false;
+    }
+    let pool = pool();
+    // Safety: `dispatch` blocks below until every participant has checked
+    // out, so the erased borrow cannot outlive the closure.
+    let erased = JobPtr(unsafe { erase(func) });
+    {
+        let mut slot = match pool.slot.lock() {
+            Ok(g) => g,
+            Err(_) => return false,
+        };
+        if slot.active.is_some() {
+            return false; // another thread is mid-dispatch
+        }
+        // Grow lazily: `cap - 1` workers serve a cap of `cap` (the
+        // dispatcher participates). Spawn failures degrade gracefully.
+        let want = cap.min(units).saturating_sub(1);
+        while slot.spawned < want {
+            let name = format!("hicond-worker-{}", slot.spawned);
+            let handle = std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(self::pool()));
+            match handle {
+                Ok(_) => slot.spawned += 1,
+                Err(_) => break,
+            }
+        }
+        if slot.spawned == 0 {
+            return false; // no workers available; inline is strictly better
+        }
+        if let Ok(mut p) = pool.panic.lock() {
+            *p = None;
+        }
+        pool.next_unit.store(0, Ordering::SeqCst);
+        slot.generation = slot.generation.wrapping_add(1);
+        slot.active = Some(ActiveJob {
+            func: erased,
+            units,
+            cap,
+        });
+        slot.participants = 1; // the dispatcher itself
+        pool.work_cv.notify_all();
+    }
+    claim_units(
+        pool,
+        ActiveJob {
+            func: erased,
+            units,
+            cap,
+        },
+    );
+    {
+        let mut slot = match pool.slot.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        slot.participants -= 1;
+        while slot.participants > 0 {
+            slot = match pool.done_cv.wait(slot) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+        slot.active = None;
+    }
+    let payload = pool.panic.lock().ok().and_then(|mut p| p.take());
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+    true
+}
+
+/// The `(start, end)` index range of block `u` when `[0, len)` is split
+/// into `units` contiguous, near-equal, in-order blocks.
+///
+/// Invariants (property-tested): blocks tile `[0, len)` exactly, are
+/// pairwise disjoint, appear in index order, and differ in size by at
+/// most 1.
+pub fn block_range(len: usize, units: usize, u: usize) -> (usize, usize) {
+    debug_assert!(units > 0 && u < units);
+    let base = len / units;
+    let rem = len % units;
+    let start = u * base + u.min(rem);
+    let end = start + base + usize::from(u < rem);
+    (start, end)
+}
+
+/// Number of dispatch units for `len` independent items at the calling
+/// thread's effective width.
+fn units_for(len: usize, threads: usize) -> usize {
+    len.min(threads.saturating_mul(UNITS_PER_THREAD))
+}
+
+/// Runs `body(start, end)` over a partition of `[0, len)`, in parallel
+/// when the engine is available and profitable, inline otherwise.
+///
+/// `body` must be safe to call concurrently on disjoint ranges; ranges
+/// jointly tile `[0, len)` exactly once. Never allocates on the dispatch
+/// path, so callers can build allocation-free hot loops on top.
+pub(crate) fn run_blocks(len: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let threads = effective_threads();
+    let units = units_for(len, threads);
+    let ran = units >= 2
+        && threads >= 2
+        && dispatch(units, threads, &|u| {
+            let (s, e) = block_range(len, units, u);
+            body(s, e);
+        });
+    if !ran {
+        body(0, len);
+    }
+}
+
+/// Two-way fork-join primitive used by [`crate::join`]: runs `f(0)` and
+/// `f(1)` exactly once each, potentially on different threads. Returns
+/// `false` if the caller must run both inline.
+pub(crate) fn run_pair(f: &(dyn Fn(usize) + Sync)) -> bool {
+    dispatch(2, 2.min(effective_threads()), f)
+}
