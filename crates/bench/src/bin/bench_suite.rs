@@ -3,10 +3,13 @@
 //! Times the four hot workloads — SpMV, Jacobi-PCG, parallel tree
 //! contraction (subtree sizes via list ranking), and planar [φ, ρ]
 //! decomposition — under thread caps 1/2/4/8 and writes the results to
-//! `BENCH_pr2.json` so every future PR can diff against them. Before any
+//! `BENCH_pr3.json` so every future PR can diff against them. Before any
 //! timing, each workload's output at the maximum thread cap is checked
 //! **bitwise** against the 1-thread output (the engine's determinism
-//! contract), and the run aborts on any mismatch.
+//! contract), and the run aborts on any mismatch. The `hicond_obs`
+//! metrics snapshot accumulated over the run (solver iterations, residual
+//! traces, phase timers, pool counters) is embedded under a top-level
+//! `"metrics"` key.
 //!
 //! Usage:
 //!   bench_suite [--smoke] [--out PATH]
@@ -33,7 +36,7 @@ struct Config {
 fn parse_args() -> Config {
     let mut cfg = Config {
         smoke: false,
-        out: "BENCH_pr2.json".to_string(),
+        out: "BENCH_pr3.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -94,6 +97,10 @@ fn grid_graph(side: usize) -> Graph {
 
 fn main() {
     let cfg = parse_args();
+    // Collect metrics for the whole run regardless of HICOND_OBS: the
+    // snapshot is embedded in the JSON trajectory, not printed.
+    hicond_obs::set_mode(hicond_obs::Mode::Json);
+    hicond_obs::reset();
     // Full mode: n = 320² ≥ 10⁵ grid Laplacian per the acceptance bar.
     let (side, tree_n, planar_side, reps_fast, reps_slow) = if cfg.smoke {
         (40, 5_000, 16, 3, 1)
@@ -167,7 +174,10 @@ fn main() {
             "all workloads bitwise-identical at 1 vs max threads".to_string(),
         ),
     ];
-    let json = bench_json(&meta, &records);
+    let metrics = hicond_obs::render_json(&hicond_obs::snapshot());
+    hicond_obs::json::validate(&metrics).expect("obs metrics snapshot must be valid JSON");
+    let json = bench_json(&meta, &records, Some(&metrics));
+    hicond_obs::json::validate(&json).expect("bench trajectory must be valid JSON");
     std::fs::write(&cfg.out, &json).expect("write bench json");
 
     let mut table = Table::new(&["workload", "n", "nnz", "threads", "median_ns", "speedup"]);
@@ -182,5 +192,5 @@ fn main() {
         ]);
     }
     table.print();
-    println!("wrote {}", cfg.out);
+    println!("wrote {} (with embedded obs metrics snapshot)", cfg.out);
 }

@@ -56,6 +56,7 @@ impl Table {
 
 /// Times a closure, returning `(result, milliseconds)`.
 pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    // audit: allow(instant-now) — the bench harness measures wall time itself
     let t = Instant::now();
     let out = f();
     (out, t.elapsed().as_secs_f64() * 1e3)
@@ -65,7 +66,8 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
 pub fn timed_median<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     let reps = reps.max(1);
     let mut times: Vec<f64> = (0..reps).map(|_| timed(&mut f).1).collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    // total_cmp: elapsed times are finite; same order as partial_cmp.
+    times.sort_by(f64::total_cmp);
     times[times.len() / 2]
 }
 
@@ -75,6 +77,7 @@ pub fn timed_median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
     let reps = reps.max(1);
     let mut times: Vec<u64> = (0..reps)
         .map(|_| {
+            // audit: allow(instant-now) — the bench harness measures wall time itself
             let t = Instant::now();
             let out = f();
             let ns = t.elapsed().as_nanos() as u64;
@@ -122,8 +125,14 @@ fn json_escape(s: &str) -> String {
 
 /// Serializes the benchmark trajectory to pretty-printed JSON. `meta`
 /// key/value pairs (machine description, date, mode) land in a top-level
-/// `"meta"` object next to the `"results"` array.
-pub fn bench_json(meta: &[(&str, String)], records: &[BenchRecord]) -> String {
+/// `"meta"` object next to the `"results"` array. `metrics`, when present,
+/// must be a pre-rendered JSON object (the `hicond_obs` snapshot) and is
+/// embedded verbatim under a top-level `"metrics"` key.
+pub fn bench_json(
+    meta: &[(&str, String)],
+    records: &[BenchRecord],
+    metrics: Option<&str>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"meta\": {\n");
     for (i, (k, v)) in meta.iter().enumerate() {
@@ -134,7 +143,13 @@ pub fn bench_json(meta: &[(&str, String)], records: &[BenchRecord]) -> String {
             json_escape(v)
         ));
     }
-    s.push_str("  },\n  \"results\": [\n");
+    s.push_str("  },\n");
+    if let Some(m) = metrics {
+        s.push_str("  \"metrics\": ");
+        s.push_str(m.trim());
+        s.push_str(",\n");
+    }
+    s.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
         s.push_str(&format!(
@@ -213,10 +228,22 @@ mod tests {
             median_ns: 1234,
             speedup: 2.5,
         }];
-        let s = bench_json(&[("mode", "smoke \"quoted\"".into())], &recs);
+        let s = bench_json(&[("mode", "smoke \"quoted\"".into())], &recs, None);
         assert!(s.contains("\"workload\": \"spmv\""));
         assert!(s.contains("\"median_ns\": 1234"));
         assert!(s.contains("\\\"quoted\\\""));
         assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+        assert!(!s.contains("\"metrics\""));
+    }
+
+    #[test]
+    fn bench_json_embeds_metrics_object() {
+        let s = bench_json(
+            &[("mode", "smoke".into())],
+            &[],
+            Some("{\"counters\": {\"cg/iterations\": 7}}"),
+        );
+        assert!(s.contains("\"metrics\": {\"counters\""));
+        assert!(s.contains("\"cg/iterations\": 7"));
     }
 }

@@ -75,6 +75,7 @@ impl Hierarchy {
 /// Builds the hierarchy by repeated fixed-degree decomposition and quotient
 /// contraction.
 pub fn build_hierarchy(g: &Graph, opts: &HierarchyOptions) -> Hierarchy {
+    let _span = hicond_obs::span("hierarchy");
     let mut levels = Vec::new();
     let mut current = g.clone();
     for level in 0..opts.max_levels {
@@ -100,6 +101,12 @@ pub fn build_hierarchy(g: &Graph, opts: &HierarchyOptions) -> Hierarchy {
         graph: current,
         partition: None,
     });
+    if hicond_obs::enabled() {
+        hicond_obs::gauge_set("hierarchy/levels", levels.len() as f64);
+        for level in &levels {
+            hicond_obs::hist_record("hierarchy/level_size", level.graph.num_vertices() as f64);
+        }
+    }
     Hierarchy { levels }
 }
 

@@ -79,8 +79,10 @@ pub struct PlanarDecomposition {
 /// Theorem 2.2: decomposition of a planar (or in practice any sparse)
 /// graph through a spanning subgraph with a small core.
 pub fn decompose_planar(g: &Graph, opts: &PlanarOptions) -> PlanarDecomposition {
+    let _span = hicond_obs::span("decomposition");
     let n = g.num_vertices();
     // --- Step 1: spanning subgraph B -----------------------------------
+    let step = hicond_obs::span("spanning");
     let tree_ids = match opts.tree {
         SpanningTreeKind::MaxWeight => mst_max_kruskal(g),
         SpanningTreeKind::LowStretch => low_stretch_tree(
@@ -100,15 +102,19 @@ pub fn decompose_planar(g: &Graph, opts: &PlanarOptions) -> PlanarDecomposition 
     if extra_target > 0 && tree_ids.len() < g.num_edges() {
         let stretches = tree_stretches(g, &tree_ids);
         let mut off_tree: Vec<usize> = (0..g.num_edges()).filter(|&e| !in_b[e]).collect();
-        off_tree.sort_by(|&a, &b| stretches[b].partial_cmp(&stretches[a]).unwrap());
+        // total_cmp: stretches are finite, so this matches partial_cmp
+        // while staying panic-free on any input.
+        off_tree.sort_by(|&a, &b| stretches[b].total_cmp(&stretches[a]));
         for &e in off_tree.iter().take(extra_target) {
             in_b[e] = true;
             extra_edges += 1;
         }
     }
     let b = g.filter_edges(|i, _| in_b[i]);
+    drop(step);
 
     // --- Step 2: prune to the core W ------------------------------------
+    let step = hicond_obs::span("prune");
     let mut deg: Vec<usize> = (0..n).map(|v| b.degree(v)).collect();
     let mut queue: Vec<usize> = (0..n).filter(|&v| deg[v] == 1).collect();
     let mut removed = vec![false; n];
@@ -163,11 +169,13 @@ pub fn decompose_planar(g: &Graph, opts: &PlanarOptions) -> PlanarDecomposition 
         }
     }
     let core_size = core.iter().filter(|&&c| c).count();
+    drop(step);
 
     if core_size == 0 {
         // B is a forest: Theorem 2.1 applies directly.
         let partition = decompose_forest(&b);
         let support_estimate = opts.measure_support.then(|| estimate_support(g, &b));
+        record_decomposition_metrics(g, &partition, core_size, extra_edges);
         return PlanarDecomposition {
             partition,
             core_size,
@@ -177,6 +185,7 @@ pub fn decompose_planar(g: &Graph, opts: &PlanarOptions) -> PlanarDecomposition 
     }
 
     // --- Step 3: cut the lightest edge on every core path ---------------
+    let step = hicond_obs::span("cut");
     // Walk the 2-core paths from each core vertex through degree-2 2-core
     // vertices; `deg` currently holds 2-core degrees.
     let mut cut = vec![false; g.num_edges()];
@@ -221,7 +230,9 @@ pub fn decompose_planar(g: &Graph, opts: &PlanarOptions) -> PlanarDecomposition 
         }
     }
 
+    drop(step);
     // --- Step 4: decompose the resulting forest per core vertex ---------
+    let step = hicond_obs::span("cluster");
     let forest = b.filter_edges(|i, _| in_b[i] && !cut[i]);
     let (labels, ncomp) = hicond_graph::connectivity::connected_components(&forest);
     // Component -> its core vertex, if any.
@@ -274,12 +285,34 @@ pub fn decompose_planar(g: &Graph, opts: &PlanarOptions) -> PlanarDecomposition 
     debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
     let partition = Partition::from_assignment(assignment, next as usize);
     partition.debug_invariants();
+    drop(step);
     let support_estimate = opts.measure_support.then(|| estimate_support(g, &b));
+    record_decomposition_metrics(g, &partition, core_size, extra_edges);
     PlanarDecomposition {
         partition,
         core_size,
         extra_edges,
         support_estimate,
+    }
+}
+
+/// Feeds the per-cluster φ/ρ/size distributions of a finished
+/// decomposition into the obs registry. Pure observation: runs only when
+/// recording is enabled and never influences the partition, so off/on
+/// runs stay bitwise identical.
+fn record_decomposition_metrics(g: &Graph, p: &Partition, core_size: usize, extra_edges: usize) {
+    if !hicond_obs::enabled() {
+        return;
+    }
+    hicond_obs::gauge_set("decomposition/rho", p.reduction_factor());
+    hicond_obs::gauge_set("decomposition/clusters", p.num_clusters() as f64);
+    hicond_obs::gauge_set("decomposition/core_size", core_size as f64);
+    hicond_obs::counter_add("decomposition/runs", 1);
+    hicond_obs::counter_add("decomposition/extra_edges", extra_edges as u64);
+    for cluster in p.clusters() {
+        hicond_obs::hist_record("decomposition/cluster_size", cluster.len() as f64);
+        let q = hicond_graph::closure::cluster_quality(g, &cluster, 16);
+        hicond_obs::hist_record("decomposition/phi", q.conductance.lower);
     }
 }
 

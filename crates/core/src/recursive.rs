@@ -55,6 +55,7 @@ pub fn decompose_recursive_bisection(
     g: &Graph,
     opts: &RecursiveBisectionOptions,
 ) -> (Partition, RecursiveStats) {
+    let _span = hicond_obs::span("recursive_bisection");
     let n = g.num_vertices();
     let (pieces, stats) = solve_piece(g, (0..n).collect(), 0, opts);
     let mut assignment = vec![u32::MAX; n];
@@ -68,6 +69,11 @@ pub fn decompose_recursive_bisection(
     debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
     let p = Partition::from_assignment(assignment, next_cluster as usize);
     p.debug_invariants();
+    if hicond_obs::enabled() {
+        hicond_obs::counter_add("recursive/cuts_computed", stats.cuts_computed as u64);
+        hicond_obs::gauge_set("recursive/max_depth", stats.max_depth_reached as f64);
+        hicond_obs::hist_record("recursive/clusters_per_run", p.num_clusters() as f64);
+    }
     (p, stats)
 }
 

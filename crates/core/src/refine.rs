@@ -57,6 +57,7 @@ fn removal_disconnects(g: &Graph, cluster: &[usize], v: usize) -> bool {
 /// Greedy γ-improving boundary refinement. Returns the refined partition
 /// and statistics.
 pub fn refine_gamma(g: &Graph, p: &Partition, opts: &RefineOptions) -> (Partition, RefineStats) {
+    let _span = hicond_obs::span("refine");
     let n = g.num_vertices();
     let mut assignment: Vec<u32> = p.assignment().to_vec();
     let mut cluster_size = vec![0usize; p.num_clusters()];
@@ -108,6 +109,10 @@ pub fn refine_gamma(g: &Graph, p: &Partition, opts: &RefineOptions) -> (Partitio
         if moved_this_pass == 0 {
             break;
         }
+    }
+    if hicond_obs::enabled() {
+        hicond_obs::counter_add("refine/moves", stats.moves as u64);
+        hicond_obs::counter_add("refine/passes", stats.passes as u64);
     }
     (
         Partition::from_assignment(assignment, p.num_clusters()).compact(),

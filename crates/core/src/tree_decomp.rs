@@ -41,6 +41,7 @@ struct BridgeActions {
 /// # Panics
 /// Panics if `g` contains a cycle.
 pub fn decompose_forest(g: &Graph) -> Partition {
+    let _span = hicond_obs::span("tree_decomp");
     let n = g.num_vertices();
     let forest = RootedForest::from_graph(g).expect("decompose_forest: input has a cycle");
     let sizes = subtree_sizes_parallel(&forest);
@@ -90,6 +91,10 @@ pub fn decompose_forest(g: &Graph) -> Partition {
     debug_assert!(assignment.iter().all(|&a| a != u32::MAX));
     let p = Partition::from_assignment(assignment, (ncrit as usize) + actions.len()).compact();
     p.debug_invariants();
+    if hicond_obs::enabled() {
+        hicond_obs::counter_add("tree_decomp/runs", 1);
+        hicond_obs::counter_add("tree_decomp/clusters", p.num_clusters() as u64);
+    }
     p
 }
 

@@ -126,6 +126,19 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
     let n = a.dim();
     assert_eq!(b.len(), n, "pcg: rhs length");
     assert_eq!(m.dim(), n, "pcg: preconditioner dim");
+    // One relaxed load; the whole loop below stays allocation- and
+    // lock-free when observability is off. Recorded values never feed
+    // back into the iteration, so on/off runs are bitwise identical.
+    let obs_on = hicond_obs::enabled();
+    let _span = hicond_obs::span("pcg");
+    if obs_on {
+        hicond_obs::counter_add("cg/solves", 1);
+        hicond_obs::counter_add(
+            "cg/scratch_bytes",
+            8 * (5 * n as u64 + scratch_len(n) as u64),
+        );
+        hicond_obs::trace_start("cg/residual");
+    }
     let bnorm = norm2(b);
     let mut x = vec![0.0; n];
     let mut history = Vec::new();
@@ -152,6 +165,9 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
         history.reserve(opts.max_iter + 2);
         history.push(norm2(&r));
     }
+    if obs_on {
+        hicond_obs::trace_push("cg/residual", norm2(&r));
+    }
     let mut it = 0;
     let mut converged = false;
     while it < opts.max_iter {
@@ -172,6 +188,9 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
         if opts.record_residuals {
             history.push(rnorm);
         }
+        if obs_on {
+            hicond_obs::trace_push("cg/residual", rnorm);
+        }
         if rnorm <= opts.rel_tol * bnorm {
             converged = true;
             break;
@@ -189,6 +208,11 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
         xpby(&z, beta, &mut p);
     }
     let final_rel = norm2(&r) / bnorm;
+    if obs_on {
+        hicond_obs::counter_add("cg/iterations", it as u64);
+        hicond_obs::hist_record("cg/iterations_per_solve", it as f64);
+        hicond_obs::gauge_set("cg/final_rel_residual", final_rel);
+    }
     CgResult {
         x,
         iterations: it,

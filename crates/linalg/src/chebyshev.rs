@@ -95,6 +95,10 @@ impl Preconditioner for ChebyshevSolver {
     }
 
     fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        if hicond_obs::enabled() {
+            hicond_obs::counter_add("chebyshev/applies", 1);
+            hicond_obs::counter_add("chebyshev/steps", self.steps as u64);
+        }
         // Chebyshev acceleration (Saad, Iterative Methods, alg. 12.1) for
         // A x = r on [lambda_min, lambda_max], x0 = 0:
         //   d0 = r/theta;  rho0 = delta/theta

@@ -84,6 +84,7 @@ fn seeded_vector(n: usize, seed: u64) -> Vec<f64> {
 /// Computes `opts.num_pairs` extreme eigenpairs of the symmetric operator
 /// `a` by Lanczos with full reorthogonalization.
 pub fn lanczos_extreme<A: LinearOperator>(a: &A, opts: &LanczosOptions) -> LanczosResult {
+    let _span = hicond_obs::span("lanczos");
     let n = a.dim();
     let k_want = opts.num_pairs.min(n);
     let m_max = opts.max_subspace.min(n).max(k_want + 2).min(n);
@@ -224,6 +225,11 @@ pub fn lanczos_extreme<A: LinearOperator>(a: &A, opts: &LanczosOptions) -> Lancz
         residuals.push(res.sqrt());
     }
 
+    if hicond_obs::enabled() {
+        hicond_obs::counter_add("lanczos/runs", 1);
+        hicond_obs::counter_add("lanczos/steps", dim as u64);
+        hicond_obs::hist_record("lanczos/subspace_dim", dim as f64);
+    }
     LanczosResult {
         eigenvalues,
         eigenvectors,

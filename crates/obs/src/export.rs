@@ -1,0 +1,300 @@
+//! Snapshot type and the two exporters (text tree, JSON).
+
+use crate::histogram::bucket_bounds;
+use crate::registry::TimerStat;
+use std::fmt::Write as _;
+
+/// Histogram view inside a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistStat {
+    pub count: u64,
+    pub mean: f64,
+    /// Per-bucket counts, aligned with [`crate::bucket_bounds`].
+    pub buckets: Vec<u64>,
+}
+
+/// Point-in-time copy of a registry, sorted by name within each family.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub timers: Vec<(String, TimerStat)>,
+    pub histograms: Vec<(String, HistStat)>,
+    /// `(name, points, dropped)` — points beyond the cap are counted.
+    pub traces: Vec<(String, Vec<f64>, u64)>,
+}
+
+fn fmt_duration_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders a snapshot as the human-readable phase-tree report
+/// (`HICOND_OBS=text`). Span timers are indented by their '/' depth so
+/// parent/child nesting reads as a tree; the registry's sorted order
+/// already groups children under their parent.
+pub fn render_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "hicond-obs report");
+    if !snap.timers.is_empty() {
+        let _ = writeln!(out, "spans:");
+        for (path, t) in &snap.timers {
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let _ = writeln!(
+                out,
+                "{:indent$}{name:<28} count {:<6} total {:<12} max {}",
+                "",
+                t.count,
+                fmt_duration_ns(t.total_ns),
+                fmt_duration_ns(t.max_ns),
+                indent = 2 + 2 * depth,
+            );
+        }
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "counters:");
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name} = {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        let _ = writeln!(out, "gauges:");
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name} = {v}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(out, "histograms:");
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(out, "  {name}  count {}  mean {:.4}", h.count, h.mean);
+            for (b, &c) in h.buckets.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let (lo, hi) = bucket_bounds(b);
+                match hi {
+                    Some(hi) => {
+                        let _ = writeln!(out, "    [{lo}, {hi}): {c}");
+                    }
+                    None => {
+                        let _ = writeln!(out, "    [{lo}, inf): {c}");
+                    }
+                }
+            }
+        }
+    }
+    if !snap.traces.is_empty() {
+        let _ = writeln!(out, "traces:");
+        for (name, points, dropped) in &snap.traces {
+            let _ = writeln!(
+                out,
+                "  {name}  {} point(s){}",
+                points.len(),
+                if *dropped > 0 {
+                    format!(" (+{dropped} dropped)")
+                } else {
+                    String::new()
+                }
+            );
+        }
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(x: f64) -> String {
+    // JSON has no NaN/Infinity; emit null for non-finite values.
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `{}` on f64 always yields a valid JSON number (no inf/nan here).
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders a snapshot as machine-readable JSON (`HICOND_OBS=json`).
+/// Always a single valid JSON object; validated by [`crate::json`] in
+/// tests and the bench harness.
+pub fn render_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{");
+
+    let _ = write!(out, "\"counters\":{{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", json_escape(name));
+    }
+    out.push('}');
+
+    let _ = write!(out, ",\"gauges\":{{");
+    for (i, (name, v)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(name), json_num(*v));
+    }
+    out.push('}');
+
+    let _ = write!(out, ",\"spans\":{{");
+    for (i, (name, t)) in snap.timers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
+            json_escape(name),
+            t.count,
+            t.total_ns,
+            t.max_ns
+        );
+    }
+    out.push('}');
+
+    let _ = write!(out, ",\"histograms\":{{");
+    for (i, (name, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"mean\":{},\"buckets\":[",
+            json_escape(name),
+            h.count,
+            json_num(h.mean)
+        );
+        let mut first = true;
+        for (b, &c) in h.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let (lo, hi) = bucket_bounds(b);
+            let hi = match hi {
+                Some(hi) => json_num(hi),
+                None => "null".to_string(),
+            };
+            let _ = write!(out, "{{\"lo\":{},\"hi\":{hi},\"count\":{c}}}", json_num(lo));
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
+
+    let _ = write!(out, ",\"traces\":{{");
+    for (i, (name, points, dropped)) in snap.traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"dropped\":{dropped},\"points\":[",
+            json_escape(name)
+        );
+        for (j, p) in points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_num(*p));
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
+
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut h = HistStat {
+            count: 2,
+            mean: 1.5,
+            buckets: vec![0; crate::NUM_BUCKETS],
+        };
+        h.buckets[crate::bucket_index(1.0)] = 2;
+        Snapshot {
+            counters: vec![("cg/iterations".into(), 12)],
+            gauges: vec![("rho".into(), 2.5), ("bad".into(), f64::NAN)],
+            timers: vec![
+                (
+                    "solve".into(),
+                    TimerStat {
+                        count: 1,
+                        total_ns: 1500,
+                        max_ns: 1500,
+                    },
+                ),
+                (
+                    "solve/pcg".into(),
+                    TimerStat {
+                        count: 1,
+                        total_ns: 1200,
+                        max_ns: 1200,
+                    },
+                ),
+            ],
+            histograms: vec![("phi".into(), h)],
+            traces: vec![("cg/residual".into(), vec![1.0, 0.5, 0.25], 0)],
+        }
+    }
+
+    #[test]
+    fn json_export_is_valid_json() {
+        let js = render_json(&sample());
+        crate::json::validate(&js).expect("exporter must emit valid JSON");
+        assert!(js.contains("\"cg/iterations\":12"));
+        assert!(js.contains("\"solve/pcg\""));
+        // NaN gauges become null, keeping the document parseable.
+        assert!(js.contains("\"bad\":null"));
+    }
+
+    #[test]
+    fn text_export_indents_children() {
+        let txt = render_text(&sample());
+        assert!(txt.contains("\n  solve "));
+        assert!(
+            txt.contains("\n    pcg "),
+            "child span indented under parent:\n{txt}"
+        );
+        assert!(txt.contains("cg/residual"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_still_valid_json() {
+        let js = render_json(&Snapshot::default());
+        crate::json::validate(&js).expect("empty snapshot parses");
+    }
+}

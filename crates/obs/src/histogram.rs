@@ -1,0 +1,212 @@
+//! Fixed log₂-bucket histogram with atomic recording.
+//!
+//! 64 buckets cover the positive reals: bucket `b` (for `1 ≤ b ≤ 62`)
+//! holds values in `[2^(b−32), 2^(b−31))`, bucket 0 holds everything
+//! below `2^-31` (including zero and negatives — conductances and sizes
+//! are non-negative, so this is the "degenerate" bin), and bucket 63 is
+//! the overflow bin `[2^31, ∞)`. The bucket index is computed from the
+//! IEEE-754 exponent bits, so powers of two land **exactly** on their
+//! bucket's lower bound — no float-log rounding at the boundaries.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log₂ buckets.
+pub const NUM_BUCKETS: usize = 64;
+
+/// Exponent of the lowest finite bucket boundary: bucket 1 starts at
+/// `2^MIN_EXP`.
+const MIN_EXP: i64 = -31;
+
+/// Maps a sample to its bucket index. Total: every f64 (including NaN,
+/// infinities and negatives) has a bucket.
+#[inline]
+pub fn bucket_index(x: f64) -> usize {
+    if !(x > 0.0) {
+        // Zero, negatives and NaN all collapse into the degenerate bin.
+        return 0;
+    }
+    if x.is_infinite() {
+        return NUM_BUCKETS - 1;
+    }
+    let e = ((x.to_bits() >> 52) & 0x7ff) as i64;
+    // Subnormals (e == 0) have value < 2^-1022, far below bucket 1.
+    let exp = if e == 0 { -1023 } else { e - 1023 };
+    (exp.clamp(MIN_EXP - 1, -MIN_EXP) + 1 - MIN_EXP) as usize
+}
+
+/// `[lo, hi)` bounds of bucket `b`; `hi` is `None` for the overflow bin.
+pub fn bucket_bounds(b: usize) -> (f64, Option<f64>) {
+    assert!(b < NUM_BUCKETS, "bucket index out of range");
+    if b == 0 {
+        return (0.0, Some(exp2(MIN_EXP)));
+    }
+    let lo = exp2(MIN_EXP + (b as i64 - 1));
+    let hi = if b == NUM_BUCKETS - 1 {
+        None
+    } else {
+        Some(exp2(MIN_EXP + b as i64))
+    };
+    (lo, hi)
+}
+
+fn exp2(e: i64) -> f64 {
+    // Exact for |e| ≤ 1022; our range is [-31, 32].
+    ((e + 1023) as u64)
+        .checked_shl(52)
+        .map(f64::from_bits)
+        .unwrap_or(f64::INFINITY)
+}
+
+/// Concurrent log₂ histogram. All recording is relaxed atomics; the sum
+/// is accumulated in millis (scaled integer) so no non-atomic float add
+/// is ever needed.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    /// Sum of samples scaled by 1000 and saturated to u64 (negative
+    /// samples contribute 0). Good enough for mean reporting.
+    sum_milli: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_milli: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, x: f64) {
+        self.buckets[bucket_index(x)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // `as u64` saturates: NaN -> 0, huge -> u64::MAX.
+        let milli = (x * 1000.0) as u64;
+        self.sum_milli.fetch_add(milli, Ordering::Relaxed);
+    }
+
+    /// Records an integer sample (sizes, iteration counts).
+    pub fn record_u64(&self, x: u64) {
+        self.record(x as f64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (milli-scaled accuracy), 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let c = self.count();
+        if c == 0 {
+            return 0.0;
+        }
+        self.sum_milli.load(Ordering::Relaxed) as f64 / 1000.0 / c as f64
+    }
+
+    /// Per-bucket counts, index-aligned with [`bucket_bounds`].
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_are_exact_powers_of_two() {
+        // 1.0 = 2^0 sits at the lower bound of its bucket.
+        let b1 = bucket_index(1.0);
+        assert_eq!(bucket_bounds(b1).0, 1.0);
+        // A power of two starts a new bucket; just below it is the
+        // previous bucket.
+        for e in [-20i32, -3, -1, 0, 1, 3, 10, 20, 30] {
+            let x = (2.0f64).powi(e);
+            let b = bucket_index(x);
+            let below = bucket_index(x * (1.0 - 1e-15));
+            assert_eq!(b, below + 1, "2^{e} must open a fresh bucket");
+            assert_eq!(bucket_bounds(b).0, x, "2^{e} is its bucket's lower bound");
+        }
+    }
+
+    #[test]
+    fn degenerate_and_overflow_bins() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(1e-30), 0, "below 2^-31 is degenerate");
+        assert_eq!(bucket_index(f64::INFINITY), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(3.0e9), NUM_BUCKETS - 1, ">= 2^31 overflows");
+        assert_eq!(bucket_index(f64::MIN_POSITIVE / 2.0), 0, "subnormal");
+    }
+
+    #[test]
+    fn integer_samples_land_in_log2_bins() {
+        let h = Histogram::new();
+        for x in [1u64, 2, 3, 4, 7, 8, 1 << 20] {
+            h.record_u64(x);
+        }
+        let counts = h.bucket_counts();
+        let at = |v: f64| counts[bucket_index(v)];
+        assert_eq!(at(1.0), 1); // [1, 2): {1}
+        assert_eq!(at(2.0), 2); // [2, 4): {2, 3}
+        assert_eq!(at(4.0), 2); // [4, 8): {4, 7}
+        assert_eq!(at(8.0), 1); // [8, 16): {8}
+        assert_eq!(at((1u64 << 20) as f64), 1);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn bounds_tile_the_line() {
+        let (lo0, hi0) = bucket_bounds(0);
+        assert_eq!(lo0, 0.0);
+        let mut prev_hi = hi0.unwrap();
+        for b in 1..NUM_BUCKETS - 1 {
+            let (lo, hi) = bucket_bounds(b);
+            assert_eq!(lo, prev_hi, "bucket {b} starts where {} ended", b - 1);
+            prev_hi = hi.unwrap();
+        }
+        let (lo_last, hi_last) = bucket_bounds(NUM_BUCKETS - 1);
+        assert_eq!(lo_last, prev_hi);
+        assert!(hi_last.is_none());
+    }
+
+    #[test]
+    fn mean_tracks_samples() {
+        let h = Histogram::new();
+        h.record(1.0);
+        h.record(3.0);
+        assert!((h.mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record_u64((i % 64) + t);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 40_000);
+    }
+}

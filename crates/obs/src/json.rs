@@ -1,0 +1,201 @@
+//! Minimal recursive-descent JSON validator (RFC 8259 syntax).
+//!
+//! The workspace is offline — no serde — yet CI must assert that the
+//! bench harness and the JSON exporter emit *parseable* documents. This
+//! validates syntax only (it builds no value tree): objects, arrays,
+//! strings with escapes, numbers, `true`/`false`/`null`.
+
+/// Validates that `s` is exactly one JSON value (plus whitespace).
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn fail(b: &[u8], pos: usize, what: &str) -> String {
+    let got = b.get(pos).map(|&c| (c as char).to_string());
+    format!(
+        "expected {what} at byte {pos}, found {}",
+        got.as_deref().unwrap_or("end of input")
+    )
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        _ => Err(fail(b, pos, "a JSON value")),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
+        Ok(pos + lit.len())
+    } else {
+        Err(fail(b, pos, std::str::from_utf8(lit).unwrap_or("literal")))
+    }
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // past '{'
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(fail(b, pos, "':'"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(fail(b, pos, "',' or '}'")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // past '['
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(fail(b, pos, "',' or ']'")),
+        }
+    }
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    if b.get(pos) != Some(&b'"') {
+        return Err(fail(b, pos, "'\"'"));
+    }
+    pos += 1;
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match b.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    let hex = b
+                        .get(pos + 2..pos + 6)
+                        .ok_or_else(|| fail(b, pos, "four hex digits after \\u"))?;
+                    if !hex.iter().all(u8::is_ascii_hexdigit) {
+                        return Err(fail(b, pos + 2, "four hex digits after \\u"));
+                    }
+                    pos += 6;
+                }
+                _ => return Err(fail(b, pos + 1, "a valid escape")),
+            },
+            0x00..=0x1f => return Err(fail(b, pos, "no raw control characters in strings")),
+            _ => pos += 1,
+        }
+    }
+    Err(fail(b, pos, "closing '\"'"))
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    // Integer part: '0' alone or nonzero digit followed by digits.
+    match b.get(pos) {
+        Some(b'0') => pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while b.get(pos).is_some_and(u8::is_ascii_digit) {
+                pos += 1;
+            }
+        }
+        _ => return Err(fail(b, pos, "a digit")),
+    }
+    if b.get(pos) == Some(&b'.') {
+        pos += 1;
+        if !b.get(pos).is_some_and(u8::is_ascii_digit) {
+            return Err(fail(b, pos, "a digit after '.'"));
+        }
+        while b.get(pos).is_some_and(u8::is_ascii_digit) {
+            pos += 1;
+        }
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        if !b.get(pos).is_some_and(u8::is_ascii_digit) {
+            return Err(fail(b, pos, "a digit in the exponent"));
+        }
+        while b.get(pos).is_some_and(u8::is_ascii_digit) {
+            pos += 1;
+        }
+    }
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for s in [
+            "{}",
+            "[]",
+            "null",
+            "-0.5e-3",
+            "1e300",
+            r#""é \n ok""#,
+            r#"{"a": [1, 2.5, {"b": null}], "c": "x/y", "d": false}"#,
+            "  { \"k\" : [ ] }\n",
+        ] {
+            validate(s).unwrap_or_else(|e| panic!("{s:?} should parse: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for s in [
+            "",
+            "{",
+            "{]",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"unterminated",
+            "{} {}",
+            "NaN",
+            "\"bad \\x escape\"",
+        ] {
+            assert!(validate(s).is_err(), "{s:?} should be rejected");
+        }
+    }
+}

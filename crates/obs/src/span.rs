@@ -1,0 +1,99 @@
+//! RAII phase spans with parent/child nesting.
+//!
+//! A span opened while another span is live **on the same thread**
+//! records under the '/'-joined path of all live span names, so
+//! `span("solve")` followed by `span("pcg")` produces a `"solve/pcg"`
+//! timer. The name stack is thread-local; spans opened on pool worker
+//! threads start their own root (worker-side phases are attributed to
+//! the phase name, not the dispatcher's stack — crossing threads would
+//! require shipping context through the pool, which the engine keeps
+//! deliberately oblivious to callers).
+//!
+//! When the mode is off, [`span`] returns an inert guard without touching
+//! the clock, the stack, or the registry.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard for one span; records duration into the registry on drop.
+#[must_use = "a span records on drop; binding it to _ ends it immediately"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+    path: Option<String>,
+}
+
+/// Opens a span named `name`. Near-zero-cost no-op when disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            start: None,
+            path: None,
+        };
+    }
+    let path = STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(name);
+        s.join("/")
+    });
+    SpanGuard {
+        start: Some(Instant::now()),
+        path: Some(path),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        // Only pop/record if we actually pushed (mode may flip mid-span).
+        if let (Some(start), Some(path)) = (self.start, self.path.take()) {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+            crate::global().timer(&path).record_ns(ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set_mode, Mode};
+
+    #[test]
+    fn nested_spans_record_joined_paths() {
+        let _serial = crate::test_mode_lock();
+        let prev = crate::mode();
+        set_mode(Mode::Json);
+        {
+            let _outer = span("test_outer");
+            let _inner = span("test_inner");
+        }
+        set_mode(prev);
+        let snap = crate::snapshot();
+        let keys: Vec<&str> = snap.timers.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.contains(&"test_outer"));
+        assert!(keys.contains(&"test_outer/test_inner"));
+        // The stack unwound fully: a fresh span is a root again.
+        set_mode(Mode::Json);
+        drop(span("test_root2"));
+        set_mode(prev);
+        let snap = crate::snapshot();
+        assert!(snap.timers.iter().any(|(k, _)| k == "test_root2"));
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _serial = crate::test_mode_lock();
+        let prev = crate::mode();
+        set_mode(Mode::Off);
+        let g = span("never_recorded");
+        assert!(g.start.is_none() && g.path.is_none());
+        drop(g);
+        set_mode(prev);
+    }
+}

@@ -59,18 +59,23 @@ pub struct MultilevelSteiner {
 impl MultilevelSteiner {
     /// Builds the hierarchy for `g` and assembles the preconditioner.
     pub fn new(g: &Graph, opts: &MultilevelOptions) -> Self {
+        // Children ("hierarchy" from build_hierarchy, "assemble" below)
+        // nest under this span in the phase tree.
+        let _span = hicond_obs::span("precondition");
         let hierarchy = build_hierarchy(g, &opts.hierarchy);
         Self::from_hierarchy(g, &hierarchy, opts)
     }
 
     /// Assembles from an existing hierarchy (level 0 must match `g`).
     pub fn from_hierarchy(g: &Graph, h: &Hierarchy, opts: &MultilevelOptions) -> Self {
+        let _span = hicond_obs::span("assemble");
         assert_eq!(h.levels[0].graph.num_vertices(), g.num_vertices());
         let mut levels = Vec::new();
         for level in &h.levels[..h.levels.len() - 1] {
             let p = level
                 .partition
                 .as_ref()
+                // audit: allow(panic-path) — build_hierarchy guarantees non-coarsest levels carry partitions
                 .expect("non-coarsest level must carry a partition");
             levels.push(MlLevel {
                 lap: laplacian(&level.graph),
@@ -147,6 +152,8 @@ impl Preconditioner for MultilevelSteiner {
     }
 
     fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+        let _span = hicond_obs::span("precond_apply");
+        hicond_obs::counter_add("precond/ml_applies", 1);
         let out = self.cycle(0, r);
         z.copy_from_slice(&out);
     }

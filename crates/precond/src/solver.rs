@@ -139,6 +139,10 @@ impl LaplacianSolver {
     /// connected component; small imbalances are projected away, large
     /// ones are an error.
     pub fn solve(&self, b: &[f64]) -> Result<Solution, SolveError> {
+        // "pcg" and "precond_apply" spans from the inner solve nest under
+        // this one ("solve/pcg/precond_apply" in the phase tree).
+        let _span = hicond_obs::span("solve");
+        hicond_obs::counter_add("solver/solves", 1);
         let n = self.dim();
         if b.len() != n {
             return Err(SolveError::WrongLength {
@@ -189,6 +193,10 @@ impl LaplacianSolver {
         for (v, xv) in x.iter_mut().enumerate() {
             let c = self.comp_labels[v] as usize;
             *xv -= xsum[c] / comp_cnt[c] as f64;
+        }
+        if hicond_obs::enabled() {
+            hicond_obs::counter_add("solver/iterations", res.iterations as u64);
+            hicond_obs::hist_record("solver/iterations_per_solve", res.iterations as f64);
         }
         Ok(Solution {
             x,

@@ -49,12 +49,15 @@ impl GroundedLaplacianSolver {
                 if comp.len() < 2 {
                     return None;
                 }
-                // Grounded: drop the last vertex of the component.
+                // Grounded: drop the last vertex of the component. The
+                // grounded block of a connected component is SPD, so the
+                // factorization cannot fail; the debug assert documents
+                // the invariant without a release panic path.
                 let keep = &comp[..comp.len() - 1];
                 let sub = lap.principal_submatrix(keep);
-                let f = CholeskyFactor::factor(&sub.to_dense())
-                    .expect("grounded Laplacian block must be SPD");
-                Some(f)
+                let f = CholeskyFactor::factor(&sub.to_dense());
+                debug_assert!(f.is_some(), "grounded Laplacian block must be SPD");
+                f
             })
             .collect();
         GroundedLaplacianSolver { comps, factors, n }
@@ -83,7 +86,9 @@ impl GroundedLaplacianSolver {
             for (i, &v) in comp[..comp.len() - 1].iter().enumerate() {
                 x[v] = sol[i] - shift;
             }
-            x[*comp.last().unwrap()] = -shift;
+            if let Some(&grounded) = comp.last() {
+                x[grounded] = -shift;
+            }
         }
         x
     }

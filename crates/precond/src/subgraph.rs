@@ -86,7 +86,9 @@ impl SubgraphPreconditioner {
         if extra_target > 0 && tree_ids.len() < g.num_edges() {
             let stretches = tree_stretches(g, &tree_ids);
             let mut off: Vec<usize> = (0..g.num_edges()).filter(|&e| !in_b[e]).collect();
-            off.sort_by(|&a, &b| stretches[b].partial_cmp(&stretches[a]).unwrap());
+            // total_cmp: stretches are finite, so this matches partial_cmp
+            // while staying panic-free on any input.
+            off.sort_by(|&a, &b| stretches[b].total_cmp(&stretches[a]));
             for &e in off.iter().take(extra_target) {
                 in_b[e] = true;
                 extra_edges += 1;

@@ -65,6 +65,7 @@ pub fn solve_forest(f: &RootedForest, b: &[f64], tol: f64) -> Vec<f64> {
 
 /// Convenience: solves the forest Laplacian of a `Graph` that is a forest.
 pub fn solve_forest_graph(g: &Graph, b: &[f64], tol: f64) -> Vec<f64> {
+    // audit: allow(panic-path) — documented input contract: the graph must be a forest
     let f = RootedForest::from_graph(g).expect("solve_forest_graph: input has a cycle");
     solve_forest(&f, b, tol)
 }

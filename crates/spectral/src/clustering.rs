@@ -46,32 +46,37 @@ pub fn embedding_kmeans(points: &[Vec<f64>], k: usize, iters: usize, seed: u64) 
     // Farthest-point seeding from a seed-derived start.
     let mut centers: Vec<Vec<f64>> = vec![points[(seed as usize) % n].clone()];
     while centers.len() < k {
-        let far = (0..n)
-            .max_by(|&a, &b| {
-                let da: f64 = centers
-                    .iter()
-                    .map(|c| dist2(&points[a], c))
-                    .fold(f64::MAX, f64::min);
-                let db: f64 = centers
-                    .iter()
-                    .map(|c| dist2(&points[b], c))
-                    .fold(f64::MAX, f64::min);
-                da.partial_cmp(&db).unwrap()
-            })
-            .unwrap();
+        // Manual scan instead of max_by(partial_cmp): no panic path, and
+        // `>=` keeps the last maximum, matching Iterator::max_by exactly.
+        let mut far = 0usize;
+        let mut far_d = f64::NEG_INFINITY;
+        for v in 0..n {
+            let d: f64 = centers
+                .iter()
+                .map(|c| dist2(&points[v], c))
+                .fold(f64::MAX, f64::min);
+            if d >= far_d {
+                far_d = d;
+                far = v;
+            }
+        }
         centers.push(points[far].clone());
     }
     let mut assign = vec![0u32; n];
     for _ in 0..iters {
         let mut changed = false;
         for (i, pt) in points.iter().enumerate() {
-            let best = (0..k)
-                .min_by(|&a, &b| {
-                    dist2(pt, &centers[a])
-                        .partial_cmp(&dist2(pt, &centers[b]))
-                        .unwrap()
-                })
-                .unwrap() as u32;
+            // Strict `<` keeps the first minimum, matching Iterator::min_by.
+            let mut best_c = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let d = dist2(pt, center);
+                if d < best_d {
+                    best_d = d;
+                    best_c = c;
+                }
+            }
+            let best = best_c as u32;
             if best != assign[i] {
                 assign[i] = best;
                 changed = true;

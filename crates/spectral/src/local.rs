@@ -89,7 +89,9 @@ pub fn local_cluster(g: &Graph, seed: usize, opts: &LocalClusterOptions) -> Loca
             (v, m / dv)
         })
         .collect();
-    order.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    // total_cmp: the ratios are finite, so this matches partial_cmp while
+    // staying panic-free on any input.
+    order.sort_by(|a, b| b.1.total_cmp(&a.1));
     let total_vol = g.total_volume();
     let vol_cap = opts.max_vol_fraction * total_vol;
     let mut in_set = vec![false; g.num_vertices()];

@@ -144,6 +144,11 @@ pub fn subtree_sums_contraction(forest: &RootedForest, value: &[f64]) -> Contrac
     }
     entry_of.clear();
     debug_assert!(finished.iter().all(|x| !x.is_nan()));
+    if hicond_obs::enabled() {
+        hicond_obs::counter_add("treecontract/contractions", 1);
+        hicond_obs::counter_add("treecontract/contraction_rounds", rounds as u64);
+        hicond_obs::hist_record("treecontract/rounds_per_contraction", rounds as f64);
+    }
     ContractionResult {
         subtree_sum: finished,
         rounds,

@@ -98,6 +98,10 @@ pub fn list_rank_parallel_with_rounds(next: &[u32]) -> (Vec<u32>, usize) {
             "list_rank_parallel: cycle detected (no convergence)"
         );
     }
+    if hicond_obs::enabled() {
+        hicond_obs::counter_add("treecontract/listrank_runs", 1);
+        hicond_obs::counter_add("treecontract/listrank_rounds", rounds as u64);
+    }
     (rank, rounds)
 }
 

@@ -87,6 +87,7 @@ fn classify(krate: &str, rel_in_crate: &Path) -> FileKind {
     FileKind {
         is_library: !under_bin && !is_main,
         wants_panics_doc: PANICS_DOC_CRATES.contains(&krate),
+        owns_timing: krate == "obs",
     }
 }
 

@@ -9,11 +9,12 @@
 use crate::scanner::{has_allow, scan, ScannedFile};
 
 /// All rules, in reporting order.
-pub const ALL_RULES: [Rule; 4] = [
+pub const ALL_RULES: [Rule; 5] = [
     Rule::PanicPath,
     Rule::FloatEq,
     Rule::NarrowingCast,
     Rule::PanicsDoc,
+    Rule::InstantNow,
 ];
 
 /// A repo-specific lint rule.
@@ -29,6 +30,10 @@ pub enum Rule {
     NarrowingCast,
     /// `pub fn` that can panic but whose doc comment lacks `# Panics`.
     PanicsDoc,
+    /// Ad-hoc `Instant::now()` outside the observability crate — timing
+    /// belongs behind `hicond_obs::span`/timers so it can be disabled and
+    /// exported uniformly.
+    InstantNow,
 }
 
 impl Rule {
@@ -39,6 +44,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::NarrowingCast => "narrowing-cast",
             Rule::PanicsDoc => "panics-doc",
+            Rule::InstantNow => "instant-now",
         }
     }
 
@@ -67,6 +73,9 @@ pub struct FileKind {
     pub is_library: bool,
     /// Crate is in the panics-doc enforcement set (linalg/graph/core).
     pub wants_panics_doc: bool,
+    /// Crate owns raw timing (the obs crate): `Instant::now()` is its job,
+    /// so the instant-now rule does not apply.
+    pub owns_timing: bool,
 }
 
 /// Runs every applicable rule over one file's source text.
@@ -80,6 +89,9 @@ pub fn audit_source(source: &str, kind: FileKind) -> Vec<Finding> {
     narrowing_cast(&file, &mut findings);
     if kind.wants_panics_doc {
         panics_doc(&file, &mut findings);
+    }
+    if !kind.owns_timing {
+        instant_now(&file, &mut findings);
     }
     findings
 }
@@ -114,6 +126,22 @@ fn panic_path(file: &ScannedFile, findings: &mut Vec<Finding>) {
                 });
                 break; // one finding per line keeps counts stable
             }
+        }
+    }
+}
+
+fn instant_now(file: &ScannedFile, findings: &mut Vec<Finding>) {
+    for (i, line) in file.lines.iter().enumerate() {
+        if line.in_test_code {
+            continue;
+        }
+        if line.code.contains("Instant::now()") && !allowed(file, i, Rule::InstantNow) {
+            findings.push(Finding {
+                rule: Rule::InstantNow,
+                line: line.number,
+                message: "`Instant::now()` outside the obs crate — use hicond_obs spans/timers"
+                    .to_string(),
+            });
         }
     }
 }
@@ -370,6 +398,7 @@ mod tests {
     const LIB: FileKind = FileKind {
         is_library: true,
         wants_panics_doc: true,
+        owns_timing: false,
     };
 
     fn names(findings: &[Finding]) -> Vec<(&'static str, usize)> {
@@ -403,6 +432,7 @@ mod tests {
         let bin = FileKind {
             is_library: false,
             wants_panics_doc: false,
+            owns_timing: false,
         };
         assert!(audit_source(src, bin).is_empty());
     }
@@ -504,6 +534,36 @@ pub fn f(x: usize) {\n\
         assert!(audit_source(src, LIB)
             .iter()
             .all(|f| f.rule != Rule::PanicsDoc));
+    }
+
+    #[test]
+    fn instant_now_flagged_outside_obs() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        let found = audit_source(src, LIB);
+        assert!(found
+            .iter()
+            .any(|f| f.rule == Rule::InstantNow && f.line == 2));
+    }
+
+    #[test]
+    fn instant_now_exempt_when_crate_owns_timing() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        let obs = FileKind {
+            is_library: true,
+            wants_panics_doc: false,
+            owns_timing: true,
+        };
+        assert!(audit_source(src, obs)
+            .iter()
+            .all(|f| f.rule != Rule::InstantNow));
+    }
+
+    #[test]
+    fn instant_now_respects_allow_comment() {
+        let src = "fn f() {\n    // audit: allow(instant-now) — bench harness measures wall time\n    let t = std::time::Instant::now();\n}\n";
+        assert!(audit_source(src, LIB)
+            .iter()
+            .all(|f| f.rule != Rule::InstantNow));
     }
 
     #[test]

@@ -223,6 +223,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // With HICOND_OBS=text|json the accumulated metrics snapshot (phase
+    // tree, solver counters, histograms) lands on stderr; off is silent.
+    hicond::obs::report();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -48,6 +48,7 @@
 pub use hicond_core as core;
 pub use hicond_graph as graph;
 pub use hicond_linalg as linalg;
+pub use hicond_obs as obs;
 pub use hicond_precond as precond;
 pub use hicond_spectral as spectral;
 pub use hicond_support as support;

@@ -137,6 +137,46 @@ fn pcg_solve_identical() {
     });
 }
 
+#[test]
+fn obs_off_vs_json_bitwise_identical() {
+    // Instrumentation must never feed back into the numerics: the same
+    // decompose + solve pipeline under HICOND_OBS=off and =json is
+    // bitwise identical at every thread cap. (Other tests in this binary
+    // are mode-independent, so flipping the global mode here is safe.)
+    let g = generators::grid2d(32, 32, |u, v| 1.0 + ((u * 5 + v) % 3) as f64);
+    let a = laplacian(&g);
+    let n = a.nrows();
+    let mut b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos()).collect();
+    hicond_linalg::vector::deflate_constant(&mut b);
+    let m = JacobiPreconditioner::from_diagonal(&a.diagonal());
+    let opts = CgOptions {
+        rel_tol: 1e-8,
+        max_iter: 80,
+        record_residuals: true,
+    };
+    let run = || {
+        let d = decompose_planar(&g, &PlanarOptions::default());
+        let r = pcg_solve(&a, &m, &b, &opts);
+        (
+            d.partition.assignment().to_vec(),
+            bits(&r.x),
+            bits(&r.residual_history),
+            r.iterations,
+        )
+    };
+    for cap in [1usize, 2, 4] {
+        hicond_obs::set_mode(hicond_obs::Mode::Off);
+        let off = with_thread_cap(cap, &run);
+        hicond_obs::set_mode(hicond_obs::Mode::Json);
+        let json = with_thread_cap(cap, &run);
+        hicond_obs::set_mode(hicond_obs::Mode::Off);
+        assert!(
+            off == json,
+            "cap {cap}: output differs between HICOND_OBS=off and HICOND_OBS=json"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 

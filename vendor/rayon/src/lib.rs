@@ -318,6 +318,32 @@ mod tests {
     }
 
     #[test]
+    fn counters_accumulate_across_pool_workers() {
+        // Concurrent increments from pool worker threads must lose
+        // nothing, and the pool's own per-worker task accounting must
+        // cover every dispatched unit exactly once.
+        let prev = hicond_obs::mode();
+        hicond_obs::set_mode(hicond_obs::Mode::Json);
+        let shared = hicond_obs::global().counter("test/pool_increments");
+        let before = shared.get();
+        with_thread_cap(4, || {
+            (0u64..20_000).into_par_iter().for_each(|_| shared.add(1));
+        });
+        hicond_obs::set_mode(prev);
+        assert_eq!(shared.get() - before, 20_000);
+        // Every executed unit was attributed to the dispatcher or a worker.
+        let snap = hicond_obs::snapshot();
+        let attributed: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k == "pool/dispatcher.tasks" || k.starts_with("pool/worker."))
+            .filter(|(k, _)| k.ends_with(".tasks") || k == "pool/dispatcher.tasks")
+            .map(|(_, v)| v)
+            .sum();
+        assert!(attributed > 0, "pool executed units while obs was enabled");
+    }
+
+    #[test]
     fn panic_propagates_from_pool() {
         let caught = std::panic::catch_unwind(|| {
             (0u32..10_000).into_par_iter().for_each(|i| {

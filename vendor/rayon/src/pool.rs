@@ -110,6 +110,9 @@ thread_local! {
     /// True on worker threads while they execute units; lets nested
     /// dispatches skip the slot entirely (they would find it busy).
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Pool worker index, `usize::MAX` on non-pool (dispatcher) threads;
+    /// keys the per-worker obs counters.
+    static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
 }
 
 fn pool() -> &'static Pool {
@@ -171,8 +174,9 @@ pub fn with_thread_cap<R>(n: usize, f: impl FnOnce() -> R) -> R {
 }
 
 /// Worker main loop: wait for a fresh generation, claim units, repeat.
-fn worker_loop(pool: &'static Pool) {
+fn worker_loop(pool: &'static Pool, index: usize) {
     IN_WORKER.with(|w| w.set(true));
+    WORKER_ID.with(|w| w.set(index));
     let mut last_gen = 0u64;
     let mut slot = match pool.slot.lock() {
         Ok(g) => g,
@@ -185,6 +189,12 @@ fn worker_loop(pool: &'static Pool) {
                 *job
             }
             _ => {
+                // Observability only; the registry lock is a leaf (never
+                // taken while acquiring the slot lock), so holding the
+                // slot guard across this call cannot deadlock.
+                if hicond_obs::enabled() {
+                    hicond_obs::counter_add(&format!("pool/worker.{index}.idle_waits"), 1);
+                }
                 slot = match pool.work_cv.wait(slot) {
                     Ok(g) => g,
                     Err(_) => return,
@@ -213,16 +223,26 @@ fn claim_units(pool: &Pool, job: ActiveJob) {
     // The dispatch protocol keeps the pointee alive while any participant
     // is checked in (module docs).
     let func = job.func.0;
+    // Units are tallied locally and flushed as one counter add on exit so
+    // the claim loop itself stays free of locks and allocation.
+    let mut executed = 0u64;
     loop {
         let u = pool.next_unit.fetch_add(1, Ordering::SeqCst);
         if u >= job.units {
-            return;
+            break;
         }
+        executed += 1;
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| func(u))) {
             if let Ok(mut p) = pool.panic.lock() {
                 p.get_or_insert(payload);
             }
             pool.next_unit.store(job.units, Ordering::SeqCst);
+        }
+    }
+    if executed > 0 && hicond_obs::enabled() {
+        match WORKER_ID.with(|w| w.get()) {
+            usize::MAX => hicond_obs::counter_add("pool/dispatcher.tasks", executed),
+            id => hicond_obs::counter_add(&format!("pool/worker.{id}.tasks"), executed),
         }
     }
 }
@@ -259,10 +279,11 @@ fn dispatch(units: usize, cap: usize, func: &(dyn Fn(usize) + Sync)) -> bool {
         // dispatcher participates). Spawn failures degrade gracefully.
         let want = cap.min(units).saturating_sub(1);
         while slot.spawned < want {
-            let name = format!("hicond-worker-{}", slot.spawned);
+            let index = slot.spawned;
+            let name = format!("hicond-worker-{index}");
             let handle = std::thread::Builder::new()
                 .name(name)
-                .spawn(move || worker_loop(self::pool()));
+                .spawn(move || worker_loop(self::pool(), index));
             match handle {
                 Ok(_) => slot.spawned += 1,
                 Err(_) => break,
@@ -310,6 +331,7 @@ fn dispatch(units: usize, cap: usize, func: &(dyn Fn(usize) + Sync)) -> bool {
     if let Some(payload) = payload {
         resume_unwind(payload);
     }
+    hicond_obs::counter_add("pool/dispatches", 1);
     true
 }
 
