@@ -173,6 +173,15 @@ fn main() {
             "determinism",
             "all workloads bitwise-identical at 1 vs max threads".to_string(),
         ),
+        // Seeded scheduler perturbation slows every claim; timings from a
+        // jittered run must never be compared against clean ones.
+        (
+            "sched_jitter",
+            match rayon::pool::sched_jitter() {
+                Some(seed) => format!("seed {seed} (timings perturbed — not comparable)"),
+                None => "off".to_string(),
+            },
+        ),
     ];
     let metrics = hicond_obs::render_json(&hicond_obs::snapshot());
     hicond_obs::json::validate(&metrics).expect("obs metrics snapshot must be valid JSON");

@@ -12,16 +12,26 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
 
+// SAFETY: a zero-sized pass-through wrapper (no fields) — every method
+// delegates to `System` verbatim, so `System`'s GlobalAlloc contract
+// (layout fitting, pointer validity) is preserved unchanged; the counter
+// bump has no effect on allocation behavior.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded to System.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same layout the caller handed us.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded to System.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was produced by the matching `System.alloc` above.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: caller upholds GlobalAlloc's contract; forwarded to System.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` pair is the caller's live allocation.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -85,6 +85,11 @@ impl Histogram {
     }
 
     /// Records one sample.
+    ///
+    /// ordering: all three accumulators use `Relaxed` RMWs (counter role
+    /// — commutative integer adds that publish nothing); a concurrent
+    /// reader may observe the bucket bumped before `count`, which the
+    /// exporters tolerate by making no cross-field consistency claim.
     pub fn record(&self, x: f64) {
         self.buckets[bucket_index(x)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);

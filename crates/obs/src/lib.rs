@@ -81,6 +81,12 @@ fn init_mode_from_env() -> Mode {
 /// Current mode, reading `HICOND_OBS` on first call.
 #[inline]
 pub fn mode() -> Mode {
+    // ordering: Relaxed suffices — MODE is a standalone latch that guards
+    // no other memory. Readers act only on the latch value itself; all
+    // instrument state lives behind the registry mutex, which does its
+    // own synchronization. A racing reader near a mode flip may record or
+    // skip one event, which is the documented semantics of flipping the
+    // mode mid-run.
     match MODE.load(Ordering::Relaxed) {
         MODE_OFF => Mode::Off,
         MODE_TEXT => Mode::Text,
@@ -96,6 +102,9 @@ pub fn set_mode(mode: Mode) {
         Mode::Text => MODE_TEXT,
         Mode::Json => MODE_JSON,
     };
+    // ordering: Relaxed suffices — the store publishes nothing beyond the
+    // latch byte itself (see the matching load in `mode()`); no dependent
+    // data is handed off through MODE.
     MODE.store(v, Ordering::Relaxed);
 }
 

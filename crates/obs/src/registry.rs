@@ -17,6 +17,10 @@ use crate::histogram::Histogram;
 pub const TRACE_CAP: usize = 65_536;
 
 /// Monotone counter.
+///
+/// ordering: all accesses are `Relaxed` — counter-role RMWs in the
+/// analyzer's taxonomy (`relaxed-publication` rule). The value never
+/// publishes other memory; readers tolerate a momentarily stale total.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
 
@@ -33,6 +37,11 @@ impl Counter {
 }
 
 /// Span timer: invocation count, total and max duration.
+///
+/// ordering: `Relaxed` throughout — each field is an independent
+/// accumulator and `stat()` makes no cross-field atomicity claim (a
+/// snapshot racing `record_ns` may see the count bumped before the
+/// total; exports only ever read quiescent or monotone values).
 #[derive(Debug, Default)]
 pub struct Timer {
     count: AtomicU64,

@@ -1,0 +1,1207 @@
+//! Concurrency-soundness analyzer (`cargo run -p xtask -- analyze`).
+//!
+//! Four analyses over the whole workspace *including* `vendor/` (the
+//! execution engine lives there), built on the shared lexer
+//! ([`crate::lexer`]) and block-structure parser ([`crate::scanner`]):
+//!
+//! 1. **Unsafe inventory** (`unsafe-justify`): every `unsafe` block,
+//!    `unsafe fn`, and `unsafe impl` must carry a `SAFETY:` comment (or a
+//!    `# Safety` doc section) on or directly above the site. The full
+//!    inventory is emitted as `UNSAFETY.md` at the repo root; the pass
+//!    fails when that report is stale.
+//! 2. **Atomic-ordering lint** (`relaxed-publication`): classifies each
+//!    `Ordering::Relaxed` site by role. Read-modify-write ops
+//!    (`fetch_add` & friends) are monotonic-counter sites and pass.
+//!    Plain `store`s, `swap`/`compare_exchange`, and loads of ALL-CAPS
+//!    statics (mode/config latches) are publication/handoff candidates
+//!    and must carry an `ordering:` justification comment explaining why
+//!    `Relaxed` cannot lose a handoff.
+//! 3. **Lock-order analysis** (`lock-order`): extracts `Mutex`/`RwLock`
+//!    acquisition nesting per function, propagates held-lock sets through
+//!    the intra-workspace call graph (calls that escape into `spawn(..)`
+//!    closures are excluded — the closure runs on another thread), and
+//!    fails on any cycle in the resulting lock-order graph
+//!    ([`crate::lockgraph`]).
+//! 4. **Send/Sync audit** (`sendsync-field`): every manual
+//!    `unsafe impl Send`/`Sync` must name the field-level payload its
+//!    justification argues about (field name for named structs, the
+//!    payload type token for tuple structs).
+//!
+//! Findings are pinned in `analyze.ratchet` with the same mechanics as
+//! `audit.ratchet` ([`crate::ratchet`]): only a count *rising above* its
+//! pin fails, so the pass can be adopted without a big-bang cleanup —
+//! though this workspace starts (and must stay) at zero findings.
+//! Suppress an individual site with `// analyze: allow(<rule>) — reason`.
+
+use crate::lexer::{comment_context, has_allow, ScannedFile};
+use crate::lockgraph::LockGraph;
+use crate::ratchet::Ratchet;
+use crate::scanner::{call_sites_in, parse, receiver_token, struct_fields, Function, ParsedFile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Name of the analyze ratchet file at the repo root.
+pub const ANALYZE_RATCHET_FILE: &str = "analyze.ratchet";
+
+/// Name of the generated unsafe-inventory report at the repo root.
+pub const UNSAFETY_FILE: &str = "UNSAFETY.md";
+
+/// All analyze rules, in reporting order.
+pub const ANALYZE_RULES: [&str; 4] = [
+    "unsafe-justify",
+    "relaxed-publication",
+    "sendsync-field",
+    "lock-order",
+];
+
+/// Result of an analyze run.
+#[derive(Debug)]
+pub struct AnalyzeOutcome {
+    /// Human-readable report (always printable).
+    pub report: String,
+    /// Number of (unit, rule) pairs whose count rose above the pin.
+    pub regressions: usize,
+    /// Number of (unit, rule) pairs now below their pin.
+    pub improvements: usize,
+    /// True when `UNSAFETY.md` on disk does not match the regenerated
+    /// inventory (run with `--write-unsafety` to refresh).
+    pub unsafety_stale: bool,
+}
+
+impl AnalyzeOutcome {
+    /// True when the analyze pass should exit successfully.
+    pub fn passed(&self) -> bool {
+        self.regressions == 0 && !self.unsafety_stale
+    }
+}
+
+/// One finding tagged with its origin unit (crate / vendor crate / root
+/// target) and location.
+#[derive(Debug)]
+struct Located {
+    unit: String,
+    rel_path: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+/// One entry of the unsafe inventory.
+#[derive(Debug)]
+struct UnsafeSite {
+    rel_path: String,
+    line: usize,
+    /// Human-readable kind, e.g. "unsafe fn", "unsafe impl Sync for SendPtr".
+    kind: String,
+    /// Extracted justification text ("(UNJUSTIFIED)" when absent).
+    justification: String,
+    justified: bool,
+}
+
+/// A parsed workspace source file.
+struct SourceFile {
+    unit: String,
+    rel_path: String,
+    parsed: ParsedFile,
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Enumerates the workspace scan roots: `crates/*/{src,tests}`,
+/// `vendor/*/src`, and the root package's `src/`, `tests/`, `examples/`.
+fn scan_roots(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut roots: Vec<(String, PathBuf)> = Vec::new();
+    for container in ["crates", "vendor"] {
+        let dir = root.join(container);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut subdirs: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map_err(|e| format!("reading {}: {e}", dir.display()))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        subdirs.sort();
+        for sub in subdirs {
+            let name = sub
+                .file_name()
+                .and_then(|f| f.to_str())
+                .ok_or_else(|| format!("non-UTF-8 dir under {}", dir.display()))?
+                .to_string();
+            for leaf in ["src", "tests"] {
+                let d = sub.join(leaf);
+                if d.is_dir() {
+                    roots.push((name.clone(), d));
+                }
+            }
+        }
+    }
+    for (unit, rel) in [
+        ("hicond", "src"),
+        ("tests", "tests"),
+        ("examples", "examples"),
+    ] {
+        let d = root.join(rel);
+        if d.is_dir() {
+            roots.push((unit.to_string(), d));
+        }
+    }
+    Ok(roots)
+}
+
+fn collect_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut out = Vec::new();
+    for (unit, dir) in scan_roots(root)? {
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)?;
+        for file in files {
+            let source = std::fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            let rel_path = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            out.push(SourceFile {
+                unit: unit.clone(),
+                rel_path,
+                parsed: parse(&source),
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Case-insensitive "does the context carry a safety justification".
+fn has_safety_justification(ctx: &str) -> bool {
+    let lower = ctx.to_lowercase();
+    lower.contains("safety:") || lower.contains("# safety")
+}
+
+/// Extracts the justification text following the `SAFETY:` (or
+/// `# Safety`) marker, whitespace-collapsed and bounded.
+fn extract_justification(ctx: &str) -> String {
+    let lower = ctx.to_lowercase();
+    let after = if let Some(pos) = lower.find("safety:") {
+        &ctx[pos + "safety:".len()..]
+    } else if let Some(pos) = lower.find("# safety") {
+        &ctx[pos + "# safety".len()..]
+    } else {
+        return "(UNJUSTIFIED)".to_string();
+    };
+    let collapsed: String = after.split_whitespace().collect::<Vec<_>>().join(" ");
+    let mut s: String = collapsed.chars().take(220).collect();
+    if collapsed.chars().count() > 220 {
+        s.push('…');
+    }
+    if s.is_empty() {
+        "(UNJUSTIFIED)".to_string()
+    } else {
+        s
+    }
+}
+
+/// Finds the byte offset of a word-boundary occurrence of `word`.
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let abs = from + pos;
+        let prev_ok = abs == 0 || !is_ident_char(bytes[abs - 1]);
+        let end = abs + word.len();
+        let next_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if prev_ok && next_ok {
+            return Some(abs);
+        }
+        from = abs + word.len();
+    }
+    None
+}
+
+/// True when `token` appears in `text` on identifier boundaries.
+fn word_in(text: &str, token: &str) -> bool {
+    !token.is_empty() && find_word(text, token).is_some()
+}
+
+/// Skips a balanced `<...>` generics group starting at `rest[0] == '<'`.
+fn skip_generics(rest: &str) -> &str {
+    let bytes = rest.as_bytes();
+    if bytes.first() != Some(&b'<') {
+        return rest;
+    }
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'<' {
+            depth += 1;
+        } else if b == b'>' {
+            depth -= 1;
+            if depth == 0 {
+                return &rest[i + 1..];
+            }
+        }
+    }
+    rest
+}
+
+fn first_ident(s: &str) -> String {
+    s.trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Pass 1 + 4: unsafe inventory and Send/Sync audit
+// ---------------------------------------------------------------------
+
+fn unsafe_inventory(sf: &SourceFile, sites: &mut Vec<UnsafeSite>, findings: &mut Vec<Located>) {
+    let file = &sf.parsed.scanned;
+    let fields_by_struct = struct_fields(file);
+    for (idx, line) in file.lines.iter().enumerate() {
+        let Some(pos) = find_word(&line.code, "unsafe") else {
+            continue;
+        };
+        let rest = line.code[pos + "unsafe".len()..].trim_start();
+        let (kind, send_sync) = if rest.starts_with("fn") {
+            ("unsafe fn".to_string(), None)
+        } else if rest.starts_with("trait") {
+            (
+                format!("unsafe trait {}", first_ident(&rest["trait".len()..])),
+                None,
+            )
+        } else if rest.starts_with("impl") {
+            let after = skip_generics(rest["impl".len()..].trim_start());
+            match after.find(" for ") {
+                Some(fpos) => {
+                    let trait_name = after[..fpos]
+                        .trim()
+                        .rsplit("::")
+                        .next()
+                        .unwrap_or("")
+                        .trim()
+                        .to_string();
+                    let type_name = first_ident(&after[fpos + " for ".len()..]);
+                    let kind = format!("unsafe impl {trait_name} for {type_name}");
+                    let ss = matches!(trait_name.as_str(), "Send" | "Sync")
+                        .then(|| (trait_name, type_name));
+                    (kind, ss)
+                }
+                None => ("unsafe impl (inherent)".to_string(), None),
+            }
+        } else {
+            ("unsafe block".to_string(), None)
+        };
+
+        let ctx = comment_context(file, idx);
+        let justified = has_safety_justification(&ctx);
+        if !justified && !has_allow(&ctx, "unsafe-justify") {
+            findings.push(Located {
+                unit: sf.unit.clone(),
+                rel_path: sf.rel_path.clone(),
+                line: line.number,
+                rule: "unsafe-justify",
+                message: format!("{kind} without a `SAFETY:` justification comment"),
+            });
+        }
+
+        // Send/Sync audit: the justification must argue about the actual
+        // payload — a field name (named struct) or payload type token
+        // (tuple struct) must appear in the comment.
+        if let Some((trait_name, type_name)) = &send_sync {
+            if justified && !has_allow(&ctx, "sendsync-field") {
+                let field_named = match fields_by_struct.get(type_name) {
+                    Some(fields) if fields.is_empty() => true, // unit struct
+                    Some(fields) => {
+                        fields.iter().any(|f| word_in(&ctx, f))
+                            || word_in(&ctx, "field")
+                            || word_in(&ctx, "fields")
+                    }
+                    // Type declared elsewhere: the unsafe-justify check
+                    // already demanded a comment; accept it if it at
+                    // least names the type.
+                    None => word_in(&ctx, type_name) || word_in(&ctx, "field"),
+                };
+                if !field_named {
+                    findings.push(Located {
+                        unit: sf.unit.clone(),
+                        rel_path: sf.rel_path.clone(),
+                        line: line.number,
+                        rule: "sendsync-field",
+                        message: format!(
+                            "unsafe impl {trait_name} for {type_name}: justification names no \
+                             field of {type_name}"
+                        ),
+                    });
+                }
+            }
+        }
+
+        sites.push(UnsafeSite {
+            rel_path: sf.rel_path.clone(),
+            line: line.number,
+            kind,
+            justification: extract_justification(&ctx),
+            justified,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: atomic-ordering lint
+// ---------------------------------------------------------------------
+
+const RMW_OPS: [&str; 8] = [
+    "fetch_add(",
+    "fetch_sub(",
+    "fetch_max(",
+    "fetch_min(",
+    "fetch_or(",
+    "fetch_and(",
+    "fetch_xor(",
+    "fetch_update(",
+];
+
+/// True when `s` looks like an ALL-CAPS static name (a global latch).
+fn is_static_latch_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().any(|c| c.is_ascii_uppercase())
+        && s.chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn atomic_ordering(sf: &SourceFile, findings: &mut Vec<Located>) {
+    let file = &sf.parsed.scanned;
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !line.code.contains("Ordering::Relaxed") {
+            continue;
+        }
+        // Monotonic counter role: read-modify-write never loses updates,
+        // and nothing in this workspace orders other memory on a counter.
+        if RMW_OPS.iter().any(|op| line.code.contains(op)) {
+            continue;
+        }
+        // Publication candidates: plain stores, swaps/CAS, and loads of
+        // ALL-CAPS statics (mode/config latches). Field loads are
+        // statistic reads and pass.
+        let is_store = line.code.contains(".store(")
+            || line.code.contains(".swap(")
+            || line.code.contains(".compare_exchange");
+        let latch_load = line
+            .code
+            .find(".load(")
+            .is_some_and(|dot| is_static_latch_name(receiver_token(&line.code, dot)));
+        if !is_store && !latch_load {
+            continue;
+        }
+        let ctx = comment_context(file, idx);
+        let justified = ctx.to_lowercase().contains("ordering:");
+        if !justified && !has_allow(&ctx, "relaxed-publication") {
+            let role = if is_store { "store" } else { "latch load" };
+            findings.push(Located {
+                unit: sf.unit.clone(),
+                rel_path: sf.rel_path.clone(),
+                line: line.number,
+                rule: "relaxed-publication",
+                message: format!(
+                    "`Ordering::Relaxed` on a publication-role site ({role}) without an \
+                     `ordering:` justification comment"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: lock-order analysis
+// ---------------------------------------------------------------------
+
+/// How long an acquired guard is considered held.
+#[derive(Debug)]
+struct Acquisition {
+    /// Qualified lock name: `<unit>/<receiver>`.
+    lock: String,
+    line_idx: usize,
+    col: usize,
+    /// Exclusive end of the held span (line index).
+    scope_end: usize,
+}
+
+/// Extracts lock acquisitions within one function.
+fn acquisitions_in(sf: &SourceFile, func: &Function) -> Vec<Acquisition> {
+    let file = &sf.parsed.scanned;
+    let mentions_rwlock = file.lines.iter().any(|l| l.code.contains("RwLock"));
+    let mut out = Vec::new();
+    let end = func.end.min(file.lines.len());
+    for idx in func.start..end {
+        let line = &file.lines[idx];
+        let ctx_allows = || has_allow(&comment_context(file, idx), "lock-order");
+        for pat in [".lock()", ".read()", ".write()"] {
+            if (pat == ".read()" || pat == ".write()") && !mentions_rwlock {
+                continue;
+            }
+            let mut from = 0;
+            while let Some(pos) = line.code[from..].find(pat) {
+                let dot = from + pos;
+                from = dot + pat.len();
+                let recv = receiver_token(&line.code, dot);
+                if recv.is_empty() || recv == "self" || !recv.bytes().all(is_ident_char) {
+                    continue; // method call / chained receiver: call graph handles it
+                }
+                if ctx_allows() {
+                    continue;
+                }
+                let scope_end = guard_scope_end(file, func, idx, dot);
+                out.push(Acquisition {
+                    lock: format!("{}/{}", sf.unit, recv),
+                    line_idx: idx,
+                    col: dot,
+                    scope_end,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Computes the exclusive line-index end of a guard's held span.
+///
+/// Three shapes, approximated at line granularity (always erring on the
+/// *longer* span — over-approximation can only add edges, never hide a
+/// real cycle):
+/// - construct-scoped (`if let Ok(g) = m.lock() { .. }`): held until the
+///   construct's block closes (first following line back at or below the
+///   statement depth); closed on the same line when its braces balance;
+/// - binding-scoped (`let g = m.lock();`): held until the enclosing block
+///   closes (first following line *below* the statement depth) or until
+///   an explicit `drop(g)`;
+/// - temporary (`m.lock().unwrap().field` chains): treated like a binding
+///   (conservative).
+fn guard_scope_end(file: &ScannedFile, func: &Function, idx: usize, col: usize) -> usize {
+    let n = func.end.min(file.lines.len());
+    let line = &file.lines[idx];
+    let depth = line.depth_before;
+    let trimmed = line.code.trim_start();
+    let construct_scoped = trimmed.starts_with("if ")
+        || trimmed.starts_with("while ")
+        || trimmed.starts_with("match ");
+
+    if construct_scoped {
+        // Same-line close: braces after the call balance back to zero.
+        let mut bal = 0i64;
+        let mut opened = false;
+        for b in line.code[col..].bytes() {
+            match b {
+                b'{' => {
+                    bal += 1;
+                    opened = true;
+                }
+                b'}' => bal -= 1,
+                _ => {}
+            }
+        }
+        if opened && bal <= 0 {
+            return idx + 1;
+        }
+        for k in idx + 1..n {
+            if file.lines[k].depth_before <= depth {
+                return k;
+            }
+        }
+        return n;
+    }
+
+    // Binding-scoped: find the binding name for `drop(..)` detection.
+    let binding = binding_name(trimmed);
+    for k in idx + 1..n {
+        if file.lines[k].depth_before < depth {
+            return k;
+        }
+        if let Some(name) = &binding {
+            if file.lines[k].code.contains(&format!("drop({name})")) {
+                return k;
+            }
+        }
+    }
+    n
+}
+
+/// `let mut g = ..` / `let g = ..` / `g = ..` → `g`.
+fn binding_name(trimmed: &str) -> Option<String> {
+    let rest = trimmed.strip_prefix("let ").unwrap_or(trimmed);
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name = first_ident(rest);
+    if name.is_empty() {
+        return None;
+    }
+    let after = rest[name.len()..].trim_start();
+    (after.starts_with('=') && !after.starts_with("==")).then_some(name)
+}
+
+/// Resolves a call site seen in `unit` to the unit whose functions it can
+/// reach, or `None` for external / unresolvable calls.
+///
+/// Method calls and unqualified free calls resolve within the same unit
+/// only: merging every `fn new` / `fn get` in the workspace by bare name
+/// would let common method names smuggle lock sets across crates and
+/// fabricate cycles. Cross-unit calls are path-qualified in this workspace
+/// (`hicond_obs::counter_add(..)` from the pool), so the qualifier carries
+/// the unit: `hicond_<unit>::` and `<unit>::` map to that unit;
+/// `crate`/`self`/`Self` stay local; anything else (`std`, `<T as ..>`) is
+/// external.
+fn resolve_unit<'a>(
+    unit: &'a str,
+    qualifier: Option<&'a str>,
+    units: &BTreeSet<String>,
+) -> Option<&'a str> {
+    match qualifier {
+        None | Some("crate") | Some("self") | Some("Self") => Some(unit),
+        Some(q) => {
+            if units.contains(q) {
+                Some(q)
+            } else if let Some(stripped) = q.strip_prefix("hicond_") {
+                units.contains(stripped).then_some(stripped)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Builds the lock-order graph across the whole workspace and reports
+/// cycle findings.
+fn lock_order(files: &[SourceFile], findings: &mut Vec<Located>, report: &mut String) -> LockGraph {
+    // Functions are keyed `unit::name`; same-named functions within one
+    // unit merge (conservative: union of their lock sets).
+    let mut direct_locks: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    // fn name → units defining it.
+    let mut defined: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let units: BTreeSet<String> = files.iter().map(|f| f.unit.clone()).collect();
+
+    struct FnScan<'a> {
+        sf: &'a SourceFile,
+        func: &'a Function,
+        acqs: Vec<Acquisition>,
+        sites: Vec<crate::scanner::CallSite>,
+    }
+    let mut scans: Vec<FnScan<'_>> = Vec::new();
+
+    for sf in files {
+        for func in &sf.parsed.functions {
+            defined
+                .entry(func.name.clone())
+                .or_default()
+                .insert(sf.unit.clone());
+            let acqs = acquisitions_in(sf, func);
+            let sites: Vec<_> = call_sites_in(&sf.parsed.scanned, func)
+                .into_iter()
+                .filter(|c| !c.escapes_via_spawn)
+                .filter(|c| {
+                    // `m.lock()` on a named receiver was classified as an
+                    // acquisition above, not a call.
+                    !(matches!(c.callee.as_str(), "lock" | "read" | "write") && c.is_method && {
+                        let code = &sf.parsed.scanned.lines[c.line_idx].code;
+                        let recv = receiver_token(code, c.col.saturating_sub(1));
+                        recv != "self"
+                    })
+                })
+                .collect();
+            let key = format!("{}::{}", sf.unit, func.name);
+            for a in &acqs {
+                direct_locks
+                    .entry(key.clone())
+                    .or_default()
+                    .insert(a.lock.clone());
+            }
+            for c in &sites {
+                if let Some(u) = resolve_unit(&sf.unit, c.qualifier.as_deref(), &units) {
+                    calls
+                        .entry(key.clone())
+                        .or_default()
+                        .insert(format!("{u}::{}", c.callee));
+                }
+            }
+            scans.push(FnScan {
+                sf,
+                func,
+                acqs,
+                sites,
+            });
+        }
+    }
+
+    // Transitive lock closure over the unit-keyed call graph (fixpoint).
+    let mut trans: BTreeMap<String, BTreeSet<String>> = direct_locks.clone();
+    loop {
+        let mut changed = false;
+        for (f, callees) in &calls {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for g in callees {
+                if let Some(ls) = trans.get(g) {
+                    add.extend(ls.iter().cloned());
+                }
+            }
+            if !add.is_empty() {
+                let entry = trans.entry(f.clone()).or_default();
+                let before = entry.len();
+                entry.extend(add);
+                changed |= entry.len() > before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Edges: lock held → lock acquired (directly or via a call).
+    let mut graph = LockGraph::new();
+    for s in &scans {
+        for (i, a) in s.acqs.iter().enumerate() {
+            let in_scope = |line_idx: usize, col: usize| {
+                (line_idx == a.line_idx && col > a.col && line_idx < a.scope_end)
+                    || (line_idx > a.line_idx && line_idx < a.scope_end)
+            };
+            for (j, b) in s.acqs.iter().enumerate() {
+                if i != j && in_scope(b.line_idx, b.col) {
+                    graph.add_edge(
+                        &a.lock,
+                        &b.lock,
+                        format!(
+                            "fn {} {}:{}",
+                            s.func.name,
+                            s.sf.rel_path,
+                            s.sf.parsed.scanned.lines[b.line_idx].number
+                        ),
+                    );
+                }
+            }
+            for c in &s.sites {
+                if !in_scope(c.line_idx, c.col) {
+                    continue;
+                }
+                let Some(u) = resolve_unit(&s.sf.unit, c.qualifier.as_deref(), &units) else {
+                    continue;
+                };
+                let callee_key = format!("{u}::{}", c.callee);
+                if let Some(ls) = trans.get(&callee_key) {
+                    for l in ls {
+                        graph.add_edge(
+                            &a.lock,
+                            l,
+                            format!(
+                                "fn {} calls {} {}:{}",
+                                s.func.name,
+                                callee_key,
+                                s.sf.rel_path,
+                                s.sf.parsed.scanned.lines[c.line_idx].number
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(cycle) = graph.find_cycle() {
+        let path = cycle.join(" -> ");
+        let mut detail = String::new();
+        for pair in cycle.windows(2) {
+            if let Some(why) = graph.why(&pair[0], &pair[1]) {
+                let _ = writeln!(detail, "    {} -> {}: {}", pair[0], pair[1], why);
+            }
+        }
+        let unit = cycle[0]
+            .split('/')
+            .next()
+            .unwrap_or("workspace")
+            .to_string();
+        findings.push(Located {
+            unit,
+            rel_path: "(lock-order graph)".to_string(),
+            line: 0,
+            rule: "lock-order",
+            message: format!("lock-order cycle: {path}\n{detail}"),
+        });
+    }
+
+    let _ = writeln!(
+        report,
+        "lock-order graph: {} lock(s), {} edge(s), {}",
+        graph
+            .edges()
+            .flat_map(|(f, t, _)| [f.to_string(), t.to_string()])
+            .collect::<BTreeSet<_>>()
+            .len(),
+        graph.edge_count(),
+        if graph.find_cycle().is_some() {
+            "CYCLIC"
+        } else {
+            "acyclic"
+        }
+    );
+    for (from, to, why) in graph.edges() {
+        let _ = writeln!(report, "  {from} -> {to}    [{why}]");
+    }
+    graph
+}
+
+// ---------------------------------------------------------------------
+// UNSAFETY.md generation
+// ---------------------------------------------------------------------
+
+fn render_unsafety(sites: &[UnsafeSite]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Unsafe inventory");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Generated by `cargo run -p xtask -- analyze --write-unsafety`. Do not edit\n\
+         by hand: `xtask analyze` fails when this file is stale."
+    );
+    let _ = writeln!(out);
+    let justified = sites.iter().filter(|s| s.justified).count();
+    let _ = writeln!(
+        out,
+        "{} `unsafe` site(s) across the workspace (vendored crates included),\n\
+         {} justified. Every site must carry a `SAFETY:` comment (or `# Safety`\n\
+         doc section) on or directly above it (`unsafe-justify` rule); manual\n\
+         `unsafe impl Send/Sync` must additionally name the payload field the\n\
+         argument rests on (`sendsync-field` rule).",
+        sites.len(),
+        justified
+    );
+    let mut by_file: BTreeMap<&str, Vec<&UnsafeSite>> = BTreeMap::new();
+    for s in sites {
+        by_file.entry(s.rel_path.as_str()).or_default().push(s);
+    }
+    for (path, sites) in by_file {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "## {path}");
+        let _ = writeln!(out);
+        for s in sites {
+            let _ = writeln!(
+                out,
+                "- `{}:{}` — **{}** — {}",
+                s.rel_path, s.line, s.kind, s.justification
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// Runs the concurrency-soundness analyses over the workspace at `root`.
+///
+/// With `write_ratchet`, measured counts become the new `analyze.ratchet`
+/// baseline; with `write_unsafety`, the regenerated `UNSAFETY.md` is
+/// written to disk. Otherwise counts are compared against the pinned
+/// baseline and the on-disk report must match the regenerated one.
+pub fn run_analyze(
+    root: &Path,
+    write_ratchet: bool,
+    write_unsafety: bool,
+) -> Result<AnalyzeOutcome, String> {
+    let files = collect_workspace(root)?;
+    let mut findings: Vec<Located> = Vec::new();
+    let mut sites: Vec<UnsafeSite> = Vec::new();
+    let mut report = String::new();
+
+    for sf in &files {
+        unsafe_inventory(sf, &mut sites, &mut findings);
+        atomic_ordering(sf, &mut findings);
+    }
+    let _graph = lock_order(&files, &mut findings, &mut report);
+
+    // UNSAFETY.md: regenerate and write or diff.
+    let unsafety = render_unsafety(&sites);
+    let unsafety_path = root.join(UNSAFETY_FILE);
+    let mut unsafety_stale = false;
+    if write_unsafety {
+        std::fs::write(&unsafety_path, &unsafety)
+            .map_err(|e| format!("writing {}: {e}", unsafety_path.display()))?;
+        let _ = writeln!(report, "wrote {}", unsafety_path.display());
+    } else {
+        let on_disk = std::fs::read_to_string(&unsafety_path).unwrap_or_default();
+        if on_disk != unsafety {
+            unsafety_stale = true;
+            let _ = writeln!(
+                report,
+                "STALE {}: regenerate with `cargo run -p xtask -- analyze --write-unsafety`",
+                unsafety_path.display()
+            );
+        }
+    }
+
+    // Ratchet mechanics (shared with the audit).
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in &findings {
+        *counts
+            .entry((f.unit.clone(), f.rule.to_string()))
+            .or_insert(0) += 1;
+    }
+    let ratchet_path = root.join(ANALYZE_RATCHET_FILE);
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+
+    if write_ratchet {
+        let r = Ratchet::from_counts(&counts);
+        std::fs::write(&ratchet_path, r.serialize_titled("analyze", "finding"))
+            .map_err(|e| format!("writing {}: {e}", ratchet_path.display()))?;
+        let total: usize = counts.values().sum();
+        let _ = writeln!(
+            report,
+            "analyze: scanned {} files, pinned {total} historical findings in {}",
+            files.len(),
+            ratchet_path.display()
+        );
+        return Ok(AnalyzeOutcome {
+            report,
+            regressions: 0,
+            improvements: 0,
+            unsafety_stale,
+        });
+    }
+
+    let pinned = Ratchet::load(&ratchet_path)?;
+    let mut keys: BTreeSet<(String, String)> = counts.keys().cloned().collect();
+    let units: BTreeSet<String> = files.iter().map(|f| f.unit.clone()).collect();
+    for unit in &units {
+        for rule in ANALYZE_RULES {
+            keys.insert((unit.clone(), rule.to_string()));
+        }
+    }
+    for (unit, rule) in &keys {
+        let found = counts
+            .get(&(unit.clone(), rule.clone()))
+            .copied()
+            .unwrap_or(0);
+        let pin = pinned.pinned(unit, rule);
+        if found > pin {
+            regressions += 1;
+            let _ = writeln!(
+                report,
+                "REGRESSION [{unit}/{rule}]: {found} finding(s) (ratchet pins {pin})"
+            );
+            for f in findings
+                .iter()
+                .filter(|f| f.unit == *unit && f.rule == *rule)
+            {
+                let _ = writeln!(report, "  {rule} {}:{} {}", f.rel_path, f.line, f.message);
+            }
+        } else if found < pin {
+            improvements += 1;
+            let _ = writeln!(
+                report,
+                "improved [{unit}/{rule}]: {found} finding(s) (ratchet pins {pin}) — \
+                 run `cargo run -p xtask -- analyze --write-ratchet` to lock in"
+            );
+        }
+    }
+
+    let total: usize = counts.values().sum();
+    let justified = sites.iter().filter(|s| s.justified).count();
+    let _ = writeln!(
+        report,
+        "analyze: scanned {} files, {} unsafe site(s) ({justified} justified), \
+         {total} ratcheted finding(s), {regressions} regression(s), {improvements} improvement(s)",
+        files.len(),
+        sites.len(),
+    );
+
+    Ok(AnalyzeOutcome {
+        report,
+        regressions,
+        improvements,
+        unsafety_stale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a throwaway mini-workspace under the system temp dir.
+    struct TempWorkspace {
+        root: PathBuf,
+    }
+
+    impl TempWorkspace {
+        fn new(tag: &str) -> Self {
+            let root =
+                std::env::temp_dir().join(format!("xtask-analyze-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            std::fs::create_dir_all(root.join("crates/demo/src")).unwrap();
+            Self { root }
+        }
+
+        fn write(&self, rel: &str, content: &str) {
+            let path = self.root.join(rel);
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(path, content).unwrap();
+        }
+    }
+
+    impl Drop for TempWorkspace {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.root);
+        }
+    }
+
+    fn run(ws: &TempWorkspace) -> AnalyzeOutcome {
+        run_analyze(&ws.root, false, false).unwrap()
+    }
+
+    fn run_written(ws: &TempWorkspace) -> AnalyzeOutcome {
+        // Write both artifacts, then verify the clean pass.
+        run_analyze(&ws.root, true, true).unwrap();
+        run(ws)
+    }
+
+    #[test]
+    fn unjustified_unsafe_block_flagged() {
+        let ws = TempWorkspace::new("block");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n",
+        );
+        let out = run(&ws);
+        assert!(!out.passed());
+        assert!(out.report.contains("unsafe-justify"), "{}", out.report);
+        assert!(out.report.contains("lib.rs:2"), "{}", out.report);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_inventory() {
+        let ws = TempWorkspace::new("justified");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "pub fn f(p: *mut u8) {\n    // SAFETY: caller passes a valid, exclusive pointer.\n    unsafe { *p = 0 };\n}\n",
+        );
+        let out = run_written(&ws);
+        assert!(out.passed(), "{}", out.report);
+        let md = std::fs::read_to_string(ws.root.join(UNSAFETY_FILE)).unwrap();
+        assert!(md.contains("unsafe block"));
+        assert!(md.contains("valid, exclusive pointer"));
+    }
+
+    #[test]
+    fn unsafe_fn_doc_safety_section_accepted() {
+        let ws = TempWorkspace::new("docfn");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "/// Does raw things.\n///\n/// # Safety\n/// `p` must be valid.\npub unsafe fn f(p: *mut u8) {\n    // SAFETY: contract forwarded from the caller.\n    unsafe { *p = 0 };\n}\n",
+        );
+        let out = run_written(&ws);
+        assert!(out.passed(), "{}", out.report);
+    }
+
+    #[test]
+    fn sendsync_impl_must_name_field() {
+        let ws = TempWorkspace::new("sendsync");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "pub struct Holder {\n    data: *mut u8,\n}\n// SAFETY: this is fine, trust me.\nunsafe impl Send for Holder {}\n",
+        );
+        let out = run(&ws);
+        assert!(
+            out.report.contains("sendsync-field"),
+            "justification names no field: {}",
+            out.report
+        );
+        // Naming the field fixes it.
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "pub struct Holder {\n    data: *mut u8,\n}\n// SAFETY: `data` is only dereferenced behind the owner's &mut.\nunsafe impl Send for Holder {}\n",
+        );
+        let out = run_written(&ws);
+        assert!(out.passed(), "{}", out.report);
+    }
+
+    #[test]
+    fn relaxed_store_needs_ordering_comment() {
+        let ws = TempWorkspace::new("relaxed");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "use std::sync::atomic::{AtomicU8, Ordering};\nstatic MODE: AtomicU8 = AtomicU8::new(0);\npub fn set(v: u8) {\n    MODE.store(v, Ordering::Relaxed);\n}\n",
+        );
+        let out = run(&ws);
+        assert!(out.report.contains("relaxed-publication"), "{}", out.report);
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "use std::sync::atomic::{AtomicU8, Ordering};\nstatic MODE: AtomicU8 = AtomicU8::new(0);\npub fn set(v: u8) {\n    // ordering: Relaxed is sound — the latch guards no other memory.\n    MODE.store(v, Ordering::Relaxed);\n}\n",
+        );
+        let out = run_written(&ws);
+        assert!(out.passed(), "{}", out.report);
+    }
+
+    #[test]
+    fn relaxed_counter_rmw_passes_without_comment() {
+        let ws = TempWorkspace::new("counter");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "use std::sync::atomic::{AtomicU64, Ordering};\npub struct C(AtomicU64);\nimpl C {\n    pub fn bump(&self) {\n        self.0.fetch_add(1, Ordering::Relaxed);\n    }\n    pub fn get(&self) -> u64 {\n        self.0.load(Ordering::Relaxed)\n    }\n}\n",
+        );
+        let out = run_written(&ws);
+        assert!(out.passed(), "{}", out.report);
+    }
+
+    #[test]
+    fn lock_order_cycle_fails() {
+        let ws = TempWorkspace::new("cycle");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\npub struct S {\n    a: Mutex<u32>,\n    b: Mutex<u32>,\n}\nimpl S {\n    pub fn ab(&self) {\n        let ga = self.a.lock();\n        let gb = self.b.lock();\n        drop(gb);\n        drop(ga);\n    }\n    pub fn ba(&self) {\n        let gb = self.b.lock();\n        let ga = self.a.lock();\n        drop(ga);\n        drop(gb);\n    }\n}\n",
+        );
+        let out = run(&ws);
+        assert!(out.report.contains("lock-order cycle"), "{}", out.report);
+        assert!(!out.passed());
+    }
+
+    #[test]
+    fn lock_order_cycle_through_call_graph() {
+        let ws = TempWorkspace::new("callcycle");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\nstatic A: Mutex<u32> = Mutex::new(0);\nstatic B: Mutex<u32> = Mutex::new(0);\npub fn takes_b() {\n    let g = B.lock();\n    drop(g);\n}\npub fn ab() {\n    let ga = A.lock();\n    takes_b();\n    drop(ga);\n}\npub fn ba() {\n    let gb = B.lock();\n    let ga = A.lock();\n    drop(ga);\n    drop(gb);\n}\n",
+        );
+        let out = run(&ws);
+        assert!(out.report.contains("lock-order cycle"), "{}", out.report);
+    }
+
+    #[test]
+    fn nested_leaf_discipline_is_acyclic() {
+        let ws = TempWorkspace::new("leaf");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\nstatic SLOT: Mutex<u32> = Mutex::new(0);\nstatic LEAF: Mutex<u32> = Mutex::new(0);\npub fn record() {\n    let g = LEAF.lock();\n    drop(g);\n}\npub fn dispatch() {\n    let g = SLOT.lock();\n    record();\n    drop(g);\n}\n",
+        );
+        let out = run_written(&ws);
+        assert!(out.passed(), "{}", out.report);
+        assert!(
+            out.report.contains("demo/SLOT -> demo/LEAF"),
+            "{}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn spawn_closure_call_does_not_edge() {
+        let ws = TempWorkspace::new("spawn");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\nstatic SLOT: Mutex<u32> = Mutex::new(0);\npub fn worker() {\n    let g = SLOT.lock();\n    drop(g);\n}\npub fn grow() {\n    let g = SLOT.lock();\n    std::thread::Builder::new().spawn(move || worker());\n    drop(g);\n}\n",
+        );
+        let out = run_written(&ws);
+        assert!(
+            out.passed(),
+            "spawned call must not self-edge: {}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn drop_releases_before_later_call() {
+        let ws = TempWorkspace::new("droprel");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "use std::sync::Mutex;\nstatic A: Mutex<u32> = Mutex::new(0);\nstatic B: Mutex<u32> = Mutex::new(0);\npub fn takes_b_then_a() {\n    let gb = B.lock();\n    drop(gb);\n    let ga = A.lock();\n    drop(ga);\n}\npub fn a_then_call() {\n    let ga = A.lock();\n    drop(ga);\n    takes_b_then_a();\n}\n",
+        );
+        let out = run_written(&ws);
+        assert!(
+            out.passed(),
+            "dropped guard creates no edge: {}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn stale_unsafety_report_fails() {
+        let ws = TempWorkspace::new("stale");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "pub fn f(p: *mut u8) {\n    // SAFETY: caller contract.\n    unsafe { *p = 0 };\n}\n",
+        );
+        run_analyze(&ws.root, true, true).unwrap();
+        // Add a second unsafe site without regenerating the report.
+        ws.write(
+            "crates/demo/src/extra.rs",
+            "pub fn g(p: *mut u8) {\n    // SAFETY: caller contract.\n    unsafe { *p = 1 };\n}\n",
+        );
+        let out = run(&ws);
+        assert!(out.unsafety_stale);
+        assert!(!out.passed());
+        assert!(out.report.contains("STALE"), "{}", out.report);
+    }
+
+    #[test]
+    fn ratchet_pins_historical_findings() {
+        let ws = TempWorkspace::new("ratchet");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n",
+        );
+        let wrote = run_analyze(&ws.root, true, true).unwrap();
+        assert_eq!(wrote.regressions, 0);
+        let out = run(&ws);
+        assert!(out.passed(), "pinned finding passes: {}", out.report);
+        // A second unjustified site regresses.
+        ws.write(
+            "crates/demo/src/extra.rs",
+            "pub fn g(p: *mut u8) {\n    unsafe { *p = 1 };\n}\n",
+        );
+        let out = run_analyze(&ws.root, false, true).unwrap();
+        assert!(!out.passed());
+        assert!(out.report.contains("REGRESSION"), "{}", out.report);
+    }
+
+    #[test]
+    fn analyze_allow_marker_suppresses() {
+        let ws = TempWorkspace::new("allow");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "pub fn f(p: *mut u8) {\n    // analyze: allow(unsafe-justify) — exhaustively reviewed in PR 2\n    unsafe { *p = 0 };\n}\n",
+        );
+        let out = run_written(&ws);
+        assert!(out.passed(), "{}", out.report);
+    }
+
+    #[test]
+    fn vendor_sources_are_scanned() {
+        let ws = TempWorkspace::new("vendor");
+        ws.write(
+            "vendor/engine/src/lib.rs",
+            "pub fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}\n",
+        );
+        let out = run(&ws);
+        assert!(
+            out.report.contains("REGRESSION [engine/unsafe-justify]"),
+            "{}",
+            out.report
+        );
+    }
+}

@@ -1,0 +1,339 @@
+//! Character-level Rust source lexer.
+//!
+//! The build environment has no access to crates.io, so `syn` is not an
+//! option; all xtask passes work on a lightweight per-line model instead.
+//! The lexer splits each physical line into a *code* part (string literals
+//! blanked out so their contents can't fake tokens or braces) and a
+//! *comment* part (where `audit: allow(..)` / `analyze: allow(..)` markers
+//! and `SAFETY:` justifications live), while tracking brace depth and
+//! `#[cfg(test)]` item extents across lines.
+//!
+//! Block structure (items, function bodies, call sites) is layered on top
+//! by [`crate::scanner`]; rule passes live in [`crate::rules`] (audit) and
+//! [`crate::analyze`] (concurrency soundness).
+
+/// One analyzed line of a source file.
+#[derive(Debug, Clone)]
+pub struct ScannedLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// Code with string/char literal contents blanked (quotes kept).
+    pub code: String,
+    /// Concatenated comment text on the line (line + block comments).
+    pub comment: String,
+    /// Brace depth at the *start* of the line.
+    pub depth_before: usize,
+    /// True when the line is inside a `#[cfg(test)]` item or a
+    /// `#[test]`-attributed function.
+    pub in_test_code: bool,
+}
+
+/// Whole-file scan result.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// All lines in order.
+    pub lines: Vec<ScannedLine>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    BlockComment,
+    Str,
+    RawStr(usize),
+}
+
+/// Splits source text into scanned lines. Handles line/block comments,
+/// plain and raw strings, char literals, and lifetime ticks well enough
+/// for lint-grade analysis (it does not need to be a full lexer).
+pub fn scan(source: &str) -> ScannedFile {
+    let mut lines = Vec::new();
+    let mut mode = Mode::Code;
+    let mut depth: usize = 0;
+    // Stack of depths at which a test item opened; we are in test code
+    // while the stack is non-empty.
+    let mut test_stack: Vec<usize> = Vec::new();
+    // A `#[cfg(test)]` / `#[test]` attribute seen, waiting for its item's
+    // opening brace.
+    let mut pending_test_attr = false;
+
+    for (idx, raw) in source.lines().enumerate() {
+        let depth_before = depth;
+        let in_test_at_start = !test_stack.is_empty();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut chars = raw.char_indices().peekable();
+
+        while let Some((i, c)) = chars.next() {
+            match mode {
+                Mode::BlockComment => {
+                    if c == '*' && matches!(chars.peek(), Some((_, '/'))) {
+                        chars.next();
+                        mode = Mode::Code;
+                    } else {
+                        comment.push(c);
+                    }
+                }
+                Mode::Str => {
+                    if c == '\\' {
+                        chars.next();
+                    } else if c == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if c == '"' {
+                        let rest = &raw[i + 1..];
+                        if rest.chars().take(hashes).filter(|&h| h == '#').count() == hashes {
+                            for _ in 0..hashes {
+                                chars.next();
+                            }
+                            code.push('"');
+                            mode = Mode::Code;
+                        }
+                    }
+                }
+                Mode::Code => match c {
+                    '/' if matches!(chars.peek(), Some((_, '/'))) => {
+                        comment.push_str(raw[i + 2..].trim_start_matches('/'));
+                        break;
+                    }
+                    '/' if matches!(chars.peek(), Some((_, '*'))) => {
+                        chars.next();
+                        mode = Mode::BlockComment;
+                    }
+                    '"' => {
+                        code.push('"');
+                        mode = Mode::Str;
+                    }
+                    'r' if matches!(chars.peek(), Some((_, '"')) | Some((_, '#'))) => {
+                        // Possible raw string r"..." or r#"..."#.
+                        let mut hashes = 0usize;
+                        let mut look = chars.clone();
+                        while matches!(look.peek(), Some((_, '#'))) {
+                            hashes += 1;
+                            look.next();
+                        }
+                        if matches!(look.peek(), Some((_, '"'))) {
+                            for _ in 0..=hashes {
+                                chars.next();
+                            }
+                            code.push('"');
+                            mode = Mode::RawStr(hashes);
+                        } else {
+                            code.push(c);
+                        }
+                    }
+                    '\'' => {
+                        // Char literal or lifetime. A char literal closes
+                        // within 4 chars; a lifetime has no closing quote.
+                        let mut look = chars.clone();
+                        let mut consumed = 0usize;
+                        let mut closed = false;
+                        while consumed < 4 {
+                            match look.next() {
+                                Some((_, '\\')) => {
+                                    look.next();
+                                    consumed += 2;
+                                }
+                                Some((_, '\'')) => {
+                                    closed = true;
+                                    consumed += 1;
+                                    break;
+                                }
+                                Some(_) => consumed += 1,
+                                None => break,
+                            }
+                        }
+                        if closed {
+                            for _ in 0..consumed {
+                                chars.next();
+                            }
+                            code.push_str("' '");
+                        } else {
+                            code.push('\'');
+                        }
+                    }
+                    '{' => {
+                        if pending_test_attr {
+                            test_stack.push(depth);
+                            pending_test_attr = false;
+                        }
+                        depth += 1;
+                        code.push(c);
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if test_stack.last() == Some(&depth) {
+                            test_stack.pop();
+                        }
+                        code.push(c);
+                    }
+                    _ => code.push(c),
+                },
+            }
+        }
+
+        let trimmed = code.trim();
+        if trimmed.starts_with("#[cfg(test)")
+            || trimmed.starts_with("#[test]")
+            || trimmed.starts_with("#[cfg(all(test")
+            || trimmed.starts_with("#[cfg(any(test")
+        {
+            pending_test_attr = true;
+        }
+
+        lines.push(ScannedLine {
+            number: idx + 1,
+            code,
+            comment,
+            depth_before,
+            in_test_code: in_test_at_start || !test_stack.is_empty() || pending_test_attr,
+        });
+    }
+
+    ScannedFile { lines }
+}
+
+/// True when `comment` carries an `audit: allow(<rule>)` or
+/// `analyze: allow(<rule>)` marker for the given rule.
+pub fn has_allow(comment: &str, rule: &str) -> bool {
+    for prefix in ["audit: allow(", "analyze: allow("] {
+        if let Some(pos) = comment.find(prefix) {
+            let rest = &comment[pos + prefix.len()..];
+            if rest.trim_start().starts_with(rule) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Joined text of the comment block directly above line `idx` (0-based),
+/// plus the comment on the line itself. The block extends upward through
+/// lines that are comment-only or attribute-only; a code line stops it.
+/// This is where `SAFETY:` / `ordering:` justifications are looked up.
+pub fn comment_context(file: &ScannedFile, idx: usize) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let above = &file.lines[j];
+        let t = above.code.trim();
+        let is_attr = t.starts_with("#[");
+        if !t.is_empty() && !is_attr {
+            break;
+        }
+        if !above.comment.is_empty() {
+            parts.push(&above.comment);
+        }
+        if t.is_empty() && above.comment.is_empty() {
+            // A fully blank line separates the site from unrelated prose.
+            break;
+        }
+    }
+    parts.reverse();
+    parts.push(&file.lines[idx].comment);
+    parts.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_blanked() {
+        let f = scan(r#"let s = "unwrap() inside {"; x.unwrap();"#);
+        assert!(!f.lines[0].code.contains("unwrap() inside"));
+        assert!(f.lines[0].code.contains("x.unwrap()"));
+        // Brace inside the string must not affect depth.
+        assert_eq!(f.lines[0].depth_before, 0);
+    }
+
+    #[test]
+    fn line_comments_captured() {
+        let f = scan("foo(); // audit: allow(panic-path) — justified\n");
+        assert!(f.lines[0].code.contains("foo()"));
+        assert!(has_allow(&f.lines[0].comment, "panic-path"));
+        assert!(!has_allow(&f.lines[0].comment, "float-eq"));
+    }
+
+    #[test]
+    fn analyze_allow_markers_recognized() {
+        let f = scan("foo(); // analyze: allow(lock-order) — escapes via spawn\n");
+        assert!(has_allow(&f.lines[0].comment, "lock-order"));
+        assert!(!has_allow(&f.lines[0].comment, "unsafe-justify"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let f = scan("a(); /* start\n middle unwrap()\n end */ b();");
+        assert!(f.lines[1].code.is_empty());
+        assert!(f.lines[1].comment.contains("unwrap"));
+        assert!(f.lines[2].code.contains("b()"));
+    }
+
+    #[test]
+    fn cfg_test_items_marked() {
+        let src = "\
+fn lib() {\n\
+    body();\n\
+}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    fn helper() {\n\
+        x.unwrap();\n\
+    }\n\
+}\n\
+fn lib2() {}\n";
+        let f = scan(src);
+        assert!(!f.lines[1].in_test_code, "lib body is not test code");
+        assert!(f.lines[6].in_test_code, "test body is test code");
+        assert!(!f.lines[9].in_test_code, "after test mod closes");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = scan("let c = '{'; fn f<'a>(x: &'a str) {}");
+        assert_eq!(f.lines[0].depth_before, 0);
+        // The '{' char literal must not have opened a scope: the brace
+        // from the fn body must balance back to zero by line end.
+        let g = scan("let c = '{';\nlet d = 1;");
+        assert_eq!(g.lines[1].depth_before, 0);
+    }
+
+    #[test]
+    fn raw_strings_blanked() {
+        let f = scan(r##"let s = r#"panic!( {{ "#; y();"##);
+        assert!(!f.lines[0].code.contains("panic!("));
+        assert!(f.lines[0].code.contains("y()"));
+    }
+
+    #[test]
+    fn comment_context_collects_block_above() {
+        let src = "\
+fn f() {\n\
+    // SAFETY: the slot is cleared before the frame\n\
+    // unwinds, so the borrow cannot dangle.\n\
+    unsafe { go() }\n\
+}\n";
+        let f = scan(src);
+        let ctx = comment_context(&f, 3);
+        assert!(ctx.contains("SAFETY:"));
+        assert!(ctx.contains("cannot dangle"));
+    }
+
+    #[test]
+    fn comment_context_stops_at_code_and_blank() {
+        let src = "\
+// unrelated prose about the module\n\
+\n\
+// SAFETY: relevant\n\
+unsafe { go() }\n";
+        let f = scan(src);
+        let ctx = comment_context(&f, 3);
+        assert!(ctx.contains("relevant"));
+        assert!(!ctx.contains("unrelated"));
+    }
+}

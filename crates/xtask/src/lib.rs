@@ -10,6 +10,9 @@
 //! crates.io access, so parsing is line-level ([`scanner`]) rather than
 //! `syn`-based.
 
+pub mod analyze;
+pub mod lexer;
+pub mod lockgraph;
 pub mod ratchet;
 pub mod rules;
 pub mod scanner;

@@ -1,0 +1,189 @@
+//! Lock-order graph with cycle detection.
+//!
+//! The lock-order pass (see [`crate::analyze`]) extracts `Mutex`/`RwLock`
+//! acquisition nesting per function, propagates it through the
+//! intra-workspace call graph, and records every "lock A held while lock
+//! B is acquired" pair as a directed edge here. A cycle in this graph is
+//! a potential deadlock: two threads can acquire the participating locks
+//! in opposite orders. The workspace discipline (obs registry lock is a
+//! *leaf*: taken last, never held across a call back into the pool) shows
+//! up as an acyclic graph — this module turns that comment into a checked
+//! invariant.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Directed graph over lock names with per-edge provenance.
+#[derive(Debug, Default)]
+pub struct LockGraph {
+    edges: BTreeMap<String, BTreeSet<String>>,
+    /// First provenance recorded per (from, to): `fn name @ path:line`.
+    provenance: BTreeMap<(String, String), String>,
+}
+
+impl LockGraph {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `from` held while `to` is acquired; `why` is a
+    /// human-readable provenance string (first writer wins).
+    pub fn add_edge(&mut self, from: &str, to: &str, why: String) {
+        self.edges
+            .entry(from.to_string())
+            .or_default()
+            .insert(to.to_string());
+        // Make sure `to` exists as a node even if it has no out-edges.
+        self.edges.entry(to.to_string()).or_default();
+        self.provenance
+            .entry((from.to_string(), to.to_string()))
+            .or_insert(why);
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+
+    /// All edges in deterministic order, with provenance.
+    pub fn edges(&self) -> impl Iterator<Item = (&str, &str, &str)> {
+        self.edges.iter().flat_map(move |(from, tos)| {
+            tos.iter().map(move |to| {
+                let why = self
+                    .provenance
+                    .get(&(from.clone(), to.clone()))
+                    .map(|s| s.as_str())
+                    .unwrap_or("");
+                (from.as_str(), to.as_str(), why)
+            })
+        })
+    }
+
+    /// Finds a cycle if one exists, returned as the lock sequence
+    /// `[a, b, .., a]` (first element repeated at the end). Deterministic:
+    /// DFS in sorted node order.
+    pub fn find_cycle(&self) -> Option<Vec<String>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: BTreeMap<&str, Color> = self
+            .edges
+            .keys()
+            .map(|k| (k.as_str(), Color::White))
+            .collect();
+
+        // Iterative DFS keeping the gray path for cycle reconstruction.
+        for root in self.edges.keys() {
+            if color[root.as_str()] != Color::White {
+                continue;
+            }
+            // Stack of (node, out-edge iterator position).
+            let mut path: Vec<&str> = vec![root.as_str()];
+            let mut iters: Vec<std::collections::btree_set::Iter<'_, String>> =
+                vec![self.edges[root.as_str()].iter()];
+            color.insert(root.as_str(), Color::Gray);
+            while let Some(it) = iters.last_mut() {
+                match it.next() {
+                    Some(next) => match color[next.as_str()] {
+                        Color::Gray => {
+                            // Found a back edge: slice the gray path from
+                            // the first occurrence of `next`.
+                            let start = path.iter().position(|&n| n == next.as_str()).unwrap_or(0);
+                            let mut cycle: Vec<String> =
+                                path[start..].iter().map(|s| s.to_string()).collect();
+                            cycle.push(next.clone());
+                            return Some(cycle);
+                        }
+                        Color::White => {
+                            color.insert(next.as_str(), Color::Gray);
+                            path.push(next.as_str());
+                            iters.push(self.edges[next.as_str()].iter());
+                        }
+                        Color::Black => {}
+                    },
+                    None => {
+                        // `path` and `iters` are pushed/popped in lockstep,
+                        // so a drained iterator always has a path entry.
+                        if let Some(done) = path.pop() {
+                            color.insert(done, Color::Black);
+                        }
+                        iters.pop();
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Renders the full edge list (for the analyze report / DESIGN docs).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (from, to, why) in self.edges() {
+            let _ = writeln!(out, "  {from} -> {to}    [{why}]");
+        }
+        out
+    }
+
+    /// Provenance for an edge, if recorded.
+    pub fn why(&self, from: &str, to: &str) -> Option<&str> {
+        self.provenance
+            .get(&(from.to_string(), to.to_string()))
+            .map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_has_no_cycle() {
+        let mut g = LockGraph::new();
+        g.add_edge("slot", "panic", "dispatch @ pool.rs:295".into());
+        g.add_edge("slot", "obs/inner", "worker_loop @ pool.rs:196".into());
+        assert!(g.find_cycle().is_none());
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn two_lock_cycle_detected() {
+        let mut g = LockGraph::new();
+        g.add_edge("a", "b", "f".into());
+        g.add_edge("b", "a", "g".into());
+        let cycle = g.find_cycle().expect("cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        assert!(cycle.len() >= 3, "cycle path repeats its head: {cycle:?}");
+    }
+
+    #[test]
+    fn self_edge_is_a_cycle() {
+        let mut g = LockGraph::new();
+        g.add_edge("slot", "slot", "re-entry".into());
+        let cycle = g.find_cycle().expect("self-deadlock");
+        assert_eq!(cycle, vec!["slot".to_string(), "slot".to_string()]);
+    }
+
+    #[test]
+    fn longer_cycle_through_chain() {
+        let mut g = LockGraph::new();
+        g.add_edge("a", "b", "1".into());
+        g.add_edge("b", "c", "2".into());
+        g.add_edge("c", "a", "3".into());
+        g.add_edge("z", "a", "4".into());
+        let cycle = g.find_cycle().expect("cycle");
+        assert_eq!(cycle.first(), cycle.last());
+        assert_eq!(cycle.len(), 4);
+    }
+
+    #[test]
+    fn provenance_kept_first_writer_wins() {
+        let mut g = LockGraph::new();
+        g.add_edge("a", "b", "first".into());
+        g.add_edge("a", "b", "second".into());
+        assert_eq!(g.why("a", "b"), Some("first"));
+        assert!(g.render().contains("a -> b"));
+    }
+}

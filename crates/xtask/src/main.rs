@@ -1,29 +1,36 @@
-//! CLI entry point: `cargo run -p xtask -- audit [--write-ratchet]`.
+//! CLI entry point: `cargo run -p xtask -- <audit|analyze> [flags]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: cargo run -p xtask -- audit [--write-ratchet] [--root <dir>]
+usage: cargo run -p xtask -- <audit|analyze> [flags]
 
 subcommands:
   audit            run the workspace static-analysis rules against the
                    ratchet file (audit.ratchet); exits non-zero on any
                    (crate, rule) count above its pin
+  analyze          run the concurrency-soundness analyses (unsafe
+                   inventory, atomic-ordering lint, lock-order deadlock
+                   detection, Send/Sync audit) against analyze.ratchet
+                   and verify UNSAFETY.md is current
 options:
-  --write-ratchet  pin the current violation counts as the new baseline
+  --write-ratchet  pin the current counts as the new baseline
+  --write-unsafety regenerate UNSAFETY.md (analyze only)
   --root <dir>     repo root (default: the workspace containing xtask)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut write_ratchet = false;
+    let mut write_unsafety = false;
     let mut root: Option<PathBuf> = None;
     let mut subcommand: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--write-ratchet" => write_ratchet = true,
+            "--write-unsafety" => write_unsafety = true,
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -45,28 +52,42 @@ fn main() -> ExitCode {
         }
     }
 
-    match subcommand.as_deref() {
-        Some("audit") => {}
-        _ => {
-            eprintln!("{USAGE}");
-            return ExitCode::from(2);
-        }
-    }
-
     // xtask lives at <root>/crates/xtask.
     let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
 
-    match xtask::run_audit(&root, write_ratchet) {
-        Ok(outcome) => {
-            print!("{}", outcome.report);
-            if outcome.passed() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
+    match subcommand.as_deref() {
+        Some("audit") => match xtask::run_audit(&root, write_ratchet) {
+            Ok(outcome) => {
+                print!("{}", outcome.report);
+                if outcome.passed() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("audit error: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Some("analyze") => {
+            match xtask::analyze::run_analyze(&root, write_ratchet, write_unsafety) {
+                Ok(outcome) => {
+                    print!("{}", outcome.report);
+                    if outcome.passed() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("analyze error: {e}");
+                    ExitCode::from(2)
+                }
             }
         }
-        Err(e) => {
-            eprintln!("audit error: {e}");
+        _ => {
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }

@@ -72,13 +72,20 @@ impl Ratchet {
         }
     }
 
-    /// Serializes to the on-disk format.
+    /// Serializes to the on-disk format with the audit header.
     pub fn serialize(&self) -> String {
-        let mut out = String::from(
-            "# Audit ratchet: pinned violation counts per (crate, rule).\n\
-             # The audit fails when a count rises above its pin. Regenerate\n\
-             # with `cargo run -p xtask -- audit --write-ratchet` after\n\
-             # removing violations so the lower counts become the new pins.\n",
+        self.serialize_titled("audit", "violation")
+    }
+
+    /// Serializes to the on-disk format. `pass` is the xtask subcommand
+    /// that owns the file (`audit` / `analyze`); `noun` names what is
+    /// counted (`violation` / `finding`).
+    pub fn serialize_titled(&self, pass: &str, noun: &str) -> String {
+        let mut out = format!(
+            "# {pass} ratchet: pinned {noun} counts per (unit, rule).\n\
+             # The {pass} pass fails when a count rises above its pin. Regenerate\n\
+             # with `cargo run -p xtask -- {pass} --write-ratchet` after\n\
+             # removing {noun}s so the lower counts become the new pins.\n",
         );
         for ((krate, rule), count) in &self.entries {
             let _ = writeln!(out, "{krate} {rule} {count}");

@@ -6,7 +6,7 @@
 //! ratchet (see [`crate::ratchet`]): counts at or below the pinned value
 //! pass, anything above fails with file:line detail.
 
-use crate::scanner::{has_allow, scan, ScannedFile};
+use crate::lexer::{has_allow, scan, ScannedFile};
 
 /// All rules, in reporting order.
 pub const ALL_RULES: [Rule; 5] = [

@@ -1,269 +1,457 @@
-//! Line-level Rust source scanner.
+//! Block-structure parser on top of [`crate::lexer`].
 //!
-//! The build environment has no access to crates.io, so `syn` is not an
-//! option; the audit works on a lightweight per-line model instead. The
-//! scanner splits each physical line into a *code* part (string literals
-//! blanked out so their contents can't fake tokens or braces) and a
-//! *comment* part (where `audit: allow(..)` markers live), while tracking
-//! brace depth and `#[cfg(test)]` item extents across lines.
+//! Where the lexer models a file as independent annotated lines, this
+//! layer recovers the item structure lint passes need: brace-matched
+//! function bodies (`fn` name, signature line, body extent), call sites
+//! within a body (for the intra-workspace call graph), and struct field
+//! inventories (for the Send/Sync field-argument audit). It is still
+//! heuristic — no type resolution, names are matched textually — but every
+//! consumer is a lint with an allowlist escape hatch, so a rare
+//! misclassification costs a comment, not a build.
 
-/// One analyzed line of a source file.
+use crate::lexer::{scan, ScannedFile};
+use std::collections::BTreeMap;
+
+/// Re-exported lexer surface so existing rule passes keep one import path.
+pub use crate::lexer::{comment_context, has_allow};
+
+/// A brace-matched function item.
 #[derive(Debug, Clone)]
-pub struct ScannedLine {
-    /// 1-based line number.
-    pub number: usize,
-    /// Code with string/char literal contents blanked (quotes kept).
-    pub code: String,
-    /// Concatenated comment text on the line (line + block comments).
-    pub comment: String,
-    /// Brace depth at the *start* of the line.
-    pub depth_before: usize,
-    /// True when the line is inside a `#[cfg(test)]` item or a
-    /// `#[test]`-attributed function.
+pub struct Function {
+    /// Bare function name (no path, no generics).
+    pub name: String,
+    /// 0-based index of the signature line.
+    pub start: usize,
+    /// 0-based index one past the last body line (start == end for
+    /// body-less trait method declarations).
+    pub end: usize,
+    /// Brace depth of the signature line.
+    pub depth: usize,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Inside `#[cfg(test)]` / `#[test]` code.
     pub in_test_code: bool,
 }
 
-/// Whole-file scan result.
+/// One `ident(` call position inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Last path segment of the callee (`hicond_obs::counter_add` →
+    /// `counter_add`).
+    pub callee: String,
+    /// 0-based line index.
+    pub line_idx: usize,
+    /// Byte offset of the callee within the line's code.
+    pub col: usize,
+    /// Called with method syntax (`recv.callee(..)`).
+    pub is_method: bool,
+    /// First path segment for qualified calls (`hicond_obs::counter_add(`
+    /// → `hicond_obs`, `crate::lexer::scan(` → `crate`); `None` for
+    /// unqualified and method calls, or when the path head is not a plain
+    /// identifier (`<T as Trait>::f(`).
+    pub qualifier: Option<String>,
+    /// The call occurs syntactically inside a `spawn(..)` argument on the
+    /// same line: the closure runs on another thread, so locks held at
+    /// the call site are *not* held around the callee.
+    pub escapes_via_spawn: bool,
+}
+
+/// A file parsed to item structure.
 #[derive(Debug)]
-pub struct ScannedFile {
-    /// All lines in order.
-    pub lines: Vec<ScannedLine>,
+pub struct ParsedFile {
+    /// The underlying line scan.
+    pub scanned: ScannedFile,
+    /// All function items, in source order.
+    pub functions: Vec<Function>,
 }
 
-#[derive(Clone, Copy, PartialEq)]
-enum Mode {
-    Code,
-    BlockComment,
-    Str,
-    RawStr(usize),
+/// Parses `source` into line scan + item structure.
+pub fn parse(source: &str) -> ParsedFile {
+    let scanned = scan(source);
+    let functions = find_functions(&scanned);
+    ParsedFile { scanned, functions }
 }
 
-/// Splits source text into scanned lines. Handles line/block comments,
-/// plain and raw strings, char literals, and lifetime ticks well enough
-/// for lint-grade analysis (it does not need to be a full lexer).
-pub fn scan(source: &str) -> ScannedFile {
-    let mut lines = Vec::new();
-    let mut mode = Mode::Code;
-    let mut depth: usize = 0;
-    // Stack of depths at which a test item opened; we are in test code
-    // while the stack is non-empty.
-    let mut test_stack: Vec<usize> = Vec::new();
-    // A `#[cfg(test)]` / `#[test]` attribute seen, waiting for its item's
-    // opening brace.
-    let mut pending_test_attr = false;
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
 
-    for (idx, raw) in source.lines().enumerate() {
-        let depth_before = depth;
-        let in_test_at_start = !test_stack.is_empty();
-        let mut code = String::with_capacity(raw.len());
-        let mut comment = String::new();
-        let mut chars = raw.char_indices().peekable();
+/// Locates `fn ` keyword occurrences that start a function item (not the
+/// `Fn(..)` trait, not part of an identifier).
+fn fn_keyword_positions(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find("fn ") {
+        let abs = from + pos;
+        let prev_ok = abs == 0 || !is_ident_char(bytes[abs - 1]);
+        let next = bytes.get(abs + 3).copied().unwrap_or(b' ');
+        if prev_ok && (next.is_ascii_lowercase() || next == b'_') {
+            out.push(abs);
+        }
+        from = abs + 3;
+    }
+    out
+}
 
-        while let Some((i, c)) = chars.next() {
-            match mode {
-                Mode::BlockComment => {
-                    if c == '*' && matches!(chars.peek(), Some((_, '/'))) {
-                        chars.next();
-                        mode = Mode::Code;
-                    } else {
-                        comment.push(c);
+fn find_functions(file: &ScannedFile) -> Vec<Function> {
+    let n = file.lines.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let line = &file.lines[i];
+        for pos in fn_keyword_positions(&line.code) {
+            let rest = &line.code[pos + 3..];
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            let before = &line.code[..pos];
+            let is_unsafe = before.contains("unsafe");
+            let (end, _opened) = body_extent(file, i);
+            out.push(Function {
+                name,
+                start: i,
+                end,
+                depth: line.depth_before,
+                is_unsafe,
+                in_test_code: line.in_test_code,
+            });
+            break; // one fn item per line is enough for lint purposes
+        }
+    }
+    out
+}
+
+/// Scans forward from the signature line to the end of the body: the
+/// first line after the body opened whose start depth returns to the
+/// signature depth. Body-less declarations (trait methods ending in `;`)
+/// get `end == start + 1`.
+fn body_extent(file: &ScannedFile, start: usize) -> (usize, bool) {
+    let n = file.lines.len();
+    let fn_depth = file.lines[start].depth_before;
+    let mut opened = false;
+    let mut k = start;
+    while k < n {
+        let b = &file.lines[k];
+        if opened && b.depth_before <= fn_depth {
+            return (k, true);
+        }
+        if b.code.contains('{') {
+            opened = true;
+        }
+        if !opened && b.code.contains(';') {
+            return (k + 1, false);
+        }
+        k += 1;
+    }
+    (n, opened)
+}
+
+/// Rust keywords and control constructs that look like calls (`if (..)`)
+/// but are not.
+const NON_CALLEES: [&str; 18] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "as", "in", "move", "unsafe", "let",
+    "else", "impl", "pub", "use", "where", "break",
+];
+
+/// Extracts call sites within `func`'s body (signature line included —
+/// default-argument expressions don't exist in Rust, so anything on the
+/// signature line is a where-clause artifact and harmless).
+pub fn call_sites_in(file: &ScannedFile, func: &Function) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for idx in func.start..func.end.min(file.lines.len()) {
+        let code = &file.lines[idx].code;
+        let bytes = code.as_bytes();
+        let spawn_pos = code.find("spawn(");
+        let mut i = 0;
+        while i < bytes.len() {
+            if !is_ident_char(bytes[i]) {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < bytes.len() && is_ident_char(bytes[i]) {
+                i += 1;
+            }
+            // Skip whitespace between ident and `(`; reject `ident!(`
+            // (macro) and `ident::<..>(` turbofish is kept simple: the
+            // segment before `::<` was already consumed as an ident, the
+            // final segment is what we see here.
+            let mut j = i;
+            while j < bytes.len() && bytes[j] == b' ' {
+                j += 1;
+            }
+            if j >= bytes.len() || bytes[j] != b'(' {
+                continue;
+            }
+            let name = &code[start..i];
+            if bytes[start].is_ascii_digit() || NON_CALLEES.contains(&name) {
+                continue;
+            }
+            // `fn f(..)` on the signature line is a declaration, not a call.
+            if start >= 3
+                && &code[start - 3..start] == "fn "
+                && (start == 3 || !is_ident_char(bytes[start - 4]))
+            {
+                continue;
+            }
+            let is_method = start > 0 && bytes[start - 1] == b'.';
+            // Walk `a::b::callee(` back to the path head.
+            let mut qualifier = None;
+            let mut qpos = start;
+            while qpos >= 2 && bytes[qpos - 2] == b':' && bytes[qpos - 1] == b':' {
+                let mut s = qpos - 2;
+                while s > 0 && is_ident_char(bytes[s - 1]) {
+                    s -= 1;
+                }
+                if s == qpos - 2 {
+                    qualifier = None; // `>::f(`, `)::f(`: not a plain path
+                    break;
+                }
+                qualifier = Some(code[s..qpos - 2].to_string());
+                qpos = s;
+            }
+            let escapes = spawn_pos.is_some_and(|sp| start > sp) && name != "spawn";
+            out.push(CallSite {
+                callee: name.to_string(),
+                line_idx: idx,
+                col: start,
+                is_method,
+                qualifier,
+                escapes_via_spawn: escapes,
+            });
+        }
+    }
+    out
+}
+
+/// Collects struct field inventories: struct name → tokens naming its
+/// fields (named structs: the field identifiers; tuple structs: the
+/// identifier tokens of the field types, e.g. `*mut T` → `mut`, `T`).
+/// Used by the Send/Sync audit to check that an `unsafe impl`'s SAFETY
+/// comment argues about the actual payload.
+pub fn struct_fields(file: &ScannedFile) -> BTreeMap<String, Vec<String>> {
+    let mut out = BTreeMap::new();
+    let n = file.lines.len();
+    for i in 0..n {
+        let code = &file.lines[i].code;
+        let Some(pos) = find_struct_keyword(code) else {
+            continue;
+        };
+        let rest = &code[pos + "struct ".len()..];
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        let after_name = &rest[name.len()..];
+        let mut fields: Vec<String> = Vec::new();
+        if let Some(paren) = after_name.find('(') {
+            // Tuple struct: one-line declaration is the only form this
+            // workspace uses; take ident tokens inside the parens.
+            let inner: String = after_name[paren + 1..]
+                .chars()
+                .take_while(|c| *c != ')')
+                .collect();
+            fields.extend(ident_tokens(&inner));
+        } else if after_name.contains(';') {
+            // Unit struct: no fields.
+        } else {
+            // Brace struct: field names are `ident:` at body depth until
+            // the matching close.
+            let depth = file.lines[i].depth_before;
+            let mut k = i + 1;
+            while k < n && file.lines[k].depth_before > depth {
+                let lc = &file.lines[k].code;
+                if let Some(colon) = lc.find(':') {
+                    let head = lc[..colon].trim();
+                    let fname: String = head
+                        .rsplit(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                        .next()
+                        .unwrap_or("")
+                        .to_string();
+                    if !fname.is_empty()
+                        && !fname.chars().next().is_some_and(|c| c.is_ascii_digit())
+                    {
+                        fields.push(fname);
                     }
                 }
-                Mode::Str => {
-                    if c == '\\' {
-                        chars.next();
-                    } else if c == '"' {
-                        code.push('"');
-                        mode = Mode::Code;
-                    }
-                }
-                Mode::RawStr(hashes) => {
-                    if c == '"' {
-                        let rest = &raw[i + 1..];
-                        if rest.chars().take(hashes).filter(|&h| h == '#').count() == hashes {
-                            for _ in 0..hashes {
-                                chars.next();
-                            }
-                            code.push('"');
-                            mode = Mode::Code;
-                        }
-                    }
-                }
-                Mode::Code => match c {
-                    '/' if matches!(chars.peek(), Some((_, '/'))) => {
-                        comment.push_str(raw[i + 2..].trim_start_matches('/'));
-                        break;
-                    }
-                    '/' if matches!(chars.peek(), Some((_, '*'))) => {
-                        chars.next();
-                        mode = Mode::BlockComment;
-                    }
-                    '"' => {
-                        code.push('"');
-                        mode = Mode::Str;
-                    }
-                    'r' if matches!(chars.peek(), Some((_, '"')) | Some((_, '#'))) => {
-                        // Possible raw string r"..." or r#"..."#.
-                        let mut hashes = 0usize;
-                        let mut look = chars.clone();
-                        while matches!(look.peek(), Some((_, '#'))) {
-                            hashes += 1;
-                            look.next();
-                        }
-                        if matches!(look.peek(), Some((_, '"'))) {
-                            for _ in 0..=hashes {
-                                chars.next();
-                            }
-                            code.push('"');
-                            mode = Mode::RawStr(hashes);
-                        } else {
-                            code.push(c);
-                        }
-                    }
-                    '\'' => {
-                        // Char literal or lifetime. A char literal closes
-                        // within 4 chars; a lifetime has no closing quote.
-                        let mut look = chars.clone();
-                        let mut consumed = 0usize;
-                        let mut closed = false;
-                        while consumed < 4 {
-                            match look.next() {
-                                Some((_, '\\')) => {
-                                    look.next();
-                                    consumed += 2;
-                                }
-                                Some((_, '\'')) => {
-                                    closed = true;
-                                    consumed += 1;
-                                    break;
-                                }
-                                Some(_) => consumed += 1,
-                                None => break,
-                            }
-                        }
-                        if closed {
-                            for _ in 0..consumed {
-                                chars.next();
-                            }
-                            code.push_str("' '");
-                        } else {
-                            code.push('\'');
-                        }
-                    }
-                    '{' => {
-                        if pending_test_attr {
-                            test_stack.push(depth);
-                            pending_test_attr = false;
-                        }
-                        depth += 1;
-                        code.push(c);
-                    }
-                    '}' => {
-                        depth = depth.saturating_sub(1);
-                        if test_stack.last() == Some(&depth) {
-                            test_stack.pop();
-                        }
-                        code.push(c);
-                    }
-                    _ => code.push(c),
-                },
+                k += 1;
             }
         }
-
-        let trimmed = code.trim();
-        if trimmed.starts_with("#[cfg(test)")
-            || trimmed.starts_with("#[test]")
-            || trimmed.starts_with("#[cfg(all(test")
-            || trimmed.starts_with("#[cfg(any(test")
-        {
-            pending_test_attr = true;
-        }
-
-        lines.push(ScannedLine {
-            number: idx + 1,
-            code,
-            comment,
-            depth_before,
-            in_test_code: in_test_at_start || !test_stack.is_empty() || pending_test_attr,
-        });
+        out.insert(name, fields);
     }
-
-    ScannedFile { lines }
+    out
 }
 
-/// True when `comment` carries an `audit: allow(<rule>)` marker.
-pub fn has_allow(comment: &str, rule: &str) -> bool {
-    comment
-        .find("audit: allow(")
-        .map(|pos| {
-            let rest = &comment[pos + "audit: allow(".len()..];
-            rest.trim_start().starts_with(rule)
-        })
-        .unwrap_or(false)
+fn find_struct_keyword(code: &str) -> Option<usize> {
+    let pos = code.find("struct ")?;
+    let bytes = code.as_bytes();
+    let prev_ok = pos == 0 || !is_ident_char(bytes[pos.saturating_sub(1)]);
+    prev_ok.then_some(pos)
+}
+
+fn ident_tokens(s: &str) -> Vec<String> {
+    s.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty() && !t.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .map(|t| t.to_string())
+        .collect()
+}
+
+/// Convenience wrapper retained for the audit rules: line scan only.
+pub fn scan_lines(source: &str) -> ScannedFile {
+    scan(source)
+}
+
+/// The token (identifier or `self`/`)`) directly before `.method(` at
+/// byte position `dot` (the `.`). Used to name lock acquisitions:
+/// `pool.slot.lock()` → `slot`, `self.inner.lock()` → `inner`,
+/// `self.lock()` → `self`.
+pub fn receiver_token(code: &str, dot: usize) -> &str {
+    let bytes = code.as_bytes();
+    if dot == 0 {
+        return "";
+    }
+    let mut end = dot;
+    let mut start = end;
+    while start > 0 && is_ident_char(bytes[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        // Non-ident receiver (e.g. `)`); report the single char.
+        start = end.saturating_sub(1);
+        end = dot;
+    }
+    &code[start..end]
+}
+
+/// Line text helpers shared by passes: true when a line is inside any of
+/// the functions, returning the innermost (deepest-starting) one.
+pub fn enclosing_function<'a>(functions: &'a [Function], line_idx: usize) -> Option<&'a Function> {
+    functions
+        .iter()
+        .filter(|f| f.start <= line_idx && line_idx < f.end)
+        .max_by_key(|f| f.start)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn strings_are_blanked() {
-        let f = scan(r#"let s = "unwrap() inside {"; x.unwrap();"#);
-        assert!(!f.lines[0].code.contains("unwrap() inside"));
-        assert!(f.lines[0].code.contains("x.unwrap()"));
-        // Brace inside the string must not affect depth.
-        assert_eq!(f.lines[0].depth_before, 0);
-    }
-
-    #[test]
-    fn line_comments_captured() {
-        let f = scan("foo(); // audit: allow(panic-path) — justified\n");
-        assert!(f.lines[0].code.contains("foo()"));
-        assert!(has_allow(&f.lines[0].comment, "panic-path"));
-        assert!(!has_allow(&f.lines[0].comment, "float-eq"));
-    }
-
-    #[test]
-    fn block_comments_span_lines() {
-        let f = scan("a(); /* start\n middle unwrap()\n end */ b();");
-        assert!(f.lines[1].code.is_empty());
-        assert!(f.lines[1].comment.contains("unwrap"));
-        assert!(f.lines[2].code.contains("b()"));
-    }
-
-    #[test]
-    fn cfg_test_items_marked() {
-        let src = "\
-fn lib() {\n\
-    body();\n\
+    const SRC: &str = "\
+struct Pool {\n\
+    slot: Mutex<Slot>,\n\
+    panic: Mutex<Option<u32>>,\n\
 }\n\
-#[cfg(test)]\n\
-mod tests {\n\
-    fn helper() {\n\
-        x.unwrap();\n\
+struct SendPtr<T>(*mut T);\n\
+impl Pool {\n\
+    fn dispatch(&self, n: usize) -> bool {\n\
+        let mut slot = self.slot.lock();\n\
+        helper(n);\n\
+        true\n\
     }\n\
 }\n\
-fn lib2() {}\n";
-        let f = scan(src);
-        assert!(!f.lines[1].in_test_code, "lib body is not test code");
-        assert!(f.lines[6].in_test_code, "test body is test code");
-        assert!(!f.lines[9].in_test_code, "after test mod closes");
+fn helper(n: usize) {\n\
+    format!(\"x{n}\");\n\
+    std::thread::Builder::new().spawn(move || worker_loop(n));\n\
+}\n\
+unsafe fn erase(x: u32) -> u32 {\n\
+    x\n\
+}\n";
+
+    #[test]
+    fn functions_found_with_extents() {
+        let p = parse(SRC);
+        let names: Vec<&str> = p.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["dispatch", "helper", "erase"]);
+        let dispatch = &p.functions[0];
+        assert_eq!(dispatch.start, 6);
+        assert_eq!(
+            dispatch.end, 11,
+            "exclusive end lands after the closing brace line"
+        );
+        assert!(!dispatch.is_unsafe);
+        assert!(p.functions[2].is_unsafe);
     }
 
     #[test]
-    fn char_literals_and_lifetimes() {
-        let f = scan("let c = '{'; fn f<'a>(x: &'a str) {}");
-        assert_eq!(f.lines[0].depth_before, 0);
-        // The '{' char literal must not have opened a scope: the brace
-        // from the fn body must balance back to zero by line end.
-        let g = scan("let c = '{';\nlet d = 1;");
-        assert_eq!(g.lines[1].depth_before, 0);
+    fn call_sites_extracted_and_macros_skipped() {
+        let p = parse(SRC);
+        let helper = p.functions.iter().find(|f| f.name == "helper").unwrap();
+        let calls = call_sites_in(&p.scanned, helper);
+        let names: Vec<&str> = calls.iter().map(|c| c.callee.as_str()).collect();
+        assert!(names.contains(&"worker_loop"));
+        assert!(!names.contains(&"format"), "macro call must be skipped");
     }
 
     #[test]
-    fn raw_strings_blanked() {
-        let f = scan(r##"let s = r#"panic!( {{ "#; y();"##);
-        assert!(!f.lines[0].code.contains("panic!("));
-        assert!(f.lines[0].code.contains("y()"));
+    fn spawn_argument_calls_marked_escaping() {
+        let p = parse(SRC);
+        let helper = p.functions.iter().find(|f| f.name == "helper").unwrap();
+        let calls = call_sites_in(&p.scanned, helper);
+        let wl = calls.iter().find(|c| c.callee == "worker_loop").unwrap();
+        assert!(wl.escapes_via_spawn);
+        let new_call = calls.iter().find(|c| c.callee == "new").unwrap();
+        assert!(!new_call.escapes_via_spawn, "call before spawn( is normal");
+    }
+
+    #[test]
+    fn struct_fields_named_and_tuple() {
+        let p = parse(SRC);
+        let fields = struct_fields(&p.scanned);
+        assert_eq!(fields["Pool"], vec!["slot", "panic"]);
+        assert!(fields["SendPtr"].contains(&"T".to_string()));
+        assert!(fields["SendPtr"].contains(&"mut".to_string()));
+    }
+
+    #[test]
+    fn receiver_token_names_locks() {
+        let code = "let g = self.slot.lock();";
+        let dot = code.find(".lock").unwrap();
+        assert_eq!(receiver_token(code, dot), "slot");
+        let code2 = "let g = self.lock();";
+        let dot2 = code2.find(".lock").unwrap();
+        assert_eq!(receiver_token(code2, dot2), "self");
+    }
+
+    #[test]
+    fn enclosing_function_innermost() {
+        let p = parse(SRC);
+        assert_eq!(
+            enclosing_function(&p.functions, 8).unwrap().name,
+            "dispatch"
+        );
+        assert!(enclosing_function(&p.functions, 4).is_none());
+    }
+
+    #[test]
+    fn path_qualifiers_extracted() {
+        let p = parse(
+            "fn f() {\n    hicond_obs::counter_add(\"k\", 1);\n    crate::lexer::scan(src);\n    plain(1);\n    recv.method(2);\n}\n",
+        );
+        let calls = call_sites_in(&p.scanned, &p.functions[0]);
+        let by_name = |n: &str| calls.iter().find(|c| c.callee == n).unwrap();
+        assert_eq!(
+            by_name("counter_add").qualifier.as_deref(),
+            Some("hicond_obs")
+        );
+        assert_eq!(by_name("scan").qualifier.as_deref(), Some("crate"));
+        assert_eq!(by_name("plain").qualifier, None);
+        assert_eq!(by_name("method").qualifier, None);
+        assert!(by_name("method").is_method);
+    }
+
+    #[test]
+    fn control_keywords_not_calls() {
+        let p = parse("fn f(x: u32) {\n    if (x > 0) {\n        g(x);\n    }\n}\n");
+        let f = &p.functions[0];
+        let calls = call_sites_in(&p.scanned, f);
+        let names: Vec<&str> = calls.iter().map(|c| c.callee.as_str()).collect();
+        assert_eq!(names, vec!["g"]);
     }
 }

@@ -15,6 +15,9 @@ cargo fmt --all -- --check
 step "xtask audit (ratcheted static analysis)"
 cargo run -p xtask --offline -q -- audit
 
+step "xtask analyze (concurrency soundness: unsafe inventory, atomics, lock order)"
+cargo run -p xtask --offline -q -- analyze
+
 step "cargo build --release --offline"
 cargo build --release --offline --workspace
 
@@ -23,6 +26,9 @@ cargo test --offline --workspace -q
 
 step "cargo test --offline (HICOND_THREADS=4, parallel engine path)"
 HICOND_THREADS=4 cargo test --offline --workspace -q
+
+step "schedule-perturbation stress (HICOND_THREADS=4, seeded jitter)"
+HICOND_THREADS=4 cargo test --offline -q --test sched_stress --test obs_stress
 
 step "bench_suite --smoke (engine + workload smoke, JSON shape)"
 cargo run --release --offline -p hicond-bench --bin bench_suite -- --smoke --out target/bench_smoke.json

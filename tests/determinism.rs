@@ -7,6 +7,12 @@
 //! Also property-tests the pool's chunk partitioner (`block_range`) over
 //! the awkward shapes: empty input, fewer items than threads, and lengths
 //! not divisible by the unit count.
+//!
+//! Thread *timing* is the orthogonal axis: `tests/sched_stress.rs` runs
+//! the same kernels under seeded scheduler jitter, and CI additionally
+//! replays this whole suite with `HICOND_SCHED_JITTER=1` so cap
+//! invariance is also exercised on perturbed claim interleavings
+//! (DESIGN.md §9).
 
 use hicond_core::{
     decompose_planar, decompose_recursive_bisection, PlanarOptions, RecursiveBisectionOptions,

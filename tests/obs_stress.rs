@@ -1,0 +1,164 @@
+//! Concurrency stress for the observability registry.
+//!
+//! Pool workers hammer the same counters and histograms through both the
+//! string-keyed entry points (which take the registry mutex per call) and
+//! cached `Arc` handles (lock-free atomics). Every instrument is built
+//! from commutative integer atomics — counter adds, bucket increments,
+//! milli-scaled sums — so the concurrent totals must equal a sequential
+//! reference *exactly*, not approximately. Lost updates, torn snapshots,
+//! or a drop of the registry mutex mid-update all surface as a count
+//! mismatch here.
+
+use hicond_obs::{Histogram, Mode};
+use rayon::pool::with_thread_cap;
+use rayon::prelude::*;
+use std::sync::{Mutex, MutexGuard};
+
+const N_ITEMS: u64 = 50_000;
+
+/// Serializes the tests in this binary: the obs mode latch and the global
+/// registry are process-wide.
+fn mode_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Enables recording, runs `f`, restores the previous mode even on panic.
+fn with_obs_enabled<T>(f: impl FnOnce() -> T + std::panic::UnwindSafe) -> T {
+    let prev = hicond_obs::mode();
+    hicond_obs::set_mode(Mode::Json);
+    let out = std::panic::catch_unwind(f);
+    hicond_obs::set_mode(prev);
+    match out {
+        Ok(v) => v,
+        Err(e) => std::panic::resume_unwind(e),
+    }
+}
+
+fn weighted(i: u64) -> u64 {
+    i % 7
+}
+
+fn sample(i: u64) -> u64 {
+    (i % 1000) + 1
+}
+
+#[test]
+fn concurrent_counter_totals_match_sequential() {
+    let _serial = mode_lock();
+    with_obs_enabled(|| {
+        let ops = hicond_obs::global().counter("stress/ops");
+        let weighted_handle = hicond_obs::global().counter("stress/weighted");
+        let (ops0, w0) = (ops.get(), weighted_handle.get());
+        with_thread_cap(4, || {
+            (0..N_ITEMS).into_par_iter().for_each(|i| {
+                // Cached-handle path: pure atomics, no registry lock.
+                ops.add(1);
+                // String path: registry mutex + atomic, per call.
+                hicond_obs::counter_add("stress/weighted", weighted(i));
+            });
+        });
+        let expected_weighted: u64 = (0..N_ITEMS).map(weighted).sum();
+        assert_eq!(ops.get() - ops0, N_ITEMS, "lost counter increments");
+        assert_eq!(
+            weighted_handle.get() - w0,
+            expected_weighted,
+            "lost string-path counter increments"
+        );
+        // The snapshot must agree with the live handles.
+        let snap = hicond_obs::snapshot();
+        let by_name = |n: &str| {
+            snap.counters
+                .iter()
+                .find(|(k, _)| k == n)
+                .map(|(_, v)| *v)
+                .expect("counter missing from snapshot")
+        };
+        assert_eq!(by_name("stress/ops"), ops.get());
+        assert_eq!(by_name("stress/weighted"), weighted_handle.get());
+    });
+}
+
+#[test]
+fn concurrent_histogram_matches_sequential_reference() {
+    let _serial = mode_lock();
+    // Sequential reference on a private instrument: same samples, one
+    // thread. Bucket counts, total count and the milli-scaled sum are all
+    // integer accumulations, so the concurrent run must reproduce them
+    // exactly.
+    let reference = Histogram::new();
+    for i in 0..N_ITEMS {
+        reference.record_u64(sample(i));
+    }
+    with_obs_enabled(|| {
+        let hist = hicond_obs::global().histogram("stress/sizes");
+        let base_count = hist.count();
+        let base_buckets = hist.bucket_counts();
+        with_thread_cap(4, || {
+            (0..N_ITEMS).into_par_iter().for_each(|i| {
+                if i % 2 == 0 {
+                    hist.record_u64(sample(i));
+                } else {
+                    hicond_obs::hist_record("stress/sizes", sample(i) as f64);
+                }
+            });
+        });
+        assert_eq!(hist.count() - base_count, reference.count(), "lost samples");
+        let got: Vec<u64> = hist
+            .bucket_counts()
+            .iter()
+            .zip(&base_buckets)
+            .map(|(now, base)| now - base)
+            .collect();
+        assert_eq!(got, reference.bucket_counts(), "bucket counts diverged");
+        // Snapshot view agrees with the handle.
+        let snap = hicond_obs::snapshot();
+        let stat = snap
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "stress/sizes")
+            .map(|(_, s)| s.clone())
+            .expect("histogram missing from snapshot");
+        assert_eq!(stat.count, hist.count());
+        assert_eq!(stat.buckets, hist.bucket_counts());
+    });
+}
+
+#[test]
+fn mixed_instrument_hammer_under_full_pool() {
+    // All instrument families at once from every worker: the registry
+    // mutex (lookups, traces) interleaves with lock-free recording and a
+    // mid-run snapshot, and nothing may be lost or torn.
+    let _serial = mode_lock();
+    with_obs_enabled(|| {
+        let total = hicond_obs::global().counter("stress/mixed_total");
+        let t0 = total.get();
+        with_thread_cap(4, || {
+            (0..N_ITEMS).into_par_iter().for_each(|i| {
+                total.add(1);
+                hicond_obs::hist_record("stress/mixed_hist", (i % 128) as f64);
+                if i % 1024 == 0 {
+                    // Snapshots race the writers by design; they must
+                    // observe *some* consistent prefix, never panic.
+                    let snap = hicond_obs::snapshot();
+                    assert!(snap.counters.iter().any(|(k, _)| k == "stress/mixed_total"));
+                }
+                hicond_obs::gauge_set("stress/mixed_gauge", i as f64);
+            });
+        });
+        assert_eq!(total.get() - t0, N_ITEMS, "lost mixed-path increments");
+        let snap = hicond_obs::snapshot();
+        let gauge = snap
+            .gauges
+            .iter()
+            .find(|(k, _)| k == "stress/mixed_gauge")
+            .map(|(_, v)| *v)
+            .expect("gauge missing");
+        // Last-writer-wins: any recorded index is legal, but it must be
+        // one of the values actually written.
+        assert!(gauge >= 0.0 && gauge < N_ITEMS as f64 && gauge.fract() == 0.0);
+    });
+}

@@ -1,0 +1,136 @@
+//! Schedule-perturbation stress suite for the execution engine.
+//!
+//! The determinism suite (`tests/determinism.rs`) proves thread *count*
+//! cannot change results. This suite attacks the orthogonal axis: thread
+//! *timing*. `rayon::pool::set_sched_jitter(Some(seed))` injects seeded
+//! yields/sleeps at every unit-claim boundary, forcing claim interleavings
+//! that a quiet machine never produces — fast workers stall mid-range,
+//! slow workers grab contiguous runs, claim order inverts between rounds.
+//! Because the engine's unit → result-slot mapping is fixed and all
+//! order-sensitive reduction is sequential on the dispatcher, every
+//! perturbed run must still be **bitwise identical** to the unperturbed
+//! 1-thread reference.
+//!
+//! The jitter latch is process-global, so this suite serializes all
+//! perturbed sections behind one lock (Rust runs tests in one process) and
+//! always restores `None` on exit.
+
+use hicond_core::{decompose_planar, PlanarOptions};
+use hicond_graph::{generators, laplacian};
+use hicond_linalg::cg::{pcg_solve, CgOptions, JacobiPreconditioner};
+use rayon::pool::{set_sched_jitter, with_thread_cap};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Eight seeds spread across the mixer's input space; each drives a
+/// distinct pause pattern per (unit, worker).
+const SEEDS: [u64; 8] = [
+    1,
+    2,
+    0xdead_beef,
+    0x100_0000_01b3,
+    42,
+    0x9e37_79b9_7f4a_7c15,
+    7_777_777,
+    u64::MAX,
+];
+
+/// Thread caps exercised under each seed. Cap 1 pins the degenerate
+/// single-claimant schedule; 2 and 4 give real concurrency on any CI box.
+const CAPS: [usize; 3] = [1, 2, 4];
+
+/// Serializes perturbed sections: the jitter latch is global state.
+fn jitter_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Restores `set_sched_jitter(None)` even if an assertion unwinds.
+struct JitterOff;
+impl Drop for JitterOff {
+    fn drop(&mut self) {
+        set_sched_jitter(None);
+    }
+}
+
+/// Runs `f` unperturbed at cap 1, then under every (seed, cap) pair, and
+/// asserts every output equals the reference bit for bit.
+fn assert_schedule_invariant<T, F>(label: &str, f: F)
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn() -> T,
+{
+    let _serial = jitter_lock();
+    let _restore = JitterOff;
+    set_sched_jitter(None);
+    let reference = with_thread_cap(1, &f);
+    for seed in SEEDS {
+        set_sched_jitter(Some(seed));
+        for cap in CAPS {
+            let got = with_thread_cap(cap, &f);
+            assert!(
+                got == reference,
+                "{label}: output under jitter seed {seed} at cap {cap} \
+                 differs from the unperturbed 1-thread result"
+            );
+        }
+    }
+}
+
+/// Bit-exact view of an f64 vector (PartialEq on f64 would also accept
+/// -0.0 == 0.0; the engine promises *bitwise* identity).
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn spmv_stable_under_schedule_jitter() {
+    // Large enough that the row fan-out actually dispatches (> 4096 rows).
+    let g = generators::grid2d(80, 80, |u, v| 1.0 + ((u * 5 + v) % 11) as f64);
+    let a = laplacian(&g);
+    let x: Vec<f64> = (0..a.nrows())
+        .map(|i| ((i * 2654435761) % 1013) as f64 / 506.5 - 1.0)
+        .collect();
+    assert_schedule_invariant("par_mul_into", || {
+        let mut y = vec![0.0; a.nrows()];
+        a.par_mul_into(&x, &mut y);
+        bits(&y)
+    });
+}
+
+#[test]
+fn pcg_stable_under_schedule_jitter() {
+    // 130×130 = 16900 > 2^14: the BLAS-1 chunked kernels dispatch too,
+    // not just the row-parallel SpMV.
+    let g = generators::grid2d(130, 130, |u, v| 1.0 + ((u + 3 * v) % 5) as f64);
+    let a = laplacian(&g);
+    // Zero-sum rhs keeps the singular Laplacian system consistent.
+    let n = a.nrows();
+    let mut b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.43).sin()).collect();
+    hicond_linalg::vector::deflate_constant(&mut b);
+    let m = JacobiPreconditioner::from_diagonal(&a.diagonal());
+    let opts = CgOptions {
+        rel_tol: 1e-6,
+        max_iter: 60,
+        record_residuals: true,
+    };
+    assert_schedule_invariant("pcg_solve", || {
+        let r = pcg_solve(&a, &m, &b, &opts);
+        (bits(&r.x), bits(&r.residual_history), r.iterations)
+    });
+}
+
+#[test]
+fn planar_decomposition_stable_under_schedule_jitter() {
+    let g = generators::grid2d(26, 26, |u, v| 1.0 + ((2 * u + v) % 3) as f64);
+    assert_schedule_invariant("decompose_planar", || {
+        let d = decompose_planar(&g, &PlanarOptions::default());
+        (
+            d.partition.assignment().to_vec(),
+            d.core_size,
+            d.extra_edges,
+        )
+    });
+}

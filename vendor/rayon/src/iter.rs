@@ -156,7 +156,15 @@ impl<P: Producer> ParIter<P> {
 
 /// Raw pointer that may cross threads; each thread writes disjoint slots.
 struct SendPtr<T>(*mut T);
+// SAFETY: the only field is the `*mut T` base pointer of a `Vec` that the
+// spawning call frame keeps alive; workers write disjoint index ranges
+// through it (each slot exactly once), so moving the pointer to another
+// thread cannot alias a live `&mut`. `T: Send` carries the payload across.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared access to the `*mut T` field is sound for the same
+// reason — every dereference through it targets a slot owned by exactly
+// one worker, so concurrent `&SendPtr` use never creates overlapping
+// writes.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -168,27 +176,81 @@ impl<T> SendPtr<T> {
     }
 }
 
+/// Panic guard for the parallel-collect buffer.
+///
+/// Owns the `Vec<MaybeUninit<T>>` for the whole `set_len` → fill →
+/// `from_raw_parts` window so the "length claims more than is
+/// initialized" state can never leak past this type. If the fill panics
+/// (a user closure unwinds on a worker and the pool rethrows on the
+/// dispatcher), `Drop` *truncates* the buffer to length zero instead of
+/// letting `Vec` drop `MaybeUninit` slots that were never written —
+/// initialized items are deliberately leaked (leak-on-unwind is sound;
+/// dropping uninitialized memory is not). Only `commit()` — reachable
+/// strictly after a fully successful fill — reinterprets the buffer as
+/// `Vec<T>`.
+struct CollectGuard<T> {
+    buf: Vec<MaybeUninit<T>>,
+}
+
+impl<T> CollectGuard<T> {
+    /// Allocates the full buffer up front with every slot present but
+    /// uninitialized.
+    fn with_len(len: usize) -> Self {
+        let mut buf: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+        // SAFETY: MaybeUninit needs no initialization, and the buffer
+        // stays typed `MaybeUninit<T>` (never dropped as `T`) until
+        // `commit` proves every slot was written.
+        unsafe { buf.set_len(len) };
+        CollectGuard { buf }
+    }
+
+    fn base(&mut self) -> *mut MaybeUninit<T> {
+        self.buf.as_mut_ptr()
+    }
+
+    /// Consumes the guard, reinterpreting the buffer as fully
+    /// initialized.
+    ///
+    /// # Safety
+    /// Every slot must have been written exactly once.
+    unsafe fn commit(mut self) -> Vec<T> {
+        let buf = std::mem::take(&mut self.buf);
+        std::mem::forget(self);
+        let len = buf.len();
+        let mut buf = ManuallyDrop::new(buf);
+        // SAFETY: caller guarantees all `len` slots are initialized;
+        // `MaybeUninit<T>` is layout-transparent over `T`, and the
+        // allocation (ptr/len/capacity) is carried over unchanged.
+        unsafe { Vec::from_raw_parts(buf.as_mut_ptr() as *mut T, len, buf.capacity()) }
+    }
+}
+
+impl<T> Drop for CollectGuard<T> {
+    fn drop(&mut self) {
+        // Reached only on unwind (commit forgets self): shrink to zero so
+        // the Vec frees the allocation without dropping any slot. Written
+        // items leak; uninitialized ones are never touched.
+        self.buf.truncate(0);
+    }
+}
+
 /// Materializes every item into its index slot, in parallel.
 fn eval_to_vec<P: Producer>(p: &P) -> Vec<P::Item> {
     let len = p.len();
-    let mut out: Vec<MaybeUninit<P::Item>> = Vec::with_capacity(len);
-    // Safety: MaybeUninit needs no initialization.
-    unsafe { out.set_len(len) };
-    let base = SendPtr(out.as_mut_ptr());
+    let mut out: CollectGuard<P::Item> = CollectGuard::with_len(len);
+    let base = SendPtr(out.base());
     pool::run_blocks(len, &|s, e| {
         let slots = base.get();
         for i in s..e {
-            // Safety: blocks tile the index range exactly once, and each
+            // SAFETY: blocks tile the index range exactly once, and each
             // slot is written by exactly one thread.
             unsafe { (*slots.add(i)).write(p.get(i)) };
         }
     });
-    // Safety: every slot was initialized above (run_blocks covers the
-    // whole range or propagates the panic before we get here).
-    unsafe {
-        let mut out = ManuallyDrop::new(out);
-        Vec::from_raw_parts(out.as_mut_ptr() as *mut P::Item, len, out.capacity())
-    }
+    // SAFETY: every slot was initialized above — run_blocks covers the
+    // whole range, and on a worker panic it rethrows before this point
+    // (the guard then truncates instead of dropping uninitialized slots).
+    unsafe { out.commit() }
 }
 
 // ---- adapter producers ----------------------------------------------
@@ -209,8 +271,10 @@ where
     fn len(&self) -> usize {
         self.p.len()
     }
+    // SAFETY: caller upholds the `Producer::get` contract (i < len, each
+    // index at most once); forwarded to the inner producer unchanged.
     unsafe fn get(&self, i: usize) -> R {
-        // Safety: forwarded contract.
+        // SAFETY: forwarded contract.
         (self.f)(unsafe { self.p.get(i) })
     }
 }
@@ -225,8 +289,10 @@ impl<P: Producer> Producer for Enumerate<P> {
     fn len(&self) -> usize {
         self.p.len()
     }
+    // SAFETY: caller upholds the `Producer::get` contract; forwarded to
+    // the inner producer unchanged.
     unsafe fn get(&self, i: usize) -> (usize, P::Item) {
-        // Safety: forwarded contract.
+        // SAFETY: forwarded contract.
         (i, unsafe { self.p.get(i) })
     }
 }
@@ -242,8 +308,10 @@ impl<A: Producer, B: Producer> Producer for Zip<A, B> {
     fn len(&self) -> usize {
         self.a.len().min(self.b.len())
     }
+    // SAFETY: caller upholds the `Producer::get` contract; `len` is the
+    // min of both sides, so the index is in range for each.
     unsafe fn get(&self, i: usize) -> (A::Item, B::Item) {
-        // Safety: forwarded contract; i < min(len a, len b).
+        // SAFETY: forwarded contract; i < min(len a, len b).
         unsafe { (self.a.get(i), self.b.get(i)) }
     }
 }
@@ -283,8 +351,9 @@ impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
     fn len(&self) -> usize {
         self.s.len()
     }
+    // SAFETY: caller guarantees i < len (the slice length).
     unsafe fn get(&self, i: usize) -> &'a T {
-        // Safety: i < len.
+        // SAFETY: i < len.
         unsafe { self.s.get_unchecked(i) }
     }
 }
@@ -300,10 +369,11 @@ impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
     fn len(&self) -> usize {
         self.s.len().div_ceil(self.size)
     }
+    // SAFETY: caller guarantees i < len (the chunk count).
     unsafe fn get(&self, i: usize) -> &'a [T] {
         let lo = i * self.size;
         let hi = (lo + self.size).min(self.s.len());
-        // Safety: i < len ⟹ lo < s.len() ≤ hi bound.
+        // SAFETY: i < len ⟹ lo < s.len() ≤ hi bound.
         unsafe { self.s.get_unchecked(lo..hi) }
     }
 }
@@ -316,7 +386,13 @@ pub struct SliceMutProducer<'a, T: Send> {
     _marker: PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: `base` points into a caller-borrowed `&mut [T]` of length `len`
+// that outlives the producer (`_marker` pins the lifetime). The driver
+// hands each index to at most one worker, so `&mut` borrows created
+// through `base` are disjoint; shared `&self` access is therefore sound.
 unsafe impl<T: Send> Sync for SliceMutProducer<'_, T> {}
+// SAFETY: same argument as `Sync` — the `base` field is the only state,
+// and ownership of disjoint slots moves with `T: Send`.
 unsafe impl<T: Send> Send for SliceMutProducer<'_, T> {}
 
 impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
@@ -324,8 +400,10 @@ impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
     fn len(&self) -> usize {
         self.len
     }
+    // SAFETY: caller guarantees i < len and produces each index at most
+    // once, so the returned `&mut` borrows are disjoint.
     unsafe fn get(&self, i: usize) -> &'a mut T {
-        // Safety: i < len and each index is produced once ⟹ disjoint.
+        // SAFETY: i < len and each index is produced once ⟹ disjoint.
         unsafe { &mut *self.base.add(i) }
     }
 }
@@ -338,7 +416,13 @@ pub struct ChunksMutProducer<'a, T: Send> {
     _marker: PhantomData<&'a mut [T]>,
 }
 
+// SAFETY: `base`/`len` describe a caller-borrowed `&mut [T]` (lifetime
+// pinned by `_marker`); chunks at stride `size` are non-overlapping and
+// each chunk index is produced at most once, so concurrent `&self` use
+// never creates aliasing `&mut [T]` chunks.
 unsafe impl<T: Send> Sync for ChunksMutProducer<'_, T> {}
+// SAFETY: same argument as `Sync` — the `base` pointer is the only state,
+// and disjoint chunk ownership moves with `T: Send`.
 unsafe impl<T: Send> Send for ChunksMutProducer<'_, T> {}
 
 impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
@@ -346,10 +430,12 @@ impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
     fn len(&self) -> usize {
         self.len.div_ceil(self.size)
     }
+    // SAFETY: caller guarantees i < len (the chunk count) and produces
+    // each chunk index at most once, so the `&mut [T]` chunks are disjoint.
     unsafe fn get(&self, i: usize) -> &'a mut [T] {
         let lo = i * self.size;
         let hi = (lo + self.size).min(self.len);
-        // Safety: chunks are disjoint and each index is produced once.
+        // SAFETY: chunks are disjoint and each index is produced once.
         unsafe { std::slice::from_raw_parts_mut(self.base.add(lo), hi - lo) }
     }
 }
@@ -364,6 +450,10 @@ pub struct VecProducer<T: Send> {
     buf: Vec<ManuallyDrop<T>>,
 }
 
+// SAFETY: the only field is `buf`, an owned `Vec<ManuallyDrop<T>>`; the
+// driver moves each element out of `buf` at most once (see `get`), so
+// concurrent `&self` access from workers touches disjoint elements and
+// `T: Send` lets the moved-out values cross threads.
 unsafe impl<T: Send> Sync for VecProducer<T> {}
 
 impl<T: Send> VecProducer<T> {
@@ -386,8 +476,10 @@ impl<T: Send> Producer for VecProducer<T> {
     fn len(&self) -> usize {
         self.buf.len()
     }
+    // SAFETY: caller guarantees i < len and that each index is produced
+    // at most once, so each value is moved out at most once.
     unsafe fn get(&self, i: usize) -> T {
-        // Safety: i < len and each index is produced at most once, so the
+        // SAFETY: i < len and each index is produced at most once, so the
         // value is moved out exactly once and never dropped in place.
         ManuallyDrop::into_inner(unsafe { std::ptr::read(self.buf.as_ptr().add(i)) })
     }

@@ -52,6 +52,11 @@ where
     /// One-shot slot shared with the pool; sound because each unit index
     /// is executed exactly once, so each cell is touched by one thread.
     struct OnceCellSlot<T>(UnsafeCell<Option<T>>);
+    // SAFETY: the only field is the `UnsafeCell<Option<T>>` payload. The
+    // pool executes each unit index exactly once, so each cell has one
+    // writer and no concurrent reader; the dispatcher reads results only
+    // after the mutex-guarded checkout has synchronized with every writer.
+    // `T: Send` lets the payload value cross to the worker and back.
     unsafe impl<T: Send> Sync for OnceCellSlot<T> {}
     impl<T> OnceCellSlot<T> {
         fn get(&self) -> *mut Option<T> {
@@ -341,6 +346,57 @@ mod tests {
             .map(|(_, v)| v)
             .sum();
         assert!(attributed > 0, "pool executed units while obs was enabled");
+    }
+
+    #[test]
+    fn collect_panic_truncates_safely() {
+        // A worker panic mid-collect must unwind cleanly through the
+        // partially-filled buffer: the CollectGuard leaks written items
+        // and never drops an unwritten slot. `Tracked` counts every
+        // construction and drop so a drop of an uninitialized slot (which
+        // would read garbage counters or double-free) surfaces as a
+        // drops > constructions imbalance.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static BUILT: AtomicUsize = AtomicUsize::new(0);
+        static DROPPED: AtomicUsize = AtomicUsize::new(0);
+
+        struct Tracked(#[allow(dead_code)] Box<u64>);
+        impl Tracked {
+            fn new(i: u64) -> Self {
+                BUILT.fetch_add(1, Ordering::SeqCst);
+                Tracked(Box::new(i))
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPPED.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        let caught = std::panic::catch_unwind(|| {
+            let _v: Vec<Tracked> = (0u64..10_000)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 6000 {
+                        panic!("collect boom");
+                    }
+                    Tracked::new(i)
+                })
+                .collect();
+        });
+        assert!(caught.is_err(), "panic must propagate out of collect");
+        let built = BUILT.load(Ordering::SeqCst);
+        let dropped = DROPPED.load(Ordering::SeqCst);
+        assert!(
+            dropped <= built,
+            "dropped ({dropped}) exceeds constructed ({built}): an \
+             uninitialized slot was dropped"
+        );
+        // The collect path must stay usable (pool drained, no poisoned
+        // buffer state).
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(v.len(), 1000);
+        assert_eq!(v[999], 2997);
     }
 
     #[test]

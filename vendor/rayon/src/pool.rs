@@ -40,7 +40,7 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Hard ceiling on pool width; guards against absurd `HICOND_THREADS`.
@@ -64,6 +64,9 @@ struct JobPtr(&'static (dyn Fn(usize) + Sync));
 /// the returned reference; `dispatch` establishes this by blocking until
 /// all participants have checked out.
 unsafe fn erase<'a>(f: &'a (dyn Fn(usize) + Sync)) -> &'static (dyn Fn(usize) + Sync) {
+    // SAFETY: lifetime-only transmute (same type either side); the `'a`
+    // borrow remains live for every access because of the caller contract
+    // documented above.
     unsafe { std::mem::transmute::<&'a (dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f) }
 }
 
@@ -113,6 +116,84 @@ thread_local! {
     /// Pool worker index, `usize::MAX` on non-pool (dispatcher) threads;
     /// keys the per-worker obs counters.
     static WORKER_ID: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+// ---- schedule perturbation (test harness) -----------------------------
+//
+// `HICOND_SCHED_JITTER=<seed>` (or `set_sched_jitter(Some(seed))` in
+// process) injects seeded, per-unit yields/sleeps at chunk-claim
+// boundaries. This perturbs *which worker claims which unit and when* —
+// the interleavings a wall-clock-quiet test run never explores — while the
+// fixed unit → result-slot mapping keeps every result bitwise identical.
+// The determinism stress suite runs the same computation under many seeds
+// and asserts the outputs never change.
+
+/// `JITTER_STATE` values: unresolved / disabled / enabled (seed valid).
+const JITTER_UNINIT: u8 = 0;
+const JITTER_OFF: u8 = 1;
+const JITTER_ON: u8 = 2;
+
+static JITTER_STATE: AtomicU8 = AtomicU8::new(JITTER_UNINIT);
+static JITTER_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Overrides schedule jitter in-process (tests; wins over the env).
+/// `Some(seed)` enables perturbation, `None` disables it.
+pub fn set_sched_jitter(seed: Option<u64>) {
+    match seed {
+        Some(s) => {
+            // ordering: Relaxed suffices for the seed itself — the
+            // Release store of JITTER_ON below is the publication point,
+            // and it orders this store before the state flip.
+            JITTER_SEED.store(s, Ordering::Relaxed);
+            // ordering: Release publishes the seed store above — a reader
+            // that Acquire-loads JITTER_ON is guaranteed to see this seed.
+            JITTER_STATE.store(JITTER_ON, Ordering::Release);
+        }
+        // ordering: Release keeps the state byte's happens-before edge
+        // uniform with the enable path; no seed accompanies "off".
+        None => JITTER_STATE.store(JITTER_OFF, Ordering::Release),
+    }
+}
+
+/// The active jitter seed, reading `HICOND_SCHED_JITTER` on first call.
+pub fn sched_jitter() -> Option<u64> {
+    // ordering: Acquire pairs with the Release store in
+    // `set_sched_jitter` so the seed read below cannot be stale.
+    match JITTER_STATE.load(Ordering::Acquire) {
+        // ordering: Relaxed suffices for the seed load — the Acquire
+        // load of JITTER_ON above synchronizes with the Release store in
+        // `set_sched_jitter`, which happens-after the seed store.
+        JITTER_ON => Some(JITTER_SEED.load(Ordering::Relaxed)),
+        JITTER_OFF => None,
+        _ => {
+            let seed = std::env::var("HICOND_SCHED_JITTER")
+                .ok()
+                .and_then(|s| s.trim().parse::<u64>().ok());
+            set_sched_jitter(seed);
+            seed
+        }
+    }
+}
+
+/// splitmix64 mixing: decorrelates (seed, unit, worker) into pause
+/// decisions without any shared state.
+fn jitter_mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Injects a seeded pause at a claim boundary. Timing only: the claimed
+/// unit still runs on the claiming thread, into its fixed result slot.
+fn jitter_pause(seed: u64, unit: usize) {
+    let worker = WORKER_ID.with(|w| w.get()) as u64;
+    let h = jitter_mix(seed ^ (unit as u64).wrapping_mul(0x100_0000_01b3) ^ (worker << 17));
+    if h & 7 == 0 {
+        std::thread::sleep(std::time::Duration::from_micros(1 + (h >> 8) % 40));
+    } else if h & 3 == 1 {
+        std::thread::yield_now();
+    }
 }
 
 fn pool() -> &'static Pool {
@@ -226,10 +307,14 @@ fn claim_units(pool: &Pool, job: ActiveJob) {
     // Units are tallied locally and flushed as one counter add on exit so
     // the claim loop itself stays free of locks and allocation.
     let mut executed = 0u64;
+    let jitter = sched_jitter();
     loop {
         let u = pool.next_unit.fetch_add(1, Ordering::SeqCst);
         if u >= job.units {
             break;
+        }
+        if let Some(seed) = jitter {
+            jitter_pause(seed, u);
         }
         executed += 1;
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| func(u))) {
