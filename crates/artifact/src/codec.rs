@@ -1,0 +1,587 @@
+//! Little-endian binary encoding primitives and the [`Encode`]/[`Decode`]
+//! traits.
+//!
+//! All multi-byte integers are explicit little-endian; `f64` travels as
+//! its IEEE-754 bit pattern (`to_bits`/`from_bits`), so a value round-trips
+//! **bitwise** — the property the preconditioner artifacts rely on for
+//! reproducing PCG residual trajectories exactly. Decoding never panics:
+//! every read is bounds-checked and malformed input surfaces as a
+//! structured [`ArtifactError`].
+
+use std::fmt;
+
+/// Structured failure of artifact encoding, decoding, or cache I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// Input ended before a read completed.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// The file does not start with the artifact magic.
+    BadMagic,
+    /// The container declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+    /// The container holds a different artifact kind than requested.
+    WrongKind {
+        /// Kind the caller expected.
+        expected: u32,
+        /// Kind found in the header.
+        found: u32,
+    },
+    /// A CRC32 check failed. Section `0` is the header + section table.
+    ChecksumMismatch {
+        /// Section tag whose checksum failed (0 = header).
+        section: u32,
+    },
+    /// A required section is absent from the container.
+    MissingSection {
+        /// The missing tag.
+        tag: u32,
+    },
+    /// Bytes remained after the structure was fully decoded.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// Structurally valid bytes decoding to a semantically invalid value.
+    Malformed(String),
+    /// An underlying I/O failure (cache reads/writes).
+    Io(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Truncated { needed, available } => {
+                write!(
+                    f,
+                    "truncated artifact: needed {needed} bytes, had {available}"
+                )
+            }
+            ArtifactError::BadMagic => write!(f, "not a hicond artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "artifact format version {found} unsupported (this build reads <= {supported})"
+                )
+            }
+            ArtifactError::WrongKind { expected, found } => {
+                write!(f, "artifact kind {found}, expected {expected}")
+            }
+            ArtifactError::ChecksumMismatch { section } => {
+                if *section == 0 {
+                    write!(f, "header checksum mismatch (corrupt artifact)")
+                } else {
+                    write!(
+                        f,
+                        "checksum mismatch in section {section} (corrupt artifact)"
+                    )
+                }
+            }
+            ArtifactError::MissingSection { tag } => write!(f, "missing section {tag}"),
+            ArtifactError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decoded value")
+            }
+            ArtifactError::Malformed(msg) => write!(f, "malformed artifact: {msg}"),
+            ArtifactError::Io(msg) => write!(f, "artifact i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e.to_string())
+    }
+}
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Empty encoder.
+    pub fn new() -> Self {
+        Encoder { buf: Vec::new() }
+    }
+
+    /// With a capacity hint.
+    pub fn with_capacity(n: usize) -> Self {
+        Encoder {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the encoder, yielding the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn put_u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Writes a `usize` as a `u64` (the format is 64-bit regardless of host).
+    pub fn put_usize(&mut self, x: usize) {
+        self.put_u64(x as u64);
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern (bitwise round-trip).
+    pub fn put_f64(&mut self, x: f64) {
+        self.put_u64(x.to_bits());
+    }
+
+    /// Writes a bool as one byte (0/1).
+    pub fn put_bool(&mut self, x: bool) {
+        self.put_u8(u8::from(x));
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes raw bytes with no length prefix (caller knows the framing).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Writes a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, xs: &[u32]) {
+        self.put_usize(xs.len());
+        self.buf.reserve(xs.len() * 4);
+        for &x in xs {
+            self.put_u32(x);
+        }
+    }
+
+    /// Writes a length-prefixed `usize` slice (as u64 elements).
+    pub fn put_usize_slice(&mut self, xs: &[usize]) {
+        self.put_usize(xs.len());
+        self.buf.reserve(xs.len() * 8);
+        for &x in xs {
+            self.put_usize(x);
+        }
+    }
+
+    /// Writes a length-prefixed `f64` slice, bit patterns verbatim.
+    pub fn put_f64_slice(&mut self, xs: &[f64]) {
+        self.put_usize(xs.len());
+        self.buf.reserve(xs.len() * 8);
+        for &x in xs {
+            self.put_f64(x);
+        }
+    }
+}
+
+/// Bounds-checked little-endian cursor over a byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Cursor over `buf` starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        if self.remaining() < n {
+            return Err(ArtifactError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ArtifactError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ArtifactError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `u64` and converts to `usize`, rejecting overflow.
+    pub fn usize_(&mut self) -> Result<usize, ArtifactError> {
+        let x = self.u64()?;
+        usize::try_from(x).map_err(|_| {
+            ArtifactError::Malformed(format!("length {x} exceeds the host address space"))
+        })
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, ArtifactError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool; bytes other than 0/1 are malformed.
+    pub fn bool(&mut self) -> Result<bool, ArtifactError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(ArtifactError::Malformed(format!(
+                "bool byte must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str_(&mut self) -> Result<String, ArtifactError> {
+        let len = self.usize_()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ArtifactError::Malformed("string is not valid UTF-8".to_string()))
+    }
+
+    /// Reads a length-prefixed `u32` slice.
+    pub fn u32_vec(&mut self) -> Result<Vec<u32>, ArtifactError> {
+        let len = self.usize_()?;
+        let need = len
+            .checked_mul(4)
+            .ok_or_else(|| ArtifactError::Malformed(format!("u32 slice length {len} overflows")))?;
+        let bytes = self.take(need)?;
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Reads a length-prefixed `usize` slice.
+    pub fn usize_vec(&mut self) -> Result<Vec<usize>, ArtifactError> {
+        let len = self.usize_()?;
+        let need = len.checked_mul(8).ok_or_else(|| {
+            ArtifactError::Malformed(format!("usize slice length {len} overflows"))
+        })?;
+        let bytes = self.take(need)?;
+        bytes
+            .chunks_exact(8)
+            .map(|c| {
+                let x = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+                usize::try_from(x).map_err(|_| {
+                    ArtifactError::Malformed(format!("length {x} exceeds the host address space"))
+                })
+            })
+            .collect()
+    }
+
+    /// Reads a length-prefixed `f64` slice, bit patterns verbatim.
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, ArtifactError> {
+        let len = self.usize_()?;
+        let need = len
+            .checked_mul(8)
+            .ok_or_else(|| ArtifactError::Malformed(format!("f64 slice length {len} overflows")))?;
+        let bytes = self.take(need)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| {
+                f64::from_bits(u64::from_le_bytes([
+                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+                ]))
+            })
+            .collect())
+    }
+
+    /// Asserts the input was fully consumed.
+    pub fn finish(&self) -> Result<(), ArtifactError> {
+        if self.remaining() != 0 {
+            return Err(ArtifactError::TrailingBytes {
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Serialization into the artifact byte format.
+pub trait Encode {
+    /// Appends this value to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+}
+
+/// Deserialization from the artifact byte format. Must never panic on
+/// arbitrary input: structural problems surface as [`ArtifactError`].
+pub trait Decode: Sized {
+    /// Reads one value from `dec`.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError>;
+}
+
+impl Encode for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+}
+impl Decode for u32 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        dec.u32()
+    }
+}
+
+impl Encode for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+}
+impl Decode for u64 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        dec.u64()
+    }
+}
+
+impl Encode for usize {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(*self);
+    }
+}
+impl Decode for usize {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        dec.usize_()
+    }
+}
+
+impl Encode for f64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(*self);
+    }
+}
+impl Decode for f64 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        dec.f64()
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bool(*self);
+    }
+}
+impl Decode for bool {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        dec.bool()
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+}
+impl Decode for String {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        dec.str_()
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.len());
+        for item in self {
+            item.encode(enc);
+        }
+    }
+}
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let len = dec.usize_()?;
+        // Every Encode impl writes at least one byte per element, so a
+        // declared length beyond the remaining input is corrupt; checking
+        // before with_capacity also prevents huge allocations on garbage.
+        if len > dec.remaining() {
+            return Err(ArtifactError::Truncated {
+                needed: len,
+                available: dec.remaining(),
+            });
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+}
+impl<T: Decode> Decode for Option<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        match dec.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            other => Err(ArtifactError::Malformed(format!(
+                "option tag must be 0 or 1, got {other}"
+            ))),
+        }
+    }
+}
+
+/// Encodes `value` into a fresh byte buffer.
+pub fn encode_to_vec<T: Encode>(value: &T) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    value.encode(&mut enc);
+    enc.into_bytes()
+}
+
+/// Decodes a `T` from `bytes`, requiring full consumption.
+pub fn decode_exact<T: Decode>(bytes: &[u8]) -> Result<T, ArtifactError> {
+    let mut dec = Decoder::new(bytes);
+    let v = T::decode(&mut dec)?;
+    dec.finish()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7);
+        enc.put_u32(0xDEAD_BEEF);
+        enc.put_u64(u64::MAX - 3);
+        enc.put_f64(-0.0);
+        enc.put_f64(f64::NAN);
+        enc.put_bool(true);
+        enc.put_str("hicond");
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.u8().unwrap(), 7);
+        assert_eq!(dec.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(dec.u64().unwrap(), u64::MAX - 3);
+        // Bitwise: -0.0 and NaN payload preserved exactly.
+        assert_eq!(dec.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(dec.f64().unwrap().to_bits(), f64::NAN.to_bits());
+        assert!(dec.bool().unwrap());
+        assert_eq!(dec.str_().unwrap(), "hicond");
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn slices_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_u32_slice(&[1, 2, 3]);
+        enc.put_usize_slice(&[0, usize::MAX / 2]);
+        enc.put_f64_slice(&[1.5, -2.25, 0.1]);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.u32_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(dec.usize_vec().unwrap(), vec![0, usize::MAX / 2]);
+        assert_eq!(dec.f64_vec().unwrap(), vec![1.5, -2.25, 0.1]);
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut enc = Encoder::new();
+        enc.put_u64(42);
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            assert!(matches!(dec.u64(), Err(ArtifactError::Truncated { .. })));
+        }
+    }
+
+    #[test]
+    fn absurd_length_rejected_without_allocation() {
+        let mut enc = Encoder::new();
+        enc.put_u64(u64::MAX); // declared length far beyond the input
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(dec.f64_vec().is_err());
+        let out: Result<Vec<f64>, _> = decode_exact(&bytes);
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn generic_containers_roundtrip() {
+        let v: Vec<Option<String>> = vec![None, Some("x".to_string()), Some(String::new())];
+        let bytes = encode_to_vec(&v);
+        let back: Vec<Option<String>> = decode_exact(&bytes).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_to_vec(&7u32);
+        bytes.push(0);
+        assert!(matches!(
+            decode_exact::<u32>(&bytes),
+            Err(ArtifactError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_bool_and_option_tags_rejected() {
+        assert!(matches!(
+            decode_exact::<bool>(&[2]),
+            Err(ArtifactError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_exact::<Option<u32>>(&[9]),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+}

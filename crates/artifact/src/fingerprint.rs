@@ -1,0 +1,126 @@
+//! Stable 64-bit FNV-1a fingerprints for content addressing.
+//!
+//! The fingerprint of a graph (or of build options) is a pure function of
+//! its canonical content — vertex count, edge list in canonical sorted
+//! order, weight bit patterns — and of nothing else. In particular it is
+//! independent of thread count, insertion order, allocator state, and host
+//! endianness: every value is folded in as explicit little-endian bytes.
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// Folds a `u32` as 4 little-endian bytes.
+    pub fn write_u32(&mut self, x: u32) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// Folds a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// Folds a `usize` as a `u64` (host-width independent).
+    pub fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+
+    /// Folds an `f64` by bit pattern (distinguishes -0.0 from 0.0 and every
+    /// NaN payload — the fingerprint is over bits, not numeric value).
+    pub fn write_f64(&mut self, x: f64) {
+        self.write_u64(x.to_bits());
+    }
+
+    /// Folds a bool as one byte.
+    pub fn write_bool(&mut self, x: bool) {
+        self.write(&[u8::from(x)]);
+    }
+
+    /// Folds a string, length-prefixed so `("ab","c")` and `("a","bc")`
+    /// hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a of a byte string.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn length_prefix_disambiguates() {
+        let mut a = Fnv64::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = Fnv64::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f64_is_hashed_by_bits() {
+        let mut a = Fnv64::new();
+        a.write_f64(0.0);
+        let mut b = Fnv64::new();
+        b.write_f64(-0.0);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"content-addressed cache key";
+        let mut h = Fnv64::new();
+        h.write(&data[..5]);
+        h.write(&data[5..]);
+        assert_eq!(h.finish(), fnv64(data));
+    }
+}

@@ -1,9 +1,10 @@
 //! Machine-readable benchmark trajectory (DESIGN.md §7).
 //!
-//! Times the four hot workloads — SpMV, Jacobi-PCG, parallel tree
-//! contraction (subtree sizes via list ranking), and planar [φ, ρ]
-//! decomposition — under thread caps 1/2/4/8 and writes the results to
-//! `BENCH_pr3.json` so every future PR can diff against them. Before any
+//! Times the hot workloads — SpMV, Jacobi-PCG, parallel tree
+//! contraction (subtree sizes via list ranking), planar [φ, ρ]
+//! decomposition, and the artifact build/load/solve triple — under thread
+//! caps 1/2/4/8 and writes the results to
+//! `BENCH_pr5.json` so every future PR can diff against them. Before any
 //! timing, each workload's output at the maximum thread cap is checked
 //! **bitwise** against the 1-thread output (the engine's determinism
 //! contract), and the run aborts on any mismatch. The `hicond_obs`
@@ -23,6 +24,7 @@ use hicond_core::{decompose_planar, PlanarOptions};
 use hicond_graph::{generators, laplacian, Graph, RootedForest};
 use hicond_linalg::cg::{pcg_solve, CgOptions, JacobiPreconditioner};
 use hicond_linalg::csr::CsrMatrix;
+use hicond_precond::{decode_solver, encode_solver, LaplacianSolver, SolverOptions};
 use hicond_treecontract::subtree_sizes_parallel;
 use rayon::pool::with_thread_cap;
 
@@ -36,7 +38,7 @@ struct Config {
 fn parse_args() -> Config {
     let mut cfg = Config {
         smoke: false,
-        out: "BENCH_pr3.json".to_string(),
+        out: "BENCH_pr5.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -155,6 +157,56 @@ fn main() {
         },
     );
 
+    // Artifact triple on the planar benchmark: building the preconditioner
+    // from scratch vs deserializing the persisted artifact vs the per-rhs
+    // solve it amortizes. The build output is the artifact bytes, so its
+    // determinism gate doubles as a build∘encode fixpoint check at every
+    // thread cap; load times checksum + decode + validation alone (the
+    // `hicond serve` warm-start path).
+    let solver_opts = SolverOptions::default();
+    measure(
+        "artifact_build",
+        planar_g.num_vertices(),
+        planar_g.num_edges(),
+        reps_slow,
+        &mut records,
+        || encode_solver(&LaplacianSolver::new(&planar_g, &solver_opts)),
+    );
+    let artifact_bytes = encode_solver(&LaplacianSolver::new(&planar_g, &solver_opts));
+    measure(
+        "artifact_load",
+        planar_g.num_vertices(),
+        planar_g.num_edges(),
+        reps_fast,
+        &mut records,
+        || {
+            let s = decode_solver(&artifact_bytes).expect("artifact decodes");
+            (s.dim(), s.num_levels())
+        },
+    );
+    let solver = decode_solver(&artifact_bytes).expect("artifact decodes");
+    let planar_b = consistent_rhs(planar_g.num_vertices(), 1912);
+    measure(
+        "artifact_solve",
+        planar_g.num_vertices(),
+        planar_g.num_edges(),
+        reps_slow,
+        &mut records,
+        || solver.solve(&planar_b).expect("planar solve converges").x,
+    );
+
+    // Headline ratio for the trajectory: how much faster deserializing the
+    // preconditioner is than rebuilding it (single-threaded medians).
+    let median_of = |w: &str| {
+        records
+            .iter()
+            .find(|r| r.workload == w && r.threads == 1)
+            .map(|r| r.median_ns)
+            .unwrap_or(0)
+    };
+    let load_speedup =
+        median_of("artifact_build") as f64 / median_of("artifact_load").max(1) as f64;
+
     let hw_threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -172,6 +224,10 @@ fn main() {
         (
             "determinism",
             "all workloads bitwise-identical at 1 vs max threads".to_string(),
+        ),
+        (
+            "artifact_load_speedup_vs_build",
+            format!("{load_speedup:.1}"),
         ),
         // Seeded scheduler perturbation slows every claim; timings from a
         // jittered run must never be compared against clean ones.

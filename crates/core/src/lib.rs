@@ -41,6 +41,7 @@ pub mod lowstretch;
 pub mod planar;
 pub mod recursive;
 pub mod refine;
+pub mod serialize;
 pub mod spanning;
 pub mod sparsify;
 pub mod tree_decomp;
@@ -54,6 +55,7 @@ pub use planar::{
 };
 pub use recursive::{decompose_recursive_bisection, RecursiveBisectionOptions, RecursiveStats};
 pub use refine::{refine_gamma, RefineOptions, RefineStats};
+pub use serialize::hash_hierarchy_options;
 pub use spanning::{mst_max_boruvka, mst_max_kruskal, mst_max_prim, mst_min_kruskal};
 pub use sparsify::{sparsify_by_stretch, Sparsifier, SparsifyOptions};
 pub use tree_decomp::decompose_forest;

@@ -1,0 +1,221 @@
+//! Artifact [`Encode`]/[`Decode`] impls for decomposition types, plus
+//! option-set fingerprinting for cache keys.
+//!
+//! A [`Hierarchy`] is the laminar decomposition the multilevel Steiner
+//! preconditioner hangs off; it persists as the level list, each level a
+//! graph plus optional partition. Decoding cross-validates the laminar
+//! structure — each partition's length must match its level's vertex count
+//! and its cluster count must match the next level's vertex count — so a
+//! decoded hierarchy can never index out of bounds downstream.
+
+use crate::fixed_degree::FixedDegreeOptions;
+use crate::hierarchy::{Hierarchy, HierarchyOptions, Level};
+use hicond_artifact::{ArtifactError, Decode, Decoder, Encode, Encoder, Fnv64};
+use hicond_graph::{Graph, Partition};
+
+impl Encode for FixedDegreeOptions {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.k);
+        enc.put_u64(self.seed);
+        enc.put_bool(self.perturb);
+        enc.put_bool(self.parallel);
+    }
+}
+
+impl Decode for FixedDegreeOptions {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        Ok(FixedDegreeOptions {
+            k: dec.usize_()?,
+            seed: dec.u64()?,
+            perturb: dec.bool()?,
+            parallel: dec.bool()?,
+        })
+    }
+}
+
+impl Encode for HierarchyOptions {
+    fn encode(&self, enc: &mut Encoder) {
+        self.fixed_degree.encode(enc);
+        enc.put_usize(self.coarse_size);
+        enc.put_usize(self.max_levels);
+    }
+}
+
+impl Decode for HierarchyOptions {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        Ok(HierarchyOptions {
+            fixed_degree: FixedDegreeOptions::decode(dec)?,
+            coarse_size: dec.usize_()?,
+            max_levels: dec.usize_()?,
+        })
+    }
+}
+
+impl Encode for Level {
+    fn encode(&self, enc: &mut Encoder) {
+        self.graph.encode(enc);
+        self.partition.encode(enc);
+    }
+}
+
+impl Decode for Level {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let graph = Graph::decode(dec)?;
+        let partition: Option<Partition> = Option::decode(dec)?;
+        if let Some(p) = &partition {
+            if p.assignment().len() != graph.num_vertices() {
+                return Err(ArtifactError::Malformed(format!(
+                    "level partition covers {} vertices, graph has {}",
+                    p.assignment().len(),
+                    graph.num_vertices()
+                )));
+            }
+        }
+        Ok(Level { graph, partition })
+    }
+}
+
+impl Encode for Hierarchy {
+    fn encode(&self, enc: &mut Encoder) {
+        self.levels.encode(enc);
+    }
+}
+
+impl Decode for Hierarchy {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let levels: Vec<Level> = Vec::decode(dec)?;
+        if levels.is_empty() {
+            return Err(ArtifactError::Malformed(
+                "hierarchy must have at least one level".to_string(),
+            ));
+        }
+        // Laminar consistency: every level but the coarsest carries a
+        // partition whose cluster count is the next level's vertex count.
+        for (i, pair) in levels.windows(2).enumerate() {
+            let Some(p) = &pair[0].partition else {
+                return Err(ArtifactError::Malformed(format!(
+                    "level {i} lacks a partition but is not the coarsest"
+                )));
+            };
+            if p.num_clusters() != pair[1].graph.num_vertices() {
+                return Err(ArtifactError::Malformed(format!(
+                    "level {i} has {} clusters but level {} has {} vertices",
+                    p.num_clusters(),
+                    i + 1,
+                    pair[1].graph.num_vertices()
+                )));
+            }
+        }
+        // fits: levels.len() >= 1 checked above
+        if levels[levels.len() - 1].partition.is_some() {
+            return Err(ArtifactError::Malformed(
+                "coarsest level must not carry a partition".to_string(),
+            ));
+        }
+        Ok(Hierarchy { levels })
+    }
+}
+
+/// Folds a [`HierarchyOptions`] into a fingerprint hasher. Every field that
+/// influences the built hierarchy participates, so two option sets collide
+/// only if they build identical hierarchies on every input.
+pub fn hash_hierarchy_options(h: &mut Fnv64, opts: &HierarchyOptions) {
+    h.write_str("hierarchy-opts-v1");
+    h.write_usize(opts.fixed_degree.k);
+    h.write_u64(opts.fixed_degree.seed);
+    h.write_bool(opts.fixed_degree.perturb);
+    // `parallel` is deliberately excluded: the engine guarantees bitwise
+    // identical results at every thread count, so parallel on/off does not
+    // change the artifact content and must not split the cache.
+    h.write_usize(opts.coarse_size);
+    h.write_usize(opts.max_levels);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::build_hierarchy;
+    use hicond_artifact::{decode_exact, encode_to_vec};
+    use hicond_graph::generators;
+
+    fn sample_hierarchy() -> Hierarchy {
+        let g = generators::grid2d(16, 16, |_, _| 1.0);
+        build_hierarchy(
+            &g,
+            &HierarchyOptions {
+                coarse_size: 20,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn hierarchy_roundtrips_bitwise() {
+        let h = sample_hierarchy();
+        let bytes = encode_to_vec(&h);
+        let back: Hierarchy = decode_exact(&bytes).unwrap();
+        assert_eq!(h.num_levels(), back.num_levels());
+        assert_eq!(h.level_sizes(), back.level_sizes());
+        for (a, b) in h.levels.iter().zip(&back.levels) {
+            for (ea, eb) in a.graph.edges().iter().zip(b.graph.edges()) {
+                assert_eq!(ea.w.to_bits(), eb.w.to_bits());
+            }
+            match (&a.partition, &b.partition) {
+                (Some(pa), Some(pb)) => assert_eq!(pa, pb),
+                (None, None) => {}
+                _ => panic!("partition presence mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn laminar_inconsistency_rejected() {
+        let h = sample_hierarchy();
+        assert!(h.num_levels() >= 2, "need a multi-level sample");
+        // Drop the finest level's partition: no longer laminar.
+        let mut broken = h.clone();
+        broken.levels[0].partition = None;
+        assert!(matches!(
+            decode_exact::<Hierarchy>(&encode_to_vec(&broken)),
+            Err(ArtifactError::Malformed(_))
+        ));
+        // Give the coarsest level a partition: also rejected.
+        let mut broken = h.clone();
+        let top_n = broken.levels.last().unwrap().graph.num_vertices();
+        broken.levels.last_mut().unwrap().partition = Some(Partition::singletons(top_n));
+        assert!(matches!(
+            decode_exact::<Hierarchy>(&encode_to_vec(&broken)),
+            Err(ArtifactError::Malformed(_))
+        ));
+        // Empty hierarchy.
+        let empty = Hierarchy { levels: vec![] };
+        assert!(matches!(
+            decode_exact::<Hierarchy>(&encode_to_vec(&empty)),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn options_roundtrip_and_hash_sensitivity() {
+        let opts = HierarchyOptions::default();
+        let back: HierarchyOptions = decode_exact(&encode_to_vec(&opts)).unwrap();
+        assert_eq!(back.coarse_size, opts.coarse_size);
+        assert_eq!(back.fixed_degree.k, opts.fixed_degree.k);
+
+        let key = |o: &HierarchyOptions| {
+            let mut h = Fnv64::new();
+            hash_hierarchy_options(&mut h, o);
+            h.finish()
+        };
+        let base = key(&opts);
+        let mut o2 = opts;
+        o2.fixed_degree.seed += 1;
+        assert_ne!(base, key(&o2), "seed must split the cache");
+        let mut o3 = opts;
+        o3.coarse_size += 1;
+        assert_ne!(base, key(&o3), "coarse_size must split the cache");
+        let mut o4 = opts;
+        o4.fixed_degree.parallel = !o4.fixed_degree.parallel;
+        assert_eq!(base, key(&o4), "parallelism must NOT split the cache");
+    }
+}

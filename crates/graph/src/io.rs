@@ -17,6 +17,39 @@ fn push_line(buf: &mut String, args: std::fmt::Arguments<'_>) {
     buf.push('\n');
 }
 
+/// Largest capacity hint honored when pre-allocating from an untrusted
+/// header, so a malformed `n m` line cannot trigger a huge allocation.
+const MAX_CAPACITY_HINT: usize = 1 << 22;
+
+/// Validates an edge parsed from untrusted input and adds it to the
+/// builder, converting the builder's panicking preconditions (endpoint
+/// range, self-loop, weight positivity/finiteness) into `InvalidData`
+/// errors so no reader can panic on malformed files.
+fn add_checked_edge(
+    b: &mut GraphBuilder,
+    n: usize,
+    u: usize,
+    v: usize,
+    w: f64,
+) -> std::io::Result<()> {
+    let err = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+    if u >= n || v >= n {
+        return Err(err(format!(
+            "edge ({u}, {v}) out of range for {n} vertices"
+        )));
+    }
+    if u == v {
+        return Err(err(format!("self-loop at vertex {u}")));
+    }
+    if !(w > 0.0 && w.is_finite()) {
+        return Err(err(format!(
+            "edge ({u}, {v}) weight {w} not positive finite"
+        )));
+    }
+    b.add_edge(u, v, w);
+    Ok(())
+}
+
 /// Writes the native edge-list format.
 pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
     let mut buf = String::new();
@@ -47,7 +80,7 @@ pub fn read_edge_list<R: Read>(r: R) -> std::io::Result<Graph> {
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| parse_err("bad edge count"))?;
-    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut b = GraphBuilder::with_capacity(n, m.min(MAX_CAPACITY_HINT));
     for line in lines {
         let line = line?;
         let t = line.trim();
@@ -69,7 +102,7 @@ pub fn read_edge_list<R: Read>(r: R) -> std::io::Result<Graph> {
             .transpose()
             .map_err(|_| parse_err("bad weight"))?
             .unwrap_or(1.0);
-        b.add_edge(u, v, w);
+        add_checked_edge(&mut b, n, u, v, w)?;
     }
     Ok(b.build())
 }
@@ -115,7 +148,7 @@ pub fn read_metis<R: Read>(r: R, weight_scale: f64) -> std::io::Result<Graph> {
         .ok_or_else(|| parse_err("bad edge count"))?;
     let fmt = hp.next().unwrap_or("0");
     let has_edge_weights = fmt.ends_with('1');
-    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut b = GraphBuilder::with_capacity(n, m.min(MAX_CAPACITY_HINT));
     for (v, line) in lines.enumerate() {
         if v >= n {
             break;
@@ -124,6 +157,9 @@ pub fn read_metis<R: Read>(r: R, weight_scale: f64) -> std::io::Result<Graph> {
         loop {
             let Some(tok) = it.next() else { break };
             let u: usize = tok.parse().map_err(|_| parse_err("bad neighbor"))?;
+            if u == 0 {
+                return Err(parse_err("METIS vertices are 1-indexed"));
+            }
             let w = if has_edge_weights {
                 let raw: f64 = it
                     .next()
@@ -134,9 +170,10 @@ pub fn read_metis<R: Read>(r: R, weight_scale: f64) -> std::io::Result<Graph> {
             } else {
                 1.0
             };
-            // Each edge appears twice; add from the lower endpoint only.
-            if u >= 1 && u - 1 > v {
-                b.add_edge(v, u - 1, w);
+            // Each edge appears twice; add from the lower endpoint only
+            // (the u - 1 <= v copies are the mirrored duplicates).
+            if u - 1 > v {
+                add_checked_edge(&mut b, n, v, u - 1, w)?;
             }
         }
     }
@@ -162,7 +199,7 @@ pub fn write_dimacs<W: Write>(g: &Graph, mut w: W) -> std::io::Result<()> {
 pub fn read_dimacs<R: Read>(r: R) -> std::io::Result<Graph> {
     let reader = BufReader::new(r);
     let parse_err = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
-    let mut builder: Option<GraphBuilder> = None;
+    let mut builder: Option<(GraphBuilder, usize)> = None;
     for line in reader.lines() {
         let line = line?;
         let t = line.trim();
@@ -183,9 +220,9 @@ pub fn read_dimacs<R: Read>(r: R) -> std::io::Result<Graph> {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| parse_err("bad edge count"))?;
-            builder = Some(GraphBuilder::with_capacity(n, m));
+            builder = Some((GraphBuilder::with_capacity(n, m.min(MAX_CAPACITY_HINT)), n));
         } else if let Some(rest) = t.strip_prefix("e ").or_else(|| t.strip_prefix("a ")) {
-            let b = builder
+            let (b, n) = builder
                 .as_mut()
                 .ok_or_else(|| parse_err("edge before problem line"))?;
             let mut it = rest.split_whitespace();
@@ -207,12 +244,12 @@ pub fn read_dimacs<R: Read>(r: R) -> std::io::Result<Graph> {
                 return Err(parse_err("DIMACS vertices are 1-indexed"));
             }
             if u != v {
-                b.add_edge(u - 1, v - 1, w);
+                add_checked_edge(b, *n, u - 1, v - 1, w)?;
             }
         }
     }
     builder
-        .map(GraphBuilder::build)
+        .map(|(b, _)| b.build())
         .ok_or_else(|| parse_err("missing problem line"))
 }
 
@@ -341,6 +378,47 @@ mod tests {
     fn metis_rejects_garbage() {
         assert!(read_metis("".as_bytes(), 1.0).is_err());
         assert!(read_metis("x\n".as_bytes(), 1.0).is_err());
+    }
+
+    #[test]
+    fn edge_list_rejects_invalid_edges_without_panicking() {
+        // Endpoint out of range.
+        assert!(read_edge_list("2 1\n0 7 1.0\n".as_bytes()).is_err());
+        // Self-loop.
+        assert!(read_edge_list("3 1\n1 1 1.0\n".as_bytes()).is_err());
+        // Zero, negative, and non-finite weights.
+        assert!(read_edge_list("2 1\n0 1 0.0\n".as_bytes()).is_err());
+        assert!(read_edge_list("2 1\n0 1 -3.0\n".as_bytes()).is_err());
+        assert!(read_edge_list("2 1\n0 1 NaN\n".as_bytes()).is_err());
+        assert!(read_edge_list("2 1\n0 1 inf\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metis_rejects_invalid_edges_without_panicking() {
+        // Neighbor index past the vertex count.
+        assert!(read_metis("2 1 0\n9\n1\n".as_bytes(), 1.0).is_err());
+        // Zero neighbor (format is 1-indexed).
+        assert!(read_metis("2 1 0\n0\n1\n".as_bytes(), 1.0).is_err());
+        // Negative edge weight.
+        assert!(read_metis("2 1 001\n2 -5\n1 -5\n".as_bytes(), 1.0).is_err());
+    }
+
+    #[test]
+    fn dimacs_rejects_invalid_edges_without_panicking() {
+        // Endpoint past the declared vertex count.
+        assert!(read_dimacs("p edge 2 1\ne 1 9\n".as_bytes()).is_err());
+        // Bad weight.
+        assert!(read_dimacs("p edge 2 1\ne 1 2 -1.0\n".as_bytes()).is_err());
+        assert!(read_dimacs("p edge 2 1\ne 1 2 NaN\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn huge_header_counts_do_not_allocate() {
+        // A malformed header declaring 10^15 edges must fail cleanly (the
+        // capacity hint is clamped), not abort on allocation.
+        let text = "3 1000000000000000\n0 1 1.0\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
     }
 
     #[test]

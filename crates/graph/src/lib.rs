@@ -22,6 +22,7 @@ pub mod laplacian;
 pub mod measures;
 pub mod partition;
 pub mod perturb;
+pub mod serialize;
 pub mod unionfind;
 
 pub use closure::{closure_graph, ClusterQuality};
@@ -38,4 +39,5 @@ pub use measures::{
 };
 pub use partition::Partition;
 pub use perturb::perturb_weights;
+pub use serialize::graph_fingerprint;
 pub use unionfind::UnionFind;

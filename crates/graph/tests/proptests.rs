@@ -141,6 +141,95 @@ proptest! {
     }
 }
 
+/// Text I/O round-trips: `write → read → write` must be a byte-for-byte
+/// fixpoint for every format, and no reader may panic on malformed input
+/// (errors must surface as `Err`).
+mod io_roundtrip {
+    use super::connected_graph;
+    use hicond_graph::io;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn edge_list_write_read_write_fixpoint(g in connected_graph(14)) {
+            let mut first = Vec::new();
+            io::write_edge_list(&g, &mut first).unwrap();
+            let h = io::read_edge_list(&first[..]).unwrap();
+            prop_assert_eq!(h.num_vertices(), g.num_vertices());
+            prop_assert_eq!(h.num_edges(), g.num_edges());
+            let mut second = Vec::new();
+            io::write_edge_list(&h, &mut second).unwrap();
+            // f64 Display → parse is exact, so the fixpoint is bitwise.
+            prop_assert_eq!(first, second);
+        }
+
+        #[test]
+        fn metis_write_read_write_fixpoint(
+            g in connected_graph(12),
+            scale_idx in 0usize..4,
+        ) {
+            let scale = [1.0, 100.0, 1000.0, 1e6][scale_idx];
+            let mut first = Vec::new();
+            io::write_metis(&g, scale, &mut first).unwrap();
+            let h = io::read_metis(&first[..], scale).unwrap();
+            prop_assert_eq!(h.num_vertices(), g.num_vertices());
+            prop_assert_eq!(h.num_edges(), g.num_edges());
+            // Weights are quantized to 1/scale on the first write; a second
+            // write must reproduce the same integers exactly.
+            let mut second = Vec::new();
+            io::write_metis(&h, scale, &mut second).unwrap();
+            prop_assert_eq!(first, second);
+        }
+
+        #[test]
+        fn dimacs_write_read_write_fixpoint(g in connected_graph(11)) {
+            let mut first = Vec::new();
+            io::write_dimacs(&g, &mut first).unwrap();
+            let h = io::read_dimacs(&first[..]).unwrap();
+            prop_assert_eq!(h.num_edges(), g.num_edges());
+            let mut second = Vec::new();
+            io::write_dimacs(&h, &mut second).unwrap();
+            prop_assert_eq!(first, second);
+        }
+
+        #[test]
+        fn readers_never_panic_on_random_bytes(bytes in prop::collection::vec(0u8..=255, 0..400)) {
+            // Any outcome is fine as long as it is a Result, not a panic.
+            let _ = io::read_edge_list(&bytes[..]);
+            let _ = io::read_metis(&bytes[..], 1000.0);
+            let _ = io::read_dimacs(&bytes[..]);
+        }
+
+        #[test]
+        fn readers_never_panic_on_corrupted_valid_file(
+            g in connected_graph(9),
+            pos_frac in 0.0..1.0f64,
+            repl_idx in 0usize..9,
+        ) {
+            let replacement = [
+                "-1", "NaN", "inf", "99", "0", "1e999", "x", "7.5", "9999999999999999999",
+            ][repl_idx];
+            // Start from a well-formed file and clobber one whitespace-
+            // separated token: the reader must reject or accept, never panic.
+            let mut buf = Vec::new();
+            io::write_edge_list(&g, &mut buf).unwrap();
+            let text = String::from_utf8(buf).unwrap();
+            let mut tokens: Vec<String> =
+                text.split_whitespace().map(|s| s.to_string()).collect();
+            prop_assume!(!tokens.is_empty());
+            // bounds: pos_frac < 1.0 so the index is < tokens.len()
+            let idx = (pos_frac * tokens.len() as f64) as usize;
+            tokens[idx] = replacement.to_string();
+            let mutated = tokens.join(" ");
+            let _ = io::read_edge_list(mutated.as_bytes());
+            let _ = io::read_metis(mutated.as_bytes(), 1000.0);
+            let _ = io::read_dimacs(mutated.as_bytes());
+        }
+    }
+}
+
 /// Every family in the `generators` module must produce graphs satisfying
 /// the full structural invariant set (mirrors the in-module corruption
 /// proptests, which check the rejecting direction).

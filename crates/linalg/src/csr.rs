@@ -57,6 +57,28 @@ impl CsrMatrix {
         }
     }
 
+    /// Fallible variant of [`CsrMatrix::from_parts`]: validates the same
+    /// invariants (plus finite values) and returns the violation instead of
+    /// panicking. This is the constructor decode paths must use — artifact
+    /// bytes are untrusted input.
+    pub fn try_from_parts(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, InvariantViolation> {
+        let m = CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        };
+        m.check_invariants()?;
+        Ok(m)
+    }
+
     /// Validates the structural invariants documented on the type:
     /// `row_ptr` shape and monotonicity, strictly increasing in-bounds
     /// column indices per row, and finite stored values.

@@ -159,9 +159,9 @@ impl IndexMut<(usize, usize)> for DenseMatrix {
 /// Cholesky factorization `A = L Lᵀ` of a symmetric positive-definite matrix.
 #[derive(Debug, Clone)]
 pub struct CholeskyFactor {
-    n: usize,
+    pub(crate) n: usize,
     /// Lower-triangular factor, row-major, full storage.
-    l: DenseMatrix,
+    pub(crate) l: DenseMatrix,
 }
 
 impl CholeskyFactor {

@@ -31,6 +31,7 @@ pub mod lanczos;
 pub mod ops;
 pub mod pencil;
 pub mod schur;
+pub mod serialize;
 pub mod ssor;
 pub mod tridiag;
 pub mod vector;

@@ -1,0 +1,183 @@
+//! Artifact [`Encode`]/[`Decode`] impls for linalg types.
+//!
+//! Values travel by bit pattern (the codec writes `f64::to_bits`), so a
+//! decoded matrix is *bitwise* identical to the encoded one — the property
+//! the preconditioner artifacts need to reproduce PCG trajectories exactly.
+//! Decoding treats the input as untrusted: structure is validated through
+//! [`CsrMatrix::try_from_parts`] / explicit shape checks and failures come
+//! back as [`ArtifactError::Malformed`], never a panic.
+
+use crate::csr::CsrMatrix;
+use crate::dense::{CholeskyFactor, DenseMatrix};
+use hicond_artifact::{ArtifactError, Decode, Decoder, Encode, Encoder};
+
+impl Encode for CsrMatrix {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.nrows());
+        enc.put_usize(self.ncols());
+        enc.put_usize_slice(self.row_ptr());
+        enc.put_u32_slice(self.col_idx());
+        enc.put_f64_slice(self.values());
+    }
+}
+
+impl Decode for CsrMatrix {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let nrows = dec.usize_()?;
+        let ncols = dec.usize_()?;
+        let row_ptr = dec.usize_vec()?;
+        let col_idx = dec.u32_vec()?;
+        let values = dec.f64_vec()?;
+        CsrMatrix::try_from_parts(nrows, ncols, row_ptr, col_idx, values)
+            .map_err(|v| ArtifactError::Malformed(format!("CsrMatrix: {v}")))
+    }
+}
+
+impl Encode for DenseMatrix {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.nrows());
+        enc.put_usize(self.ncols());
+        enc.put_f64_slice(self.data());
+    }
+}
+
+impl Decode for DenseMatrix {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let nrows = dec.usize_()?;
+        let ncols = dec.usize_()?;
+        let data = dec.f64_vec()?;
+        let expect = nrows.checked_mul(ncols).ok_or_else(|| {
+            ArtifactError::Malformed(format!("DenseMatrix: {nrows}x{ncols} overflows"))
+        })?;
+        if data.len() != expect {
+            return Err(ArtifactError::Malformed(format!(
+                "DenseMatrix: {nrows}x{ncols} needs {expect} entries, got {}",
+                data.len()
+            )));
+        }
+        Ok(DenseMatrix::from_rows(nrows, ncols, data))
+    }
+}
+
+impl Encode for CholeskyFactor {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_usize(self.n);
+        self.l.encode(enc);
+    }
+}
+
+impl Decode for CholeskyFactor {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
+        let n = dec.usize_()?;
+        let l = DenseMatrix::decode(dec)?;
+        if l.nrows() != n || l.ncols() != n {
+            return Err(ArtifactError::Malformed(format!(
+                "CholeskyFactor: factor is {}x{}, expected {n}x{n}",
+                l.nrows(),
+                l.ncols()
+            )));
+        }
+        // solve() divides by the diagonal; require it finite and nonzero so
+        // a decoded factor cannot poison downstream numerics silently.
+        for i in 0..n {
+            let d = l[(i, i)];
+            // exact: reject the literal zero bit pattern; any nonzero divides
+            if !d.is_finite() || d == 0.0 {
+                return Err(ArtifactError::Malformed(format!(
+                    "CholeskyFactor: diagonal entry {i} is {d}"
+                )));
+            }
+        }
+        Ok(CholeskyFactor { n, l })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_artifact::{decode_exact, encode_to_vec};
+
+    fn path_laplacian_csr(n: usize) -> CsrMatrix {
+        let mut b = crate::csr::CooBuilder::new(n, n);
+        for i in 0..n - 1 {
+            b.push(i, i, 1.0);
+            b.push(i + 1, i + 1, 1.0);
+            b.push(i, i + 1, -1.0);
+            b.push(i + 1, i, -1.0);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn csr_roundtrips_bitwise() {
+        let m = path_laplacian_csr(9);
+        let bytes = encode_to_vec(&m);
+        let back: CsrMatrix = decode_exact(&bytes).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(
+            m.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            back.values()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn corrupt_csr_structure_is_malformed_not_panic() {
+        let m = path_laplacian_csr(5);
+        let bytes = encode_to_vec(&m);
+        // Overwrite the ncols field (second u64) with a tiny value so the
+        // column indices go out of range.
+        let mut bad = bytes.clone();
+        bad[8..16].copy_from_slice(&1u64.to_le_bytes());
+        assert!(matches!(
+            decode_exact::<CsrMatrix>(&bad),
+            Err(ArtifactError::Malformed(_))
+        ));
+        // Truncations never panic either.
+        for cut in 0..bytes.len() {
+            assert!(decode_exact::<CsrMatrix>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn dense_and_cholesky_roundtrip() {
+        let a = DenseMatrix::from_rows(2, 2, vec![4.0, 2.0, 2.0, 3.0]);
+        let back: DenseMatrix = decode_exact(&encode_to_vec(&a)).unwrap();
+        assert_eq!(a, back);
+
+        let f = CholeskyFactor::factor(&a).unwrap();
+        let f2: CholeskyFactor = decode_exact(&encode_to_vec(&f)).unwrap();
+        let b = [10.0, 8.0];
+        let x1 = f.solve(&b);
+        let x2 = f2.solve(&b);
+        assert_eq!(
+            x1.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            x2.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dense_shape_mismatch_rejected() {
+        let a = DenseMatrix::from_rows(2, 3, vec![1.0; 6]);
+        let mut bytes = encode_to_vec(&a);
+        // Claim 3 rows; data length no longer matches.
+        bytes[0..8].copy_from_slice(&3u64.to_le_bytes());
+        assert!(matches!(
+            decode_exact::<DenseMatrix>(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn cholesky_zero_diagonal_rejected() {
+        let l = DenseMatrix::from_rows(2, 2, vec![0.0, 0.0, 1.0, 1.0]);
+        let fake = CholeskyFactor { n: 2, l };
+        let bytes = encode_to_vec(&fake);
+        assert!(matches!(
+            decode_exact::<CholeskyFactor>(&bytes),
+            Err(ArtifactError::Malformed(_))
+        ));
+    }
+}

@@ -26,6 +26,7 @@
 //!   elimination that Remark 2 contrasts against;
 //! * [`treesolve`] — exact linear-time forest Laplacian solves.
 
+pub mod artifact;
 pub mod gremban;
 pub mod multilevel;
 pub mod solver;
@@ -33,6 +34,7 @@ pub mod steiner;
 pub mod subgraph;
 pub mod treesolve;
 
+pub use artifact::{decode_solver, encode_solver, load_or_build, solver_cache_key, SolverSource};
 pub use gremban::{apply_via_extended_system, ExtendedSteinerSolver};
 pub use multilevel::{MultilevelOptions, MultilevelSteiner};
 pub use solver::{LaplacianSolver, Solution, SolveError, SolverOptions};

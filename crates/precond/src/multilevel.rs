@@ -40,20 +40,20 @@ impl Default for MultilevelOptions {
     }
 }
 
-struct MlLevel {
-    lap: CsrMatrix,
-    inv_d: Vec<f64>,
-    assignment: Vec<u32>,
-    num_clusters: usize,
+pub(crate) struct MlLevel {
+    pub(crate) lap: CsrMatrix,
+    pub(crate) inv_d: Vec<f64>,
+    pub(crate) assignment: Vec<u32>,
+    pub(crate) num_clusters: usize,
 }
 
 /// Multilevel Steiner preconditioner.
 pub struct MultilevelSteiner {
-    levels: Vec<MlLevel>,
-    coarse: GroundedLaplacianSolver,
-    smoothing: bool,
-    omega: f64,
-    n: usize,
+    pub(crate) levels: Vec<MlLevel>,
+    pub(crate) coarse: GroundedLaplacianSolver,
+    pub(crate) smoothing: bool,
+    pub(crate) omega: f64,
+    pub(crate) n: usize,
 }
 
 impl MultilevelSteiner {

@@ -105,11 +105,11 @@ pub struct Solution {
 
 /// Reusable Laplacian solver: one setup, many right-hand sides.
 pub struct LaplacianSolver {
-    lap: CsrMatrix,
-    pre: MultilevelSteiner,
-    comp_labels: Vec<u32>,
-    num_components: usize,
-    opts: SolverOptions,
+    pub(crate) lap: CsrMatrix,
+    pub(crate) pre: MultilevelSteiner,
+    pub(crate) comp_labels: Vec<u32>,
+    pub(crate) num_components: usize,
+    pub(crate) opts: SolverOptions,
 }
 
 impl LaplacianSolver {
@@ -139,6 +139,19 @@ impl LaplacianSolver {
     /// connected component; small imbalances are projected away, large
     /// ones are an error.
     pub fn solve(&self, b: &[f64]) -> Result<Solution, SolveError> {
+        self.solve_inner(b, false).map(|(sol, _)| sol)
+    }
+
+    /// Like [`solve`](Self::solve) but also returns the PCG residual
+    /// trajectory `‖rᵢ‖₂` (one entry per iteration, starting at `‖r₀‖₂`).
+    /// Two solvers with bitwise-identical state produce bitwise-identical
+    /// trajectories at any thread cap — the artifact round-trip tests rely
+    /// on this.
+    pub fn solve_recording(&self, b: &[f64]) -> Result<(Solution, Vec<f64>), SolveError> {
+        self.solve_inner(b, true)
+    }
+
+    fn solve_inner(&self, b: &[f64], record: bool) -> Result<(Solution, Vec<f64>), SolveError> {
         // "pcg" and "precond_apply" spans from the inner solve nest under
         // this one ("solve/pcg/precond_apply" in the phase tree).
         let _span = hicond_obs::span("solve");
@@ -176,7 +189,7 @@ impl LaplacianSolver {
             &CgOptions {
                 rel_tol: self.opts.rel_tol,
                 max_iter: self.opts.max_iter,
-                record_residuals: false,
+                record_residuals: record,
             },
         );
         if !res.converged {
@@ -198,11 +211,14 @@ impl LaplacianSolver {
             hicond_obs::counter_add("solver/iterations", res.iterations as u64);
             hicond_obs::hist_record("solver/iterations_per_solve", res.iterations as f64);
         }
-        Ok(Solution {
-            x,
-            iterations: res.iterations,
-            rel_residual: res.final_rel_residual,
-        })
+        Ok((
+            Solution {
+                x,
+                iterations: res.iterations,
+                rel_residual: res.final_rel_residual,
+            },
+            res.residual_history,
+        ))
     }
 }
 

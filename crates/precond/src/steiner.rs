@@ -23,9 +23,9 @@ use rayon::prelude::*;
 /// projected to zero mean per component).
 #[derive(Debug)]
 pub struct GroundedLaplacianSolver {
-    comps: Vec<Vec<usize>>,
-    factors: Vec<Option<CholeskyFactor>>,
-    n: usize,
+    pub(crate) comps: Vec<Vec<usize>>,
+    pub(crate) factors: Vec<Option<CholeskyFactor>>,
+    pub(crate) n: usize,
 }
 
 impl GroundedLaplacianSolver {

@@ -30,8 +30,45 @@ HICOND_THREADS=4 cargo test --offline --workspace -q
 step "schedule-perturbation stress (HICOND_THREADS=4, seeded jitter)"
 HICOND_THREADS=4 cargo test --offline -q --test sched_stress --test obs_stress
 
+step "cargo build --examples"
+cargo build --offline --examples
+
 step "bench_suite --smoke (engine + workload smoke, JSON shape)"
 cargo run --release --offline -p hicond-bench --bin bench_suite -- --smoke --out target/bench_smoke.json
 test -s target/bench_smoke.json
+
+step "artifact cache round-trip smoke (build -> corrupt -> reject -> rebuild -> solve)"
+rm -rf target/cache_smoke && mkdir -p target/cache_smoke
+printf '6 6\n0 1 1.0\n1 2 1.0\n2 3 1.0\n3 4 1.0\n4 5 1.0\n0 5 1.0\n' > target/cache_smoke/ring.txt
+export HICOND_CACHE_DIR=target/cache_smoke/cache
+# Capture output to a file before grepping: `cargo run | grep -q` would let
+# grep close the pipe early and kill the binary with SIGPIPE under pipefail.
+smoke_out=target/cache_smoke/out.txt
+# First solve builds and publishes the artifact; second must load it.
+cargo run --release --offline -q --bin hicond -- solve target/cache_smoke/ring.txt --demo --cached \
+  > "$smoke_out" 2>&1
+grep -q "built and cached" "$smoke_out"
+cargo run --release --offline -q --bin hicond -- solve target/cache_smoke/ring.txt --demo --cached \
+  > "$smoke_out" 2>&1
+grep -q "loaded from cache" "$smoke_out"
+cargo run --release --offline -q --bin hicond -- cache verify
+# Corrupt one byte (the format-version field, which also breaks the header
+# CRC): verify must reject it with a structured error, not a panic.
+entry=$(ls target/cache_smoke/cache/*.hca)
+printf '\xff' | dd of="$entry" conv=notrunc bs=1 seek=8 status=none
+if cargo run --release --offline -q --bin hicond -- cache verify 2>/dev/null; then
+  echo "corrupt cache entry was not rejected" >&2; exit 1
+fi
+# A cached solve degrades to a clean rebuild over the corrupt entry...
+cargo run --release --offline -q --bin hicond -- solve target/cache_smoke/ring.txt --demo --cached \
+  > "$smoke_out" 2>&1
+grep -q "built and cached" "$smoke_out"
+# ...after which the store verifies clean, loads, and serves solves.
+cargo run --release --offline -q --bin hicond -- cache verify
+printf '1 0 0 0 0 -1\nquit\n' | \
+  cargo run --release --offline -q --bin hicond -- serve target/cache_smoke/ring.txt \
+  > "$smoke_out"
+grep -q "^ok " "$smoke_out"
+unset HICOND_CACHE_DIR
 
 step "all checks passed"

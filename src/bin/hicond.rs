@@ -2,30 +2,44 @@
 //!
 //! ```text
 //! hicond decompose <graph-file> [--k K] [--method fixed|planar|tree] [--validate PHI RHO]
-//! hicond solve <graph-file> <rhs-file|--demo> [--tol T]
+//! hicond solve <graph-file> <rhs-file|--demo> [--tol T] [--cached]
+//! hicond serve <graph-file> [--tol T]
+//! hicond cache ls|verify|gc [--all]
 //! hicond cluster <graph-file> --k K [--method eigen|walk]
 //! hicond info <graph-file>
 //! ```
 //!
 //! Graph files use the native edge-list format (`n m` header, `u v w`
-//! lines) or METIS (detected by extension `.metis` / `.graph`).
+//! lines) or METIS (detected by extension `.metis` / `.graph`). Every
+//! graph-loading subcommand accepts `--weight-scale S` (default 1000):
+//! METIS integer weights are divided by `S` on read and multiplied back on
+//! write.
+//!
+//! `solve --cached` and `serve` persist the built preconditioner in the
+//! artifact cache (`HICOND_CACHE_DIR`, default `.hicond-cache`) keyed by
+//! graph content + build options, so repeat invocations skip the build.
 
+use hicond::artifact::{Cache, GcReport};
 use hicond::core::{
     decompose_fixed_degree, decompose_forest, decompose_planar, validate_phi_rho,
     FixedDegreeOptions, PlanarOptions,
 };
 use hicond::graph::{io, Graph};
-use hicond::precond::{LaplacianSolver, SolverOptions};
+use hicond::precond::{load_or_build, LaplacianSolver, SolverOptions, SolverSource};
 use hicond::spectral::{
     spectral_clustering, walk_mixture_clustering, SpectralClusteringOptions, WalkClusteringOptions,
 };
 use std::fs::File;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
-fn load_graph(path: &str) -> Result<Graph, String> {
+/// Default METIS weight scale: integer weights on disk are `w * 1000`.
+const DEFAULT_WEIGHT_SCALE: f64 = 1000.0;
+
+fn load_graph(path: &str, weight_scale: f64) -> Result<Graph, String> {
     let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     if path.ends_with(".metis") || path.ends_with(".graph") {
-        io::read_metis(f, 1000.0).map_err(|e| format!("metis parse error: {e}"))
+        io::read_metis(f, weight_scale).map_err(|e| format!("metis parse error: {e}"))
     } else if path.ends_with(".dimacs") || path.ends_with(".col") {
         io::read_dimacs(f).map_err(|e| format!("dimacs parse error: {e}"))
     } else {
@@ -39,8 +53,32 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-fn cmd_info(path: &str) -> Result<(), String> {
-    let g = load_graph(path)?;
+/// Parses `--weight-scale S` (default 1000, must be positive and finite).
+fn weight_scale(args: &[String]) -> Result<f64, String> {
+    match arg_value(args, "--weight-scale") {
+        None => Ok(DEFAULT_WEIGHT_SCALE),
+        Some(s) => {
+            let v: f64 = s.parse().map_err(|_| "bad --weight-scale".to_string())?;
+            if v.is_finite() && v > 0.0 {
+                Ok(v)
+            } else {
+                Err(format!(
+                    "--weight-scale must be positive and finite, got {v}"
+                ))
+            }
+        }
+    }
+}
+
+fn parse_tol(args: &[String]) -> Result<f64, String> {
+    arg_value(args, "--tol")
+        .map(|s| s.parse().map_err(|_| "bad --tol".to_string()))
+        .transpose()
+        .map(|t| t.unwrap_or(1e-8))
+}
+
+fn cmd_info(path: &str, args: &[String]) -> Result<(), String> {
+    let g = load_graph(path, weight_scale(args)?)?;
     let (_, comps) = hicond::graph::connectivity::connected_components(&g);
     let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
     for e in g.edges() {
@@ -55,11 +93,15 @@ fn cmd_info(path: &str) -> Result<(), String> {
     if g.num_edges() > 0 {
         println!("weight range:    [{lo:.3e}, {hi:.3e}]");
     }
+    println!(
+        "fingerprint:     {:016x}",
+        hicond::graph::graph_fingerprint(&g)
+    );
     Ok(())
 }
 
 fn cmd_decompose(path: &str, args: &[String]) -> Result<(), String> {
-    let g = load_graph(path)?;
+    let g = load_graph(path, weight_scale(args)?)?;
     let k: usize = arg_value(args, "--k")
         .map(|s| s.parse().map_err(|_| "bad --k".to_string()))
         .transpose()?
@@ -117,13 +159,29 @@ fn cmd_decompose(path: &str, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the solver directly, or through the artifact cache with
+/// `--cached` (build once, load on every later run).
+fn obtain_solver(g: &Graph, opts: &SolverOptions, cached: bool) -> Result<LaplacianSolver, String> {
+    if !cached {
+        return Ok(LaplacianSolver::new(g, opts));
+    }
+    let cache = Cache::from_env();
+    let (solver, source) = load_or_build(&cache, g, opts).map_err(|e| format!("cache: {e}"))?;
+    eprintln!(
+        "preconditioner {} (cache dir {})",
+        match source {
+            SolverSource::Loaded => "loaded from cache",
+            SolverSource::Built => "built and cached",
+        },
+        cache.dir().display()
+    );
+    Ok(solver)
+}
+
 fn cmd_solve(path: &str, args: &[String]) -> Result<(), String> {
-    let g = load_graph(path)?;
+    let g = load_graph(path, weight_scale(args)?)?;
     let n = g.num_vertices();
-    let tol: f64 = arg_value(args, "--tol")
-        .map(|s| s.parse().map_err(|_| "bad --tol".to_string()))
-        .transpose()?
-        .unwrap_or(1e-8);
+    let tol = parse_tol(args)?;
     let b: Vec<f64> = if args.iter().any(|a| a == "--demo") {
         // Unit dipole between the first and last vertex.
         let mut b = vec![0.0; n];
@@ -140,13 +198,11 @@ fn cmd_solve(path: &str, args: &[String]) -> Result<(), String> {
         let vals: Result<Vec<f64>, _> = text.split_whitespace().map(|t| t.parse()).collect();
         vals.map_err(|e| format!("bad rhs value: {e}"))?
     };
-    let solver = LaplacianSolver::new(
-        &g,
-        &SolverOptions {
-            rel_tol: tol,
-            ..Default::default()
-        },
-    );
+    let opts = SolverOptions {
+        rel_tol: tol,
+        ..Default::default()
+    };
+    let solver = obtain_solver(&g, &opts, args.iter().any(|a| a == "--cached"))?;
     println!("hierarchy levels: {}", solver.num_levels());
     match solver.solve(&b) {
         Ok(sol) => {
@@ -165,8 +221,131 @@ fn cmd_solve(path: &str, args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `hicond serve <graph>`: build-or-load the preconditioner once, then
+/// answer solves over a line protocol on stdin/stdout.
+///
+/// Protocol (one request per line):
+/// - `n` whitespace-separated f64 values — a right-hand side; the reply is
+///   `ok <iterations> <rel_residual> <x_0> ... <x_{n-1}>` on one line, or
+///   `err <message>`.
+/// - `quit` — exit cleanly. EOF also ends the session.
+fn cmd_serve(path: &str, args: &[String]) -> Result<(), String> {
+    let g = load_graph(path, weight_scale(args)?)?;
+    let tol = parse_tol(args)?;
+    let opts = SolverOptions {
+        rel_tol: tol,
+        ..Default::default()
+    };
+    let solver = obtain_solver(&g, &opts, true)?;
+    let n = g.num_vertices();
+    eprintln!(
+        "serving {n} vertices, {} hierarchy levels; send {n} rhs values per line, 'quit' to exit",
+        solver.num_levels()
+    );
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut served = 0u64;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "quit" {
+            break;
+        }
+        let reply = serve_one(&solver, n, trimmed);
+        out.write_all(reply.as_bytes())
+            .and_then(|_| out.write_all(b"\n"))
+            .and_then(|_| out.flush())
+            .map_err(|e| format!("stdout: {e}"))?;
+        served += 1;
+    }
+    eprintln!("served {served} requests");
+    Ok(())
+}
+
+/// Handles one serve request line; infallible (errors become `err` replies).
+fn serve_one(solver: &LaplacianSolver, n: usize, line: &str) -> String {
+    let _span = hicond::obs::span("serve_request");
+    hicond::obs::counter_add("serve/requests", 1);
+    let vals: Result<Vec<f64>, _> = line.split_whitespace().map(|t| t.parse()).collect();
+    let b = match vals {
+        Ok(b) if b.len() == n => b,
+        Ok(b) => return format!("err rhs has {} values, expected {n}", b.len()),
+        Err(e) => return format!("err bad rhs value: {e}"),
+    };
+    match solver.solve(&b) {
+        Ok(sol) => {
+            hicond::obs::hist_record("serve/iterations", sol.iterations as f64);
+            let mut reply = format!("ok {} {:.3e}", sol.iterations, sol.rel_residual);
+            for x in &sol.x {
+                reply.push(' ');
+                reply.push_str(&format!("{x:.17e}"));
+            }
+            reply
+        }
+        Err(e) => format!("err {e}"),
+    }
+}
+
+fn cmd_cache(args: &[String]) -> Result<(), String> {
+    let cache = Cache::from_env();
+    let action = args.first().map(|s| s.as_str()).unwrap_or("ls");
+    match action {
+        "ls" => {
+            let entries = cache.entries().map_err(|e| e.to_string())?;
+            println!("cache dir: {}", cache.dir().display());
+            if entries.is_empty() {
+                println!("(empty)");
+                return Ok(());
+            }
+            let mut total = 0u64;
+            for e in &entries {
+                println!(
+                    "  {:<14} {:016x}  {:>12} bytes  {}",
+                    hicond::artifact::kinds::name(e.kind),
+                    e.key,
+                    e.bytes,
+                    e.path.display()
+                );
+                total += e.bytes;
+            }
+            println!("{} entries, {total} bytes", entries.len());
+            Ok(())
+        }
+        "verify" => {
+            let report = cache.verify().map_err(|e| e.to_string())?;
+            println!("ok: {}", report.ok);
+            for (path, err) in &report.bad {
+                println!("BAD {}: {err}", path.display());
+            }
+            if report.bad.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("{} corrupt entries", report.bad.len()))
+            }
+        }
+        "gc" => {
+            let all = args.iter().any(|a| a == "--all");
+            let GcReport {
+                removed,
+                bytes,
+                tmp_removed,
+                corrupt_removed,
+            } = cache.gc(all).map_err(|e| e.to_string())?;
+            println!(
+                "removed {removed} entries ({corrupt_removed} corrupt), {tmp_removed} tmp files, {bytes} bytes"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown cache action '{other}' (ls|verify|gc)")),
+    }
+}
+
 fn cmd_cluster(path: &str, args: &[String]) -> Result<(), String> {
-    let g = load_graph(path)?;
+    let g = load_graph(path, weight_scale(args)?)?;
     let k: usize = arg_value(args, "--k")
         .map(|s| s.parse().map_err(|_| "bad --k".to_string()))
         .transpose()?
@@ -208,15 +387,17 @@ fn cmd_cluster(path: &str, args: &[String]) -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  hicond info <graph>\n  hicond decompose <graph> [--k K] [--method fixed|planar|tree] [--validate PHI RHO]\n  hicond solve <graph> <rhs|--demo> [--tol T]\n  hicond cluster <graph> --k K [--method eigen|walk]\n\ngraph files: native edge list ('n m' header + 'u v w' lines) or METIS (.metis/.graph)"
+    "usage:\n  hicond info <graph>\n  hicond decompose <graph> [--k K] [--method fixed|planar|tree] [--validate PHI RHO]\n  hicond solve <graph> <rhs|--demo> [--tol T] [--cached]\n  hicond serve <graph> [--tol T]\n  hicond cache ls|verify|gc [--all]\n  hicond cluster <graph> --k K [--method eigen|walk]\n\nall graph-loading commands accept --weight-scale S (default 1000, METIS weight divisor)\ngraph files: native edge list ('n m' header + 'u v w' lines) or METIS (.metis/.graph)\ncache dir: $HICOND_CACHE_DIR (default .hicond-cache)"
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match (args.first().map(|s| s.as_str()), args.get(1)) {
-        (Some("info"), Some(path)) => cmd_info(path),
+        (Some("info"), Some(path)) => cmd_info(path, &args[2..]),
         (Some("decompose"), Some(path)) => cmd_decompose(path, &args[2..]),
         (Some("solve"), Some(path)) => cmd_solve(path, &args[2..]),
+        (Some("serve"), Some(path)) => cmd_serve(path, &args[2..]),
+        (Some("cache"), _) => cmd_cache(&args[1..]),
         (Some("cluster"), Some(path)) => cmd_cluster(path, &args[2..]),
         _ => {
             eprintln!("{}", usage());

@@ -44,7 +44,9 @@
 //! | [`support`] | support theory: σ(A,B), splitting lemma, star complements |
 //! | [`precond`] | Steiner + multilevel + subgraph preconditioners |
 //! | [`spectral`] | normalized Laplacians, random walks, Theorem 4.1 portraits |
+//! | [`artifact`] | binary persistence: versioned containers, CRC32, content-addressed cache |
 
+pub use hicond_artifact as artifact;
 pub use hicond_core as core;
 pub use hicond_graph as graph;
 pub use hicond_linalg as linalg;
@@ -67,8 +69,9 @@ pub mod prelude {
         cg_solve, pcg_solve, CgOptions, CsrMatrix, LinearOperator, Preconditioner,
     };
     pub use hicond_precond::{
-        LaplacianSolver, MultilevelOptions, MultilevelSteiner, SolverOptions,
-        SteinerPreconditioner, SubgraphOptions, SubgraphPreconditioner,
+        load_or_build, solver_cache_key, LaplacianSolver, MultilevelOptions, MultilevelSteiner,
+        SolverOptions, SolverSource, SteinerPreconditioner, SubgraphOptions,
+        SubgraphPreconditioner,
     };
     pub use hicond_spectral::{
         local_cluster, portrait_check, spectral_clustering, walk_mixture_clustering,
