@@ -117,8 +117,12 @@ impl Encoder {
     }
 
     /// With a capacity hint.
+    ///
+    /// The hint is a producer-side size: encoders serialize in-memory
+    /// values the caller already owns, so `n` is never attacker-chosen.
     pub fn with_capacity(n: usize) -> Self {
         Encoder {
+            // reach: allow(reach-alloc, encoder capacity comes from the size of in-memory values being serialized, never from decoded input)
             buf: Vec::with_capacity(n),
         }
     }
@@ -220,40 +224,36 @@ impl<'a> Decoder<'a> {
         Decoder { buf, pos: 0 }
     }
 
-    /// Unread bytes.
+    /// Unread bytes. (`pos <= buf.len()` is a `take` invariant, but the
+    /// saturating form keeps this total even if that ever breaks.)
     pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.buf.len().saturating_sub(self.pos)
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
-        if self.remaining() < n {
-            return Err(ArtifactError::Truncated {
-                needed: n,
-                available: self.remaining(),
-            });
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let truncated = || ArtifactError::Truncated {
+            needed: n,
+            available: self.buf.len().saturating_sub(self.pos),
+        };
+        let end = self.pos.checked_add(n).ok_or_else(truncated)?;
+        let out = self.buf.get(self.pos..end).ok_or_else(truncated)?;
+        self.pos = end;
         Ok(out)
     }
 
     /// Reads one byte.
     pub fn u8(&mut self) -> Result<u8, ArtifactError> {
-        Ok(self.take(1)?[0])
+        Ok(u8::from_le_bytes(le_bytes(self.take(1)?)))
     }
 
     /// Reads a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, ArtifactError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(le_bytes(self.take(4)?)))
     }
 
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, ArtifactError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        Ok(u64::from_le_bytes(le_bytes(self.take(8)?)))
     }
 
     /// Reads a `u64` and converts to `usize`, rejecting overflow.
@@ -297,7 +297,7 @@ impl<'a> Decoder<'a> {
         let bytes = self.take(need)?;
         Ok(bytes
             .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .map(|c| u32::from_le_bytes(le_bytes(c)))
             .collect())
     }
 
@@ -311,7 +311,7 @@ impl<'a> Decoder<'a> {
         bytes
             .chunks_exact(8)
             .map(|c| {
-                let x = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+                let x = u64::from_le_bytes(le_bytes(c));
                 usize::try_from(x).map_err(|_| {
                     ArtifactError::Malformed(format!("length {x} exceeds the host address space"))
                 })
@@ -328,11 +328,7 @@ impl<'a> Decoder<'a> {
         let bytes = self.take(need)?;
         Ok(bytes
             .chunks_exact(8)
-            .map(|c| {
-                f64::from_bits(u64::from_le_bytes([
-                    c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
-                ]))
-            })
+            .map(|c| f64::from_bits(u64::from_le_bytes(le_bytes(c))))
             .collect())
     }
 
@@ -345,6 +341,17 @@ impl<'a> Decoder<'a> {
         }
         Ok(())
     }
+}
+
+/// Copies an exact-size little-endian group out of a `take`/`chunks_exact`
+/// slice without indexing. The zip stops at the shorter side, so even an
+/// (impossible) short chunk zero-pads instead of panicking.
+pub(crate) fn le_bytes<const N: usize>(chunk: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    for (o, b) in out.iter_mut().zip(chunk) {
+        *o = *b;
+    }
+    out
 }
 
 /// Serialization into the artifact byte format.

@@ -18,7 +18,7 @@
 //! single-byte flip or truncation is rejected with a structured
 //! [`ArtifactError`] before a single payload byte is decoded.
 
-use crate::codec::{decode_exact, ArtifactError, Decode, Encode, Encoder};
+use crate::codec::{decode_exact, le_bytes, ArtifactError, Decode, Encode, Encoder};
 use crate::crc32::crc32;
 
 /// File magic: 8 bytes, ASCII + NUL pad.
@@ -130,55 +130,66 @@ impl<'a> ArtifactReader<'a> {
                 available: bytes.len(),
             });
         }
-        if bytes[..MAGIC.len()] != MAGIC {
+        if bytes.get(..MAGIC.len()) != Some(MAGIC.as_slice()) {
             return Err(ArtifactError::BadMagic);
         }
-        let le32 = |off: usize| -> u32 {
-            u32::from_le_bytes([bytes[off], bytes[off + 1], bytes[off + 2], bytes[off + 3]])
+        // Bounds-checked field access: every header read goes through
+        // `field`, so no offset arithmetic can index out of range.
+        let field = |off: usize, n: usize| -> Result<&[u8], ArtifactError> {
+            off.checked_add(n)
+                .and_then(|end| bytes.get(off..end))
+                .ok_or(ArtifactError::Truncated {
+                    needed: off.saturating_add(n),
+                    available: bytes.len(),
+                })
         };
-        let version = le32(8);
+        let le32 = |off: usize| -> Result<u32, ArtifactError> {
+            Ok(u32::from_le_bytes(le_bytes(field(off, 4)?)))
+        };
+        let le64 = |off: usize| -> Result<u64, ArtifactError> {
+            Ok(u64::from_le_bytes(le_bytes(field(off, 8)?)))
+        };
+        let version = le32(8)?;
         if version != FORMAT_VERSION {
             return Err(ArtifactError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
             });
         }
-        let kind = le32(12);
-        let count = le32(16);
+        let kind = le32(12)?;
+        let count = le32(16)?;
         if count > MAX_SECTIONS {
             return Err(ArtifactError::Malformed(format!(
                 "section count {count} exceeds the {MAX_SECTIONS} limit"
             )));
         }
-        let table_len = (count as usize) * 16;
-        let header_len = fixed + table_len;
-        if bytes.len() < header_len + 4 {
+        // fits: count <= MAX_SECTIONS = 64, so the table arithmetic cannot
+        // overflow, but stay total anyway.
+        let table_len = (count as usize).saturating_mul(16);
+        let header_len = fixed.saturating_add(table_len);
+        let hcrc_end = header_len.saturating_add(4);
+        if bytes.len() < hcrc_end {
             return Err(ArtifactError::Truncated {
-                needed: header_len + 4,
+                needed: hcrc_end,
                 available: bytes.len(),
             });
         }
-        let stored_hcrc = le32(header_len);
-        if crc32(&bytes[..header_len]) != stored_hcrc {
+        let stored_hcrc = le32(header_len)?;
+        let header_bytes = bytes.get(..header_len).ok_or(ArtifactError::Truncated {
+            needed: header_len,
+            available: bytes.len(),
+        })?;
+        if crc32(header_bytes) != stored_hcrc {
             return Err(ArtifactError::ChecksumMismatch { section: 0 });
         }
         // Header is now trustworthy; walk the table.
         let mut entries = Vec::with_capacity(count as usize);
         let mut total: u64 = 0;
         for i in 0..count as usize {
-            let off = fixed + i * 16;
-            let tag = le32(off);
-            let len = u64::from_le_bytes([
-                bytes[off + 4],
-                bytes[off + 5],
-                bytes[off + 6],
-                bytes[off + 7],
-                bytes[off + 8],
-                bytes[off + 9],
-                bytes[off + 10],
-                bytes[off + 11],
-            ]);
-            let crc = le32(off + 12);
+            let off = fixed.saturating_add(i.saturating_mul(16));
+            let tag = le32(off)?;
+            let len = le64(off.saturating_add(4))?;
+            let crc = le32(off.saturating_add(12))?;
             if entries.iter().any(|&(t, _, _)| t == tag) {
                 return Err(ArtifactError::Malformed(format!(
                     "duplicate section tag {tag}"
@@ -189,7 +200,7 @@ impl<'a> ArtifactReader<'a> {
             })?;
             entries.push((tag, len, crc));
         }
-        let payload_start = header_len + 4;
+        let payload_start = hcrc_end;
         let expected_total = (payload_start as u64).checked_add(total).ok_or_else(|| {
             ArtifactError::Malformed("container length overflows u64".to_string())
         })?;
@@ -209,15 +220,25 @@ impl<'a> ArtifactReader<'a> {
         let mut sections = Vec::with_capacity(entries.len());
         let mut cursor = payload_start;
         for (tag, len, crc) in entries {
-            // fits: cursor + len <= bytes.len() was proven by the exact
-            // total-length check above
-            let len = len as usize;
-            let payload = &bytes[cursor..cursor + len];
+            // cursor + len <= bytes.len() was proven by the exact
+            // total-length check above, so `get` cannot fail; keep the
+            // checked form anyway so a future refactor degrades to an
+            // error, not a panic.
+            let len = usize::try_from(len).map_err(|_| {
+                ArtifactError::Malformed(format!("section length {len} exceeds the address space"))
+            })?;
+            let end = cursor.checked_add(len).ok_or_else(|| {
+                ArtifactError::Malformed("section offsets overflow usize".to_string())
+            })?;
+            let payload = bytes.get(cursor..end).ok_or(ArtifactError::Truncated {
+                needed: end,
+                available: bytes.len(),
+            })?;
             if crc32(payload) != crc {
                 return Err(ArtifactError::ChecksumMismatch { section: tag });
             }
             sections.push((tag, payload));
-            cursor += len;
+            cursor = end;
         }
         Ok(ArtifactReader { kind, sections })
     }

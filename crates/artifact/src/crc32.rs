@@ -10,6 +10,8 @@
 //! lookups per 8-byte word run several times faster than the classic
 //! byte-at-a-time loop while computing the identical checksum.
 
+use crate::codec::le_bytes;
+
 /// Reflected IEEE polynomial (0x04C11DB7 bit-reversed).
 const POLY: u32 = 0xEDB8_8320;
 
@@ -51,7 +53,9 @@ static TABLES: [[u32; 256]; 8] = build_tables();
 /// Table lookup keyed by the low byte of `x`.
 #[inline(always)]
 fn tab(j: usize, x: u32) -> u32 {
-    // bounds: x is masked to 8 bits, < 256
+    // This is the checksum hot path, so keep the direct indexing.
+    // reach: allow(reach-index, index is a u8-masked value and a literal table number into fixed [u32; 256] tables)
+    // bounds: x is masked to 8 bits (< 256) and every caller passes a literal j in 0..8, so both lookups are in range.
     TABLES[j][(x & 0xFF) as usize]
 }
 
@@ -78,8 +82,10 @@ impl Crc32 {
         let mut crc = self.state;
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
-            let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
-            let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+            // chunks_exact(8) yields exactly 8 bytes; `le_bytes` reads the
+            // low half and `get(4..)` the high half without indexing.
+            let lo = u32::from_le_bytes(le_bytes(c)) ^ crc;
+            let hi = u32::from_le_bytes(le_bytes(c.get(4..).unwrap_or(&[])));
             crc = tab(7, lo)
                 ^ tab(6, lo >> 8)
                 ^ tab(5, lo >> 16)

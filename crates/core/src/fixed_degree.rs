@@ -51,6 +51,10 @@ impl Default for FixedDegreeOptions {
 /// Step 2's output: for each vertex, the id of its heaviest incident edge
 /// under the (perturbed) weights, ties broken toward larger edge id.
 /// `u32::MAX` marks isolated vertices.
+///
+/// # Panics
+///
+/// Panics if `weights` does not hold exactly one entry per edge of `g`.
 pub fn heaviest_incident_edges(g: &Graph, weights: &[f64], parallel: bool) -> Vec<u32> {
     assert_eq!(weights.len(), g.num_edges());
     let pick = |v: usize| -> u32 {
@@ -248,6 +252,10 @@ fn split_segment(forest: &FlatForest, (start, end): (u32, u32), k: usize) -> (Ve
 }
 
 /// The full Section 3.1 pipeline: perturb → heaviest-edge forest → split.
+///
+/// # Panics
+///
+/// Panics if `opts.k < 2`.
 pub fn decompose_fixed_degree(g: &Graph, opts: &FixedDegreeOptions) -> Partition {
     assert!(opts.k >= 2, "cluster size cap must be at least 2");
     let n = g.num_vertices();

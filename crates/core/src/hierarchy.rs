@@ -59,6 +59,10 @@ impl Hierarchy {
 
     /// Maps a level-0 vertex to its cluster id at the given level
     /// (level 0 maps to itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the hierarchy depth or an intermediate level lacks a partition.
     pub fn project_vertex(&self, v: usize, level: usize) -> usize {
         let mut cur = v;
         for l in 0..level {

@@ -59,6 +59,10 @@ impl Ord for DijkstraItem {
 
 /// Builds a spanning forest with low average stretch. Returns the selected
 /// original edge ids (`n − components` of them).
+///
+/// # Panics
+///
+/// Panics if the ball-growing contraction has not converged after 64 rounds, which cannot happen for a finite input.
 pub fn low_stretch_tree(g: &Graph, opts: &LowStretchOptions) -> Vec<usize> {
     let n = g.num_vertices();
     let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
@@ -189,6 +193,10 @@ pub fn low_stretch_tree(g: &Graph, opts: &LowStretchOptions) -> Vec<usize> {
 /// `tree_edge_ids`: `stretch(e) = w_e · Σ_{f ∈ path_T(u,v)} 1/w_f`.
 /// Tree edges get stretch exactly 1; edges whose endpoints lie in different
 /// forest components get `f64::INFINITY`.
+///
+/// # Panics
+///
+/// Panics if `tree` is not acyclic (its edges do not form a forest).
 pub fn tree_stretches(g: &Graph, tree_edge_ids: &[usize]) -> Vec<f64> {
     let tree = crate::spanning::subgraph_of_edges(g, tree_edge_ids);
     let forest = RootedForest::from_graph(&tree).expect("tree_stretches: edges form a cycle");

@@ -78,6 +78,10 @@ pub struct PlanarDecomposition {
 
 /// Theorem 2.2: decomposition of a planar (or in practice any sparse)
 /// graph through a spanning subgraph with a small core.
+///
+/// # Panics
+///
+/// Panics if the separator path walk cannot advance, which indicates a malformed mesh input.
 pub fn decompose_planar(g: &Graph, opts: &PlanarOptions) -> PlanarDecomposition {
     let _span = hicond_obs::span("decomposition");
     let n = g.num_vertices();

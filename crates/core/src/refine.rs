@@ -56,6 +56,10 @@ fn removal_disconnects(g: &Graph, cluster: &[usize], v: usize) -> bool {
 
 /// Greedy γ-improving boundary refinement. Returns the refined partition
 /// and statistics.
+///
+/// # Panics
+///
+/// Panics if a refinement move breaks cluster connectivity or the conductance accounting — both internal invariants.
 pub fn refine_gamma(g: &Graph, p: &Partition, opts: &RefineOptions) -> (Partition, RefineStats) {
     let _span = hicond_obs::span("refine");
     let n = g.num_vertices();

@@ -91,23 +91,22 @@ impl Decode for Hierarchy {
         }
         // Laminar consistency: every level but the coarsest carries a
         // partition whose cluster count is the next level's vertex count.
-        for (i, pair) in levels.windows(2).enumerate() {
-            let Some(p) = &pair[0].partition else {
+        for (i, (fine, coarse)) in levels.iter().zip(levels.iter().skip(1)).enumerate() {
+            let Some(p) = &fine.partition else {
                 return Err(ArtifactError::Malformed(format!(
                     "level {i} lacks a partition but is not the coarsest"
                 )));
             };
-            if p.num_clusters() != pair[1].graph.num_vertices() {
+            if p.num_clusters() != coarse.graph.num_vertices() {
                 return Err(ArtifactError::Malformed(format!(
                     "level {i} has {} clusters but level {} has {} vertices",
                     p.num_clusters(),
                     i + 1,
-                    pair[1].graph.num_vertices()
+                    coarse.graph.num_vertices()
                 )));
             }
         }
-        // fits: levels.len() >= 1 checked above
-        if levels[levels.len() - 1].partition.is_some() {
+        if levels.last().is_some_and(|l| l.partition.is_some()) {
             return Err(ArtifactError::Malformed(
                 "coarsest level must not carry a partition".to_string(),
             ));

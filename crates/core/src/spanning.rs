@@ -114,6 +114,10 @@ pub fn mst_max_prim(g: &Graph) -> Vec<usize> {
 /// clustering passes, and structurally similar to them (each round is a
 /// "heaviest incident edge" sweep at component granularity). Ties broken
 /// by edge id, which keeps the selection cycle-free.
+///
+/// # Panics
+///
+/// Panics if the Borůvka contraction has not converged after 64 rounds, which cannot happen for a finite input.
 pub fn mst_max_boruvka(g: &Graph) -> Vec<usize> {
     use rayon::prelude::*;
     let n = g.num_vertices();

@@ -74,6 +74,10 @@ impl Certificate {
 ///
 /// `max_exact` bounds the closure size for exact conductance enumeration;
 /// larger closures get Cheeger brackets and may come back `Uncertain`.
+///
+/// # Panics
+///
+/// Panics if `p` does not cover exactly the vertex set of `g`.
 pub fn validate_phi_rho(
     g: &Graph,
     p: &Partition,

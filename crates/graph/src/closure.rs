@@ -16,6 +16,10 @@ use crate::measures::{conductance_estimate, ConductanceEstimate};
 /// appended after them. Multi-edges from one outside vertex to several
 /// cluster vertices become *distinct* pendants, per the paper's
 /// "introduce a vertex on each edge leaving `G_i`".
+///
+/// # Panics
+///
+/// Panics if `cluster` lists a vertex twice or out of range.
 pub fn closure_graph(g: &Graph, cluster: &[usize]) -> Graph {
     let mut pos = vec![u32::MAX; g.num_vertices()];
     for (i, &v) in cluster.iter().enumerate() {

@@ -73,6 +73,10 @@ impl RootedForest {
 
     /// Builds from an explicit parent array (`NO_PARENT` marks roots) and
     /// parent-edge weights (ignored for roots).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent_weight` does not match `parent` in length or a parent pointer is out of range.
     pub fn from_parents(parent: Vec<u32>, parent_weight: Vec<f64>) -> Self {
         let n = parent.len();
         assert_eq!(parent_weight.len(), n);

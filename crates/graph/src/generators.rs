@@ -20,6 +20,10 @@ pub fn path(n: usize, w: impl Fn(usize) -> f64) -> Graph {
 }
 
 /// Cycle on `n ≥ 3` vertices; `w(i)` weights edge `(i, (i+1) mod n)`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
 pub fn cycle(n: usize, w: impl Fn(usize) -> f64) -> Graph {
     assert!(n >= 3, "cycle needs at least 3 vertices");
     let mut b = GraphBuilder::with_capacity(n, n);
@@ -30,6 +34,10 @@ pub fn cycle(n: usize, w: impl Fn(usize) -> f64) -> Graph {
 }
 
 /// Star with center `0` and leaves `1..n`; `w(i)` weights edge `(0, i)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
 pub fn star(n: usize, w: impl Fn(usize) -> f64) -> Graph {
     assert!(n >= 2, "star needs at least 2 vertices");
     let mut b = GraphBuilder::with_capacity(n, n - 1);
@@ -85,6 +93,10 @@ pub fn balanced_binary(depth: u32, w: impl Fn(usize, usize) -> f64) -> Graph {
 
 /// Random recursive tree: vertex `i ≥ 1` attaches to a uniformly random
 /// earlier vertex; weights log-uniform in `[w_min, w_max]`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or the weight range is empty or non-positive.
 pub fn random_tree(n: usize, seed: u64, w_min: f64, w_max: f64) -> Graph {
     assert!(n >= 1 && w_min > 0.0 && w_max >= w_min);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -149,6 +161,10 @@ pub fn grid3d(nx: usize, ny: usize, nz: usize, w: impl Fn(usize, usize, usize) -
 }
 
 /// 2D torus (grid with wraparound; 4-regular).
+///
+/// # Panics
+///
+/// Panics if either side is below 3.
 pub fn torus2d(nx: usize, ny: usize, w: impl Fn(usize, usize) -> f64) -> Graph {
     assert!(nx >= 3 && ny >= 3, "torus needs sides >= 3");
     let idx = |x: usize, y: usize| x * ny + y;
@@ -199,6 +215,10 @@ pub fn triangulated_grid(nx: usize, ny: usize, seed: u64) -> Graph {
 /// Random `d`-regular-ish multigraph by the pairing model, with parallel
 /// edges merged and self-loops dropped (so degrees are ≤ d, close to d).
 /// Requires `n·d` even.
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd or `d >= n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!(n * d % 2 == 0, "n*d must be even");
     assert!(d < n, "degree must be below n");
@@ -225,6 +245,10 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
 /// `m` earlier vertices chosen proportionally to degree. Produces the
 /// heavy-tailed degree distributions of web/social graphs (the paper's
 /// opening application domain). Unit weights; deterministic in `seed`.
+///
+/// # Panics
+///
+/// Panics unless `n > m >= 1`.
 pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
     assert!(m >= 1 && n > m, "need n > m >= 1");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -257,6 +281,10 @@ pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
 
 /// Watts–Strogatz small world: ring lattice with `k` neighbors per side,
 /// each edge rewired with probability `beta`. Unit weights.
+///
+/// # Panics
+///
+/// Panics unless `n > 2k` and `k >= 1`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
     assert!(k >= 1 && n > 2 * k, "need n > 2k");
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);

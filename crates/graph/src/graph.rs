@@ -157,6 +157,10 @@ impl Graph {
 
     /// Induced subgraph on `keep` (need not be sorted; duplicates rejected).
     /// Vertex `keep[i]` becomes vertex `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` lists a vertex twice or out of range.
     pub fn induced_subgraph(&self, keep: &[usize]) -> Graph {
         let mut inv = vec![u32::MAX; self.n];
         for (new, &old) in keep.iter().enumerate() {
@@ -244,17 +248,38 @@ impl Graph {
                 );
             }
         }
+        // A validator must be total: every access below is `get`-based, so
+        // even a CSR whose interior pointers are wild (possible only for
+        // data that has not passed construction) reports a violation
+        // instead of panicking.
         for v in 0..self.n {
-            if self.adj_ptr[v] > self.adj_ptr[v + 1] {
+            let row = self
+                .adj_ptr
+                .get(v)
+                .zip(self.adj_ptr.get(v + 1))
+                .map(|(&lo, &hi)| (lo, hi));
+            let Some((lo, hi)) = row else {
+                return fail("csr-shape", format!("adj_ptr misses vertex {v}"), vec![v]);
+            };
+            if lo > hi || hi > self.adj.len() {
                 return fail(
                     "adj-ptr-monotone",
-                    format!("adj_ptr decreases at vertex {v}"),
+                    format!("adj_ptr row [{lo}, {hi}) invalid at vertex {v}"),
                     vec![v],
                 );
             }
             let mut vol = 0.0;
-            for k in self.adj_ptr[v]..self.adj_ptr[v + 1] {
-                let u = self.adj[k] as usize;
+            let mut prev: Option<u32> = None;
+            for k in lo..hi {
+                let arc = self
+                    .adj
+                    .get(k)
+                    .zip(self.adj_w.get(k))
+                    .zip(self.adj_eid.get(k));
+                let Some(((&au, &w), &eid32)) = arc else {
+                    return fail("csr-shape", format!("arc {k} out of range"), vec![v, k]);
+                };
+                let u = au as usize;
                 if u >= self.n {
                     return fail(
                         "adj-in-bounds",
@@ -265,15 +290,15 @@ impl Graph {
                 if u == v {
                     return fail("no-self-loops", format!("vertex {v} lists itself"), vec![v]);
                 }
-                if k > self.adj_ptr[v] && self.adj[k - 1] >= self.adj[k] {
+                if prev.is_some_and(|p| p >= au) {
                     return fail(
                         "adj-sorted",
                         format!("vertex {v} neighbor list not strictly increasing"),
                         vec![v, u],
                     );
                 }
-                let eid = self.adj_eid[k] as usize;
-                let w = self.adj_w[k];
+                prev = Some(au);
+                let eid = eid32 as usize;
                 vol += w;
                 let matches_edge = self.edges.get(eid).is_some_and(|e| {
                     // bitwise equality: the adjacency stores each Edge
@@ -290,13 +315,11 @@ impl Graph {
                     );
                 }
             }
-            if !hicond_linalg::approx_eq(vol, self.vol[v], hicond_linalg::DEFAULT_REL_TOL) {
+            let cached = self.vol.get(v).copied().unwrap_or(f64::NAN);
+            if !hicond_linalg::approx_eq(vol, cached, hicond_linalg::DEFAULT_REL_TOL) {
                 return fail(
                     "vol-cached",
-                    format!(
-                        "vertex {v} cached volume {} vs recomputed {vol}",
-                        self.vol[v]
-                    ),
+                    format!("vertex {v} cached volume {cached} vs recomputed {vol}"),
                     vec![v],
                 );
             }
@@ -330,6 +353,18 @@ impl Graph {
     }
 }
 
+/// Upper bound on vertex counts accepted from untrusted sources (the text
+/// readers and artifact decode). The CSR construction allocates several
+/// `n`-sized arrays, so a forged header must not be able to demand an
+/// arbitrary allocation; 2^26 vertices is ~0.5 GiB of adjacency pointers,
+/// far above any workload in the paper's experiments.
+pub const MAX_UNTRUSTED_VERTICES: usize = 1 << 26;
+
+/// Largest edge-capacity hint the builder honors up front. Hints often
+/// come straight from untrusted file headers, so oversized values grow
+/// lazily instead of pre-allocating.
+pub const MAX_CAPACITY_HINT: usize = 1 << 22;
+
 /// Incremental builder for [`Graph`].
 #[derive(Debug, Clone)]
 pub struct GraphBuilder {
@@ -346,16 +381,22 @@ impl GraphBuilder {
         }
     }
 
-    /// With edge capacity hint.
+    /// With edge capacity hint. The hint is clamped to
+    /// [`MAX_CAPACITY_HINT`] — hints often come from untrusted file
+    /// headers, and a hint above the clamp merely grows lazily.
     pub fn with_capacity(n: usize, m: usize) -> Self {
         GraphBuilder {
             n,
-            list: Vec::with_capacity(m),
+            list: Vec::with_capacity(m.min(MAX_CAPACITY_HINT)),
         }
     }
 
     /// Adds an undirected edge; orientation irrelevant; duplicates merged
     /// at build.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range, the edge is a self-loop, or the weight is not positive and finite.
     pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
         assert!(u < self.n && v < self.n, "edge endpoint out of range");
         assert!(u != v, "self-loops are not allowed");

@@ -4,7 +4,7 @@
 //! and MatrixMarket coordinate export of the Laplacian for interop with
 //! external solvers.
 
-use crate::graph::{Graph, GraphBuilder};
+use crate::graph::{Graph, GraphBuilder, MAX_CAPACITY_HINT, MAX_UNTRUSTED_VERTICES};
 use std::io::{BufRead, BufReader, Read, Write};
 
 /// Appends one formatted line to the output buffer. Centralizes the
@@ -16,10 +16,6 @@ fn push_line(buf: &mut String, args: std::fmt::Arguments<'_>) {
     buf.write_fmt(args).expect("infallible");
     buf.push('\n');
 }
-
-/// Largest capacity hint honored when pre-allocating from an untrusted
-/// header, so a malformed `n m` line cannot trigger a huge allocation.
-const MAX_CAPACITY_HINT: usize = 1 << 22;
 
 /// Validates an edge parsed from untrusted input and adds it to the
 /// builder, converting the builder's panicking preconditions (endpoint
@@ -46,8 +42,21 @@ fn add_checked_edge(
             "edge ({u}, {v}) weight {w} not positive finite"
         )));
     }
+    // reach: trusted(endpoints, self-loops, and weights were all validated just above, so the builder's precondition assertions cannot fire)
     b.add_edge(u, v, w);
     Ok(())
+}
+
+/// Rejects a header-declared vertex count large enough to make the CSR
+/// construction's `n`-sized allocations a denial-of-service vector.
+fn checked_vertex_count(n: usize) -> std::io::Result<usize> {
+    if n > MAX_UNTRUSTED_VERTICES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("vertex count {n} exceeds the {MAX_UNTRUSTED_VERTICES} input limit"),
+        ));
+    }
+    Ok(n)
 }
 
 /// Writes the native edge-list format.
@@ -80,6 +89,7 @@ pub fn read_edge_list<R: Read>(r: R) -> std::io::Result<Graph> {
         .next()
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| parse_err("bad edge count"))?;
+    let n = checked_vertex_count(n)?;
     let mut b = GraphBuilder::with_capacity(n, m.min(MAX_CAPACITY_HINT));
     for line in lines {
         let line = line?;
@@ -104,6 +114,7 @@ pub fn read_edge_list<R: Read>(r: R) -> std::io::Result<Graph> {
             .unwrap_or(1.0);
         add_checked_edge(&mut b, n, u, v, w)?;
     }
+    // reach: trusted(the builder holds only edges that passed add_checked_edge and a vertex count bounded by checked_vertex_count, so the CSR construction is total)
     Ok(b.build())
 }
 
@@ -148,6 +159,7 @@ pub fn read_metis<R: Read>(r: R, weight_scale: f64) -> std::io::Result<Graph> {
         .ok_or_else(|| parse_err("bad edge count"))?;
     let fmt = hp.next().unwrap_or("0");
     let has_edge_weights = fmt.ends_with('1');
+    let n = checked_vertex_count(n)?;
     let mut b = GraphBuilder::with_capacity(n, m.min(MAX_CAPACITY_HINT));
     for (v, line) in lines.enumerate() {
         if v >= n {
@@ -177,6 +189,7 @@ pub fn read_metis<R: Read>(r: R, weight_scale: f64) -> std::io::Result<Graph> {
             }
         }
     }
+    // reach: trusted(the builder holds only edges that passed add_checked_edge and a vertex count bounded by checked_vertex_count, so the CSR construction is total)
     Ok(b.build())
 }
 
@@ -220,6 +233,7 @@ pub fn read_dimacs<R: Read>(r: R) -> std::io::Result<Graph> {
                 .next()
                 .and_then(|s| s.parse().ok())
                 .ok_or_else(|| parse_err("bad edge count"))?;
+            let n = checked_vertex_count(n)?;
             builder = Some((GraphBuilder::with_capacity(n, m.min(MAX_CAPACITY_HINT)), n));
         } else if let Some(rest) = t.strip_prefix("e ").or_else(|| t.strip_prefix("a ")) {
             let (b, n) = builder
@@ -249,6 +263,7 @@ pub fn read_dimacs<R: Read>(r: R) -> std::io::Result<Graph> {
         }
     }
     builder
+        // reach: trusted(the builder holds only edges that passed add_checked_edge and a vertex count bounded by checked_vertex_count, so the CSR construction is total)
         .map(|(b, _)| b.build())
         .ok_or_else(|| parse_err("missing problem line"))
 }

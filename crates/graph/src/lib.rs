@@ -30,7 +30,7 @@ pub use closure::{closure_graph, ClusterQuality};
 // direct hicond-linalg dependency.
 pub use connectivity::{bfs_order, connected_components, is_connected};
 pub use forest::RootedForest;
-pub use graph::{Edge, Graph, GraphBuilder};
+pub use graph::{Edge, Graph, GraphBuilder, MAX_CAPACITY_HINT, MAX_UNTRUSTED_VERTICES};
 pub use hicond_linalg::{invariant, InvariantViolation};
 pub use laplacian::{laplacian, normalized_laplacian_scaling};
 pub use measures::{

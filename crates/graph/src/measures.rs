@@ -19,6 +19,10 @@ use hicond_linalg::lanczos::{lanczos_extreme, LanczosOptions, SpectrumEnd};
 use hicond_linalg::ops::DiagonalCongruence;
 
 /// Total weight crossing the cut given by the indicator `in_set`.
+///
+/// # Panics
+///
+/// Panics if `in_set` does not hold one entry per vertex of `g`.
 pub fn cut_capacity(g: &Graph, in_set: &[bool]) -> f64 {
     assert_eq!(in_set.len(), g.num_vertices());
     g.edges()
@@ -57,6 +61,10 @@ pub fn cut_sparsity(g: &Graph, in_set: &[bool]) -> f64 {
 /// former O(2ⁿ·(n+m)) full rescan per cut. Zero-volume sides are skipped
 /// without evaluating the quotient, and the sweep stops early once a
 /// sparsity-0 cut is found (nothing can beat it).
+///
+/// # Panics
+///
+/// Panics if the graph has more than 25 vertices (the cut enumeration is exhaustive).
 pub fn exact_conductance(g: &Graph) -> f64 {
     let n = g.num_vertices();
     assert!(n <= 25, "exact_conductance: too many vertices ({n})");

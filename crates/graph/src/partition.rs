@@ -24,6 +24,10 @@ impl Partition {
     /// From a dense assignment; cluster ids must cover `0..m` (every id
     /// in range, each cluster non-empty is *not* required here — use
     /// [`Partition::compact`] to drop empty ids).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cluster id is `>= num_clusters`.
     pub fn from_assignment(assignment: Vec<u32>, num_clusters: usize) -> Self {
         for &c in &assignment {
             assert!((c as usize) < num_clusters, "cluster id out of range");
@@ -81,20 +85,35 @@ impl Partition {
                 witness,
             ))
         };
-        let mut used = vec![false; self.num_clusters];
+        // A dense partition needs at least one vertex per cluster, so an
+        // oversized id space fails fast — before sizing the `used` array
+        // by a count that hostile decoded bytes could have inflated.
+        if self.num_clusters > self.assignment.len() {
+            return fail(
+                "ids-dense",
+                format!(
+                    "{} cluster ids for {} vertices leaves some cluster empty",
+                    self.num_clusters,
+                    self.assignment.len()
+                ),
+                vec![],
+            );
+        }
+        let mut used = vec![false; self.num_clusters.min(self.assignment.len())];
         for (v, &c) in self.assignment.iter().enumerate() {
-            if (c as usize) >= self.num_clusters {
-                return fail(
-                    "ids-in-range",
-                    format!(
-                        "vertex {v} assigned to cluster {c} >= num_clusters {}",
-                        self.num_clusters
-                    ),
-                    vec![v, c as usize],
-                );
+            match used.get_mut(c as usize) {
+                Some(slot) => *slot = true,
+                None => {
+                    return fail(
+                        "ids-in-range",
+                        format!(
+                            "vertex {v} assigned to cluster {c} >= num_clusters {}",
+                            self.num_clusters
+                        ),
+                        vec![v, c as usize],
+                    )
+                }
             }
-            // bounds: c < num_clusters == used.len(), checked just above
-            used[c as usize] = true;
         }
         if let Some(empty) = used.iter().position(|&u| !u) {
             return fail(
@@ -171,6 +190,10 @@ impl Partition {
     /// The quotient graph `Q` on cluster roots with
     /// `w(r_i, r_j) = cap(V_i, V_j)` (Definition 3.1). Clusters with no
     /// external weight become isolated vertices of `Q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not cover exactly the vertices of `g`.
     pub fn quotient_graph(&self, g: &Graph) -> Graph {
         assert_eq!(g.num_vertices(), self.assignment.len());
         let mut b = GraphBuilder::new(self.num_clusters);

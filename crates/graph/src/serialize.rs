@@ -9,7 +9,7 @@
 //! decomposition algorithms guarantee.
 
 use crate::closure::ClusterQuality;
-use crate::graph::Graph;
+use crate::graph::{Graph, MAX_UNTRUSTED_VERTICES};
 use crate::measures::ConductanceEstimate;
 use crate::partition::{DecompositionQuality, Partition};
 use hicond_artifact::{ArtifactError, Decode, Decoder, Encode, Encoder, Fnv64};
@@ -58,14 +58,19 @@ impl Encode for Graph {
 impl Decode for Graph {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, ArtifactError> {
         let n = dec.usize_()?;
+        // CSR construction allocates O(n) even for an edgeless graph, so an
+        // untrusted vertex count is capped before anything is sized by it.
+        if n > MAX_UNTRUSTED_VERTICES {
+            return Err(ArtifactError::Malformed(format!(
+                "vertex count {n} exceeds the {MAX_UNTRUSTED_VERTICES} decode limit"
+            )));
+        }
         let m = dec.usize_()?;
-        // Each edge costs 16 bytes; reject absurd counts before allocating.
-        let need = m
-            .checked_mul(16)
-            .ok_or_else(|| ArtifactError::Malformed(format!("edge count {m} overflows")))?;
-        if need > dec.remaining() {
+        // Each edge costs 16 bytes; reject absurd counts before allocating,
+        // so the capacity hint is clamped by the remaining input length.
+        if m > dec.remaining() / 16 {
             return Err(ArtifactError::Truncated {
-                needed: need,
+                needed: m.saturating_mul(16),
                 available: dec.remaining(),
             });
         }
@@ -91,9 +96,7 @@ impl Decode for Graph {
             }
             list.push((u as usize, v as usize, w));
         }
-        // All endpoints/weights validated above, so from_edges cannot
-        // panic; duplicate edges (possible in crafted input) merge by
-        // weight summation, which still yields a valid graph.
+        // reach: trusted(every endpoint is < n, canonically ordered, and positively weighted — validated above — so the from_edges construction assertions cannot fire; duplicate edges merge by weight summation, still a valid graph)
         Ok(Graph::from_edges(n, &list))
     }
 }
@@ -116,6 +119,7 @@ impl Decode for Partition {
                 )));
             }
         }
+        // reach: trusted(every id was checked against num_clusters in the loop above, so the from_assignment range assertion cannot fire)
         let p = Partition::from_assignment(assignment, num_clusters);
         p.check_invariants()
             .map_err(|v| ArtifactError::Malformed(format!("Partition: {v}")))?;

@@ -117,6 +117,10 @@ pub fn cg_solve<A: LinearOperator>(a: &A, b: &[f64], opts: &CgOptions) -> CgResu
 /// `m` must be symmetric positive definite on the relevant subspace; the
 /// Steiner preconditioner of the paper enters here through its Schur
 /// complement action (see `hicond-precond`).
+///
+/// # Panics
+///
+/// Panics if the rhs length or the preconditioner dimension disagrees with the matrix.
 pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
     a: &A,
     m: &M,

@@ -29,6 +29,10 @@ pub struct ChebyshevSolver {
 
 impl ChebyshevSolver {
     /// Builds with explicit spectrum bounds `0 < lambda_min ≤ lambda_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the eigenvalue bounds are invalid or `steps` is zero.
     pub fn new(a: &CsrMatrix, lambda_min: f64, lambda_max: f64, steps: usize) -> Self {
         assert!(
             lambda_min > 0.0 && lambda_max >= lambda_min,

@@ -95,13 +95,15 @@ impl CsrMatrix {
                 witness,
             ))
         };
-        if self.row_ptr.len() != self.nrows + 1 {
+        // checked_sub keeps the comparison total when a decoded nrows is
+        // usize::MAX (nrows + 1 would overflow).
+        if self.row_ptr.len().checked_sub(1) != Some(self.nrows) {
             return fail(
                 "row-ptr-len",
                 format!(
-                    "row_ptr has length {}, expected nrows + 1 = {}",
+                    "row_ptr has length {}, expected nrows + 1 for nrows = {}",
                     self.row_ptr.len(),
-                    self.nrows + 1
+                    self.nrows
                 ),
                 vec![],
             );
@@ -127,24 +129,35 @@ impl CsrMatrix {
                 vec![],
             );
         }
+        // A validator must be total: every access below is `get`-based, so
+        // a row_ptr whose interior entries are wild (possible in decoded
+        // bytes) reports a violation instead of panicking mid-check.
         for r in 0..self.nrows {
-            if self.row_ptr[r] > self.row_ptr[r + 1] {
+            let row = self
+                .row_ptr
+                .get(r)
+                .zip(self.row_ptr.get(r + 1))
+                .map(|(&lo, &hi)| (lo, hi));
+            let Some((lo, hi)) = row else {
+                return fail("row-ptr-len", format!("row_ptr misses row {r}"), vec![r]);
+            };
+            if lo > hi || hi > self.col_idx.len() {
                 return fail(
                     "row-ptr-monotone",
-                    format!("row_ptr decreases at row {r}"),
+                    format!("row_ptr range [{lo}, {hi}) invalid at row {r}"),
                     vec![r],
                 );
             }
-            let cols = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
+            let cols = self.col_idx.get(lo..hi).unwrap_or(&[]);
             for w in cols.windows(2) {
-                if w[0] >= w[1] {
+                let (Some(&a), Some(&b)) = (w.first(), w.last()) else {
+                    continue;
+                };
+                if a >= b {
                     return fail(
                         "cols-sorted",
-                        format!(
-                            "row {r} columns not strictly increasing ({} then {})",
-                            w[0], w[1]
-                        ),
-                        vec![r, w[0] as usize, w[1] as usize],
+                        format!("row {r} columns not strictly increasing ({a} then {b})"),
+                        vec![r, a as usize, b as usize],
                     );
                 }
             }
@@ -334,12 +347,20 @@ impl CsrMatrix {
     }
 
     /// The diagonal as a dense vector (square matrices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
     pub fn diagonal(&self) -> Vec<f64> {
         assert_eq!(self.nrows, self.ncols, "diagonal of non-square matrix");
         (0..self.nrows).map(|i| self.get(i, i)).collect()
     }
 
     /// Sequential `y = A x` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` length disagrees with the matrix shape.
     pub fn mul_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "mul: x length");
         assert_eq!(y.len(), self.nrows, "mul: y length");
@@ -354,6 +375,10 @@ impl CsrMatrix {
 
     /// Parallel `y = A x` (row-parallel; deterministic since each row is a
     /// single sequential reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `y` length disagrees with the matrix shape.
     pub fn par_mul_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "mul: x length");
         assert_eq!(y.len(), self.nrows, "mul: y length");
@@ -444,6 +469,10 @@ impl CsrMatrix {
     /// via a two-pointer merge of each (sorted) row pair — one counting
     /// pass to size the output exactly, one fill pass, no intermediate
     /// triplet buffer or sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree.
     pub fn add(&self, other: &CsrMatrix) -> CsrMatrix {
         assert_eq!(self.nrows, other.nrows);
         assert_eq!(self.ncols, other.ncols);
@@ -520,6 +549,10 @@ impl CsrMatrix {
     /// Row-parallel Gustavson with a dense accumulator per worker; used for
     /// the quotient triple product `Q = Rᵀ A R` (paper Remark 1 notes this is
     /// "easily computed via parallel sparse matrix multiplication").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &CsrMatrix) -> CsrMatrix {
         assert_eq!(self.ncols, other.nrows, "matmul shape");
         let n = self.nrows;
@@ -574,6 +607,10 @@ impl CsrMatrix {
 
     /// Extracts the principal submatrix on `keep` (indices must be sorted,
     /// unique). Returns the submatrix in the induced order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or an index is out of range.
     pub fn principal_submatrix(&self, keep: &[usize]) -> CsrMatrix {
         assert_eq!(self.nrows, self.ncols);
         let mut inv = vec![u32::MAX; self.nrows];

@@ -37,6 +37,10 @@ impl DenseMatrix {
     }
 
     /// From row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` length is not `nrows * ncols`.
     pub fn from_rows(nrows: usize, ncols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), nrows * ncols);
         DenseMatrix { nrows, ncols, data }
@@ -57,12 +61,25 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// Entry `(r, c)`, or `None` when out of range — the total accessor
+    /// for callers that cannot prove bounds (e.g. decode validation).
+    pub fn get(&self, r: usize, c: usize) -> Option<f64> {
+        if r >= self.nrows || c >= self.ncols {
+            return None;
+        }
+        self.data.get(r * self.ncols + c).copied()
+    }
+
     /// Row `r` as a slice.
     pub fn row(&self, r: usize) -> &[f64] {
         &self.data[r * self.ncols..(r + 1) * self.ncols]
     }
 
     /// `y = A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` length differs from the column count.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.ncols);
         (0..self.nrows)
@@ -71,6 +88,10 @@ impl DenseMatrix {
     }
 
     /// Matrix product `A · B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.ncols, other.nrows);
         let mut out = DenseMatrix::zeros(self.nrows, other.ncols);
@@ -100,6 +121,10 @@ impl DenseMatrix {
     }
 
     /// Frobenius norm of `A − B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes disagree.
     pub fn frob_dist(&self, other: &DenseMatrix) -> f64 {
         assert_eq!(self.nrows, other.nrows);
         assert_eq!(self.ncols, other.ncols);
@@ -167,6 +192,10 @@ pub struct CholeskyFactor {
 impl CholeskyFactor {
     /// Factors `a`; returns `None` if a non-positive pivot appears (matrix
     /// not positive definite to working precision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not square.
     pub fn factor(a: &DenseMatrix) -> Option<Self> {
         assert_eq!(a.nrows(), a.ncols());
         let n = a.nrows();
@@ -193,6 +222,10 @@ impl CholeskyFactor {
     }
 
     /// Solves `A x = b` via forward/back substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` length differs from the factor dimension.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n);
         let mut y = b.to_vec();
@@ -226,6 +259,10 @@ impl CholeskyFactor {
 /// Returns `(eigenvalues, eigenvectors)` with eigenvalues ascending and
 /// eigenvectors as *columns* of the returned matrix (`V[:, k]` pairs with
 /// `λ_k`, so `A V = V Λ`).
+///
+/// # Panics
+///
+/// Panics if the matrix is not symmetric.
 pub fn jacobi_eigen(a: &DenseMatrix) -> (Vec<f64>, DenseMatrix) {
     assert!(a.is_symmetric(1e-8), "jacobi_eigen: matrix not symmetric");
     let n = a.nrows();
@@ -301,6 +338,10 @@ pub fn jacobi_eigen(a: &DenseMatrix) -> (Vec<f64>, DenseMatrix) {
 /// Both matrices are projected onto the complement of `null_dir` (pass the
 /// all-ones vector for connected Laplacians); the pencil is then solved via
 /// `B^{-1/2} A B^{-1/2}` in the projected basis.
+///
+/// # Panics
+///
+/// Panics if the matrix shapes or the null-direction length disagree.
 pub fn pencil_eigen_dense(a: &DenseMatrix, b: &DenseMatrix, null_dir: &[f64]) -> Vec<f64> {
     let n = a.nrows();
     assert_eq!(b.nrows(), n);

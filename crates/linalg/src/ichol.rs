@@ -29,6 +29,10 @@ impl IncompleteCholesky {
     /// Factors `a` (symmetric) on its own pattern. `shift` is added to the
     /// diagonal before factoring (use ~1e-8·‖diag‖ₘₐₓ for singular
     /// Laplacians); pivots are clamped away from zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
     pub fn new(a: &CsrMatrix, shift: f64) -> Self {
         let n = a.nrows();
         assert_eq!(n, a.ncols());

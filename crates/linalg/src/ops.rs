@@ -76,6 +76,10 @@ pub struct DiagonalCongruence<'a, A: LinearOperator> {
 
 impl<'a, A: LinearOperator> DiagonalCongruence<'a, A> {
     /// Builds `S A S`; `scaling.len()` must equal the operator dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaling vector length differs from the inner operator dimension.
     pub fn new(inner: &'a A, scaling: &'a [f64]) -> Self {
         assert_eq!(inner.dim(), scaling.len());
         DiagonalCongruence { inner, scaling }

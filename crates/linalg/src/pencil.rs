@@ -45,6 +45,10 @@ impl Default for PencilOptions {
 /// certified *lower* bound on λ_max that in practice converges to it; power
 /// iteration makes it tight unless the top generalized eigenvalue is highly
 /// clustered.
+///
+/// # Panics
+///
+/// Panics if the operator dimensions disagree.
 pub fn pencil_lambda_max<A, B>(a: &A, b: &B, opts: &PencilOptions) -> f64
 where
     A: LinearOperator,

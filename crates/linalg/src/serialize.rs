@@ -55,6 +55,7 @@ impl Decode for DenseMatrix {
                 data.len()
             )));
         }
+        // reach: trusted(data length equals nrows * ncols — checked just above — so the from_rows shape assertion cannot fire)
         Ok(DenseMatrix::from_rows(nrows, ncols, data))
     }
 }
@@ -80,7 +81,7 @@ impl Decode for CholeskyFactor {
         // solve() divides by the diagonal; require it finite and nonzero so
         // a decoded factor cannot poison downstream numerics silently.
         for i in 0..n {
-            let d = l[(i, i)];
+            let d = l.get(i, i).unwrap_or(f64::NAN);
             // exact: reject the literal zero bit pattern; any nonzero divides
             if !d.is_finite() || d == 0.0 {
                 return Err(ArtifactError::Malformed(format!(

@@ -20,6 +20,10 @@ pub struct SsorPreconditioner {
 
 impl SsorPreconditioner {
     /// Builds from a symmetric matrix; `omega ∈ (0, 2)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < omega < 2` and the matrix is square.
     pub fn new(a: &CsrMatrix, omega: f64) -> Self {
         assert!(omega > 0.0 && omega < 2.0, "SSOR needs 0 < omega < 2");
         assert_eq!(a.nrows(), a.ncols());

@@ -8,6 +8,10 @@
 ///
 /// Returns `(eigenvalues, z)` with eigenvalues ascending and `z` the
 /// row-major `n × n` matrix whose *columns* are eigenvectors.
+///
+/// # Panics
+///
+/// Panics if `diag` is empty or `off` length is not one less.
 pub fn tridiag_eigen(diag: &[f64], off: &[f64]) -> (Vec<f64>, Vec<f64>) {
     let n = diag.len();
     assert!(n > 0);

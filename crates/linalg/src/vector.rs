@@ -34,12 +34,20 @@ impl Parallelism {
 }
 
 /// Dot product `xᵀy`. Panics if lengths differ.
+///
+/// # Panics
+///
+/// Panics if the vector lengths disagree.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
 /// Parallel dot product; chunk partials are summed in chunk order.
+///
+/// # Panics
+///
+/// Panics if the vector lengths disagree.
 pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
     if x.len() < PAR_CHUNK {
@@ -52,6 +60,10 @@ pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
 }
 
 /// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the vector lengths disagree.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     for (yi, xi) in y.iter_mut().zip(x) {
@@ -60,6 +72,10 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 }
 
 /// Parallel `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the vector lengths disagree.
 pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "par_axpy: length mismatch");
     if x.len() < PAR_CHUNK {
@@ -236,6 +252,10 @@ pub fn norm2(x: &[f64]) -> f64 {
 }
 
 /// `‖x − y‖₂`.
+///
+/// # Panics
+///
+/// Panics if the vector lengths disagree.
 pub fn dist2(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dist2: length mismatch");
     x.iter()
@@ -261,6 +281,10 @@ pub fn deflate_constant(x: &mut [f64]) {
 /// Subtracts from `x` its component along the *weighted* constant direction
 /// `d^{1/2}` (with `dsqrt[i] = sqrt(d_i)`), the kernel direction of a
 /// normalized Laplacian `D^{-1/2} A D^{-1/2}`.
+///
+/// # Panics
+///
+/// Panics if `x` and `dsqrt` lengths disagree.
 pub fn deflate_weighted_constant(x: &mut [f64], dsqrt: &[f64]) {
     assert_eq!(x.len(), dsqrt.len());
     let denom = dot(dsqrt, dsqrt);

@@ -91,6 +91,7 @@ impl Histogram {
     /// reader may observe the bucket bumped before `count`, which the
     /// exporters tolerate by making no cross-field consistency claim.
     pub fn record(&self, x: f64) {
+        // reach: allow(reach-index, bucket_index clamps its result into 0..NUM_BUCKETS for every f64 including NaN and infinities)
         self.buckets[bucket_index(x)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         // `as u64` saturates: NaN -> 0, huge -> u64::MAX.

@@ -83,23 +83,29 @@ impl Decode for GroundedLaplacianSolver {
             )));
         }
         // Components must partition a subset of 0..n with no repeats —
-        // solve() writes x[v] for every listed vertex.
-        let mut seen = vec![false; n];
-        for (i, comp) in comps.iter().enumerate() {
+        // solve() writes x[v] for every listed vertex. Dedup by sorting the
+        // listed vertices so memory stays proportional to the decoded data
+        // rather than the (attacker-chosen) vertex count n.
+        let mut listed: Vec<usize> = comps.iter().flatten().copied().collect();
+        listed.sort_unstable();
+        let mut prev: Option<usize> = None;
+        for &v in &listed {
+            if prev == Some(v) {
+                return Err(ArtifactError::Malformed(format!(
+                    "vertex {v} appears in two components"
+                )));
+            }
+            prev = Some(v);
+        }
+        for (i, (comp, factor)) in comps.iter().zip(&factors).enumerate() {
             for &v in comp {
                 if v >= n {
                     return Err(ArtifactError::Malformed(format!(
                         "component {i} lists vertex {v} >= n = {n}"
                     )));
                 }
-                if seen[v] {
-                    return Err(ArtifactError::Malformed(format!(
-                        "vertex {v} appears in two components"
-                    )));
-                }
-                seen[v] = true;
             }
-            match &factors[i] {
+            match factor {
                 Some(f) if comp.len() < 2 => {
                     return Err(ArtifactError::Malformed(format!(
                         "component {i} of size {} carries a factor of dim {}",
@@ -258,16 +264,23 @@ impl Decode for LaplacianSolver {
             )));
         }
         // Labels must be dense in 0..num_components: solve() divides by
-        // per-component vertex counts.
-        let mut used = vec![false; num_components];
+        // per-component vertex counts. Density forces num_components <= n,
+        // so reject larger claims before sizing anything by them.
+        if num_components > n {
+            return Err(ArtifactError::Malformed(format!(
+                "{num_components} components over {n} vertices: some component must be empty"
+            )));
+        }
+        let mut used = vec![false; num_components.min(n)];
         for (v, &c) in comp_labels.iter().enumerate() {
-            if c as usize >= num_components {
-                return Err(ArtifactError::Malformed(format!(
-                    "vertex {v} labeled component {c} >= num_components {num_components}"
-                )));
+            match used.get_mut(c as usize) {
+                Some(slot) => *slot = true,
+                None => {
+                    return Err(ArtifactError::Malformed(format!(
+                        "vertex {v} labeled component {c} >= num_components {num_components}"
+                    )));
+                }
             }
-            // bounds: c < num_components checked just above
-            used[c as usize] = true;
         }
         if let Some(empty) = used.iter().position(|&u| !u) {
             return Err(ArtifactError::Malformed(format!(

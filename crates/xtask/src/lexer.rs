@@ -196,10 +196,11 @@ pub fn scan(source: &str) -> ScannedFile {
     ScannedFile { lines }
 }
 
-/// True when `comment` carries an `audit: allow(<rule>)` or
-/// `analyze: allow(<rule>)` marker for the given rule.
+/// True when `comment` carries an `audit: allow(<rule>)`,
+/// `analyze: allow(<rule>)`, or `reach: allow(<rule>)` marker for the
+/// given rule.
 pub fn has_allow(comment: &str, rule: &str) -> bool {
-    for prefix in ["audit: allow(", "analyze: allow("] {
+    for prefix in ["audit: allow(", "analyze: allow(", "reach: allow("] {
         if let Some(pos) = comment.find(prefix) {
             let rest = &comment[pos + prefix.len()..];
             if rest.trim_start().starts_with(rule) {
@@ -264,6 +265,13 @@ mod tests {
         let f = scan("foo(); // analyze: allow(lock-order) — escapes via spawn\n");
         assert!(has_allow(&f.lines[0].comment, "lock-order"));
         assert!(!has_allow(&f.lines[0].comment, "unsafe-justify"));
+    }
+
+    #[test]
+    fn reach_allow_markers_recognized() {
+        let f = scan("x[i] += 1; // reach: allow(reach-index, i < n checked above)\n");
+        assert!(has_allow(&f.lines[0].comment, "reach-index"));
+        assert!(!has_allow(&f.lines[0].comment, "reach-panic"));
     }
 
     #[test]

@@ -14,8 +14,10 @@ pub mod analyze;
 pub mod lexer;
 pub mod lockgraph;
 pub mod ratchet;
+pub mod reach;
 pub mod rules;
 pub mod scanner;
+pub mod taint;
 
 use ratchet::Ratchet;
 use rules::{audit_source, FileKind, Finding};

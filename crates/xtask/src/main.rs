@@ -4,7 +4,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: cargo run -p xtask -- <audit|analyze> [flags]
+usage: cargo run -p xtask -- <audit|analyze|reach> [flags]
 
 subcommands:
   audit            run the workspace static-analysis rules against the
@@ -14,16 +14,26 @@ subcommands:
                    inventory, atomic-ordering lint, lock-order deadlock
                    detection, Send/Sync audit) against analyze.ratchet
                    and verify UNSAFETY.md is current
+  reach            certify the untrusted decode/serve surface: every
+                   panic-capable or allocation-amplifying operation
+                   reachable from the declared entry points must carry a
+                   `reach: allow` justification; checks reach.ratchet and
+                   verifies REACHABILITY.md is current
 options:
-  --write-ratchet  pin the current counts as the new baseline
-  --write-unsafety regenerate UNSAFETY.md (analyze only)
-  --root <dir>     repo root (default: the workspace containing xtask)
+  --write-ratchet       pin the current counts as the new baseline
+  --write-unsafety      regenerate UNSAFETY.md (analyze only)
+  --write-reachability  regenerate REACHABILITY.md (reach only)
+  --explain <id>        print the entry-to-sink call chain for a finding
+                        id of the form [rule@]path:line (reach only)
+  --root <dir>          repo root (default: the workspace containing xtask)
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut write_ratchet = false;
     let mut write_unsafety = false;
+    let mut write_reachability = false;
+    let mut explain: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut subcommand: Option<String> = None;
     let mut it = args.into_iter();
@@ -31,6 +41,14 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--write-ratchet" => write_ratchet = true,
             "--write-unsafety" => write_unsafety = true,
+            "--write-reachability" => write_reachability = true,
+            "--explain" => match it.next() {
+                Some(id) => explain = Some(id),
+                None => {
+                    eprintln!("--explain requires a finding id ([rule@]path:line)\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--root" => match it.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
@@ -82,6 +100,34 @@ fn main() -> ExitCode {
                 }
                 Err(e) => {
                     eprintln!("analyze error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("reach") => {
+            if let Some(id) = explain {
+                return match xtask::reach::explain(&root, &id) {
+                    Ok(text) => {
+                        print!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("reach error: {e}");
+                        ExitCode::from(2)
+                    }
+                };
+            }
+            match xtask::reach::run_reach(&root, write_ratchet, write_reachability) {
+                Ok(outcome) => {
+                    print!("{}", outcome.report);
+                    if outcome.passed() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("reach error: {e}");
                     ExitCode::from(2)
                 }
             }

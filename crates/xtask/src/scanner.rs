@@ -10,7 +10,7 @@
 //! misclassification costs a comment, not a build.
 
 use crate::lexer::{scan, ScannedFile};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Re-exported lexer surface so existing rule passes keep one import path.
 pub use crate::lexer::{comment_context, has_allow};
@@ -289,6 +289,83 @@ pub fn struct_fields(file: &ScannedFile) -> BTreeMap<String, Vec<String>> {
     out
 }
 
+/// Collects the concrete type names a file introduces: `struct` / `enum`
+/// declarations plus the self-type of every `impl` block (`impl Foo {`,
+/// `impl<'a> Trait for Foo<'a> {`). Used by the reach pass to resolve
+/// `Type::method(..)` calls to the unit that owns `Type` — the
+/// syntactically decidable part of trait-method resolution.
+pub fn declared_types(file: &ScannedFile) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in &file.lines {
+        let code = line.code.trim_start();
+        if let Some(pos) = find_struct_keyword(code) {
+            let name = leading_type_name(&code[pos + "struct ".len()..]);
+            if !name.is_empty() {
+                out.insert(name);
+            }
+        }
+        for kw in ["enum ", "union "] {
+            if let Some(rest) = code.strip_prefix(kw).or_else(|| {
+                code.strip_prefix("pub ")
+                    .and_then(|r| r.strip_prefix(kw))
+                    .or_else(|| {
+                        code.strip_prefix("pub(crate) ")
+                            .and_then(|r| r.strip_prefix(kw))
+                    })
+            }) {
+                let name = leading_type_name(rest);
+                if !name.is_empty() {
+                    out.insert(name);
+                }
+            }
+        }
+        if let Some(rest) = code.strip_prefix("impl") {
+            // `impl<..> [Trait for] Type<..> {` — the self type is the
+            // segment after ` for ` when present, the head otherwise.
+            let rest = skip_angle_group(rest.trim_start());
+            let target = match rest.find(" for ") {
+                Some(fpos) => &rest[fpos + " for ".len()..],
+                None => rest,
+            };
+            let name = leading_type_name(target.trim_start());
+            // `impl Trait for &mut Foo` and similar sugar is not used for
+            // the decode surface; a plain leading ident is enough.
+            if !name.is_empty() && name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                out.insert(name);
+            }
+        }
+    }
+    out
+}
+
+/// Leading `Ident` of a type expression (stops at `<`, `(`, space, …).
+fn leading_type_name(s: &str) -> String {
+    s.trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// Skips a balanced leading `<...>` group (impl generics).
+fn skip_angle_group(s: &str) -> &str {
+    let bytes = s.as_bytes();
+    if bytes.first() != Some(&b'<') {
+        return s;
+    }
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'<' {
+            depth += 1;
+        } else if b == b'>' {
+            depth -= 1;
+            if depth == 0 {
+                return &s[i + 1..];
+            }
+        }
+    }
+    s
+}
+
 fn find_struct_keyword(code: &str) -> Option<usize> {
     let pos = code.find("struct ")?;
     let bytes = code.as_bytes();
@@ -444,6 +521,21 @@ unsafe fn erase(x: u32) -> u32 {\n\
         assert_eq!(by_name("plain").qualifier, None);
         assert_eq!(by_name("method").qualifier, None);
         assert!(by_name("method").is_method);
+    }
+
+    #[test]
+    fn declared_types_cover_structs_enums_impls() {
+        let p = parse(
+            "pub struct Decoder<'a> { buf: &'a [u8] }\n\
+             pub enum ArtifactError { BadMagic }\n\
+             impl<'a> Decoder<'a> {\n    fn take(&mut self) {}\n}\n\
+             impl Decode for Graph {\n    fn decode() {}\n}\n",
+        );
+        let types = declared_types(&p.scanned);
+        for name in ["Decoder", "ArtifactError", "Graph"] {
+            assert!(types.contains(name), "missing {name}: {types:?}");
+        }
+        assert!(!types.contains("Decode"), "trait name is not a self type");
     }
 
     #[test]

@@ -1,0 +1,354 @@
+//! Per-function taint summaries for the reach pass.
+//!
+//! A function on the untrusted surface receives attacker-controlled data
+//! through its parameters (the byte buffer, the decoded lengths, the
+//! request line). This module computes, per function, the set of local
+//! identifiers *derived* from those parameters: parameters seed the set,
+//! and `let` bindings, assignments, compound assignments, and loop
+//! patterns propagate it until a fixpoint. The reach rules then ask two
+//! questions at a sink: *is this operand tainted* (`reach-arith`,
+//! `reach-alloc`) and *was it clamped first* ([`clamped_before`]).
+//!
+//! The analysis is line-level and intentionally over-approximate —
+//! clearing taint is impossible, only clamp evidence (`.min(..)`,
+//! `checked_*`, a `MAX_*` bound, a `.remaining()` comparison) downgrades
+//! an allocation sink. A false positive costs a `reach: allow` comment
+//! with a bounds argument, which is exactly the review trail the
+//! certificate wants.
+
+use crate::lexer::ScannedFile;
+use crate::scanner::Function;
+use std::collections::BTreeSet;
+
+/// Identifiers in one function derived from its parameters.
+#[derive(Debug, Default)]
+pub struct TaintSummary {
+    /// Tainted identifier names (includes `self`: methods on decoder-like
+    /// types carry the untrusted buffer in their fields).
+    pub tainted: BTreeSet<String>,
+}
+
+impl TaintSummary {
+    /// True when `ident` is in the tainted set.
+    pub fn is_tainted(&self, ident: &str) -> bool {
+        self.tainted.contains(ident)
+    }
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// True when `ident` occurs in `code` on identifier boundaries.
+pub fn mentions(code: &str, ident: &str) -> bool {
+    if ident.is_empty() {
+        return false;
+    }
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code.get(from..).and_then(|s| s.find(ident)) {
+        let abs = from + pos;
+        let prev_ok = abs == 0 || !is_ident_char(bytes[abs.saturating_sub(1)]);
+        let end = abs + ident.len();
+        let next_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if prev_ok && next_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// All identifier tokens in `s`, in order, duplicates kept.
+pub fn ident_tokens(s: &str) -> Vec<String> {
+    s.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|t| !t.is_empty() && !t.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .map(|t| t.to_string())
+        .collect()
+}
+
+/// Extracts parameter names from a function signature, scanning forward
+/// from the signature line until the parameter list closes. `self` (in
+/// any of its forms) is included verbatim.
+fn param_names(file: &ScannedFile, func: &Function) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    // Join signature lines until the param parens balance (bounded: a
+    // signature longer than the body extent is a parse artifact).
+    let end = func.end.min(file.lines.len()).max(func.start + 1);
+    let mut sig = String::new();
+    let mut depth = 0i32;
+    let mut seen_open = false;
+    'lines: for line in &file.lines[func.start..end] {
+        for ch in line.code.chars() {
+            match ch {
+                '(' => {
+                    depth += 1;
+                    seen_open = true;
+                    if depth == 1 {
+                        continue; // the list's own opener is not content
+                    }
+                }
+                ')' => {
+                    depth -= 1;
+                    if seen_open && depth == 0 {
+                        break 'lines;
+                    }
+                }
+                _ => {}
+            }
+            if seen_open && depth > 0 {
+                sig.push(ch);
+            }
+        }
+        sig.push(' ');
+    }
+    // `sig` now holds the parameter list text between the outer parens.
+    for part in split_top_level_commas(&sig) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if mentions(part, "self") {
+            out.insert("self".to_string());
+            continue;
+        }
+        let Some(colon) = part.find(':') else {
+            continue;
+        };
+        // `mut name: T`, `name: T`, `(a, b): (T, U)` — every ident left
+        // of the colon that is not a binding keyword is a parameter name.
+        for tok in ident_tokens(part.get(..colon).unwrap_or("")) {
+            if tok != "mut" && tok != "ref" {
+                out.insert(tok);
+            }
+        }
+    }
+    out
+}
+
+/// Splits on commas not nested inside `<>`, `()`, or `[]`.
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth <= 0 => {
+                out.push(s.get(start..i).unwrap_or(""));
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(s.get(start..).unwrap_or(""));
+    out
+}
+
+/// Identifiers bound on the left-hand side of a `let`/assignment/loop
+/// pattern, when the statement shape is recognized. Returns the bound
+/// names and the right-hand side text.
+fn binding_of(code: &str) -> Option<(Vec<String>, &str)> {
+    let t = code.trim_start();
+    // `for pat in rhs {`
+    if let Some(rest) = t.strip_prefix("for ") {
+        let inpos = rest.find(" in ")?;
+        let pat = rest.get(..inpos)?;
+        let rhs = rest.get(inpos + 4..)?;
+        return Some((ident_tokens(pat), rhs));
+    }
+    // `[if|while] let pat = rhs` / `pat = rhs` / `pat += rhs`
+    let t = t.strip_prefix("if ").unwrap_or(t);
+    let t = t.strip_prefix("while ").unwrap_or(t);
+    let (pat, rhs) = if let Some(rest) = t.strip_prefix("let ") {
+        let eq = find_assign_eq(rest)?;
+        (rest.get(..eq)?, rest.get(eq + 1..)?)
+    } else {
+        let eq = find_assign_eq(t)?;
+        let mut lhs_end = eq;
+        // compound assignment: `x += rhs`, `x -= rhs`, `x *= rhs`, …
+        if eq > 0
+            && matches!(
+                t.as_bytes().get(eq.saturating_sub(1)),
+                Some(b'+') | Some(b'-') | Some(b'*') | Some(b'/') | Some(b'%')
+            )
+        {
+            lhs_end = eq.saturating_sub(1);
+        }
+        (t.get(..lhs_end)?, t.get(eq + 1..)?)
+    };
+    let names: Vec<String> = ident_tokens(pat)
+        .into_iter()
+        .filter(|n| {
+            !matches!(
+                n.as_str(),
+                "mut" | "ref" | "Some" | "Ok" | "Err" | "None" | "let" | "self"
+            )
+        })
+        .collect();
+    if names.is_empty() {
+        None
+    } else {
+        Some((names, rhs))
+    }
+}
+
+/// Position of a bare assignment `=` (not `==`, `<=`, `>=`, `!=`, `=>`).
+fn find_assign_eq(s: &str) -> Option<usize> {
+    let bytes = s.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'=' {
+            continue;
+        }
+        let prev = if i == 0 {
+            b' '
+        } else {
+            bytes[i.saturating_sub(1)]
+        };
+        let next = bytes.get(i + 1).copied().unwrap_or(b' ');
+        if prev == b'=' || prev == b'<' || prev == b'>' || prev == b'!' {
+            continue;
+        }
+        if next == b'=' || next == b'>' {
+            continue;
+        }
+        return Some(i);
+    }
+    None
+}
+
+/// Computes the taint summary for one function: parameters seed the set;
+/// bindings whose right-hand side mentions a tainted identifier propagate
+/// it. Runs to a fixpoint (bounded by the number of bindings).
+pub fn taint_summary(file: &ScannedFile, func: &Function) -> TaintSummary {
+    let mut tainted = param_names(file, func);
+    let end = func.end.min(file.lines.len());
+    let body: Vec<&str> = file.lines[func.start..end]
+        .iter()
+        .map(|l| l.code.as_str())
+        .collect();
+    loop {
+        let mut changed = false;
+        for code in &body {
+            let Some((names, rhs)) = binding_of(code) else {
+                continue;
+            };
+            if tainted.iter().any(|t| mentions(rhs, t)) {
+                for n in names {
+                    changed |= tainted.insert(n);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    TaintSummary { tainted }
+}
+
+/// Evidence tokens that downgrade a tainted size before a sink: an
+/// explicit clamp, a named bound, a remaining-input comparison, or
+/// checked/saturating arithmetic.
+const CLAMP_EVIDENCE: [&str; 6] = [
+    ".min(",
+    ".clamp(",
+    ".remaining(",
+    "MAX_",
+    "checked_",
+    "saturating_",
+];
+
+/// True when `ident` co-occurs with clamp evidence on some line between
+/// the function start and the sink line (inclusive).
+pub fn clamped_before(file: &ScannedFile, func: &Function, ident: &str, sink_idx: usize) -> bool {
+    let end = sink_idx.saturating_add(1).min(file.lines.len());
+    let lines = file.lines.get(func.start..end).unwrap_or(&[]);
+    for (i, line) in lines.iter().enumerate() {
+        if !mentions(&line.code, ident) {
+            continue;
+        }
+        // rustfmt wraps fluent chains (`let need = m\n    .checked_mul(16)`),
+        // so the evidence may sit on a continuation line below the mention.
+        let mut j = i;
+        loop {
+            let Some(code) = lines.get(j).map(|l| l.code.as_str()) else {
+                break;
+            };
+            if CLAMP_EVIDENCE.iter().any(|t| code.contains(t)) {
+                return true;
+            }
+            match lines.get(j + 1) {
+                Some(next) if next.code.trim_start().starts_with('.') => j += 1,
+                _ => break,
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::parse;
+
+    fn summary_of(src: &str) -> TaintSummary {
+        let p = parse(src);
+        let func = p.functions.first().expect("fixture declares a function");
+        taint_summary(&p.scanned, func)
+    }
+
+    #[test]
+    fn params_seed_the_set() {
+        let s = summary_of("fn f(buf: &[u8], n: usize) -> u32 {\n    0\n}\n");
+        assert!(s.is_tainted("buf"));
+        assert!(s.is_tainted("n"));
+        assert!(!s.is_tainted("x"));
+    }
+
+    #[test]
+    fn self_receiver_is_tainted() {
+        let s = summary_of("fn take(&mut self, n: usize) {\n    let x = 1;\n}\n");
+        assert!(s.is_tainted("self"));
+        assert!(s.is_tainted("n"));
+        assert!(!s.is_tainted("x"), "x is derived from a literal");
+    }
+
+    #[test]
+    fn let_bindings_propagate() {
+        let s = summary_of(
+            "fn f(dec: &mut Decoder) {\n    let len = dec.usize_()?;\n    let need = len * 4;\n    let safe = 7;\n}\n",
+        );
+        assert!(s.is_tainted("len"));
+        assert!(s.is_tainted("need"), "transitive through len");
+        assert!(!s.is_tainted("safe"));
+    }
+
+    #[test]
+    fn compound_assignment_and_for_propagate() {
+        let s = summary_of(
+            "fn f(count: usize) {\n    let mut cursor = 0;\n    cursor += count;\n    for i in 0..count {\n        let _ = i;\n    }\n}\n",
+        );
+        assert!(s.is_tainted("cursor"));
+        assert!(s.is_tainted("i"));
+    }
+
+    #[test]
+    fn multiline_signatures_parse() {
+        let s = summary_of("fn f(\n    bytes: &[u8],\n    scale: f64,\n) -> u32 {\n    0\n}\n");
+        assert!(s.is_tainted("bytes"));
+        assert!(s.is_tainted("scale"));
+    }
+
+    #[test]
+    fn clamp_evidence_found() {
+        let src = "fn f(m: usize) {\n    let cap = m.min(MAX_HINT);\n    let v = Vec::with_capacity(cap);\n}\n";
+        let p = parse(src);
+        let func = &p.functions[0];
+        assert!(clamped_before(&p.scanned, func, "cap", 2));
+        assert!(clamped_before(&p.scanned, func, "m", 2));
+        let src2 = "fn f(m: usize) {\n    let v = Vec::with_capacity(m);\n}\n";
+        let p2 = parse(src2);
+        assert!(!clamped_before(&p2.scanned, &p2.functions[0], "m", 1));
+    }
+}

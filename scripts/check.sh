@@ -18,6 +18,9 @@ cargo run -p xtask --offline -q -- audit
 step "xtask analyze (concurrency soundness: unsafe inventory, atomics, lock order)"
 cargo run -p xtask --offline -q -- analyze
 
+step "xtask reach (panic reachability of the untrusted decode/serve surface)"
+cargo run -p xtask --offline -q -- reach
+
 step "cargo build --release --offline"
 cargo build --release --offline --workspace
 

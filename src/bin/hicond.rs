@@ -224,10 +224,10 @@ fn cmd_solve(path: &str, args: &[String]) -> Result<(), String> {
 /// `hicond serve <graph>`: build-or-load the preconditioner once, then
 /// answer solves over a line protocol on stdin/stdout.
 ///
-/// Protocol (one request per line):
+/// Protocol (one request per line, see [`hicond::serve`]):
 /// - `n` whitespace-separated f64 values — a right-hand side; the reply is
 ///   `ok <iterations> <rel_residual> <x_0> ... <x_{n-1}>` on one line, or
-///   `err <message>`.
+///   `ERR <code>: <detail>` — the session stays alive after an error.
 /// - `quit` — exit cleanly. EOF also ends the session.
 fn cmd_serve(path: &str, args: &[String]) -> Result<(), String> {
     let g = load_graph(path, weight_scale(args)?)?;
@@ -248,14 +248,11 @@ fn cmd_serve(path: &str, args: &[String]) -> Result<(), String> {
     let mut served = 0u64;
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        if trimmed == "quit" {
-            break;
-        }
-        let reply = serve_one(&solver, n, trimmed);
+        let reply = match hicond::serve::respond(&solver, n, &line) {
+            hicond::serve::Action::Reply(r) => r,
+            hicond::serve::Action::Ignore => continue,
+            hicond::serve::Action::Quit => break,
+        };
         out.write_all(reply.as_bytes())
             .and_then(|_| out.write_all(b"\n"))
             .and_then(|_| out.flush())
@@ -264,30 +261,6 @@ fn cmd_serve(path: &str, args: &[String]) -> Result<(), String> {
     }
     eprintln!("served {served} requests");
     Ok(())
-}
-
-/// Handles one serve request line; infallible (errors become `err` replies).
-fn serve_one(solver: &LaplacianSolver, n: usize, line: &str) -> String {
-    let _span = hicond::obs::span("serve_request");
-    hicond::obs::counter_add("serve/requests", 1);
-    let vals: Result<Vec<f64>, _> = line.split_whitespace().map(|t| t.parse()).collect();
-    let b = match vals {
-        Ok(b) if b.len() == n => b,
-        Ok(b) => return format!("err rhs has {} values, expected {n}", b.len()),
-        Err(e) => return format!("err bad rhs value: {e}"),
-    };
-    match solver.solve(&b) {
-        Ok(sol) => {
-            hicond::obs::hist_record("serve/iterations", sol.iterations as f64);
-            let mut reply = format!("ok {} {:.3e}", sol.iterations, sol.rel_residual);
-            for x in &sol.x {
-                reply.push(' ');
-                reply.push_str(&format!("{x:.17e}"));
-            }
-            reply
-        }
-        Err(e) => format!("err {e}"),
-    }
 }
 
 fn cmd_cache(args: &[String]) -> Result<(), String> {

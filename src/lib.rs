@@ -46,6 +46,8 @@
 //! | [`spectral`] | normalized Laplacians, random walks, Theorem 4.1 portraits |
 //! | [`artifact`] | binary persistence: versioned containers, CRC32, content-addressed cache |
 
+pub mod serve;
+
 pub use hicond_artifact as artifact;
 pub use hicond_core as core;
 pub use hicond_graph as graph;

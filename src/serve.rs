@@ -1,0 +1,173 @@
+//! The `hicond serve` request protocol: one request per line, one reply
+//! per line, structured errors, bounded allocation.
+//!
+//! A serve session reads lines from an untrusted peer, so this module is
+//! a declared entry point of the `xtask reach` panic-reachability pass
+//! (see `REACHABILITY.md`): nothing here may panic or allocate
+//! proportionally to anything but the solver dimension, no matter what
+//! bytes arrive.
+//!
+//! ## Protocol
+//!
+//! - request: `n` whitespace-separated `f64` right-hand-side values,
+//!   where `n` is the vertex count announced at startup
+//! - success reply: `ok <iterations> <rel_residual> <x_0> … <x_{n-1}>`
+//! - error reply: `ERR <code>: <detail>` — the session **stays alive**;
+//!   codes are `bad-value` (unparseable or non-finite number),
+//!   `bad-length` (wrong number of values), and `solve-failed` (the
+//!   solver did not converge)
+//! - `quit` or EOF ends the session; empty lines are ignored
+//!
+//! Malformed requests bump the `serve/bad_request` obs counter so a
+//! fleet operator can see a misbehaving client without scraping replies.
+
+use hicond_precond::LaplacianSolver;
+
+/// What the serve loop should do with one input line.
+#[derive(Debug, PartialEq)]
+pub enum Action {
+    /// Write this reply line (either `ok …` or `ERR …`) and keep going.
+    Reply(String),
+    /// Blank input: write nothing, keep going.
+    Ignore,
+    /// `quit`: end the session cleanly.
+    Quit,
+}
+
+/// Handles one request line against a ready solver. Infallible by
+/// design: every malformed input becomes a structured `ERR` reply and
+/// the connection survives. `n` is the solver dimension (trusted — it
+/// comes from the operator's own graph, not from the peer).
+pub fn respond(solver: &LaplacianSolver, n: usize, line: &str) -> Action {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Action::Ignore;
+    }
+    if trimmed == "quit" {
+        return Action::Quit;
+    }
+    let _span = hicond_obs::span("serve_request");
+    hicond_obs::counter_add("serve/requests", 1);
+    let b = match parse_rhs(n, trimmed) {
+        Ok(b) => b,
+        Err(reply) => {
+            hicond_obs::counter_add("serve/bad_request", 1);
+            return Action::Reply(reply);
+        }
+    };
+    // reach: trusted(b holds exactly n finite f64 values — parse_rhs
+    // rejected everything else, so the solver numerics never see raw
+    // peer input)
+    match solver.solve(&b) {
+        Ok(sol) => {
+            hicond_obs::hist_record("serve/iterations", sol.iterations as f64);
+            let mut reply = format!("ok {} {:.3e}", sol.iterations, sol.rel_residual);
+            for x in &sol.x {
+                reply.push(' ');
+                reply.push_str(&format!("{x:.17e}"));
+            }
+            Action::Reply(reply)
+        }
+        Err(e) => Action::Reply(format!("ERR solve-failed: {e}")),
+    }
+}
+
+/// Parses the right-hand side, enforcing exactly `n` finite values. The
+/// reply growth is bounded: the vector never exceeds `n` entries and the
+/// capacity hint is clamped by the line length (a k-value request needs
+/// at least 2k−1 bytes of input).
+fn parse_rhs(n: usize, line: &str) -> Result<Vec<f64>, String> {
+    let mut b: Vec<f64> = Vec::with_capacity(n.min(line.len()));
+    for tok in line.split_whitespace() {
+        if b.len() == n {
+            return Err(format!("ERR bad-length: more than {n} rhs values"));
+        }
+        match tok.parse::<f64>() {
+            Ok(v) if v.is_finite() => b.push(v),
+            Ok(v) => return Err(format!("ERR bad-value: non-finite rhs value {v}")),
+            Err(e) => {
+                // Echo at most a prefix of the offending token: the line
+                // is peer-controlled and may be arbitrarily long.
+                let shown: String = tok.chars().take(20).collect();
+                return Err(format!("ERR bad-value: `{shown}`: {e}"));
+            }
+        }
+    }
+    if b.len() != n {
+        return Err(format!(
+            "ERR bad-length: rhs has {} values, expected {n}",
+            b.len()
+        ));
+    }
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hicond_graph::generators;
+    use hicond_precond::SolverOptions;
+
+    fn tiny_solver() -> (LaplacianSolver, usize) {
+        let g = generators::path(8, |_| 1.0);
+        let n = g.num_vertices();
+        (LaplacianSolver::new(&g, &SolverOptions::default()), n)
+    }
+
+    #[test]
+    fn well_formed_request_gets_ok_reply() {
+        let (solver, n) = tiny_solver();
+        let mut b = vec![1.0; n];
+        b[0] = -(n as f64 - 1.0); // orthogonal to the constant vector
+        let line: Vec<String> = b.iter().map(|v| v.to_string()).collect();
+        match respond(&solver, n, &line.join(" ")) {
+            Action::Reply(r) => assert!(r.starts_with("ok "), "reply: {r}"),
+            other => panic!("expected reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quit_and_blank_lines() {
+        let (solver, n) = tiny_solver();
+        assert_eq!(respond(&solver, n, "  quit  "), Action::Quit);
+        assert_eq!(respond(&solver, n, "   "), Action::Ignore);
+    }
+
+    #[test]
+    fn wrong_length_is_structured_error() {
+        let (solver, n) = tiny_solver();
+        match respond(&solver, n, "1 2 3") {
+            Action::Reply(r) => assert!(r.starts_with("ERR bad-length:"), "reply: {r}"),
+            other => panic!("expected reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn excess_values_rejected_before_materializing() {
+        let (solver, n) = tiny_solver();
+        let line = vec!["1"; n + 100].join(" ");
+        match respond(&solver, n, &line) {
+            Action::Reply(r) => assert!(r.starts_with("ERR bad-length:"), "reply: {r}"),
+            other => panic!("expected reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_and_non_finite_values_rejected() {
+        let (solver, n) = tiny_solver();
+        for bad in [
+            "1 2 pancake",
+            "NaN 1 2",
+            "inf 0 0",
+            &format!("{}", "9".repeat(400)),
+        ] {
+            match respond(&solver, n, bad) {
+                Action::Reply(r) => {
+                    assert!(r.starts_with("ERR bad-"), "input {bad:.40}: reply {r}");
+                    assert!(r.len() < 120, "reply echoes too much input: {r}");
+                }
+                other => panic!("expected reply, got {other:?}"),
+            }
+        }
+    }
+}
