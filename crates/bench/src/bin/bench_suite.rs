@@ -1,10 +1,10 @@
-//! Machine-readable benchmark trajectory (DESIGN.md §7).
+//! Machine-readable benchmark trajectory (DESIGN.md §7, §12).
 //!
 //! Times the hot workloads — SpMV, Jacobi-PCG, parallel tree
 //! contraction (subtree sizes via list ranking), planar [φ, ρ]
 //! decomposition, and the artifact build/load/solve triple — under thread
 //! caps 1/2/4/8 and writes the results to
-//! `BENCH_pr5.json` so every future PR can diff against them. Before any
+//! `BENCH_pr7.json` so every future PR can diff against them. Before any
 //! timing, each workload's output at the maximum thread cap is checked
 //! **bitwise** against the 1-thread output (the engine's determinism
 //! contract), and the run aborts on any mismatch. The `hicond_obs`
@@ -12,14 +12,24 @@
 //! traces, phase timers, pool counters) is embedded under a top-level
 //! `"metrics"` key.
 //!
+//! A kernel-level phase additionally times each SpMV/PCG **variant pair**
+//! (unblocked vs row-band blocked, unfused vs fused) single-threaded and
+//! normalizes to ns-per-nnz and modelled bytes-per-nnz — the
+//! cycles-per-nnz table of DESIGN.md §12. Each pair is gated bitwise
+//! against its reference variant before any timing, so a fused or blocked
+//! kernel that diverges by one ULP fails the run.
+//!
 //! Usage:
-//!   bench_suite [--smoke] [--out PATH]
+//!   bench_suite [--smoke] [--out PATH] [--baseline PATH]
 //!
 //! `--smoke` shrinks every workload and the repetition counts so CI can
 //! exercise the full code path in a couple of seconds (the JSON is then
 //! marked `"mode": "smoke"` and not meant for cross-PR comparison).
+//! `--baseline PATH` points at a previous trajectory (default
+//! `BENCH_pr5.json` when present) whose single-thread PCG median seeds the
+//! `pcg_speedup_vs_baseline_1t` meta field.
 
-use hicond_bench::{bench_json, consistent_rhs, timed_median_ns, BenchRecord, Table};
+use hicond_bench::{bench_json, consistent_rhs, timed_median_ns, BenchRecord, KernelRecord, Table};
 use hicond_core::{decompose_planar, PlanarOptions};
 use hicond_graph::{generators, laplacian, Graph, RootedForest};
 use hicond_linalg::cg::{pcg_solve, CgOptions, JacobiPreconditioner};
@@ -33,26 +43,103 @@ const THREADS: [usize; 4] = [1, 2, 4, 8];
 struct Config {
     smoke: bool,
     out: String,
+    baseline: Option<String>,
 }
 
 fn parse_args() -> Config {
     let mut cfg = Config {
         smoke: false,
-        out: "BENCH_pr5.json".to_string(),
+        out: "BENCH_pr7.json".to_string(),
+        baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => cfg.smoke = true,
             "--out" => cfg.out = args.next().expect("--out needs a path"),
+            "--baseline" => cfg.baseline = Some(args.next().expect("--baseline needs a path")),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: bench_suite [--smoke] [--out PATH]");
+                eprintln!("usage: bench_suite [--smoke] [--out PATH] [--baseline PATH]");
                 std::process::exit(2);
             }
         }
     }
+    if cfg.baseline.is_none() && std::path::Path::new("BENCH_pr5.json").exists() {
+        cfg.baseline = Some("BENCH_pr5.json".to_string());
+    }
     cfg
+}
+
+/// Pulls the single-thread PCG median out of a previous trajectory without
+/// a JSON parser: scans the `"results"` rows for the pcg/threads=1 record.
+/// Returns `None` on any shape surprise — the speedup meta field is then
+/// simply omitted.
+fn baseline_pcg_1t_ns(path: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    for line in text.lines() {
+        if line.contains("\"workload\": \"pcg\"") && line.contains("\"threads\": 1,") {
+            let key = "\"median_ns\": ";
+            let start = line.find(key)? + key.len();
+            let rest = &line[start..];
+            let end = rest.find(|c: char| !c.is_ascii_digit())?;
+            return rest[..end].parse().ok();
+        }
+    }
+    None
+}
+
+/// Modelled streamed bytes per nonzero for one CSR SpMV sweep: 8 B value +
+/// 4 B column index + 8 B x-gather per nnz, plus the row-pointer stream and
+/// the y write amortized over the nonzeros. The blocked layout streams u32
+/// band-local pointers (one per row per band boundary) plus one usize band
+/// offset per band instead of usize row pointers.
+fn spmv_bytes_per_nnz(n: usize, nnz: usize, blocked: bool) -> f64 {
+    let ptr_bytes = if blocked {
+        let nbands = n.div_ceil(hicond_linalg::blocked::BAND_ROWS);
+        4 * (n + nbands) + 8 * nbands
+    } else {
+        8 * (n + 1)
+    };
+    (12 * nnz + 8 * nnz + ptr_bytes + 8 * n) as f64 / nnz as f64
+}
+
+/// Modelled streamed bytes per iteration·nnz for Jacobi-PCG: one SpMV
+/// sweep plus `sweeps` full n-vector streams (reads + writes) of the BLAS-1
+/// tail. Unfused: z=Mr, r·z, α-denominator dot, x-axpy, r-axpy, ‖r‖², and
+/// the p update — 16 vector streams. Fusion folds the preconditioner apply
+/// into the r·z dot and the x/r updates into the norm sweep — 14 streams.
+fn pcg_bytes_per_nnz(n: usize, nnz: usize, blocked: bool, sweeps: usize) -> f64 {
+    spmv_bytes_per_nnz(n, nnz, blocked) + (8 * n * sweeps) as f64 / nnz as f64
+}
+
+/// Builds one normalized kernel row from a measured median. `work_nnz` is
+/// the nonzeros processed per invocation × iterations (for iterative
+/// kernels), the ns-per-nnz denominator.
+fn kernel_record(
+    kernel: &str,
+    variant: &str,
+    n: usize,
+    nnz: usize,
+    work_nnz: usize,
+    median_ns: u64,
+    bytes_per_nnz: f64,
+) -> KernelRecord {
+    KernelRecord {
+        kernel: kernel.to_string(),
+        variant: variant.to_string(),
+        n,
+        nnz,
+        threads: 1,
+        median_ns,
+        ns_per_nnz: median_ns as f64 / work_nnz as f64,
+        bytes_per_nnz,
+    }
+}
+
+/// Bit-exact view of an f64 vector.
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
 }
 
 /// One workload: a setup-free closure producing a comparable output, run
@@ -131,7 +218,10 @@ fn main() {
         record_residuals: false,
     };
     let m = JacobiPreconditioner::from_diagonal(&a.diagonal());
-    measure("pcg", n, a.nnz(), reps_slow, &mut records, || {
+    // reps_fast: the single-thread pcg median is the trajectory's headline
+    // cross-PR number, so it gets the larger repetition count — median of 3
+    // is too fragile against CPU-steal spikes on shared runners.
+    measure("pcg", n, a.nnz(), reps_fast, &mut records, || {
         let r = pcg_solve(&a, &m, &b, &pcg_opts);
         (r.x, r.iterations)
     });
@@ -195,6 +285,103 @@ fn main() {
         || solver.solve(&planar_b).expect("planar solve converges").x,
     );
 
+    // ---- Kernel-level cycles-per-nnz phase (DESIGN.md §12) ----
+    // Each variant pair is gated bitwise against its reference variant,
+    // then timed single-threaded with invocations *interleaved* so slow
+    // machine drift cannot masquerade as a variant difference. The global
+    // dispatch threshold is forced on for the blocked/fused runs and
+    // restored afterwards, so the workload phase above is unaffected.
+    let mut kernels: Vec<KernelRecord> = Vec::new();
+    let nnz = a.nnz();
+    {
+        // SpMV: unblocked reference vs row-band blocked layout. mul_into
+        // is the plain reference kernel regardless of the threshold;
+        // mul_into_with dispatches the blocked path once forced on.
+        hicond_linalg::set_spmv_block_threshold(Some(0));
+        let mut y_ref = vec![0.0; n];
+        a.mul_into(&x, &mut y_ref);
+        let mut y_blk = vec![0.0; n];
+        with_thread_cap(1, || a.mul_into_with(&x, &mut y_blk, Default::default()));
+        assert_eq!(
+            bits(&y_ref),
+            bits(&y_blk),
+            "blocked SpMV diverges bitwise from the unblocked reference"
+        );
+        let mut y_a = vec![0.0; n];
+        let mut y_b = vec![0.0; n];
+        let (un_ns, bl_ns) = with_thread_cap(1, || {
+            hicond_bench::timed_median_pair_ns(
+                reps_fast,
+                || a.mul_into(&x, &mut y_a),
+                || a.mul_into_with(&x, &mut y_b, Default::default()),
+            )
+        });
+        kernels.push(kernel_record(
+            "spmv",
+            "unblocked",
+            n,
+            nnz,
+            nnz,
+            un_ns,
+            spmv_bytes_per_nnz(n, nnz, false),
+        ));
+        kernels.push(kernel_record(
+            "spmv",
+            "blocked",
+            n,
+            nnz,
+            nnz,
+            bl_ns,
+            spmv_bytes_per_nnz(n, nnz, true),
+        ));
+
+        // PCG: unfused vs fused solver, both over the blocked SpMV so the
+        // pair isolates the fusion win. Fixed iteration count (rel_tol 0)
+        // keeps the two trajectories the same length.
+        let (unfused, fused) = with_thread_cap(1, || {
+            (
+                hicond_linalg::pcg_solve_unfused(&a, &m, &b, &pcg_opts),
+                pcg_solve(&a, &m, &b, &pcg_opts),
+            )
+        });
+        assert_eq!(
+            (bits(&unfused.x), unfused.iterations),
+            (bits(&fused.x), fused.iterations),
+            "fused PCG diverges bitwise from the unfused trajectory"
+        );
+        let iters = fused.iterations.max(1);
+        let (unf_ns, fus_ns) = with_thread_cap(1, || {
+            hicond_bench::timed_median_pair_ns(
+                reps_fast,
+                || {
+                    hicond_linalg::pcg_solve_unfused(&a, &m, &b, &pcg_opts);
+                },
+                || {
+                    pcg_solve(&a, &m, &b, &pcg_opts);
+                },
+            )
+        });
+        kernels.push(kernel_record(
+            "pcg",
+            "unfused",
+            n,
+            nnz,
+            iters * nnz,
+            unf_ns,
+            pcg_bytes_per_nnz(n, nnz, true, 16),
+        ));
+        kernels.push(kernel_record(
+            "pcg",
+            "fused",
+            n,
+            nnz,
+            iters * nnz,
+            fus_ns,
+            pcg_bytes_per_nnz(n, nnz, true, 14),
+        ));
+        hicond_linalg::set_spmv_block_threshold(None);
+    }
+
     // Headline ratio for the trajectory: how much faster deserializing the
     // preconditioner is than rebuilding it (single-threaded medians).
     let median_of = |w: &str| {
@@ -210,10 +397,22 @@ fn main() {
     let hw_threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    let meta = [
+    let mut meta = vec![
         ("bench", "bench_suite".to_string()),
         ("mode", if cfg.smoke { "smoke" } else { "full" }.to_string()),
         ("hardware_threads", hw_threads.to_string()),
+        // Resolved execution-engine configuration: the thread count after
+        // HICOND_THREADS parsing and the size-adaptive chunking policy the
+        // BLAS-1 kernels partition under (both thread-count-blind).
+        (
+            "threads_resolved",
+            rayon::pool::default_threads().to_string(),
+        ),
+        ("chunk_policy", rayon::pool::chunk_policy()),
+        (
+            "spmv_block_threshold",
+            hicond_linalg::spmv_block_threshold().to_string(),
+        ),
         (
             "note",
             format!(
@@ -222,8 +421,19 @@ fn main() {
             ),
         ),
         (
+            "kernel_note",
+            "kernels[].ns_per_nnz is wall-clock ns per processed nonzero \
+             (per iteration*nnz for pcg) at 1 thread — multiply by the core \
+             clock in GHz for cycles-per-nnz; bytes_per_nnz is modelled \
+             streamed traffic, and both depend on this machine's cache and \
+             SIMD width, so compare across PRs only on the same hardware"
+                .to_string(),
+        ),
+        (
             "determinism",
-            "all workloads bitwise-identical at 1 vs max threads".to_string(),
+            "all workloads bitwise-identical at 1 vs max threads; kernel \
+             variants (blocked/fused) gated bitwise against references"
+                .to_string(),
         ),
         (
             "artifact_load_speedup_vs_build",
@@ -239,9 +449,20 @@ fn main() {
             },
         ),
     ];
+    if let Some(base) = cfg.baseline.as_deref() {
+        if let Some(base_ns) = baseline_pcg_1t_ns(base) {
+            let speedup = base_ns as f64 / median_of("pcg").max(1) as f64;
+            meta.push((
+                "pcg_speedup_vs_baseline_1t",
+                format!("{speedup:.3} (vs {base})"),
+            ));
+        } else {
+            eprintln!("warning: no pcg/threads=1 record found in baseline {base}");
+        }
+    }
     let metrics = hicond_obs::render_json(&hicond_obs::snapshot());
     hicond_obs::json::validate(&metrics).expect("obs metrics snapshot must be valid JSON");
-    let json = bench_json(&meta, &records, Some(&metrics));
+    let json = bench_json(&meta, &records, &kernels, Some(&metrics));
     hicond_obs::json::validate(&json).expect("bench trajectory must be valid JSON");
     std::fs::write(&cfg.out, &json).expect("write bench json");
 
@@ -257,5 +478,26 @@ fn main() {
         ]);
     }
     table.print();
+    let mut ktable = Table::new(&[
+        "kernel",
+        "variant",
+        "n",
+        "nnz",
+        "median_ns",
+        "ns/nnz",
+        "bytes/nnz",
+    ]);
+    for k in &kernels {
+        ktable.row(vec![
+            k.kernel.clone(),
+            k.variant.clone(),
+            k.n.to_string(),
+            k.nnz.to_string(),
+            k.median_ns.to_string(),
+            format!("{:.3}", k.ns_per_nnz),
+            format!("{:.1}", k.bytes_per_nnz),
+        ]);
+    }
+    ktable.print();
     println!("wrote {} (with embedded obs metrics snapshot)", cfg.out);
 }

@@ -89,6 +89,36 @@ pub fn timed_median_ns<T>(reps: usize, mut f: impl FnMut() -> T) -> u64 {
     times[times.len() / 2]
 }
 
+/// Interleaved A/B timing: alternates the two closures for `reps` rounds
+/// and returns `(median_a_ns, median_b_ns)`. Back-to-back blocks alias
+/// slow drift (VM frequency scaling, cache state, CPU steal) into the
+/// variant difference; alternating invocations expose both variants to the
+/// same drift. Both closures run once untimed first to warm their paths.
+pub fn timed_median_pair_ns(
+    reps: usize,
+    mut run_a: impl FnMut(),
+    mut run_b: impl FnMut(),
+) -> (u64, u64) {
+    let reps = reps.max(1);
+    run_a();
+    run_b();
+    let mut ta = Vec::with_capacity(reps);
+    let mut tb = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        // audit: allow(instant-now) — the bench harness measures wall time itself
+        let t = Instant::now();
+        run_a();
+        ta.push(t.elapsed().as_nanos() as u64);
+        // audit: allow(instant-now) — the bench harness measures wall time itself
+        let t = Instant::now();
+        run_b();
+        tb.push(t.elapsed().as_nanos() as u64);
+    }
+    ta.sort_unstable();
+    tb.sort_unstable();
+    (ta[reps / 2], tb[reps / 2])
+}
+
 /// One measurement row of the machine-readable benchmark trajectory
 /// (`BENCH_pr2.json`); future PRs diff their numbers against these.
 #[derive(Debug, Clone)]
@@ -105,6 +135,34 @@ pub struct BenchRecord {
     pub median_ns: u64,
     /// `median_ns(1 thread) / median_ns(this)` for the same workload.
     pub speedup: f64,
+}
+
+/// One row of the kernel-level cost table: a kernel variant (e.g. blocked
+/// vs unblocked SpMV) normalized to per-nonzero cost.
+///
+/// `ns_per_nnz` is wall-clock nanoseconds per processed nonzero — the
+/// portable stand-in for cycles-per-nnz (multiply by the machine's GHz to
+/// get cycles; no TSC calibration is attempted). `bytes_per_nnz` is the
+/// *modelled* streamed memory traffic per nonzero (indices + values +
+/// vector sweeps), a roofline denominator, not a measurement.
+#[derive(Debug, Clone)]
+pub struct KernelRecord {
+    /// Kernel family (`spmv`, `pcg`).
+    pub kernel: String,
+    /// Variant within the family (`unblocked`, `blocked`, `unfused`, `fused`).
+    pub variant: String,
+    /// Problem dimension (rows).
+    pub n: usize,
+    /// Nonzeros processed per kernel invocation.
+    pub nnz: usize,
+    /// Thread cap the measurement ran under.
+    pub threads: usize,
+    /// Median wall-clock nanoseconds per invocation.
+    pub median_ns: u64,
+    /// `median_ns / nnz` (for iterative kernels, per iteration·nnz).
+    pub ns_per_nnz: f64,
+    /// Modelled streamed bytes per nonzero.
+    pub bytes_per_nnz: f64,
 }
 
 fn json_escape(s: &str) -> String {
@@ -125,12 +183,15 @@ fn json_escape(s: &str) -> String {
 
 /// Serializes the benchmark trajectory to pretty-printed JSON. `meta`
 /// key/value pairs (machine description, date, mode) land in a top-level
-/// `"meta"` object next to the `"results"` array. `metrics`, when present,
-/// must be a pre-rendered JSON object (the `hicond_obs` snapshot) and is
-/// embedded verbatim under a top-level `"metrics"` key.
+/// `"meta"` object next to the `"results"` array. `kernels`, when
+/// non-empty, lands under a top-level `"kernels"` array (the per-nnz cost
+/// table). `metrics`, when present, must be a pre-rendered JSON object
+/// (the `hicond_obs` snapshot) and is embedded verbatim under a top-level
+/// `"metrics"` key.
 pub fn bench_json(
     meta: &[(&str, String)],
     records: &[BenchRecord],
+    kernels: &[KernelRecord],
     metrics: Option<&str>,
 ) -> String {
     let mut s = String::new();
@@ -148,6 +209,24 @@ pub fn bench_json(
         s.push_str("  \"metrics\": ");
         s.push_str(m.trim());
         s.push_str(",\n");
+    }
+    if !kernels.is_empty() {
+        s.push_str("  \"kernels\": [\n");
+        for (i, k) in kernels.iter().enumerate() {
+            let comma = if i + 1 < kernels.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"n\": {}, \"nnz\": {}, \"threads\": {}, \"median_ns\": {}, \"ns_per_nnz\": {:.4}, \"bytes_per_nnz\": {:.2}}}{comma}\n",
+                json_escape(&k.kernel),
+                json_escape(&k.variant),
+                k.n,
+                k.nnz,
+                k.threads,
+                k.median_ns,
+                k.ns_per_nnz,
+                k.bytes_per_nnz
+            ));
+        }
+        s.push_str("  ],\n");
     }
     s.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
@@ -219,6 +298,20 @@ mod tests {
     }
 
     #[test]
+    fn median_pair_interleaves() {
+        let (a, b) = timed_median_pair_ns(
+            5,
+            || {
+                std::hint::black_box((0..500).sum::<u64>());
+            },
+            || {
+                std::hint::black_box((0..500).product::<u64>());
+            },
+        );
+        assert!(a > 0 && b > 0);
+    }
+
+    #[test]
     fn bench_json_shape() {
         let recs = vec![BenchRecord {
             workload: "spmv".into(),
@@ -228,12 +321,13 @@ mod tests {
             median_ns: 1234,
             speedup: 2.5,
         }];
-        let s = bench_json(&[("mode", "smoke \"quoted\"".into())], &recs, None);
+        let s = bench_json(&[("mode", "smoke \"quoted\"".into())], &recs, &[], None);
         assert!(s.contains("\"workload\": \"spmv\""));
         assert!(s.contains("\"median_ns\": 1234"));
         assert!(s.contains("\\\"quoted\\\""));
         assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
         assert!(!s.contains("\"metrics\""));
+        assert!(!s.contains("\"kernels\""));
     }
 
     #[test]
@@ -241,9 +335,43 @@ mod tests {
         let s = bench_json(
             &[("mode", "smoke".into())],
             &[],
+            &[],
             Some("{\"counters\": {\"cg/iterations\": 7}}"),
         );
         assert!(s.contains("\"metrics\": {\"counters\""));
         assert!(s.contains("\"cg/iterations\": 7"));
+    }
+
+    #[test]
+    fn bench_json_renders_kernel_table() {
+        let kernels = vec![
+            KernelRecord {
+                kernel: "spmv".into(),
+                variant: "blocked".into(),
+                n: 100,
+                nnz: 480,
+                threads: 1,
+                median_ns: 960,
+                ns_per_nnz: 2.0,
+                bytes_per_nnz: 21.67,
+            },
+            KernelRecord {
+                kernel: "pcg".into(),
+                variant: "fused".into(),
+                n: 100,
+                nnz: 480,
+                threads: 1,
+                median_ns: 4800,
+                ns_per_nnz: 2.0,
+                bytes_per_nnz: 43.33,
+            },
+        ];
+        let s = bench_json(&[("mode", "smoke".into())], &[], &kernels, None);
+        assert!(s.contains("\"kernels\": ["));
+        assert!(s.contains("\"variant\": \"blocked\""));
+        assert!(s.contains("\"ns_per_nnz\": 2.0000"));
+        assert!(s.contains("\"bytes_per_nnz\": 21.67"));
+        // Two rows: exactly one trailing-comma-free closer before "results".
+        assert!(s.contains("\"variant\": \"fused\", "));
     }
 }

@@ -9,7 +9,10 @@
 //! to the kernel; iterates then stay in the kernel's complement.
 
 use crate::ops::LinearOperator;
-use crate::vector::{dot_with_scratch, fused_axpy_dot_self, norm2, par_axpy, scratch_len, xpby};
+use crate::vector::{
+    dot_with_scratch, fused_axpy_dot_self, fused_copy_dot, fused_scale_dot, fused_update_x_r,
+    norm2, par_axpy, scratch_len, xpby,
+};
 
 /// A symmetric positive (semi)definite preconditioner: application of
 /// `M⁻¹ r`.
@@ -19,6 +22,24 @@ pub trait Preconditioner {
 
     /// `z = M⁻¹ r`.
     fn apply_into(&self, r: &[f64], z: &mut [f64]);
+
+    /// Fused `z = M⁻¹ r` plus the PCG inner product `rᵀz`, returned.
+    ///
+    /// The default implementation is literally the unfused sequence
+    /// (`apply_into` then [`dot_with_scratch`]), so every implementor gets
+    /// correct (and trivially bitwise-matching) behavior for free.
+    /// Implementors that *can* produce `z` and accumulate `rᵀz` in a single
+    /// traversal should override this — the PCG loop calls it once per
+    /// iteration, and eliminating the extra read of `r` and `z` is one of
+    /// the two memory-sweep savings of the fused solver. **Contract:** an
+    /// override must return bitwise the same `z` and the same dot value as
+    /// the default (same per-element arithmetic, same chunk geometry, same
+    /// fixed-shape partial reduction); `tests/determinism.rs` holds
+    /// implementations to it.
+    fn apply_dot_into(&self, r: &[f64], z: &mut [f64], partials: &mut [f64]) -> f64 {
+        self.apply_into(r, z);
+        dot_with_scratch(r, z, partials)
+    }
 
     /// Allocating `M⁻¹ r`.
     fn apply(&self, r: &[f64]) -> Vec<f64> {
@@ -38,6 +59,9 @@ impl Preconditioner for IdentityPreconditioner {
     }
     fn apply_into(&self, r: &[f64], z: &mut [f64]) {
         z.copy_from_slice(r);
+    }
+    fn apply_dot_into(&self, r: &[f64], z: &mut [f64], partials: &mut [f64]) -> f64 {
+        fused_copy_dot(r, z, partials)
     }
 }
 
@@ -68,6 +92,13 @@ impl Preconditioner for JacobiPreconditioner {
         for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
             *zi = ri * di;
         }
+    }
+    fn apply_dot_into(&self, r: &[f64], z: &mut [f64], partials: &mut [f64]) -> f64 {
+        // z_i = r_i · d_i is a single multiplication, so computing it inside
+        // the fused chunked sweep yields the same bits as the sequential
+        // apply; the dot uses the standard chunk geometry — bitwise equal
+        // to the default unfused sequence.
+        fused_scale_dot(&self.inv_diag, r, z, partials)
     }
 }
 
@@ -118,6 +149,14 @@ pub fn cg_solve<A: LinearOperator>(a: &A, b: &[f64], opts: &CgOptions) -> CgResu
 /// Steiner preconditioner of the paper enters here through its Schur
 /// complement action (see `hicond-precond`).
 ///
+/// Runs the **fused** iteration: the preconditioner application is combined
+/// with the `rᵀz` inner product ([`Preconditioner::apply_dot_into`]) and the
+/// `x`/`r` updates with the residual norm ([`fused_update_x_r`]), removing
+/// two full memory sweeps per iteration versus the textbook sequence.
+/// Bitwise identical to [`pcg_solve_unfused`] — the fused kernels perform
+/// the same per-element arithmetic in the same order with the same chunk
+/// geometry; CI gates on the equivalence.
+///
 /// # Panics
 ///
 /// Panics if the rhs length or the preconditioner dimension disagrees with the matrix.
@@ -126,6 +165,33 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
     m: &M,
     b: &[f64],
     opts: &CgOptions,
+) -> CgResult {
+    pcg_solve_impl(a, m, b, opts, true)
+}
+
+/// The textbook (unfused) PCG iteration: separate sweeps for the `x`
+/// update, the `r` update, the residual norm, the preconditioner apply, and
+/// the `rᵀz` dot. Kept callable as the reference the fused solver is gated
+/// against — benchmark and CI both compare [`pcg_solve`] to this bitwise.
+///
+/// # Panics
+///
+/// Panics if the rhs length or the preconditioner dimension disagrees with the matrix.
+pub fn pcg_solve_unfused<A: LinearOperator, M: Preconditioner>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    opts: &CgOptions,
+) -> CgResult {
+    pcg_solve_impl(a, m, b, opts, false)
+}
+
+fn pcg_solve_impl<A: LinearOperator, M: Preconditioner>(
+    a: &A,
+    m: &M,
+    b: &[f64],
+    opts: &CgOptions,
+    fused: bool,
 ) -> CgResult {
     let n = a.dim();
     assert_eq!(b.len(), n, "pcg: rhs length");
@@ -159,12 +225,20 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
     // no heap allocation (asserted by `tests/alloc_counting.rs`).
     let mut r = b.to_vec();
     let mut z = vec![0.0; n];
-    m.apply_into(&r, &mut z);
-    let mut p = vec![0.0; n];
-    p.copy_from_slice(&z);
     let mut ap = vec![0.0; n];
     let mut partials = vec![0.0; scratch_len(n)];
-    let mut rz = dot_with_scratch(&r, &z, &mut partials);
+    let mut rz = if fused {
+        m.apply_dot_into(&r, &mut z, &mut partials)
+    } else {
+        m.apply_into(&r, &mut z);
+        dot_with_scratch(&r, &z, &mut partials)
+    };
+    let mut p = vec![0.0; n];
+    p.copy_from_slice(&z);
+    let mut fused_applies = 0u64;
+    if fused {
+        fused_applies += 1;
+    }
     if opts.record_residuals {
         history.reserve(opts.max_iter + 2);
         history.push(norm2(&r));
@@ -185,9 +259,14 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
         if !alpha.is_finite() {
             break; // numerical breakdown (rz underflow / pap degenerate)
         }
-        par_axpy(alpha, &p, &mut x);
-        // Fused r -= alpha·ap and ‖r‖² in a single pass over r.
-        let rnorm = fused_axpy_dot_self(-alpha, &ap, &mut r, &mut partials).sqrt();
+        let rnorm = if fused {
+            // One pass over (p, ap, x, r): x += α·p, r −= α·ap, acc ‖r‖².
+            fused_update_x_r(alpha, &p, &ap, &mut x, &mut r, &mut partials).sqrt()
+        } else {
+            par_axpy(alpha, &p, &mut x);
+            // Fused r -= alpha·ap and ‖r‖² in a single pass over r.
+            fused_axpy_dot_self(-alpha, &ap, &mut r, &mut partials).sqrt()
+        };
         it += 1;
         if opts.record_residuals {
             history.push(rnorm);
@@ -202,8 +281,13 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
         if !rnorm.is_finite() {
             break;
         }
-        m.apply_into(&r, &mut z);
-        let rz_new = dot_with_scratch(&r, &z, &mut partials);
+        let rz_new = if fused {
+            fused_applies += 1;
+            m.apply_dot_into(&r, &mut z, &mut partials)
+        } else {
+            m.apply_into(&r, &mut z);
+            dot_with_scratch(&r, &z, &mut partials)
+        };
         if rz_new == 0.0 || !rz_new.is_finite() {
             break; // residual left the preconditioner's range; stagnated
         }
@@ -214,6 +298,7 @@ pub fn pcg_solve<A: LinearOperator, M: Preconditioner>(
     let final_rel = norm2(&r) / bnorm;
     if obs_on {
         hicond_obs::counter_add("cg/iterations", it as u64);
+        hicond_obs::counter_add("cg/fused_applies", fused_applies);
         hicond_obs::hist_record("cg/iterations_per_solve", it as f64);
         hicond_obs::gauge_set("cg/final_rel_residual", final_rel);
     }
@@ -329,6 +414,54 @@ mod tests {
         let ax = a.mul(&res.x);
         for (axi, bi) in ax.iter().zip(&b) {
             assert!((axi - bi).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fused_solver_is_bitwise_identical_to_unfused() {
+        // Covers both preconditioners that override apply_dot_into plus a
+        // non-overriding one (exercising the default unfused fallback).
+        struct PlainJacobi(JacobiPreconditioner);
+        impl Preconditioner for PlainJacobi {
+            fn dim(&self) -> usize {
+                self.0.dim()
+            }
+            fn apply_into(&self, r: &[f64], z: &mut [f64]) {
+                self.0.apply_into(r, z);
+            }
+        }
+        let n = 300;
+        let a = spd_tridiag(n);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin()).collect();
+        let opts = CgOptions {
+            rel_tol: 1e-10,
+            ..Default::default()
+        };
+        let jac = JacobiPreconditioner::from_diagonal(&a.diagonal());
+        let cases: Vec<(CgResult, CgResult)> = vec![
+            (
+                pcg_solve(&a, &IdentityPreconditioner(n), &b, &opts),
+                pcg_solve_unfused(&a, &IdentityPreconditioner(n), &b, &opts),
+            ),
+            (
+                pcg_solve(&a, &jac, &b, &opts),
+                pcg_solve_unfused(&a, &jac, &b, &opts),
+            ),
+            (
+                pcg_solve(&a, &PlainJacobi(jac.clone()), &b, &opts),
+                pcg_solve_unfused(&a, &PlainJacobi(jac.clone()), &b, &opts),
+            ),
+        ];
+        for (k, (f, u)) in cases.iter().enumerate() {
+            assert_eq!(f.iterations, u.iterations, "case {k}");
+            assert_eq!(f.converged, u.converged, "case {k}");
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&f.x), bits(&u.x), "case {k} iterate");
+            assert_eq!(
+                bits(&f.residual_history),
+                bits(&u.residual_history),
+                "case {k} residual trajectory"
+            );
         }
     }
 

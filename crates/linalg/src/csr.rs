@@ -5,24 +5,62 @@
 //! duplicate triplets and sums them — exactly what the algebraic quotient
 //! construction `Q = RᵀAR` of the paper's Definition 3.1 produces.
 
+use crate::blocked::{self, BlockIndex};
 use crate::invariant::InvariantViolation;
 use crate::vector::Parallelism;
 use rayon::prelude::*;
+use std::sync::OnceLock;
 
 /// A sparse matrix in CSR format over `f64`.
 ///
 /// Invariants: `row_ptr.len() == nrows + 1`, `row_ptr` is non-decreasing,
 /// column indices within each row are strictly increasing and `< ncols`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<u32>,
     values: Vec<f64>,
+    /// Lazily built row-band index for the blocked SpMV kernel. Depends
+    /// only on `row_ptr` (structure), so it survives `values_mut` edits;
+    /// `None` inside means the structure is not blockable (a band would
+    /// overflow `u32` offsets) and the plain kernel is used instead.
+    bands: OnceLock<Option<BlockIndex>>,
+}
+
+/// Equality is over the mathematical content (shape + structure + values);
+/// the derived impl would also compare the lazily built block-index cache,
+/// which is a performance artifact, not part of the matrix's identity.
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.values == other.values
+    }
 }
 
 impl CsrMatrix {
+    /// Internal constructor: all in-crate assembly funnels through here so
+    /// the block-index cache slot is initialized in exactly one place.
+    fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+            bands: OnceLock::new(),
+        }
+    }
     /// Builds a CSR matrix from raw parts, checking the invariants.
     ///
     /// # Panics
@@ -48,13 +86,7 @@ impl CsrMatrix {
                 assert!((c as usize) < ncols, "column index out of range");
             }
         }
-        CsrMatrix {
-            nrows,
-            ncols,
-            row_ptr,
-            col_idx,
-            values,
-        }
+        CsrMatrix::from_raw(nrows, ncols, row_ptr, col_idx, values)
     }
 
     /// Fallible variant of [`CsrMatrix::from_parts`]: validates the same
@@ -68,13 +100,7 @@ impl CsrMatrix {
         col_idx: Vec<u32>,
         values: Vec<f64>,
     ) -> Result<Self, InvariantViolation> {
-        let m = CsrMatrix {
-            nrows,
-            ncols,
-            row_ptr,
-            col_idx,
-            values,
-        };
+        let m = CsrMatrix::from_raw(nrows, ncols, row_ptr, col_idx, values);
         m.check_invariants()?;
         Ok(m)
     }
@@ -259,36 +285,24 @@ impl CsrMatrix {
 
     /// The `n × n` zero matrix (no stored entries).
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        CsrMatrix {
-            nrows,
-            ncols,
-            row_ptr: vec![0; nrows + 1],
-            col_idx: Vec::new(),
-            values: Vec::new(),
-        }
+        CsrMatrix::from_raw(nrows, ncols, vec![0; nrows + 1], Vec::new(), Vec::new())
     }
 
     /// Identity matrix of size `n`.
     pub fn identity(n: usize) -> Self {
-        CsrMatrix {
-            nrows: n,
-            ncols: n,
-            row_ptr: (0..=n).collect(),
-            col_idx: (0..n as u32).collect(),
-            values: vec![1.0; n],
-        }
+        CsrMatrix::from_raw(
+            n,
+            n,
+            (0..=n).collect(),
+            (0..n as u32).collect(),
+            vec![1.0; n],
+        )
     }
 
     /// Diagonal matrix with the given diagonal.
     pub fn from_diagonal(d: &[f64]) -> Self {
         let n = d.len();
-        CsrMatrix {
-            nrows: n,
-            ncols: n,
-            row_ptr: (0..=n).collect(),
-            col_idx: (0..n as u32).collect(),
-            values: d.to_vec(),
-        }
+        CsrMatrix::from_raw(n, n, (0..=n).collect(), (0..n as u32).collect(), d.to_vec())
     }
 
     /// Number of rows.
@@ -358,18 +372,27 @@ impl CsrMatrix {
 
     /// Sequential `y = A x` into a caller-provided buffer.
     ///
+    /// This is the **reference kernel**: every other SpMV path in the crate
+    /// (row-parallel, blocked, SELL) must reproduce its output bitwise. The
+    /// inner loop runs over row slices (`zip` of columns and values) so the
+    /// optimizer drops the per-nonzero bounds checks; the accumulation
+    /// order — increasing storage position, `v * x[c]` per term, one scalar
+    /// accumulator per row — is the contract the twins must honor.
+    ///
     /// # Panics
     ///
     /// Panics if `x` or `y` length disagrees with the matrix shape.
     pub fn mul_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "mul: x length");
         assert_eq!(y.len(), self.nrows, "mul: y length");
-        for r in 0..self.nrows {
+        for (r, yr) in y.iter_mut().enumerate() {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
             let mut acc = 0.0;
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                acc += self.values[k] * x[self.col_idx[k] as usize];
+            for (&c, &v) in self.col_idx[lo..hi].iter().zip(&self.values[lo..hi]) {
+                acc += v * x[c as usize];
             }
-            y[r] = acc;
+            *yr = acc;
         }
     }
 
@@ -386,16 +409,50 @@ impl CsrMatrix {
         let ci = &self.col_idx;
         let vs = &self.values;
         y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+            let lo = rp[r];
+            let hi = rp[r + 1];
             let mut acc = 0.0;
-            for k in rp[r]..rp[r + 1] {
-                acc += vs[k] * x[ci[k] as usize];
+            for (&c, &v) in ci[lo..hi].iter().zip(&vs[lo..hi]) {
+                acc += v * x[c as usize];
             }
             *yr = acc;
         });
     }
 
+    /// The lazily built row-band index backing the blocked SpMV kernel, or
+    /// `None` when the structure cannot be band-indexed (a single band
+    /// would overflow `u32` local offsets). Built at most once per matrix;
+    /// the cache depends only on structure, so it remains valid across
+    /// [`CsrMatrix::values_mut`] edits.
+    pub fn block_index(&self) -> Option<&BlockIndex> {
+        self.bands
+            .get_or_init(|| BlockIndex::build(self.nrows, &self.row_ptr))
+            .as_ref()
+    }
+
     /// `y = A x` under an execution policy.
+    ///
+    /// Matrices at or above the [`blocked::spmv_block_threshold`] nonzero
+    /// count route through the cache-blocked kernel (band-parallel when the
+    /// policy allows); smaller ones use the plain row loop. All paths are
+    /// bitwise identical, so the thresholds tune speed, never results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
     pub fn mul_into_with(&self, x: &[f64], y: &mut [f64], par: Parallelism) {
+        assert_eq!(x.len(), self.ncols, "mul: x length");
+        assert_eq!(y.len(), self.nrows, "mul: y length");
+        if self.nnz() >= blocked::spmv_block_threshold() {
+            if let Some(bi) = self.block_index() {
+                if par.is_parallel() && self.nrows >= 4096 {
+                    bi.par_mul_into(&self.col_idx, &self.values, x, y);
+                } else {
+                    bi.mul_into(&self.col_idx, &self.values, x, y);
+                }
+                return;
+            }
+        }
         if par.is_parallel() && self.nrows >= 4096 {
             self.par_mul_into(x, y);
         } else {
@@ -441,13 +498,7 @@ impl CsrMatrix {
         }
         row_ptr[0] = 0;
         // Row order of the source guarantees each output row is sorted.
-        CsrMatrix {
-            nrows: self.ncols,
-            ncols: self.nrows,
-            row_ptr,
-            col_idx,
-            values,
-        }
+        CsrMatrix::from_raw(self.ncols, self.nrows, row_ptr, col_idx, values)
     }
 
     /// Checks symmetry up to relative tolerance `tol`.
@@ -524,13 +575,7 @@ impl CsrMatrix {
                 values.push(v);
             });
         }
-        let m = CsrMatrix {
-            nrows: self.nrows,
-            ncols: self.ncols,
-            row_ptr,
-            col_idx,
-            values,
-        };
+        let m = CsrMatrix::from_raw(self.nrows, self.ncols, row_ptr, col_idx, values);
         m.debug_invariants();
         m
     }
@@ -596,13 +641,7 @@ impl CsrMatrix {
             col_idx.extend(c);
             values.extend(v);
         }
-        CsrMatrix {
-            nrows: n,
-            ncols: m,
-            row_ptr,
-            col_idx,
-            values,
-        }
+        CsrMatrix::from_raw(n, m, row_ptr, col_idx, values)
     }
 
     /// Extracts the principal submatrix on `keep` (indices must be sorted,
@@ -727,13 +766,7 @@ impl CooBuilder {
             }
             out_row_ptr[r as usize + 1] = out_col.len();
         }
-        let m = CsrMatrix {
-            nrows: self.nrows,
-            ncols: self.ncols,
-            row_ptr: out_row_ptr,
-            col_idx: out_col,
-            values: out_val,
-        };
+        let m = CsrMatrix::from_raw(self.nrows, self.ncols, out_row_ptr, out_col, out_val);
         m.debug_invariants();
         m
     }
@@ -800,6 +833,40 @@ mod tests {
         a.mul_into(&x, &mut y1);
         a.par_mul_into(&x, &mut y2);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn blocked_dispatch_is_bitwise_transparent() {
+        // Force every mul_into_with through the blocked kernel and check it
+        // agrees bitwise with the reference at both parallelism policies.
+        let _guard = crate::blocked::TEST_THRESHOLD_LOCK
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        let n = 9_000;
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 3.0);
+            if i + 1 < n {
+                b.push_sym(i, i + 1, -1.0);
+            }
+            if i + 37 < n {
+                b.push_sym(i, i + 37, -0.5);
+            }
+        }
+        let a = b.build();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut y_ref = vec![0.0; n];
+        a.mul_into(&x, &mut y_ref);
+        crate::blocked::set_spmv_block_threshold(Some(0));
+        let mut y_seq = vec![0.0; n];
+        let mut y_par = vec![0.0; n];
+        a.mul_into_with(&x, &mut y_seq, Parallelism::Sequential);
+        a.mul_into_with(&x, &mut y_par, Parallelism::Parallel);
+        crate::blocked::set_spmv_block_threshold(None);
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&y_ref), bits(&y_seq));
+        assert_eq!(bits(&y_ref), bits(&y_par));
+        assert!(a.block_index().is_some());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! kernels where the access pattern allows and deterministic sequential
 //! fallbacks controlled by [`Parallelism`].
 
+pub mod blocked;
 pub mod cg;
 pub mod chebyshev;
 pub mod csr;
@@ -36,7 +37,11 @@ pub mod ssor;
 pub mod tridiag;
 pub mod vector;
 
-pub use cg::{cg_solve, pcg_solve, CgOptions, CgResult, IdentityPreconditioner, Preconditioner};
+pub use blocked::{set_spmv_block_threshold, spmv_block_threshold, BlockIndex};
+pub use cg::{
+    cg_solve, pcg_solve, pcg_solve_unfused, CgOptions, CgResult, IdentityPreconditioner,
+    Preconditioner,
+};
 pub use chebyshev::ChebyshevSolver;
 pub use csr::{CooBuilder, CsrMatrix};
 pub use dense::DenseMatrix;

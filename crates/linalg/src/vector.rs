@@ -2,15 +2,28 @@
 //!
 //! Vectors are plain `&[f64]` / `&mut [f64]` slices; the kernels here are the
 //! BLAS-1 subset the iterative solvers need. Each has a sequential and a
-//! parallel path selected by [`Parallelism`]; the parallel paths use fixed
-//! chunking so results are deterministic up to floating-point reassociation
-//! of the chunk partials.
+//! parallel path selected by [`Parallelism`].
+//!
+//! # Chunk geometry and determinism
+//!
+//! Parallel kernels cut their vectors at [`chunk_len`] boundaries — a
+//! size-adaptive geometry from `rayon::pool` that targets
+//! `MIN_PAR_CHUNK`-sized chunks and clamps the chunk count, and that
+//! deliberately never looks at the live thread count. Chunk partials are
+//! written into fixed slots and combined with [`rayon::tree_sum`], whose
+//! pairwise shape depends only on the slot count. Geometry and combine
+//! shape are thus both pure functions of the vector length, which makes
+//! every kernel here bitwise deterministic at any thread count and under
+//! `HICOND_SCHED_JITTER`.
 
+use rayon::pool::MIN_PAR_CHUNK;
 use rayon::prelude::*;
 
-/// Chunk size for parallel BLAS-1 kernels; large enough to amortize task
-/// overhead, small enough to load-balance on typical core counts.
-const PAR_CHUNK: usize = 1 << 14;
+/// Chunk length the parallel kernels use for vectors of length `n`
+/// (re-exported geometry from `rayon::pool::chunk_len`).
+fn chunk_len(n: usize) -> usize {
+    rayon::pool::chunk_len(n)
+}
 
 /// Execution-policy switch threaded through the workspace.
 ///
@@ -43,20 +56,22 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
-/// Parallel dot product; chunk partials are summed in chunk order.
+/// Parallel dot product; chunk partials are combined along the fixed
+/// pairwise tree of [`rayon::tree_sum`].
 ///
 /// # Panics
 ///
 /// Panics if the vector lengths disagree.
 pub fn par_dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "par_dot: length mismatch");
-    if x.len() < PAR_CHUNK {
+    if x.len() <= MIN_PAR_CHUNK {
         return dot(x, y);
     }
-    x.par_chunks(PAR_CHUNK)
-        .zip(y.par_chunks(PAR_CHUNK))
+    let cl = chunk_len(x.len());
+    x.par_chunks(cl)
+        .zip(y.par_chunks(cl))
         .map(|(a, b)| dot(a, b))
-        .sum()
+        .tree_sum()
 }
 
 /// `y += alpha * x`.
@@ -78,24 +93,25 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 /// Panics if the vector lengths disagree.
 pub fn par_axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "par_axpy: length mismatch");
-    if x.len() < PAR_CHUNK {
+    if x.len() <= MIN_PAR_CHUNK {
         return axpy(alpha, x, y);
     }
-    y.par_chunks_mut(PAR_CHUNK)
-        .zip(x.par_chunks(PAR_CHUNK))
+    let cl = chunk_len(x.len());
+    y.par_chunks_mut(cl)
+        .zip(x.par_chunks(cl))
         .for_each(|(yc, xc)| axpy(alpha, xc, yc));
 }
 
 /// Number of chunk partials the `*_with_scratch` kernels need for vectors
 /// of length `n` (at least 1, so the scratch is never empty).
 pub fn scratch_len(n: usize) -> usize {
-    n.div_ceil(PAR_CHUNK).max(1)
+    rayon::pool::num_chunks(n)
 }
 
 /// Allocation-free parallel dot product: chunk partials are written into
 /// the caller-provided `partials` scratch (`≥ scratch_len(x.len())`) and
-/// summed in chunk order, so the result is bitwise identical at any
-/// thread count.
+/// combined along the fixed pairwise tree of [`rayon::tree_sum`], so the
+/// result is bitwise identical at any thread count.
 ///
 /// # Panics
 ///
@@ -103,23 +119,24 @@ pub fn scratch_len(n: usize) -> usize {
 /// `scratch_len(x.len())`.
 pub fn dot_with_scratch(x: &[f64], y: &[f64], partials: &mut [f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot_with_scratch: length mismatch");
-    if x.len() < PAR_CHUNK {
+    if x.len() <= MIN_PAR_CHUNK {
         return dot(x, y);
     }
+    let cl = chunk_len(x.len());
     let nchunks = scratch_len(x.len());
     let partials = &mut partials[..nchunks];
     partials
         .par_iter_mut()
-        .zip(x.par_chunks(PAR_CHUNK))
-        .zip(y.par_chunks(PAR_CHUNK))
+        .zip(x.par_chunks(cl))
+        .zip(y.par_chunks(cl))
         .for_each(|((out, xc), yc)| *out = dot(xc, yc));
-    partials.iter().sum()
+    rayon::tree_sum(partials)
 }
 
 /// Fused allocation-free `y += alpha·x; return yᵀy`: one pass over the
 /// data instead of an axpy followed by a norm. Chunk partials go into
-/// `partials` (`≥ scratch_len(y.len())`) and are summed in chunk order
-/// (bitwise deterministic at any thread count).
+/// `partials` (`≥ scratch_len(y.len())`) and are tree-combined (bitwise
+/// deterministic at any thread count).
 ///
 /// # Panics
 ///
@@ -127,7 +144,7 @@ pub fn dot_with_scratch(x: &[f64], y: &[f64], partials: &mut [f64]) -> f64 {
 /// `scratch_len(y.len())`.
 pub fn fused_axpy_dot_self(alpha: f64, x: &[f64], y: &mut [f64], partials: &mut [f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "fused_axpy_dot_self: length mismatch");
-    if y.len() < PAR_CHUNK {
+    if y.len() <= MIN_PAR_CHUNK {
         let mut acc = 0.0;
         for (yi, xi) in y.iter_mut().zip(x) {
             *yi += alpha * xi;
@@ -135,12 +152,13 @@ pub fn fused_axpy_dot_self(alpha: f64, x: &[f64], y: &mut [f64], partials: &mut 
         }
         return acc;
     }
+    let cl = chunk_len(y.len());
     let nchunks = scratch_len(y.len());
     let partials = &mut partials[..nchunks];
     partials
         .par_iter_mut()
-        .zip(y.par_chunks_mut(PAR_CHUNK))
-        .zip(x.par_chunks(PAR_CHUNK))
+        .zip(y.par_chunks_mut(cl))
+        .zip(x.par_chunks(cl))
         .for_each(|((out, yc), xc)| {
             let mut acc = 0.0;
             for (yi, xi) in yc.iter_mut().zip(xc) {
@@ -149,7 +167,131 @@ pub fn fused_axpy_dot_self(alpha: f64, x: &[f64], y: &mut [f64], partials: &mut 
             }
             *out = acc;
         });
-    partials.iter().sum()
+    rayon::tree_sum(partials)
+}
+
+/// Fused CG iterate/residual update: `x += alpha·p`, `r -= alpha·ap`, and
+/// `‖r‖²` accumulated — one traversal over four vectors instead of a
+/// `par_axpy` followed by [`fused_axpy_dot_self`].
+///
+/// The per-element arithmetic is exactly `x_i += alpha * p_i;
+/// r_i += (-alpha) * ap_i; acc += r_i * r_i` and the chunk geometry is
+/// shared with the unfused kernels, so the result (and every updated
+/// element) is bitwise identical to the two-kernel sequence at any thread
+/// count — the property the bench divergence gate asserts.
+///
+/// # Panics
+///
+/// Panics if the four vectors differ in length or `partials` is shorter
+/// than `scratch_len(x.len())`.
+pub fn fused_update_x_r(
+    alpha: f64,
+    p: &[f64],
+    ap: &[f64],
+    x: &mut [f64],
+    r: &mut [f64],
+    partials: &mut [f64],
+) -> f64 {
+    let n = x.len();
+    assert_eq!(p.len(), n, "fused_update_x_r: p length mismatch");
+    assert_eq!(ap.len(), n, "fused_update_x_r: ap length mismatch");
+    assert_eq!(r.len(), n, "fused_update_x_r: r length mismatch");
+    let nalpha = -alpha;
+    let body = |pc: &[f64], apc: &[f64], xc: &mut [f64], rc: &mut [f64]| -> f64 {
+        let mut acc = 0.0;
+        for (((xi, ri), pi), api) in xc.iter_mut().zip(rc.iter_mut()).zip(pc).zip(apc) {
+            *xi += alpha * pi;
+            *ri += nalpha * api;
+            acc += *ri * *ri;
+        }
+        acc
+    };
+    if n <= MIN_PAR_CHUNK {
+        return body(p, ap, x, r);
+    }
+    let cl = chunk_len(n);
+    let nchunks = scratch_len(n);
+    let partials = &mut partials[..nchunks];
+    partials
+        .par_iter_mut()
+        .zip(x.par_chunks_mut(cl))
+        .zip(r.par_chunks_mut(cl))
+        .zip(p.par_chunks(cl))
+        .zip(ap.par_chunks(cl))
+        .for_each(|((((out, xc), rc), pc), apc)| *out = body(pc, apc, xc, rc));
+    rayon::tree_sum(partials)
+}
+
+/// Fused diagonal-preconditioner apply + dot: `z = r ⊙ s` and `rᵀz`
+/// accumulated in the same traversal (the Jacobi `z = M⁻¹r` fused with
+/// the PCG `rᵀz`), eliminating one full read sweep per iteration.
+///
+/// Per-element arithmetic is exactly `z_i = r_i * s_i; acc += r_i * z_i`
+/// with the shared chunk geometry, so the result is bitwise identical to
+/// `hadamard_into` followed by [`dot_with_scratch`].
+///
+/// # Panics
+///
+/// Panics if `r`, `s`, and `z` differ in length or `partials` is shorter
+/// than `scratch_len(r.len())`.
+pub fn fused_scale_dot(s: &[f64], r: &[f64], z: &mut [f64], partials: &mut [f64]) -> f64 {
+    let n = r.len();
+    assert_eq!(s.len(), n, "fused_scale_dot: scale length mismatch");
+    assert_eq!(z.len(), n, "fused_scale_dot: output length mismatch");
+    let body = |sc: &[f64], rc: &[f64], zc: &mut [f64]| -> f64 {
+        let mut acc = 0.0;
+        for ((zi, ri), si) in zc.iter_mut().zip(rc).zip(sc) {
+            *zi = ri * si;
+            acc += ri * *zi;
+        }
+        acc
+    };
+    if n <= MIN_PAR_CHUNK {
+        return body(s, r, z);
+    }
+    let cl = chunk_len(n);
+    let nchunks = scratch_len(n);
+    let partials = &mut partials[..nchunks];
+    partials
+        .par_iter_mut()
+        .zip(z.par_chunks_mut(cl))
+        .zip(r.par_chunks(cl))
+        .zip(s.par_chunks(cl))
+        .for_each(|(((out, zc), rc), sc)| *out = body(sc, rc, zc));
+    rayon::tree_sum(partials)
+}
+
+/// Fused copy + dot: `z = r` and `rᵀz = rᵀr` in one traversal (the
+/// identity-preconditioner apply fused with the PCG `rᵀz`). Bitwise
+/// identical to `copy_from_slice` followed by [`dot_with_scratch`].
+///
+/// # Panics
+///
+/// Panics if `r` and `z` differ in length or `partials` is shorter than
+/// `scratch_len(r.len())`.
+pub fn fused_copy_dot(r: &[f64], z: &mut [f64], partials: &mut [f64]) -> f64 {
+    let n = r.len();
+    assert_eq!(z.len(), n, "fused_copy_dot: length mismatch");
+    let body = |rc: &[f64], zc: &mut [f64]| -> f64 {
+        let mut acc = 0.0;
+        for (zi, ri) in zc.iter_mut().zip(rc) {
+            *zi = *ri;
+            acc += ri * *zi;
+        }
+        acc
+    };
+    if n <= MIN_PAR_CHUNK {
+        return body(r, z);
+    }
+    let cl = chunk_len(n);
+    let nchunks = scratch_len(n);
+    let partials = &mut partials[..nchunks];
+    partials
+        .par_iter_mut()
+        .zip(z.par_chunks_mut(cl))
+        .zip(r.par_chunks(cl))
+        .for_each(|((out, zc), rc)| *out = body(rc, zc));
+    rayon::tree_sum(partials)
 }
 
 /// `p = z + beta·p` (the CG search-direction update), parallel above the
@@ -165,11 +307,12 @@ pub fn xpby(z: &[f64], beta: f64, p: &mut [f64]) {
             *pi = zi + beta * *pi;
         }
     };
-    if p.len() < PAR_CHUNK {
+    if p.len() <= MIN_PAR_CHUNK {
         return body(z, p);
     }
-    p.par_chunks_mut(PAR_CHUNK)
-        .zip(z.par_chunks(PAR_CHUNK))
+    let cl = chunk_len(p.len());
+    p.par_chunks_mut(cl)
+        .zip(z.par_chunks(cl))
         .for_each(|(pc, zc)| body(zc, pc));
 }
 
@@ -186,11 +329,12 @@ pub fn axpby_inplace(alpha: f64, beta: f64, x: &[f64], y: &mut [f64]) {
             *yi = alpha * *yi + beta * xi;
         }
     };
-    if y.len() < PAR_CHUNK {
+    if y.len() <= MIN_PAR_CHUNK {
         return body(x, y);
     }
-    y.par_chunks_mut(PAR_CHUNK)
-        .zip(x.par_chunks(PAR_CHUNK))
+    let cl = chunk_len(y.len());
+    y.par_chunks_mut(cl)
+        .zip(x.par_chunks(cl))
         .for_each(|(yc, xc)| body(xc, yc));
 }
 
@@ -208,12 +352,13 @@ pub fn hadamard_into(x: &[f64], s: &[f64], out: &mut [f64]) {
             *oi = xi * si;
         }
     };
-    if x.len() < PAR_CHUNK {
+    if x.len() <= MIN_PAR_CHUNK {
         return body(x, s, out);
     }
-    out.par_chunks_mut(PAR_CHUNK)
-        .zip(x.par_chunks(PAR_CHUNK))
-        .zip(s.par_chunks(PAR_CHUNK))
+    let cl = chunk_len(x.len());
+    out.par_chunks_mut(cl)
+        .zip(x.par_chunks(cl))
+        .zip(s.par_chunks(cl))
         .for_each(|((oc, xc), sc)| body(xc, sc, oc));
 }
 
@@ -224,14 +369,15 @@ pub fn hadamard_into(x: &[f64], s: &[f64], out: &mut [f64]) {
 /// Panics if `y` and `s` differ in length.
 pub fn hadamard_inplace(y: &mut [f64], s: &[f64]) {
     assert_eq!(y.len(), s.len(), "hadamard_inplace: length mismatch");
-    if y.len() < PAR_CHUNK {
+    if y.len() <= MIN_PAR_CHUNK {
         for (yi, si) in y.iter_mut().zip(s) {
             *yi *= si;
         }
         return;
     }
-    y.par_chunks_mut(PAR_CHUNK)
-        .zip(s.par_chunks(PAR_CHUNK))
+    let cl = chunk_len(y.len());
+    y.par_chunks_mut(cl)
+        .zip(s.par_chunks(cl))
         .for_each(|(yc, sc)| {
             for (yi, si) in yc.iter_mut().zip(sc) {
                 *yi *= si;
@@ -403,6 +549,66 @@ mod tests {
             assert_eq!(y1, y2, "n={n}");
             let two_pass = dot_with_scratch(&y2, &y2, &mut partials);
             assert_eq!(fused.to_bits(), two_pass.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_update_x_r_matches_unfused_sequence() {
+        for n in [100usize, 70_000] {
+            let p: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+            let ap: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+            let mut x1: Vec<f64> = (0..n).map(|i| (i % 23) as f64 * 0.1).collect();
+            let mut r1: Vec<f64> = (0..n).map(|i| (i as f64 * 0.07).sin()).collect();
+            let mut x2 = x1.clone();
+            let mut r2 = r1.clone();
+            let mut partials = vec![0.0; scratch_len(n)];
+            let alpha = 0.625;
+            let fused = fused_update_x_r(alpha, &p, &ap, &mut x1, &mut r1, &mut partials);
+            par_axpy(alpha, &p, &mut x2);
+            let unfused = fused_axpy_dot_self(-alpha, &ap, &mut r2, &mut partials);
+            assert_eq!(x1, x2, "n={n}");
+            assert_eq!(r1, r2, "n={n}");
+            assert_eq!(fused.to_bits(), unfused.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_scale_dot_matches_unfused_sequence() {
+        for n in [64usize, 70_000] {
+            let s: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + (i % 9) as f64)).collect();
+            let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+            let mut z1 = vec![0.0; n];
+            let mut z2 = vec![0.0; n];
+            let mut partials = vec![0.0; scratch_len(n)];
+            let fused = fused_scale_dot(&s, &r, &mut z1, &mut partials);
+            hadamard_into(&r, &s, &mut z2);
+            let unfused = dot_with_scratch(&r, &z2, &mut partials);
+            assert_eq!(z1, z2, "n={n}");
+            assert_eq!(fused.to_bits(), unfused.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_copy_dot_matches_unfused_sequence() {
+        for n in [33usize, 70_000] {
+            let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.41).cos()).collect();
+            let mut z1 = vec![0.0; n];
+            let mut z2 = vec![0.0; n];
+            let mut partials = vec![0.0; scratch_len(n)];
+            let fused = fused_copy_dot(&r, &mut z1, &mut partials);
+            z2.copy_from_slice(&r);
+            let unfused = dot_with_scratch(&r, &z2, &mut partials);
+            assert_eq!(z1, z2, "n={n}");
+            assert_eq!(fused.to_bits(), unfused.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn scratch_len_tracks_pool_geometry() {
+        for n in [0usize, 1, 4096, 4097, 102_400, 10_000_000] {
+            assert_eq!(scratch_len(n), rayon::pool::num_chunks(n));
+            assert!(scratch_len(n) >= 1);
+            assert!(scratch_len(n) <= rayon::pool::MAX_PAR_CHUNKS);
         }
     }
 

@@ -36,6 +36,7 @@ pub fn bucket_index(x: f64) -> usize {
 
 /// `[lo, hi)` bounds of bucket `b`; `hi` is `None` for the overflow bin.
 pub fn bucket_bounds(b: usize) -> (f64, Option<f64>) {
+    // reach: allow(reach-panic, every caller on the serve path passes b from enumerate() over the NUM_BUCKETS-long counts array, so the assert guards only direct misuse of this pub fn, never decoded input)
     assert!(b < NUM_BUCKETS, "bucket index out of range");
     if b == 0 {
         return (0.0, Some(exp2(MIN_EXP)));
@@ -124,6 +125,39 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`) of the recorded samples.
+    ///
+    /// Walks the cumulative bucket counts to the first bucket containing
+    /// the rank `ceil(q · count)` and returns that bucket's **lower**
+    /// bound (the overflow bin reports its lower bound `2^31` too). The
+    /// log₂ bucketing bounds the relative error by 2×, which is the right
+    /// resolution for latency reporting: p50/p95/p99 answers are order-of-
+    /// magnitude answers. Returns `None` when the histogram is empty.
+    ///
+    /// Concurrency: bucket loads are relaxed and independent, so a
+    /// quantile read racing recorders sees some valid prefix of the
+    /// updates — fine for monitoring, no cross-field consistency claimed.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * total) as a rank in [1, total]; q = 0 maps to rank 1.
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_bounds(b).0);
+            }
+        }
+        // Unreachable: seen == total >= rank by the clamp above; keep a
+        // total return for the compiler.
+        Some(bucket_bounds(NUM_BUCKETS - 1).0)
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +228,30 @@ mod tests {
         h.record(1.0);
         h.record(3.0);
         assert!((h.mean() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 90 samples in [1, 2), 9 in [8, 16), 1 in the overflow bin.
+        for _ in 0..90 {
+            h.record(1.5);
+        }
+        for _ in 0..9 {
+            h.record(10.0);
+        }
+        h.record(1e12);
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(1.0));
+        assert_eq!(h.quantile(0.9), Some(1.0), "rank 90 is the last 1.5");
+        assert_eq!(h.quantile(0.95), Some(8.0));
+        assert_eq!(h.quantile(0.99), Some(8.0), "rank 99 is the last 10.0");
+        let (overflow_lo, _) = bucket_bounds(NUM_BUCKETS - 1);
+        assert_eq!(h.quantile(1.0), Some(overflow_lo));
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(h.quantile(7.0), Some(overflow_lo));
+        assert_eq!(h.quantile(-1.0), Some(1.0));
     }
 
     #[test]

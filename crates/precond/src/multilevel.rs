@@ -17,6 +17,7 @@
 use crate::steiner::GroundedLaplacianSolver;
 use hicond_core::{build_hierarchy, Hierarchy, HierarchyOptions};
 use hicond_graph::{laplacian, Graph};
+use hicond_linalg::vector::dot_with_scratch;
 use hicond_linalg::{CsrMatrix, Preconditioner};
 
 /// Options for [`MultilevelSteiner`].
@@ -144,6 +145,53 @@ impl MultilevelSteiner {
             .map(|v| v1[v] + self.omega * l.inv_d[v] * (r[v] - av[v]))
             .collect()
     }
+
+    /// Level-0 cycle writing straight into the caller's output buffer.
+    ///
+    /// The recursion below level 0 is unchanged ([`Self::cycle`]); only the
+    /// outermost combination — the one full-length sweep PCG pays on every
+    /// apply — is restructured to skip the intermediate `Vec` and the
+    /// `copy_from_slice` sweep. Each output element is computed by the
+    /// exact same elementwise expression as in `cycle`, so the bits in `z`
+    /// are identical to the allocate-then-copy path.
+    fn cycle_into(&self, r: &[f64], z: &mut [f64]) {
+        if self.levels.is_empty() {
+            z.copy_from_slice(&self.coarse.solve(r));
+            return;
+        }
+        let l = &self.levels[0];
+        let restrict = |res: &[f64]| -> Vec<f64> {
+            let mut out = vec![0.0; l.num_clusters];
+            for (v, &c) in l.assignment.iter().enumerate() {
+                // Hierarchy construction keeps every assignment entry
+                // in bounds: c < num_clusters == out.len().
+                out[c as usize] += res[v];
+            }
+            out
+        };
+        if !self.smoothing {
+            let coarse = self.cycle(1, &restrict(r));
+            for (v, (zv, &rv)) in z.iter_mut().zip(r).enumerate() {
+                // bounds: assignment < num_clusters == coarse.len().
+                *zv = l.inv_d[v] * rv + coarse[l.assignment[v] as usize];
+            }
+            return;
+        }
+        let n = r.len();
+        let mut v1: Vec<f64> = (0..n).map(|v| self.omega * l.inv_d[v] * r[v]).collect();
+        let mut av = vec![0.0; n];
+        l.lap.mul_into_with(&v1, &mut av, Default::default());
+        let r2: Vec<f64> = (0..n).map(|v| r[v] - av[v]).collect();
+        let coarse = self.cycle(1, &restrict(&r2));
+        for (v, val) in v1.iter_mut().enumerate() {
+            // bounds: assignment < num_clusters == coarse.len().
+            *val += coarse[l.assignment[v] as usize];
+        }
+        l.lap.mul_into_with(&v1, &mut av, Default::default());
+        for (v, zv) in z.iter_mut().enumerate() {
+            *zv = v1[v] + self.omega * l.inv_d[v] * (r[v] - av[v]);
+        }
+    }
 }
 
 impl Preconditioner for MultilevelSteiner {
@@ -154,8 +202,19 @@ impl Preconditioner for MultilevelSteiner {
     fn apply_into(&self, r: &[f64], z: &mut [f64]) {
         let _span = hicond_obs::span("precond_apply");
         hicond_obs::counter_add("precond/ml_applies", 1);
-        let out = self.cycle(0, r);
-        z.copy_from_slice(&out);
+        self.cycle_into(r, z);
+    }
+
+    fn apply_dot_into(&self, r: &[f64], z: &mut [f64], partials: &mut [f64]) -> f64 {
+        let _span = hicond_obs::span("precond_apply");
+        hicond_obs::counter_add("precond/ml_applies", 1);
+        hicond_obs::counter_add("precond/fused_applies", 1);
+        // The fused entry point writes z in place (no intermediate vector,
+        // no copy sweep) and computes rᵀz with the standard chunked kernel
+        // — the same function the default trait sequence uses, so the
+        // override is bitwise-transparent by construction.
+        self.cycle_into(r, z);
+        dot_with_scratch(r, z, partials)
     }
 }
 

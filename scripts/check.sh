@@ -33,12 +33,19 @@ HICOND_THREADS=4 cargo test --offline --workspace -q
 step "schedule-perturbation stress (HICOND_THREADS=4, seeded jitter)"
 HICOND_THREADS=4 cargo test --offline -q --test sched_stress --test obs_stress
 
+step "linalg tests with the SELL-C layout feature"
+cargo test --offline -q -p hicond-linalg --features sell
+
 step "cargo build --examples"
 cargo build --offline --examples
 
-step "bench_suite --smoke (engine + workload smoke, JSON shape)"
+step "bench_suite --smoke (engine + workload smoke, JSON shape, kernel gates)"
+# The kernel phase asserts blocked-vs-unblocked SpMV and fused-vs-unfused
+# PCG bitwise equality before timing, so a passing run IS the divergence
+# gate; the grep pins that the cycles-per-nnz table was actually emitted.
 cargo run --release --offline -p hicond-bench --bin bench_suite -- --smoke --out target/bench_smoke.json
 test -s target/bench_smoke.json
+grep -q '"kernels"' target/bench_smoke.json
 
 step "artifact cache round-trip smoke (build -> corrupt -> reject -> rebuild -> solve)"
 rm -rf target/cache_smoke && mkdir -p target/cache_smoke

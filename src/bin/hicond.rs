@@ -228,6 +228,7 @@ fn cmd_solve(path: &str, args: &[String]) -> Result<(), String> {
 /// - `n` whitespace-separated f64 values — a right-hand side; the reply is
 ///   `ok <iterations> <rel_residual> <x_0> ... <x_{n-1}>` on one line, or
 ///   `ERR <code>: <detail>` — the session stays alive after an error.
+/// - `stats` — session counters and solve-latency quantiles on one line.
 /// - `quit` — exit cleanly. EOF also ends the session.
 fn cmd_serve(path: &str, args: &[String]) -> Result<(), String> {
     let g = load_graph(path, weight_scale(args)?)?;
@@ -246,9 +247,10 @@ fn cmd_serve(path: &str, args: &[String]) -> Result<(), String> {
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut served = 0u64;
+    let stats = hicond::serve::ServeStats::new();
     for line in stdin.lock().lines() {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
-        let reply = match hicond::serve::respond(&solver, n, &line) {
+        let reply = match hicond::serve::respond(&solver, n, &line, &stats) {
             hicond::serve::Action::Reply(r) => r,
             hicond::serve::Action::Ignore => continue,
             hicond::serve::Action::Quit => break,
@@ -364,6 +366,13 @@ fn usage() -> &'static str {
 }
 
 fn main() -> ExitCode {
+    // Fail fast on garbled scheduler env (HICOND_THREADS / HICOND_SCHED_JITTER)
+    // with an orderly diagnostic instead of a panic mid-solve: a set-but-
+    // invalid variable is an operator error, never a silent fallback.
+    if let Err(e) = rayon::pool::validate_env() {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match (args.first().map(|s| s.as_str()), args.get(1)) {
         (Some("info"), Some(path)) => cmd_info(path, &args[2..]),

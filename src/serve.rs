@@ -16,12 +16,65 @@
 //!   codes are `bad-value` (unparseable or non-finite number),
 //!   `bad-length` (wrong number of values), and `solve-failed` (the
 //!   solver did not converge)
+//! - `stats` replies with the session's request counters and solve-latency
+//!   quantiles (`ok stats requests=… errors=… p50_us=… p95_us=… p99_us=…`)
+//!   drawn from a log₂ latency histogram; the session keeps going
 //! - `quit` or EOF ends the session; empty lines are ignored
 //!
 //! Malformed requests bump the `serve/bad_request` obs counter so a
 //! fleet operator can see a misbehaving client without scraping replies.
 
 use hicond_precond::LaplacianSolver;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-session serve statistics: request/error counts plus a log₂
+/// histogram of solve latencies in microseconds.
+///
+/// Lives outside the global obs registry so the `stats` verb works even
+/// when `HICOND_OBS` is off, and so concurrent sessions (if a caller ever
+/// runs them) do not mix their numbers. All fields are atomics — recording
+/// needs only `&self`.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    latency_us: hicond_obs::Histogram,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ServeStats {
+    /// Fresh all-zero statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of solve requests seen (excluding `stats`/`quit`/blank).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests answered with an `ERR` reply.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// One-line report for the `stats` verb. Quantiles are lower bucket
+    /// bounds of the log₂ histogram (order-of-magnitude resolution, see
+    /// `hicond_obs::Histogram::quantile`); `-` when nothing was recorded.
+    fn report(&self) -> String {
+        let q = |p: f64| match self.latency_us.quantile(p) {
+            Some(v) => format!("{v:.0}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "ok stats requests={} errors={} p50_us={} p95_us={} p99_us={}",
+            self.requests(),
+            self.errors(),
+            q(0.50),
+            q(0.95),
+            q(0.99),
+        )
+    }
+}
 
 /// What the serve loop should do with one input line.
 #[derive(Debug, PartialEq)]
@@ -37,8 +90,9 @@ pub enum Action {
 /// Handles one request line against a ready solver. Infallible by
 /// design: every malformed input becomes a structured `ERR` reply and
 /// the connection survives. `n` is the solver dimension (trusted — it
-/// comes from the operator's own graph, not from the peer).
-pub fn respond(solver: &LaplacianSolver, n: usize, line: &str) -> Action {
+/// comes from the operator's own graph, not from the peer); `stats`
+/// accumulates this session's counters and latency histogram.
+pub fn respond(solver: &LaplacianSolver, n: usize, line: &str, stats: &ServeStats) -> Action {
     let trimmed = line.trim();
     if trimmed.is_empty() {
         return Action::Ignore;
@@ -46,19 +100,31 @@ pub fn respond(solver: &LaplacianSolver, n: usize, line: &str) -> Action {
     if trimmed == "quit" {
         return Action::Quit;
     }
+    if trimmed == "stats" {
+        return Action::Reply(stats.report());
+    }
     let _span = hicond_obs::span("serve_request");
     hicond_obs::counter_add("serve/requests", 1);
+    stats.requests.fetch_add(1, Ordering::Relaxed);
     let b = match parse_rhs(n, trimmed) {
         Ok(b) => b,
         Err(reply) => {
             hicond_obs::counter_add("serve/bad_request", 1);
+            stats.errors.fetch_add(1, Ordering::Relaxed);
             return Action::Reply(reply);
         }
     };
+    // audit: allow(instant-now) — wall-clock latency measurement for the
+    // stats report; the duration never feeds back into solver numerics.
+    let t0 = std::time::Instant::now();
     // reach: trusted(b holds exactly n finite f64 values — parse_rhs
     // rejected everything else, so the solver numerics never see raw
     // peer input)
-    match solver.solve(&b) {
+    let outcome = solver.solve(&b);
+    let us = t0.elapsed().as_secs_f64() * 1e6;
+    stats.latency_us.record(us);
+    hicond_obs::hist_record("serve/latency_us", us);
+    match outcome {
         Ok(sol) => {
             hicond_obs::hist_record("serve/iterations", sol.iterations as f64);
             let mut reply = format!("ok {} {:.3e}", sol.iterations, sol.rel_residual);
@@ -68,7 +134,10 @@ pub fn respond(solver: &LaplacianSolver, n: usize, line: &str) -> Action {
             }
             Action::Reply(reply)
         }
-        Err(e) => Action::Reply(format!("ERR solve-failed: {e}")),
+        Err(e) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            Action::Reply(format!("ERR solve-failed: {e}"))
+        }
     }
 }
 
@@ -117,36 +186,44 @@ mod tests {
     #[test]
     fn well_formed_request_gets_ok_reply() {
         let (solver, n) = tiny_solver();
+        let stats = ServeStats::new();
         let mut b = vec![1.0; n];
         b[0] = -(n as f64 - 1.0); // orthogonal to the constant vector
         let line: Vec<String> = b.iter().map(|v| v.to_string()).collect();
-        match respond(&solver, n, &line.join(" ")) {
+        match respond(&solver, n, &line.join(" "), &stats) {
             Action::Reply(r) => assert!(r.starts_with("ok "), "reply: {r}"),
             other => panic!("expected reply, got {other:?}"),
         }
+        assert_eq!(stats.requests(), 1);
+        assert_eq!(stats.errors(), 0);
     }
 
     #[test]
     fn quit_and_blank_lines() {
         let (solver, n) = tiny_solver();
-        assert_eq!(respond(&solver, n, "  quit  "), Action::Quit);
-        assert_eq!(respond(&solver, n, "   "), Action::Ignore);
+        let stats = ServeStats::new();
+        assert_eq!(respond(&solver, n, "  quit  ", &stats), Action::Quit);
+        assert_eq!(respond(&solver, n, "   ", &stats), Action::Ignore);
+        assert_eq!(stats.requests(), 0, "meta lines are not solve requests");
     }
 
     #[test]
     fn wrong_length_is_structured_error() {
         let (solver, n) = tiny_solver();
-        match respond(&solver, n, "1 2 3") {
+        let stats = ServeStats::new();
+        match respond(&solver, n, "1 2 3", &stats) {
             Action::Reply(r) => assert!(r.starts_with("ERR bad-length:"), "reply: {r}"),
             other => panic!("expected reply, got {other:?}"),
         }
+        assert_eq!(stats.errors(), 1);
     }
 
     #[test]
     fn excess_values_rejected_before_materializing() {
         let (solver, n) = tiny_solver();
+        let stats = ServeStats::new();
         let line = vec!["1"; n + 100].join(" ");
-        match respond(&solver, n, &line) {
+        match respond(&solver, n, &line, &stats) {
             Action::Reply(r) => assert!(r.starts_with("ERR bad-length:"), "reply: {r}"),
             other => panic!("expected reply, got {other:?}"),
         }
@@ -155,13 +232,14 @@ mod tests {
     #[test]
     fn garbage_and_non_finite_values_rejected() {
         let (solver, n) = tiny_solver();
+        let stats = ServeStats::new();
         for bad in [
             "1 2 pancake",
             "NaN 1 2",
             "inf 0 0",
             &format!("{}", "9".repeat(400)),
         ] {
-            match respond(&solver, n, bad) {
+            match respond(&solver, n, bad, &stats) {
                 Action::Reply(r) => {
                     assert!(r.starts_with("ERR bad-"), "input {bad:.40}: reply {r}");
                     assert!(r.len() < 120, "reply echoes too much input: {r}");
@@ -169,5 +247,38 @@ mod tests {
                 other => panic!("expected reply, got {other:?}"),
             }
         }
+        assert_eq!(stats.errors(), 4);
+    }
+
+    #[test]
+    fn stats_verb_reports_counts_and_latency_quantiles() {
+        let (solver, n) = tiny_solver();
+        let stats = ServeStats::new();
+        // Empty session: counts are zero, quantiles are dashes.
+        match respond(&solver, n, "stats", &stats) {
+            Action::Reply(r) => {
+                assert_eq!(r, "ok stats requests=0 errors=0 p50_us=- p95_us=- p99_us=-");
+            }
+            other => panic!("expected reply, got {other:?}"),
+        }
+        // One good solve and one error, then stats reflects both and the
+        // latency histogram has data.
+        let mut b = vec![1.0; n];
+        b[0] = -(n as f64 - 1.0);
+        let line: Vec<String> = b.iter().map(|v| v.to_string()).collect();
+        respond(&solver, n, &line.join(" "), &stats);
+        respond(&solver, n, "garbage", &stats);
+        match respond(&solver, n, "stats", &stats) {
+            Action::Reply(r) => {
+                assert!(r.starts_with("ok stats requests=2 errors=1 "), "reply: {r}");
+                assert!(!r.contains("p50_us=-"), "latency recorded: {r}");
+                for key in ["p50_us=", "p95_us=", "p99_us="] {
+                    assert!(r.contains(key), "missing {key} in {r}");
+                }
+            }
+            other => panic!("expected reply, got {other:?}"),
+        }
+        // The stats verb itself never counts as a request.
+        assert_eq!(stats.requests(), 2);
     }
 }

@@ -144,6 +144,70 @@ fn pcg_solve_identical() {
 }
 
 #[test]
+fn blocked_spmv_bitwise_identical() {
+    // Force every dispatch through the row-band blocked kernel (threshold
+    // 0) and require bitwise agreement with the unblocked reference at
+    // every cap. The blocked path must be a pure layout change: same
+    // per-row accumulation order, same bits.
+    let g = generators::grid2d(90, 90, |u, v| 1.0 + ((u * 7 + v) % 5) as f64);
+    let a = laplacian(&g);
+    let n = a.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.43).sin()).collect();
+    let mut reference = vec![0.0; n];
+    a.mul_into(&x, &mut reference);
+    hicond_linalg::set_spmv_block_threshold(Some(0));
+    assert_cap_invariant("blocked_spmv", || {
+        let mut y = vec![0.0; n];
+        a.mul_into_with(&x, &mut y, Default::default());
+        bits(&y)
+    });
+    let mut y = vec![0.0; n];
+    a.mul_into_with(&x, &mut y, Default::default());
+    hicond_linalg::set_spmv_block_threshold(None);
+    assert_eq!(
+        bits(&reference),
+        bits(&y),
+        "blocked dispatch must match the unblocked reference bitwise"
+    );
+}
+
+#[test]
+fn fused_pcg_bitwise_identical_to_unfused() {
+    // The fused solver (apply+dot and x/r/norm single-sweep kernels) must
+    // reproduce the unfused trajectory bit for bit at every cap — with the
+    // blocked SpMV forced on as well, covering the composed fast path.
+    let g = generators::grid2d(120, 120, |u, v| 1.0 + ((u + 3 * v) % 4) as f64);
+    let a = laplacian(&g);
+    let n = a.nrows();
+    let mut b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos()).collect();
+    hicond_linalg::vector::deflate_constant(&mut b);
+    let m = JacobiPreconditioner::from_diagonal(&a.diagonal());
+    let opts = CgOptions {
+        rel_tol: 1e-6,
+        max_iter: 60,
+        record_residuals: true,
+    };
+    hicond_linalg::set_spmv_block_threshold(Some(0));
+    let unfused = with_thread_cap(1, || {
+        let r = hicond_linalg::pcg_solve_unfused(&a, &m, &b, &opts);
+        (bits(&r.x), bits(&r.residual_history), r.iterations)
+    });
+    assert_cap_invariant("fused_pcg", || {
+        let r = pcg_solve(&a, &m, &b, &opts);
+        (bits(&r.x), bits(&r.residual_history), r.iterations)
+    });
+    let fused = with_thread_cap(4, || {
+        let r = pcg_solve(&a, &m, &b, &opts);
+        (bits(&r.x), bits(&r.residual_history), r.iterations)
+    });
+    hicond_linalg::set_spmv_block_threshold(None);
+    assert_eq!(
+        unfused, fused,
+        "fused PCG must match the unfused residual trajectory bitwise"
+    );
+}
+
+#[test]
 fn obs_off_vs_json_bitwise_identical() {
     // Instrumentation must never feed back into the numerics: the same
     // decompose + solve pipeline under HICOND_OBS=off and =json is

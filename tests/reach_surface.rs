@@ -437,6 +437,7 @@ fn serve_protocol_rejects_corpus() {
     let _guard = lock();
     let solver = small_solver();
     let n = solver.dim();
+    let stats = hicond::serve::ServeStats::new();
     let good_rhs = {
         let mut parts: Vec<String> = (0..n)
             .map(|i| format!("{}", (i % 5) as f64 - 2.0))
@@ -452,7 +453,7 @@ fn serve_protocol_rejects_corpus() {
             .collect();
         parts.join(" ")
     };
-    match respond(&solver, n, &good_rhs) {
+    match respond(&solver, n, &good_rhs, &stats) {
         Action::Reply(r) => assert!(r.starts_with("ok "), "good request got: {r}"),
         other => panic!("good request got {other:?}"),
     }
@@ -474,7 +475,7 @@ fn serve_protocol_rejects_corpus() {
         hostile.push(String::from_utf8_lossy(&rng.bytes(len)).into_owned());
     }
     for (i, line) in hostile.iter().enumerate() {
-        let (action, peak) = peak_growth_during(|| respond(&solver, n, line));
+        let (action, peak) = peak_growth_during(|| respond(&solver, n, line, &stats));
         match action {
             Action::Reply(r) => assert!(
                 r.starts_with("ok ") || r.starts_with("ERR "),
@@ -491,10 +492,10 @@ fn serve_protocol_rejects_corpus() {
         );
     }
     // The session survives all of that: a good request still succeeds.
-    match respond(&solver, n, &good_rhs) {
+    match respond(&solver, n, &good_rhs, &stats) {
         Action::Reply(r) => assert!(r.starts_with("ok "), "post-abuse request got: {r}"),
         other => panic!("post-abuse request got {other:?}"),
     }
-    assert_eq!(respond(&solver, n, "quit"), Action::Quit);
-    assert_eq!(respond(&solver, n, "  "), Action::Ignore);
+    assert_eq!(respond(&solver, n, "quit", &stats), Action::Quit);
+    assert_eq!(respond(&solver, n, "  ", &stats), Action::Ignore);
 }

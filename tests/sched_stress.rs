@@ -123,6 +123,68 @@ fn pcg_stable_under_schedule_jitter() {
 }
 
 #[test]
+fn blocked_spmv_stable_under_schedule_jitter() {
+    // Band-parallel blocked SpMV under perturbed claim interleavings: the
+    // whole-band → worker assignment may shuffle arbitrarily, but each
+    // band's rows reduce sequentially in storage order, so the output must
+    // match the unperturbed unblocked reference bit for bit.
+    let g = generators::grid2d(80, 80, |u, v| 1.0 + ((u * 3 + 2 * v) % 9) as f64);
+    let a = laplacian(&g);
+    let n = a.nrows();
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).sin()).collect();
+    let mut reference = vec![0.0; n];
+    a.mul_into(&x, &mut reference);
+    hicond_linalg::set_spmv_block_threshold(Some(0));
+    assert_schedule_invariant("blocked_spmv", || {
+        let mut y = vec![0.0; n];
+        a.mul_into_with(&x, &mut y, Default::default());
+        bits(&y)
+    });
+    let mut y = vec![0.0; n];
+    a.mul_into_with(&x, &mut y, Default::default());
+    hicond_linalg::set_spmv_block_threshold(None);
+    assert_eq!(bits(&reference), bits(&y), "blocked vs unblocked reference");
+}
+
+#[test]
+fn fused_pcg_stable_under_schedule_jitter() {
+    // The fused solver composed with the blocked SpMV — the full PR-7 fast
+    // path — against the unfused, unperturbed trajectory.
+    let g = generators::grid2d(130, 130, |u, v| 1.0 + ((2 * u + v) % 7) as f64);
+    let a = laplacian(&g);
+    let n = a.nrows();
+    let mut b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos()).collect();
+    hicond_linalg::vector::deflate_constant(&mut b);
+    let m = JacobiPreconditioner::from_diagonal(&a.diagonal());
+    let opts = CgOptions {
+        rel_tol: 1e-6,
+        max_iter: 60,
+        record_residuals: true,
+    };
+    hicond_linalg::set_spmv_block_threshold(Some(0));
+    let unfused = hicond_linalg::pcg_solve_unfused(&a, &m, &b, &opts);
+    assert_schedule_invariant("fused_pcg", || {
+        let r = pcg_solve(&a, &m, &b, &opts);
+        (bits(&r.x), bits(&r.residual_history), r.iterations)
+    });
+    let fused = pcg_solve(&a, &m, &b, &opts);
+    hicond_linalg::set_spmv_block_threshold(None);
+    assert_eq!(
+        (
+            bits(&unfused.x),
+            bits(&unfused.residual_history),
+            unfused.iterations
+        ),
+        (
+            bits(&fused.x),
+            bits(&fused.residual_history),
+            fused.iterations
+        ),
+        "fused trajectory must match unfused bitwise"
+    );
+}
+
+#[test]
 fn planar_decomposition_stable_under_schedule_jitter() {
     let g = generators::grid2d(26, 26, |u, v| 1.0 + ((2 * u + v) % 3) as f64);
     assert_schedule_invariant("decompose_planar", || {

@@ -120,6 +120,9 @@ impl<P: Producer> ParIter<P> {
     }
 
     /// Sums the items with the standard sequential fold (index order).
+    /// For `f64` chains whose association order matters, prefer
+    /// [`ParIter::tree_sum`], whose fixed pairwise shape also bounds
+    /// rounding error at `O(log n)`.
     pub fn sum<S: std::iter::Sum<P::Item>>(self) -> S {
         eval_to_vec(&self.p).into_iter().sum()
     }
@@ -151,6 +154,17 @@ impl<P: Producer> ParIter<P> {
             cb.extend(std::iter::once(b));
         }
         (ca, cb)
+    }
+}
+
+impl<P: Producer<Item = f64>> ParIter<P> {
+    /// Sums `f64` items along the fixed-shape pairwise binary tree of
+    /// [`crate::reduce::tree_sum`]: items are materialized into their
+    /// fixed index slots in parallel, then combined on the calling thread
+    /// in an association order that depends only on the item count —
+    /// bitwise identical at any thread count and under schedule jitter.
+    pub fn tree_sum(self) -> f64 {
+        crate::reduce::tree_sum(&eval_to_vec(&self.p))
     }
 }
 

@@ -14,10 +14,12 @@
 //! observationally identical to the 1-thread / PR-1 sequential path:
 //!
 //! - parallel iterator terminals materialize per-item results into fixed
-//!   index slots and perform all order-sensitive reductions (`sum`,
-//!   `collect`, `all`, `unzip`) sequentially in index order on the calling
-//!   thread — the engine never reassociates floating-point operations
-//!   (see [`iter`] for the full model);
+//!   index slots; order-sensitive combines are then performed on the
+//!   calling thread either sequentially in index order (`sum`, `collect`,
+//!   `all`, `unzip`) or along the fixed-shape pairwise tree of
+//!   [`reduce::tree_sum`] (`tree_sum`) — either way, the association
+//!   order is a pure function of the item count, never of the schedule
+//!   (see [`iter`] and [`reduce`] for the full model);
 //! - `join(a, b)` always returns `(a(), b())` with `a` logically first;
 //! - `par_sort_unstable*` remain sequential sorts, so ties between equal
 //!   keys are broken exactly as before.
@@ -27,11 +29,13 @@
 
 pub mod iter;
 pub mod pool;
+pub mod reduce;
 
 use std::cell::UnsafeCell;
 use std::cmp::Ordering;
 
 pub use iter::{ParFilterMap, ParIter, Producer};
+pub use reduce::tree_sum;
 
 /// Number of worker threads the engine will use for new work on this
 /// thread (respects [`pool::with_thread_cap`]).

@@ -50,6 +50,17 @@ const MAX_POOL_WIDTH: usize = 256;
 /// dynamic load balance without shrinking units below usefulness.
 const UNITS_PER_THREAD: usize = 4;
 
+/// Smallest element count worth putting in its own reduction chunk; below
+/// this the dispatch overhead dominates the arithmetic.
+pub const MIN_PAR_CHUNK: usize = 4096;
+
+/// Ceiling on the number of reduction chunks. 64 chunks give the
+/// [`UNITS_PER_THREAD`]-fold oversubscription target at a 16-wide machine;
+/// wider machines see fewer chunks per worker, which is the price of a
+/// chunk geometry that cannot depend on the live thread count (see
+/// [`chunk_len`]).
+pub const MAX_PAR_CHUNKS: usize = 64;
+
 /// Lifetime-erased shared job: `&'dispatch (dyn Fn(usize) + Sync)` with
 /// the borrow lifetime transmuted away. The reference is never dangling:
 /// the slot holding it is cleared before the dispatcher's frame (and with
@@ -156,6 +167,13 @@ pub fn set_sched_jitter(seed: Option<u64>) {
 }
 
 /// The active jitter seed, reading `HICOND_SCHED_JITTER` on first call.
+///
+/// # Panics
+///
+/// Panics with a structured [`EnvVarError`] message if the environment
+/// variable is set but not a valid `u64` seed — a garbled jitter request
+/// must never silently run an unjittered (and therefore unrepresentative)
+/// stress run.
 pub fn sched_jitter() -> Option<u64> {
     // ordering: Acquire pairs with the Release store in
     // `set_sched_jitter` so the seed read below cannot be stale.
@@ -166,9 +184,15 @@ pub fn sched_jitter() -> Option<u64> {
         JITTER_ON => Some(JITTER_SEED.load(Ordering::Relaxed)),
         JITTER_OFF => None,
         _ => {
-            let seed = std::env::var("HICOND_SCHED_JITTER")
-                .ok()
-                .and_then(|s| s.trim().parse::<u64>().ok());
+            let seed = match std::env::var("HICOND_SCHED_JITTER") {
+                Ok(raw) => match parse_jitter_env(&raw) {
+                    Ok(s) => Some(s),
+                    // audit: allow(panic-path) — a set-but-garbled env var is
+                    // an operator error that must fail fast, not degrade
+                    Err(e) => panic!("{e}"),
+                },
+                Err(_) => None,
+            };
             set_sched_jitter(seed);
             seed
         }
@@ -211,22 +235,124 @@ fn pool() -> &'static Pool {
     })
 }
 
+/// Structured parse failure for a pool environment variable: names the
+/// variable, echoes the offending value, and states the requirement. The
+/// `Display` form is the message operators see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvVarError {
+    /// The environment variable that failed to parse.
+    pub var: &'static str,
+    /// The rejected value, verbatim.
+    pub value: String,
+    /// What a valid value looks like.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for EnvVarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid {} value `{}`: expected {}",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvVarError {}
+
+/// Strictly parses a `HICOND_THREADS` value: a decimal integer in
+/// `1..=MAX_POOL_WIDTH` (values above the ceiling clamp to it, since the
+/// ceiling is an internal resource guard, not a user-facing contract).
+/// Anything else — empty, non-numeric, or zero — is an error; the old
+/// behavior of silently falling back to the hardware width hid typos like
+/// `HICOND_THREADS=4x` behind an unrelated thread count.
+pub fn parse_threads_env(raw: &str) -> Result<usize, EnvVarError> {
+    let err = || EnvVarError {
+        var: "HICOND_THREADS",
+        value: raw.to_string(),
+        expected: "a thread count in 1..=256",
+    };
+    match raw.trim().parse::<usize>() {
+        Ok(0) | Err(_) => Err(err()),
+        Ok(n) => Ok(n.min(MAX_POOL_WIDTH)),
+    }
+}
+
+/// Strictly parses a `HICOND_SCHED_JITTER` value: any decimal `u64` seed.
+pub fn parse_jitter_env(raw: &str) -> Result<u64, EnvVarError> {
+    raw.trim().parse::<u64>().map_err(|_| EnvVarError {
+        var: "HICOND_SCHED_JITTER",
+        value: raw.to_string(),
+        expected: "a u64 jitter seed",
+    })
+}
+
+/// Validates the pool environment without latching anything: entry points
+/// (the CLI, the bench harness) call this first so a garbled variable is
+/// reported as a startup error rather than a panic mid-computation.
+pub fn validate_env() -> Result<(), EnvVarError> {
+    if let Ok(raw) = std::env::var("HICOND_THREADS") {
+        parse_threads_env(&raw)?;
+    }
+    if let Ok(raw) = std::env::var("HICOND_SCHED_JITTER") {
+        parse_jitter_env(&raw)?;
+    }
+    Ok(())
+}
+
 /// Default pool width: `HICOND_THREADS` if set (clamped to
 /// `1..=MAX_POOL_WIDTH`), else the machine's available parallelism.
+///
+/// # Panics
+///
+/// Panics with a structured [`EnvVarError`] message if `HICOND_THREADS`
+/// is set but invalid (see [`parse_threads_env`]); run
+/// [`validate_env`] at startup to turn this into an orderly exit.
 pub fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
-    *DEFAULT.get_or_init(|| {
-        match std::env::var("HICOND_THREADS")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-        {
-            Some(n) => n.clamp(1, MAX_POOL_WIDTH),
-            None => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(MAX_POOL_WIDTH),
-        }
+    *DEFAULT.get_or_init(|| match std::env::var("HICOND_THREADS") {
+        Ok(raw) => match parse_threads_env(&raw) {
+            Ok(n) => n,
+            // audit: allow(panic-path) — a set-but-garbled env var is an
+            // operator error that must fail fast, not degrade silently
+            Err(e) => panic!("{e}"),
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(MAX_POOL_WIDTH),
     })
+}
+
+/// Length of reduction chunk `[0, len)` is cut into by the BLAS-1 kernels.
+///
+/// The geometry is **size-adaptive but thread-count-blind**: it targets
+/// [`MIN_PAR_CHUNK`]-sized chunks and clamps the chunk *count* at
+/// [`MAX_PAR_CHUNKS`]. Depending only on `len` (never on the live pool
+/// width, a thread cap, or the schedule) is what keeps chunk partials —
+/// and therefore every reduced result — bitwise identical at any thread
+/// count. Always ≥ 1.
+pub fn chunk_len(len: usize) -> usize {
+    if len == 0 {
+        return 1;
+    }
+    let chunks = len.div_ceil(MIN_PAR_CHUNK).min(MAX_PAR_CHUNKS);
+    len.div_ceil(chunks)
+}
+
+/// Number of chunks [`chunk_len`] cuts `[0, len)` into (≥ 1, and ≤
+/// [`MAX_PAR_CHUNKS`]).
+pub fn num_chunks(len: usize) -> usize {
+    len.div_ceil(chunk_len(len)).max(1)
+}
+
+/// One-line description of the live chunking policy, recorded in the
+/// bench trajectory meta so measurements are attributable to a geometry.
+pub fn chunk_policy() -> String {
+    format!(
+        "size-adaptive: ceil(len/{MIN_PAR_CHUNK}) chunks clamped to {MAX_PAR_CHUNKS}, \
+         thread-count-blind; partials combined by fixed-shape pairwise tree"
+    )
 }
 
 /// The width the calling thread will dispatch with: the innermost
@@ -469,4 +595,71 @@ pub(crate) fn run_blocks(len: usize, body: &(dyn Fn(usize, usize) + Sync)) {
 /// `false` if the caller must run both inline.
 pub(crate) fn run_pair(f: &(dyn Fn(usize) + Sync)) -> bool {
     dispatch(2, 2.min(effective_threads()), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_env_parses_strictly() {
+        assert_eq!(parse_threads_env("4"), Ok(4));
+        assert_eq!(parse_threads_env("  8\n"), Ok(8));
+        // Above the ceiling clamps (resource guard, not a contract).
+        assert_eq!(parse_threads_env("100000"), Ok(MAX_POOL_WIDTH));
+        for bad in ["", "0", "-2", "4x", "four", "3.5", "0x10"] {
+            let err = parse_threads_env(bad).expect_err(bad);
+            assert_eq!(err.var, "HICOND_THREADS");
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(msg.contains("HICOND_THREADS"), "{msg}");
+            assert!(msg.contains(bad) || bad.is_empty(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn jitter_env_parses_strictly() {
+        assert_eq!(parse_jitter_env("0"), Ok(0));
+        assert_eq!(parse_jitter_env(" 18446744073709551615 "), Ok(u64::MAX));
+        for bad in ["", "-1", "seed", "1e6"] {
+            let err = parse_jitter_env(bad).expect_err(bad);
+            assert_eq!(err.var, "HICOND_SCHED_JITTER");
+            assert!(err.to_string().contains("HICOND_SCHED_JITTER"));
+        }
+    }
+
+    #[test]
+    fn chunk_geometry_is_size_adaptive_and_clamped() {
+        // Small inputs: one chunk (sequential).
+        assert_eq!(num_chunks(0), 1);
+        assert_eq!(num_chunks(1), 1);
+        assert_eq!(num_chunks(MIN_PAR_CHUNK), 1);
+        // Just past the crossover: two chunks.
+        assert_eq!(num_chunks(MIN_PAR_CHUNK + 1), 2);
+        // Mid-size: ~MIN_PAR_CHUNK-long chunks.
+        assert_eq!(num_chunks(25 * MIN_PAR_CHUNK), 25);
+        // Huge: chunk count clamps, chunk length grows.
+        let big = 10_000 * MIN_PAR_CHUNK;
+        assert_eq!(num_chunks(big), MAX_PAR_CHUNKS);
+        assert!(chunk_len(big) >= big / MAX_PAR_CHUNKS);
+    }
+
+    #[test]
+    fn chunk_geometry_tiles_exactly() {
+        for len in [1usize, 100, 4096, 4097, 65_536, 102_400, 1_000_003] {
+            let cl = chunk_len(len);
+            let nc = num_chunks(len);
+            assert!(nc <= MAX_PAR_CHUNKS);
+            assert_eq!(len.div_ceil(cl), nc, "len={len}");
+            // The last chunk is non-empty: (nc-1) full chunks don't cover len.
+            assert!((nc - 1) * cl < len, "len={len} cl={cl} nc={nc}");
+        }
+    }
+
+    #[test]
+    fn chunk_policy_mentions_determinism_relevant_facts() {
+        let p = chunk_policy();
+        assert!(p.contains("thread-count-blind"));
+        assert!(p.contains("tree"));
+    }
 }
