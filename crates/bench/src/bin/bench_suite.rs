@@ -4,7 +4,7 @@
 //! contraction (subtree sizes via list ranking), planar [φ, ρ]
 //! decomposition, and the artifact build/load/solve triple — under thread
 //! caps 1/2/4/8 and writes the results to
-//! `BENCH_pr7.json` so every future PR can diff against them. Before any
+//! `BENCH_pr8.json` so every future PR can diff against them. Before any
 //! timing, each workload's output at the maximum thread cap is checked
 //! **bitwise** against the 1-thread output (the engine's determinism
 //! contract), and the run aborts on any mismatch. The `hicond_obs`
@@ -26,8 +26,18 @@
 //! exercise the full code path in a couple of seconds (the JSON is then
 //! marked `"mode": "smoke"` and not meant for cross-PR comparison).
 //! `--baseline PATH` points at a previous trajectory (default
-//! `BENCH_pr5.json` when present) whose single-thread PCG median seeds the
-//! `pcg_speedup_vs_baseline_1t` meta field.
+//! `BENCH_pr7.json`, then `BENCH_pr5.json`, when present) whose
+//! single-thread PCG median seeds the `pcg_speedup_vs_baseline_1t` meta
+//! field.
+//!
+//! An **observability cost gate** times the same single-threaded PCG solve
+//! with the flight recorder + metrics fully enabled (`HICOND_OBS=json`)
+//! against the off mode (one relaxed load per instrumentation site),
+//! interleaved so machine drift hits both arms equally. The per-iteration
+//! overhead lands under a top-level `"obs_overhead"` key; in full (non
+//! `--smoke`) mode the run **aborts** if the ring-enabled overhead exceeds
+//! the 3% budget of DESIGN.md §13. The two arms are first gated bitwise:
+//! recording must never feed back into the numerics.
 
 use hicond_bench::{bench_json, consistent_rhs, timed_median_ns, BenchRecord, KernelRecord, Table};
 use hicond_core::{decompose_planar, PlanarOptions};
@@ -40,6 +50,10 @@ use rayon::pool::with_thread_cap;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// Hard ceiling on the ring-enabled PCG per-iteration cost relative to the
+/// off mode (DESIGN.md §13). Enforced in full mode, reported in smoke.
+const OBS_OVERHEAD_BUDGET_PCT: f64 = 3.0;
+
 struct Config {
     smoke: bool,
     out: String,
@@ -49,7 +63,7 @@ struct Config {
 fn parse_args() -> Config {
     let mut cfg = Config {
         smoke: false,
-        out: "BENCH_pr7.json".to_string(),
+        out: "BENCH_pr8.json".to_string(),
         baseline: None,
     };
     let mut args = std::env::args().skip(1);
@@ -65,8 +79,13 @@ fn parse_args() -> Config {
             }
         }
     }
-    if cfg.baseline.is_none() && std::path::Path::new("BENCH_pr5.json").exists() {
-        cfg.baseline = Some("BENCH_pr5.json".to_string());
+    if cfg.baseline.is_none() {
+        for cand in ["BENCH_pr7.json", "BENCH_pr5.json"] {
+            if std::path::Path::new(cand).exists() {
+                cfg.baseline = Some(cand.to_string());
+                break;
+            }
+        }
     }
     cfg
 }
@@ -382,6 +401,67 @@ fn main() {
         hicond_linalg::set_spmv_block_threshold(None);
     }
 
+    // ---- Observability cost gate (DESIGN.md §13) ----
+    // The same fixed-length single-thread PCG solve with recording fully
+    // off vs fully on (flight ring + registry + watchdog + milestone
+    // events). The off arm flips the global mode latch inside its timed
+    // closure — two relaxed stores, noise at solve scale — so the two arms
+    // interleave under `timed_median_pair_ns` and machine drift hits both
+    // equally. Gated bitwise first: recording must never feed back into
+    // the numerics.
+    let obs_overhead_json = {
+        let (off_run, on_run) = with_thread_cap(1, || {
+            hicond_obs::set_mode(hicond_obs::Mode::Off);
+            let off = pcg_solve(&a, &m, &b, &pcg_opts);
+            hicond_obs::set_mode(hicond_obs::Mode::Json);
+            let on = pcg_solve(&a, &m, &b, &pcg_opts);
+            (off, on)
+        });
+        assert_eq!(
+            (bits(&off_run.x), off_run.iterations),
+            (bits(&on_run.x), on_run.iterations),
+            "recording-enabled PCG diverges bitwise from the off-mode trajectory"
+        );
+        let iters = on_run.iterations.max(1);
+        let (off_ns, ring_ns) = with_thread_cap(1, || {
+            hicond_bench::timed_median_pair_ns(
+                reps_fast,
+                || {
+                    hicond_obs::set_mode(hicond_obs::Mode::Off);
+                    pcg_solve(&a, &m, &b, &pcg_opts);
+                    hicond_obs::set_mode(hicond_obs::Mode::Json);
+                },
+                || {
+                    pcg_solve(&a, &m, &b, &pcg_opts);
+                },
+            )
+        });
+        let off_per_iter = off_ns as f64 / iters as f64;
+        let ring_per_iter = ring_ns as f64 / iters as f64;
+        let overhead_pct = (ring_per_iter - off_per_iter) / off_per_iter * 100.0;
+        let within = overhead_pct < OBS_OVERHEAD_BUDGET_PCT;
+        println!(
+            "obs overhead: off {off_per_iter:.0} ns/iter, ring-enabled {ring_per_iter:.0} \
+             ns/iter ({overhead_pct:+.3}% vs {OBS_OVERHEAD_BUDGET_PCT}% budget)"
+        );
+        if !cfg.smoke {
+            assert!(
+                within,
+                "ring-enabled PCG overhead {overhead_pct:.3}% exceeds the \
+                 {OBS_OVERHEAD_BUDGET_PCT}% budget (DESIGN.md §13)"
+            );
+        }
+        format!(
+            "{{\"workload\": \"pcg\", \"n\": {n}, \"nnz\": {nnz}, \"threads\": 1, \
+             \"iterations\": {iters}, \"off_median_ns\": {off_ns}, \
+             \"ring_median_ns\": {ring_ns}, \"off_ns_per_iter\": {off_per_iter:.1}, \
+             \"ring_ns_per_iter\": {ring_per_iter:.1}, \"overhead_pct\": {overhead_pct:.3}, \
+             \"budget_pct\": {OBS_OVERHEAD_BUDGET_PCT:.1}, \"within_budget\": {within}}}"
+        )
+    };
+    hicond_obs::json::validate(&obs_overhead_json)
+        .expect("obs_overhead section must be valid JSON");
+
     // Headline ratio for the trajectory: how much faster deserializing the
     // preconditioner is than rebuilding it (single-threaded medians).
     let median_of = |w: &str| {
@@ -462,7 +542,15 @@ fn main() {
     }
     let metrics = hicond_obs::render_json(&hicond_obs::snapshot());
     hicond_obs::json::validate(&metrics).expect("obs metrics snapshot must be valid JSON");
-    let json = bench_json(&meta, &records, &kernels, Some(&metrics));
+    let json = bench_json(
+        &meta,
+        &records,
+        &kernels,
+        &[
+            ("metrics", metrics.as_str()),
+            ("obs_overhead", obs_overhead_json.as_str()),
+        ],
+    );
     hicond_obs::json::validate(&json).expect("bench trajectory must be valid JSON");
     std::fs::write(&cfg.out, &json).expect("write bench json");
 

@@ -42,6 +42,7 @@ fn accuracy(p: &Partition, truth: &[u32], k: usize) -> f64 {
     let n = truth.len();
     let mut counts = vec![vec![0usize; k]; k];
     for v in 0..n {
+        // bounds: ground-truth labels are < k by construction; cluster ids clamp to k - 1
         counts[truth[v] as usize][p.cluster_of(v).min(k - 1)] += 1;
     }
     let mut used = vec![false; k];

@@ -185,14 +185,15 @@ fn json_escape(s: &str) -> String {
 /// key/value pairs (machine description, date, mode) land in a top-level
 /// `"meta"` object next to the `"results"` array. `kernels`, when
 /// non-empty, lands under a top-level `"kernels"` array (the per-nnz cost
-/// table). `metrics`, when present, must be a pre-rendered JSON object
-/// (the `hicond_obs` snapshot) and is embedded verbatim under a top-level
-/// `"metrics"` key.
+/// table). Each `(key, value)` in `sections` must be a pre-rendered JSON
+/// value (e.g. the `hicond_obs` snapshot under `"metrics"`, the
+/// observability cost gate under `"obs_overhead"`) and is embedded
+/// verbatim under its top-level key, in order.
 pub fn bench_json(
     meta: &[(&str, String)],
     records: &[BenchRecord],
     kernels: &[KernelRecord],
-    metrics: Option<&str>,
+    sections: &[(&str, &str)],
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"meta\": {\n");
@@ -205,9 +206,9 @@ pub fn bench_json(
         ));
     }
     s.push_str("  },\n");
-    if let Some(m) = metrics {
-        s.push_str("  \"metrics\": ");
-        s.push_str(m.trim());
+    for (key, body) in sections {
+        s.push_str(&format!("  \"{}\": ", json_escape(key)));
+        s.push_str(body.trim());
         s.push_str(",\n");
     }
     if !kernels.is_empty() {
@@ -247,6 +248,7 @@ pub fn bench_json(
 
 /// Formats a float compactly for tables.
 pub fn fmt(x: f64) -> String {
+    // exact: only a literal zero should print as "0"
     if x == 0.0 {
         "0".into()
     } else if x.abs() >= 1000.0 || x.abs() < 0.01 {
@@ -321,7 +323,7 @@ mod tests {
             median_ns: 1234,
             speedup: 2.5,
         }];
-        let s = bench_json(&[("mode", "smoke \"quoted\"".into())], &recs, &[], None);
+        let s = bench_json(&[("mode", "smoke \"quoted\"".into())], &recs, &[], &[]);
         assert!(s.contains("\"workload\": \"spmv\""));
         assert!(s.contains("\"median_ns\": 1234"));
         assert!(s.contains("\\\"quoted\\\""));
@@ -331,15 +333,19 @@ mod tests {
     }
 
     #[test]
-    fn bench_json_embeds_metrics_object() {
+    fn bench_json_embeds_prerendered_sections() {
         let s = bench_json(
             &[("mode", "smoke".into())],
             &[],
             &[],
-            Some("{\"counters\": {\"cg/iterations\": 7}}"),
+            &[
+                ("metrics", "{\"counters\": {\"cg/iterations\": 7}}"),
+                ("obs_overhead", "{\"overhead_pct\": 1.25}"),
+            ],
         );
         assert!(s.contains("\"metrics\": {\"counters\""));
         assert!(s.contains("\"cg/iterations\": 7"));
+        assert!(s.contains("\"obs_overhead\": {\"overhead_pct\": 1.25}"));
     }
 
     #[test]
@@ -366,7 +372,7 @@ mod tests {
                 bytes_per_nnz: 43.33,
             },
         ];
-        let s = bench_json(&[("mode", "smoke".into())], &[], &kernels, None);
+        let s = bench_json(&[("mode", "smoke".into())], &[], &kernels, &[]);
         assert!(s.contains("\"kernels\": ["));
         assert!(s.contains("\"variant\": \"blocked\""));
         assert!(s.contains("\"ns_per_nnz\": 2.0000"));

@@ -186,6 +186,13 @@ pub fn pcg_solve_unfused<A: LinearOperator, M: Preconditioner>(
     pcg_solve_impl(a, m, b, opts, false)
 }
 
+/// Interned flight-recorder name for residual-decade milestones, resolved
+/// once per process so the hot loop never touches the intern mutex.
+fn residual_milestone_id() -> u32 {
+    static ID: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *ID.get_or_init(|| hicond_obs::flight::intern("cg/residual_decade"))
+}
+
 fn pcg_solve_impl<A: LinearOperator, M: Preconditioner>(
     a: &A,
     m: &M,
@@ -207,8 +214,19 @@ fn pcg_solve_impl<A: LinearOperator, M: Preconditioner>(
             "cg/scratch_bytes",
             8 * (5 * n as u64 + scratch_len(n) as u64),
         );
-        hicond_obs::trace_start("cg/residual");
+        // Reserve the whole series so per-iteration pushes never
+        // allocate (the loop must stay allocation-free with recording
+        // on too — see tests/alloc_counting.rs).
+        hicond_obs::trace_start("cg/residual", opts.max_iter.saturating_add(1));
     }
+    // Convergence watchdog and flight-recorder milestones: observe-only
+    // (they read computed residuals, never produce a value the iteration
+    // uses), so enabling them preserves bitwise determinism.
+    let mut watchdog = obs_on.then(hicond_obs::Watchdog::new);
+    // Next decade boundary of the relative residual that triggers a
+    // flight milestone. The starting residual is ‖b‖/‖b‖ = 1, so the
+    // first milestone fires on crossing 1e-1.
+    let mut next_milestone = 0.1f64;
     let bnorm = norm2(b);
     let mut x = vec![0.0; n];
     let mut history = Vec::new();
@@ -273,6 +291,24 @@ fn pcg_solve_impl<A: LinearOperator, M: Preconditioner>(
         }
         if obs_on {
             hicond_obs::trace_push("cg/residual", rnorm);
+            let rel = rnorm / bnorm;
+            if let Some(w) = watchdog.as_mut() {
+                w.observe(it as u64, rel);
+            }
+            if rel > 0.0 && rel.is_finite() && rel < next_milestone {
+                // One event per iteration at most, on crossing a residual
+                // decade; the loop advances the threshold past `rel`
+                // (bounded: at worst ~300 halvings down to underflow).
+                hicond_obs::flight::event(
+                    hicond_obs::flight::EventKind::ResidualMilestone,
+                    residual_milestone_id(),
+                    it as u64,
+                    rel.to_bits(),
+                );
+                while next_milestone > rel {
+                    next_milestone /= 10.0;
+                }
+            }
         }
         if rnorm <= opts.rel_tol * bnorm {
             converged = true;

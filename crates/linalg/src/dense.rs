@@ -351,8 +351,8 @@ pub fn pencil_eigen_dense(a: &DenseMatrix, b: &DenseMatrix, null_dir: &[f64]) ->
     let pa = project(a, &basis);
     let pb = project(b, &basis);
     // pb should be PD on the complement. Factor pb = L Lᵀ, form L⁻¹ pa L⁻ᵀ.
-    // audit: allow(panic-path) — PD off the nullspace is a documented precondition
     let chol = CholeskyFactor::factor(&pb)
+        // audit: allow(panic-path) — PD off the nullspace is a documented precondition
         .expect("pencil_eigen_dense: B not positive definite off the nullspace");
     let m = pa.nrows();
     // eigvals(B⁻¹A) = eigvals(L⁻¹ A L⁻ᵀ); compute W = L⁻¹ PA L⁻ᵀ explicitly.

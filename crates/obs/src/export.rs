@@ -109,7 +109,9 @@ pub fn render_text(snap: &Snapshot) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+/// Escapes `s` for embedding inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    // reach: allow(reach-alloc, the capacity hint equals the input length and the inputs are process-generated instrument names and span paths — short strings the process itself created, never peer request bytes)
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -138,10 +140,116 @@ fn json_num(x: f64) -> String {
     }
 }
 
+/// Like [`json_num`] but counts every non-finite value degraded to
+/// `null`, so the export can report how many samples it dropped instead
+/// of silently papering over NaN/±inf.
+fn json_num_counted(x: f64, dropped: &mut u64) -> String {
+    if !x.is_finite() {
+        *dropped += 1;
+    }
+    json_num(x)
+}
+
+/// Computes the delta of `cur` over `prev` for periodic scrapes (the
+/// `metrics` serve verb, `hicond top`): what happened *since the last
+/// snapshot*, not since process start.
+///
+/// Monotone families subtract (counters; timer count/total; histogram
+/// count and per-bucket tallies — a delta mean is recovered from
+/// `mean·count` sums); entries whose delta is zero are omitted so an
+/// idle scrape is near-empty. Gauges are last-value semantics: the
+/// current value is passed through only when it changed bitwise.
+/// `max_ns` on timers is the current cumulative max (a max cannot be
+/// windowed without storing per-window state). Traces are omitted from
+/// deltas — they are cumulative series, exported in the final report;
+/// live series come from the flight recorder instead.
+pub fn delta_snapshot(prev: &Snapshot, cur: &Snapshot) -> Snapshot {
+    fn lookup<'a, T>(v: &'a [(String, T)], name: &str) -> Option<&'a T> {
+        v.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+    let counters = cur
+        .counters
+        .iter()
+        .filter_map(|(name, v)| {
+            let base = lookup(&prev.counters, name).copied().unwrap_or(0);
+            let d = v.saturating_sub(base);
+            (d > 0).then(|| (name.clone(), d))
+        })
+        .collect();
+    let gauges = cur
+        .gauges
+        .iter()
+        .filter(|(name, v)| lookup(&prev.gauges, name).map(|p| p.to_bits()) != Some(v.to_bits()))
+        .cloned()
+        .collect();
+    let timers = cur
+        .timers
+        .iter()
+        .filter_map(|(name, t)| {
+            let base = lookup(&prev.timers, name);
+            let count = t.count.saturating_sub(base.map_or(0, |b| b.count));
+            (count > 0).then(|| {
+                (
+                    name.clone(),
+                    TimerStat {
+                        count,
+                        total_ns: t.total_ns.saturating_sub(base.map_or(0, |b| b.total_ns)),
+                        max_ns: t.max_ns,
+                    },
+                )
+            })
+        })
+        .collect();
+    let histograms = cur
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            let base = lookup(&prev.histograms, name);
+            let count = h.count.saturating_sub(base.map_or(0, |b| b.count));
+            if count == 0 {
+                return None;
+            }
+            let buckets = h
+                .buckets
+                .iter()
+                .enumerate()
+                .map(|(b, &c)| {
+                    c.saturating_sub(base.and_then(|p| p.buckets.get(b)).copied().unwrap_or(0))
+                })
+                .collect();
+            // Window mean from the cumulative sums; a non-finite
+            // cumulative mean stays non-finite and the JSON layer counts
+            // it as dropped.
+            let sum_cur = h.mean * h.count as f64;
+            let sum_prev = base.map_or(0.0, |b| b.mean * b.count as f64);
+            let mean = (sum_cur - sum_prev) / count as f64;
+            Some((
+                name.clone(),
+                HistStat {
+                    count,
+                    mean,
+                    buckets,
+                },
+            ))
+        })
+        .collect();
+    Snapshot {
+        counters,
+        gauges,
+        timers,
+        histograms,
+        traces: Vec::new(),
+    }
+}
+
 /// Renders a snapshot as machine-readable JSON (`HICOND_OBS=json`).
 /// Always a single valid JSON object; validated by [`crate::json`] in
-/// tests and the bench harness.
+/// tests and the bench harness. Non-finite gauges, means, and trace
+/// points serialize as `null` and are tallied in the top-level
+/// `"non_finite_dropped"` field so consumers can tell "no data" from
+/// "data we could not represent".
 pub fn render_json(snap: &Snapshot) -> String {
+    let mut dropped: u64 = 0;
     let mut out = String::from("{");
 
     let _ = write!(out, "\"counters\":{{");
@@ -149,7 +257,7 @@ pub fn render_json(snap: &Snapshot) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        let _ = write!(out, "\"{}\":{v}", escape_json(name));
     }
     out.push('}');
 
@@ -158,7 +266,12 @@ pub fn render_json(snap: &Snapshot) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "\"{}\":{}", json_escape(name), json_num(*v));
+        let _ = write!(
+            out,
+            "\"{}\":{}",
+            escape_json(name),
+            json_num_counted(*v, &mut dropped)
+        );
     }
     out.push('}');
 
@@ -170,7 +283,7 @@ pub fn render_json(snap: &Snapshot) -> String {
         let _ = write!(
             out,
             "\"{}\":{{\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
-            json_escape(name),
+            escape_json(name),
             t.count,
             t.total_ns,
             t.max_ns
@@ -186,9 +299,9 @@ pub fn render_json(snap: &Snapshot) -> String {
         let _ = write!(
             out,
             "\"{}\":{{\"count\":{},\"mean\":{},\"buckets\":[",
-            json_escape(name),
+            escape_json(name),
             h.count,
-            json_num(h.mean)
+            json_num_counted(h.mean, &mut dropped)
         );
         let mut first = true;
         for (b, &c) in h.buckets.iter().enumerate() {
@@ -211,25 +324,26 @@ pub fn render_json(snap: &Snapshot) -> String {
     out.push('}');
 
     let _ = write!(out, ",\"traces\":{{");
-    for (i, (name, points, dropped)) in snap.traces.iter().enumerate() {
+    for (i, (name, points, trace_dropped)) in snap.traces.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
         let _ = write!(
             out,
-            "\"{}\":{{\"dropped\":{dropped},\"points\":[",
-            json_escape(name)
+            "\"{}\":{{\"dropped\":{trace_dropped},\"points\":[",
+            escape_json(name)
         );
         for (j, p) in points.iter().enumerate() {
             if j > 0 {
                 out.push(',');
             }
-            out.push_str(&json_num(*p));
+            out.push_str(&json_num_counted(*p, &mut dropped));
         }
         out.push_str("]}");
     }
     out.push('}');
 
+    let _ = write!(out, ",\"non_finite_dropped\":{dropped}");
     out.push('}');
     out
 }
@@ -296,5 +410,85 @@ mod tests {
     fn empty_snapshot_is_still_valid_json() {
         let js = render_json(&Snapshot::default());
         crate::json::validate(&js).expect("empty snapshot parses");
+        assert!(js.contains("\"non_finite_dropped\":0"));
+    }
+
+    #[test]
+    fn non_finite_values_become_null_and_are_counted() {
+        // Satellite regression: NaN/±inf in gauges, histogram means and
+        // trace points must degrade to null (valid JSON) AND be tallied.
+        let snap = Snapshot {
+            counters: vec![],
+            gauges: vec![
+                ("nan".into(), f64::NAN),
+                ("pinf".into(), f64::INFINITY),
+                ("ninf".into(), f64::NEG_INFINITY),
+                ("fine".into(), 1.25),
+            ],
+            timers: vec![],
+            histograms: vec![(
+                "h".into(),
+                HistStat {
+                    count: 1,
+                    mean: f64::NAN,
+                    buckets: vec![0; crate::NUM_BUCKETS],
+                },
+            )],
+            traces: vec![("t".into(), vec![1.0, f64::INFINITY, 3.0], 0)],
+        };
+        let js = render_json(&snap);
+        crate::json::validate(&js).expect("non-finite snapshot must stay valid JSON");
+        assert!(js.contains("\"nan\":null"));
+        assert!(js.contains("\"pinf\":null"));
+        assert!(js.contains("\"ninf\":null"));
+        assert!(js.contains("\"fine\":1.25"));
+        assert!(js.contains("\"mean\":null"));
+        assert!(js.contains("[1,null,3]"));
+        // 3 gauges + 1 mean + 1 trace point.
+        assert!(js.contains("\"non_finite_dropped\":5"), "{js}");
+    }
+
+    #[test]
+    fn delta_snapshot_subtracts_and_omits_unchanged() {
+        let mut prev = sample();
+        let mut cur = sample();
+        // Counter moved 12 -> 20; add a brand-new counter too.
+        cur.counters[0].1 = 20;
+        cur.counters.push(("fresh".into(), 3));
+        // One gauge unchanged, one changed.
+        prev.gauges = vec![("same".into(), 1.0), ("moved".into(), 1.0)];
+        cur.gauges = vec![("same".into(), 1.0), ("moved".into(), 2.0)];
+        // Timer accumulated one more call.
+        cur.timers[0].1.count = 2;
+        cur.timers[0].1.total_ns = 4000;
+        // Histogram gained one sample of 4.0.
+        cur.histograms[0].1.count = 3;
+        cur.histograms[0].1.buckets[crate::bucket_index(4.0)] += 1;
+        cur.histograms[0].1.mean = (1.5 * 2.0 + 4.0) / 3.0;
+
+        let d = delta_snapshot(&prev, &cur);
+        assert_eq!(
+            d.counters,
+            vec![("cg/iterations".to_string(), 8), ("fresh".to_string(), 3)]
+        );
+        assert_eq!(d.gauges, vec![("moved".to_string(), 2.0)]);
+        assert_eq!(d.timers.len(), 1, "unchanged solve/pcg timer omitted");
+        assert_eq!(d.timers[0].0, "solve");
+        assert_eq!(d.timers[0].1.count, 1);
+        assert_eq!(d.timers[0].1.total_ns, 2500);
+        assert_eq!(d.histograms.len(), 1);
+        let h = &d.histograms[0].1;
+        assert_eq!(h.count, 1);
+        assert_eq!(h.buckets[crate::bucket_index(4.0)], 1);
+        assert_eq!(h.buckets[crate::bucket_index(1.0)], 0);
+        assert!((h.mean - 4.0).abs() < 1e-9, "window mean, not cumulative");
+        assert!(d.traces.is_empty(), "traces never appear in deltas");
+
+        // Identical snapshots produce an empty delta.
+        let empty = delta_snapshot(&cur, &cur);
+        assert!(empty.counters.is_empty());
+        assert!(empty.gauges.is_empty());
+        assert!(empty.timers.is_empty());
+        assert!(empty.histograms.is_empty());
     }
 }

@@ -1,0 +1,633 @@
+//! The flight recorder: a fixed-capacity, lock-free MPSC ring buffer of
+//! structured telemetry events (DESIGN.md §13).
+//!
+//! The snapshot exporters in this crate answer "what has the process done
+//! since it started"; the flight recorder answers "what was it doing *just
+//! now*" — the black-box question an operator of a long-running solve
+//! service asks after a bad request or a crash. Every instrumented site
+//! (span enter/exit, counter deltas, PCG residual milestones, cache
+//! hits/misses, serve request open/close, pool task batches, anomaly
+//! alarms) appends one fixed-size event to a process-global ring; the ring
+//! is drained on demand (the `metrics` serve verb), and a panic hook dumps
+//! the last events to stderr as JSON so every crash ships its own flight
+//! record.
+//!
+//! ## Ring discipline
+//!
+//! The ring is an array of [`RING_CAP`] slots, each a handful of atomics.
+//! A writer reserves a global sequence number with one `fetch_add`, writes
+//! the payload fields of slot `seq % RING_CAP`, and publishes by storing
+//! `seq + 1` into the slot's stamp with `Release`. Readers (drain, panic
+//! hook) validate each slot seqlock-style: load the stamp, read the
+//! payload, re-load the stamp, and discard the slot if the two loads
+//! disagree (a writer was mid-flight). There are **no locks and no
+//! `unsafe`** anywhere on the write path: every slot field is an atomic,
+//! so the worst possible race — a writer stalled for a full ring lap while
+//! another writer overtakes its slot — can garble at most that one event's
+//! payload, never memory safety, and the stamp re-check discards the torn
+//! slot in all interleavings short of a full additional lap occurring
+//! between a reader's two stamp loads.
+//!
+//! When the ring wraps, old events are overwritten — the recorder keeps
+//! the *last* `RING_CAP` events by design. When it does not wrap, a drain
+//! observes exactly the events recorded, in global sequence order
+//! (`tests/obs_stress.rs` pins both properties under pool contention and
+//! seeded scheduler jitter).
+//!
+//! ## Cost and determinism
+//!
+//! Recording is gated on [`crate::enabled`], so `HICOND_OBS=off` keeps
+//! the hot path at one relaxed load. Enabled, one event costs one
+//! `fetch_add` plus five relaxed/release stores — no clock, no lock, no
+//! allocation — and recorded values are always *derived from* computed
+//! numerics, never fed back, so off/on runs stay bitwise identical
+//! (`tests/determinism.rs`). The `bench_suite` obs-overhead phase measures
+//! the enabled cost per PCG iteration and gates it below 3%.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of slots in the ring (power of two; the last `RING_CAP` events
+/// survive). 8192 slots × 40 B ≈ 320 KiB, allocated on first use.
+pub const RING_CAP: usize = 8192;
+
+/// Number of trailing events the panic hook dumps.
+pub const PANIC_DUMP_EVENTS: usize = 256;
+
+/// What happened. Stored in the event's packed meta word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A span opened; `name` is the '/'-joined span path.
+    SpanEnter = 1,
+    /// A span closed; `a` is the duration in nanoseconds.
+    SpanExit = 2,
+    /// A counter was bumped; `a` is the delta.
+    CounterAdd = 3,
+    /// PCG crossed a residual decade; `a` is the iteration, `b` the
+    /// relative residual (f64 bits).
+    ResidualMilestone = 4,
+    /// Artifact cache hit.
+    CacheHit = 5,
+    /// Artifact cache miss.
+    CacheMiss = 6,
+    /// A serve request began; `a` is the session request ordinal.
+    RequestOpen = 7,
+    /// A serve request finished; `a` is 0 (ok) / 1 (error), `b` the
+    /// latency in microseconds (f64 bits).
+    RequestClose = 8,
+    /// A pool participant finished a claim batch; `a` is the unit count.
+    PoolTask = 9,
+    /// A watchdog alarm (`anomaly/*`); `a` is the iteration, `b` a
+    /// rule-specific f64 (bits).
+    Anomaly = 10,
+}
+
+impl EventKind {
+    fn from_u8(v: u8) -> Option<EventKind> {
+        Some(match v {
+            1 => EventKind::SpanEnter,
+            2 => EventKind::SpanExit,
+            3 => EventKind::CounterAdd,
+            4 => EventKind::ResidualMilestone,
+            5 => EventKind::CacheHit,
+            6 => EventKind::CacheMiss,
+            7 => EventKind::RequestOpen,
+            8 => EventKind::RequestClose,
+            9 => EventKind::PoolTask,
+            10 => EventKind::Anomaly,
+            _ => return None,
+        })
+    }
+
+    /// Stable lowercase label used in the JSON export.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::SpanEnter => "span_enter",
+            EventKind::SpanExit => "span_exit",
+            EventKind::CounterAdd => "counter",
+            EventKind::ResidualMilestone => "residual",
+            EventKind::CacheHit => "cache_hit",
+            EventKind::CacheMiss => "cache_miss",
+            EventKind::RequestOpen => "req_open",
+            EventKind::RequestClose => "req_close",
+            EventKind::PoolTask => "pool_task",
+            EventKind::Anomaly => "anomaly",
+        }
+    }
+}
+
+/// One ring slot. `stamp == 0` means never written; otherwise it holds
+/// `seq + 1` of the event it carries.
+struct Slot {
+    stamp: AtomicU64,
+    /// Packed: bits 56..64 kind, 32..56 thread ordinal, 0..32 name id.
+    meta: AtomicU64,
+    trace: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+impl Slot {
+    const fn new() -> Slot {
+        Slot {
+            stamp: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+        }
+    }
+}
+
+fn pack_meta(kind: EventKind, thread: u32, name: u32) -> u64 {
+    ((kind as u64) << 56) | (u64::from(thread & 0x00ff_ffff) << 32) | u64::from(name)
+}
+
+/// A decoded event, as returned by [`drain_since`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Global monotone sequence number (allocation order).
+    pub seq: u64,
+    /// Recording thread's ordinal (see [`thread_ordinal`]).
+    pub thread: u32,
+    pub kind: EventKind,
+    /// Interned name id; resolve with [`name_of`].
+    pub name: u32,
+    /// Request trace id active on the recording thread (0 = none).
+    pub trace: u64,
+    /// Kind-specific payload (see [`EventKind`]).
+    pub a: u64,
+    /// Kind-specific payload (often f64 bits).
+    pub b: u64,
+}
+
+/// The recorder: slot array plus the global sequence allocator.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+impl FlightRecorder {
+    fn new() -> FlightRecorder {
+        let mut v = Vec::with_capacity(RING_CAP);
+        for _ in 0..RING_CAP {
+            v.push(Slot::new());
+        }
+        FlightRecorder {
+            slots: v.into_boxed_slice(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Next sequence number to be allocated == number of events ever
+    /// recorded.
+    pub fn head(&self) -> u64 {
+        // ordering: Relaxed suffices — head is a monotone allocation
+        // counter; readers use it only as a progress watermark and the
+        // per-slot stamps carry their own Release/Acquire publication.
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Appends one event. Lock-free: one RMW + five stores.
+    pub fn record(&self, kind: EventKind, name: u32, trace: u64, a: u64, b: u64) {
+        // Counter-role RMW: allocates a unique sequence number.
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        // bounds: masked by RING_CAP - 1 (power of two), so < RING_CAP
+        // reach: allow(reach-index, the & (RING_CAP - 1) mask bounds the index below the slot array length for any seq value)
+        let slot = &self.slots[(seq as usize) & (RING_CAP - 1)];
+        // ordering: Release on the invalidation store makes the stamp=0
+        // visible before any of the payload stores below can be observed
+        // by a seqlock reader that already saw the previous stamp — the
+        // reader's re-check then catches the in-flight rewrite.
+        slot.stamp.store(0, Ordering::Release);
+        // Relaxed payload stores: all four are published by the Release
+        // stamp store below; no reader accepts the payload without first
+        // Acquire-loading that stamp.
+        let meta = pack_meta(kind, thread_ordinal(), name);
+        // ordering: published by the Release stamp store below
+        slot.meta.store(meta, Ordering::Relaxed);
+        // ordering: published by the Release stamp store below
+        slot.trace.store(trace, Ordering::Relaxed);
+        // ordering: published by the Release stamp store below
+        slot.a.store(a, Ordering::Relaxed);
+        // ordering: published by the Release stamp store below
+        slot.b.store(b, Ordering::Relaxed);
+        // ordering: Release publishes the payload stores above; pairs with
+        // the Acquire stamp loads in `read_slot`.
+        slot.stamp.store(seq + 1, Ordering::Release);
+    }
+
+    /// Seqlock read of one slot: `None` if empty or torn mid-write.
+    fn read_slot(&self, idx: usize) -> Option<FlightEvent> {
+        // reach: allow(reach-index, the only caller iterates idx over 0..RING_CAP, the fixed slot array length)
+        let slot = &self.slots[idx];
+        // ordering: Acquire pairs with the publishing Release store in
+        // `record`, making the payload reads below see that event's data.
+        let s1 = slot.stamp.load(Ordering::Acquire);
+        if s1 == 0 {
+            return None;
+        }
+        // ordering: Relaxed payload loads are bracketed by the two stamp
+        // loads; a mismatch discards them.
+        let meta = slot.meta.load(Ordering::Relaxed);
+        let trace = slot.trace.load(Ordering::Relaxed);
+        let a = slot.a.load(Ordering::Relaxed);
+        let b = slot.b.load(Ordering::Relaxed);
+        // ordering: Acquire on the re-check keeps it ordered after the
+        // payload loads (seqlock validation read).
+        let s2 = slot.stamp.load(Ordering::Acquire);
+        if s1 != s2 {
+            return None; // a writer was rewriting this slot; skip it
+        }
+        let kind = EventKind::from_u8((meta >> 56) as u8)?;
+        Some(FlightEvent {
+            seq: s1 - 1,
+            thread: ((meta >> 32) & 0x00ff_ffff) as u32,
+            kind,
+            name: (meta & 0xffff_ffff) as u32,
+            trace,
+            a,
+            b,
+        })
+    }
+
+    /// Collects every live event with `seq >= since`, sorted by sequence.
+    ///
+    /// Does not consume: the ring keeps overwriting in place. Callers
+    /// doing periodic scrapes pass the previous watermark (`head()` at the
+    /// last scrape) to get only new events.
+    pub fn drain_since(&self, since: u64) -> Vec<FlightEvent> {
+        let mut out: Vec<FlightEvent> = Vec::new();
+        for idx in 0..RING_CAP {
+            if let Some(ev) = self.read_slot(idx) {
+                if ev.seq >= since {
+                    out.push(ev);
+                }
+            }
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
+
+/// The process-wide flight recorder.
+pub fn recorder() -> &'static FlightRecorder {
+    RECORDER.get_or_init(FlightRecorder::new)
+}
+
+// ---------------------------------------------------------------------
+// Thread ordinals
+// ---------------------------------------------------------------------
+
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static THREAD_ORDINAL: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Small dense id for the calling thread (1, 2, 3, … in first-recording
+/// order; stable for the thread's lifetime). Ordinal 0 is never assigned.
+pub fn thread_ordinal() -> u32 {
+    THREAD_ORDINAL.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            return v;
+        }
+        // Counter-role RMW; uniqueness is all that matters.
+        let v = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        v
+    })
+}
+
+// ---------------------------------------------------------------------
+// Trace ids
+// ---------------------------------------------------------------------
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT_TRACE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Allocates a fresh nonzero trace id (`serve` calls this per request).
+pub fn next_trace_id() -> u64 {
+    // Counter-role RMW; ids only need to be unique within the process.
+    NEXT_TRACE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The trace id active on this thread (0 = none). Stamped into every
+/// event recorded by this thread; the pool dispatcher forwards it to
+/// workers so one request's events reassemble across threads.
+pub fn current_trace() -> u64 {
+    CURRENT_TRACE.with(|t| t.get())
+}
+
+/// Sets the calling thread's trace id, returning the previous one.
+/// Prefer [`trace_scope`] in request handlers; this raw form exists for
+/// the pool, which must set/restore around a claim batch without RAII.
+pub fn set_current_trace(id: u64) -> u64 {
+    CURRENT_TRACE.with(|t| t.replace(id))
+}
+
+/// RAII guard restoring the previous trace id on drop.
+pub struct TraceGuard {
+    prev: u64,
+}
+
+/// Installs `id` as the thread's trace id for the guard's lifetime.
+pub fn trace_scope(id: u64) -> TraceGuard {
+    TraceGuard {
+        prev: set_current_trace(id),
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        set_current_trace(self.prev);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Name interning
+// ---------------------------------------------------------------------
+
+struct Interner {
+    by_name: std::collections::BTreeMap<String, u32>,
+    names: Vec<String>,
+}
+
+static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+
+fn interner() -> &'static Mutex<Interner> {
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            by_name: std::collections::BTreeMap::new(),
+            names: vec!["?".to_string()], // id 0 = unknown
+        })
+    })
+}
+
+fn lock_interner() -> std::sync::MutexGuard<'static, Interner> {
+    // Telemetry is best-effort: a panic while interning must not cascade.
+    match interner().lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Interns `name`, returning its dense id. Hot call sites should intern
+/// once and reuse the id; the lookup takes a short leaf mutex.
+pub fn intern(name: &str) -> u32 {
+    let mut i = lock_interner();
+    if let Some(&id) = i.by_name.get(name) {
+        return id;
+    }
+    let id = i.names.len() as u32;
+    i.names.push(name.to_string());
+    i.by_name.insert(name.to_string(), id);
+    id
+}
+
+/// Resolves an interned id back to its name (`"?"` for unknown ids).
+pub fn name_of(id: u32) -> String {
+    let i = lock_interner();
+    i.names
+        .get(id as usize)
+        .cloned()
+        .unwrap_or_else(|| "?".to_string())
+}
+
+// ---------------------------------------------------------------------
+// Recording entry points
+// ---------------------------------------------------------------------
+
+/// Records one event when observability is enabled (one relaxed load
+/// otherwise). The thread's current trace id is stamped automatically.
+#[inline]
+pub fn event(kind: EventKind, name: u32, a: u64, b: u64) {
+    if crate::enabled() {
+        recorder().record(kind, name, current_trace(), a, b);
+    }
+}
+
+/// Records one event with a pre-resolved name string (interns per call;
+/// prefer [`intern`] + [`event`] on hot paths).
+#[inline]
+pub fn event_named(kind: EventKind, name: &str, a: u64, b: u64) {
+    if crate::enabled() {
+        let id = intern(name);
+        recorder().record(kind, id, current_trace(), a, b);
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------
+
+fn f64_field(bits: u64) -> String {
+    let x = f64::from_bits(bits);
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders events as a JSON array (each element carries seq, thread,
+/// kind, name, trace and kind-decoded payload fields). Validated by
+/// [`crate::json::validate`] in tests.
+pub fn render_events_json(events: &[FlightEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name = crate::export::escape_json(&name_of(e.name));
+        out.push_str(&format!(
+            "{{\"seq\":{},\"thread\":{},\"kind\":\"{}\",\"name\":\"{}\",\"trace\":{}",
+            e.seq,
+            e.thread,
+            e.kind.label(),
+            name,
+            e.trace
+        ));
+        match e.kind {
+            EventKind::SpanExit => {
+                out.push_str(&format!(",\"dur_ns\":{}", e.a));
+            }
+            EventKind::CounterAdd | EventKind::PoolTask | EventKind::RequestOpen => {
+                out.push_str(&format!(",\"n\":{}", e.a));
+            }
+            EventKind::ResidualMilestone => {
+                out.push_str(&format!(
+                    ",\"iter\":{},\"rel_residual\":{}",
+                    e.a,
+                    f64_field(e.b)
+                ));
+            }
+            EventKind::RequestClose => {
+                out.push_str(&format!(
+                    ",\"err\":{},\"latency_us\":{}",
+                    e.a,
+                    f64_field(e.b)
+                ));
+            }
+            EventKind::Anomaly => {
+                out.push_str(&format!(",\"iter\":{},\"value\":{}", e.a, f64_field(e.b)));
+            }
+            EventKind::SpanEnter | EventKind::CacheHit | EventKind::CacheMiss => {}
+        }
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Panic hook: every crash ships its own black box
+// ---------------------------------------------------------------------
+
+static HOOK_INSTALLED: AtomicU32 = AtomicU32::new(0);
+
+/// Installs a panic hook (once; chaining the previous hook) that dumps
+/// the last [`PANIC_DUMP_EVENTS`] flight events to stderr as one JSON
+/// line: `{"flight_recorder":{"head":…,"events":[…]}}`. A no-op dump
+/// when recording never started; the previous hook always runs first so
+/// the standard panic message is not suppressed.
+pub fn install_panic_hook() {
+    // ordering: Relaxed suffices for this once-latch swap — only the
+    // 0 -> 1 transition installs, it publishes no data of its own, and
+    // `set_hook` synchronizes the hook installation itself.
+    if HOOK_INSTALLED.swap(1, Ordering::Relaxed) != 0 {
+        return;
+    }
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        prev(info);
+        let rec = recorder();
+        let head = rec.head();
+        if head == 0 {
+            return; // nothing recorded; keep crash output clean
+        }
+        let since = head.saturating_sub(PANIC_DUMP_EVENTS as u64);
+        let events = rec.drain_since(since);
+        eprintln!(
+            "{{\"flight_recorder\":{{\"head\":{head},\"events\":{}}}}}",
+            render_events_json(&events)
+        );
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+
+    #[test]
+    fn ring_records_and_drains_in_order() {
+        let rec = FlightRecorder::new();
+        for i in 0..10u64 {
+            rec.record(EventKind::CounterAdd, 1, 7, i, 0);
+        }
+        let events = rec.drain_since(0);
+        assert_eq!(events.len(), 10);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.a, i as u64);
+            assert_eq!(e.trace, 7);
+            assert_eq!(e.kind, EventKind::CounterAdd);
+        }
+        assert_eq!(rec.head(), 10);
+    }
+
+    #[test]
+    fn ring_wrap_keeps_last_events() {
+        let rec = FlightRecorder::new();
+        let total = (RING_CAP + 100) as u64;
+        for i in 0..total {
+            rec.record(EventKind::CounterAdd, 1, 0, i, 0);
+        }
+        let events = rec.drain_since(0);
+        assert_eq!(events.len(), RING_CAP);
+        // Exactly the last RING_CAP sequences survive, in order.
+        assert_eq!(events[0].seq, total - RING_CAP as u64);
+        assert_eq!(events.last().map(|e| e.seq), Some(total - 1));
+        // drain_since trims to a watermark.
+        let tail = rec.drain_since(total - 5);
+        assert_eq!(tail.len(), 5);
+    }
+
+    #[test]
+    fn intern_roundtrip_and_unknown() {
+        let id = intern("flight/test_name");
+        assert_eq!(intern("flight/test_name"), id, "interning is idempotent");
+        assert_eq!(name_of(id), "flight/test_name");
+        assert_eq!(name_of(u32::MAX), "?");
+    }
+
+    #[test]
+    fn trace_scope_nests_and_restores() {
+        assert_eq!(current_trace(), 0);
+        {
+            let _g = trace_scope(11);
+            assert_eq!(current_trace(), 11);
+            {
+                let _h = trace_scope(22);
+                assert_eq!(current_trace(), 22);
+            }
+            assert_eq!(current_trace(), 11);
+        }
+        assert_eq!(current_trace(), 0);
+    }
+
+    #[test]
+    fn event_gated_on_mode() {
+        let _serial = crate::test_mode_lock();
+        let prev = crate::mode();
+        crate::set_mode(Mode::Off);
+        let before = recorder().head();
+        event_named(EventKind::CounterAdd, "flight/gated", 1, 0);
+        assert_eq!(recorder().head(), before, "off mode records nothing");
+        crate::set_mode(Mode::Json);
+        event_named(EventKind::CounterAdd, "flight/gated", 1, 0);
+        assert_eq!(recorder().head(), before + 1);
+        crate::set_mode(prev);
+    }
+
+    #[test]
+    fn events_render_valid_json() {
+        let rec = FlightRecorder::new();
+        let name = intern("flight/json_case");
+        rec.record(EventKind::SpanEnter, name, 3, 0, 0);
+        rec.record(EventKind::SpanExit, name, 3, 1234, 0);
+        rec.record(
+            EventKind::ResidualMilestone,
+            name,
+            3,
+            17,
+            (1.5e-6f64).to_bits(),
+        );
+        rec.record(EventKind::Anomaly, name, 3, 40, f64::NAN.to_bits());
+        rec.record(EventKind::RequestClose, name, 3, 0, (250.0f64).to_bits());
+        let js = render_events_json(&rec.drain_since(0));
+        crate::json::validate(&js).expect("flight events must be valid JSON");
+        assert!(js.contains("\"kind\":\"span_exit\""));
+        assert!(js.contains("\"dur_ns\":1234"));
+        assert!(js.contains("\"rel_residual\":0.0000015"));
+        // NaN payloads degrade to null, never to invalid JSON.
+        assert!(js.contains("\"value\":null"));
+    }
+
+    #[test]
+    fn thread_ordinals_are_distinct() {
+        let here = thread_ordinal();
+        assert!(here > 0);
+        let other = std::thread::spawn(thread_ordinal).join().expect("join");
+        assert_ne!(here, other);
+        assert_eq!(thread_ordinal(), here, "ordinal is stable per thread");
+    }
+}

@@ -158,6 +158,47 @@ impl Histogram {
         // total return for the compiler.
         Some(bucket_bounds(NUM_BUCKETS - 1).0)
     }
+
+    /// `q`-quantile with linear interpolation inside the log₂ bucket.
+    ///
+    /// Where [`Histogram::quantile`] answers with the containing bucket's
+    /// lower bound (a systematic under-estimate of up to 2×), this walks
+    /// to the same bucket and then places the rank proportionally between
+    /// the bucket's bounds: with `k` samples in `[lo, hi)` and the target
+    /// rank `r` being the `j`-th of them (1-based), it returns
+    /// `lo + (hi − lo) · j / (k + 1)` — the expected position of the j-th
+    /// of `k` order statistics under a uniform-within-bucket model. The
+    /// degenerate bin interpolates over `[0, 2^-31)` like any other; the
+    /// overflow bin has no upper bound and reports its lower bound `2^31`.
+    /// Returns `None` when the histogram is empty.
+    ///
+    /// Concurrency: same relaxed-read contract as [`Histogram::quantile`].
+    pub fn quantile_interpolated(&self, q: f64) -> Option<f64> {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &c) in counts.iter().enumerate() {
+            if c > 0 && seen + c >= rank {
+                let (lo, hi) = bucket_bounds(b);
+                let hi = match hi {
+                    Some(hi) => hi,
+                    // Overflow bin is unbounded; its lower bound is the
+                    // only honest answer.
+                    None => return Some(lo),
+                };
+                let j = (rank - seen) as f64; // 1-based rank within bucket
+                return Some(lo + (hi - lo) * j / (c as f64 + 1.0));
+            }
+            seen += c;
+        }
+        // Unreachable (seen == total >= rank); total return as above.
+        Some(bucket_bounds(NUM_BUCKETS - 1).0)
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +293,51 @@ mod tests {
         // Out-of-range q clamps instead of panicking.
         assert_eq!(h.quantile(7.0), Some(overflow_lo));
         assert_eq!(h.quantile(-1.0), Some(1.0));
+    }
+
+    #[test]
+    fn interpolated_quantiles_sit_inside_the_bucket() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_interpolated(0.5), None, "empty");
+        // 100 samples, all in [1024, 2048).
+        for _ in 0..100 {
+            h.record(1500.0);
+        }
+        let p50 = h.quantile_interpolated(0.5).unwrap();
+        let p99 = h.quantile_interpolated(0.99).unwrap();
+        // Strictly inside the bucket — never the lower-bound answer the
+        // plain quantile gives…
+        assert_eq!(h.quantile(0.5), Some(1024.0));
+        assert!(p50 > 1024.0 && p50 < 2048.0, "p50 = {p50}");
+        assert!(p99 > p50 && p99 < 2048.0, "p99 = {p99}");
+        // …and positioned proportionally: rank 50 of 100 ≈ mid-bucket.
+        let expect = 1024.0 + 1024.0 * 50.0 / 101.0;
+        assert!((p50 - expect).abs() < 1e-9, "p50 = {p50}, want {expect}");
+    }
+
+    #[test]
+    fn interpolated_quantiles_cross_buckets_and_handle_overflow() {
+        let h = Histogram::new();
+        // 90 in [1, 2), 9 in [8, 16), 1 in the overflow bin.
+        for _ in 0..90 {
+            h.record(1.5);
+        }
+        for _ in 0..9 {
+            h.record(10.0);
+        }
+        h.record(1e12);
+        let p95 = h.quantile_interpolated(0.95).unwrap();
+        assert!((8.0..16.0).contains(&p95), "rank 95 is in [8,16): {p95}");
+        // Rank 95 is the 5th of 9 samples in the bucket.
+        let expect = 8.0 + 8.0 * 5.0 / 10.0;
+        assert!((p95 - expect).abs() < 1e-9, "p95 = {p95}, want {expect}");
+        // The overflow bin still answers its lower bound.
+        let (overflow_lo, _) = bucket_bounds(NUM_BUCKETS - 1);
+        assert_eq!(h.quantile_interpolated(1.0), Some(overflow_lo));
+        // q clamping matches the plain quantile.
+        assert_eq!(h.quantile_interpolated(7.0), Some(overflow_lo));
+        let p0 = h.quantile_interpolated(-1.0).unwrap();
+        assert!((1.0..2.0).contains(&p0));
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Minimal recursive-descent JSON validator (RFC 8259 syntax).
+//! Minimal recursive-descent JSON validator and parser (RFC 8259).
 //!
 //! The workspace is offline — no serde — yet CI must assert that the
-//! bench harness and the JSON exporter emit *parseable* documents. This
-//! validates syntax only (it builds no value tree): objects, arrays,
-//! strings with escapes, numbers, `true`/`false`/`null`.
+//! bench harness and the JSON exporter emit *parseable* documents, and
+//! `hicond top` must actually read the `metrics` verb's delta snapshots.
+//! [`validate`] checks syntax only (no value tree); [`parse`] builds a
+//! [`Value`] tree for consumers that need the data.
 
 /// Validates that `s` is exactly one JSON value (plus whitespace).
 pub fn validate(s: &str) -> Result<(), String> {
@@ -157,9 +158,186 @@ fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
     Ok(pos)
 }
 
+/// A parsed JSON value. Object keys keep document order (small documents;
+/// linear [`Value::get`] lookup is fine at telemetry sizes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    /// All JSON numbers parse as f64 (telemetry counters fit exactly up
+    /// to 2^53, far beyond any scrape delta).
+    Num(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on an object; `None` on misses and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `s` as exactly one JSON value (plus whitespace).
+///
+/// Validates first (one pass of the syntax checker above), then builds
+/// the tree — so the tree builder below can assume well-formed input and
+/// stay panic-free without re-verifying every byte.
+pub fn parse(s: &str) -> Result<Value, String> {
+    validate(s)?;
+    let b = s.as_bytes();
+    let pos = skip_ws(b, 0);
+    let (v, _) = build(b, pos);
+    Ok(v)
+}
+
+/// Builds the value starting at `pos`. Input is already validated, so
+/// unexpected shapes degrade to `Value::Null` instead of panicking.
+fn build(b: &[u8], pos: usize) -> (Value, usize) {
+    match b.get(pos) {
+        Some(b'{') => {
+            let mut members = Vec::new();
+            let mut pos = skip_ws(b, pos + 1);
+            if b.get(pos) == Some(&b'}') {
+                return (Value::Object(members), pos + 1);
+            }
+            loop {
+                let (key, next) = build_string(b, pos);
+                pos = skip_ws(b, next);
+                pos = skip_ws(b, pos + 1); // past ':'
+                let (val, next) = build(b, pos);
+                members.push((key, val));
+                pos = skip_ws(b, next);
+                match b.get(pos) {
+                    Some(b',') => pos = skip_ws(b, pos + 1),
+                    _ => return (Value::Object(members), pos + 1), // '}'
+                }
+            }
+        }
+        Some(b'[') => {
+            let mut items = Vec::new();
+            let mut pos = skip_ws(b, pos + 1);
+            if b.get(pos) == Some(&b']') {
+                return (Value::Array(items), pos + 1);
+            }
+            loop {
+                let (val, next) = build(b, pos);
+                items.push(val);
+                pos = skip_ws(b, next);
+                match b.get(pos) {
+                    Some(b',') => pos = skip_ws(b, pos + 1),
+                    _ => return (Value::Array(items), pos + 1), // ']'
+                }
+            }
+        }
+        Some(b'"') => {
+            let (s, next) = build_string(b, pos);
+            (Value::Str(s), next)
+        }
+        Some(b't') => (Value::Bool(true), pos + 4),
+        Some(b'f') => (Value::Bool(false), pos + 5),
+        Some(b'n') => (Value::Null, pos + 4),
+        _ => {
+            // Number: consume with the validator's scanner, then parse.
+            let end = number(b, pos).unwrap_or(pos);
+            let x = std::str::from_utf8(&b[pos..end])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .unwrap_or(f64::NAN);
+            (Value::Num(x), end)
+        }
+    }
+}
+
+/// Decodes the string literal at `pos` (validated input), resolving
+/// escapes. Returns the string and the position past the closing quote.
+fn build_string(b: &[u8], pos: usize) -> (String, usize) {
+    let mut out = String::new();
+    let mut pos = pos + 1; // past opening '"'
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return (out, pos + 1),
+            b'\\' => {
+                match b.get(pos + 1) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let code = b
+                            .get(pos + 2..pos + 6)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .unwrap_or(0xfffd);
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        pos += 6;
+                        continue;
+                    }
+                    _ => {}
+                }
+                pos += 2;
+                continue;
+            }
+            _ => {
+                // Multi-byte UTF-8 sequences pass through byte-wise; the
+                // source is a valid &str so collecting the char is safe.
+                let rest = &b[pos..];
+                let ch = std::str::from_utf8(rest)
+                    .ok()
+                    .and_then(|s| s.chars().next())
+                    .unwrap_or('\u{fffd}');
+                out.push(ch);
+                pos += ch.len_utf8();
+                continue;
+            }
+        }
+    }
+    (out, pos)
+}
+
 #[cfg(test)]
 mod tests {
-    use super::validate;
+    use super::{parse, validate, Value};
 
     #[test]
     fn accepts_valid_documents() {
@@ -197,5 +375,46 @@ mod tests {
         ] {
             assert!(validate(s).is_err(), "{s:?} should be rejected");
         }
+    }
+
+    #[test]
+    fn parse_builds_the_value_tree() {
+        let v = parse(r#"{"a": [1, 2.5, {"b": null}], "c": "x/y", "d": false}"#).unwrap();
+        let a = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a[0].as_f64(), Some(1.0));
+        assert_eq!(a[1].as_f64(), Some(2.5));
+        assert_eq!(a[2].get("b"), Some(&Value::Null));
+        assert_eq!(v.get("c").and_then(Value::as_str), Some("x/y"));
+        assert_eq!(v.get("d"), Some(&Value::Bool(false)));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn parse_resolves_escapes_and_numbers() {
+        let v = parse(r#"{"k\n": "a\"bA", "n": -1.5e2}"#).unwrap();
+        assert_eq!(v.get("k\n").and_then(Value::as_str), Some("a\"bA"));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(-150.0));
+        // Unicode passthrough.
+        let v = parse(r#""héllo""#).unwrap();
+        assert_eq!(v.as_str(), Some("héllo"));
+    }
+
+    #[test]
+    fn parse_rejects_what_validate_rejects() {
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn parse_roundtrips_exporter_output() {
+        // The parser must read what the exporter writes.
+        let js = crate::render_json(&crate::Snapshot::default());
+        let v = parse(&js).unwrap();
+        assert!(v.get("counters").is_some());
+        assert_eq!(
+            v.get("non_finite_dropped").and_then(Value::as_f64),
+            Some(0.0)
+        );
     }
 }

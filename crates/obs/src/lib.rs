@@ -37,15 +37,22 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 
 pub mod export;
+pub mod flight;
 pub mod histogram;
 pub mod json;
 pub mod registry;
 pub mod span;
+pub mod watchdog;
 
-pub use export::{render_json, render_text, Snapshot};
+pub use export::{delta_snapshot, render_json, render_text, Snapshot};
+pub use flight::{
+    current_trace, install_panic_hook, next_trace_id, set_current_trace, trace_scope, EventKind,
+    FlightEvent, TraceGuard,
+};
 pub use histogram::{bucket_bounds, bucket_index, Histogram, NUM_BUCKETS};
 pub use registry::{global, Registry};
 pub use span::{span, SpanGuard};
+pub use watchdog::Watchdog;
 
 /// Observability mode, latched from `HICOND_OBS` or set programmatically.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -114,11 +121,15 @@ pub fn enabled() -> bool {
     !matches!(mode(), Mode::Off)
 }
 
-/// Adds `v` to the named counter (no-op when disabled).
+/// Adds `v` to the named counter (no-op when disabled). Also appends a
+/// `counter` event to the flight recorder so recent deltas are visible in
+/// ring drains and panic dumps (call sites are per-phase/per-solve, not
+/// per-iteration, so the ring is not flooded).
 #[inline]
 pub fn counter_add(name: &str, v: u64) {
     if enabled() {
         global().counter(name).add(v);
+        flight::event_named(flight::EventKind::CounterAdd, name, v, 0);
     }
 }
 
@@ -138,11 +149,14 @@ pub fn hist_record(name: &str, x: f64) {
     }
 }
 
-/// Clears the named trace (start of a fresh series; no-op when disabled).
+/// Clears the named trace (start of a fresh series; no-op when
+/// disabled), reserving room for `capacity` points (clamped to
+/// [`registry::TRACE_CAP`]) so the pushes that follow stay off the
+/// allocator when the caller can bound the series length.
 #[inline]
-pub fn trace_start(name: &str) {
+pub fn trace_start(name: &str, capacity: usize) {
     if enabled() {
-        global().trace_start(name);
+        global().trace_start(name, capacity);
     }
 }
 

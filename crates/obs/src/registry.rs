@@ -142,28 +142,50 @@ impl Registry {
         t
     }
 
-    /// Sets a gauge (last writer wins).
+    /// Sets a gauge (last writer wins). Re-sets of an existing gauge
+    /// borrow the name — only first use allocates the key.
     pub fn gauge_set(&self, name: &str, v: f64) {
-        self.lock().gauges.insert(name.to_string(), v);
+        let mut inner = self.lock();
+        if let Some(g) = inner.gauges.get_mut(name) {
+            *g = v;
+        } else {
+            inner.gauges.insert(name.to_string(), v);
+        }
     }
 
-    /// Clears the named trace, starting a fresh series.
-    pub fn trace_start(&self, name: &str) {
+    /// Clears the named trace, starting a fresh series with room for
+    /// `capacity` points (clamped to [`TRACE_CAP`]). Reserving up front
+    /// keeps [`Self::trace_push`] allocation-free for series whose
+    /// length the caller can bound — PCG passes `max_iter + 1` so its
+    /// per-iteration residual pushes never touch the allocator.
+    pub fn trace_start(&self, name: &str, capacity: usize) {
         let mut inner = self.lock();
         let t = inner.traces.entry(name.to_string()).or_default();
         t.points.clear();
         t.dropped = 0;
+        // reserve() is a no-op when existing capacity already suffices.
+        t.points.reserve(capacity.min(TRACE_CAP));
     }
 
     /// Appends a point to the named trace (bounded by [`TRACE_CAP`]).
+    /// The fast path (an existing series) borrows the name, so a series
+    /// started with enough reserved capacity records without allocating.
     pub fn trace_push(&self, name: &str, x: f64) {
         let mut inner = self.lock();
-        let t = inner.traces.entry(name.to_string()).or_default();
-        if t.points.len() < TRACE_CAP {
-            t.points.push(x);
-        } else {
-            t.dropped += 1;
+        if let Some(t) = inner.traces.get_mut(name) {
+            if t.points.len() < TRACE_CAP {
+                t.points.push(x);
+            } else {
+                t.dropped += 1;
+            }
+            return;
         }
+        inner
+            .traces
+            .entry(name.to_string())
+            .or_default()
+            .points
+            .push(x);
     }
 
     /// Copies the current state into a [`crate::Snapshot`].
@@ -259,7 +281,7 @@ mod tests {
         r.trace_push("t", 2.0);
         let snap = r.snapshot();
         assert_eq!(snap.traces[0].1, vec![1.0, 2.0]);
-        r.trace_start("t");
+        r.trace_start("t", 8);
         r.trace_push("t", 9.0);
         let snap = r.snapshot();
         assert_eq!(snap.traces[0].1, vec![9.0]);

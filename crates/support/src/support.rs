@@ -17,6 +17,7 @@ pub fn support_matrices_dense(a: &CsrMatrix, b: &CsrMatrix) -> f64 {
     assert_eq!(a.nrows(), b.nrows(), "support: size mismatch");
     let ones = vec![1.0; a.nrows()];
     let vals = pencil_eigen_dense(&a.to_dense(), &b.to_dense(), &ones);
+    // audit: allow(panic-path) — the pencil of an n >= 1 matrix has a nonempty spectrum; n = 0 never reaches here (Laplacians of graphs have at least one vertex)
     *vals.last().expect("nonempty spectrum")
 }
 

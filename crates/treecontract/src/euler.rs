@@ -141,6 +141,7 @@ pub fn euler_tour(forest: &RootedForest) -> EulerTour {
         // (or tail if parent is a root at its last child).
         if let Some(p) = forest.parent(v) {
             let siblings = forest.children(p);
+            // audit: allow(panic-path) — v is a child of p by the parent() lookup above, so it appears in p's child list
             let my_pos = siblings.iter().position(|&c| c as usize == v).unwrap();
             succ[up as usize] = if my_pos + 1 < siblings.len() {
                 2 * siblings[my_pos + 1]

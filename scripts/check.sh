@@ -81,4 +81,26 @@ printf '1 0 0 0 0 -1\nquit\n' | \
 grep -q "^ok " "$smoke_out"
 unset HICOND_CACHE_DIR
 
+step "telemetry smoke (metrics scrapes -> hicond top --check, forced panic black box)"
+rm -rf target/telemetry_smoke && mkdir -p target/telemetry_smoke
+printf '4 3\n0 1 1.0\n1 2 1.0\n2 3 1.0\n' > target/telemetry_smoke/path.txt
+export HICOND_CACHE_DIR=target/telemetry_smoke/cache
+tele_out=target/telemetry_smoke/out.txt
+# Two solves with a metrics scrape after each; every scrape line must be
+# JSON that `hicond top --check` accepts (counters, spans, flight events).
+printf '1 -1 0 0\nmetrics\n0 1 -1 0\nstats\nmetrics\nquit\n' | \
+  HICOND_OBS=json cargo run --release --offline -q --bin hicond -- serve target/telemetry_smoke/path.txt \
+  > "$tele_out"
+grep -q '^ok stats requests=2 errors=0 ' "$tele_out"
+grep -c '^{' "$tele_out" | grep -qx '2'
+grep '^{' "$tele_out" | cargo run --release --offline -q --bin hicond -- top --check
+# A panicking process must ship a parseable one-line flight dump on stderr.
+dump=target/telemetry_smoke/dump.txt
+if HICOND_OBS=json cargo run --release --offline -q --bin hicond -- flight-panic \
+  2> "$dump" >/dev/null; then
+  echo "flight-panic did not panic" >&2; exit 1
+fi
+grep '^{"flight_recorder"' "$dump" | cargo run --release --offline -q --bin hicond -- top --check
+unset HICOND_CACHE_DIR
+
 step "all checks passed"

@@ -4,6 +4,7 @@
 //! hicond decompose <graph-file> [--k K] [--method fixed|planar|tree] [--validate PHI RHO]
 //! hicond solve <graph-file> <rhs-file|--demo> [--tol T] [--cached]
 //! hicond serve <graph-file> [--tol T]
+//! hicond top [--check] [--trace ID]
 //! hicond cache ls|verify|gc [--all]
 //! hicond cluster <graph-file> --k K [--method eigen|walk]
 //! hicond info <graph-file>
@@ -229,6 +230,8 @@ fn cmd_solve(path: &str, args: &[String]) -> Result<(), String> {
 ///   `ok <iterations> <rel_residual> <x_0> ... <x_{n-1}>` on one line, or
 ///   `ERR <code>: <detail>` — the session stays alive after an error.
 /// - `stats` — session counters and solve-latency quantiles on one line.
+/// - `metrics` — one line of delta-snapshot JSON (registry + flight
+///   events since the last scrape); pipe to `hicond top` to render.
 /// - `quit` — exit cleanly. EOF also ends the session.
 fn cmd_serve(path: &str, args: &[String]) -> Result<(), String> {
     let g = load_graph(path, weight_scale(args)?)?;
@@ -361,8 +364,164 @@ fn cmd_cluster(path: &str, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `hicond top`: live telemetry viewer. Reads a serve session's output
+/// from stdin, ignores `ok`/`ERR` reply lines, and renders every
+/// `metrics`-verb JSON line (a delta scrape) as a compact dashboard:
+/// counter deltas, span activity, anomalies, and per-trace span trees
+/// reassembled from the flight events. `--check` parses silently and
+/// fails on malformed scrapes (the CI telemetry smoke step); `--trace ID`
+/// restricts the event tree to one request.
+///
+/// Composes with any transport the serve loop is wired to:
+/// `printf '…\nmetrics\nquit\n' | hicond serve g.txt | hicond top`.
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let check = args.iter().any(|a| a == "--check");
+    let trace_filter: Option<u64> = match arg_value(args, "--trace") {
+        Some(s) => Some(s.parse().map_err(|_| "bad --trace id".to_string())?),
+        None => None,
+    };
+    let stdin = std::io::stdin();
+    let mut scrapes = 0u64;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let t = line.trim();
+        if !t.starts_with('{') {
+            continue; // solve replies and banners pass through silently
+        }
+        let v = hicond::obs::json::parse(t).map_err(|e| format!("bad metrics JSON: {e}"))?;
+        if let Some(dump) = v.get("flight_recorder") {
+            // A panic-hook black-box dump (piped from a crashed process's
+            // stderr): validate its shape, render its events.
+            let events = dump
+                .get("events")
+                .and_then(hicond::obs::json::Value::as_array)
+                .ok_or("flight_recorder dump lacks events")?;
+            scrapes += 1;
+            if !check {
+                println!(
+                    "── flight-recorder panic dump: {} event(s) ──",
+                    events.len()
+                );
+                render_scrape(&v, scrapes, trace_filter);
+            }
+            continue;
+        }
+        v.get("delta")
+            .and_then(|d| d.get("counters"))
+            .ok_or("metrics line lacks delta.counters")?;
+        scrapes += 1;
+        if !check {
+            render_scrape(&v, scrapes, trace_filter);
+        }
+    }
+    if check {
+        if scrapes == 0 {
+            return Err("no metrics scrape lines seen on stdin".into());
+        }
+        println!("ok: {scrapes} metrics scrape(s) parsed");
+    }
+    Ok(())
+}
+
+/// Renders one parsed `metrics` scrape for `hicond top`.
+fn render_scrape(v: &hicond::obs::json::Value, n: u64, trace_filter: Option<u64>) {
+    use hicond::obs::json::Value;
+    println!("── scrape {n} ──");
+    if let Some(counters) = v
+        .get("delta")
+        .and_then(|d| d.get("counters"))
+        .and_then(Value::as_object)
+    {
+        for (name, val) in counters {
+            let mark = if name.starts_with("anomaly/") {
+                "  !! "
+            } else {
+                "    "
+            };
+            println!("{mark}{name:<32} +{}", val.as_f64().unwrap_or(0.0));
+        }
+    }
+    if let Some(spans) = v
+        .get("delta")
+        .and_then(|d| d.get("spans"))
+        .and_then(Value::as_object)
+    {
+        for (name, t) in spans {
+            let count = t.get("count").and_then(Value::as_f64).unwrap_or(0.0);
+            let total = t.get("total_ns").and_then(Value::as_f64).unwrap_or(0.0);
+            println!("    span {name:<27} x{count} {:.3}ms", total / 1e6);
+        }
+    }
+    let events = v
+        .get("flight")
+        .or_else(|| v.get("flight_recorder"))
+        .and_then(|f| f.get("events"))
+        .and_then(Value::as_array)
+        .unwrap_or(&[]);
+    if events.is_empty() {
+        return;
+    }
+    println!("    flight events: {}", events.len());
+    // Reassemble span trees: per (trace, thread) nesting depth, indent by
+    // enter/exit pairing in sequence order (events arrive seq-sorted).
+    let mut depth: std::collections::BTreeMap<(u64, u64), usize> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        let trace = e.get("trace").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        if let Some(want) = trace_filter {
+            if trace != want {
+                continue;
+            }
+        }
+        let thread = e.get("thread").and_then(Value::as_f64).unwrap_or(0.0) as u64;
+        let kind = e.get("kind").and_then(Value::as_str).unwrap_or("?");
+        let name = e.get("name").and_then(Value::as_str).unwrap_or("?");
+        let d = depth.entry((trace, thread)).or_insert(0);
+        match kind {
+            "span_enter" => {
+                println!(
+                    "    [t{trace}/th{thread}] {:indent$}▶ {name}",
+                    "",
+                    indent = *d * 2
+                );
+                *d += 1;
+            }
+            "span_exit" => {
+                *d = d.saturating_sub(1);
+                let ns = e.get("dur_ns").and_then(Value::as_f64).unwrap_or(0.0);
+                println!(
+                    "    [t{trace}/th{thread}] {:indent$}◀ {name} {:.3}ms",
+                    "",
+                    ns / 1e6,
+                    indent = *d * 2
+                );
+            }
+            "anomaly" => {
+                let iter = e.get("iter").and_then(Value::as_f64).unwrap_or(0.0);
+                println!("    [t{trace}/th{thread}] !! {name} at iter {iter}");
+            }
+            _ => {
+                println!(
+                    "    [t{trace}/th{thread}] {:indent$}· {kind} {name}",
+                    "",
+                    indent = *d * 2
+                );
+            }
+        }
+    }
+}
+
+/// Hidden selftest: records a few flight events, then panics, so CI can
+/// assert the panic hook dumps a parseable flight record to stderr.
+fn cmd_flight_panic() -> Result<(), String> {
+    hicond::obs::set_mode(hicond::obs::Mode::Json);
+    let _span = hicond::obs::span("flight_panic_selftest");
+    hicond::obs::counter_add("selftest/flight_panic", 1);
+    panic!("flight-panic selftest: intentional panic to exercise the flight-recorder dump");
+}
+
 fn usage() -> &'static str {
-    "usage:\n  hicond info <graph>\n  hicond decompose <graph> [--k K] [--method fixed|planar|tree] [--validate PHI RHO]\n  hicond solve <graph> <rhs|--demo> [--tol T] [--cached]\n  hicond serve <graph> [--tol T]\n  hicond cache ls|verify|gc [--all]\n  hicond cluster <graph> --k K [--method eigen|walk]\n\nall graph-loading commands accept --weight-scale S (default 1000, METIS weight divisor)\ngraph files: native edge list ('n m' header + 'u v w' lines) or METIS (.metis/.graph)\ncache dir: $HICOND_CACHE_DIR (default .hicond-cache)"
+    "usage:\n  hicond info <graph>\n  hicond decompose <graph> [--k K] [--method fixed|planar|tree] [--validate PHI RHO]\n  hicond solve <graph> <rhs|--demo> [--tol T] [--cached]\n  hicond serve <graph> [--tol T]\n  hicond top [--check] [--trace ID]   (reads a serve session's output on stdin)\n  hicond cache ls|verify|gc [--all]\n  hicond cluster <graph> --k K [--method eigen|walk]\n\nall graph-loading commands accept --weight-scale S (default 1000, METIS weight divisor)\ngraph files: native edge list ('n m' header + 'u v w' lines) or METIS (.metis/.graph)\ncache dir: $HICOND_CACHE_DIR (default .hicond-cache)"
 }
 
 fn main() -> ExitCode {
@@ -373,14 +532,20 @@ fn main() -> ExitCode {
         eprintln!("error: {e}");
         return ExitCode::from(2);
     }
+    // Every crash ships its own black box: the hook dumps the last flight
+    // events as one JSON line on stderr (no-op when nothing was recorded).
+    hicond::obs::install_panic_hook();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match (args.first().map(|s| s.as_str()), args.get(1)) {
         (Some("info"), Some(path)) => cmd_info(path, &args[2..]),
         (Some("decompose"), Some(path)) => cmd_decompose(path, &args[2..]),
         (Some("solve"), Some(path)) => cmd_solve(path, &args[2..]),
         (Some("serve"), Some(path)) => cmd_serve(path, &args[2..]),
+        (Some("top"), _) => cmd_top(&args[1..]),
         (Some("cache"), _) => cmd_cache(&args[1..]),
         (Some("cluster"), Some(path)) => cmd_cluster(path, &args[2..]),
+        // Hidden: exercises the panic-hook flight dump for CI.
+        (Some("flight-panic"), _) => cmd_flight_panic(),
         _ => {
             eprintln!("{}", usage());
             return ExitCode::from(2);

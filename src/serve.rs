@@ -16,29 +16,54 @@
 //!   codes are `bad-value` (unparseable or non-finite number),
 //!   `bad-length` (wrong number of values), and `solve-failed` (the
 //!   solver did not converge)
-//! - `stats` replies with the session's request counters and solve-latency
-//!   quantiles (`ok stats requests=… errors=… p50_us=… p95_us=… p99_us=…`)
-//!   drawn from a log₂ latency histogram; the session keeps going
+//! - `stats` replies with the session's request counters, solve-latency
+//!   quantiles (`ok stats requests=… errors=… p50_us=… p95_us=… p99_us=…
+//!   cache_hits=… cache_misses=…`) linearly interpolated inside the log₂
+//!   latency buckets, plus the process's artifact-cache hit/miss counts;
+//!   the session keeps going
+//! - `metrics` replies one line of JSON — a *delta* snapshot of the obs
+//!   registry since the previous `metrics` call this session, plus the
+//!   flight-recorder events recorded since then — consumed by
+//!   `hicond top` and the CI telemetry smoke test; the line always starts
+//!   with `{` so scrapers can tell it from `ok`/`ERR` replies
 //! - `quit` or EOF ends the session; empty lines are ignored
 //!
-//! Malformed requests bump the `serve/bad_request` obs counter so a
-//! fleet operator can see a misbehaving client without scraping replies.
+//! Every solve request runs under a fresh u64 trace id (flight-recorder
+//! `req_open`/`req_close` events bracket it), which the pool forwards to
+//! worker threads, so one request's full span tree is reassemblable from
+//! a `metrics` scrape. Malformed requests bump the `serve/bad_request`
+//! obs counter so a fleet operator can see a misbehaving client without
+//! scraping replies. A convergence watchdog inside PCG plus a serve-level
+//! preconditioner-staleness rule raise `anomaly/*` events (see
+//! `hicond_obs::watchdog`).
 
 use hicond_precond::LaplacianSolver;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-/// Per-session serve statistics: request/error counts plus a log₂
-/// histogram of solve latencies in microseconds.
+/// Per-session serve statistics: request/error counts plus log₂
+/// histograms of solve latencies (µs) and per-solve iteration counts,
+/// and the `metrics`-verb scrape baseline.
 ///
 /// Lives outside the global obs registry so the `stats` verb works even
 /// when `HICOND_OBS` is off, and so concurrent sessions (if a caller ever
-/// runs them) do not mix their numbers. All fields are atomics — recording
-/// needs only `&self`.
+/// runs them) do not mix their numbers. Recording touches only atomics;
+/// the baseline mutex is taken by the `metrics` verb alone.
 #[derive(Debug, Default)]
 pub struct ServeStats {
     latency_us: hicond_obs::Histogram,
+    /// Iteration counts of converged solves; feeds the running median
+    /// for the preconditioner-staleness watchdog rule.
+    iterations: hicond_obs::Histogram,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// Session-ordinal of the request (stamped into `req_open` events).
+    seq: AtomicU64,
+    /// Previous `metrics` scrape: registry snapshot + flight watermark.
+    /// Lock discipline: this is a leaf taken *after* the registry
+    /// snapshot and flight drain complete, never around them — the lock
+    /// graph stays flat.
+    baseline: Mutex<(hicond_obs::Snapshot, u64)>,
 }
 
 impl ServeStats {
@@ -57,21 +82,56 @@ impl ServeStats {
         self.errors.load(Ordering::Relaxed)
     }
 
-    /// One-line report for the `stats` verb. Quantiles are lower bucket
-    /// bounds of the log₂ histogram (order-of-magnitude resolution, see
-    /// `hicond_obs::Histogram::quantile`); `-` when nothing was recorded.
+    /// One-line report for the `stats` verb. Quantiles interpolate
+    /// linearly inside the containing log₂ bucket
+    /// (`hicond_obs::Histogram::quantile_interpolated`) instead of
+    /// answering the bucket's lower bound; `-` when nothing was
+    /// recorded. Cache hit/miss counts come from the process-wide
+    /// artifact counters, which record unconditionally (the report is
+    /// meaningful with `HICOND_OBS=off`).
     fn report(&self) -> String {
-        let q = |p: f64| match self.latency_us.quantile(p) {
+        let q = |p: f64| match self.latency_us.quantile_interpolated(p) {
             Some(v) => format!("{v:.0}"),
             None => "-".to_string(),
         };
+        let reg = hicond_obs::global();
         format!(
-            "ok stats requests={} errors={} p50_us={} p95_us={} p99_us={}",
+            "ok stats requests={} errors={} p50_us={} p95_us={} p99_us={} cache_hits={} cache_misses={}",
             self.requests(),
             self.errors(),
             q(0.50),
             q(0.95),
             q(0.99),
+            reg.counter("artifact/cache_hit").get(),
+            reg.counter("artifact/cache_miss").get(),
+        )
+    }
+
+    /// One-line JSON for the `metrics` verb: the registry delta since the
+    /// previous scrape plus the flight events recorded since then.
+    fn metrics_report(&self) -> String {
+        // Gather first, lock last: the registry snapshot takes the
+        // registry mutex and the flight drain takes the intern mutex
+        // (via rendering) — both must be released before the baseline
+        // lock so no edge registry→baseline or baseline→registry exists.
+        let cur = hicond_obs::snapshot();
+        let head = hicond_obs::flight::recorder().head();
+        let (prev, prev_head) = {
+            let mut base = match self.baseline.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            std::mem::replace(&mut *base, (cur.clone(), head))
+        };
+        let delta = hicond_obs::delta_snapshot(&prev, &cur);
+        // Trim to the [prev_head, head) window so an event racing the
+        // scrape lands in exactly one report, not two.
+        let mut events = hicond_obs::flight::recorder().drain_since(prev_head);
+        events.retain(|e| e.seq < head);
+        format!(
+            "{{\"delta\":{},\"flight\":{{\"since\":{prev_head},\"head\":{head},\"events\":{}}}}}",
+            hicond_obs::render_json(&delta),
+            hicond_obs::flight::render_events_json(&events),
         )
     }
 }
@@ -103,6 +163,23 @@ pub fn respond(solver: &LaplacianSolver, n: usize, line: &str, stats: &ServeStat
     if trimmed == "stats" {
         return Action::Reply(stats.report());
     }
+    if trimmed == "metrics" {
+        return Action::Reply(stats.metrics_report());
+    }
+    // Every solve request runs under a fresh trace id: the span stack,
+    // the PCG milestones, and (via the pool's ActiveJob capture) the
+    // worker-thread batch events all stamp it, so a `metrics` scrape can
+    // reassemble this request's full event tree. Telemetry only — the
+    // guard is a thread-local swap, the id never reaches the numerics.
+    let trace = hicond_obs::next_trace_id();
+    let _trace = hicond_obs::trace_scope(trace);
+    let req_seq = stats.seq.fetch_add(1, Ordering::Relaxed);
+    hicond_obs::flight::event_named(
+        hicond_obs::flight::EventKind::RequestOpen,
+        "serve/request",
+        req_seq,
+        0,
+    );
     let _span = hicond_obs::span("serve_request");
     hicond_obs::counter_add("serve/requests", 1);
     stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -111,6 +188,12 @@ pub fn respond(solver: &LaplacianSolver, n: usize, line: &str, stats: &ServeStat
         Err(reply) => {
             hicond_obs::counter_add("serve/bad_request", 1);
             stats.errors.fetch_add(1, Ordering::Relaxed);
+            hicond_obs::flight::event_named(
+                hicond_obs::flight::EventKind::RequestClose,
+                "serve/request",
+                1,
+                f64::to_bits(0.0),
+            );
             return Action::Reply(reply);
         }
     };
@@ -124,21 +207,38 @@ pub fn respond(solver: &LaplacianSolver, n: usize, line: &str, stats: &ServeStat
     let us = t0.elapsed().as_secs_f64() * 1e6;
     stats.latency_us.record(us);
     hicond_obs::hist_record("serve/latency_us", us);
-    match outcome {
+    let (action, err) = match outcome {
         Ok(sol) => {
             hicond_obs::hist_record("serve/iterations", sol.iterations as f64);
+            // Preconditioner-staleness watchdog: a converged solve that
+            // needed far more iterations than this session's running
+            // median suggests the preconditioner no longer matches the
+            // operator (it is built once per session today, but the rule
+            // is the contract for the dynamic-graph era).
+            let iters = sol.iterations as u64;
+            stats.iterations.record_u64(iters);
+            if let Some(median) = stats.iterations.quantile_interpolated(0.5) {
+                hicond_obs::watchdog::check_staleness(iters, median, stats.iterations.count());
+            }
             let mut reply = format!("ok {} {:.3e}", sol.iterations, sol.rel_residual);
             for x in &sol.x {
                 reply.push(' ');
                 reply.push_str(&format!("{x:.17e}"));
             }
-            Action::Reply(reply)
+            (Action::Reply(reply), 0u64)
         }
         Err(e) => {
             stats.errors.fetch_add(1, Ordering::Relaxed);
-            Action::Reply(format!("ERR solve-failed: {e}"))
+            (Action::Reply(format!("ERR solve-failed: {e}")), 1u64)
         }
-    }
+    };
+    hicond_obs::flight::event_named(
+        hicond_obs::flight::EventKind::RequestClose,
+        "serve/request",
+        err,
+        us.to_bits(),
+    );
+    action
 }
 
 /// Parses the right-hand side, enforcing exactly `n` finite values. The
@@ -254,10 +354,16 @@ mod tests {
     fn stats_verb_reports_counts_and_latency_quantiles() {
         let (solver, n) = tiny_solver();
         let stats = ServeStats::new();
-        // Empty session: counts are zero, quantiles are dashes.
+        // Empty session: counts are zero, quantiles are dashes. Cache
+        // counters are process-global, so only their presence is asserted.
         match respond(&solver, n, "stats", &stats) {
             Action::Reply(r) => {
-                assert_eq!(r, "ok stats requests=0 errors=0 p50_us=- p95_us=- p99_us=-");
+                assert!(
+                    r.starts_with("ok stats requests=0 errors=0 p50_us=- p95_us=- p99_us=-"),
+                    "reply: {r}"
+                );
+                assert!(r.contains(" cache_hits="), "reply: {r}");
+                assert!(r.contains(" cache_misses="), "reply: {r}");
             }
             other => panic!("expected reply, got {other:?}"),
         }
@@ -280,5 +386,62 @@ mod tests {
         }
         // The stats verb itself never counts as a request.
         assert_eq!(stats.requests(), 2);
+    }
+
+    #[test]
+    fn stats_quantiles_interpolate_inside_the_bucket() {
+        let stats = ServeStats::new();
+        // 100 identical latencies inside [1024, 2048): the plain quantile
+        // would answer the lower bound 1024 for every percentile; the
+        // interpolated report must sit strictly inside the bucket and
+        // order p50 < p99.
+        for _ in 0..100 {
+            stats.latency_us.record(1500.0);
+        }
+        let r = stats.report();
+        let pick = |key: &str| -> f64 {
+            let tail = r.split(key).nth(1).unwrap_or("");
+            tail.split_whitespace()
+                .next()
+                .and_then(|t| t.parse().ok())
+                .unwrap_or(f64::NAN)
+        };
+        let p50 = pick("p50_us=");
+        let p99 = pick("p99_us=");
+        assert!(p50 > 1024.0 && p50 < 2048.0, "p50 interpolated: {r}");
+        assert!(p99 > p50 && p99 < 2048.0, "p99 above p50, in bucket: {r}");
+    }
+
+    #[test]
+    fn metrics_verb_replies_one_line_of_valid_delta_json() {
+        let (solver, n) = tiny_solver();
+        let stats = ServeStats::new();
+        let scrape = |stats: &ServeStats| -> String {
+            match respond(&solver, n, "metrics", stats) {
+                Action::Reply(r) => r,
+                other => panic!("expected reply, got {other:?}"),
+            }
+        };
+        let first = scrape(&stats);
+        assert!(first.starts_with('{'), "metrics replies JSON: {first}");
+        assert!(!first.contains('\n'), "single line");
+        let v = hicond_obs::json::parse(&first).expect("metrics JSON parses");
+        assert!(v.get("delta").is_some());
+        let head0 = v
+            .get("flight")
+            .and_then(|f| f.get("head"))
+            .and_then(hicond_obs::json::Value::as_f64)
+            .expect("flight.head present");
+        // A second scrape's window starts at the first scrape's head.
+        let second = scrape(&stats);
+        let v2 = hicond_obs::json::parse(&second).expect("second scrape parses");
+        let since = v2
+            .get("flight")
+            .and_then(|f| f.get("since"))
+            .and_then(hicond_obs::json::Value::as_f64)
+            .expect("flight.since present");
+        assert_eq!(since, head0, "delta windows tile: {second}");
+        // The metrics verb never counts as a solve request.
+        assert_eq!(stats.requests(), 0);
     }
 }

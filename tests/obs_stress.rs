@@ -1,4 +1,4 @@
-//! Concurrency stress for the observability registry.
+//! Concurrency stress for the observability registry and flight recorder.
 //!
 //! Pool workers hammer the same counters and histograms through both the
 //! string-keyed entry points (which take the registry mutex per call) and
@@ -8,10 +8,21 @@
 //! reference *exactly*, not approximately. Lost updates, torn snapshots,
 //! or a drop of the registry mutex mid-update all surface as a count
 //! mismatch here.
+//!
+//! The flight-recorder sections pin the ring's contract under the same
+//! pressure, across thread caps and seeded scheduler jitter: when the
+//! ring does not wrap, a drain observes **exactly** the recorded events
+//! (none lost, none duplicated, payloads intact) with strictly monotone
+//! sequence numbers per thread; when it does wrap, only the most recent
+//! `RING_CAP` sequence window survives and every drained slot is still
+//! internally consistent (the seqlock discards torn slots rather than
+//! returning garbled ones).
 
+use hicond_obs::flight::{self, EventKind, RING_CAP};
 use hicond_obs::{Histogram, Mode};
-use rayon::pool::with_thread_cap;
+use rayon::pool::{set_sched_jitter, with_thread_cap};
 use rayon::prelude::*;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard};
 
 const N_ITEMS: u64 = 50_000;
@@ -160,5 +171,125 @@ fn mixed_instrument_hammer_under_full_pool() {
         // Last-writer-wins: any recorded index is legal, but it must be
         // one of the values actually written.
         assert!(gauge >= 0.0 && gauge < N_ITEMS as f64 && gauge.fract() == 0.0);
+    });
+}
+
+/// Restores `set_sched_jitter(None)` even if an assertion unwinds.
+struct JitterOff;
+impl Drop for JitterOff {
+    fn drop(&mut self) {
+        set_sched_jitter(None);
+    }
+}
+
+#[test]
+fn flight_ring_contention_exact_counts_and_monotone_seqs() {
+    // Pool workers append marker events concurrently under every
+    // (cap, jitter-seed) pair. The pool itself also emits events
+    // (`pool_task` batches, counter deltas), so assertions filter down to
+    // this test's own kind + interned name; the exact-count contract
+    // holds as long as the whole burst (markers + pool noise) stays well
+    // inside one ring lap.
+    const ITEMS: u64 = 2_000;
+    const CAPS: [usize; 3] = [1, 2, 4];
+    const SEEDS: [Option<u64>; 3] = [None, Some(42), Some(0xdead_beef)];
+    let _serial = mode_lock();
+    with_obs_enabled(|| {
+        let _restore = JitterOff;
+        let name = flight::intern("stress/flight_marker");
+        for seed in SEEDS {
+            for cap in CAPS {
+                set_sched_jitter(seed);
+                let before = flight::recorder().head();
+                with_thread_cap(cap, || {
+                    (0..ITEMS).into_par_iter().for_each(|i| {
+                        flight::event(EventKind::CacheHit, name, i, i.wrapping_mul(3));
+                    });
+                });
+                set_sched_jitter(None);
+                let head = flight::recorder().head();
+                assert!(
+                    head - before < RING_CAP as u64,
+                    "test burst must not wrap the ring (cap {cap}, seed {seed:?})"
+                );
+                let ours: Vec<_> = flight::recorder()
+                    .drain_since(before)
+                    .into_iter()
+                    // `< head`: pool workers may append a few idle-wait
+                    // events between the head read and the drain.
+                    .filter(|e| e.seq < head && e.kind == EventKind::CacheHit && e.name == name)
+                    .collect();
+                assert_eq!(
+                    ours.len() as u64,
+                    ITEMS,
+                    "lost or duplicated flight events (cap {cap}, seed {seed:?})"
+                );
+                // Each item's payload pair survives intact exactly once.
+                let mut payloads: Vec<(u64, u64)> = ours.iter().map(|e| (e.a, e.b)).collect();
+                payloads.sort_unstable();
+                let expected: Vec<(u64, u64)> =
+                    (0..ITEMS).map(|i| (i, i.wrapping_mul(3))).collect();
+                assert_eq!(payloads, expected, "torn event payloads");
+                // Sequence numbers are strictly monotone per recording
+                // thread (the drain is globally seq-sorted already).
+                let mut last_seq: BTreeMap<u32, u64> = BTreeMap::new();
+                for e in &ours {
+                    assert!(e.thread > 0, "ordinal 0 is never assigned");
+                    if let Some(prev) = last_seq.insert(e.thread, e.seq) {
+                        assert!(
+                            e.seq > prev,
+                            "thread {} seqs not monotone: {} then {}",
+                            e.thread,
+                            prev,
+                            e.seq
+                        );
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn flight_ring_wrap_under_contention_keeps_last_window() {
+    // Overflow the ring by half a lap under the full pool: the recorder
+    // must keep exactly the trailing RING_CAP-sequence window, every
+    // surviving slot must decode consistently, and nothing may hang.
+    const ITEMS: u64 = (RING_CAP + RING_CAP / 2) as u64;
+    let _serial = mode_lock();
+    with_obs_enabled(|| {
+        let name = flight::intern("stress/flight_wrap");
+        let before = flight::recorder().head();
+        with_thread_cap(4, || {
+            (0..ITEMS).into_par_iter().for_each(|i| {
+                flight::event(EventKind::CacheMiss, name, i, 0);
+            });
+        });
+        let head = flight::recorder().head();
+        assert!(head - before >= RING_CAP as u64, "burst must wrap the ring");
+        let events = flight::recorder().drain_since(0);
+        assert!(events.len() <= RING_CAP, "more live events than slots");
+        // Unique, sorted seqs — a slot read twice or a torn read slipping
+        // through the seqlock would break this.
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq, "duplicate or unsorted seq");
+        }
+        // Every contiguous slot was overwritten during the burst, so all
+        // survivors recorded up to the head read sit in its last lap.
+        let min_live = head - RING_CAP as u64;
+        for e in events.iter().filter(|e| e.seq < head) {
+            assert!(
+                e.seq >= min_live,
+                "event {} escaped overwrite past a full lap",
+                e.seq
+            );
+            if e.name == name {
+                assert_eq!(e.kind, EventKind::CacheMiss, "marker kind garbled");
+                assert!(e.a < ITEMS, "marker payload garbled");
+            }
+        }
+        // The wrapped drain still honours the watermark contract.
+        let tail = flight::recorder().drain_since(head - 3);
+        assert!(tail.iter().all(|e| e.seq >= head - 3));
     });
 }

@@ -102,6 +102,11 @@ struct ActiveJob {
     units: usize,
     /// Maximum number of participants (dispatcher included).
     cap: usize,
+    /// Request trace id captured from the dispatching thread (0 = none).
+    /// Workers install it for the duration of their claim batch so the
+    /// flight events they record attribute to the request being served.
+    /// Telemetry only — no unit of work ever reads it.
+    trace: u64,
 }
 
 struct Pool {
@@ -384,6 +389,10 @@ pub fn with_thread_cap<R>(n: usize, f: impl FnOnce() -> R) -> R {
 fn worker_loop(pool: &'static Pool, index: usize) {
     IN_WORKER.with(|w| w.set(true));
     WORKER_ID.with(|w| w.set(index));
+    // Built once per worker: these counters are bumped on every dispatch
+    // and idle wake, which must not allocate.
+    let idle_name = format!("pool/worker.{index}.idle_waits");
+    let tasks_name = format!("pool/worker.{index}.tasks");
     let mut last_gen = 0u64;
     let mut slot = match pool.slot.lock() {
         Ok(g) => g,
@@ -400,7 +409,7 @@ fn worker_loop(pool: &'static Pool, index: usize) {
                 // taken while acquiring the slot lock), so holding the
                 // slot guard across this call cannot deadlock.
                 if hicond_obs::enabled() {
-                    hicond_obs::counter_add(&format!("pool/worker.{index}.idle_waits"), 1);
+                    hicond_obs::counter_add(&idle_name, 1);
                 }
                 slot = match pool.work_cv.wait(slot) {
                     Ok(g) => g,
@@ -411,7 +420,7 @@ fn worker_loop(pool: &'static Pool, index: usize) {
         };
         slot.participants += 1;
         drop(slot);
-        claim_units(pool, job);
+        claim_units(pool, job, &tasks_name);
         slot = match pool.slot.lock() {
             Ok(g) => g,
             Err(_) => return,
@@ -426,10 +435,15 @@ fn worker_loop(pool: &'static Pool, index: usize) {
 /// Claims and executes units of `job` until the counter is exhausted.
 /// Panics are captured (first wins) and the remaining units are drained so
 /// every participant exits promptly.
-fn claim_units(pool: &Pool, job: ActiveJob) {
+fn claim_units(pool: &Pool, job: ActiveJob, tasks_counter: &str) {
     // The dispatch protocol keeps the pointee alive while any participant
     // is checked in (module docs).
     let func = job.func.0;
+    // Install the dispatching request's trace id for the batch (and
+    // restore the previous one on exit — the dispatcher participates in
+    // its own job and must keep its id). Gated so the off path pays no
+    // thread-local traffic.
+    let prev_trace = hicond_obs::enabled().then(|| hicond_obs::set_current_trace(job.trace));
     // Units are tallied locally and flushed as one counter add on exit so
     // the claim loop itself stays free of locks and allocation.
     let mut executed = 0u64;
@@ -451,10 +465,19 @@ fn claim_units(pool: &Pool, job: ActiveJob) {
         }
     }
     if executed > 0 && hicond_obs::enabled() {
-        match WORKER_ID.with(|w| w.get()) {
-            usize::MAX => hicond_obs::counter_add("pool/dispatcher.tasks", executed),
-            id => hicond_obs::counter_add(&format!("pool/worker.{id}.tasks"), executed),
-        }
+        // One flight event per claim batch (not per unit): the batch's
+        // unit count under the job's trace id, distinguishable per thread
+        // by the event's thread ordinal.
+        hicond_obs::flight::event_named(
+            hicond_obs::flight::EventKind::PoolTask,
+            "pool/task_batch",
+            executed,
+            0,
+        );
+        hicond_obs::counter_add(tasks_counter, executed);
+    }
+    if let Some(prev) = prev_trace {
+        hicond_obs::set_current_trace(prev);
     }
 }
 
@@ -478,6 +501,19 @@ fn dispatch(units: usize, cap: usize, func: &(dyn Fn(usize) + Sync)) -> bool {
     // Safety: `dispatch` blocks below until every participant has checked
     // out, so the erased borrow cannot outlive the closure.
     let erased = JobPtr(unsafe { erase(func) });
+    // Capture the dispatching thread's request trace id so workers can
+    // attribute their batches to it (telemetry only; 0 when off).
+    let trace = if hicond_obs::enabled() {
+        hicond_obs::current_trace()
+    } else {
+        0
+    };
+    let job = ActiveJob {
+        func: erased,
+        units,
+        cap,
+        trace,
+    };
     {
         let mut slot = match pool.slot.lock() {
             Ok(g) => g,
@@ -508,22 +544,11 @@ fn dispatch(units: usize, cap: usize, func: &(dyn Fn(usize) + Sync)) -> bool {
         }
         pool.next_unit.store(0, Ordering::SeqCst);
         slot.generation = slot.generation.wrapping_add(1);
-        slot.active = Some(ActiveJob {
-            func: erased,
-            units,
-            cap,
-        });
+        slot.active = Some(job);
         slot.participants = 1; // the dispatcher itself
         pool.work_cv.notify_all();
     }
-    claim_units(
-        pool,
-        ActiveJob {
-            func: erased,
-            units,
-            cap,
-        },
-    );
+    claim_units(pool, job, "pool/dispatcher.tasks");
     {
         let mut slot = match pool.slot.lock() {
             Ok(g) => g,
