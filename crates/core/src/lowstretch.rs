@@ -51,8 +51,7 @@ impl Ord for DijkstraItem {
         // Min-heap by key.
         other
             .key
-            .partial_cmp(&self.key)
-            .unwrap()
+            .total_cmp(&self.key)
             .then(other.vertex.cmp(&self.vertex))
     }
 }
@@ -85,7 +84,7 @@ pub fn low_stretch_tree(g: &Graph, opts: &LowStretchOptions) -> Vec<usize> {
         let m = num_clusters;
         // Median edge length scales the shifts.
         let mut lens: Vec<f64> = edges.iter().map(|&(_, _, _, l)| l).collect();
-        lens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        lens.sort_by(|a, b| a.total_cmp(b));
         let median = lens[lens.len() / 2];
         // Exponentially-shifted multi-source Dijkstra over the contracted
         // graph (adjacency rebuilt per round).

@@ -91,7 +91,7 @@ pub fn refine_gamma(g: &Graph, p: &Partition, opts: &RefineOptions) -> (Partitio
             let Some((&best_c, &best_w)) = per_cluster
                 .iter()
                 .filter(|&(&c, _)| c as usize != cur)
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .max_by(|a, b| a.1.total_cmp(b.1))
             else {
                 continue;
             };

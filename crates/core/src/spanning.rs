@@ -24,9 +24,9 @@ fn kruskal(g: &Graph, maximize: bool) -> Vec<usize> {
     let mut order: Vec<usize> = (0..g.num_edges()).collect();
     let edges = g.edges();
     if maximize {
-        order.sort_unstable_by(|&a, &b| edges[b].w.partial_cmp(&edges[a].w).unwrap());
+        order.sort_unstable_by(|&a, &b| edges[b].w.total_cmp(&edges[a].w));
     } else {
-        order.sort_unstable_by(|&a, &b| edges[a].w.partial_cmp(&edges[b].w).unwrap());
+        order.sort_unstable_by(|&a, &b| edges[a].w.total_cmp(&edges[b].w));
     }
     let mut uf = UnionFind::new(g.num_vertices());
     let mut picked = Vec::with_capacity(g.num_vertices().saturating_sub(1));
@@ -60,10 +60,7 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap by weight; tie-break on edge id for determinism.
-        self.w
-            .partial_cmp(&other.w)
-            .unwrap()
-            .then(self.eid.cmp(&other.eid))
+        self.w.total_cmp(&other.w).then(self.eid.cmp(&other.eid))
     }
 }
 

@@ -1,0 +1,1778 @@
+//! The exploration engine: deterministic scheduler, DFS over the schedule
+//! tree with dynamic partial-order reduction, and a small axiomatic memory
+//! model (per-variable store histories with release/acquire synchronization
+//! clocks).
+//!
+//! ## Execution architecture
+//!
+//! Model threads are real OS threads (reused "runner" threads), but only
+//! one ever runs user code at a time. Every shadow operation goes through
+//! an announce/grant handshake on a single shared mutex:
+//!
+//! 1. the thread announces its pending operation and parks on a condvar;
+//! 2. the explorer, once every live thread has announced, picks the next
+//!    thread (a *schedule decision*) and grants it;
+//! 3. the granted thread executes the operation's effect on the model
+//!    state under the lock, then keeps running user code until its next
+//!    operation.
+//!
+//! The sequence of decisions forms a path in a DFS tree kept in
+//! [`Engine::stack`]. After each execution the deepest decision with an
+//! untried alternative is advanced and the prefix is replayed. Schedule
+//! decisions carry DPOR backtrack sets (Flanagan–Godefroid): when thread
+//! `p` executes an operation dependent on an earlier operation of thread
+//! `q`, `p` is added to the backtrack set of the decision just before
+//! `q`'s operation. Value decisions (which store a relaxed load reads
+//! from) are always explored exhaustively and never pruned.
+//!
+//! ## Failure handling
+//!
+//! The first failure (assertion, data race, deadlock, step budget) stops
+//! the exploration. Once the abort flag is set, `perform` never blocks
+//! and never unwinds: every operation takes an effect-only fast path so
+//! drop-time operations of an already-unwinding thread cannot double
+//! panic, and remaining threads free-run to completion. A thread that
+//! reaches a condvar wait after the abort parks forever instead (its
+//! runner is intentionally leaked — the process is about to report the
+//! counterexample and exit). Models should therefore block on condvars
+//! rather than spin on loads, so aborted executions wind down.
+//!
+//! ## Memory model
+//!
+//! Each atomic variable keeps its full modification order as a vector of
+//! stores. A store records the writer's clock (`seen`) and, when it is a
+//! release operation, a synchronization clock (`sync`) that acquire loads
+//! join into their thread clock. Read-modify-writes always read the
+//! latest store and inherit the previous store's `sync` clock, modeling
+//! release sequences. A plain load may read from any store that is not
+//! hidden by coherence: per-(thread, variable) floors rule out stores the
+//! thread already passed, and a store is hidden when a later store's
+//! `seen` clock is `<=` the reading thread's clock. `SeqCst` is treated
+//! as `AcqRel` — a documented simplification; no certified protocol in
+//! this workspace relies on the seqcst total order beyond RMW atomicity.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::vclock::VClock;
+use crate::{Config, Counterexample, Outcome, Report};
+
+/// Panic payload used to unwind a model thread that woke into a stale
+/// epoch (defense in depth; clean executions end with every thread
+/// finished, so this should never fire).
+pub(crate) struct ModelAbort;
+
+// ---------------------------------------------------------------------------
+// Thread-local model context
+// ---------------------------------------------------------------------------
+
+struct Ctx {
+    shared: Arc<Shared>,
+    tid: usize,
+    epoch: u64,
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// `true` iff the calling OS thread is currently executing inside a model
+/// exploration. Shadow types pass through to the real primitive when this
+/// is `false`.
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow().as_ref().map(f))
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RmwKind {
+    Add,
+    Sub,
+    Or,
+    And,
+    Xor,
+    Max,
+    Min,
+    Swap,
+}
+
+impl RmwKind {
+    fn apply(self, prev: u64, operand: u64) -> u64 {
+        match self {
+            RmwKind::Add => prev.wrapping_add(operand),
+            RmwKind::Sub => prev.wrapping_sub(operand),
+            RmwKind::Or => prev | operand,
+            RmwKind::And => prev & operand,
+            RmwKind::Xor => prev ^ operand,
+            RmwKind::Max => prev.max(operand),
+            RmwKind::Min => prev.min(operand),
+            RmwKind::Swap => operand,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            RmwKind::Add => "fetch_add",
+            RmwKind::Sub => "fetch_sub",
+            RmwKind::Or => "fetch_or",
+            RmwKind::And => "fetch_and",
+            RmwKind::Xor => "fetch_xor",
+            RmwKind::Max => "fetch_max",
+            RmwKind::Min => "fetch_min",
+            RmwKind::Swap => "swap",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub(crate) enum Op {
+    Load {
+        addr: usize,
+        init: u64,
+        acquire: bool,
+    },
+    Store {
+        addr: usize,
+        init: u64,
+        val: u64,
+        release: bool,
+    },
+    Rmw {
+        addr: usize,
+        init: u64,
+        kind: RmwKind,
+        operand: u64,
+        acquire: bool,
+        release: bool,
+    },
+    Cas {
+        addr: usize,
+        init: u64,
+        expect: u64,
+        new: u64,
+        acquire: bool,
+        release: bool,
+        fail_acquire: bool,
+    },
+    CellRead {
+        addr: usize,
+    },
+    CellWrite {
+        addr: usize,
+    },
+    Lock {
+        addr: usize,
+    },
+    Unlock {
+        addr: usize,
+    },
+    CvWait {
+        cv: usize,
+        mutex: usize,
+    },
+    CvNotify {
+        cv: usize,
+        all: bool,
+    },
+    Spawn,
+    Join {
+        target: usize,
+    },
+    Finish,
+}
+
+fn is_acquire(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+#[derive(Debug)]
+pub(crate) enum OpResult {
+    Unit,
+    Val(u64),
+    Cas(Result<u64, u64>),
+    Spawned(usize),
+}
+
+/// Object identity + access class used for the DPOR dependence relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Obj {
+    Var(usize),
+    Mutex(usize),
+    Cv(usize),
+    Cell(usize),
+    Thread(usize),
+    None,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Access {
+    Read,
+    Write,
+    Sync,
+    /// Mutex release. Never co-enabled with a competing operation on the
+    /// same mutex (the contender's lock is blocked while the holder can
+    /// release), so it creates no DPOR backtrack points — without this
+    /// refinement the backward scan stops at the unlock (where only the
+    /// holder is runnable) and never reaches the lock-vs-lock decision
+    /// that actually reorders acquisitions (e.g. ABBA deadlocks).
+    Free,
+}
+
+fn dependent(a: (Obj, Access), b: (Obj, Access)) -> bool {
+    a.0 != Obj::None
+        && a.0 == b.0
+        && !(a.1 == Access::Read && b.1 == Access::Read)
+        && a.1 != Access::Free
+        && b.1 != Access::Free
+}
+
+// ---------------------------------------------------------------------------
+// Model state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Store {
+    val: u64,
+    /// Writer's clock at the store: used for coherence/visibility.
+    seen: VClock,
+    /// Release clock joined by acquire loads (release sequences included).
+    sync: Option<VClock>,
+}
+
+struct VarState {
+    stores: Vec<Store>,
+}
+
+struct MutexState {
+    locked_by: Option<usize>,
+    /// Accumulated release clock: every lock acquisition happens-after all
+    /// prior unlocks of the same mutex (they are totally ordered).
+    clock: VClock,
+}
+
+struct CvState {
+    waiters: Vec<usize>,
+}
+
+struct CellState {
+    last_write: Option<(usize, u32)>,
+    reads: Vec<(usize, u32)>,
+}
+
+#[derive(Clone, Debug)]
+enum TStat {
+    /// Spawned but has not announced its first operation yet; the
+    /// scheduler defers all decisions until no thread is `Starting`, so
+    /// the enabled set is deterministic.
+    Starting,
+    Want(Op),
+    CvWait {
+        cv: usize,
+        mutex: usize,
+    },
+    Finished,
+}
+
+struct MThread {
+    stat: TStat,
+    granted: bool,
+    clock: VClock,
+    /// Per-variable minimum modification-order index this thread may
+    /// still read (coherence floor).
+    floor: HashMap<usize, usize>,
+}
+
+struct Decision {
+    /// `true` for a value (read-from) decision, `false` for a schedule
+    /// decision.
+    read: bool,
+    /// Enabled thread ids (schedule) or candidate store indices (read),
+    /// in deterministic ascending order.
+    options: Vec<usize>,
+    chosen: usize,
+    explored: BTreeSet<usize>,
+    /// DPOR backtrack set (schedule decisions only).
+    backtrack: BTreeSet<usize>,
+    /// Preemptions accumulated strictly before this decision.
+    preempt_before: u32,
+    /// Thread that ran the previous schedule decision (for preemption
+    /// accounting).
+    prev_tid: Option<usize>,
+    step_tid: usize,
+    step_sig: (Obj, Access),
+}
+
+struct Failure {
+    kind: &'static str,
+    message: String,
+    trace: String,
+    schedule: String,
+}
+
+enum DispatchOutcome {
+    Dispatched,
+    NoEnabled,
+    Failed,
+}
+
+pub(crate) struct Engine {
+    cfg: Config,
+    // --- persistent across executions -------------------------------------
+    stack: Vec<Decision>,
+    schedules: u64,
+    transitions: u64,
+    max_depth: usize,
+    max_threads: usize,
+    bounded_pruned: bool,
+    failure: Option<Failure>,
+    epoch: u64,
+    // --- per-execution ----------------------------------------------------
+    cursor: usize,
+    threads: Vec<MThread>,
+    active: Option<usize>,
+    starting: usize,
+    abort: bool,
+    steps: u64,
+    cur_preempt: u32,
+    last_sched: Option<usize>,
+    vars: HashMap<usize, usize>,
+    var_states: Vec<VarState>,
+    mutexes: HashMap<usize, usize>,
+    mutex_states: Vec<MutexState>,
+    cvs: HashMap<usize, usize>,
+    cv_states: Vec<CvState>,
+    cells: HashMap<usize, usize>,
+    cell_states: Vec<CellState>,
+    trace: Vec<(usize, String)>,
+}
+
+impl Engine {
+    fn new(cfg: Config) -> Self {
+        Engine {
+            cfg,
+            stack: Vec::new(),
+            schedules: 0,
+            transitions: 0,
+            max_depth: 0,
+            max_threads: 0,
+            bounded_pruned: false,
+            failure: None,
+            epoch: 0,
+            cursor: 0,
+            threads: Vec::new(),
+            active: None,
+            starting: 0,
+            abort: false,
+            steps: 0,
+            cur_preempt: 0,
+            last_sched: None,
+            vars: HashMap::new(),
+            var_states: Vec::new(),
+            mutexes: HashMap::new(),
+            mutex_states: Vec::new(),
+            cvs: HashMap::new(),
+            cv_states: Vec::new(),
+            cells: HashMap::new(),
+            cell_states: Vec::new(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// Resets per-execution state and registers the root thread. The DFS
+    /// stack and exploration statistics persist.
+    fn begin_execution(&mut self) {
+        self.epoch += 1;
+        self.cursor = 0;
+        self.threads.clear();
+        self.active = None;
+        self.starting = 0;
+        self.abort = false;
+        self.steps = 0;
+        self.cur_preempt = 0;
+        self.last_sched = None;
+        self.vars.clear();
+        self.var_states.clear();
+        self.mutexes.clear();
+        self.mutex_states.clear();
+        self.cvs.clear();
+        self.cv_states.clear();
+        self.cells.clear();
+        self.cell_states.clear();
+        self.trace.clear();
+        self.new_thread_entry(None);
+    }
+
+    fn new_thread_entry(&mut self, parent: Option<usize>) -> usize {
+        let tid = self.threads.len();
+        let mut clock = match parent {
+            Some(p) => self.threads[p].clock.clone(),
+            None => VClock::new(),
+        };
+        clock.tick(tid);
+        self.threads.push(MThread {
+            stat: TStat::Starting,
+            granted: false,
+            clock,
+            floor: HashMap::new(),
+        });
+        self.starting += 1;
+        self.max_threads = self.max_threads.max(self.threads.len());
+        tid
+    }
+
+    /// Marks a thread finished, fixing up the `starting` counter if it
+    /// never announced.
+    fn retire_thread(&mut self, tid: usize) {
+        let was_starting = self
+            .threads
+            .get(tid)
+            .map(|t| matches!(t.stat, TStat::Starting))
+            .unwrap_or(false);
+        if was_starting {
+            self.starting -= 1;
+        }
+        if let Some(t) = self.threads.get_mut(tid) {
+            t.stat = TStat::Finished;
+        }
+        if self.active == Some(tid) {
+            self.active = None;
+        }
+    }
+
+    // --- identity registration --------------------------------------------
+
+    fn var_for(&mut self, addr: usize, init: u64) -> usize {
+        if let Some(&id) = self.vars.get(&addr) {
+            return id;
+        }
+        let id = self.var_states.len();
+        self.vars.insert(addr, id);
+        self.var_states.push(VarState {
+            stores: vec![Store {
+                val: init,
+                seen: VClock::new(),
+                sync: None,
+            }],
+        });
+        id
+    }
+
+    fn mutex_for(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.mutexes.get(&addr) {
+            return id;
+        }
+        let id = self.mutex_states.len();
+        self.mutexes.insert(addr, id);
+        self.mutex_states.push(MutexState {
+            locked_by: None,
+            clock: VClock::new(),
+        });
+        id
+    }
+
+    fn cv_for(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.cvs.get(&addr) {
+            return id;
+        }
+        let id = self.cv_states.len();
+        self.cvs.insert(addr, id);
+        self.cv_states.push(CvState {
+            waiters: Vec::new(),
+        });
+        id
+    }
+
+    fn cell_for(&mut self, addr: usize) -> usize {
+        if let Some(&id) = self.cells.get(&addr) {
+            return id;
+        }
+        let id = self.cell_states.len();
+        self.cells.insert(addr, id);
+        self.cell_states.push(CellState {
+            last_write: None,
+            reads: Vec::new(),
+        });
+        id
+    }
+
+    fn mutex_addr(&self, id: usize) -> usize {
+        for (&addr, &mid) in &self.mutexes {
+            if mid == id {
+                return addr;
+            }
+        }
+        0
+    }
+
+    // --- failure recording -------------------------------------------------
+
+    fn schedule_string(&self) -> String {
+        let mut s = String::new();
+        for d in &self.stack[..self.cursor.min(self.stack.len())] {
+            if !s.is_empty() {
+                s.push(',');
+            }
+            s.push(if d.read { 'r' } else { 't' });
+            s.push_str(&d.chosen.to_string());
+        }
+        s
+    }
+
+    fn render_trace(&self) -> String {
+        let mut out = String::new();
+        for (i, (tid, desc)) in self.trace.iter().enumerate() {
+            out.push_str(&format!("  #{i:<3} t{tid}: {desc}\n"));
+        }
+        out
+    }
+
+    fn record_failure(&mut self, kind: &'static str, message: String) {
+        if self.failure.is_some() {
+            return;
+        }
+        self.failure = Some(Failure {
+            kind,
+            message,
+            trace: self.render_trace(),
+            schedule: self.schedule_string(),
+        });
+        self.abort = true;
+    }
+
+    // --- scheduling --------------------------------------------------------
+
+    fn op_enabled(&self, op: &Op) -> bool {
+        match op {
+            Op::Lock { addr } => match self.mutexes.get(addr) {
+                Some(&id) => self.mutex_states[id].locked_by.is_none(),
+                None => true,
+            },
+            Op::Join { target } => matches!(self.threads[*target].stat, TStat::Finished),
+            _ => true,
+        }
+    }
+
+    fn op_sig(&mut self, op: &Op, tid: usize) -> (Obj, Access) {
+        match op {
+            Op::Load { addr, init, .. } => (Obj::Var(self.var_for(*addr, *init)), Access::Read),
+            Op::Store { addr, init, .. }
+            | Op::Rmw { addr, init, .. }
+            | Op::Cas { addr, init, .. } => (Obj::Var(self.var_for(*addr, *init)), Access::Write),
+            Op::CellRead { addr } => (Obj::Cell(self.cell_for(*addr)), Access::Read),
+            Op::CellWrite { addr } => (Obj::Cell(self.cell_for(*addr)), Access::Write),
+            Op::Lock { addr } => (Obj::Mutex(self.mutex_for(*addr)), Access::Sync),
+            Op::Unlock { addr } => (Obj::Mutex(self.mutex_for(*addr)), Access::Free),
+            Op::CvWait { cv, .. } | Op::CvNotify { cv, .. } => {
+                (Obj::Cv(self.cv_for(*cv)), Access::Sync)
+            }
+            Op::Spawn => (Obj::None, Access::Sync),
+            Op::Join { target } => (Obj::Thread(*target), Access::Sync),
+            Op::Finish => (Obj::Thread(tid), Access::Sync),
+        }
+    }
+
+    fn dispatch(&mut self) -> DispatchOutcome {
+        let mut enabled: Vec<usize> = Vec::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            if let TStat::Want(op) = &t.stat {
+                if self.op_enabled(op) {
+                    enabled.push(i);
+                }
+            }
+        }
+        if enabled.is_empty() {
+            return DispatchOutcome::NoEnabled;
+        }
+        self.steps += 1;
+        if self.cfg.max_steps > 0 && self.steps > self.cfg.max_steps {
+            self.record_failure(
+                "step-budget",
+                format!(
+                    "execution exceeded {} scheduler steps (possible livelock)",
+                    self.cfg.max_steps
+                ),
+            );
+            return DispatchOutcome::Failed;
+        }
+        let chosen;
+        if self.cursor < self.stack.len() {
+            let d = &self.stack[self.cursor];
+            if d.read || d.options != enabled {
+                let msg = format!(
+                    "nondeterministic replay at decision {}: enabled {:?} vs recorded {:?}",
+                    self.cursor, enabled, d.options
+                );
+                self.record_failure("internal", msg);
+                return DispatchOutcome::Failed;
+            }
+            chosen = d.chosen;
+        } else {
+            let prev = self.last_sched;
+            let default = match prev {
+                Some(p) if enabled.contains(&p) => p,
+                _ => enabled[0],
+            };
+            let mut explored = BTreeSet::new();
+            explored.insert(default);
+            let backtrack = if self.cfg.full_schedule_points {
+                enabled.iter().copied().collect()
+            } else {
+                explored.clone()
+            };
+            self.stack.push(Decision {
+                read: false,
+                options: enabled.clone(),
+                chosen: default,
+                explored,
+                backtrack,
+                preempt_before: self.cur_preempt,
+                prev_tid: prev,
+                step_tid: default,
+                step_sig: (Obj::None, Access::Sync),
+            });
+            chosen = default;
+        }
+        let op = match &self.threads[chosen].stat {
+            TStat::Want(op) => op.clone(),
+            other => {
+                let msg = format!("granted thread t{chosen} not announced (state {other:?})");
+                self.record_failure("internal", msg);
+                return DispatchOutcome::Failed;
+            }
+        };
+        let sig = self.op_sig(&op, chosen);
+        let idx = self.cursor;
+        {
+            let d = &mut self.stack[idx];
+            d.step_tid = chosen;
+            d.step_sig = sig;
+            let is_p = match d.prev_tid {
+                Some(p) => p != chosen && d.options.contains(&p),
+                None => false,
+            };
+            self.cur_preempt = d.preempt_before + u32::from(is_p);
+        }
+        // DPOR: add `chosen` to the backtrack set of the latest earlier
+        // schedule decision whose step is dependent with this one.
+        if !self.cfg.full_schedule_points {
+            for e in (0..idx).rev() {
+                if self.stack[e].read {
+                    continue;
+                }
+                if self.stack[e].step_tid != chosen && dependent(self.stack[e].step_sig, sig) {
+                    if self.stack[e].options.contains(&chosen) {
+                        self.stack[e].backtrack.insert(chosen);
+                    } else {
+                        let opts: Vec<usize> = self.stack[e].options.clone();
+                        self.stack[e].backtrack.extend(opts);
+                    }
+                    break;
+                }
+            }
+        }
+        self.cursor += 1;
+        self.transitions += 1;
+        self.max_depth = self.max_depth.max(self.stack.len());
+        self.last_sched = Some(chosen);
+        self.threads[chosen].granted = true;
+        self.active = Some(chosen);
+        DispatchOutcome::Dispatched
+    }
+
+    /// A schedule alternative is admissible under the preemption bound if
+    /// taking it does not push the path's preemption count past the bound.
+    fn alt_admissible(&self, d: &Decision, alt: usize) -> bool {
+        match self.cfg.preemption_bound {
+            None => true,
+            Some(b) => {
+                let is_p = match d.prev_tid {
+                    Some(p) => p != alt && d.options.contains(&p),
+                    None => false,
+                };
+                d.preempt_before + u32::from(is_p) <= b
+            }
+        }
+    }
+
+    /// Moves to the next unexplored path: advances the deepest decision
+    /// with an untried alternative, popping exhausted decisions. Returns
+    /// `false` when the whole tree is explored.
+    fn advance(&mut self) -> bool {
+        loop {
+            let pool: Vec<usize> = {
+                let Some(d) = self.stack.last() else {
+                    return false;
+                };
+                if d.read {
+                    d.options
+                        .iter()
+                        .copied()
+                        .filter(|o| !d.explored.contains(o))
+                        .collect()
+                } else {
+                    let mut p: Vec<usize> = d
+                        .backtrack
+                        .iter()
+                        .copied()
+                        .filter(|o| !d.explored.contains(o))
+                        .collect();
+                    let before = p.len();
+                    p.retain(|&o| self.alt_admissible(d, o));
+                    if p.len() != before {
+                        self.bounded_pruned = true;
+                    }
+                    p
+                }
+            };
+            match pool.first() {
+                Some(&alt) => {
+                    if let Some(d) = self.stack.last_mut() {
+                        d.explored.insert(alt);
+                        d.chosen = alt;
+                    }
+                    return true;
+                }
+                None => {
+                    self.stack.pop();
+                }
+            }
+        }
+    }
+
+    // --- value decisions ---------------------------------------------------
+
+    /// Picks which store a load reads from. `candidates` are modification
+    /// order indices, ascending. Consumes a replayed decision or pushes a
+    /// new one (default: the latest store, so the first execution follows
+    /// the natural sequentially consistent path).
+    fn choose_read(&mut self, candidates: &[usize]) -> Option<usize> {
+        if candidates.len() == 1 {
+            return Some(candidates[0]);
+        }
+        if self.cursor < self.stack.len() {
+            let d = &self.stack[self.cursor];
+            if d.read && d.options == candidates {
+                let chosen = d.chosen;
+                self.cursor += 1;
+                return Some(chosen);
+            }
+            let msg = format!(
+                "nondeterministic replay at value decision {}: candidates {:?} vs recorded {:?}",
+                self.cursor, candidates, d.options
+            );
+            self.record_failure("internal", msg);
+            return None;
+        }
+        let default = *candidates.last()?;
+        let mut explored = BTreeSet::new();
+        explored.insert(default);
+        self.stack.push(Decision {
+            read: true,
+            options: candidates.to_vec(),
+            chosen: default,
+            explored,
+            backtrack: BTreeSet::new(),
+            preempt_before: self.cur_preempt,
+            prev_tid: self.last_sched,
+            step_tid: self.last_sched.unwrap_or(0),
+            step_sig: (Obj::None, Access::Read),
+        });
+        self.cursor += 1;
+        self.max_depth = self.max_depth.max(self.stack.len());
+        Some(default)
+    }
+
+    /// Candidate stores for a load by `tid`: every store at or after both
+    /// the thread's coherence floor and the latest store already known
+    /// (happens-before) to the thread.
+    fn load_candidates(&self, tid: usize, var: usize) -> Vec<usize> {
+        let stores = &self.var_states[var].stores;
+        let clock = &self.threads[tid].clock;
+        let mut known = 0;
+        for (i, s) in stores.iter().enumerate().rev() {
+            if s.seen.le(clock) {
+                known = i;
+                break;
+            }
+        }
+        let floor = self.threads[tid].floor.get(&var).copied().unwrap_or(0);
+        let lo = known.max(floor);
+        (lo..stores.len()).collect()
+    }
+
+    // --- operation effects -------------------------------------------------
+
+    fn execute(&mut self, tid: usize, op: &Op) -> OpResult {
+        self.threads[tid].clock.tick(tid);
+        match op {
+            Op::Load {
+                addr,
+                init,
+                acquire,
+            } => {
+                let var = self.var_for(*addr, *init);
+                let cands = self.load_candidates(tid, var);
+                let chosen = match self.choose_read(&cands) {
+                    Some(c) => c,
+                    None => return OpResult::Val(*init),
+                };
+                let (val, sync) = {
+                    let s = &self.var_states[var].stores[chosen];
+                    (s.val, s.sync.clone())
+                };
+                self.threads[tid].floor.insert(var, chosen);
+                if *acquire {
+                    if let Some(sc) = &sync {
+                        self.threads[tid].clock.join(sc);
+                    }
+                }
+                self.trace.push((
+                    tid,
+                    format!(
+                        "v{var}.load({}) -> {val:#x} [store #{chosen}]",
+                        if *acquire { "Acquire" } else { "Relaxed" }
+                    ),
+                ));
+                OpResult::Val(val)
+            }
+            Op::Store {
+                addr,
+                init,
+                val,
+                release,
+            } => {
+                let var = self.var_for(*addr, *init);
+                let sync = if *release {
+                    Some(self.threads[tid].clock.clone())
+                } else {
+                    None
+                };
+                let seen = self.threads[tid].clock.clone();
+                let stores = &mut self.var_states[var].stores;
+                stores.push(Store {
+                    val: *val,
+                    seen,
+                    sync,
+                });
+                let idx = stores.len() - 1;
+                self.threads[tid].floor.insert(var, idx);
+                self.trace.push((
+                    tid,
+                    format!(
+                        "v{var}.store({val:#x}, {})",
+                        if *release { "Release" } else { "Relaxed" }
+                    ),
+                ));
+                OpResult::Unit
+            }
+            Op::Rmw {
+                addr,
+                init,
+                kind,
+                operand,
+                acquire,
+                release,
+            } => {
+                let var = self.var_for(*addr, *init);
+                let (prev, prev_sync) = {
+                    let stores = &self.var_states[var].stores;
+                    let last = &stores[stores.len() - 1];
+                    (last.val, last.sync.clone())
+                };
+                if *acquire {
+                    if let Some(sc) = &prev_sync {
+                        self.threads[tid].clock.join(sc);
+                    }
+                }
+                let new = kind.apply(prev, *operand);
+                let sync = match (*release, prev_sync) {
+                    (true, Some(mut ps)) => {
+                        ps.join(&self.threads[tid].clock);
+                        Some(ps)
+                    }
+                    (true, None) => Some(self.threads[tid].clock.clone()),
+                    // A non-release RMW continues the release sequence of
+                    // the store it replaces.
+                    (false, ps) => ps,
+                };
+                let seen = self.threads[tid].clock.clone();
+                let stores = &mut self.var_states[var].stores;
+                stores.push(Store {
+                    val: new,
+                    seen,
+                    sync,
+                });
+                let idx = stores.len() - 1;
+                self.threads[tid].floor.insert(var, idx);
+                self.trace.push((
+                    tid,
+                    format!("v{var}.{}({operand:#x}) -> {prev:#x}", kind.name()),
+                ));
+                OpResult::Val(prev)
+            }
+            Op::Cas {
+                addr,
+                init,
+                expect,
+                new,
+                acquire,
+                release,
+                fail_acquire,
+            } => {
+                let var = self.var_for(*addr, *init);
+                let (prev, prev_sync, last_idx) = {
+                    let stores = &self.var_states[var].stores;
+                    let last_idx = stores.len() - 1;
+                    (
+                        stores[last_idx].val,
+                        stores[last_idx].sync.clone(),
+                        last_idx,
+                    )
+                };
+                if prev == *expect {
+                    if *acquire {
+                        if let Some(sc) = &prev_sync {
+                            self.threads[tid].clock.join(sc);
+                        }
+                    }
+                    let sync = match (*release, prev_sync) {
+                        (true, Some(mut ps)) => {
+                            ps.join(&self.threads[tid].clock);
+                            Some(ps)
+                        }
+                        (true, None) => Some(self.threads[tid].clock.clone()),
+                        (false, ps) => ps,
+                    };
+                    let seen = self.threads[tid].clock.clone();
+                    let stores = &mut self.var_states[var].stores;
+                    stores.push(Store {
+                        val: *new,
+                        seen,
+                        sync,
+                    });
+                    let idx = stores.len() - 1;
+                    self.threads[tid].floor.insert(var, idx);
+                    self.trace.push((
+                        tid,
+                        format!("v{var}.compare_exchange({expect:#x} -> {new:#x}) ok"),
+                    ));
+                    OpResult::Cas(Ok(prev))
+                } else {
+                    // A failed CAS acts as a load of the latest store (a
+                    // sound under-approximation of a C11 failed CAS).
+                    self.threads[tid].floor.insert(var, last_idx);
+                    if *fail_acquire {
+                        if let Some(sc) = &prev_sync {
+                            self.threads[tid].clock.join(sc);
+                        }
+                    }
+                    self.trace.push((
+                        tid,
+                        format!("v{var}.compare_exchange({expect:#x}) failed, read {prev:#x}"),
+                    ));
+                    OpResult::Cas(Err(prev))
+                }
+            }
+            Op::CellRead { addr } => {
+                let cell = self.cell_for(*addr);
+                let clock = self.threads[tid].clock.clone();
+                let race = {
+                    let c = &self.cell_states[cell];
+                    c.last_write
+                        .filter(|&(w, at)| w != tid && clock.get(w) < at)
+                };
+                if let Some((w, _)) = race {
+                    self.trace
+                        .push((tid, format!("c{cell}.read() RACES with write by t{w}")));
+                    self.record_failure(
+                        "data-race",
+                        format!("t{tid} read of cell c{cell} races with t{w}'s write"),
+                    );
+                    return OpResult::Unit;
+                }
+                let me = clock.get(tid);
+                let c = &mut self.cell_states[cell];
+                c.reads.retain(|&(t, _)| t != tid);
+                c.reads.push((tid, me));
+                self.trace.push((tid, format!("c{cell}.read()")));
+                OpResult::Unit
+            }
+            Op::CellWrite { addr } => {
+                let cell = self.cell_for(*addr);
+                let clock = self.threads[tid].clock.clone();
+                let mut race: Option<(usize, &'static str)> = None;
+                {
+                    let c = &self.cell_states[cell];
+                    if let Some((w, at)) = c.last_write {
+                        if w != tid && clock.get(w) < at {
+                            race = Some((w, "write"));
+                        }
+                    }
+                    if race.is_none() {
+                        for &(r, at) in &c.reads {
+                            if r != tid && clock.get(r) < at {
+                                race = Some((r, "read"));
+                                break;
+                            }
+                        }
+                    }
+                }
+                if let Some((other, what)) = race {
+                    self.trace.push((
+                        tid,
+                        format!("c{cell}.write() RACES with {what} by t{other}"),
+                    ));
+                    self.record_failure(
+                        "data-race",
+                        format!("t{tid} write of cell c{cell} races with t{other}'s {what}"),
+                    );
+                    return OpResult::Unit;
+                }
+                let me = clock.get(tid);
+                let c = &mut self.cell_states[cell];
+                c.last_write = Some((tid, me));
+                c.reads.clear();
+                self.trace.push((tid, format!("c{cell}.write()")));
+                OpResult::Unit
+            }
+            Op::Lock { addr } => {
+                let m = self.mutex_for(*addr);
+                let mclock = self.mutex_states[m].clock.clone();
+                self.mutex_states[m].locked_by = Some(tid);
+                self.threads[tid].clock.join(&mclock);
+                self.trace.push((tid, format!("m{m}.lock()")));
+                OpResult::Unit
+            }
+            Op::Unlock { addr } => {
+                let m = self.mutex_for(*addr);
+                let tclock = self.threads[tid].clock.clone();
+                self.mutex_states[m].locked_by = None;
+                self.mutex_states[m].clock.join(&tclock);
+                self.trace.push((tid, format!("m{m}.unlock()")));
+                OpResult::Unit
+            }
+            Op::CvWait { cv, mutex } => {
+                let c = self.cv_for(*cv);
+                let m = self.mutex_for(*mutex);
+                let tclock = self.threads[tid].clock.clone();
+                self.mutex_states[m].locked_by = None;
+                self.mutex_states[m].clock.join(&tclock);
+                self.cv_states[c].waiters.push(tid);
+                self.threads[tid].stat = TStat::CvWait { cv: c, mutex: m };
+                self.active = None;
+                self.trace
+                    .push((tid, format!("cv{c}.wait() [releases m{m}]")));
+                OpResult::Unit
+            }
+            Op::CvNotify { cv, all } => {
+                let c = self.cv_for(*cv);
+                let woken: Vec<usize> = if *all {
+                    std::mem::take(&mut self.cv_states[c].waiters)
+                } else if self.cv_states[c].waiters.is_empty() {
+                    Vec::new()
+                } else {
+                    // notify_one wakes the longest waiter (FIFO); a
+                    // deterministic refinement of the real nondeterminism.
+                    vec![self.cv_states[c].waiters.remove(0)]
+                };
+                for w in &woken {
+                    if let TStat::CvWait { mutex, .. } = self.threads[*w].stat {
+                        let addr = self.mutex_addr(mutex);
+                        self.threads[*w].stat = TStat::Want(Op::Lock { addr });
+                    }
+                }
+                self.trace.push((
+                    tid,
+                    format!(
+                        "cv{c}.notify_{}() wakes {woken:?}",
+                        if *all { "all" } else { "one" }
+                    ),
+                ));
+                OpResult::Unit
+            }
+            Op::Spawn => {
+                let child = self.new_thread_entry(Some(tid));
+                self.trace.push((tid, format!("spawn -> t{child}")));
+                OpResult::Spawned(child)
+            }
+            Op::Join { target } => {
+                let tclock = self.threads[*target].clock.clone();
+                self.threads[tid].clock.join(&tclock);
+                self.trace.push((tid, format!("join(t{target})")));
+                OpResult::Unit
+            }
+            Op::Finish => {
+                self.threads[tid].stat = TStat::Finished;
+                self.active = None;
+                self.trace.push((tid, "finish".to_string()));
+                OpResult::Unit
+            }
+        }
+    }
+
+    /// Effect-only execution once the abort flag is set: no handshake, no
+    /// decisions, no trace, never blocks, never unwinds (so drop-time
+    /// operations of an unwinding thread are safe).
+    fn execute_abort(&mut self, tid: usize, op: &Op) -> OpResult {
+        match op {
+            Op::Load { addr, init, .. } => {
+                let var = self.var_for(*addr, *init);
+                let stores = &self.var_states[var].stores;
+                OpResult::Val(stores[stores.len() - 1].val)
+            }
+            Op::Store {
+                addr, init, val, ..
+            } => {
+                let var = self.var_for(*addr, *init);
+                self.var_states[var].stores.push(Store {
+                    val: *val,
+                    seen: VClock::new(),
+                    sync: None,
+                });
+                OpResult::Unit
+            }
+            Op::Rmw {
+                addr,
+                init,
+                kind,
+                operand,
+                ..
+            } => {
+                let var = self.var_for(*addr, *init);
+                let prev = {
+                    let stores = &self.var_states[var].stores;
+                    stores[stores.len() - 1].val
+                };
+                self.var_states[var].stores.push(Store {
+                    val: kind.apply(prev, *operand),
+                    seen: VClock::new(),
+                    sync: None,
+                });
+                OpResult::Val(prev)
+            }
+            Op::Cas {
+                addr,
+                init,
+                expect,
+                new,
+                ..
+            } => {
+                let var = self.var_for(*addr, *init);
+                let prev = {
+                    let stores = &self.var_states[var].stores;
+                    stores[stores.len() - 1].val
+                };
+                if prev == *expect {
+                    self.var_states[var].stores.push(Store {
+                        val: *new,
+                        seen: VClock::new(),
+                        sync: None,
+                    });
+                    OpResult::Cas(Ok(prev))
+                } else {
+                    OpResult::Cas(Err(prev))
+                }
+            }
+            Op::Lock { addr } => {
+                let m = self.mutex_for(*addr);
+                self.mutex_states[m].locked_by = Some(tid);
+                OpResult::Unit
+            }
+            Op::Unlock { addr } => {
+                let m = self.mutex_for(*addr);
+                self.mutex_states[m].locked_by = None;
+                OpResult::Unit
+            }
+            Op::Finish => {
+                self.retire_thread(tid);
+                OpResult::Unit
+            }
+            _ => OpResult::Unit,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner pool
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolQ {
+    jobs: VecDeque<Job>,
+    closing: bool,
+    idle: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+pub(crate) struct RunnerPool {
+    q: Mutex<PoolQ>,
+    cv: Condvar,
+}
+
+impl RunnerPool {
+    fn new() -> Self {
+        RunnerPool {
+            q: Mutex::new(PoolQ {
+                jobs: VecDeque::new(),
+                closing: false,
+                idle: 0,
+                handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_q(&self) -> MutexGuard<'_, PoolQ> {
+        match self.q.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+fn runner_loop(shared: Arc<Shared>) {
+    loop {
+        let job = {
+            let mut q = shared.pool.lock_q();
+            loop {
+                if q.closing {
+                    return;
+                }
+                if let Some(j) = q.jobs.pop_front() {
+                    break j;
+                }
+                q.idle += 1;
+                q = match shared.pool.cv.wait(q) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                q.idle -= 1;
+            }
+        };
+        job();
+    }
+}
+
+/// Queues `job`, spawning a fresh runner thread when no idle runner is
+/// guaranteed to pick it up.
+fn submit(shared: &Arc<Shared>, job: Job) -> std::io::Result<()> {
+    let need_spawn = {
+        let mut q = shared.pool.lock_q();
+        q.jobs.push_back(job);
+        !q.closing && q.idle < q.jobs.len()
+    };
+    if need_spawn {
+        let s = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("hicond-model-runner".to_string())
+            .spawn(move || runner_loop(s))?;
+        shared.pool.lock_q().handles.push(handle);
+    }
+    shared.pool.cv.notify_all();
+    Ok(())
+}
+
+/// Joins all runner threads. Must only be called after a clean (failure
+/// free) exploration: on a counterexample some runners may be parked
+/// forever by design, and the pool is leaked instead.
+fn shutdown_pool(shared: &Arc<Shared>) {
+    let handles = {
+        let mut q = shared.pool.lock_q();
+        q.closing = true;
+        std::mem::take(&mut q.handles)
+    };
+    shared.pool.cv.notify_all();
+    for h in handles {
+        let _ = h.join();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared handle + thread lifecycle
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Shared {
+    state: Mutex<Engine>,
+    cv: Condvar,
+    pool: RunnerPool,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Engine> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn wait<'a>(&self, g: MutexGuard<'a, Engine>) -> MutexGuard<'a, Engine> {
+        match self.cv.wait(g) {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// Launches a model thread body on a runner: sets the thread context,
+/// catches panics, and performs the finish/abort bookkeeping.
+fn launch(shared: &Arc<Shared>, tid: usize, epoch: u64, body: Job) -> std::io::Result<()> {
+    let shared_for_job = Arc::clone(shared);
+    let job: Job = Box::new(move || {
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                shared: Arc::clone(&shared_for_job),
+                tid,
+                epoch,
+            });
+        });
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(body));
+        CTX.with(|c| {
+            *c.borrow_mut() = None;
+        });
+        match result {
+            Ok(()) => {
+                // Normal completion: Finish is a modeled step so joins
+                // order after it.
+                perform(&shared_for_job, tid, epoch, Op::Finish);
+            }
+            Err(payload) => {
+                let mut st = shared_for_job.lock();
+                if st.epoch == epoch {
+                    if payload.downcast_ref::<ModelAbort>().is_none() {
+                        let msg = payload_message(payload.as_ref());
+                        st.record_failure("assertion", format!("t{tid} panicked: {msg}"));
+                    }
+                    st.retire_thread(tid);
+                    shared_for_job.cv.notify_all();
+                }
+            }
+        }
+    });
+    submit(shared, job)
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Parks the calling model thread forever (abort-mode condvar wait). The
+/// runner is intentionally leaked; exploration has already stopped.
+fn park_forever(shared: &Arc<Shared>, mut st: MutexGuard<'_, Engine>) -> ! {
+    loop {
+        st = shared.wait(st);
+    }
+}
+
+/// The announce/grant handshake: blocks until the scheduler grants this
+/// thread, then executes the operation's effect under the state lock.
+/// When `under_lock` is provided it runs while the state lock is still
+/// held (used by [`crate::RaceCell`] so its raw accesses stay mutually
+/// exclusive even in abort mode).
+pub(crate) fn perform_with(
+    shared: &Arc<Shared>,
+    tid: usize,
+    epoch: u64,
+    op: Op,
+    under_lock: Option<&mut dyn FnMut()>,
+) -> OpResult {
+    let mut st = shared.lock();
+    if st.epoch != epoch {
+        drop(st);
+        std::panic::resume_unwind(Box::new(ModelAbort));
+    }
+    if st.abort {
+        if matches!(op, Op::CvWait { .. }) {
+            // Nothing will ever notify; park so the caller's wait loop
+            // cannot spin hot.
+            park_forever(shared, st);
+        }
+        let was_starting = matches!(st.threads.get(tid).map(|t| &t.stat), Some(TStat::Starting));
+        if was_starting {
+            st.starting -= 1;
+        }
+        if st.active == Some(tid) {
+            st.active = None;
+        }
+        let r = st.execute_abort(tid, &op);
+        if let Some(f) = under_lock {
+            f();
+        }
+        shared.cv.notify_all();
+        return r;
+    }
+    // Announce.
+    if matches!(st.threads[tid].stat, TStat::Starting) {
+        st.starting -= 1;
+    }
+    let is_wait = matches!(op, Op::CvWait { .. });
+    st.threads[tid].stat = TStat::Want(op.clone());
+    if st.active == Some(tid) {
+        st.active = None;
+    }
+    shared.cv.notify_all();
+    // Wait for the grant.
+    loop {
+        if st.epoch != epoch {
+            drop(st);
+            std::panic::resume_unwind(Box::new(ModelAbort));
+        }
+        if st.abort {
+            if st.active == Some(tid) {
+                st.active = None;
+            }
+            let r = st.execute_abort(tid, &op);
+            if let Some(f) = under_lock {
+                f();
+            }
+            shared.cv.notify_all();
+            return r;
+        }
+        if st.threads[tid].granted {
+            break;
+        }
+        st = shared.wait(st);
+    }
+    st.threads[tid].granted = false;
+    let res = st.execute(tid, &op);
+    if st.abort {
+        // The op itself failed (e.g. a data race): fall through without
+        // blocking; the caller free-runs to completion.
+        if st.active == Some(tid) {
+            st.active = None;
+        }
+        if let Some(f) = under_lock {
+            f();
+        }
+        shared.cv.notify_all();
+        return res;
+    }
+    if let Some(f) = under_lock {
+        f();
+    }
+    if is_wait {
+        shared.cv.notify_all();
+        // Phase two of condvar wait: park until a notify re-arms us as a
+        // lock re-acquire and the scheduler grants it.
+        loop {
+            if st.epoch != epoch {
+                drop(st);
+                std::panic::resume_unwind(Box::new(ModelAbort));
+            }
+            if st.abort {
+                // Spurious wakeup; the caller's wait loop re-enters wait
+                // and parks in the abort fast path above.
+                shared.cv.notify_all();
+                return OpResult::Unit;
+            }
+            if st.threads[tid].granted {
+                break;
+            }
+            st = shared.wait(st);
+        }
+        st.threads[tid].granted = false;
+        let lock_op = match &st.threads[tid].stat {
+            TStat::Want(o) => o.clone(),
+            _ => Op::Finish,
+        };
+        let r = st.execute(tid, &lock_op);
+        shared.cv.notify_all();
+        return r;
+    }
+    shared.cv.notify_all();
+    res
+}
+
+pub(crate) fn perform(shared: &Arc<Shared>, tid: usize, epoch: u64, op: Op) -> OpResult {
+    perform_with(shared, tid, epoch, op, None)
+}
+
+// ---------------------------------------------------------------------------
+// Shadow-type entry points (pass-through when not in a model context)
+// ---------------------------------------------------------------------------
+
+pub(crate) fn model_load(addr: usize, init: u64, ord: Ordering) -> Option<u64> {
+    with_ctx(|ctx| {
+        let op = Op::Load {
+            addr,
+            init,
+            acquire: is_acquire(ord),
+        };
+        match perform(&ctx.shared, ctx.tid, ctx.epoch, op) {
+            OpResult::Val(v) => v,
+            _ => init,
+        }
+    })
+}
+
+pub(crate) fn model_store(addr: usize, init: u64, val: u64, ord: Ordering) -> Option<()> {
+    with_ctx(|ctx| {
+        let op = Op::Store {
+            addr,
+            init,
+            val,
+            release: is_release(ord),
+        };
+        perform(&ctx.shared, ctx.tid, ctx.epoch, op);
+    })
+}
+
+pub(crate) fn model_rmw(
+    addr: usize,
+    init: u64,
+    kind: RmwKind,
+    operand: u64,
+    ord: Ordering,
+) -> Option<u64> {
+    with_ctx(|ctx| {
+        let op = Op::Rmw {
+            addr,
+            init,
+            kind,
+            operand,
+            acquire: is_acquire(ord),
+            release: is_release(ord),
+        };
+        match perform(&ctx.shared, ctx.tid, ctx.epoch, op) {
+            OpResult::Val(v) => v,
+            _ => init,
+        }
+    })
+}
+
+pub(crate) fn model_cas(
+    addr: usize,
+    init: u64,
+    expect: u64,
+    new: u64,
+    success: Ordering,
+    failure: Ordering,
+) -> Option<Result<u64, u64>> {
+    with_ctx(|ctx| {
+        let op = Op::Cas {
+            addr,
+            init,
+            expect,
+            new,
+            acquire: is_acquire(success),
+            release: is_release(success),
+            fail_acquire: is_acquire(failure),
+        };
+        match perform(&ctx.shared, ctx.tid, ctx.epoch, op) {
+            OpResult::Cas(r) => r,
+            _ => Err(init),
+        }
+    })
+}
+
+/// Runs `access` (the raw cell read/write) under the model's state lock
+/// after happens-before race checking. Returns `false` when not in a
+/// model context (caller performs the access directly).
+pub(crate) fn model_cell_access(addr: usize, write: bool, access: &mut dyn FnMut()) -> bool {
+    with_ctx(|ctx| {
+        let op = if write {
+            Op::CellWrite { addr }
+        } else {
+            Op::CellRead { addr }
+        };
+        perform_with(&ctx.shared, ctx.tid, ctx.epoch, op, Some(access));
+    })
+    .is_some()
+}
+
+pub(crate) fn model_lock(addr: usize) -> bool {
+    with_ctx(|ctx| {
+        perform(&ctx.shared, ctx.tid, ctx.epoch, Op::Lock { addr });
+    })
+    .is_some()
+}
+
+pub(crate) fn model_unlock(addr: usize) -> bool {
+    with_ctx(|ctx| {
+        perform(&ctx.shared, ctx.tid, ctx.epoch, Op::Unlock { addr });
+    })
+    .is_some()
+}
+
+pub(crate) fn model_cv_wait(cv: usize, mutex: usize) -> bool {
+    with_ctx(|ctx| {
+        perform(&ctx.shared, ctx.tid, ctx.epoch, Op::CvWait { cv, mutex });
+    })
+    .is_some()
+}
+
+pub(crate) fn model_cv_notify(cv: usize, all: bool) -> bool {
+    with_ctx(|ctx| {
+        perform(&ctx.shared, ctx.tid, ctx.epoch, Op::CvNotify { cv, all });
+    })
+    .is_some()
+}
+
+/// Spawns a model thread running `f`; returns the child thread id, or
+/// `None` when not in a model context (or in abort mode, where the child
+/// body is skipped entirely).
+pub(crate) fn model_spawn(f: Job) -> Option<usize> {
+    let parts = with_ctx(|ctx| (Arc::clone(&ctx.shared), ctx.tid, ctx.epoch))?;
+    let (shared, tid, epoch) = parts;
+    let child = match perform(&shared, tid, epoch, Op::Spawn) {
+        OpResult::Spawned(c) => c,
+        _ => return None,
+    };
+    if let Err(e) = launch(&shared, child, epoch, f) {
+        let mut st = shared.lock();
+        st.retire_thread(child);
+        st.record_failure("internal", format!("failed to launch model thread: {e}"));
+        shared.cv.notify_all();
+    }
+    Some(child)
+}
+
+pub(crate) fn model_join(target: usize) -> bool {
+    with_ctx(|ctx| {
+        perform(&ctx.shared, ctx.tid, ctx.epoch, Op::Join { target });
+    })
+    .is_some()
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+// ---------------------------------------------------------------------------
+
+/// Drives one execution to completion: dispatches decisions until every
+/// thread finished, a failure aborted the run, or a deadlock is detected.
+fn drive(shared: &Arc<Shared>) {
+    let mut st = shared.lock();
+    loop {
+        if st.abort {
+            if st.active.is_none() && st.starting == 0 {
+                return;
+            }
+            st = shared.wait(st);
+            continue;
+        }
+        if st.threads.iter().all(|t| matches!(t.stat, TStat::Finished)) {
+            return;
+        }
+        if st.active.is_some() || st.starting > 0 {
+            st = shared.wait(st);
+            continue;
+        }
+        match st.dispatch() {
+            DispatchOutcome::Dispatched | DispatchOutcome::Failed => {
+                shared.cv.notify_all();
+            }
+            DispatchOutcome::NoEnabled => {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| !matches!(t.stat, TStat::Finished))
+                    .map(|(i, t)| match &t.stat {
+                        TStat::CvWait { cv, .. } => format!("t{i} waiting on cv{cv}"),
+                        TStat::Want(op) => format!("t{i} blocked on {op:?}"),
+                        _ => format!("t{i}"),
+                    })
+                    .collect();
+                st.record_failure(
+                    "deadlock",
+                    format!("no runnable thread; blocked: {}", blocked.join(", ")),
+                );
+                shared.cv.notify_all();
+            }
+        }
+    }
+}
+
+/// Runs the exhaustive exploration of `body` under `cfg`.
+pub(crate) fn explore_impl(cfg: Config, body: Arc<dyn Fn() + Send + Sync>) -> Report {
+    let name = cfg.name.to_string();
+    let shared = Arc::new(Shared {
+        state: Mutex::new(Engine::new(cfg.clone())),
+        cv: Condvar::new(),
+        pool: RunnerPool::new(),
+    });
+    let mut hit_budget = false;
+    loop {
+        let epoch = {
+            let mut st = shared.lock();
+            st.begin_execution();
+            st.epoch
+        };
+        let b = Arc::clone(&body);
+        if let Err(e) = launch(&shared, 0, epoch, Box::new(move || b())) {
+            let mut st = shared.lock();
+            st.record_failure("internal", format!("failed to launch root thread: {e}"));
+            break;
+        }
+        drive(&shared);
+        let mut st = shared.lock();
+        st.schedules += 1;
+        if st.failure.is_some() {
+            break;
+        }
+        if cfg.max_schedules > 0 && st.schedules >= cfg.max_schedules {
+            if st.advance() {
+                hit_budget = true;
+            }
+            break;
+        }
+        if !st.advance() {
+            break;
+        }
+    }
+    let (report, clean) = {
+        let st = shared.lock();
+        let outcome = match &st.failure {
+            Some(f) => Outcome::Counterexample(Counterexample {
+                kind: f.kind,
+                message: f.message.clone(),
+                trace: f.trace.clone(),
+                schedule: f.schedule.clone(),
+            }),
+            None => {
+                if hit_budget || st.bounded_pruned {
+                    Outcome::Bounded
+                } else {
+                    Outcome::Certified
+                }
+            }
+        };
+        let clean = st.failure.is_none();
+        (
+            Report {
+                name,
+                schedules: st.schedules,
+                transitions: st.transitions,
+                max_depth: st.max_depth,
+                threads: st.max_threads,
+                preemption_bound: cfg.preemption_bound,
+                outcome,
+            },
+            clean,
+        )
+    };
+    if clean {
+        shutdown_pool(&shared);
+    }
+    // On a counterexample the pool (and any forever-parked runner) is
+    // intentionally leaked; the process is about to report and exit.
+    report
+}

@@ -1,0 +1,361 @@
+//! `hicond-model` — a zero-dependency, loom-style exhaustive interleaving
+//! model checker for the workspace's lock-free concurrency kernel.
+//!
+//! A protocol model is an ordinary closure using the shadow types in
+//! [`shadow`] (plus [`spawn`]/[`JoinHandle`] and [`RaceCell`]). Passing it
+//! to [`explore`] runs it under a deterministic scheduler that enumerates
+//! thread interleavings — and, for relaxed atomics, which store each load
+//! reads from — with dynamic partial-order reduction and an optional
+//! bounded-preemption fallback. Assertions inside the body, data races on
+//! [`RaceCell`]s, and deadlocks all stop the exploration with a replayable
+//! minimal interleaving trace.
+//!
+//! ```
+//! use hicond_model::{explore, spawn, Config, Outcome};
+//! use hicond_model::shadow::AtomicU64;
+//! use std::sync::atomic::Ordering;
+//! use std::sync::Arc;
+//!
+//! let report = explore(Config::new("message-passing"), || {
+//!     let data = Arc::new(AtomicU64::new(0));
+//!     let flag = Arc::new(AtomicU64::new(0));
+//!     let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+//!     let t = spawn(move || {
+//!         d2.store(42, Ordering::Relaxed);
+//!         f2.store(1, Ordering::Release);
+//!     });
+//!     if flag.load(Ordering::Acquire) == 1 {
+//!         assert_eq!(data.load(Ordering::Relaxed), 42);
+//!     }
+//!     t.join();
+//! });
+//! assert!(matches!(report.outcome, Outcome::Certified));
+//! ```
+//!
+//! The checker is *stateless* (it re-executes the body once per schedule)
+//! and *sound for the behaviors it models*: release/acquire plus relaxed
+//! orderings with per-variable modification orders, `SeqCst` approximated
+//! as `AcqRel`, and a deterministic FIFO refinement of `notify_one`. See
+//! the `engine` module docs for the precise semantics.
+
+mod engine;
+pub mod shadow;
+mod vclock;
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+pub use engine::in_model;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// Exploration parameters for [`explore`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Protocol name (used in reports and stats files).
+    pub name: &'static str,
+    /// Stop after this many schedules (0 = explore the whole tree). When
+    /// the budget ends the exploration early the outcome is
+    /// [`Outcome::Bounded`].
+    pub max_schedules: u64,
+    /// Per-execution scheduler step limit (0 = unlimited). Exceeding it
+    /// is reported as a counterexample (possible livelock).
+    pub max_steps: u64,
+    /// When set, schedule alternatives that would exceed this many
+    /// preemptions are pruned and the outcome downgrades to
+    /// [`Outcome::Bounded`].
+    pub preemption_bound: Option<u32>,
+    /// Disable DPOR and treat every schedule point as a full backtrack
+    /// point (exhaustive baseline; for cross-validating the reduction).
+    pub full_schedule_points: bool,
+}
+
+impl Config {
+    pub fn new(name: &'static str) -> Self {
+        Config {
+            name,
+            max_schedules: 0,
+            max_steps: 20_000,
+            preemption_bound: None,
+            full_schedule_points: false,
+        }
+    }
+
+    pub fn with_max_schedules(mut self, n: u64) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    pub fn with_preemption_bound(mut self, b: u32) -> Self {
+        self.preemption_bound = Some(b);
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Results
+// ---------------------------------------------------------------------------
+
+/// A failing interleaving, replayable from `schedule`.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// Failure class: `assertion`, `data-race`, `deadlock`, `step-budget`
+    /// or `internal`.
+    pub kind: &'static str,
+    pub message: String,
+    /// Rendered per-step interleaving trace.
+    pub trace: String,
+    /// Compact decision string (`t0,t1,r2,...`) identifying the schedule.
+    pub schedule: String,
+}
+
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// Every reachable interleaving (modulo DPOR equivalence) explored,
+    /// no failure.
+    Certified,
+    /// No failure found, but the exploration was cut by a schedule budget
+    /// or the preemption bound.
+    Bounded,
+    Counterexample(Counterexample),
+}
+
+/// Exploration summary returned by [`explore`].
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub name: String,
+    /// Executions (maximal schedules) run.
+    pub schedules: u64,
+    /// Scheduler transitions across all executions (states visited).
+    pub transitions: u64,
+    /// Deepest decision stack reached.
+    pub max_depth: usize,
+    /// Maximum live threads in any execution.
+    pub threads: usize,
+    pub preemption_bound: Option<u32>,
+    pub outcome: Outcome,
+}
+
+impl Report {
+    /// `true` unless a counterexample was found.
+    pub fn passed(&self) -> bool {
+        !matches!(self.outcome, Outcome::Counterexample(_))
+    }
+
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match &self.outcome {
+            Outcome::Counterexample(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub fn outcome_str(&self) -> &'static str {
+        match self.outcome {
+            Outcome::Certified => "certified",
+            Outcome::Bounded => "bounded",
+            Outcome::Counterexample(_) => "counterexample",
+        }
+    }
+
+    /// Human-readable summary; includes the interleaving trace when a
+    /// counterexample was found.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "model `{}`: {} ({} schedules, {} transitions, depth {}, {} threads",
+            self.name,
+            self.outcome_str(),
+            self.schedules,
+            self.transitions,
+            self.max_depth,
+            self.threads,
+        );
+        match self.preemption_bound {
+            Some(b) => s.push_str(&format!(", preemption bound {b})")),
+            None => s.push(')'),
+        }
+        if let Some(c) = self.counterexample() {
+            s.push_str(&format!(
+                "\n  {}: {}\n  schedule: [{}]\n{}",
+                c.kind, c.message, c.schedule, c.trace
+            ));
+        }
+        s
+    }
+
+    /// Writes a key-value stats file to `$HICOND_MODEL_OUT/<name>.stats`
+    /// for the `xtask model` driver. No-op when the variable is unset.
+    /// `expected` records what the suite asserts about this protocol
+    /// (`pass` or `counterexample`, for seeded-mutation checks).
+    pub fn emit(&self, crate_name: &str, expected: &str) {
+        let Some(dir) = std::env::var_os("HICOND_MODEL_OUT") else {
+            return;
+        };
+        let dir = std::path::PathBuf::from(dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let mut body = String::new();
+        body.push_str(&format!("protocol={}\n", self.name));
+        body.push_str(&format!("crate={crate_name}\n"));
+        body.push_str(&format!("expected={expected}\n"));
+        body.push_str(&format!("outcome={}\n", self.outcome_str()));
+        body.push_str(&format!("schedules={}\n", self.schedules));
+        body.push_str(&format!("transitions={}\n", self.transitions));
+        body.push_str(&format!("max_depth={}\n", self.max_depth));
+        body.push_str(&format!("threads={}\n", self.threads));
+        body.push_str(&format!(
+            "preemption_bound={}\n",
+            match self.preemption_bound {
+                Some(b) => b.to_string(),
+                None => "none".to_string(),
+            }
+        ));
+        if let Some(c) = self.counterexample() {
+            body.push_str(&format!("kind={}\n", c.kind));
+        }
+        let _ = std::fs::write(dir.join(format!("{}.stats", self.name)), body);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Explores every interleaving of `body` under `cfg`. The body runs once
+/// per schedule; it must be self-contained (create its own shared state
+/// each run) and deterministic apart from the modeled concurrency.
+pub fn explore<F>(cfg: Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    engine::explore_impl(cfg, Arc::new(body))
+}
+
+enum JhInner {
+    Std(std::thread::JoinHandle<()>),
+    Model(usize),
+    Dead,
+}
+
+/// Handle returned by [`spawn`]; join with [`JoinHandle::join`].
+pub struct JoinHandle {
+    inner: JhInner,
+}
+
+impl JoinHandle {
+    /// Blocks until the thread finishes. In a model, joining is a modeled
+    /// operation (enabled only once the target finished), so
+    /// happens-before edges from the child are inherited.
+    pub fn join(self) {
+        match self.inner {
+            JhInner::Std(h) => {
+                let _ = h.join();
+            }
+            JhInner::Model(tid) => {
+                engine::model_join(tid);
+            }
+            JhInner::Dead => {}
+        }
+    }
+}
+
+/// Spawns a thread: a modeled thread inside [`explore`], a real
+/// `std::thread` otherwise.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    if engine::in_model() {
+        match engine::model_spawn(Box::new(f)) {
+            Some(tid) => JoinHandle {
+                inner: JhInner::Model(tid),
+            },
+            None => JoinHandle {
+                inner: JhInner::Dead,
+            },
+        }
+    } else {
+        match std::thread::Builder::new().spawn(f) {
+            Ok(h) => JoinHandle {
+                inner: JhInner::Std(h),
+            },
+            Err(_) => JoinHandle {
+                inner: JhInner::Dead,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RaceCell
+// ---------------------------------------------------------------------------
+
+/// A plain (non-atomic) shared cell whose accesses are checked for data
+/// races during exploration via happens-before vector clocks. Use it to
+/// model payload memory published through atomics — e.g. the flight
+/// ring's event words — so that insufficient synchronization surfaces as
+/// a reported race instead of silent corruption.
+///
+/// Outside a model, accesses pass through unchecked; callers must then
+/// guarantee exclusivity themselves (the type exists for model tests, not
+/// production use).
+pub struct RaceCell<T> {
+    inner: UnsafeCell<T>,
+}
+
+// SAFETY: shared access to `inner` is only performed inside
+// `engine::model_cell_access`, which runs the raw access under the
+// engine's state mutex after happens-before race checking, so physical
+// accesses are mutually exclusive; an actual data race in the modeled
+// protocol is reported as a counterexample rather than performed.
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+// SAFETY: sending the cell transfers the `inner` value between threads;
+// `T: Send` makes that sound, and shared access remains governed by the
+// engine-serialized discipline documented on the Sync impl above.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    pub const fn new(v: T) -> Self {
+        Self {
+            inner: UnsafeCell::new(v),
+        }
+    }
+
+    /// Reads the cell, reporting a counterexample if the read races with
+    /// a write under the current interleaving.
+    pub fn get(&self) -> T {
+        let mut out: Option<T> = None;
+        let modeled = engine::model_cell_access(self.inner.get() as usize, false, &mut || {
+            // SAFETY: the engine runs this under its state mutex (see the
+            // `Sync` impl above), so no other access is concurrent.
+            out = Some(unsafe { *self.inner.get() });
+        });
+        if !modeled {
+            // SAFETY: outside a model the caller guarantees exclusivity
+            // (documented contract of this test-support type).
+            out = Some(unsafe { *self.inner.get() });
+        }
+        match out {
+            Some(v) => v,
+            // The closure always runs before `model_cell_access` returns;
+            // defensive re-read to keep this arm panic-free.
+            // SAFETY: as above.
+            None => unsafe { *self.inner.get() },
+        }
+    }
+
+    /// Writes the cell, reporting a counterexample if the write races
+    /// with any concurrent access under the current interleaving.
+    pub fn set(&self, v: T) {
+        let modeled = engine::model_cell_access(self.inner.get() as usize, true, &mut || {
+            // SAFETY: the engine runs this under its state mutex (see the
+            // `Sync` impl above), so no other access is concurrent.
+            unsafe { *self.inner.get() = v };
+        });
+        if !modeled {
+            // SAFETY: outside a model the caller guarantees exclusivity
+            // (documented contract of this test-support type).
+            unsafe { *self.inner.get() = v };
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Shadow synchronization types.
+//!
+//! Drop-in replacements for `std::sync::atomic::*`, `std::sync::Mutex`
+//! and `std::sync::Condvar` that participate in model exploration when
+//! the calling thread is inside [`crate::explore`], and pass straight
+//! through to the underlying std primitive otherwise. The `sync` facade
+//! modules in `crates/obs` and `vendor/rayon` re-export these under the
+//! `model` cargo feature, so the production sources are compiled
+//! unchanged in both worlds.
+//!
+//! Identity is by address: the engine registers each primitive the first
+//! time a modeled operation touches it, reading the initial value from
+//! the inner std atomic (which modeled executions never write, so it
+//! still holds the constructor value). A primitive must stay alive for
+//! the whole execution — models keep their shared state in `Arc`s or
+//! statics, which satisfies this naturally.
+
+use std::mem::ManuallyDrop;
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, PoisonError};
+
+use crate::engine::{self, RmwKind};
+
+macro_rules! shadow_atomic {
+    ($name:ident, $prim:ty, $std:ty, $doc:expr) => {
+        #[doc = $doc]
+        #[repr(transparent)]
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> Self {
+                Self {
+                    inner: <$std>::new(v),
+                }
+            }
+
+            #[inline]
+            fn addr(&self) -> usize {
+                self as *const Self as usize
+            }
+
+            /// Constructor value: modeled executions never write the
+            /// inner atomic, so it still holds the initial value.
+            #[inline]
+            fn init(&self) -> u64 {
+                self.inner.load(Ordering::Relaxed) as u64
+            }
+
+            #[inline]
+            pub fn load(&self, ord: Ordering) -> $prim {
+                match engine::model_load(self.addr(), self.init(), ord) {
+                    Some(v) => v as $prim,
+                    None => self.inner.load(ord),
+                }
+            }
+
+            #[inline]
+            pub fn store(&self, val: $prim, ord: Ordering) {
+                if engine::model_store(self.addr(), self.init(), val as u64, ord).is_none() {
+                    self.inner.store(val, ord);
+                }
+            }
+
+            #[inline]
+            pub fn swap(&self, val: $prim, ord: Ordering) -> $prim {
+                match engine::model_rmw(self.addr(), self.init(), RmwKind::Swap, val as u64, ord) {
+                    Some(v) => v as $prim,
+                    None => self.inner.swap(val, ord),
+                }
+            }
+
+            #[inline]
+            pub fn fetch_add(&self, val: $prim, ord: Ordering) -> $prim {
+                match engine::model_rmw(self.addr(), self.init(), RmwKind::Add, val as u64, ord) {
+                    Some(v) => v as $prim,
+                    None => self.inner.fetch_add(val, ord),
+                }
+            }
+
+            #[inline]
+            pub fn fetch_sub(&self, val: $prim, ord: Ordering) -> $prim {
+                match engine::model_rmw(self.addr(), self.init(), RmwKind::Sub, val as u64, ord) {
+                    Some(v) => v as $prim,
+                    None => self.inner.fetch_sub(val, ord),
+                }
+            }
+
+            #[inline]
+            pub fn fetch_or(&self, val: $prim, ord: Ordering) -> $prim {
+                match engine::model_rmw(self.addr(), self.init(), RmwKind::Or, val as u64, ord) {
+                    Some(v) => v as $prim,
+                    None => self.inner.fetch_or(val, ord),
+                }
+            }
+
+            #[inline]
+            pub fn fetch_and(&self, val: $prim, ord: Ordering) -> $prim {
+                match engine::model_rmw(self.addr(), self.init(), RmwKind::And, val as u64, ord) {
+                    Some(v) => v as $prim,
+                    None => self.inner.fetch_and(val, ord),
+                }
+            }
+
+            #[inline]
+            pub fn fetch_xor(&self, val: $prim, ord: Ordering) -> $prim {
+                match engine::model_rmw(self.addr(), self.init(), RmwKind::Xor, val as u64, ord) {
+                    Some(v) => v as $prim,
+                    None => self.inner.fetch_xor(val, ord),
+                }
+            }
+
+            #[inline]
+            pub fn fetch_max(&self, val: $prim, ord: Ordering) -> $prim {
+                match engine::model_rmw(self.addr(), self.init(), RmwKind::Max, val as u64, ord) {
+                    Some(v) => v as $prim,
+                    None => self.inner.fetch_max(val, ord),
+                }
+            }
+
+            #[inline]
+            pub fn fetch_min(&self, val: $prim, ord: Ordering) -> $prim {
+                match engine::model_rmw(self.addr(), self.init(), RmwKind::Min, val as u64, ord) {
+                    Some(v) => v as $prim,
+                    None => self.inner.fetch_min(val, ord),
+                }
+            }
+
+            #[inline]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                match engine::model_cas(
+                    self.addr(),
+                    self.init(),
+                    current as u64,
+                    new as u64,
+                    success,
+                    failure,
+                ) {
+                    Some(Ok(v)) => Ok(v as $prim),
+                    Some(Err(v)) => Err(v as $prim),
+                    None => self.inner.compare_exchange(current, new, success, failure),
+                }
+            }
+
+            #[inline]
+            pub fn compare_exchange_weak(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                // Modeled as the strong variant: spurious failure adds no
+                // behaviors the strong CAS misses in this memory model.
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            #[inline]
+            pub fn get_mut(&mut self) -> &mut $prim {
+                // Exclusive access: no concurrency to model.
+                self.inner.get_mut()
+            }
+
+            #[inline]
+            pub fn into_inner(self) -> $prim {
+                self.inner.into_inner()
+            }
+        }
+    };
+}
+
+shadow_atomic!(
+    AtomicU8,
+    u8,
+    std::sync::atomic::AtomicU8,
+    "Shadow of `std::sync::atomic::AtomicU8` (see module docs)."
+);
+shadow_atomic!(
+    AtomicU32,
+    u32,
+    std::sync::atomic::AtomicU32,
+    "Shadow of `std::sync::atomic::AtomicU32` (see module docs)."
+);
+shadow_atomic!(
+    AtomicU64,
+    u64,
+    std::sync::atomic::AtomicU64,
+    "Shadow of `std::sync::atomic::AtomicU64` (see module docs)."
+);
+shadow_atomic!(
+    AtomicUsize,
+    usize,
+    std::sync::atomic::AtomicUsize,
+    "Shadow of `std::sync::atomic::AtomicUsize` (see module docs)."
+);
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------------
+
+/// Shadow of `std::sync::Mutex`. In a model execution, lock acquisition
+/// goes through the scheduler (so lock-based interleavings are explored
+/// and deadlocks detected) and the real inner mutex is then taken
+/// uncontended; outside a model it is the plain std mutex.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]; releases the model lock (when modeled) and the
+/// inner std lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+    modeled: bool,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let modeled = engine::model_lock(self.addr());
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                inner: ManuallyDrop::new(g),
+                modeled,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                inner: ManuallyDrop::new(p.into_inner()),
+                modeled,
+            })),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        // Exclusive access: no concurrency to model.
+        self.inner.get_mut()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: `inner` is taken exactly once — either here or in
+        // `Condvar::wait`, which forgets the guard before rebuilding it.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.modeled {
+            engine::model_unlock(self.lock.addr());
+        }
+    }
+}
+
+/// Shadow of `std::sync::Condvar`. In a model execution, waiting releases
+/// the model lock and parks in the scheduler until a modeled notify
+/// re-arms the thread as a lock re-acquire; lost wakeups therefore show
+/// up as modeled deadlocks.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Self as usize
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let lock = guard.lock;
+        let modeled = guard.modeled;
+        // SAFETY: the std guard is moved out exactly once; `guard` is
+        // forgotten immediately after so its Drop cannot double-release.
+        let std_guard = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        std::mem::forget(guard);
+        if modeled {
+            drop(std_guard);
+            engine::model_cv_wait(self.addr(), lock.addr());
+            // The model re-acquired the lock for us; take the inner std
+            // mutex (uncontended up to the physical release window of the
+            // previous holder) and rebuild the guard.
+            // analyze: allow(lock-order) — re-acquisition after a modeled
+            // cv wait: the engine's scheduler has already granted this
+            // thread the modeled lock, so ordering is enforced there, not
+            // by this physical mutex; the apparent wait-within-lock
+            // self-cycle is the cv protocol itself.
+            let g = match lock.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            Ok(MutexGuard {
+                lock,
+                inner: ManuallyDrop::new(g),
+                modeled,
+            })
+        } else {
+            match self.inner.wait(std_guard) {
+                Ok(g) => Ok(MutexGuard {
+                    lock,
+                    inner: ManuallyDrop::new(g),
+                    modeled,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock,
+                    inner: ManuallyDrop::new(p.into_inner()),
+                    modeled,
+                })),
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if !engine::model_cv_notify(self.addr(), false) {
+            self.inner.notify_one();
+        }
+    }
+
+    pub fn notify_all(&self) {
+        if !engine::model_cv_notify(self.addr(), true) {
+            self.inner.notify_all();
+        }
+    }
+}

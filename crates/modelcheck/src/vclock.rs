@@ -1,0 +1,89 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Every model thread carries a [`VClock`]; component `i` counts the
+//! operations thread `i` has executed that this thread has (transitively)
+//! observed. An event `a` happens-before an event `b` exactly when the
+//! clock snapshot taken at `a` is component-wise `<=` the clock of the
+//! thread executing `b`. Clocks grow lazily: a component that was never
+//! written reads as zero, so freshly spawned threads need no global
+//! resizing pass.
+
+/// A grow-on-demand vector clock. Component `i` is thread `i`'s count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    t: Vec<u32>,
+}
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub fn new() -> Self {
+        Self { t: Vec::new() }
+    }
+
+    /// Component for `tid` (zero if never set).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.t.get(tid).copied().unwrap_or(0)
+    }
+
+    fn ensure(&mut self, tid: usize) {
+        if self.t.len() <= tid {
+            self.t.resize(tid + 1, 0);
+        }
+    }
+
+    /// Increments this thread's own component.
+    pub fn tick(&mut self, tid: usize) {
+        self.ensure(tid);
+        self.t[tid] += 1;
+    }
+
+    /// Component-wise maximum (observing everything `other` observed).
+    pub fn join(&mut self, other: &VClock) {
+        if self.t.len() < other.t.len() {
+            self.t.resize(other.t.len(), 0);
+        }
+        for (i, &v) in other.t.iter().enumerate() {
+            if self.t[i] < v {
+                self.t[i] = v;
+            }
+        }
+    }
+
+    /// `true` iff `self` is component-wise `<=` `other` (happens-before,
+    /// when `self` is an event snapshot and `other` a thread clock).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.t.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_le() {
+        let mut a = VClock::new();
+        let mut b = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut c = a.clone();
+        c.join(&b);
+        assert!(a.le(&c));
+        assert!(b.le(&c));
+        assert_eq!(c.get(0), 2);
+        assert_eq!(c.get(1), 1);
+    }
+
+    #[test]
+    fn zero_le_everything() {
+        let z = VClock::new();
+        let mut a = VClock::new();
+        a.tick(3);
+        assert!(z.le(&a));
+        assert!(z.le(&z));
+        assert_eq!(z.get(7), 0);
+    }
+}

@@ -1,0 +1,394 @@
+//! Self-tests for the model checker: known-good protocols must certify,
+//! known-bad ones must produce counterexamples of the right kind, and the
+//! DPOR-reduced exploration must agree with the full (unreduced) one.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use hicond_model::shadow::{AtomicU64, Condvar, Mutex};
+use hicond_model::{explore, spawn, Config, Outcome, RaceCell, Report};
+
+fn kind(report: &Report) -> &'static str {
+    match &report.outcome {
+        Outcome::Counterexample(c) => c.kind,
+        Outcome::Certified => "certified",
+        Outcome::Bounded => "bounded",
+    }
+}
+
+#[test]
+fn message_passing_release_acquire_certifies() {
+    let report = explore(Config::new("mp-rel-acq"), || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = spawn(move || {
+            // ordering: Relaxed data store is the litmus premise — the
+            // Release flag store below is the sole publication point.
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join();
+    });
+    assert!(
+        matches!(report.outcome, Outcome::Certified),
+        "{}",
+        report.render()
+    );
+    // Both reader orders and the interesting read-from choices must have
+    // been explored.
+    assert!(report.schedules >= 2, "{}", report.render());
+}
+
+#[test]
+fn message_passing_relaxed_flag_is_refuted() {
+    // Same protocol with the Release publish downgraded to Relaxed: the
+    // reader may observe flag == 1 but stale data. The checker must find
+    // that interleaving via a value (read-from) decision.
+    let report = explore(Config::new("mp-relaxed"), || {
+        let data = Arc::new(AtomicU64::new(0));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = spawn(move || {
+            // ordering: deliberately unsynchronized — this test asserts
+            // the checker refutes exactly this missing Release edge.
+            d2.store(42, Ordering::Relaxed);
+            // ordering: deliberately Relaxed (the seeded bug under test).
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42);
+        }
+        t.join();
+    });
+    assert_eq!(kind(&report), "assertion", "{}", report.render());
+    let c = report.counterexample().expect("counterexample");
+    assert!(!c.trace.is_empty(), "trace should not be empty");
+    assert!(!c.schedule.is_empty(), "schedule should not be empty");
+}
+
+#[test]
+fn store_buffer_relaxed_reorder_is_found() {
+    // Classic store-buffer litmus: with relaxed ordering both threads may
+    // read the other's variable as still 0 — a non-interleaving behavior
+    // that only shows up through read-from decisions.
+    let report = explore(Config::new("store-buffer"), || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let r1 = Arc::new(AtomicU64::new(u64::MAX));
+        let r2 = Arc::new(AtomicU64::new(u64::MAX));
+        let (x1, y1, r1w) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r1));
+        let (x2, y2, r2w) = (Arc::clone(&x), Arc::clone(&y), Arc::clone(&r2));
+        let a = spawn(move || {
+            // ordering: all-Relaxed by design — the litmus exists to show
+            // the checker finds the store-buffer reordering.
+            x1.store(1, Ordering::Relaxed);
+            // ordering: Relaxed result slot; read back only after join.
+            r1w.store(y1.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        let b = spawn(move || {
+            // ordering: all-Relaxed by design (see thread `a`).
+            y2.store(1, Ordering::Relaxed);
+            // ordering: Relaxed result slot; read back only after join.
+            r2w.store(x2.load(Ordering::Relaxed), Ordering::Relaxed);
+        });
+        a.join();
+        b.join();
+        let (v1, v2) = (r1.load(Ordering::Relaxed), r2.load(Ordering::Relaxed));
+        assert!(!(v1 == 0 && v2 == 0), "store buffering observed");
+    });
+    assert_eq!(kind(&report), "assertion", "{}", report.render());
+}
+
+#[test]
+fn unsynchronized_cell_race_is_caught() {
+    let report = explore(Config::new("cell-race"), || {
+        let cell = Arc::new(RaceCell::new(0u64));
+        let c2 = Arc::clone(&cell);
+        let t = spawn(move || {
+            c2.set(7);
+        });
+        // No synchronization with the writer: this read races.
+        let _ = cell.get();
+        t.join();
+    });
+    assert_eq!(kind(&report), "data-race", "{}", report.render());
+}
+
+#[test]
+fn cell_guarded_by_release_acquire_certifies() {
+    let report = explore(Config::new("cell-guarded"), || {
+        let cell = Arc::new(RaceCell::new(0u64));
+        let flag = Arc::new(AtomicU64::new(0));
+        let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+        let t = spawn(move || {
+            c2.set(7);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(cell.get(), 7);
+        }
+        t.join();
+    });
+    assert!(
+        matches!(report.outcome, Outcome::Certified),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn abba_deadlock_is_detected() {
+    let report = explore(Config::new("abba"), || {
+        let a = Arc::new(Mutex::new(0u64));
+        let b = Arc::new(Mutex::new(0u64));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = spawn(move || {
+            let ga = match a2.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            let gb = match b2.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            drop(gb);
+            drop(ga);
+        });
+        let gb = match b.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        let ga = match a.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        drop(ga);
+        drop(gb);
+        t.join();
+    });
+    assert_eq!(kind(&report), "deadlock", "{}", report.render());
+}
+
+#[test]
+fn condvar_handoff_certifies() {
+    let report = explore(Config::new("cv-handoff"), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = match m.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            *g = true;
+            drop(g);
+            cv.notify_one();
+        });
+        let (m, cv) = &*state;
+        let mut g = match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        while !*g {
+            g = match cv.wait(g) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        assert!(*g);
+        drop(g);
+        t.join();
+    });
+    assert!(
+        matches!(report.outcome, Outcome::Certified),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn lost_wakeup_is_a_deadlock() {
+    // Notify before the waiter sleeps, with the flag check and the wait
+    // not atomic: under the schedule where the notify lands first and the
+    // flag write is missing, the waiter sleeps forever.
+    let report = explore(Config::new("lost-wakeup"), || {
+        let state = Arc::new((Mutex::new(()), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = spawn(move || {
+            // Bug on purpose: no flag write before notify.
+            s2.1.notify_one();
+        });
+        let (m, cv) = &*state;
+        let g = match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        // Bug on purpose: unconditional wait with no predicate.
+        let g = match cv.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        drop(g);
+        t.join();
+    });
+    assert_eq!(kind(&report), "deadlock", "{}", report.render());
+}
+
+#[test]
+fn rmw_counter_certifies_and_dpor_agrees_with_full() {
+    let run = |full: bool| {
+        let mut cfg = Config::new(if full { "counter-full" } else { "counter-dpor" });
+        cfg.full_schedule_points = full;
+        explore(cfg, || {
+            let n = Arc::new(AtomicU64::new(0));
+            let (n1, n2) = (Arc::clone(&n), Arc::clone(&n));
+            let a = spawn(move || {
+                n1.fetch_add(1, Ordering::AcqRel);
+            });
+            let b = spawn(move || {
+                n2.fetch_add(2, Ordering::AcqRel);
+            });
+            a.join();
+            b.join();
+            assert_eq!(n.load(Ordering::Acquire), 3);
+        })
+    };
+    let dpor = run(false);
+    let full = run(true);
+    assert!(
+        matches!(dpor.outcome, Outcome::Certified),
+        "{}",
+        dpor.render()
+    );
+    assert!(
+        matches!(full.outcome, Outcome::Certified),
+        "{}",
+        full.render()
+    );
+    // The reduction must not explore more schedules than the full tree.
+    assert!(
+        dpor.schedules <= full.schedules,
+        "dpor {} > full {}",
+        dpor.schedules,
+        full.schedules
+    );
+}
+
+#[test]
+fn mutex_guarded_counter_certifies() {
+    let report = explore(Config::new("mutex-counter"), || {
+        let n = Arc::new(Mutex::new(0u64));
+        let (n1, n2) = (Arc::clone(&n), Arc::clone(&n));
+        let a = spawn(move || {
+            let mut g = match n1.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            *g += 1;
+        });
+        let b = spawn(move || {
+            let mut g = match n2.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            *g += 2;
+        });
+        a.join();
+        b.join();
+        let g = match n.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        assert_eq!(*g, 3);
+    });
+    assert!(
+        matches!(report.outcome, Outcome::Certified),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn preemption_bound_reports_bounded() {
+    let mut cfg = Config::new("bounded");
+    cfg.preemption_bound = Some(0);
+    let report = explore(cfg, || {
+        let x = Arc::new(AtomicU64::new(0));
+        let (x1, x2) = (Arc::clone(&x), Arc::clone(&x));
+        let a = spawn(move || {
+            x1.fetch_add(1, Ordering::AcqRel);
+            x1.fetch_add(1, Ordering::AcqRel);
+        });
+        let b = spawn(move || {
+            x2.fetch_add(1, Ordering::AcqRel);
+            x2.fetch_add(1, Ordering::AcqRel);
+        });
+        a.join();
+        b.join();
+        assert_eq!(x.load(Ordering::Acquire), 4);
+    });
+    // No counterexample, but pruning must be disclosed.
+    assert!(report.passed(), "{}", report.render());
+    assert!(
+        matches!(report.outcome, Outcome::Bounded),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn schedule_budget_reports_bounded() {
+    let cfg = Config::new("budget").with_max_schedules(2);
+    let report = explore(cfg, || {
+        let x = Arc::new(AtomicU64::new(0));
+        let (x1, x2) = (Arc::clone(&x), Arc::clone(&x));
+        let a = spawn(move || {
+            x1.fetch_add(1, Ordering::AcqRel);
+        });
+        let b = spawn(move || {
+            x2.fetch_add(1, Ordering::AcqRel);
+        });
+        a.join();
+        b.join();
+    });
+    assert!(report.passed(), "{}", report.render());
+    assert_eq!(report.schedules, 2, "{}", report.render());
+}
+
+#[test]
+fn shadow_types_pass_through_outside_model() {
+    // No explore(): everything hits the real std primitives.
+    let a = AtomicU64::new(5);
+    assert_eq!(a.load(Ordering::SeqCst), 5);
+    a.store(6, Ordering::SeqCst);
+    assert_eq!(a.fetch_add(1, Ordering::SeqCst), 6);
+    assert_eq!(
+        a.compare_exchange(7, 9, Ordering::SeqCst, Ordering::SeqCst),
+        Ok(7)
+    );
+    assert_eq!(a.load(Ordering::SeqCst), 9);
+    let m = Mutex::new(1u64);
+    {
+        let mut g = match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *g = 2;
+    }
+    let g = match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    };
+    assert_eq!(*g, 2);
+    drop(g);
+    let cell = RaceCell::new(3u64);
+    cell.set(4);
+    assert_eq!(cell.get(), 4);
+    let h = spawn(|| {});
+    h.join();
+    assert!(!hicond_model::in_model());
+}

@@ -15,18 +15,29 @@
 //! ## Ring discipline
 //!
 //! The ring is an array of [`RING_CAP`] slots, each a handful of atomics.
-//! A writer reserves a global sequence number with one `fetch_add`, writes
-//! the payload fields of slot `seq % RING_CAP`, and publishes by storing
-//! `seq + 1` into the slot's stamp with `Release`. Readers (drain, panic
-//! hook) validate each slot seqlock-style: load the stamp, read the
-//! payload, re-load the stamp, and discard the slot if the two loads
-//! disagree (a writer was mid-flight). There are **no locks and no
+//! A writer reserves a global sequence number with one `fetch_add`,
+//! invalidates the stamp of slot `seq % RING_CAP`, writes the payload
+//! fields with `Release`, and publishes by storing `seq.wrapping_add(1)`
+//! into the slot's stamp with `Release`. Readers (drain, panic hook)
+//! validate each slot seqlock-style: load the stamp, check it
+//! structurally belongs to this slot (a stamp `s` is live for slot `idx`
+//! iff `s.wrapping_sub(1) & mask == idx`, which no empty or invalidation
+//! marker satisfies), `Acquire`-read the payload, re-load the stamp, and
+//! discard the slot if the two loads disagree (a writer was mid-flight).
+//! The payload accesses are Release/Acquire rather than Relaxed because
+//! the stamp bracket alone is unsound under C11 — a reader may read-from
+//! a next-lap payload store without its stamp re-check ever observing
+//! the invalidation (found by the model checker; see `read_slot`). All sequence arithmetic is wrapping, so the ring keeps
+//! working across `u64` sequence wraparound — there is no reserved stamp
+//! value, only the structural validity check. There are **no locks and no
 //! `unsafe`** anywhere on the write path: every slot field is an atomic,
 //! so the worst possible race — a writer stalled for a full ring lap while
 //! another writer overtakes its slot — can garble at most that one event's
 //! payload, never memory safety, and the stamp re-check discards the torn
 //! slot in all interleavings short of a full additional lap occurring
-//! between a reader's two stamp loads.
+//! between a reader's two stamp loads. `tests/model.rs` explores the
+//! writer/reader protocol exhaustively under the C11 memory model and
+//! certifies the discard logic; `MODELS.md` records the result.
 //!
 //! When the ring wraps, old events are overwritten — the recorder keeps
 //! the *last* `RING_CAP` events by design. When it does not wrap, a drain
@@ -44,8 +55,9 @@
 //! (`tests/determinism.rs`). The `bench_suite` obs-overhead phase measures
 //! the enabled cost per PCG iteration and gates it below 3%.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
+
+use crate::sync::{AtomicU32, AtomicU64, Mutex, MutexGuard, Ordering};
 
 /// Number of slots in the ring (power of two; the last `RING_CAP` events
 /// survive). 8192 slots × 40 B ≈ 320 KiB, allocated on first use.
@@ -117,8 +129,10 @@ impl EventKind {
     }
 }
 
-/// One ring slot. `stamp == 0` means never written; otherwise it holds
-/// `seq + 1` of the event it carries.
+/// One ring slot. The stamp holds `seq.wrapping_add(1)` of the event it
+/// carries; a slot is *live* iff `stamp.wrapping_sub(1) & mask == idx`
+/// (see [`invalid_stamp`] for the empty/invalidation marker, which never
+/// satisfies that check).
 struct Slot {
     stamp: AtomicU64,
     /// Packed: bits 56..64 kind, 32..56 thread ordinal, 0..32 name id.
@@ -129,15 +143,24 @@ struct Slot {
 }
 
 impl Slot {
-    const fn new() -> Slot {
+    const fn new(stamp: u64) -> Slot {
         Slot {
-            stamp: AtomicU64::new(0),
+            stamp: AtomicU64::new(stamp),
             meta: AtomicU64::new(0),
             trace: AtomicU64::new(0),
             a: AtomicU64::new(0),
             b: AtomicU64::new(0),
         }
     }
+}
+
+/// A stamp that is never live for slot `idx`, used as both the initial
+/// (never-written) value and the mid-write invalidation marker. Live
+/// stamps for slot `idx` are exactly `{idx + 1 + k·cap (mod 2⁶⁴)}`;
+/// `idx + 2` maps to slot `(idx + 1) & mask ≠ idx` for any `cap ≥ 2`,
+/// so it fails the structural check in `read_slot` for every lap.
+fn invalid_stamp(idx: usize) -> u64 {
+    (idx as u64).wrapping_add(2)
 }
 
 fn pack_meta(kind: EventKind, thread: u32, name: u32) -> u64 {
@@ -165,23 +188,39 @@ pub struct FlightEvent {
 /// The recorder: slot array plus the global sequence allocator.
 pub struct FlightRecorder {
     slots: Box<[Slot]>,
+    /// `capacity - 1`; capacity is a power of two so `seq & mask` is the
+    /// slot index for any (wrapping) sequence value.
+    mask: u64,
     head: AtomicU64,
 }
 
 impl FlightRecorder {
     fn new() -> FlightRecorder {
-        let mut v = Vec::with_capacity(RING_CAP);
-        for _ in 0..RING_CAP {
-            v.push(Slot::new());
+        FlightRecorder::with_capacity_and_start(RING_CAP, 0)
+    }
+
+    /// A recorder with `cap` slots whose first allocated sequence number
+    /// is `start_seq`. The process-global recorder uses
+    /// (`RING_CAP`, 0); tests use small rings and near-`u64::MAX` starts
+    /// to exercise sequence wraparound.
+    pub fn with_capacity_and_start(cap: usize, start_seq: u64) -> FlightRecorder {
+        assert!(
+            cap.is_power_of_two() && cap >= 2,
+            "ring capacity must be a power of two >= 2"
+        );
+        let mut v = Vec::with_capacity(cap);
+        for idx in 0..cap {
+            v.push(Slot::new(invalid_stamp(idx)));
         }
         FlightRecorder {
             slots: v.into_boxed_slice(),
-            head: AtomicU64::new(0),
+            mask: (cap - 1) as u64,
+            head: AtomicU64::new(start_seq),
         }
     }
 
     /// Next sequence number to be allocated == number of events ever
-    /// recorded.
+    /// recorded (modulo 2⁶⁴ for rings started near the wrap point).
     pub fn head(&self) -> u64 {
         // ordering: Relaxed suffices — head is a monotone allocation
         // counter; readers use it only as a progress watermark and the
@@ -191,58 +230,120 @@ impl FlightRecorder {
 
     /// Appends one event. Lock-free: one RMW + five stores.
     pub fn record(&self, kind: EventKind, name: u32, trace: u64, a: u64, b: u64) {
-        // Counter-role RMW: allocates a unique sequence number.
+        // Counter-role RMW: allocates a unique sequence number (wrapping
+        // at u64, which the structural stamp check tolerates).
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
-        // bounds: masked by RING_CAP - 1 (power of two), so < RING_CAP
-        // reach: allow(reach-index, the & (RING_CAP - 1) mask bounds the index below the slot array length for any seq value)
-        let slot = &self.slots[(seq as usize) & (RING_CAP - 1)];
-        // ordering: Release on the invalidation store makes the stamp=0
-        // visible before any of the payload stores below can be observed
-        // by a seqlock reader that already saw the previous stamp — the
-        // reader's re-check then catches the in-flight rewrite.
-        slot.stamp.store(0, Ordering::Release);
-        // Relaxed payload stores: all four are published by the Release
-        // stamp store below; no reader accepts the payload without first
-        // Acquire-loading that stamp.
+        let idx = (seq & self.mask) as usize;
+        // bounds: masked by capacity - 1 (power of two), so < capacity
+        // reach: allow(reach-index, the & self.mask computation bounds the index below the slot array length for any seq value)
+        let slot = &self.slots[idx];
+        // ordering: Release on the invalidation store makes the
+        // not-live marker visible before any of the payload stores below
+        // can be observed by a seqlock reader that already saw the
+        // previous stamp — the reader's re-check then catches the
+        // in-flight rewrite; pairs with the Acquire stamp loads in
+        // `read_slot`.
+        slot.stamp.store(invalid_stamp(idx), Ordering::Release);
+        // Release payload stores: Relaxed would be wrong here, and not
+        // hypothetically — the model checker refuted it (a reader two
+        // laps behind can read-from a *newer* payload store while both
+        // stamp loads still see the old stamp, because plain coherence
+        // never forces the re-check to observe the invalidation). With
+        // Release stores and the Acquire payload loads in `read_slot`,
+        // a reader that observes any post-invalidation payload value
+        // synchronizes past the invalidation stamp store above, so its
+        // stamp re-check cannot match and the slot is discarded.
         let meta = pack_meta(kind, thread_ordinal(), name);
-        // ordering: published by the Release stamp store below
-        slot.meta.store(meta, Ordering::Relaxed);
-        // ordering: published by the Release stamp store below
-        slot.trace.store(trace, Ordering::Relaxed);
-        // ordering: published by the Release stamp store below
-        slot.a.store(a, Ordering::Relaxed);
-        // ordering: published by the Release stamp store below
-        slot.b.store(b, Ordering::Relaxed);
+        // ordering: Release pairs with the Acquire payload loads in
+        // `read_slot` (see block comment above).
+        slot.meta.store(meta, Ordering::Release);
+        // ordering: Release pairs with the Acquire payload loads in
+        // `read_slot` (see block comment above).
+        slot.trace.store(trace, Ordering::Release);
+        // ordering: Release pairs with the Acquire payload loads in
+        // `read_slot` (see block comment above).
+        slot.a.store(a, Ordering::Release);
+        self.mid_slot_pause(seq);
+        // ordering: Release pairs with the Acquire payload loads in
+        // `read_slot` (see block comment above).
+        slot.b.store(b, Ordering::Release);
         // ordering: Release publishes the payload stores above; pairs with
         // the Acquire stamp loads in `read_slot`.
-        slot.stamp.store(seq + 1, Ordering::Release);
+        slot.stamp.store(seq.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Debug-build stall point between the payload stores, used by the
+    /// torn-slot stress test to freeze a writer mid-slot while readers
+    /// drain. Compiled out of release builds entirely.
+    #[inline]
+    #[allow(unused_variables)]
+    fn mid_slot_pause(&self, seq: u64) {
+        #[cfg(debug_assertions)]
+        if let Some(hook) = MID_SLOT_HOOK.get() {
+            hook(seq);
+        }
+    }
+
+    /// The deliberately broken variant of [`record`] used to validate the
+    /// model checker itself: it publishes the stamp *before* writing the
+    /// payload, so an exhaustive exploration must find an interleaving
+    /// where a reader accepts a half-written event. Exists only under the
+    /// `model` feature; `tests/model.rs` asserts the checker refutes it.
+    #[cfg(feature = "model")]
+    pub fn record_buggy_publish(&self, kind: EventKind, name: u32, trace: u64, a: u64, b: u64) {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let idx = (seq & self.mask) as usize;
+        // reach: allow(reach-index, the & self.mask computation bounds the index below the slot array length for any seq value)
+        let slot = &self.slots[idx];
+        // BUG (intentional): stamp goes live before the payload lands.
+        slot.stamp.store(seq.wrapping_add(1), Ordering::Release);
+        let meta = pack_meta(kind, thread_ordinal(), name);
+        // ordering: deliberately unpublished — these payload stores land
+        // after the stamp above, the seeded mutation the checker refutes.
+        slot.meta.store(meta, Ordering::Relaxed);
+        // ordering: deliberately unpublished (see above).
+        slot.trace.store(trace, Ordering::Relaxed);
+        // ordering: deliberately unpublished (see above).
+        slot.a.store(a, Ordering::Relaxed);
+        // ordering: deliberately unpublished (see above).
+        slot.b.store(b, Ordering::Relaxed);
     }
 
     /// Seqlock read of one slot: `None` if empty or torn mid-write.
     fn read_slot(&self, idx: usize) -> Option<FlightEvent> {
-        // reach: allow(reach-index, the only caller iterates idx over 0..RING_CAP, the fixed slot array length)
+        // reach: allow(reach-index, the only caller iterates idx over 0..slots.len(), the slot array length)
         let slot = &self.slots[idx];
         // ordering: Acquire pairs with the publishing Release store in
         // `record`, making the payload reads below see that event's data.
         let s1 = slot.stamp.load(Ordering::Acquire);
-        if s1 == 0 {
+        // Structural liveness: a stamp belongs to this slot iff its
+        // sequence maps back here. Empty and invalidation markers
+        // (`invalid_stamp`) fail this for every lap, so no reserved stamp
+        // value is needed and u64 sequence wraparound is harmless.
+        if s1.wrapping_sub(1) & self.mask != idx as u64 {
             return None;
         }
-        // ordering: Relaxed payload loads are bracketed by the two stamp
-        // loads; a mismatch discards them.
-        let meta = slot.meta.load(Ordering::Relaxed);
-        let trace = slot.trace.load(Ordering::Relaxed);
-        let a = slot.a.load(Ordering::Relaxed);
-        let b = slot.b.load(Ordering::Relaxed);
+        // ordering: Acquire payload loads pair with the Release payload
+        // stores in `record`. The stamp bracket alone is not enough:
+        // a Relaxed load here may read-from a payload store of the
+        // *next* lap without ever observing the invalidation stamp
+        // (model-checker counterexample). Acquire makes any such read
+        // synchronize past the invalidation, so the re-check below
+        // cannot match and the torn slot is discarded.
+        let meta = slot.meta.load(Ordering::Acquire);
+        let trace = slot.trace.load(Ordering::Acquire);
+        let a = slot.a.load(Ordering::Acquire);
+        let b = slot.b.load(Ordering::Acquire);
         // ordering: Acquire on the re-check keeps it ordered after the
-        // payload loads (seqlock validation read).
+        // payload loads (seqlock validation read); pairs with the Release
+        // stamp stores in `record`.
         let s2 = slot.stamp.load(Ordering::Acquire);
         if s1 != s2 {
             return None; // a writer was rewriting this slot; skip it
         }
         let kind = EventKind::from_u8((meta >> 56) as u8)?;
         Some(FlightEvent {
-            seq: s1 - 1,
+            seq: s1.wrapping_sub(1),
             thread: ((meta >> 32) & 0x00ff_ffff) as u32,
             kind,
             name: (meta & 0xffff_ffff) as u32,
@@ -252,23 +353,43 @@ impl FlightRecorder {
         })
     }
 
-    /// Collects every live event with `seq >= since`, sorted by sequence.
+    /// Collects every live event at or after the `since` watermark,
+    /// sorted by sequence. "At or after" is wrapping distance —
+    /// `seq.wrapping_sub(since) < 2⁶³` — so drains behave across u64
+    /// sequence wraparound (the live window is at most `capacity` events
+    /// wide, vastly below 2⁶³).
     ///
     /// Does not consume: the ring keeps overwriting in place. Callers
     /// doing periodic scrapes pass the previous watermark (`head()` at the
     /// last scrape) to get only new events.
     pub fn drain_since(&self, since: u64) -> Vec<FlightEvent> {
         let mut out: Vec<FlightEvent> = Vec::new();
-        for idx in 0..RING_CAP {
+        for idx in 0..self.slots.len() {
             if let Some(ev) = self.read_slot(idx) {
-                if ev.seq >= since {
+                if ev.seq.wrapping_sub(since) < (1 << 63) {
                     out.push(ev);
                 }
             }
         }
-        out.sort_by_key(|e| e.seq);
+        // Wrapping distance from the watermark orders correctly even when
+        // the window straddles the u64 wrap point.
+        out.sort_by_key(|e| e.seq.wrapping_sub(since));
         out
     }
+}
+
+/// Debug-build writer stall hook: called with the event's sequence number
+/// between the payload stores of every `record`. Install-once.
+#[cfg(debug_assertions)]
+static MID_SLOT_HOOK: OnceLock<Box<dyn Fn(u64) + Send + Sync>> = OnceLock::new();
+
+/// Installs the mid-slot stall hook (debug builds only; first caller
+/// wins, returns `false` if already installed). The torn-slot stress
+/// test uses this to freeze a writer between its payload stores and
+/// prove readers discard the half-written slot.
+#[cfg(debug_assertions)]
+pub fn set_mid_slot_hook(hook: Box<dyn Fn(u64) + Send + Sync>) -> bool {
+    MID_SLOT_HOOK.set(hook).is_ok()
 }
 
 static RECORDER: OnceLock<FlightRecorder> = OnceLock::new();
@@ -291,6 +412,14 @@ thread_local! {
 /// Small dense id for the calling thread (1, 2, 3, … in first-recording
 /// order; stable for the thread's lifetime). Ordinal 0 is never assigned.
 pub fn thread_ordinal() -> u32 {
+    // Under the model checker, executions reuse pooled OS threads, so the
+    // per-thread cache would leak ordinals across explored executions;
+    // bypass it and take a fresh ordinal per call (values are payload
+    // only — no protocol assertion depends on them).
+    #[cfg(feature = "model")]
+    if hicond_model::in_model() {
+        return NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    }
     THREAD_ORDINAL.with(|t| {
         let v = t.get();
         if v != 0 {
@@ -371,7 +500,7 @@ fn interner() -> &'static Mutex<Interner> {
     })
 }
 
-fn lock_interner() -> std::sync::MutexGuard<'static, Interner> {
+fn lock_interner() -> MutexGuard<'static, Interner> {
     // Telemetry is best-effort: a panic while interning must not cascade.
     match interner().lock() {
         Ok(g) => g,
@@ -513,7 +642,11 @@ pub fn install_panic_hook() {
         if head == 0 {
             return; // nothing recorded; keep crash output clean
         }
-        let since = head.saturating_sub(PANIC_DUMP_EVENTS as u64);
+        // Wrapping, not saturating: if the sequence space has wrapped the
+        // watermark must wrap with it, and when fewer than
+        // PANIC_DUMP_EVENTS were ever recorded the wrapped watermark is
+        // still (wrapping-)behind every live event, so all are kept.
+        let since = head.wrapping_sub(PANIC_DUMP_EVENTS as u64);
         let events = rec.drain_since(since);
         eprintln!(
             "{{\"flight_recorder\":{{\"head\":{head},\"events\":{}}}}}",
@@ -559,6 +692,35 @@ mod tests {
         // drain_since trims to a watermark.
         let tail = rec.drain_since(total - 5);
         assert_eq!(tail.len(), 5);
+    }
+
+    #[test]
+    fn ring_survives_u64_sequence_wraparound() {
+        // Start 5 events shy of the wrap point on a small ring: sequences
+        // run MAX-4, MAX-3, …, MAX, 0, 1, … and the stamp (seq + 1) hits
+        // the former "empty" sentinel 0 exactly at seq == u64::MAX.
+        let start = u64::MAX - 4;
+        let rec = FlightRecorder::with_capacity_and_start(8, start);
+        for i in 0..12u64 {
+            rec.record(EventKind::CounterAdd, 1, 0, i, 0);
+        }
+        assert_eq!(rec.head(), start.wrapping_add(12));
+        // The ring holds the last 8 events; a drain from the pre-wrap
+        // watermark must see them in recording order across the wrap.
+        let events = rec.drain_since(start);
+        assert_eq!(events.len(), 8);
+        for (k, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, start.wrapping_add(4 + k as u64));
+            assert_eq!(e.a, 4 + k as u64, "payload tracks recording order");
+        }
+        // The event published with stamp 0 (seq == u64::MAX) is live, not
+        // mistaken for an empty slot.
+        assert!(events.iter().any(|e| e.seq == u64::MAX));
+        // A post-wrap watermark trims correctly.
+        let tail = rec.drain_since(2);
+        assert_eq!(tail.len(), 5);
+        assert_eq!(tail[0].seq, 2);
+        assert_eq!(tail.last().map(|e| e.seq), Some(6));
     }
 
     #[test]

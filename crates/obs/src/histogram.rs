@@ -8,7 +8,7 @@
 //! IEEE-754 exponent bits, so powers of two land **exactly** on their
 //! bucket's lower bound — no float-log rounding at the boundaries.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{AtomicU64, Ordering};
 
 /// Number of log₂ buckets.
 pub const NUM_BUCKETS: usize = 64;

@@ -34,7 +34,7 @@
 //! `HICOND_OBS=off` and `HICOND_OBS=json` produce **bitwise-identical**
 //! results at any thread cap (`tests/determinism.rs`).
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use crate::sync::{AtomicU8, Ordering};
 
 pub mod export;
 pub mod flight;
@@ -42,6 +42,7 @@ pub mod histogram;
 pub mod json;
 pub mod registry;
 pub mod span;
+pub mod sync;
 pub mod watchdog;
 
 pub use export::{delta_snapshot, render_json, render_text, Snapshot};
@@ -81,8 +82,48 @@ fn init_mode_from_env() -> Mode {
         // binary refuse to run.
         _ => Mode::Off,
     };
-    set_mode(mode);
-    mode
+    latch_env_mode(mode)
+}
+
+/// Installs the env-derived mode only if no explicit [`set_mode`] won the
+/// latch first. Before the CAS fix, this path did an unconditional store,
+/// so an env reader racing an explicit `set_mode` could clobber the
+/// override ([`tests/model.rs` `obs_mode_latch`] explores every
+/// interleaving of that pair and certifies the explicit mode now wins).
+fn latch_env_mode(mode: Mode) -> Mode {
+    let v = mode_byte(mode);
+    // ordering: Relaxed suffices — the latch byte is standalone (see
+    // `mode()`); the CAS provides the needed atomicity, not ordering.
+    match MODE.compare_exchange(MODE_UNSET, v, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => mode,
+        // Lost the race to an explicit set_mode (or another env reader):
+        // honor whatever won.
+        Err(cur) => mode_from_byte(cur),
+    }
+}
+
+/// Model-check entry point for the env-latch path: what
+/// [`init_mode_from_env`] does after parsing, minus the process-global
+/// `std::env` read (environment access is not modeled).
+#[cfg(feature = "model")]
+pub fn model_latch_env_mode(mode: Mode) -> Mode {
+    latch_env_mode(mode)
+}
+
+fn mode_byte(mode: Mode) -> u8 {
+    match mode {
+        Mode::Off => MODE_OFF,
+        Mode::Text => MODE_TEXT,
+        Mode::Json => MODE_JSON,
+    }
+}
+
+fn mode_from_byte(v: u8) -> Mode {
+    match v {
+        MODE_TEXT => Mode::Text,
+        MODE_JSON => Mode::Json,
+        _ => Mode::Off,
+    }
 }
 
 /// Current mode, reading `HICOND_OBS` on first call.
@@ -104,15 +145,10 @@ pub fn mode() -> Mode {
 
 /// Overrides the mode (tests and the bench harness; wins over the env).
 pub fn set_mode(mode: Mode) {
-    let v = match mode {
-        Mode::Off => MODE_OFF,
-        Mode::Text => MODE_TEXT,
-        Mode::Json => MODE_JSON,
-    };
     // ordering: Relaxed suffices — the store publishes nothing beyond the
     // latch byte itself (see the matching load in `mode()`); no dependent
     // data is handed off through MODE.
-    MODE.store(v, Ordering::Relaxed);
+    MODE.store(mode_byte(mode), Ordering::Relaxed);
 }
 
 /// The hot-path guard: `true` iff recording is on. One `Relaxed` load.

@@ -7,8 +7,9 @@
 //! keep exports deterministically sorted.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use crate::sync::{AtomicU64, Mutex, Ordering};
 
 use crate::histogram::Histogram;
 
@@ -100,7 +101,7 @@ impl Registry {
         Registry::default()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+    fn lock(&self) -> crate::sync::MutexGuard<'_, Inner> {
         // A poisoned registry (a panic while holding the lock) must not
         // cascade: observability is best-effort by design.
         match self.inner.lock() {

@@ -1,0 +1,22 @@
+//! Synchronization facade (DESIGN.md §14).
+//!
+//! Every atomic, mutex and condvar in this crate is imported from here
+//! instead of `std::sync` directly. In a normal build the re-exports are
+//! the std types verbatim — zero cost, and the off-mode guarantee (one
+//! relaxed load per instrumented site) is untouched. Under the `model`
+//! cargo feature the same names resolve to the shadow types of
+//! `hicond-model`, which route every operation through the exhaustive
+//! interleaving explorer when executed inside `hicond_model::explore`
+//! (and pass through to std otherwise). The production sources compile
+//! unchanged in both worlds; `tests/model.rs` holds the checked protocol
+//! models, and `xtask model` runs them and renders `MODELS.md`.
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8};
+#[cfg(not(feature = "model"))]
+pub use std::sync::{Mutex, MutexGuard};
+
+#[cfg(feature = "model")]
+pub use hicond_model::shadow::{AtomicU32, AtomicU64, AtomicU8, Mutex, MutexGuard};
+
+pub use std::sync::atomic::Ordering;

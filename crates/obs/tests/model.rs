@@ -1,0 +1,168 @@
+//! Exhaustive-interleaving model checks of the obs concurrency kernel
+//! (run by `xtask model`; see DESIGN.md §14 and MODELS.md).
+//!
+//! Each test explores a real production protocol — the flight ring's
+//! seqlock slot and the mode latch — through the `crate::sync` facade,
+//! which under the `model` feature routes every atomic and mutex
+//! operation through the `hicond-model` explorer. The bodies call the
+//! *actual* production code (`FlightRecorder::record`, `set_mode`,
+//! `model_latch_env_mode`), not re-implementations, so a certification
+//! here is a statement about the shipped ordering annotations.
+//!
+//! `flight_seqlock_mutated` validates the checker itself: a seeded
+//! mutation that publishes the stamp before the payload must be refuted
+//! with a concrete interleaving trace.
+#![cfg(feature = "model")]
+
+use std::sync::Arc;
+
+use hicond_model::{explore, spawn, Config, Report};
+use hicond_obs::flight::{EventKind, FlightRecorder};
+use hicond_obs::{mode, model_latch_env_mode, set_mode, Mode};
+
+/// `HICOND_MODEL_FULL=1` removes the schedule budgets and enlarges the
+/// protocol instances (slower, run by `xtask model --full`).
+fn full() -> bool {
+    std::env::var_os("HICOND_MODEL_FULL").is_some()
+}
+
+fn finish(report: &Report, expected: &str) {
+    eprintln!("{}", report.render());
+    report.emit("hicond-obs", expected);
+}
+
+/// Payload tag: every recorded event carries `b == a ^ MAGIC`, so any
+/// torn (half-written) payload a reader accepts violates the invariant.
+const MAGIC: u64 = 0x5eed_cafe;
+
+/// First sequence number: one below the u64 wrap point, so the explored
+/// executions cross `seq == u64::MAX` and the publish stamp takes the
+/// value 0 (the pre-fix "empty" sentinel) while live.
+const START: u64 = u64::MAX - 1;
+
+/// The flight ring seqlock: a writer records events (claim → invalidate
+/// stamp → Release payload stores → Release publish) while a reader
+/// drains concurrently. Checks: the reader never yields a torn payload,
+/// and once the writer is done a drain sees exactly the retained events
+/// — including the one published with stamp 0 at the wrap point.
+///
+/// Three events through a two-slot ring, so slot 0 is *reused*: the
+/// next-lap overwrite is the hazard class where Relaxed payload
+/// accesses are genuinely unsound (a reader can read-from a next-lap
+/// payload store while both stamp loads still see the old stamp — the
+/// checker found exactly that before the payload accesses became
+/// Release/Acquire). The default budget stops after enough schedules to
+/// re-find that bug class with a wide margin (the historical
+/// counterexample surfaced at schedule 14); `--full` exhausts the tree
+/// and upgrades the outcome from `bounded` to `certified`.
+#[test]
+fn flight_seqlock() {
+    let n: u64 = 3;
+    let mut cfg = Config::new("flight_seqlock");
+    if !full() {
+        cfg = cfg.with_max_schedules(20_000);
+    }
+    let report = explore(cfg, move || {
+        let rec = Arc::new(FlightRecorder::with_capacity_and_start(2, START));
+        let writer = {
+            let rec = Arc::clone(&rec);
+            spawn(move || {
+                for i in 0..n {
+                    rec.record(EventKind::CounterAdd, 1, 0, i, i ^ MAGIC);
+                }
+            })
+        };
+        let reader = {
+            let rec = Arc::clone(&rec);
+            spawn(move || {
+                for ev in rec.drain_since(START) {
+                    assert_eq!(ev.b, ev.a ^ MAGIC, "reader accepted a torn payload");
+                    assert!(ev.a < n, "payload from a nonexistent event");
+                    assert!(ev.seq.wrapping_sub(START) < n, "sequence out of range");
+                }
+            })
+        };
+        writer.join();
+        reader.join();
+        // Quiescent drain: the last min(n, cap) events are all present,
+        // in order, with intact payloads (no lost event at the wrap).
+        let events = rec.drain_since(START);
+        let expect = n.min(2);
+        assert_eq!(events.len() as u64, expect, "event lost after quiescence");
+        for (k, ev) in events.iter().enumerate() {
+            let i = n - expect + k as u64;
+            assert_eq!(ev.seq, START.wrapping_add(i));
+            assert_eq!(ev.a, i);
+            assert_eq!(ev.b, i ^ MAGIC);
+        }
+    });
+    finish(&report, "pass");
+    assert!(report.passed(), "{}", report.render());
+}
+
+/// Checker validation: the deliberately broken publish order (stamp
+/// before payload) must be *caught*. If this exploration certifies, the
+/// model checker is blind and no other certificate can be trusted.
+#[test]
+fn flight_seqlock_mutated() {
+    let report = explore(Config::new("flight_seqlock_mutated"), || {
+        let rec = Arc::new(FlightRecorder::with_capacity_and_start(2, 0));
+        let writer = {
+            let rec = Arc::clone(&rec);
+            spawn(move || {
+                rec.record_buggy_publish(EventKind::CounterAdd, 1, 0, 5, 5 ^ MAGIC);
+            })
+        };
+        for ev in rec.drain_since(0) {
+            assert_eq!(ev.b, ev.a ^ MAGIC, "reader accepted a torn payload");
+        }
+        writer.join();
+    });
+    finish(&report, "counterexample");
+    match report.counterexample() {
+        Some(c) => {
+            assert_eq!(
+                c.kind,
+                "assertion",
+                "wrong failure class: {}",
+                report.render()
+            );
+            assert!(!c.trace.is_empty(), "counterexample must carry a trace");
+            assert!(
+                !c.schedule.is_empty(),
+                "counterexample must carry a schedule"
+            );
+        }
+        None => panic!(
+            "seeded publish-order mutation was NOT caught — checker is blind\n{}",
+            report.render()
+        ),
+    }
+}
+
+/// The mode latch: an explicit `set_mode` racing the env-derived latch.
+/// Certifies the fix (compare-exchange from UNSET): the explicit mode
+/// wins in every interleaving, and the env path returns whichever value
+/// actually latched.
+#[test]
+fn obs_mode_latch() {
+    let report = explore(Config::new("obs_mode_latch"), || {
+        let explicit = spawn(|| set_mode(Mode::Json));
+        let env = spawn(|| {
+            let won = model_latch_env_mode(Mode::Text);
+            assert!(
+                won == Mode::Text || won == Mode::Json,
+                "env latch returned a mode nobody wrote: {won:?}"
+            );
+        });
+        explicit.join();
+        env.join();
+        assert_eq!(
+            mode(),
+            Mode::Json,
+            "explicit set_mode was clobbered by the env latch"
+        );
+    });
+    finish(&report, "pass");
+    assert!(report.passed(), "{}", report.render());
+}

@@ -1,6 +1,6 @@
 //! Concurrency-soundness analyzer (`cargo run -p xtask -- analyze`).
 //!
-//! Four analyses over the whole workspace *including* `vendor/` (the
+//! Five analyses over the whole workspace *including* `vendor/` (the
 //! execution engine lives there), built on the shared lexer
 //! ([`crate::lexer`]) and block-structure parser ([`crate::scanner`]):
 //!
@@ -16,13 +16,20 @@
 //!    statics (mode/config latches) are publication/handoff candidates
 //!    and must carry an `ordering:` justification comment explaining why
 //!    `Relaxed` cannot lose a handoff.
-//! 3. **Lock-order analysis** (`lock-order`): extracts `Mutex`/`RwLock`
+//! 3. **Acquire-pairing check** (`acquire-pairing`): every
+//!    `ordering:`-justified `Ordering::Release` publication must say
+//!    which load observes it — "pairs with ... in \`fn\`" — and the named
+//!    function must exist in the workspace and actually perform an
+//!    Acquire-side observation. A Release comment that names a phantom or
+//!    Acquire-free reader is documentation rot over the exact edge the
+//!    happens-before argument rests on.
+//! 4. **Lock-order analysis** (`lock-order`): extracts `Mutex`/`RwLock`
 //!    acquisition nesting per function, propagates held-lock sets through
 //!    the intra-workspace call graph (calls that escape into `spawn(..)`
 //!    closures are excluded — the closure runs on another thread), and
 //!    fails on any cycle in the resulting lock-order graph
 //!    ([`crate::lockgraph`]).
-//! 4. **Send/Sync audit** (`sendsync-field`): every manual
+//! 5. **Send/Sync audit** (`sendsync-field`): every manual
 //!    `unsafe impl Send`/`Sync` must name the field-level payload its
 //!    justification argues about (field name for named structs, the
 //!    payload type token for tuple structs).
@@ -48,9 +55,10 @@ pub const ANALYZE_RATCHET_FILE: &str = "analyze.ratchet";
 pub const UNSAFETY_FILE: &str = "UNSAFETY.md";
 
 /// All analyze rules, in reporting order.
-pub const ANALYZE_RULES: [&str; 4] = [
+pub const ANALYZE_RULES: [&str; 5] = [
     "unsafe-justify",
     "relaxed-publication",
+    "acquire-pairing",
     "sendsync-field",
     "lock-order",
 ];
@@ -434,6 +442,127 @@ fn atomic_ordering(sf: &SourceFile, findings: &mut Vec<Located>) {
 }
 
 // ---------------------------------------------------------------------
+// Pass 2b: acquire-pairing check
+// ---------------------------------------------------------------------
+
+/// Backtick-quoted identifiers in a comment context (trailing `()` is
+/// stripped, so both `` `read_slot` `` and `` `read_slot()` `` name the
+/// function).
+fn backticked_names(ctx: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = ctx;
+    while let Some(open) = rest.find('`') {
+        let Some(close) = rest[open + 1..].find('`') else {
+            break;
+        };
+        let inner = rest[open + 1..open + 1 + close].trim_end_matches("()");
+        if !inner.is_empty() && inner.bytes().all(is_ident_char) {
+            out.push(inner.to_string());
+        }
+        rest = &rest[open + close + 2..];
+    }
+    out
+}
+
+/// True when the function performs an Acquire-side observation: a load,
+/// `compare_exchange`, `swap` or fetch-op line with `Acquire`, `AcqRel`
+/// or `SeqCst` ordering.
+fn fn_has_acquire_load(file: &ScannedFile, func: &Function) -> bool {
+    let end = func.end.min(file.lines.len());
+    file.lines[func.start..end].iter().any(|line| {
+        let code = &line.code;
+        (code.contains("Ordering::Acquire")
+            || code.contains("Ordering::AcqRel")
+            || code.contains("Ordering::SeqCst"))
+            && (code.contains(".load(")
+                || code.contains(".compare_exchange")
+                || code.contains(".swap(")
+                || RMW_OPS.iter().any(|op| code.contains(op)))
+    })
+}
+
+/// Checks every `ordering:`-justified Release publication against the
+/// workspace's function inventory: the comment must name (in backticks)
+/// at least one real function performing the pairing Acquire load. Runs
+/// over all files at once because the named reader routinely lives in
+/// another file of the same unit (e.g. a latch writer in `pool.rs`
+/// naming the fast-path reader).
+fn acquire_pairing(files: &[SourceFile], findings: &mut Vec<Located>) {
+    // Phase 1: which function names, workspace-wide, observe with
+    // Acquire? Same-name functions are merged optimistically (any
+    // definition with an Acquire load satisfies the pairing).
+    let mut acquire_fns: BTreeMap<&str, bool> = BTreeMap::new();
+    for sf in files {
+        for func in &sf.parsed.functions {
+            let has = fn_has_acquire_load(&sf.parsed.scanned, func);
+            let entry = acquire_fns.entry(func.name.as_str()).or_insert(false);
+            *entry = *entry || has;
+        }
+    }
+    // Phase 2: audit the Release publication sites.
+    for sf in files {
+        let file = &sf.parsed.scanned;
+        for (idx, line) in file.lines.iter().enumerate() {
+            if !line.code.contains("Ordering::Release") {
+                continue;
+            }
+            let is_publication = line.code.contains(".store(")
+                || line.code.contains(".swap(")
+                || line.code.contains(".compare_exchange");
+            if !is_publication {
+                continue;
+            }
+            let ctx = comment_context(file, idx);
+            // Only `ordering:`-justified sites are held to the pairing
+            // standard; unannotated Release stores are not publication
+            // *claims*. Suppress with `analyze: allow(acquire-pairing)`.
+            if !ctx.to_lowercase().contains("ordering:") || has_allow(&ctx, "acquire-pairing") {
+                continue;
+            }
+            let mut flag = |message: String| {
+                findings.push(Located {
+                    unit: sf.unit.clone(),
+                    rel_path: sf.rel_path.clone(),
+                    line: line.number,
+                    rule: "acquire-pairing",
+                    message,
+                });
+            };
+            if !ctx.to_lowercase().contains("pairs with") {
+                flag(
+                    "`ordering:` comment on a Release publication does not say which \
+                     Acquire load observes it (expected `pairs with ... in \
+                     `<fn>``)"
+                        .to_string(),
+                );
+                continue;
+            }
+            let named = backticked_names(&ctx);
+            let known: Vec<&String> = named
+                .iter()
+                .filter(|n| acquire_fns.contains_key(n.as_str()))
+                .collect();
+            if known.is_empty() {
+                flag(format!(
+                    "pairing comment names no function that exists in the workspace \
+                     (backticked: {})",
+                    if named.is_empty() {
+                        "none".to_string()
+                    } else {
+                        named.join(", ")
+                    }
+                ));
+            } else if !known.iter().any(|n| acquire_fns[n.as_str()]) {
+                flag(format!(
+                    "paired function `{}` performs no Acquire-side load",
+                    known[0]
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Pass 3: lock-order analysis
 // ---------------------------------------------------------------------
 
@@ -788,7 +917,13 @@ fn render_unsafety(sites: &[UnsafeSite]) -> String {
          {} justified. Every site must carry a `SAFETY:` comment (or `# Safety`\n\
          doc section) on or directly above it (`unsafe-justify` rule); manual\n\
          `unsafe impl Send/Sync` must additionally name the payload field the\n\
-         argument rests on (`sendsync-field` rule).",
+         argument rests on (`sendsync-field` rule).\n\
+         \n\
+         Several of these justifications rest on lock-free protocols (the\n\
+         flight ring seqlock, the pool's broadcast-slot handoff, the obs\n\
+         mode and scheduler-jitter latches). Those protocols are\n\
+         exhaustively model-checked by `cargo run -p xtask -- model`; the\n\
+         committed certificates live in [MODELS.md](MODELS.md).",
         sites.len(),
         justified
     );
@@ -835,6 +970,7 @@ pub fn run_analyze(
         unsafe_inventory(sf, &mut sites, &mut findings);
         atomic_ordering(sf, &mut findings);
     }
+    acquire_pairing(&files, &mut findings);
     let _graph = lock_order(&files, &mut findings, &mut report);
 
     // UNSAFETY.md: regenerate and write or diff.
@@ -1054,6 +1190,101 @@ mod tests {
         ws.write(
             "crates/demo/src/lib.rs",
             "use std::sync::atomic::{AtomicU8, Ordering};\nstatic MODE: AtomicU8 = AtomicU8::new(0);\npub fn set(v: u8) {\n    // ordering: Relaxed is sound — the latch guards no other memory.\n    MODE.store(v, Ordering::Relaxed);\n}\n",
+        );
+        let out = run_written(&ws);
+        assert!(out.passed(), "{}", out.report);
+    }
+
+    /// A latch with a Release publisher whose pairing target is the
+    /// `get` function; `load_ord` controls whether the named reader
+    /// really performs an Acquire load.
+    fn release_latch_src(comment: &str, load_ord: &str) -> String {
+        format!(
+            "use std::sync::atomic::{{AtomicU8, Ordering}};\n\
+             static MODE: AtomicU8 = AtomicU8::new(0);\n\
+             pub fn set(v: u8) {{\n    \
+                 {comment}\n    \
+                 MODE.store(v, Ordering::Release);\n\
+             }}\n\
+             pub fn get() -> u8 {{\n    \
+                 // ordering: {load_ord} latch load (see `set`).\n    \
+                 MODE.load(Ordering::{load_ord})\n\
+             }}\n"
+        )
+    }
+
+    #[test]
+    fn release_publication_must_name_its_acquire_reader() {
+        let ws = TempWorkspace::new("pairing-missing");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            &release_latch_src("// ordering: Release publishes the latch.", "Acquire"),
+        );
+        let out = run(&ws);
+        assert!(out.report.contains("acquire-pairing"), "{}", out.report);
+        assert!(out.report.contains("does not say which"), "{}", out.report);
+    }
+
+    #[test]
+    fn release_publication_pairing_resolves_across_functions() {
+        let ws = TempWorkspace::new("pairing-ok");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            &release_latch_src(
+                "// ordering: Release publishes the latch; pairs with the Acquire load in `get`.",
+                "Acquire",
+            ),
+        );
+        let out = run_written(&ws);
+        assert!(out.passed(), "{}", out.report);
+    }
+
+    #[test]
+    fn release_publication_naming_phantom_fn_flagged() {
+        let ws = TempWorkspace::new("pairing-phantom");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            &release_latch_src(
+                "// ordering: Release publishes; pairs with the Acquire load in `observe`.",
+                "Acquire",
+            ),
+        );
+        let out = run(&ws);
+        assert!(out.report.contains("acquire-pairing"), "{}", out.report);
+        assert!(
+            out.report.contains("no function that exists"),
+            "{}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn release_publication_paired_with_relaxed_reader_flagged() {
+        let ws = TempWorkspace::new("pairing-relaxed");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            &release_latch_src(
+                "// ordering: Release publishes the latch; pairs with the load in `get`.",
+                "Relaxed",
+            ),
+        );
+        let out = run(&ws);
+        assert!(out.report.contains("acquire-pairing"), "{}", out.report);
+        assert!(
+            out.report.contains("performs no Acquire-side load"),
+            "{}",
+            out.report
+        );
+    }
+
+    #[test]
+    fn unannotated_release_store_is_not_a_pairing_claim() {
+        // A Release store without an `ordering:` comment is outside the
+        // rule (it makes no documented pairing claim to audit).
+        let ws = TempWorkspace::new("pairing-silent");
+        ws.write(
+            "crates/demo/src/lib.rs",
+            "use std::sync::atomic::{AtomicU8, Ordering};\nstatic MODE: AtomicU8 = AtomicU8::new(0);\npub fn set(v: u8) {\n    MODE.store(v, Ordering::Release);\n}\n",
         );
         let out = run_written(&ws);
         assert!(out.passed(), "{}", out.report);

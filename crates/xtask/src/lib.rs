@@ -13,6 +13,7 @@
 pub mod analyze;
 pub mod lexer;
 pub mod lockgraph;
+pub mod model;
 pub mod ratchet;
 pub mod reach;
 pub mod rules;

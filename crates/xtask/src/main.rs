@@ -4,25 +4,36 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: cargo run -p xtask -- <audit|analyze|reach> [flags]
+usage: cargo run -p xtask -- <audit|analyze|reach|model> [flags]
 
 subcommands:
   audit            run the workspace static-analysis rules against the
                    ratchet file (audit.ratchet); exits non-zero on any
                    (crate, rule) count above its pin
   analyze          run the concurrency-soundness analyses (unsafe
-                   inventory, atomic-ordering lint, lock-order deadlock
-                   detection, Send/Sync audit) against analyze.ratchet
-                   and verify UNSAFETY.md is current
+                   inventory, atomic-ordering lint, acquire-pairing
+                   check, lock-order deadlock detection, Send/Sync
+                   audit) against analyze.ratchet and verify UNSAFETY.md
+                   is current
   reach            certify the untrusted decode/serve surface: every
                    panic-capable or allocation-amplifying operation
                    reachable from the declared entry points must carry a
                    `reach: allow` justification; checks reach.ratchet and
                    verifies REACHABILITY.md is current
+  model            run the exhaustive-interleaving model-check suites
+                   over the lock-free concurrency kernel (flight ring
+                   seqlock, pool handoff, mode/jitter latches), check
+                   each protocol against its expected outcome, verify
+                   MODELS.md is current, and compare against
+                   model.ratchet
 options:
   --write-ratchet       pin the current counts as the new baseline
   --write-unsafety      regenerate UNSAFETY.md (analyze only)
   --write-reachability  regenerate REACHABILITY.md (reach only)
+  --write-models        regenerate MODELS.md (model only)
+  --full                remove schedule budgets and enlarge protocol
+                        instances (model only; slower, does not touch
+                        MODELS.md)
   --explain <id>        print the entry-to-sink call chain for a finding
                         id of the form [rule@]path:line (reach only)
   --root <dir>          repo root (default: the workspace containing xtask)
@@ -33,6 +44,8 @@ fn main() -> ExitCode {
     let mut write_ratchet = false;
     let mut write_unsafety = false;
     let mut write_reachability = false;
+    let mut write_models = false;
+    let mut full = false;
     let mut explain: Option<String> = None;
     let mut root: Option<PathBuf> = None;
     let mut subcommand: Option<String> = None;
@@ -42,6 +55,8 @@ fn main() -> ExitCode {
             "--write-ratchet" => write_ratchet = true,
             "--write-unsafety" => write_unsafety = true,
             "--write-reachability" => write_reachability = true,
+            "--write-models" => write_models = true,
+            "--full" => full = true,
             "--explain" => match it.next() {
                 Some(id) => explain = Some(id),
                 None => {
@@ -132,6 +147,20 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("model") => match xtask::model::run_model(&root, full, write_models, write_ratchet) {
+            Ok(outcome) => {
+                print!("{}", outcome.report);
+                if outcome.passed() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("model error: {e}");
+                ExitCode::from(2)
+            }
+        },
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)

@@ -1,0 +1,552 @@
+//! `xtask model` — drives the exhaustive-interleaving model-check
+//! suites and maintains the `MODELS.md` certificate.
+//!
+//! The protocol models themselves live next to the code they certify
+//! (`crates/obs/tests/model.rs`, `vendor/rayon/tests/model.rs`) and run
+//! under the `model` cargo feature, which swaps the `sync` facade
+//! modules from `std::sync` to the `hicond-model` shadow types (see
+//! DESIGN.md §14). This driver:
+//!
+//! 1. runs each suite via `cargo test --features model` with
+//!    `HICOND_MODEL_OUT` pointed at a scratch directory, so every
+//!    [`explore`](../../modelcheck) call drops a `<protocol>.stats`
+//!    file;
+//! 2. checks each protocol's outcome against its declared expectation
+//!    (`pass` for production protocols, `counterexample` for the seeded
+//!    mutations that validate the checker itself) and that no expected
+//!    protocol went missing;
+//! 3. renders the certificate table and fails when the committed
+//!    `MODELS.md` is stale (`--write-models` regenerates it);
+//! 4. pins per-crate unexpected-outcome counts in `model.ratchet` with
+//!    the same mechanics as the other ratchets — the file stays empty
+//!    (all pins zero) for as long as every protocol behaves.
+//!
+//! `--full` removes the schedule budgets and enlarges the protocol
+//! instances (`HICOND_MODEL_FULL=1`). Exploration statistics differ in
+//! that mode, so `--full` never touches `MODELS.md`: the committed
+//! certificate always pins the default (CI) run.
+
+use crate::ratchet::Ratchet;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::Command;
+
+/// Name of the committed certificate at the repo root.
+pub const MODELS_FILE: &str = "MODELS.md";
+
+/// Name of the model ratchet file at the repo root.
+pub const MODEL_RATCHET_FILE: &str = "model.ratchet";
+
+/// The protocol models the workspace must certify: `(crate, protocol,
+/// expected outcome class)`. A missing stats file for any row is a
+/// failure — a suite that silently stops exploring a protocol must not
+/// keep presenting last month's certificate.
+const EXPECTED: [(&str, &str, &str); 5] = [
+    ("hicond-obs", "flight_seqlock", "pass"),
+    ("hicond-obs", "flight_seqlock_mutated", "counterexample"),
+    ("hicond-obs", "obs_mode_latch", "pass"),
+    ("rayon", "sched_jitter_latch", "pass"),
+    ("rayon", "pool_handoff", "pass"),
+];
+
+/// The cargo test invocations that produce the stats files, as
+/// `(package, human label)`.
+const SUITES: [(&str, &str); 2] = [
+    ("hicond-obs", "obs concurrency kernel"),
+    ("rayon", "pool concurrency kernel"),
+];
+
+/// One parsed `<protocol>.stats` file.
+#[derive(Debug, Clone)]
+pub struct ProtocolStats {
+    pub protocol: String,
+    pub krate: String,
+    pub expected: String,
+    pub outcome: String,
+    pub schedules: u64,
+    pub transitions: u64,
+    pub max_depth: u64,
+    pub threads: u64,
+    pub preemption_bound: String,
+    /// Failure class when `outcome == "counterexample"`.
+    pub kind: Option<String>,
+}
+
+/// Result of a model run.
+#[derive(Debug)]
+pub struct ModelOutcome {
+    /// Human-readable report (always printable).
+    pub report: String,
+    /// Suites that failed to run plus protocols missing or off-expectation.
+    pub failures: usize,
+    /// (crate, rule) pairs whose count rose above the ratchet pin.
+    pub regressions: usize,
+    /// True when `MODELS.md` on disk does not match the regenerated
+    /// certificate (run with `--write-models` to refresh).
+    pub models_stale: bool,
+}
+
+impl ModelOutcome {
+    /// True when the model pass should exit successfully.
+    pub fn passed(&self) -> bool {
+        self.failures == 0 && self.regressions == 0 && !self.models_stale
+    }
+}
+
+/// Parses one stats file (`key=value` lines) into [`ProtocolStats`].
+fn parse_stats(text: &str) -> Result<ProtocolStats, String> {
+    let mut kv: BTreeMap<&str, &str> = BTreeMap::new();
+    for line in text.lines() {
+        if let Some((k, v)) = line.split_once('=') {
+            kv.insert(k.trim(), v.trim());
+        }
+    }
+    let field = |k: &str| -> Result<String, String> {
+        kv.get(k)
+            .map(|v| v.to_string())
+            .ok_or_else(|| format!("stats file missing `{k}`"))
+    };
+    let num = |k: &str| -> Result<u64, String> {
+        field(k)?
+            .parse()
+            .map_err(|_| format!("stats file has non-numeric `{k}`"))
+    };
+    Ok(ProtocolStats {
+        protocol: field("protocol")?,
+        krate: field("crate")?,
+        expected: field("expected")?,
+        outcome: field("outcome")?,
+        schedules: num("schedules")?,
+        transitions: num("transitions")?,
+        max_depth: num("max_depth")?,
+        threads: num("threads")?,
+        preemption_bound: field("preemption_bound")?,
+        kind: kv.get("kind").map(|v| v.to_string()),
+    })
+}
+
+/// Reads every `.stats` file in `dir`.
+fn collect_stats(dir: &Path) -> Result<Vec<ProtocolStats>, String> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(format!("reading {}: {e}", dir.display())),
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "stats"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        out.push(parse_stats(&text).map_err(|e| format!("{}: {e}", path.display()))?);
+    }
+    Ok(out)
+}
+
+/// True when an observed outcome satisfies the declared expectation.
+/// `bounded` counts as passing for `pass` rows: the budgeted smoke run
+/// certifies up to its pinned schedule budget, and `--full` removes the
+/// budget for the unconditional certificate.
+fn outcome_matches(expected: &str, outcome: &str) -> bool {
+    match expected {
+        "pass" => outcome == "certified" || outcome == "bounded",
+        "counterexample" => outcome == "counterexample",
+        _ => false,
+    }
+}
+
+/// Renders the committed `MODELS.md` certificate from the collected
+/// stats, in the fixed [`EXPECTED`] row order.
+fn render_models(stats: &[ProtocolStats]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Model-checking certificates");
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Generated by `cargo run -p xtask -- model --write-models`. Do not edit\n\
+         by hand: `xtask model` fails when this file is stale."
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Each row is one protocol of the lock-free concurrency kernel explored\n\
+         by the `hicond-model` exhaustive-interleaving checker (DPOR over\n\
+         release/acquire + relaxed read-from decisions; DESIGN.md §14) through\n\
+         the production `sync` facades — the bodies drive the shipped code, not\n\
+         re-implementations. `certified` means every reachable interleaving\n\
+         (modulo partial-order equivalence) was explored without a failure;\n\
+         `bounded` means no failure within the pinned schedule budget (the\n\
+         unbudgeted run is `cargo run -p xtask -- model --full`). Rows\n\
+         expecting `counterexample` are seeded mutations that validate the\n\
+         checker itself: the certificate is only trustworthy because the\n\
+         broken variant is demonstrably caught."
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "| protocol | crate | expected | outcome | schedules | transitions | depth | threads |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+    for (krate, protocol, _) in EXPECTED {
+        let Some(s) = stats
+            .iter()
+            .find(|s| s.krate == krate && s.protocol == protocol)
+        else {
+            let _ = writeln!(
+                out,
+                "| {protocol} | {krate} | — | **missing** | — | — | — | — |"
+            );
+            continue;
+        };
+        let outcome = match &s.kind {
+            Some(kind) => format!("{} ({kind})", s.outcome),
+            None => s.outcome.clone(),
+        };
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} |",
+            s.protocol,
+            s.krate,
+            s.expected,
+            outcome,
+            s.schedules,
+            s.transitions,
+            s.max_depth,
+            s.threads
+        );
+    }
+    out
+}
+
+/// Audits collected stats against [`EXPECTED`], appending failure lines
+/// to `report`. Returns `(failures, per-crate unexpected-outcome counts)`.
+fn audit_stats(
+    stats: &[ProtocolStats],
+    report: &mut String,
+) -> (usize, BTreeMap<(String, String), usize>) {
+    let mut failures = 0usize;
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for (krate, protocol, expected) in EXPECTED {
+        let Some(s) = stats
+            .iter()
+            .find(|s| s.krate == krate && s.protocol == protocol)
+        else {
+            failures += 1;
+            let _ = writeln!(
+                report,
+                "MISSING [{krate}/{protocol}]: no stats emitted — suite skipped or \
+                 the protocol was dropped from its test file"
+            );
+            continue;
+        };
+        if s.expected != expected {
+            failures += 1;
+            let _ = writeln!(
+                report,
+                "MISMATCH [{krate}/{protocol}]: suite declares expected `{}`, \
+                 driver expects `{expected}`",
+                s.expected
+            );
+        }
+        if !outcome_matches(expected, &s.outcome) {
+            failures += 1;
+            *counts
+                .entry((krate.to_string(), "unexpected-outcome".to_string()))
+                .or_insert(0) += 1;
+            let _ = writeln!(
+                report,
+                "UNEXPECTED [{krate}/{protocol}]: outcome `{}` (expected `{expected}`)",
+                s.outcome
+            );
+        }
+    }
+    (failures, counts)
+}
+
+/// Runs one model suite, streaming nothing: output is captured and only
+/// surfaced on failure. Returns `Ok(true)` when the suite passed.
+fn run_suite(
+    root: &Path,
+    package: &str,
+    label: &str,
+    out_dir: &Path,
+    full: bool,
+    report: &mut String,
+) -> Result<bool, String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(root)
+        .args(["test", "--offline", "-q", "-p", package])
+        .args(["--features", "model", "--test", "model"])
+        .env("HICOND_MODEL_OUT", out_dir);
+    if full {
+        cmd.env("HICOND_MODEL_FULL", "1");
+    } else {
+        cmd.env_remove("HICOND_MODEL_FULL");
+    }
+    let output = cmd
+        .output()
+        .map_err(|e| format!("spawning cargo test -p {package}: {e}"))?;
+    if output.status.success() {
+        let _ = writeln!(report, "suite {package} ({label}): ok");
+        Ok(true)
+    } else {
+        let _ = writeln!(report, "suite {package} ({label}): FAILED");
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        for line in stdout.lines().chain(stderr.lines()) {
+            let _ = writeln!(report, "  {line}");
+        }
+        Ok(false)
+    }
+}
+
+/// Runs the model-check suites and certificate checks (see module docs).
+pub fn run_model(
+    root: &Path,
+    full: bool,
+    write_models: bool,
+    write_ratchet: bool,
+) -> Result<ModelOutcome, String> {
+    if full && write_models {
+        return Err(
+            "--full changes the exploration statistics; MODELS.md pins the default \
+             run. Rerun `--write-models` without `--full`."
+                .to_string(),
+        );
+    }
+
+    let out_dir = std::env::temp_dir().join(format!("hicond-model-out-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+
+    let mut report = String::new();
+    let mut failures = 0usize;
+    for (package, label) in SUITES {
+        if !run_suite(root, package, label, &out_dir, full, &mut report)? {
+            failures += 1;
+        }
+    }
+
+    let stats = collect_stats(&out_dir)?;
+    let _ = std::fs::remove_dir_all(&out_dir);
+    for s in &stats {
+        let _ = writeln!(
+            report,
+            "model `{}` [{}]: {} ({} schedules, {} transitions, depth {}, {} threads)",
+            s.protocol, s.krate, s.outcome, s.schedules, s.transitions, s.max_depth, s.threads
+        );
+    }
+    let (audit_failures, counts) = audit_stats(&stats, &mut report);
+    failures += audit_failures;
+
+    // MODELS.md: regenerate and write or diff (default run only; see
+    // module docs for why `--full` never touches the certificate).
+    let models_path = root.join(MODELS_FILE);
+    let mut models_stale = false;
+    if !full {
+        let rendered = render_models(&stats);
+        if write_models {
+            std::fs::write(&models_path, &rendered)
+                .map_err(|e| format!("writing {}: {e}", models_path.display()))?;
+            let _ = writeln!(report, "wrote {}", models_path.display());
+        } else {
+            let on_disk = std::fs::read_to_string(&models_path).unwrap_or_default();
+            if on_disk != rendered {
+                models_stale = true;
+                let _ = writeln!(
+                    report,
+                    "STALE {}: regenerate with `cargo run -p xtask -- model --write-models`",
+                    models_path.display()
+                );
+            }
+        }
+    } else {
+        let _ = writeln!(
+            report,
+            "(--full run: MODELS.md freshness not checked — the committed \
+             certificate pins the default budgets)"
+        );
+    }
+
+    // Ratchet mechanics (shared with the other passes). The pins stay at
+    // zero — `from_counts` drops zero entries — so any unexpected
+    // outcome is a regression by construction.
+    let ratchet_path = root.join(MODEL_RATCHET_FILE);
+    let mut regressions = 0usize;
+    if write_ratchet {
+        let r = Ratchet::from_counts(&counts);
+        std::fs::write(&ratchet_path, r.serialize_titled("model", "counterexample"))
+            .map_err(|e| format!("writing {}: {e}", ratchet_path.display()))?;
+        let _ = writeln!(report, "wrote {}", ratchet_path.display());
+    } else {
+        let pinned = Ratchet::load(&ratchet_path)?;
+        for ((krate, rule), &found) in &counts {
+            let pin = pinned.pinned(krate, rule);
+            if found > pin {
+                regressions += 1;
+                let _ = writeln!(
+                    report,
+                    "REGRESSION [{krate}/{rule}]: {found} unexpected outcome(s) \
+                     (ratchet pins {pin})"
+                );
+            }
+        }
+    }
+
+    let _ = writeln!(
+        report,
+        "model: {} protocol(s) checked, {failures} failure(s), {regressions} regression(s)",
+        stats.len()
+    );
+    Ok(ModelOutcome {
+        report,
+        failures,
+        regressions,
+        models_stale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(krate: &str, protocol: &str, expected: &str, outcome: &str) -> ProtocolStats {
+        ProtocolStats {
+            protocol: protocol.to_string(),
+            krate: krate.to_string(),
+            expected: expected.to_string(),
+            outcome: outcome.to_string(),
+            schedules: 100,
+            transitions: 2000,
+            max_depth: 30,
+            threads: 3,
+            preemption_bound: "none".to_string(),
+            kind: (outcome == "counterexample").then(|| "assertion".to_string()),
+        }
+    }
+
+    fn full_suite() -> Vec<ProtocolStats> {
+        EXPECTED
+            .iter()
+            .map(|(k, p, e)| {
+                let outcome = if *e == "counterexample" {
+                    "counterexample"
+                } else {
+                    "certified"
+                };
+                stats(k, p, e, outcome)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parse_stats_roundtrip() {
+        let text = "protocol=flight_seqlock\ncrate=hicond-obs\nexpected=pass\n\
+                    outcome=certified\nschedules=1833\ntransitions=69556\n\
+                    max_depth=42\nthreads=3\npreemption_bound=none\n";
+        let s = parse_stats(text).unwrap();
+        assert_eq!(s.protocol, "flight_seqlock");
+        assert_eq!(s.schedules, 1833);
+        assert_eq!(s.kind, None);
+        assert!(
+            parse_stats("protocol=x\n").is_err(),
+            "missing keys must error"
+        );
+    }
+
+    #[test]
+    fn healthy_suite_audits_clean() {
+        let mut report = String::new();
+        let (failures, counts) = audit_stats(&full_suite(), &mut report);
+        assert_eq!(failures, 0, "{report}");
+        assert!(counts.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn missing_protocol_is_a_failure() {
+        let mut suite = full_suite();
+        suite.retain(|s| s.protocol != "pool_handoff");
+        let mut report = String::new();
+        let (failures, _) = audit_stats(&suite, &mut report);
+        assert_eq!(failures, 1);
+        assert!(report.contains("MISSING [rayon/pool_handoff]"), "{report}");
+    }
+
+    #[test]
+    fn unexpected_counterexample_is_counted() {
+        let mut suite = full_suite();
+        for s in &mut suite {
+            if s.protocol == "flight_seqlock" {
+                s.outcome = "counterexample".to_string();
+            }
+        }
+        let mut report = String::new();
+        let (failures, counts) = audit_stats(&suite, &mut report);
+        assert_eq!(failures, 1);
+        assert_eq!(
+            counts.get(&("hicond-obs".to_string(), "unexpected-outcome".to_string())),
+            Some(&1)
+        );
+        assert!(
+            report.contains("UNEXPECTED [hicond-obs/flight_seqlock]"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn uncaught_seeded_mutation_is_a_failure() {
+        // The mutated protocol certifying means the checker is blind.
+        let mut suite = full_suite();
+        for s in &mut suite {
+            if s.protocol == "flight_seqlock_mutated" {
+                s.outcome = "certified".to_string();
+                s.kind = None;
+            }
+        }
+        let mut report = String::new();
+        let (failures, _) = audit_stats(&suite, &mut report);
+        assert_eq!(failures, 1);
+        assert!(
+            report.contains("UNEXPECTED [hicond-obs/flight_seqlock_mutated]"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn bounded_outcome_satisfies_pass_rows() {
+        assert!(outcome_matches("pass", "bounded"));
+        assert!(outcome_matches("pass", "certified"));
+        assert!(!outcome_matches("pass", "counterexample"));
+        assert!(!outcome_matches("counterexample", "certified"));
+        assert!(!outcome_matches("counterexample", "bounded"));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_row_ordered() {
+        let mut suite = full_suite();
+        suite.reverse(); // input order must not matter
+        let md = render_models(&suite);
+        assert_eq!(md, render_models(&full_suite()));
+        let flight = md.find("| flight_seqlock |").unwrap();
+        let pool = md.find("| pool_handoff |").unwrap();
+        assert!(flight < pool, "rows must follow EXPECTED order:\n{md}");
+        assert!(md.contains("counterexample (assertion)"), "{md}");
+    }
+
+    #[test]
+    fn render_marks_missing_rows() {
+        let mut suite = full_suite();
+        suite.retain(|s| s.protocol != "obs_mode_latch");
+        let md = render_models(&suite);
+        assert!(
+            md.contains("| obs_mode_latch | hicond-obs | — | **missing** |"),
+            "{md}"
+        );
+    }
+}

@@ -21,6 +21,11 @@ cargo run -p xtask --offline -q -- analyze
 step "xtask reach (panic reachability of the untrusted decode/serve surface)"
 cargo run -p xtask --offline -q -- reach
 
+step "xtask model (bounded exhaustive-interleaving checks of the lock-free protocols)"
+# Fails on any counterexample, an uncaught seeded mutation, or a stale
+# MODELS.md certificate; `--full` removes the schedule budgets (manual).
+cargo run -p xtask --offline -q -- model
+
 step "cargo build --release --offline"
 cargo build --release --offline --workspace
 

@@ -250,6 +250,84 @@ fn flight_ring_contention_exact_counts_and_monotone_seqs() {
     });
 }
 
+/// Forces the worst seqlock case deterministically: a writer frozen
+/// *between* the payload stores of a slot (via the debug-build mid-slot
+/// hook) while a reader drains. The half-written slot must be invisible
+/// — its stamp still holds the invalidation marker — and every event the
+/// drain does return must carry an intact payload pair. This is the
+/// native companion to the exhaustive `flight_seqlock` model
+/// (`crates/obs/tests/model.rs`, MODELS.md): the model certifies all
+/// interleavings of a tiny instance, this pins the real
+/// `std::sync::atomic` build on the one interleaving that matters most.
+#[cfg(debug_assertions)]
+#[test]
+fn torn_slot_stalled_writer_is_discarded_not_garbled() {
+    use hicond_obs::flight::FlightRecorder;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    // Sequence range far above anything the process-global recorder can
+    // reach in a test run, so the hook ignores every other writer.
+    const START: u64 = 0x7a57_0000_0000_0000;
+    const MAGIC: u64 = 0x5eed_cafe;
+    const N: u64 = 6;
+    const CAP: usize = 4;
+    /// 1-based index of the record currently stalled mid-slot (0: none).
+    static STALLED: AtomicU64 = AtomicU64::new(0);
+    /// Number of stalls the driving thread has released.
+    static RELEASED: AtomicU64 = AtomicU64::new(0);
+
+    let installed = flight::set_mid_slot_hook(Box::new(|seq| {
+        let i = seq.wrapping_sub(START);
+        if i < N {
+            STALLED.store(i + 1, Ordering::Release);
+            while RELEASED.load(Ordering::Acquire) < i + 1 {
+                std::thread::yield_now();
+            }
+        }
+    }));
+    assert!(installed, "mid-slot hook already installed in this process");
+
+    let rec = Arc::new(FlightRecorder::with_capacity_and_start(CAP, START));
+    let writer = {
+        let rec = Arc::clone(&rec);
+        std::thread::spawn(move || {
+            for i in 0..N {
+                rec.record(EventKind::CacheHit, 7, 0, i, i ^ MAGIC);
+            }
+        })
+    };
+    for i in 0..N {
+        while STALLED.load(Ordering::Acquire) != i + 1 {
+            std::thread::yield_now();
+        }
+        // The writer is frozen between the payload stores of seq
+        // START+i. The drain must see exactly the published window —
+        // the three preceding events — and never the torn slot.
+        let seqs: Vec<u64> = rec
+            .drain_since(START)
+            .into_iter()
+            .map(|ev| {
+                assert_eq!(ev.b, ev.a ^ MAGIC, "drain returned a torn payload");
+                ev.seq
+            })
+            .collect();
+        let expect: Vec<u64> = (i.saturating_sub(3)..i).map(|j| START + j).collect();
+        assert_eq!(seqs, expect, "mid-stall drain window wrong at event {i}");
+        RELEASED.store(i + 1, Ordering::Release);
+    }
+    writer.join().expect("writer thread panicked");
+    // Quiescent: the last CAP events survive with payloads intact.
+    let events = rec.drain_since(START);
+    assert_eq!(events.len(), CAP, "wrong number of live events");
+    for (k, ev) in events.iter().enumerate() {
+        let i = N - CAP as u64 + k as u64;
+        assert_eq!(ev.seq, START + i);
+        assert_eq!(ev.a, i);
+        assert_eq!(ev.b, i ^ MAGIC, "payload garbled after quiescence");
+    }
+}
+
 #[test]
 fn flight_ring_wrap_under_contention_keeps_last_window() {
     // Overflow the ring by half a lap under the full pool: the recorder

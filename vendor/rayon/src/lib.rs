@@ -30,6 +30,7 @@
 pub mod iter;
 pub mod pool;
 pub mod reduce;
+pub mod sync;
 
 use std::cell::UnsafeCell;
 use std::cmp::Ordering;

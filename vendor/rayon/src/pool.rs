@@ -40,8 +40,9 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::OnceLock;
+
+use crate::sync::{AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering};
 
 /// Hard ceiling on pool width; guards against absurd `HICOND_THREADS`.
 const MAX_POOL_WIDTH: usize = 256;
@@ -152,9 +153,28 @@ const JITTER_ON: u8 = 2;
 static JITTER_STATE: AtomicU8 = AtomicU8::new(JITTER_UNINIT);
 static JITTER_SEED: AtomicU64 = AtomicU64::new(0);
 
-/// Overrides schedule jitter in-process (tests; wins over the env).
-/// `Some(seed)` enables perturbation, `None` disables it.
-pub fn set_sched_jitter(seed: Option<u64>) {
+/// Serializes jitter latch *writers*; the reader fast path in
+/// [`sched_jitter`] stays lock-free. The latch is a two-word protocol
+/// (state byte + seed word), so a CAS on the state byte alone cannot make
+/// the pair atomic — an env-path seed store could still clobber an
+/// explicit seed whose state store had already won. All writers therefore
+/// take this mutex, and the env path re-checks the state under the lock
+/// before installing anything (`tests/model.rs` `sched_jitter_latch`
+/// explores every interleaving of the two writers plus a reader and
+/// certifies the explicit seed survives and no reader sees a torn pair).
+static JITTER_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_jitter_writers() -> MutexGuard<'static, ()> {
+    // The critical sections store two atomics; a poisoned lock cannot
+    // leave them torn in a way the protocol does not already tolerate.
+    match JITTER_LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The raw latch stores. Callers must hold [`JITTER_LOCK`].
+fn store_jitter(seed: Option<u64>) {
     match seed {
         Some(s) => {
             // ordering: Relaxed suffices for the seed itself — the
@@ -162,12 +182,70 @@ pub fn set_sched_jitter(seed: Option<u64>) {
             // and it orders this store before the state flip.
             JITTER_SEED.store(s, Ordering::Relaxed);
             // ordering: Release publishes the seed store above — a reader
-            // that Acquire-loads JITTER_ON is guaranteed to see this seed.
+            // that Acquire-loads JITTER_ON is guaranteed to see this
+            // seed; pairs with the Acquire state load in `sched_jitter`.
             JITTER_STATE.store(JITTER_ON, Ordering::Release);
         }
         // ordering: Release keeps the state byte's happens-before edge
-        // uniform with the enable path; no seed accompanies "off".
+        // uniform with the enable path (no seed accompanies "off");
+        // pairs with the Acquire state load in `sched_jitter`.
         None => JITTER_STATE.store(JITTER_OFF, Ordering::Release),
+    }
+}
+
+/// Overrides schedule jitter in-process (tests; wins over the env).
+/// `Some(seed)` enables perturbation, `None` disables it.
+pub fn set_sched_jitter(seed: Option<u64>) {
+    let _w = lock_jitter_writers();
+    store_jitter(seed);
+}
+
+/// The env path's half of the latch protocol: installs `seed` only if no
+/// explicit [`set_sched_jitter`] latched while the environment was being
+/// parsed, and returns whatever configuration actually won.
+fn latch_env_jitter(seed: Option<u64>) -> Option<u64> {
+    let _w = lock_jitter_writers();
+    // ordering: Relaxed suffices — the writer mutex orders this read
+    // after any earlier writer's stores; the load only decides whether
+    // somebody latched first.
+    if JITTER_STATE.load(Ordering::Relaxed) == JITTER_UNINIT {
+        store_jitter(seed);
+        return seed;
+    }
+    // Lost the race to an explicit override (or another env reader):
+    // honor the winner.
+    // ordering: Relaxed suffices — still under the writer lock, which
+    // orders this load after the winning writer's critical section.
+    match JITTER_STATE.load(Ordering::Relaxed) {
+        // ordering: Relaxed suffices — same writer-lock ordering as the
+        // state load above, so the state/seed pair is consistent.
+        JITTER_ON => Some(JITTER_SEED.load(Ordering::Relaxed)),
+        _ => None,
+    }
+}
+
+/// Model-check entry point for the env-latch path: what [`sched_jitter`]
+/// does in its unresolved arm after parsing, minus the process-global
+/// `std::env` read (environment access is not modeled).
+#[cfg(feature = "model")]
+pub fn model_latch_env_jitter(seed: Option<u64>) -> Option<u64> {
+    latch_env_jitter(seed)
+}
+
+/// Model-check probe of the lock-free reader fast path: `None` while the
+/// latch is unresolved, `Some(config)` once latched. Never touches the
+/// environment, so a model can run it concurrently with the writers.
+#[cfg(feature = "model")]
+pub fn model_jitter_probe() -> Option<Option<u64>> {
+    // ordering: Acquire pairs with the Release state stores in
+    // `store_jitter`, exactly like the fast path in `sched_jitter`.
+    match JITTER_STATE.load(Ordering::Acquire) {
+        // ordering: Relaxed suffices for the seed — the Acquire state
+        // load above synchronizes with the Release in `store_jitter`,
+        // which happens-after the seed store.
+        JITTER_ON => Some(Some(JITTER_SEED.load(Ordering::Relaxed))),
+        JITTER_OFF => Some(None),
+        _ => None,
     }
 }
 
@@ -180,12 +258,12 @@ pub fn set_sched_jitter(seed: Option<u64>) {
 /// must never silently run an unjittered (and therefore unrepresentative)
 /// stress run.
 pub fn sched_jitter() -> Option<u64> {
-    // ordering: Acquire pairs with the Release store in
-    // `set_sched_jitter` so the seed read below cannot be stale.
+    // ordering: Acquire pairs with the Release state stores in
+    // `store_jitter` so the seed read below cannot be stale.
     match JITTER_STATE.load(Ordering::Acquire) {
         // ordering: Relaxed suffices for the seed load — the Acquire
         // load of JITTER_ON above synchronizes with the Release store in
-        // `set_sched_jitter`, which happens-after the seed store.
+        // `store_jitter`, which happens-after the seed store.
         JITTER_ON => Some(JITTER_SEED.load(Ordering::Relaxed)),
         JITTER_OFF => None,
         _ => {
@@ -198,8 +276,7 @@ pub fn sched_jitter() -> Option<u64> {
                 },
                 Err(_) => None,
             };
-            set_sched_jitter(seed);
-            seed
+            latch_env_jitter(seed)
         }
     }
 }

@@ -1,0 +1,18 @@
+//! Synchronization facade (DESIGN.md §14).
+//!
+//! The pool imports its atomics, mutexes and condvars from here instead
+//! of `std::sync`. Normal builds re-export the std types verbatim (zero
+//! cost); under the `model` cargo feature the same names resolve to the
+//! shadow types of `hicond-model` so the protocols in `tests/model.rs`
+//! can be explored exhaustively by `xtask model`. Production sources
+//! compile unchanged in both worlds.
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize};
+#[cfg(not(feature = "model"))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(feature = "model")]
+pub use hicond_model::shadow::{AtomicU64, AtomicU8, AtomicUsize, Condvar, Mutex, MutexGuard};
+
+pub use std::sync::atomic::Ordering;
