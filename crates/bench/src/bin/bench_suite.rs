@@ -4,7 +4,7 @@
 //! contraction (subtree sizes via list ranking), planar [φ, ρ]
 //! decomposition, and the artifact build/load/solve triple — under thread
 //! caps 1/2/4/8 and writes the results to
-//! `BENCH_pr8.json` so every future PR can diff against them. Before any
+//! `BENCH_pr10.json` so every future PR can diff against them. Before any
 //! timing, each workload's output at the maximum thread cap is checked
 //! **bitwise** against the 1-thread output (the engine's determinism
 //! contract), and the run aborts on any mismatch. The `hicond_obs`
@@ -26,9 +26,18 @@
 //! exercise the full code path in a couple of seconds (the JSON is then
 //! marked `"mode": "smoke"` and not meant for cross-PR comparison).
 //! `--baseline PATH` points at a previous trajectory (default
-//! `BENCH_pr7.json`, then `BENCH_pr5.json`, when present) whose
-//! single-thread PCG median seeds the `pcg_speedup_vs_baseline_1t` meta
-//! field.
+//! `BENCH_pr8.json`, then `BENCH_pr7.json`/`BENCH_pr5.json`, when
+//! present) whose single-thread PCG median seeds the
+//! `pcg_speedup_vs_baseline_1t` meta field.
+//!
+//! A **batched-solve phase** sweeps the multi-client coalescing width
+//! k ∈ {1, 2, 4, 8} on the planar benchmark: k sequential
+//! `LaplacianSolver::solve` calls vs one `solve_block` over the same k
+//! right-hand sides, interleaved. Each width is first gated bitwise —
+//! every block column must equal its solo solve at 1 thread *and* at the
+//! maximum cap — and in full mode the run aborts unless batched k=8
+//! throughput strictly exceeds sequential k=1 (the `hicond serve
+//! --listen` batching win). Results land under a top-level `"batch"` key.
 //!
 //! An **observability cost gate** times the same single-threaded PCG solve
 //! with the flight recorder + metrics fully enabled (`HICOND_OBS=json`)
@@ -63,7 +72,7 @@ struct Config {
 fn parse_args() -> Config {
     let mut cfg = Config {
         smoke: false,
-        out: "BENCH_pr8.json".to_string(),
+        out: "BENCH_pr10.json".to_string(),
         baseline: None,
     };
     let mut args = std::env::args().skip(1);
@@ -80,7 +89,7 @@ fn parse_args() -> Config {
         }
     }
     if cfg.baseline.is_none() {
-        for cand in ["BENCH_pr7.json", "BENCH_pr5.json"] {
+        for cand in ["BENCH_pr8.json", "BENCH_pr7.json", "BENCH_pr5.json"] {
             if std::path::Path::new(cand).exists() {
                 cfg.baseline = Some(cand.to_string());
                 break;
@@ -462,6 +471,90 @@ fn main() {
     hicond_obs::json::validate(&obs_overhead_json)
         .expect("obs_overhead section must be valid JSON");
 
+    // ---- Batched-solve phase (multi-client coalescing width sweep) ----
+    // The serve batch dispatcher folds k concurrent requests into one
+    // `solve_block`; this phase measures what that coalescing buys on the
+    // planar benchmark. Per width: bitwise gate (every block column ==
+    // its solo solve, at 1 thread and at the max cap — the determinism
+    // contract the serve tests rely on), then k sequential solves vs one
+    // block solve, interleaved so drift hits both arms.
+    let batch_rows: Vec<(usize, u64, u64, f64, f64)> = {
+        let pn = planar_g.num_vertices();
+        let mut rows = Vec::new();
+        for k in [1usize, 2, 4, 8] {
+            let rhss: Vec<Vec<f64>> = (0..k)
+                .map(|j| consistent_rhs(pn, 2000 + j as u64))
+                .collect();
+            let solo: Vec<Vec<f64>> = with_thread_cap(1, || {
+                rhss.iter()
+                    .map(|b| solver.solve(b).expect("planar solo solve converges").x)
+                    .collect()
+            });
+            for cap in [1, *THREADS.last().unwrap()] {
+                let blk = with_thread_cap(cap, || solver.solve_block(&rhss));
+                for (j, r) in blk.iter().enumerate() {
+                    let x = &r.as_ref().expect("block column converges").x;
+                    assert_eq!(
+                        bits(x),
+                        bits(&solo[j]),
+                        "batch k={k}: column {j} at cap {cap} diverges bitwise from its solo solve"
+                    );
+                }
+            }
+            let (seq_ns, blk_ns) = hicond_bench::timed_median_pair_ns(
+                reps_slow,
+                || {
+                    for b in &rhss {
+                        solver.solve(b).expect("sequential solve converges");
+                    }
+                },
+                || {
+                    for r in solver.solve_block(&rhss) {
+                        r.expect("block solve converges");
+                    }
+                },
+            );
+            let sps_seq = k as f64 * 1e9 / seq_ns.max(1) as f64;
+            let sps_blk = k as f64 * 1e9 / blk_ns.max(1) as f64;
+            rows.push((k, seq_ns, blk_ns, sps_seq, sps_blk));
+        }
+        rows
+    };
+    let sps_seq_k1 = batch_rows
+        .iter()
+        .find(|r| r.0 == 1)
+        .map(|r| r.3)
+        .unwrap_or(0.0);
+    let sps_blk_k8 = batch_rows
+        .iter()
+        .find(|r| r.0 == 8)
+        .map(|r| r.4)
+        .unwrap_or(0.0);
+    if !cfg.smoke {
+        assert!(
+            sps_blk_k8 > sps_seq_k1,
+            "batched k=8 throughput ({sps_blk_k8:.1} solves/s) must strictly exceed \
+             sequential k=1 ({sps_seq_k1:.1} solves/s) on the planar benchmark"
+        );
+    }
+    let batch_json = format!(
+        "[{}]",
+        batch_rows
+            .iter()
+            .map(|(k, seq_ns, blk_ns, sps_seq, sps_blk)| {
+                format!(
+                    "{{\"k\": {k}, \"n\": {}, \"seq_median_ns\": {seq_ns}, \
+                     \"block_median_ns\": {blk_ns}, \"seq_solves_per_sec\": {sps_seq:.2}, \
+                     \"block_solves_per_sec\": {sps_blk:.2}, \"block_speedup\": {:.3}}}",
+                    planar_g.num_vertices(),
+                    *seq_ns as f64 / (*blk_ns).max(1) as f64,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    hicond_obs::json::validate(&batch_json).expect("batch section must be valid JSON");
+
     // Headline ratio for the trajectory: how much faster deserializing the
     // preconditioner is than rebuilding it (single-threaded medians).
     let median_of = |w: &str| {
@@ -549,6 +642,7 @@ fn main() {
         &[
             ("metrics", metrics.as_str()),
             ("obs_overhead", obs_overhead_json.as_str()),
+            ("batch", batch_json.as_str()),
         ],
     );
     hicond_obs::json::validate(&json).expect("bench trajectory must be valid JSON");
@@ -587,5 +681,24 @@ fn main() {
         ]);
     }
     ktable.print();
+    let mut btable = Table::new(&[
+        "batch_k",
+        "seq_median_ns",
+        "block_median_ns",
+        "seq_solves/s",
+        "block_solves/s",
+        "speedup",
+    ]);
+    for (k, seq_ns, blk_ns, sps_seq, sps_blk) in &batch_rows {
+        btable.row(vec![
+            k.to_string(),
+            seq_ns.to_string(),
+            blk_ns.to_string(),
+            format!("{sps_seq:.1}"),
+            format!("{sps_blk:.1}"),
+            format!("{:.2}", *seq_ns as f64 / (*blk_ns).max(1) as f64),
+        ]);
+    }
+    btable.print();
     println!("wrote {} (with embedded obs metrics snapshot)", cfg.out);
 }

@@ -1,0 +1,469 @@
+//! Block (multi-right-hand-side) preconditioned conjugate gradients.
+//!
+//! The paper's economic argument — pay for one `[φ, ρ]` decomposition, then
+//! amortize it across a *stream* of solves — extends one level down: when k
+//! right-hand sides are in flight at once, the matrix and the preconditioner
+//! hierarchy can be traversed **once per iteration for the whole block**
+//! instead of once per column. [`block_pcg_solve`] runs k interleaved PCG
+//! iterations over a column-major [`DenseBlock`], feeding every active
+//! column from shared operator sweeps ([`crate::ops::LinearOperator::apply_block`],
+//! [`crate::cg::Preconditioner::apply_block`]).
+//!
+//! # Masking
+//!
+//! Columns converge (or break down) independently. A finished column
+//! **freezes**: it leaves the active set, its iterate and residual are never
+//! touched again, and subsequent operator sweeps cover only the surviving
+//! columns — the block shrinks instead of dragging converged work along.
+//!
+//! # Bitwise contract
+//!
+//! Every column of a block solve is **bitwise identical** to running
+//! [`crate::cg::pcg_solve`] on that column alone, at any `HICOND_THREADS`
+//! cap and jitter seed. This holds because the engine performs, per column,
+//! exactly the fused solver's operation sequence on that column's contiguous
+//! slice: the same kernels ([`dot_with_scratch`], [`fused_update_x_r`],
+//! [`xpby`]) with the same length-only chunk geometry, and block operator
+//! applies whose per-column output is contractually bitwise equal to the
+//! single-vector apply. Interleaving columns reorders *between* columns,
+//! never *within* one — no arithmetic crosses columns, so each column's
+//! floating-point stream is unchanged. `tests/block_pcg.rs` holds the
+//! engine to this.
+
+use crate::cg::{CgOptions, CgResult, Preconditioner};
+use crate::ops::LinearOperator;
+use crate::vector::{dot_with_scratch, fused_update_x_r, norm2, scratch_len, xpby};
+
+/// A dense multi-vector: k columns of length n, stored column-major so
+/// every column is one contiguous `&[f64]` slice — the layout the
+/// single-vector kernels (and their fixed chunk geometry) operate on
+/// directly, which is what makes per-column bitwise equality to the
+/// single-rhs solver structural rather than incidental.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseBlock {
+    n: usize,
+    k: usize,
+    data: Vec<f64>,
+}
+
+impl DenseBlock {
+    /// An n×k block of zeros.
+    pub fn new(n: usize, k: usize) -> DenseBlock {
+        DenseBlock {
+            n,
+            k,
+            data: vec![0.0; n * k],
+        }
+    }
+
+    /// Builds a block from k equal-length columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns disagree in length.
+    pub fn from_columns(cols: &[Vec<f64>]) -> DenseBlock {
+        let n = cols.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * cols.len());
+        for c in cols {
+            assert_eq!(c.len(), n, "DenseBlock: ragged columns");
+            data.extend_from_slice(c);
+        }
+        DenseBlock {
+            n,
+            k: cols.len(),
+            data,
+        }
+    }
+
+    /// Column length n.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Column count k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Column `j` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= k`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(j < self.k, "DenseBlock: column {j} out of {}", self.k);
+        &self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Column `j` as a mutable contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= k`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.k, "DenseBlock: column {j} out of {}", self.k);
+        &mut self.data[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Mutable slices for a sorted, unique subset of columns — the shape
+    /// the block operator kernels consume (disjoint `&mut` column views
+    /// extracted in one pass, no unsafe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not strictly increasing or indexes past `k`.
+    pub fn cols_mut_subset(&mut self, idx: &[usize]) -> Vec<&mut [f64]> {
+        let mut out = Vec::with_capacity(idx.len());
+        if self.n == 0 {
+            for w in idx.windows(2) {
+                assert!(w[0] < w[1], "DenseBlock: column subset must be sorted");
+            }
+            if let Some(&last) = idx.last() {
+                assert!(last < self.k, "DenseBlock: column {last} out of {}", self.k);
+            }
+            out.resize_with(idx.len(), Default::default);
+            return out;
+        }
+        let mut want = idx.iter().peekable();
+        for (j, col) in self.data.chunks_mut(self.n).enumerate() {
+            match want.peek() {
+                Some(&&w) if w == j => {
+                    out.push(col);
+                    want.next();
+                }
+                Some(&&w) => assert!(w > j, "DenseBlock: column subset must be sorted"),
+                None => break,
+            }
+        }
+        assert!(
+            want.peek().is_none(),
+            "DenseBlock: column subset index out of range"
+        );
+        out
+    }
+
+    /// Consumes the block into its k columns.
+    pub fn into_columns(mut self) -> Vec<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.k);
+        for _ in 0..self.k {
+            let rest = self.data.split_off(self.n.min(self.data.len()));
+            out.push(std::mem::replace(&mut self.data, rest));
+        }
+        out
+    }
+
+    /// Copies column `j` of `src` into column `j` of `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or `j` is out of range.
+    pub fn copy_col_from(&mut self, j: usize, src: &DenseBlock) {
+        assert_eq!(self.n, src.n, "DenseBlock: column length mismatch");
+        self.col_mut(j).copy_from_slice(src.col(j));
+    }
+}
+
+/// Block PCG for `A X = B`, k right-hand sides at once, starting from
+/// `X = 0`. Returns one [`CgResult`] per column, index-aligned with the
+/// columns of `b`.
+///
+/// Per iteration the engine performs **one** operator sweep
+/// ([`LinearOperator::apply_block`]) and **one** preconditioner sweep
+/// ([`Preconditioner::apply_block`]) over the active columns, then the
+/// per-column scalar recurrences. Columns that converge, hit `max_iter`,
+/// or break down numerically freeze and drop out of subsequent sweeps.
+///
+/// Every column's outputs (`x`, `iterations`, `converged`,
+/// `final_rel_residual`, `residual_history`) are bitwise identical to a
+/// solo [`crate::cg::pcg_solve`] on that column — see the module docs for
+/// why — and therefore also deterministic across thread caps and jitter
+/// seeds.
+///
+/// # Panics
+///
+/// Panics if the block shape or the preconditioner dimension disagrees
+/// with the matrix.
+pub fn block_pcg_solve<A: LinearOperator, M: Preconditioner>(
+    a: &A,
+    m: &M,
+    b: &DenseBlock,
+    opts: &CgOptions,
+) -> Vec<CgResult> {
+    let n = a.dim();
+    let k = b.k();
+    assert_eq!(b.n(), n, "block_pcg: rhs column length");
+    assert_eq!(m.dim(), n, "block_pcg: preconditioner dim");
+    let obs_on = hicond_obs::enabled();
+    let _span = hicond_obs::span("block_pcg");
+    if obs_on {
+        hicond_obs::counter_add("cg/block_solves", 1);
+        hicond_obs::counter_add("cg/block_columns", k as u64);
+    }
+    let mut bnorm = vec![0.0; k];
+    let mut rz = vec![0.0; k];
+    let mut iterations = vec![0usize; k];
+    let mut converged = vec![false; k];
+    let mut history: Vec<Vec<f64>> = vec![Vec::new(); k];
+    // Zero columns are converged at iteration 0, exactly like the solo
+    // solver's early return; they never enter the active set.
+    let mut active: Vec<usize> = Vec::with_capacity(k);
+    for j in 0..k {
+        bnorm[j] = norm2(b.col(j));
+        // exact: a norm is 0.0 iff the column is identically zero.
+        if bnorm[j] == 0.0 {
+            converged[j] = true;
+        } else {
+            active.push(j);
+        }
+    }
+    let mut x = DenseBlock::new(n, k);
+    let mut r = b.clone();
+    let mut z = DenseBlock::new(n, k);
+    let mut ap = DenseBlock::new(n, k);
+    let mut partials = vec![0.0; scratch_len(n)];
+    // Initial preconditioned residual: one block apply, then the solo
+    // solver's rᵀz with the shared scratch kernel (the apply_dot_into
+    // overrides are contractually bitwise equal to this split sequence).
+    m.apply_block(&r, &mut z, &active);
+    let mut p = DenseBlock::new(n, k);
+    for &j in &active {
+        rz[j] = dot_with_scratch(r.col(j), z.col(j), &mut partials);
+        p.copy_col_from(j, &z);
+        if opts.record_residuals {
+            history[j].reserve(opts.max_iter + 2);
+            history[j].push(norm2(r.col(j)));
+        }
+    }
+    let mut it = 0;
+    while it < opts.max_iter && !active.is_empty() {
+        a.apply_block(&p, &mut ap, &active);
+        // Per-column direction dot, fused x/r update, convergence check —
+        // the solo loop's head, column-interleaved. Scanning `active` in
+        // increasing column order keeps the schedule k-independent.
+        let mut survivors = Vec::with_capacity(active.len());
+        for &j in &active {
+            let pap = dot_with_scratch(p.col(j), ap.col(j), &mut partials);
+            if pap <= 0.0 {
+                continue; // numerical kernel: freeze, not converged
+            }
+            let alpha = rz[j] / pap;
+            if !alpha.is_finite() {
+                continue; // breakdown: freeze
+            }
+            let rnorm = fused_update_x_r(
+                alpha,
+                p.col(j),
+                ap.col(j),
+                x.col_mut(j),
+                r.col_mut(j),
+                &mut partials,
+            )
+            .sqrt();
+            iterations[j] += 1;
+            if opts.record_residuals {
+                history[j].push(rnorm);
+            }
+            if rnorm <= opts.rel_tol * bnorm[j] {
+                converged[j] = true;
+                continue; // done: freeze
+            }
+            if !rnorm.is_finite() {
+                continue; // diverged: freeze
+            }
+            survivors.push(j);
+        }
+        it += 1;
+        if survivors.is_empty() || it >= opts.max_iter {
+            // The solo solver would run one more preconditioner apply here
+            // before its loop condition fails; skipping it changes only
+            // internal scratch (z, p), never a reported output.
+            break;
+        }
+        // One preconditioner sweep for every surviving column, then the
+        // solo loop's tail: rᵀz, breakdown test, β, direction update.
+        m.apply_block(&r, &mut z, &survivors);
+        let mut next = Vec::with_capacity(survivors.len());
+        for &j in &survivors {
+            let rz_new = dot_with_scratch(r.col(j), z.col(j), &mut partials);
+            // β = rz_new/rz divides by this value; only an exact zero
+            // (or non-finite) poisons it — exact compare, like the solo solver.
+            if rz_new == 0.0 || !rz_new.is_finite() {
+                continue; // stagnated: freeze
+            }
+            let beta = rz_new / rz[j];
+            rz[j] = rz_new;
+            xpby(z.col(j), beta, p.col_mut(j));
+            next.push(j);
+        }
+        active = next;
+    }
+    if obs_on {
+        hicond_obs::counter_add(
+            "cg/block_iterations",
+            iterations.iter().map(|&i| i as u64).sum(),
+        );
+    }
+    let xs = x.into_columns();
+    xs.into_iter()
+        .enumerate()
+        .map(|(j, xj)| CgResult {
+            x: xj,
+            iterations: iterations[j],
+            // exact: zero-rhs columns report residual 0 by definition.
+            final_rel_residual: if bnorm[j] == 0.0 {
+                0.0
+            } else {
+                norm2(r.col(j)) / bnorm[j]
+            },
+            residual_history: std::mem::take(&mut history[j]),
+            converged: converged[j],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg::{pcg_solve, IdentityPreconditioner, JacobiPreconditioner};
+    use crate::csr::{CooBuilder, CsrMatrix};
+
+    fn spd_tridiag(n: usize) -> CsrMatrix {
+        let mut b = CooBuilder::new(n, n);
+        for i in 0..n {
+            b.push(i, i, 4.0);
+            if i + 1 < n {
+                b.push_sym(i, i + 1, -1.0);
+            }
+        }
+        b.build()
+    }
+
+    fn rhs(n: usize, seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                ((i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97) % 1000) as f64 / 500.0
+                    - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_block_shape_and_columns() {
+        let cols = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let mut blk = DenseBlock::from_columns(&cols);
+        assert_eq!((blk.n(), blk.k()), (2, 3));
+        assert_eq!(blk.col(1), &[3.0, 4.0]);
+        blk.col_mut(2)[0] = 9.0;
+        let subset = blk.cols_mut_subset(&[0, 2]);
+        assert_eq!(subset.len(), 2);
+        assert_eq!(&*subset[1], &[9.0, 6.0]);
+        assert_eq!(
+            blk.into_columns(),
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![9.0, 6.0]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "column subset")]
+    fn cols_mut_subset_rejects_unsorted() {
+        let mut blk = DenseBlock::new(3, 3);
+        let _ = blk.cols_mut_subset(&[2, 0]);
+    }
+
+    #[test]
+    fn empty_column_block() {
+        let mut blk = DenseBlock::new(0, 2);
+        assert_eq!(blk.cols_mut_subset(&[0, 1]).len(), 2);
+        assert_eq!(blk.into_columns(), vec![Vec::<f64>::new(); 2]);
+    }
+
+    #[test]
+    fn block_matches_solo_bitwise_small() {
+        let n = 120;
+        let a = spd_tridiag(n);
+        let m = JacobiPreconditioner::from_diagonal(&a.diagonal());
+        let cols: Vec<Vec<f64>> = (0..4).map(|s| rhs(n, s)).collect();
+        let b = DenseBlock::from_columns(&cols);
+        let opts = CgOptions::default();
+        let block = block_pcg_solve(&a, &m, &b, &opts);
+        for (j, col) in cols.iter().enumerate() {
+            let solo = pcg_solve(&a, &m, col, &opts);
+            assert_eq!(block[j].iterations, solo.iterations, "col {j}");
+            assert_eq!(block[j].converged, solo.converged, "col {j}");
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&block[j].x), bits(&solo.x), "col {j} iterate");
+            assert_eq!(
+                bits(&block[j].residual_history),
+                bits(&solo.residual_history),
+                "col {j} residuals"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_column_converges_at_iteration_zero() {
+        let n = 50;
+        let a = spd_tridiag(n);
+        let cols = vec![vec![0.0; n], rhs(n, 3)];
+        let b = DenseBlock::from_columns(&cols);
+        let res = block_pcg_solve(&a, &IdentityPreconditioner(n), &b, &CgOptions::default());
+        assert!(res[0].converged);
+        assert_eq!(res[0].iterations, 0);
+        assert_eq!(res[0].final_rel_residual, 0.0);
+        assert!(res[0].x.iter().all(|&v| v == 0.0));
+        assert!(res[1].converged);
+        assert!(res[1].iterations > 0);
+    }
+
+    #[test]
+    fn single_column_block_is_a_solo_solve() {
+        let n = 80;
+        let a = spd_tridiag(n);
+        let col = rhs(n, 11);
+        let b = DenseBlock::from_columns(std::slice::from_ref(&col));
+        let blk = block_pcg_solve(&a, &IdentityPreconditioner(n), &b, &CgOptions::default());
+        let solo = pcg_solve(&a, &IdentityPreconditioner(n), &col, &CgOptions::default());
+        assert_eq!(blk.len(), 1);
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&blk[0].x), bits(&solo.x));
+        assert_eq!(blk[0].iterations, solo.iterations);
+    }
+
+    #[test]
+    fn mixed_difficulty_columns_freeze_independently() {
+        let n = 200;
+        let a = spd_tridiag(n);
+        // Easy: an eigenvector-ish smooth rhs; hard: rough pseudorandom.
+        let easy: Vec<f64> = {
+            let xt: Vec<f64> = (0..n).map(|i| (i as f64 * 0.05).sin()).collect();
+            a.mul(&xt)
+        };
+        let hard = rhs(n, 7);
+        let b = DenseBlock::from_columns(&[easy.clone(), hard.clone(), vec![0.0; n]]);
+        let m = JacobiPreconditioner::from_diagonal(&a.diagonal());
+        let opts = CgOptions {
+            rel_tol: 1e-10,
+            ..Default::default()
+        };
+        let res = block_pcg_solve(&a, &m, &b, &opts);
+        assert!(res.iter().all(|r| r.converged));
+        assert_eq!(res[2].iterations, 0);
+        // Each column still matches its solo run exactly.
+        for (j, col) in [easy, hard].iter().enumerate() {
+            let solo = pcg_solve(&a, &m, col, &opts);
+            assert_eq!(res[j].iterations, solo.iterations, "col {j}");
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&res[j].x), bits(&solo.x), "col {j}");
+        }
+    }
+
+    #[test]
+    fn zero_width_block() {
+        let a = spd_tridiag(10);
+        let b = DenseBlock::new(10, 0);
+        let res = block_pcg_solve(&a, &IdentityPreconditioner(10), &b, &CgOptions::default());
+        assert!(res.is_empty());
+    }
+}

@@ -8,6 +8,7 @@
 //! have the constant vector in their kernel — as long as `b` is orthogonal
 //! to the kernel; iterates then stay in the kernel's complement.
 
+use crate::block::DenseBlock;
 use crate::ops::LinearOperator;
 use crate::vector::{
     dot_with_scratch, fused_axpy_dot_self, fused_copy_dot, fused_scale_dot, fused_update_x_r,
@@ -39,6 +40,32 @@ pub trait Preconditioner {
     fn apply_dot_into(&self, r: &[f64], z: &mut [f64], partials: &mut [f64]) -> f64 {
         self.apply_into(r, z);
         dot_with_scratch(r, z, partials)
+    }
+
+    /// `z[:, j] = M⁻¹ r[:, j]` for each `j` in `active` (sorted, unique) —
+    /// one preconditioner application per block, the second half of the
+    /// block-PCG amortization (the first being the operator's
+    /// [`crate::ops::LinearOperator::apply_block`]).
+    ///
+    /// **Contract:** each active column must come out bitwise identical to
+    /// [`Self::apply_into`] on that column alone, at any thread cap. The
+    /// default loops `apply_into` column by column; hierarchical
+    /// implementations should override with a shared traversal (one walk
+    /// of the level structure feeding all columns) as long as per-column
+    /// arithmetic order is preserved — the multilevel Steiner solver in
+    /// `hicond-precond` does exactly that. Inactive columns must not be
+    /// read or written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if block shapes disagree with the preconditioner dimension
+    /// or `active` indexes out of range.
+    fn apply_block(&self, r: &DenseBlock, z: &mut DenseBlock, active: &[usize]) {
+        assert_eq!(r.n(), self.dim(), "apply_block: r column length");
+        assert_eq!(z.n(), self.dim(), "apply_block: z column length");
+        for &j in active {
+            self.apply_into(r.col(j), z.col_mut(j));
+        }
     }
 
     /// Allocating `M⁻¹ r`.

@@ -21,6 +21,7 @@
 //! kernels where the access pattern allows and deterministic sequential
 //! fallbacks controlled by [`Parallelism`].
 
+pub mod block;
 pub mod blocked;
 pub mod cg;
 pub mod chebyshev;
@@ -37,6 +38,7 @@ pub mod ssor;
 pub mod tridiag;
 pub mod vector;
 
+pub use block::{block_pcg_solve, DenseBlock};
 pub use blocked::{set_spmv_block_threshold, spmv_block_threshold, BlockIndex};
 pub use cg::{
     cg_solve, pcg_solve, pcg_solve_unfused, CgOptions, CgResult, IdentityPreconditioner,

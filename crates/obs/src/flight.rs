@@ -93,6 +93,12 @@ pub enum EventKind {
     /// A watchdog alarm (`anomaly/*`); `a` is the iteration, `b` a
     /// rule-specific f64 (bits).
     Anomaly = 10,
+    /// A coalesced block solve began; recorded under the *batch* trace,
+    /// `a` is the batch size (member count).
+    BatchOpen = 11,
+    /// One request joined a batch; recorded under the *member's* request
+    /// trace, `a` is the batch trace id, `b` the member's column slot.
+    BatchJoin = 12,
 }
 
 impl EventKind {
@@ -108,6 +114,8 @@ impl EventKind {
             8 => EventKind::RequestClose,
             9 => EventKind::PoolTask,
             10 => EventKind::Anomaly,
+            11 => EventKind::BatchOpen,
+            12 => EventKind::BatchJoin,
             _ => return None,
         })
     }
@@ -125,6 +133,8 @@ impl EventKind {
             EventKind::RequestClose => "req_close",
             EventKind::PoolTask => "pool_task",
             EventKind::Anomaly => "anomaly",
+            EventKind::BatchOpen => "batch_open",
+            EventKind::BatchJoin => "batch_join",
         }
     }
 }
@@ -588,8 +598,14 @@ pub fn render_events_json(events: &[FlightEvent]) -> String {
             EventKind::SpanExit => {
                 out.push_str(&format!(",\"dur_ns\":{}", e.a));
             }
-            EventKind::CounterAdd | EventKind::PoolTask | EventKind::RequestOpen => {
+            EventKind::CounterAdd
+            | EventKind::PoolTask
+            | EventKind::RequestOpen
+            | EventKind::BatchOpen => {
                 out.push_str(&format!(",\"n\":{}", e.a));
+            }
+            EventKind::BatchJoin => {
+                out.push_str(&format!(",\"batch_trace\":{},\"slot\":{}", e.a, e.b));
             }
             EventKind::ResidualMilestone => {
                 out.push_str(&format!(

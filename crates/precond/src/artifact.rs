@@ -222,6 +222,7 @@ impl Decode for MultilevelSteiner {
             smoothing,
             omega,
             n,
+            block_ws: Default::default(),
         })
     }
 }

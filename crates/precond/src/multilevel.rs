@@ -18,7 +18,8 @@ use crate::steiner::GroundedLaplacianSolver;
 use hicond_core::{build_hierarchy, Hierarchy, HierarchyOptions};
 use hicond_graph::{laplacian, Graph};
 use hicond_linalg::vector::dot_with_scratch;
-use hicond_linalg::{CsrMatrix, Preconditioner};
+use hicond_linalg::{CsrMatrix, DenseBlock, LinearOperator, Preconditioner};
+use std::sync::Mutex;
 
 /// Options for [`MultilevelSteiner`].
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +49,70 @@ pub(crate) struct MlLevel {
     pub(crate) num_clusters: usize,
 }
 
+/// Reusable buffers for the block hierarchy walk
+/// ([`MultilevelSteiner::apply_block`]), one entry per level.
+///
+/// At serve-batch widths these blocks run to hundreds of kilobytes —
+/// past the allocator's mmap threshold — so a fresh
+/// allocate/fault/free cycle on every apply costs more than the
+/// arithmetic it feeds. The buffers are sized on first use and kept
+/// across applies; a width change (a different batch size) triggers
+/// one resize.
+#[derive(Default)]
+pub(crate) struct BlockWs {
+    k: usize,
+    levels: Vec<LevelWs>,
+}
+
+struct LevelWs {
+    /// Smoother iterate `v₁` (level size × k).
+    v1: DenseBlock,
+    /// Level SpMV output `A v₁` (level size × k).
+    av: DenseBlock,
+    /// Restricted residual handed down (num_clusters × k).
+    rc: DenseBlock,
+    /// Coarse correction coming back up (num_clusters × k).
+    co: DenseBlock,
+}
+
+impl BlockWs {
+    /// Moves the cached workspace out of its slot, leaving an empty one.
+    /// The lock is held only for the swap — never across the hierarchy
+    /// walk — so `block_ws` stays a leaf in the lock-order graph.
+    fn take(slot: &Mutex<BlockWs>) -> BlockWs {
+        match slot.lock() {
+            Ok(mut g) => std::mem::take(&mut *g),
+            Err(poisoned) => std::mem::take(&mut *poisoned.into_inner()),
+        }
+    }
+
+    /// Puts a workspace back for the next apply (last writer wins). A
+    /// poisoned lock is reusable: every pass rewrites the buffers it
+    /// reads before reading them.
+    fn store(slot: &Mutex<BlockWs>, ws: BlockWs) {
+        match slot.lock() {
+            Ok(mut g) => *g = ws,
+            Err(poisoned) => *poisoned.into_inner() = ws,
+        }
+    }
+
+    fn ensure(&mut self, levels: &[MlLevel], k: usize) {
+        if self.k == k && self.levels.len() == levels.len() {
+            return;
+        }
+        self.k = k;
+        self.levels = levels
+            .iter()
+            .map(|l| LevelWs {
+                v1: DenseBlock::new(l.lap.nrows(), k),
+                av: DenseBlock::new(l.lap.nrows(), k),
+                rc: DenseBlock::new(l.num_clusters, k),
+                co: DenseBlock::new(l.num_clusters, k),
+            })
+            .collect();
+    }
+}
+
 /// Multilevel Steiner preconditioner.
 pub struct MultilevelSteiner {
     pub(crate) levels: Vec<MlLevel>,
@@ -55,6 +120,9 @@ pub struct MultilevelSteiner {
     pub(crate) smoothing: bool,
     pub(crate) omega: f64,
     pub(crate) n: usize,
+    /// Block-apply workspace; see [`BlockWs`]. Never serialized — the
+    /// artifact codec rebuilds an empty one on decode.
+    pub(crate) block_ws: Mutex<BlockWs>,
 }
 
 impl MultilevelSteiner {
@@ -101,6 +169,7 @@ impl MultilevelSteiner {
             smoothing: opts.smoothing,
             omega: opts.omega,
             n: g.num_vertices(),
+            block_ws: Mutex::new(BlockWs::default()),
         }
     }
 
@@ -192,6 +261,101 @@ impl MultilevelSteiner {
             *zv = v1[v] + self.omega * l.inv_d[v] * (r[v] - av[v]);
         }
     }
+
+    /// Multi-column cycle: one walk of the hierarchy serves every active
+    /// column of `rb`, writing results into the matching columns of `out`.
+    /// Per level, the restriction table, the level Laplacian (via its
+    /// band-major block SpMV), the inverse-degree vector, and the coarse
+    /// Cholesky factors are each traversed **once per block** instead of
+    /// once per column — the shared-traversal amortization the block-PCG
+    /// engine exists for. All intermediates live in the caller's
+    /// [`BlockWs`] (one [`LevelWs`] per level, `ws[0]` for this level),
+    /// so a steady-state apply performs no large allocations.
+    ///
+    /// Every per-column arithmetic expression, and its evaluation order,
+    /// is copied verbatim from [`Self::cycle`]/[`Self::cycle_into`] (the
+    /// level SpMV goes through `apply_block`, whose per-column output is
+    /// contractually bitwise equal to `mul_into_with`; the restriction
+    /// accumulates the summand `r[v] − (Av₁)[v]` in the same vertex order
+    /// the solo path materializes it), so each column of the result is
+    /// bitwise identical to a single-vector cycle on that column.
+    fn cycle_block_into(
+        &self,
+        level: usize,
+        rb: &DenseBlock,
+        out: &mut DenseBlock,
+        active: &[usize],
+        ws: &mut [LevelWs],
+    ) {
+        if level == self.levels.len() {
+            for &j in active {
+                // One coarse solve per column, all sharing the factors.
+                out.col_mut(j)
+                    .copy_from_slice(&self.coarse.solve(rb.col(j)));
+            }
+            return;
+        }
+        let l = &self.levels[level];
+        let (lw, rest) = ws
+            .split_first_mut()
+            // audit: allow(panic-path) — BlockWs::ensure sizes one entry per level
+            .expect("block workspace depth matches hierarchy depth");
+        if !self.smoothing {
+            // Additive: D⁻¹ r + R M₊ Rᵀ r over one shared coarse block.
+            for &j in active {
+                lw.rc.col_mut(j).fill(0.0);
+                let (rj, cj) = (rb.col(j), lw.rc.col_mut(j));
+                for (v, &c) in l.assignment.iter().enumerate() {
+                    // Hierarchy construction keeps every assignment entry
+                    // in bounds: c < num_clusters == cj.len().
+                    cj[c as usize] += rj[v];
+                }
+            }
+            self.cycle_block_into(level + 1, &lw.rc, &mut lw.co, active, rest);
+            for &j in active {
+                let (rj, cj, oj) = (rb.col(j), lw.co.col(j), out.col_mut(j));
+                for (v, zv) in oj.iter_mut().enumerate() {
+                    // bounds: assignment < num_clusters == cj.len().
+                    *zv = l.inv_d[v] * rj[v] + cj[l.assignment[v] as usize];
+                }
+            }
+            return;
+        }
+        // V-cycle with damped Jacobi smoothing, block-wide.
+        for &j in active {
+            let (rj, vj) = (rb.col(j), lw.v1.col_mut(j));
+            for (v, val) in vj.iter_mut().enumerate() {
+                *val = self.omega * l.inv_d[v] * rj[v];
+            }
+        }
+        l.lap.apply_block(&lw.v1, &mut lw.av, active);
+        // Restrict the smoothed residual r − Av₁ without materializing
+        // it: the accumulated summand is rounded once either way, so the
+        // coarse right-hand side bits match the solo path's.
+        for &j in active {
+            lw.rc.col_mut(j).fill(0.0);
+            let (rj, aj, cj) = (rb.col(j), lw.av.col(j), lw.rc.col_mut(j));
+            for (v, &c) in l.assignment.iter().enumerate() {
+                // bounds: assignment < num_clusters == cj.len().
+                cj[c as usize] += rj[v] - aj[v];
+            }
+        }
+        self.cycle_block_into(level + 1, &lw.rc, &mut lw.co, active, rest);
+        for &j in active {
+            let (cj, vj) = (lw.co.col(j), lw.v1.col_mut(j));
+            for (v, val) in vj.iter_mut().enumerate() {
+                // bounds: assignment < num_clusters == cj.len().
+                *val += cj[l.assignment[v] as usize];
+            }
+        }
+        l.lap.apply_block(&lw.v1, &mut lw.av, active);
+        for &j in active {
+            let (rj, aj, vj, oj) = (rb.col(j), lw.av.col(j), lw.v1.col(j), out.col_mut(j));
+            for (v, zv) in oj.iter_mut().enumerate() {
+                *zv = vj[v] + self.omega * l.inv_d[v] * (rj[v] - aj[v]);
+            }
+        }
+    }
 }
 
 impl Preconditioner for MultilevelSteiner {
@@ -215,6 +379,30 @@ impl Preconditioner for MultilevelSteiner {
         // override is bitwise-transparent by construction.
         self.cycle_into(r, z);
         dot_with_scratch(r, z, partials)
+    }
+
+    fn apply_block(&self, r: &DenseBlock, z: &mut DenseBlock, active: &[usize]) {
+        let _span = hicond_obs::span("precond_apply");
+        hicond_obs::counter_add("precond/ml_applies", active.len() as u64);
+        hicond_obs::counter_add("precond/block_applies", 1);
+        assert_eq!(r.n(), self.n, "apply_block: r column length");
+        assert_eq!(z.n(), self.n, "apply_block: z column length");
+        assert_eq!(r.k(), z.k(), "apply_block: block widths");
+        // Take the workspace out of its slot instead of holding the lock
+        // across the hierarchy walk: the walk calls into the level
+        // operators, and a lock held across a deep call tree is exactly
+        // the shape the lock-order analyzer refuses to certify. The lock
+        // is only ever held for the swap itself (see BlockWs::take/store).
+        // Contention is benign — a second block solve racing on one
+        // shared preconditioner takes an empty workspace, allocates its
+        // own buffers, and the last put-back wins.
+        let mut ws = BlockWs::take(&self.block_ws);
+        ws.ensure(&self.levels, r.k());
+        // The walk reads active columns of `r` and writes the matching
+        // columns of `z` in place — no pack/scatter copies, and after the
+        // first apply at a given width, no block allocations at all.
+        self.cycle_block_into(0, r, z, active, &mut ws.levels);
+        BlockWs::store(&self.block_ws, ws);
     }
 }
 
@@ -362,6 +550,51 @@ mod tests {
             rv.iterations,
             ra.iterations
         );
+    }
+
+    #[test]
+    fn block_apply_matches_single_apply_bitwise() {
+        // The shared-traversal block cycle must reproduce apply_into bit
+        // for bit on every active column, for both cycle flavors, deep and
+        // single-level hierarchies, and strict active subsets.
+        let g = generators::grid2d(20, 20, |u, v| 1.0 + ((u + 2 * v) % 5) as f64);
+        let n = g.num_vertices();
+        for (smoothing, coarse_size) in [(true, 16), (false, 16), (true, 1000)] {
+            let m = MultilevelSteiner::new(
+                &g,
+                &MultilevelOptions {
+                    hierarchy: hicond_core::HierarchyOptions {
+                        coarse_size,
+                        ..Default::default()
+                    },
+                    smoothing,
+                    ..Default::default()
+                },
+            );
+            let cols: Vec<Vec<f64>> = (0..3)
+                .map(|s| {
+                    let mut c: Vec<f64> = (0..n)
+                        .map(|i| ((i * 31 + s * 7 + 1) % 13) as f64 - 6.0)
+                        .collect();
+                    deflate_constant(&mut c);
+                    c
+                })
+                .collect();
+            let r = hicond_linalg::DenseBlock::from_columns(&cols);
+            for active in [vec![0usize, 1, 2], vec![1], vec![0, 2]] {
+                let mut z = hicond_linalg::DenseBlock::new(n, 3);
+                m.apply_block(&r, &mut z, &active);
+                for &j in &active {
+                    let solo = m.apply(&cols[j]);
+                    let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(
+                        bits(z.col(j)),
+                        bits(&solo),
+                        "smoothing={smoothing} coarse={coarse_size} col {j} active {active:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::multilevel::{MultilevelOptions, MultilevelSteiner};
 use hicond_graph::{laplacian, Graph};
 use hicond_linalg::cg::{pcg_solve, CgOptions};
-use hicond_linalg::CsrMatrix;
+use hicond_linalg::{block_pcg_solve, CsrMatrix, DenseBlock};
 
 /// Options for [`LaplacianSolver`].
 #[derive(Debug, Clone, Copy)]
@@ -149,6 +149,115 @@ impl LaplacianSolver {
     /// on this.
     pub fn solve_recording(&self, b: &[f64]) -> Result<(Solution, Vec<f64>), SolveError> {
         self.solve_inner(b, true)
+    }
+
+    /// Solves `L x = bᵢ` for a whole batch of right-hand sides with **one**
+    /// block-PCG run: per iteration the Laplacian and the multilevel
+    /// hierarchy are each traversed once for all still-active columns
+    /// (see [`block_pcg_solve`]), instead of once per rhs.
+    ///
+    /// Results are index-aligned with `bs`. Each column is validated
+    /// independently — a wrong-length or inconsistent rhs gets its own
+    /// `Err` and never enters the block; the remaining columns solve
+    /// normally. Each returned solution is **bitwise identical** to what
+    /// [`Self::solve`] produces for that rhs alone, at any thread cap and
+    /// jitter seed: validation, projection, the per-column PCG recurrence,
+    /// and the zero-mean normalization all perform the same arithmetic in
+    /// the same order as the single-rhs path.
+    pub fn solve_block(&self, bs: &[Vec<f64>]) -> Vec<Result<Solution, SolveError>> {
+        let _span = hicond_obs::span("solve_block");
+        hicond_obs::counter_add("solver/block_solves", 1);
+        hicond_obs::counter_add("solver/solves", bs.len() as u64);
+        let n = self.dim();
+        let mut results: Vec<Option<Result<Solution, SolveError>>> = vec![None; bs.len()];
+        // Validate and mean-project each column exactly as solve() does;
+        // survivors are packed into the block.
+        let mut admitted = Vec::new(); // (original index, projected rhs)
+        for (j, b) in bs.iter().enumerate() {
+            if b.len() != n {
+                results[j] = Some(Err(SolveError::WrongLength {
+                    expected: n,
+                    got: b.len(),
+                }));
+                continue;
+            }
+            let mut comp_sum = vec![0.0; self.num_components];
+            let mut comp_cnt = vec![0usize; self.num_components];
+            let mut l1 = 0.0;
+            for (v, &bv) in b.iter().enumerate() {
+                // connected_components labels densely, so every label
+                // fits the bounds: comp_labels[v] < num_components.
+                comp_sum[self.comp_labels[v] as usize] += bv;
+                comp_cnt[self.comp_labels[v] as usize] += 1; // bounds: as above
+                l1 += bv.abs();
+            }
+            let imbalance =
+                comp_sum.iter().map(|s| s.abs()).fold(0.0, f64::max) / l1.max(f64::MIN_POSITIVE);
+            if imbalance > 1e-6 {
+                results[j] = Some(Err(SolveError::InconsistentRhs { imbalance }));
+                continue;
+            }
+            let mut rhs = b.to_vec();
+            for (v, r) in rhs.iter_mut().enumerate() {
+                let c = self.comp_labels[v] as usize;
+                *r -= comp_sum[c] / comp_cnt[c] as f64;
+            }
+            admitted.push((j, rhs, comp_cnt));
+        }
+        if !admitted.is_empty() {
+            let cols: Vec<Vec<f64>> = admitted.iter().map(|(_, rhs, _)| rhs.clone()).collect();
+            let block = DenseBlock::from_columns(&cols);
+            let res = block_pcg_solve(
+                &self.lap,
+                &self.pre,
+                &block,
+                &CgOptions {
+                    rel_tol: self.opts.rel_tol,
+                    max_iter: self.opts.max_iter,
+                    record_residuals: false,
+                },
+            );
+            for ((j, _, comp_cnt), col_res) in admitted.into_iter().zip(res) {
+                if !col_res.converged {
+                    results[j] = Some(Err(SolveError::NotConverged {
+                        final_rel_residual: col_res.final_rel_residual,
+                    }));
+                    continue;
+                }
+                let mut x = col_res.x;
+                let mut xsum = vec![0.0; self.num_components];
+                for (v, &xv) in x.iter().enumerate() {
+                    // bounds: comp_labels values are < num_components.
+                    xsum[self.comp_labels[v] as usize] += xv;
+                }
+                for (v, xv) in x.iter_mut().enumerate() {
+                    let c = self.comp_labels[v] as usize;
+                    *xv -= xsum[c] / comp_cnt[c] as f64;
+                }
+                if hicond_obs::enabled() {
+                    hicond_obs::counter_add("solver/iterations", col_res.iterations as u64);
+                    hicond_obs::hist_record(
+                        "solver/iterations_per_solve",
+                        col_res.iterations as f64,
+                    );
+                }
+                results[j] = Some(Ok(Solution {
+                    x,
+                    iterations: col_res.iterations,
+                    rel_residual: col_res.final_rel_residual,
+                }));
+            }
+        }
+        results
+            .into_iter()
+            // Every slot was filled: columns either errored at validation
+            // or came back from the block solve.
+            .map(|r| {
+                r.unwrap_or(Err(SolveError::NotConverged {
+                    final_rel_residual: f64::NAN,
+                }))
+            })
+            .collect()
     }
 
     fn solve_inner(&self, b: &[f64], record: bool) -> Result<(Solution, Vec<f64>), SolveError> {
@@ -295,6 +404,36 @@ mod tests {
             solver.solve(&bad),
             Err(SolveError::InconsistentRhs { .. })
         ));
+    }
+
+    #[test]
+    fn solve_block_matches_solo_and_isolates_bad_columns() {
+        let g = generators::oct_like_grid3d(6, 6, 6, 7, generators::OctParams::default());
+        let n = g.num_vertices();
+        let solver = LaplacianSolver::new(&g, &SolverOptions::default());
+        let mut cols: Vec<Vec<f64>> = (0..3u64)
+            .map(|seed| {
+                let mut b: Vec<f64> = (0..n)
+                    .map(|i| (((i as u64 + seed) * 48271) % 101) as f64 - 50.0)
+                    .collect();
+                deflate_constant(&mut b);
+                b
+            })
+            .collect();
+        // Inject a wrong-length column and an inconsistent one mid-batch.
+        cols.insert(1, vec![1.0, 2.0]);
+        cols.insert(3, vec![1.0; n]);
+        let res = solver.solve_block(&cols);
+        assert_eq!(res.len(), 5);
+        assert!(matches!(res[1], Err(SolveError::WrongLength { .. })));
+        assert!(matches!(res[3], Err(SolveError::InconsistentRhs { .. })));
+        for j in [0usize, 2, 4] {
+            let sol = res[j].as_ref().expect("good column solves");
+            let solo = solver.solve(&cols[j]).expect("solo solves");
+            assert_eq!(sol.iterations, solo.iterations, "col {j}");
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&sol.x), bits(&solo.x), "col {j} not bitwise equal");
+        }
     }
 
     #[test]

@@ -126,6 +126,16 @@ pub const ENTRY_POINTS: &[EntryPoint] = &[
     entry("precond", "decode", "preconditioner artifact payloads"),
     entry("precond", "decode_solver", "full solver artifact container"),
     entry("hicond", "respond", "one `hicond serve` request line"),
+    entry(
+        "hicond",
+        "respond_batched",
+        "one request line routed through the serve batch queue",
+    ),
+    entry(
+        "hicond",
+        "read_bounded_line",
+        "raw bytes from a serve peer (stdin or TCP)",
+    ),
 ];
 
 /// Method names whose unqualified `.name(..)` form is overwhelmingly a

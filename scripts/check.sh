@@ -51,6 +51,9 @@ step "bench_suite --smoke (engine + workload smoke, JSON shape, kernel gates)"
 cargo run --release --offline -p hicond-bench --bin bench_suite -- --smoke --out target/bench_smoke.json
 test -s target/bench_smoke.json
 grep -q '"kernels"' target/bench_smoke.json
+# The batched-solve phase gates every block column bitwise against its
+# solo solve before timing; the grep pins that the k-sweep was emitted.
+grep -q '"batch"' target/bench_smoke.json
 
 step "artifact cache round-trip smoke (build -> corrupt -> reject -> rebuild -> solve)"
 rm -rf target/cache_smoke && mkdir -p target/cache_smoke
@@ -107,5 +110,48 @@ if HICOND_OBS=json cargo run --release --offline -q --bin hicond -- flight-panic
 fi
 grep '^{"flight_recorder"' "$dump" | cargo run --release --offline -q --bin hicond -- top --check
 unset HICOND_CACHE_DIR
+
+step "concurrent serve smoke (TCP front end, parallel clients, batched stats scrape)"
+rm -rf target/serve_smoke && mkdir -p target/serve_smoke
+printf '6 6\n0 1 1.0\n1 2 1.0\n2 3 1.0\n3 4 1.0\n4 5 1.0\n0 5 1.0\n' > target/serve_smoke/ring.txt
+serve_out=target/serve_smoke/server_out.txt
+serve_err=target/serve_smoke/server_err.txt
+# Ephemeral port; the server exits by itself after 4 connections. The
+# 5 s batch window + size trigger 3 coalesce the three parallel clients
+# when they arrive together, and never stall them when they don't.
+HICOND_SERVE_BATCH=3 HICOND_SERVE_BATCH_WINDOW_MS=5000 HICOND_OBS=json \
+  cargo run --release --offline -q --bin hicond -- serve target/serve_smoke/ring.txt \
+  --listen 127.0.0.1:0 --conns 4 > "$serve_out" 2> "$serve_err" &
+server_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^listening //p' "$serve_out")
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+test -n "$addr"
+client_pids=""
+for i in 1 2 3; do
+  printf '1 0 0 0 0 -1\nquit\n' | \
+    cargo run --release --offline -q --bin hicond -- client "$addr" \
+    > "target/serve_smoke/client$i.txt" &
+  client_pids="$client_pids $!"
+done
+for pid in $client_pids; do wait "$pid"; done
+for i in 1 2 3; do
+  grep -q '^ok ' "target/serve_smoke/client$i.txt"
+done
+# Final session: the shared stats must show all three solves, drained
+# gauges, and a numeric batch quantile; the metrics scrape must be JSON
+# that `hicond top --check` accepts.
+meta_out=target/serve_smoke/meta.txt
+printf 'stats\nmetrics\nquit\n' | \
+  cargo run --release --offline -q --bin hicond -- client "$addr" > "$meta_out"
+grep -q '^ok stats requests=3 errors=0 ' "$meta_out"
+grep -q ' queue_depth=0 inflight=0 batch_p50=[0-9]' "$meta_out"
+grep '^{' "$meta_out" | cargo run --release --offline -q --bin hicond -- top --check
+wait "$server_pid"
+grep -q '^served 4 connections, ' "$serve_err"
+grep -q 'drained 0 queued request(s) at shutdown' "$serve_err"
 
 step "all checks passed"

@@ -223,16 +223,27 @@ fn cmd_solve(path: &str, args: &[String]) -> Result<(), String> {
 }
 
 /// `hicond serve <graph>`: build-or-load the preconditioner once, then
-/// answer solves over a line protocol on stdin/stdout.
+/// answer solves over a line protocol — on stdin/stdout by default, or
+/// as a concurrent TCP service with `--listen ADDR`.
 ///
 /// Protocol (one request per line, see [`hicond::serve`]):
 /// - `n` whitespace-separated f64 values — a right-hand side; the reply is
 ///   `ok <iterations> <rel_residual> <x_0> ... <x_{n-1}>` on one line, or
 ///   `ERR <code>: <detail>` — the session stays alive after an error.
-/// - `stats` — session counters and solve-latency quantiles on one line.
+/// - `stats` — session counters, solve-latency quantiles, and live
+///   queue/batch gauges on one line.
 /// - `metrics` — one line of delta-snapshot JSON (registry + flight
 ///   events since the last scrape); pipe to `hicond top` to render.
 /// - `quit` — exit cleanly. EOF also ends the session.
+///
+/// `--listen ADDR` (e.g. `127.0.0.1:0`) accepts concurrent clients,
+/// one thread each, and coalesces their pending right-hand sides into
+/// block solves (`HICOND_SERVE_BATCH` / `HICOND_SERVE_BATCH_WINDOW_MS`
+/// / `HICOND_SERVE_MAX_INFLIGHT`); the resolved address is printed as
+/// `listening <addr>` on stdout. `--conns N` exits after `N`
+/// connections have been served (CI smoke); without it the server runs
+/// until killed. Both transports enforce the request-line byte limit;
+/// TCP connections additionally get an idle read timeout.
 fn cmd_serve(path: &str, args: &[String]) -> Result<(), String> {
     let g = load_graph(path, weight_scale(args)?)?;
     let tol = parse_tol(args)?;
@@ -246,13 +257,33 @@ fn cmd_serve(path: &str, args: &[String]) -> Result<(), String> {
         "serving {n} vertices, {} hierarchy levels; send {n} rhs values per line, 'quit' to exit",
         solver.num_levels()
     );
+    if let Some(addr) = arg_value(args, "--listen") {
+        return serve_listen(&addr, solver, n, args);
+    }
+    let max_line = hicond::serve::max_line_bytes(n);
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    let mut input = stdin.lock();
     let mut out = stdout.lock();
     let mut served = 0u64;
     let stats = hicond::serve::ServeStats::new();
-    for line in stdin.lock().lines() {
-        let line = line.map_err(|e| format!("stdin: {e}"))?;
+    loop {
+        let line = match hicond::serve::read_bounded_line(&mut input, max_line) {
+            hicond::serve::LineEvent::Line(line) => line,
+            hicond::serve::LineEvent::Eof => break,
+            hicond::serve::LineEvent::TooLong { limit } => {
+                let reply = format!("ERR bad-length: request line exceeds {limit} bytes");
+                out.write_all(reply.as_bytes())
+                    .and_then(|_| out.write_all(b"\n"))
+                    .and_then(|_| out.flush())
+                    .map_err(|e| format!("stdout: {e}"))?;
+                served += 1;
+                continue;
+            }
+            // stdin has no read deadline; TimedOut cannot happen here.
+            hicond::serve::LineEvent::TimedOut => break,
+            hicond::serve::LineEvent::Err(e) => return Err(format!("stdin: {e}")),
+        };
         let reply = match hicond::serve::respond(&solver, n, &line, &stats) {
             hicond::serve::Action::Reply(r) => r,
             hicond::serve::Action::Ignore => continue,
@@ -265,6 +296,95 @@ fn cmd_serve(path: &str, args: &[String]) -> Result<(), String> {
         served += 1;
     }
     eprintln!("served {served} requests");
+    Ok(())
+}
+
+/// The `--listen` arm of `cmd_serve`: TCP front end over the shared
+/// batch queue.
+fn serve_listen(
+    addr: &str,
+    solver: hicond::precond::LaplacianSolver,
+    n: usize,
+    args: &[String],
+) -> Result<(), String> {
+    let max_conns: Option<u64> = match arg_value(args, "--conns") {
+        Some(s) => Some(s.parse().map_err(|_| "bad --conns count".to_string())?),
+        None => None,
+    };
+    let batch_cfg = hicond::serve::BatchConfig::from_env()?;
+    let (listener, local) = hicond::serve::server::bind(addr)?;
+    // The resolved address goes to *stdout* so scripts binding port 0
+    // can read it back; diagnostics stay on stderr.
+    println!("listening {local}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("stdout: {e}"))?;
+    eprintln!(
+        "batching up to {} rhs per block solve, {:?} window, {} inflight cap",
+        batch_cfg.max_batch, batch_cfg.window, batch_cfg.max_inflight
+    );
+    let solver = std::sync::Arc::new(solver);
+    let stats = std::sync::Arc::new(hicond::serve::ServeStats::new());
+    let queue = hicond::serve::BatchQueue::new(batch_cfg);
+    let dispatcher = queue.start(
+        std::sync::Arc::clone(&solver),
+        std::sync::Arc::clone(&stats),
+    );
+    let cfg = hicond::serve::ServeConfig {
+        n,
+        max_line: hicond::serve::max_line_bytes(n),
+        read_timeout: std::time::Duration::from_secs(30),
+    };
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let summary =
+        hicond::serve::serve_tcp(listener, &queue, dispatcher, &stats, &cfg, max_conns, &stop)?;
+    eprintln!(
+        "served {} connections, {} replies; drained {} queued request(s) at shutdown",
+        summary.connections, summary.replies, summary.drain.queued_at_shutdown
+    );
+    Ok(())
+}
+
+/// `hicond client <addr>`: minimal protocol client for scripts and CI —
+/// forwards stdin lines to a `hicond serve --listen` endpoint and
+/// prints each reply line to stdout. Exits on stdin EOF (after a final
+/// `quit`) or when the server closes the connection.
+fn cmd_client(addr: &str) -> Result<(), String> {
+    use std::io::BufRead;
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| format!("socket: {e}"))?;
+    let mut reader = std::io::BufReader::new(stream);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    // Lock order stdin → stdout, same as the serve loop: the workspace
+    // lock-order graph must stay acyclic.
+    let input = stdin.lock();
+    let mut out = stdout.lock();
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let quitting = line.trim() == "quit";
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|_| writer.write_all(b"\n"))
+            .and_then(|_| writer.flush())
+            .map_err(|e| format!("send: {e}"))?;
+        if quitting {
+            break;
+        }
+        if line.trim().is_empty() {
+            continue; // the server ignores blank lines: no reply to wait for
+        }
+        let mut reply = String::new();
+        let got = reader
+            .read_line(&mut reply)
+            .map_err(|e| format!("recv: {e}"))?;
+        if got == 0 {
+            break; // server closed (timeout or shutdown)
+        }
+        out.write_all(reply.as_bytes())
+            .and_then(|_| out.flush())
+            .map_err(|e| format!("stdout: {e}"))?;
+    }
     Ok(())
 }
 
@@ -521,7 +641,7 @@ fn cmd_flight_panic() -> Result<(), String> {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  hicond info <graph>\n  hicond decompose <graph> [--k K] [--method fixed|planar|tree] [--validate PHI RHO]\n  hicond solve <graph> <rhs|--demo> [--tol T] [--cached]\n  hicond serve <graph> [--tol T]\n  hicond top [--check] [--trace ID]   (reads a serve session's output on stdin)\n  hicond cache ls|verify|gc [--all]\n  hicond cluster <graph> --k K [--method eigen|walk]\n\nall graph-loading commands accept --weight-scale S (default 1000, METIS weight divisor)\ngraph files: native edge list ('n m' header + 'u v w' lines) or METIS (.metis/.graph)\ncache dir: $HICOND_CACHE_DIR (default .hicond-cache)"
+    "usage:\n  hicond info <graph>\n  hicond decompose <graph> [--k K] [--method fixed|planar|tree] [--validate PHI RHO]\n  hicond solve <graph> <rhs|--demo> [--tol T] [--cached]\n  hicond serve <graph> [--tol T] [--listen ADDR [--conns N]]\n  hicond client <addr>                (stdin lines -> a --listen server, replies -> stdout)\n  hicond top [--check] [--trace ID]   (reads a serve session's output on stdin)\n  hicond cache ls|verify|gc [--all]\n  hicond cluster <graph> --k K [--method eigen|walk]\n\nserve --listen batches concurrent clients into block solves; tune with\nHICOND_SERVE_BATCH, HICOND_SERVE_BATCH_WINDOW_MS, HICOND_SERVE_MAX_INFLIGHT\nall graph-loading commands accept --weight-scale S (default 1000, METIS weight divisor)\ngraph files: native edge list ('n m' header + 'u v w' lines) or METIS (.metis/.graph)\ncache dir: $HICOND_CACHE_DIR (default .hicond-cache)"
 }
 
 fn main() -> ExitCode {
@@ -541,6 +661,7 @@ fn main() -> ExitCode {
         (Some("decompose"), Some(path)) => cmd_decompose(path, &args[2..]),
         (Some("solve"), Some(path)) => cmd_solve(path, &args[2..]),
         (Some("serve"), Some(path)) => cmd_serve(path, &args[2..]),
+        (Some("client"), Some(addr)) => cmd_client(addr),
         (Some("top"), _) => cmd_top(&args[1..]),
         (Some("cache"), _) => cmd_cache(&args[1..]),
         (Some("cluster"), Some(path)) => cmd_cluster(path, &args[2..]),

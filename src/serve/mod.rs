@@ -12,10 +12,13 @@
 //! - request: `n` whitespace-separated `f64` right-hand-side values,
 //!   where `n` is the vertex count announced at startup
 //! - success reply: `ok <iterations> <rel_residual> <x_0> … <x_{n-1}>`
-//! - error reply: `ERR <code>: <detail>` — the session **stays alive**;
-//!   codes are `bad-value` (unparseable or non-finite number),
-//!   `bad-length` (wrong number of values), and `solve-failed` (the
-//!   solver did not converge)
+//! - error reply: `ERR <code>: <detail>` — the session **stays alive**
+//!   (except after `timeout`); codes are `bad-value` (unparseable or
+//!   non-finite number), `bad-length` (wrong number of values, or a
+//!   request line over the byte limit), `solve-failed` (the solver did
+//!   not converge), `busy` (admission control shed the request — retry
+//!   later), and `timeout` (the connection idled past the read deadline
+//!   and is being closed)
 //! - `stats` replies with the session's request counters, solve-latency
 //!   quantiles (`ok stats requests=… errors=… p50_us=… p95_us=… p99_us=…
 //!   cache_hits=… cache_misses=…`) linearly interpolated inside the log₂
@@ -36,8 +39,27 @@
 //! scraping replies. A convergence watchdog inside PCG plus a serve-level
 //! preconditioner-staleness rule raise `anomaly/*` events (see
 //! `hicond_obs::watchdog`).
+//!
+//! ## Module layout
+//!
+//! - this module: the protocol itself — [`respond`] (direct, one solve
+//!   per request; the stdin transport) and [`respond_batched`] (routes
+//!   solve requests through a shared [`batch::BatchQueue`] so concurrent
+//!   clients coalesce into one block solve; the TCP transport)
+//! - [`batch`]: the coalescing queue + dispatcher thread (size trigger
+//!   `HICOND_SERVE_BATCH`, time window `HICOND_SERVE_BATCH_WINDOW_MS`,
+//!   admission cap `HICOND_SERVE_MAX_INFLIGHT`)
+//! - [`server`]: the byte-level transports — a bounded line reader
+//!   (max-line + idle-timeout guard, shared by stdin and TCP) and the
+//!   thread-per-connection TCP front end
 
-use hicond_precond::LaplacianSolver;
+pub mod batch;
+pub mod server;
+
+pub use batch::{BatchConfig, BatchQueue, SubmitError};
+pub use server::{max_line_bytes, read_bounded_line, serve_tcp, LineEvent, ServeConfig};
+
+use hicond_precond::{LaplacianSolver, Solution};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -55,8 +77,16 @@ pub struct ServeStats {
     /// Iteration counts of converged solves; feeds the running median
     /// for the preconditioner-staleness watchdog rule.
     iterations: hicond_obs::Histogram,
+    /// Sizes of the block solves the batch dispatcher formed; empty
+    /// until a [`batch::BatchQueue`] is wired to this session.
+    batch_size: hicond_obs::Histogram,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// Right-hand sides currently queued, waiting for the dispatcher
+    /// (live gauge, maintained by the batch queue).
+    queue_depth: AtomicU64,
+    /// Right-hand sides currently inside a block solve (live gauge).
+    inflight: AtomicU64,
     /// Session-ordinal of the request (stamped into `req_open` events).
     seq: AtomicU64,
     /// Previous `metrics` scrape: registry snapshot + flight watermark.
@@ -82,6 +112,37 @@ impl ServeStats {
         self.errors.load(Ordering::Relaxed)
     }
 
+    /// Current number of queued right-hand sides (live gauge set by the
+    /// batch dispatcher; 0 on an unbatched session).
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Current number of right-hand sides inside a block solve.
+    pub fn inflight(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
+    }
+
+    /// Records one dispatched batch of `k` right-hand sides (histogram +
+    /// obs mirror); called by the batch dispatcher.
+    pub(crate) fn record_batch(&self, k: u64) {
+        self.batch_size.record_u64(k);
+        hicond_obs::hist_record("serve/batch_size", k as f64);
+    }
+
+    /// Publishes the live queue-depth / inflight gauges (session-local
+    /// atomics plus the obs registry); called by the batch dispatcher.
+    pub(crate) fn set_queue_gauges(&self, queue_depth: u64, inflight: u64) {
+        // ordering: Relaxed stores — these are monitoring gauges read by
+        // the `stats` verb; they publish no other memory and a stale
+        // read merely lags the dashboard by one scrape.
+        self.queue_depth.store(queue_depth, Ordering::Relaxed);
+        // ordering: Relaxed store — same monitoring-gauge rationale.
+        self.inflight.store(inflight, Ordering::Relaxed);
+        hicond_obs::gauge_set("serve/queue_depth", queue_depth as f64);
+        hicond_obs::gauge_set("serve/inflight", inflight as f64);
+    }
+
     /// One-line report for the `stats` verb. Quantiles interpolate
     /// linearly inside the containing log₂ bucket
     /// (`hicond_obs::Histogram::quantile_interpolated`) instead of
@@ -94,9 +155,14 @@ impl ServeStats {
             Some(v) => format!("{v:.0}"),
             None => "-".to_string(),
         };
+        let bq = |p: f64| match self.batch_size.quantile_interpolated(p) {
+            Some(v) => format!("{v:.1}"),
+            None => "-".to_string(),
+        };
         let reg = hicond_obs::global();
+        // New keys append after `cache_misses=`: scrapers pin the prefix.
         format!(
-            "ok stats requests={} errors={} p50_us={} p95_us={} p99_us={} cache_hits={} cache_misses={}",
+            "ok stats requests={} errors={} p50_us={} p95_us={} p99_us={} cache_hits={} cache_misses={} queue_depth={} inflight={} batch_p50={} batch_p95={}",
             self.requests(),
             self.errors(),
             q(0.50),
@@ -104,6 +170,10 @@ impl ServeStats {
             q(0.99),
             reg.counter("artifact/cache_hit").get(),
             reg.counter("artifact/cache_miss").get(),
+            self.queue_depth(),
+            self.inflight(),
+            bq(0.50),
+            bq(0.95),
         )
     }
 
@@ -154,17 +224,8 @@ pub enum Action {
 /// accumulates this session's counters and latency histogram.
 pub fn respond(solver: &LaplacianSolver, n: usize, line: &str, stats: &ServeStats) -> Action {
     let trimmed = line.trim();
-    if trimmed.is_empty() {
-        return Action::Ignore;
-    }
-    if trimmed == "quit" {
-        return Action::Quit;
-    }
-    if trimmed == "stats" {
-        return Action::Reply(stats.report());
-    }
-    if trimmed == "metrics" {
-        return Action::Reply(stats.metrics_report());
+    if let Some(meta) = meta_action(trimmed, stats) {
+        return meta;
     }
     // Every solve request runs under a fresh trace id: the span stack,
     // the PCG milestones, and (via the pool's ActiveJob capture) the
@@ -208,25 +269,7 @@ pub fn respond(solver: &LaplacianSolver, n: usize, line: &str, stats: &ServeStat
     stats.latency_us.record(us);
     hicond_obs::hist_record("serve/latency_us", us);
     let (action, err) = match outcome {
-        Ok(sol) => {
-            hicond_obs::hist_record("serve/iterations", sol.iterations as f64);
-            // Preconditioner-staleness watchdog: a converged solve that
-            // needed far more iterations than this session's running
-            // median suggests the preconditioner no longer matches the
-            // operator (it is built once per session today, but the rule
-            // is the contract for the dynamic-graph era).
-            let iters = sol.iterations as u64;
-            stats.iterations.record_u64(iters);
-            if let Some(median) = stats.iterations.quantile_interpolated(0.5) {
-                hicond_obs::watchdog::check_staleness(iters, median, stats.iterations.count());
-            }
-            let mut reply = format!("ok {} {:.3e}", sol.iterations, sol.rel_residual);
-            for x in &sol.x {
-                reply.push(' ');
-                reply.push_str(&format!("{x:.17e}"));
-            }
-            (Action::Reply(reply), 0u64)
-        }
+        Ok(sol) => (Action::Reply(ok_reply(&sol, stats)), 0u64),
         Err(e) => {
             stats.errors.fetch_add(1, Ordering::Relaxed);
             (Action::Reply(format!("ERR solve-failed: {e}")), 1u64)
@@ -239,6 +282,139 @@ pub fn respond(solver: &LaplacianSolver, n: usize, line: &str, stats: &ServeStat
         us.to_bits(),
     );
     action
+}
+
+/// Handles one request line against a shared [`BatchQueue`] instead of a
+/// private solver: solve requests park on the queue until the dispatcher
+/// folds them (with every other client's pending rhs) into one block
+/// solve. Meta verbs, parse errors, and replies are identical to
+/// [`respond`]; the only new outcome is `ERR busy` when admission
+/// control sheds the request. Infallible by design, like `respond`: the
+/// connection survives every malformed or shed input.
+pub fn respond_batched(queue: &BatchQueue, n: usize, line: &str, stats: &ServeStats) -> Action {
+    let trimmed = line.trim();
+    if let Some(meta) = meta_action(trimmed, stats) {
+        return meta;
+    }
+    // Same per-request tracing contract as `respond`: the id survives
+    // batching because the dispatcher links it to the shared block
+    // solve's trace with a `batch_join` event.
+    let trace = hicond_obs::next_trace_id();
+    let _trace = hicond_obs::trace_scope(trace);
+    let req_seq = stats.seq.fetch_add(1, Ordering::Relaxed);
+    hicond_obs::flight::event_named(
+        hicond_obs::flight::EventKind::RequestOpen,
+        "serve/request",
+        req_seq,
+        0,
+    );
+    let _span = hicond_obs::span("serve_request");
+    hicond_obs::counter_add("serve/requests", 1);
+    stats.requests.fetch_add(1, Ordering::Relaxed);
+    let b = match parse_rhs(n, trimmed) {
+        Ok(b) => b,
+        Err(reply) => {
+            hicond_obs::counter_add("serve/bad_request", 1);
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            hicond_obs::flight::event_named(
+                hicond_obs::flight::EventKind::RequestClose,
+                "serve/request",
+                1,
+                f64::to_bits(0.0),
+            );
+            return Action::Reply(reply);
+        }
+    };
+    // audit: allow(instant-now) — wall-clock latency (queue wait + block
+    // solve) for the stats report; never feeds back into the numerics.
+    let t0 = std::time::Instant::now();
+    let outcome = match queue.submit(b, trace) {
+        Ok(rx) => match rx.recv() {
+            Ok(res) => res,
+            // The dispatcher is gone (drain finished without us or it
+            // panicked): answer structurally, never hang or crash.
+            Err(_) => {
+                let us = t0.elapsed().as_secs_f64() * 1e6;
+                return shed_reply(stats, us, "service is shutting down".to_string());
+            }
+        },
+        Err(SubmitError::Busy { depth, limit }) => {
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            hicond_obs::counter_add("serve/shed", 1);
+            return shed_reply(
+                stats,
+                us,
+                format!("{depth} requests pending or solving (limit {limit}); retry later"),
+            );
+        }
+        Err(SubmitError::ShuttingDown) => {
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            return shed_reply(stats, us, "service is shutting down".to_string());
+        }
+    };
+    let us = t0.elapsed().as_secs_f64() * 1e6;
+    stats.latency_us.record(us);
+    hicond_obs::hist_record("serve/latency_us", us);
+    let (action, err) = match outcome {
+        Ok(sol) => (Action::Reply(ok_reply(&sol, stats)), 0u64),
+        Err(e) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            (Action::Reply(format!("ERR solve-failed: {e}")), 1u64)
+        }
+    };
+    hicond_obs::flight::event_named(
+        hicond_obs::flight::EventKind::RequestClose,
+        "serve/request",
+        err,
+        us.to_bits(),
+    );
+    action
+}
+
+/// Meta verbs shared by the direct and batched handlers: blank lines,
+/// `quit`, `stats`, `metrics`. `None` means the line is a solve request.
+fn meta_action(trimmed: &str, stats: &ServeStats) -> Option<Action> {
+    if trimmed.is_empty() {
+        return Some(Action::Ignore);
+    }
+    match trimmed {
+        "quit" => Some(Action::Quit),
+        "stats" => Some(Action::Reply(stats.report())),
+        "metrics" => Some(Action::Reply(stats.metrics_report())),
+        _ => None,
+    }
+}
+
+/// Formats the `ok …` reply for a converged solve and feeds the
+/// iteration histogram + preconditioner-staleness watchdog: a converged
+/// solve that needed far more iterations than this session's running
+/// median suggests the preconditioner no longer matches the operator.
+fn ok_reply(sol: &Solution, stats: &ServeStats) -> String {
+    hicond_obs::hist_record("serve/iterations", sol.iterations as f64);
+    let iters = sol.iterations as u64;
+    stats.iterations.record_u64(iters);
+    if let Some(median) = stats.iterations.quantile_interpolated(0.5) {
+        hicond_obs::watchdog::check_staleness(iters, median, stats.iterations.count());
+    }
+    let mut reply = format!("ok {} {:.3e}", sol.iterations, sol.rel_residual);
+    for x in &sol.x {
+        reply.push(' ');
+        reply.push_str(&format!("{x:.17e}"));
+    }
+    reply
+}
+
+/// Books one shed/shutdown rejection (error counters + `req_close`
+/// event) and builds the structured `ERR busy` reply.
+fn shed_reply(stats: &ServeStats, us: f64, detail: String) -> Action {
+    stats.errors.fetch_add(1, Ordering::Relaxed);
+    hicond_obs::flight::event_named(
+        hicond_obs::flight::EventKind::RequestClose,
+        "serve/request",
+        1,
+        us.to_bits(),
+    );
+    Action::Reply(format!("ERR busy: {detail}"))
 }
 
 /// Parses the right-hand side, enforcing exactly `n` finite values. The

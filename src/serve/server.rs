@@ -1,0 +1,384 @@
+//! Byte-level transports for the serve protocol: a bounded line reader
+//! shared by the stdin and TCP paths, and the thread-per-connection TCP
+//! front end.
+//!
+//! The reader is the first thing untrusted bytes touch, so it is a
+//! declared `xtask reach` entry point: it must never panic and never
+//! buffer more than the configured line limit no matter what arrives —
+//! a peer streaming gigabytes without a newline costs one limit-sized
+//! buffer, not unbounded memory. Read timeouts surface as
+//! [`LineEvent::TimedOut`] so a connection that goes quiet mid-session
+//! is closed with a structured `ERR timeout` reply instead of pinning a
+//! thread forever.
+
+use super::batch::{BatchQueue, DrainReport};
+use super::{respond_batched, Action, ServeStats};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Byte slack added on top of the per-value budget in
+/// [`max_line_bytes`]: verbs, separators, and leading/trailing blanks.
+const LINE_SLACK_BYTES: usize = 4096;
+
+/// Per-value byte budget for a request line: a shortest-round-trip f64
+/// prints in well under 25 bytes + 1 separator; 32 leaves headroom for
+/// clients that print maximal `-1.7976931348623157e308`-style tokens.
+const LINE_BYTES_PER_VALUE: usize = 32;
+
+/// The request-line byte limit for an `n`-dimensional solver:
+/// `32·n + 4096`, overridable with `HICOND_SERVE_MAX_LINE` (absolute
+/// bytes). The limit bounds reader memory per connection — it is a
+/// robustness guard, not a protocol parameter.
+pub fn max_line_bytes(n: usize) -> usize {
+    match std::env::var("HICOND_SERVE_MAX_LINE") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(v) if v >= 16 => v,
+            _ => n.saturating_mul(LINE_BYTES_PER_VALUE) + LINE_SLACK_BYTES,
+        },
+        Err(_) => n.saturating_mul(LINE_BYTES_PER_VALUE) + LINE_SLACK_BYTES,
+    }
+}
+
+/// One read attempt's outcome. Oversized lines are consumed up to their
+/// newline, so the protocol stays line-synchronized after a `TooLong`.
+#[derive(Debug, PartialEq)]
+pub enum LineEvent {
+    /// A complete line (newline stripped, lossy UTF-8).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// The line exceeded `limit` bytes; its content was discarded.
+    TooLong {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// The transport's read deadline passed with the peer silent.
+    TimedOut,
+    /// Unrecoverable transport error (connection reset, …).
+    Err(String),
+}
+
+/// Reads one newline-terminated line from `r`, buffering at most
+/// `limit` bytes. Overlong content is discarded while scanning for the
+/// terminating newline, so memory stays bounded by `limit` plus the
+/// transport's own buffer. Interrupted reads retry; timeout-flavored
+/// errors (`WouldBlock`/`TimedOut`, per platform) become
+/// [`LineEvent::TimedOut`].
+pub fn read_bounded_line(r: &mut impl BufRead, limit: usize) -> LineEvent {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflowed = false;
+    loop {
+        let (consumed, done) = {
+            let chunk = match r.fill_buf() {
+                Ok(chunk) => chunk,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return LineEvent::TimedOut;
+                }
+                Err(e) => return LineEvent::Err(e.to_string()),
+            };
+            if chunk.is_empty() {
+                // EOF. A buffered partial line without a newline still
+                // counts as a line (matches `BufRead::lines`).
+                if overflowed {
+                    return LineEvent::TooLong { limit };
+                }
+                if buf.is_empty() {
+                    return LineEvent::Eof;
+                }
+                return LineEvent::Line(finish_line(buf));
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    // Room check before copying: an oversized line is
+                    // dropped, never buffered.
+                    if !overflowed && buf.len() + pos <= limit {
+                        buf.extend(chunk.iter().take(pos));
+                    } else {
+                        overflowed = true;
+                    }
+                    (pos + 1, true)
+                }
+                None => {
+                    if !overflowed && buf.len() + chunk.len() <= limit {
+                        buf.extend(chunk.iter());
+                    } else {
+                        overflowed = true;
+                        buf.clear();
+                    }
+                    (chunk.len(), false)
+                }
+            }
+        };
+        r.consume(consumed);
+        if done {
+            if overflowed {
+                return LineEvent::TooLong { limit };
+            }
+            return LineEvent::Line(finish_line(buf));
+        }
+    }
+}
+
+/// Strips one trailing `\r` (CRLF peers) and decodes lossily: the
+/// protocol is ASCII, so invalid UTF-8 can only appear in garbage that
+/// the parser rejects anyway — but it must not panic the reader.
+fn finish_line(mut buf: Vec<u8>) -> String {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8_lossy(&buf).into_owned()
+}
+
+/// Everything a connection handler needs, shared across the server.
+pub struct ServeConfig {
+    /// Solver dimension (trusted; from the operator's graph).
+    pub n: usize,
+    /// Request-line byte limit (see [`max_line_bytes`]).
+    pub max_line: usize,
+    /// Per-connection idle read deadline; an exceeded deadline closes
+    /// the connection with `ERR timeout`.
+    pub read_timeout: Duration,
+}
+
+/// Summary of one TCP serve run, for the operator banner.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeSummary {
+    /// Connections accepted over the run.
+    pub connections: u64,
+    /// Reply lines written across all connections.
+    pub replies: u64,
+    /// The batch queue's drain report.
+    pub drain: DrainReport,
+}
+
+/// Runs the TCP front end on an already-bound listener: accepts
+/// connections until `max_conns` (when given) have been accepted or
+/// `stop` flips, handles each on its own OS thread against the shared
+/// [`BatchQueue`], then drains the queue and joins every handler.
+///
+/// The listener is polled in non-blocking mode so a `stop` request (or
+/// the `max_conns` budget) takes effect without a wake-up connection.
+/// Solve compute itself runs on the vendored rayon pool inside
+/// `solve_block` — connection threads only parse, park, and reply.
+pub fn serve_tcp(
+    listener: TcpListener,
+    queue: &Arc<BatchQueue>,
+    dispatcher: super::batch::Dispatcher,
+    stats: &Arc<ServeStats>,
+    cfg: &ServeConfig,
+    max_conns: Option<u64>,
+    stop: &AtomicBool,
+) -> Result<ServeSummary, String> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("listener: {e}"))?;
+    let replies = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    let mut connections = 0u64;
+    while !stop.load(Ordering::Relaxed) && max_conns.map_or(true, |m| connections < m) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                connections += 1;
+                hicond_obs::counter_add("serve/connections", 1);
+                let queue = Arc::clone(queue);
+                let stats = Arc::clone(stats);
+                let replies = Arc::clone(&replies);
+                let conn_cfg = ServeConfig {
+                    n: cfg.n,
+                    max_line: cfg.max_line,
+                    read_timeout: cfg.read_timeout,
+                };
+                let spawned = std::thread::Builder::new()
+                    .name(format!("serve-conn-{connections}"))
+                    .spawn(move || {
+                        let served = handle_connection(stream, &queue, &stats, &conn_cfg);
+                        replies.fetch_add(served, Ordering::Relaxed);
+                    });
+                match spawned {
+                    Ok(h) => handlers.push(h),
+                    Err(e) => return Err(format!("spawn connection handler: {e}")),
+                }
+                // Reap finished handlers so a long-running server does
+                // not accumulate handles.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    // Connections first (their submits must all have landed), then the
+    // queue drain: every admitted rhs is answered before we report.
+    for h in handlers {
+        let _ = h.join();
+    }
+    let drain = queue.shutdown();
+    dispatcher.join();
+    Ok(ServeSummary {
+        connections,
+        replies: replies.load(Ordering::Relaxed),
+        drain,
+    })
+}
+
+/// One connection's session loop: bounded reads, batched responds,
+/// structured errors. Returns the number of reply lines written.
+fn handle_connection(
+    stream: TcpStream,
+    queue: &Arc<BatchQueue>,
+    stats: &Arc<ServeStats>,
+    cfg: &ServeConfig,
+) -> u64 {
+    // A failed deadline set is a dead socket; the first read will
+    // surface the real error.
+    let _ = stream.set_read_timeout(Some(cfg.read_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return 0,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut served = 0u64;
+    loop {
+        let action = match read_bounded_line(&mut reader, cfg.max_line) {
+            LineEvent::Line(line) => respond_batched(queue, cfg.n, &line, stats),
+            LineEvent::Eof | LineEvent::Err(_) => break,
+            LineEvent::TooLong { limit } => {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                hicond_obs::counter_add("serve/bad_request", 1);
+                Action::Reply(format!(
+                    "ERR bad-length: request line exceeds {limit} bytes"
+                ))
+            }
+            LineEvent::TimedOut => {
+                // Structured goodbye, then close: an idle peer must not
+                // pin a thread (or its batch-queue admission) forever.
+                hicond_obs::counter_add("serve/idle_timeout", 1);
+                let _ = write_reply(
+                    &mut writer,
+                    &format!(
+                        "ERR timeout: idle for {:.0}s, closing connection",
+                        cfg.read_timeout.as_secs_f64()
+                    ),
+                );
+                break;
+            }
+        };
+        match action {
+            Action::Reply(reply) => {
+                if write_reply(&mut writer, &reply).is_err() {
+                    break; // peer went away; nothing left to do
+                }
+                served += 1;
+            }
+            Action::Ignore => {}
+            Action::Quit => break,
+        }
+    }
+    served
+}
+
+fn write_reply(w: &mut impl Write, reply: &str) -> std::io::Result<()> {
+    w.write_all(reply.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and returns
+/// the listener with its resolved local address.
+pub fn bind(addr: &str) -> Result<(TcpListener, SocketAddr), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    Ok((listener, local))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn bounded_reader_round_trips_normal_lines() {
+        let mut r = Cursor::new(b"hello\nworld\r\n\nlast".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut r, 64),
+            LineEvent::Line("hello".into())
+        );
+        assert_eq!(
+            read_bounded_line(&mut r, 64),
+            LineEvent::Line("world".into())
+        );
+        assert_eq!(
+            read_bounded_line(&mut r, 64),
+            LineEvent::Line(String::new())
+        );
+        assert_eq!(
+            read_bounded_line(&mut r, 64),
+            LineEvent::Line("last".into())
+        );
+        assert_eq!(read_bounded_line(&mut r, 64), LineEvent::Eof);
+    }
+
+    #[test]
+    fn oversized_line_is_dropped_and_stream_resyncs() {
+        let mut data = vec![b'x'; 1000];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok-line\n");
+        let mut r = Cursor::new(data);
+        assert_eq!(
+            read_bounded_line(&mut r, 100),
+            LineEvent::TooLong { limit: 100 }
+        );
+        assert_eq!(
+            read_bounded_line(&mut r, 100),
+            LineEvent::Line("ok-line".into()),
+            "the reader resynchronizes at the newline"
+        );
+    }
+
+    #[test]
+    fn unterminated_flood_reports_too_long_at_eof() {
+        let mut r = Cursor::new(vec![b'9'; 100_000]);
+        assert_eq!(
+            read_bounded_line(&mut r, 256),
+            LineEvent::TooLong { limit: 256 }
+        );
+        assert_eq!(read_bounded_line(&mut r, 256), LineEvent::Eof);
+    }
+
+    #[test]
+    fn exact_limit_line_is_accepted() {
+        let mut data = vec![b'a'; 8];
+        data.push(b'\n');
+        let mut r = Cursor::new(data);
+        assert_eq!(
+            read_bounded_line(&mut r, 8),
+            LineEvent::Line("aaaaaaaa".into())
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_is_lossy_not_fatal() {
+        let mut r = Cursor::new(b"\xff\xfe\xfd\n".to_vec());
+        match read_bounded_line(&mut r, 64) {
+            LineEvent::Line(s) => assert!(!s.is_empty(), "lossy decode keeps placeholders"),
+            other => panic!("expected a line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_line_bytes_scales_with_dimension() {
+        assert!(max_line_bytes(1000) >= 32 * 1000);
+        assert!(max_line_bytes(0) >= 16);
+    }
+}

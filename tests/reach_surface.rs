@@ -30,7 +30,9 @@ use hicond::graph::{generators, io, Graph, Partition};
 use hicond::linalg::csr::{CooBuilder, CsrMatrix};
 use hicond::linalg::dense::{CholeskyFactor, DenseMatrix};
 use hicond::precond::{decode_solver, encode_solver, LaplacianSolver, SolverOptions};
-use hicond::serve::{respond, Action};
+use hicond::serve::{
+    read_bounded_line, respond, respond_batched, Action, BatchConfig, BatchQueue, LineEvent,
+};
 
 // ---------------------------------------------------------------------------
 // Counting allocator: tracks live bytes and the high-water mark.
@@ -498,4 +500,146 @@ fn serve_protocol_rejects_corpus() {
     }
     assert_eq!(respond(&solver, n, "quit", &stats), Action::Quit);
     assert_eq!(respond(&solver, n, "  ", &stats), Action::Ignore);
+}
+
+/// The batched handler faces the same untrusted lines as `respond`, plus
+/// its own failure modes (shed, dispatcher gone). Same three properties:
+/// no panic, structured replies only, allocation bounded by the input
+/// line and the operator-trusted solver dimension.
+#[test]
+fn serve_batched_protocol_rejects_corpus() {
+    let _guard = lock();
+    let solver = std::sync::Arc::new(small_solver());
+    let n = solver.dim();
+    let stats = std::sync::Arc::new(hicond::serve::ServeStats::new());
+    // Size trigger 1: every admitted rhs dispatches immediately, so the
+    // handler's blocking recv always resolves without timing luck.
+    let queue = BatchQueue::new(BatchConfig {
+        max_batch: 1,
+        window: std::time::Duration::from_millis(1),
+        max_inflight: 4,
+    });
+    let dispatcher = queue.start(
+        std::sync::Arc::clone(&solver),
+        std::sync::Arc::clone(&stats),
+    );
+
+    let good_rhs = {
+        let raw: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 2.0).collect();
+        let mean: f64 = raw.iter().sum::<f64>() / n as f64;
+        raw.iter()
+            .map(|v| format!("{}", v - mean))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    match respond_batched(&queue, n, &good_rhs, &stats) {
+        Action::Reply(r) => assert!(r.starts_with("ok "), "good request got: {r}"),
+        other => panic!("good request got {other:?}"),
+    }
+
+    let mut rng = Lcg(0xba7c4);
+    let mut hostile: Vec<String> = vec![
+        "".into(),
+        "stats".into(),
+        "metrics".into(),
+        "nan ".repeat(n),
+        vec!["1.0"; n + 1].join(" "),
+        vec!["1.0"; n.saturating_sub(1)].join(" "),
+        "1e999 ".repeat(n),
+        "\u{0}\u{1}\u{2}".into(),
+    ];
+    for len in [1, 32, 1024, 65536] {
+        hostile.push(String::from_utf8_lossy(&rng.bytes(len)).into_owned());
+    }
+    for (i, line) in hostile.iter().enumerate() {
+        let (action, peak) = peak_growth_during(|| respond_batched(&queue, n, line, &stats));
+        match action {
+            Action::Reply(r) => assert!(
+                r.starts_with("ok ") || r.starts_with("ERR ") || r.starts_with('{'),
+                "hostile line #{i} got unstructured reply: {r:.80}"
+            ),
+            Action::Ignore | Action::Quit => {}
+        }
+        assert!(
+            peak <= alloc_bound(line.len()) + 64 * n * std::mem::size_of::<f64>(),
+            "hostile line #{i} ({} bytes) allocated {peak} bytes",
+            line.len()
+        );
+    }
+    // Still alive: a good request after the abuse round-trips the queue.
+    match respond_batched(&queue, n, &good_rhs, &stats) {
+        Action::Reply(r) => assert!(r.starts_with("ok "), "post-abuse request got: {r}"),
+        other => panic!("post-abuse request got {other:?}"),
+    }
+
+    // After shutdown the handler must shed structurally, never hang: the
+    // queue refuses new work and the reply is `ERR busy`.
+    queue.shutdown();
+    dispatcher.join();
+    match respond_batched(&queue, n, &good_rhs, &stats) {
+        Action::Reply(r) => assert!(r.starts_with("ERR busy:"), "post-shutdown got: {r}"),
+        other => panic!("post-shutdown request got {other:?}"),
+    }
+    assert_eq!(respond_batched(&queue, n, "quit", &stats), Action::Quit);
+}
+
+// ---------------------------------------------------------------------------
+// Entry point: the bounded line reader (first touch of untrusted bytes).
+// ---------------------------------------------------------------------------
+
+/// Drives `read_bounded_line` with newline-free floods, embedded NULs,
+/// random soup, and pathological chunkings. Whatever arrives, the reader
+/// must return a structured event and never buffer more than the limit
+/// (plus the transport's own fixed-size buffer).
+#[test]
+fn bounded_reader_survives_hostile_streams() {
+    let _guard = lock();
+    let mut rng = Lcg(0x11e5);
+    const LIMIT: usize = 512;
+    // Reader scratch is one limit-sized line buffer + BufReader's 8 KiB
+    // internal buffer + the returned String.
+    let reader_bound = |input_len: usize| 4 * LIMIT + (8 << 10) + input_len.min(LIMIT) + 4096;
+
+    let mut streams: Vec<Vec<u8>> = vec![
+        Vec::new(),
+        b"\n".to_vec(),
+        b"\r\n\r\n".to_vec(),
+        vec![0u8; 64],
+        vec![b'\n'; 1024],
+        vec![b'x'; 1 << 20], // megabyte flood, no newline
+        [b"ok".to_vec(), vec![0xff; LIMIT * 2], b"\nafter\n".to_vec()].concat(),
+    ];
+    for len in [1, 63, LIMIT - 1, LIMIT, LIMIT + 1, 16 * LIMIT] {
+        streams.push(rng.bytes(len));
+    }
+    for (i, stream) in streams.iter().enumerate() {
+        let mut r = std::io::Cursor::new(stream.as_slice());
+        // Drain the stream to EOF; every event must be structured and
+        // every returned line must respect the limit.
+        let mut events = 0usize;
+        loop {
+            let (event, peak) = peak_growth_during(|| read_bounded_line(&mut r, LIMIT));
+            assert!(
+                peak <= reader_bound(stream.len()),
+                "stream #{i}: one read allocated {peak} bytes"
+            );
+            events += 1;
+            assert!(
+                events <= stream.len() + 2,
+                "stream #{i}: reader failed to make progress"
+            );
+            match event {
+                // Lossy decoding maps each invalid byte to U+FFFD
+                // (3 bytes), so the String may be up to 3× the byte cap.
+                LineEvent::Line(s) => {
+                    assert!(s.len() <= 3 * LIMIT, "stream #{i}: line over limit")
+                }
+                LineEvent::TooLong { limit } => assert_eq!(limit, LIMIT),
+                LineEvent::Eof => break,
+                LineEvent::TimedOut | LineEvent::Err(_) => {
+                    panic!("stream #{i}: in-memory cursor cannot time out or fail")
+                }
+            }
+        }
+    }
 }
